@@ -1,0 +1,33 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Every module reproduces one experiment from DESIGN.md's index.  Each
+benchmark both *times* its pipeline stage (pytest-benchmark) and
+*asserts the paper's qualitative shape*, printing the rows recorded in
+EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.scenarios import scenario1, scenario2, scenario3
+
+
+@pytest.fixture(scope="session")
+def sc1():
+    return scenario1()
+
+
+@pytest.fixture(scope="session")
+def sc2():
+    return scenario2()
+
+
+@pytest.fixture(scope="session")
+def sc3():
+    return scenario3()
+
+
+def report(title, rows):
+    """Print an experiment table (captured by pytest -s / tee)."""
+    print(f"\n[{title}]")
+    for row in rows:
+        print(f"  {row}")

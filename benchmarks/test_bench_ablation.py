@@ -1,0 +1,130 @@
+"""EXT-ABLATE: contribution of the simplification machinery.
+
+Two ablations the paper's design motivates:
+
+* **rule ablation** -- simplify the Scenario 1 seed with each of the 15
+  rules removed in turn; report the resulting size.  The workhorse
+  rules (equality propagation + constant folding + identities) account
+  for most of the reduction.
+* **cone of influence** -- restricting to conjuncts connected to the
+  symbolized variables before rewriting (the "networking context"
+  discussed in §5) shrinks the simplified output further.
+"""
+
+from conftest import report
+
+from repro.explain import ACTION, extract_seed, simplify_seed, symbolize_router
+from repro.smt import ALL_RULES
+
+
+def _seed(sc1):
+    spec = sc1.specification.restricted_to("Req1")
+    sketch, holes = symbolize_router(sc1.paper_config, "R1", fields=(ACTION,))
+    return extract_seed(sketch, spec, holes)
+
+
+def test_leave_one_out_rule_ablation(benchmark, sc1):
+    seed = _seed(sc1)
+
+    def run():
+        sizes = {}
+        sizes["(all 15 rules)"] = simplify_seed(seed).term.size()
+        for excluded in ALL_RULES:
+            rules = [rule for rule in ALL_RULES if rule is not excluded]
+            sizes[f"without {excluded.name}"] = simplify_seed(
+                seed, rules=rules
+            ).term.size()
+        return sizes
+
+    sizes = benchmark.pedantic(run, rounds=1, iterations=1)
+    full = sizes["(all 15 rules)"]
+    assert all(size >= full for size in sizes.values()), (
+        "removing a rule must never produce a smaller normal form"
+    )
+    # At least one rule must matter on this workload.
+    assert max(sizes.values()) > full
+    rows = [
+        f"{name:<28} -> {size} nodes (+{size - full})"
+        for name, size in sorted(sizes.items(), key=lambda kv: kv[1])
+    ]
+    report("EXT-ABLATE leave-one-out rule ablation", rows)
+
+
+def test_cone_of_influence_ablation(benchmark, sc1):
+    seed = _seed(sc1)
+
+    def run():
+        plain = simplify_seed(seed)
+        cone = simplify_seed(seed, use_cone_of_influence=True)
+        return plain, cone
+
+    plain, cone = benchmark(run)
+    assert cone.term.size() <= plain.term.size()
+    report(
+        "EXT-ABLATE cone of influence",
+        [
+            f"seed: {seed.size} nodes",
+            f"15 rules only: {plain.term.size()} nodes",
+            f"cone + 15 rules: {cone.term.size()} nodes",
+        ],
+    )
+
+
+def test_simplification_throughput(benchmark, sc1):
+    """Raw rewrite-engine throughput on the real seed workload."""
+    seed = _seed(sc1)
+    simplified = benchmark(lambda: simplify_seed(seed))
+    assert simplified.stats.total_applications > 50
+
+
+def test_lifting_success_rate(benchmark, sc1, sc2, sc3):
+    """Lifting coverage across every (scenario, router, requirement)
+    question the case studies pose: how often does the search find an
+    exact specification-language subspec (vs. falling back to the
+    low-level constraint)?"""
+    from repro.explain import ACTION, ExplanationEngine
+    from repro.explain.symbolize import SymbolizationError
+    from repro.scenarios import campus_scenario
+
+    scenarios = [sc1, sc2, sc3, campus_scenario()]
+
+    def run():
+        lifted = 0
+        low_level = 0
+        empty = 0
+        rows = []
+        for scenario in scenarios:
+            engine = ExplanationEngine(scenario.paper_config, scenario.specification)
+            for block in scenario.specification.blocks:
+                for router in sorted(scenario.specification.managed):
+                    try:
+                        explanation = engine.explain_router(
+                            router, fields=(ACTION,), requirement=block.name
+                        )
+                    except SymbolizationError:
+                        continue
+                    if explanation.subspec.is_empty:
+                        empty += 1
+                    elif explanation.subspec.lifted:
+                        lifted += 1
+                    else:
+                        low_level += 1
+                        rows.append(
+                            f"low-level: {scenario.name}/{router}/{block.name}"
+                        )
+        return lifted, empty, low_level, rows
+
+    lifted, empty, low_level, rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    total = lifted + empty + low_level
+    assert total > 15
+    # The search must answer the large majority of case-study questions
+    # in the specification language.
+    assert (lifted + empty) / total >= 0.8
+    report(
+        "EXT-ABLATE lifting success rate",
+        [
+            f"questions: {total}; lifted: {lifted}; empty subspec: {empty}; "
+            f"low-level fallback: {low_level}",
+            *rows,
+        ],
+    )

@@ -1,0 +1,68 @@
+"""EXT-DIAG: specification refinement support (paper §1 motivation).
+
+Times the two tools that accelerate the refine-resynthesize loop:
+
+* ``diagnose`` -- minimal conflicting requirement set for an
+  unrealizable specification (MUS over requirement statements);
+* ``repair_candidates`` -- single-device fixes for a violating
+  configuration (explainable verification, paper §5).
+"""
+
+from conftest import report
+
+from repro.bgp import Direction, NetworkConfig, PERMIT, RouteMap, RouteMapLine
+from repro.explain import repair_candidates
+from repro.scenarios import MANAGED
+from repro.spec import parse
+from repro.synthesis import diagnose
+from repro.topology import Prefix, Topology
+
+CONFLICTING_SPEC = """
+Req1 {
+  !(P1 -> ... -> P2)
+  !(P2 -> ... -> P1)
+}
+Block { !(P1 -> R1 -> ... -> C) }
+Reach { (P1 -> R1 -> ... -> C) }
+"""
+
+
+def test_diagnose_unrealizable_spec(benchmark, sc1):
+    spec = parse(CONFLICTING_SPEC, managed=MANAGED)
+    conflict = benchmark(lambda: diagnose(sc1.sketch, spec))
+    assert conflict is not None
+    assert set(conflict.blocks) == {"Block", "Reach"}
+    report("EXT-DIAG minimal conflict", [conflict.render()])
+
+
+def test_diagnose_realizable_spec_is_fast(benchmark, sc1):
+    result = benchmark(lambda: diagnose(sc1.sketch, sc1.specification))
+    assert result is None
+
+
+def _hub_violation():
+    topo = Topology("hub")
+    topo.add_router("C", asn=100, originated=[Prefix("10.0.0.0/24")])
+    topo.add_router("HUB", asn=200, role="managed")
+    topo.add_router("P1", asn=500, originated=[Prefix("10.1.0.0/24")])
+    topo.add_router("P2", asn=600, originated=[Prefix("10.2.0.0/24")])
+    for a, b in [("C", "HUB"), ("HUB", "P1"), ("HUB", "P2")]:
+        topo.add_link(a, b)
+    spec = parse(
+        "NoTransit { !(P1 -> HUB -> P2) !(P2 -> HUB -> P1) }", managed=["HUB"]
+    )
+    config = NetworkConfig(topo)
+    for provider in ("P1", "P2"):
+        config.set_map(
+            "HUB", Direction.OUT, provider,
+            RouteMap(f"HUB_to_{provider}", (RouteMapLine(seq=100, action=PERMIT),)),
+        )
+    return config, spec
+
+
+def test_repair_analysis(benchmark):
+    config, spec = _hub_violation()
+    result = benchmark(lambda: repair_candidates(config, spec))
+    assert result.repairable
+    assert result.candidates[0].device == "HUB"
+    report("EXT-DIAG repair analysis", [result.render()])

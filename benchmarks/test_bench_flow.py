@@ -1,0 +1,123 @@
+"""FIG-6: the four-step subspecification generation flow, staged.
+
+Times each stage of the paper's Figure 6 pipeline separately on the
+Scenario 3 question "explain R1's export actions for no-transit":
+
+  (a) partial symbolization -> (b) seed encoding ->
+  (c) rewrite simplification -> (d) projection + lifting
+
+and checks the simplified constraint has the Figure 6c shape: a small
+formula over the device's ``Var_*`` variables (plus residual selection
+variables, which the paper also observes, §4(3)).
+"""
+
+from conftest import report
+
+from repro.explain import (
+    ACTION,
+    extract_seed,
+    lift,
+    project,
+    simplify_seed,
+    symbolize_router,
+)
+from repro.smt import to_infix
+
+
+def test_stage_symbolize(benchmark, sc3):
+    sketch, holes = benchmark(
+        lambda: symbolize_router(sc3.paper_config, "R1", fields=(ACTION,))
+    )
+    assert sketch.has_holes()
+    assert all(name.startswith("Var_Action[") for name in holes)
+
+
+def test_stage_seed(benchmark, sc3):
+    spec = sc3.specification.restricted_to("Req1")
+    sketch, holes = symbolize_router(sc3.paper_config, "R1", fields=(ACTION,))
+    seed = benchmark(lambda: extract_seed(sketch, spec, holes))
+    assert seed.num_constraints > 100
+    report(
+        "FIG-6 seed specification",
+        [f"{seed.num_constraints} constraints, {seed.size} nodes, "
+         f"{seed.num_variables} variables"],
+    )
+
+
+def test_stage_simplify(benchmark, sc3):
+    spec = sc3.specification.restricted_to("Req1")
+    sketch, holes = symbolize_router(sc3.paper_config, "R1", fields=(ACTION,))
+    seed = extract_seed(sketch, spec, holes)
+    simplified = benchmark(lambda: simplify_seed(seed))
+    assert simplified.term.size() < seed.size
+    report(
+        "FIG-6 simplification",
+        [
+            f"input : {simplified.input_constraints} constraints "
+            f"({seed.size} nodes)",
+            f"output: {simplified.output_constraints} constraints "
+            f"({simplified.term.size()} nodes)",
+            f"rule applications: {dict(sorted(simplified.stats.applications.items()))}",
+        ],
+    )
+
+
+def test_stage_project_and_lift(benchmark, sc3):
+    spec = sc3.specification.restricted_to("Req1")
+    sketch, holes = symbolize_router(sc3.paper_config, "R1", fields=(ACTION,))
+    seed = extract_seed(sketch, spec, holes)
+
+    def run():
+        projected = project(seed, sketch)
+        lifted = lift("R1", sketch, spec, seed, projected, projected.envs)
+        return projected, lifted
+
+    projected, lifted = benchmark(run)
+    assert lifted.lifted
+    # Figure 6c shape: the device-level constraint is small and over
+    # the Var_* variables only.
+    assert projected.term.size() < 60
+    names = {v.name for v in projected.term.free_variables()}
+    assert all(name.startswith("Var_") for name in names)
+    report(
+        "FIG-6 projected device-level constraint (Figure 6c shape)",
+        [
+            to_infix(projected.term),
+            f"lifted statements: {[str(s) for s in lifted.statements]}",
+        ],
+    )
+
+
+def test_figure6b_full_symbolization(benchmark, sc1):
+    """The complete Figure 6b question: Var_Attr + Var_Val + Var_Action
+    of one line, projected to the Figure 6c conjunction."""
+    from repro.explain import FieldRef, MATCH_ATTR, MATCH_VALUE, ExplanationEngine
+    from repro.scenarios import MANAGED
+    from repro.spec import parse
+
+    spec = parse(
+        """
+        Req1 {
+          !(P1 -> ... -> P2)
+          !(P2 -> ... -> P1)
+        }
+        Reach { (P2 -> R2 -> R3 -> C) }
+        """,
+        managed=MANAGED,
+    )
+    engine = ExplanationEngine(sc1.paper_config, spec)
+    targets = [
+        FieldRef("R2", "out", "P2", 10, ACTION),
+        FieldRef("R2", "out", "P2", 10, MATCH_ATTR),
+        FieldRef("R2", "out", "P2", 10, MATCH_VALUE),
+    ]
+    explanation = benchmark(lambda: engine.explain("R2", targets))
+    assert len(explanation.projected.acceptable) == 1
+    report(
+        "FIG-6b/6c full symbolization (Var_Attr, Var_Val, Var_Action)",
+        [
+            f"assignments: {explanation.projected.total_assignments}, "
+            f"acceptable: {len(explanation.projected.acceptable)}",
+            to_infix(explanation.projected.term),
+        ],
+    )

@@ -1,0 +1,83 @@
+"""EXT-OSPF: the explanation pipeline on the IGP synthesis backend.
+
+NetComplete's other backend synthesizes OSPF link weights; the paper's
+technique only assumes a constraint-based synthesizer, so the pipeline
+must carry over.  Shape checks: synthesis realizes the preference,
+explanations come back as small arithmetic bounds, and cost grows with
+the weight-variable count.
+"""
+
+from conftest import report
+
+from repro.bgp import Hole
+from repro.igp import (
+    WeightConfig,
+    compute_forwarding,
+    explain_weights,
+    synthesize_weights,
+)
+from repro.spec import parse
+from repro.topology import Path, Topology
+
+
+def diamond():
+    topo = Topology("igp-diamond")
+    for name in ("S", "L", "R", "T"):
+        topo.add_router(name, asn=1)
+    for a, b in [("S", "L"), ("L", "T"), ("S", "R"), ("R", "T"), ("L", "R")]:
+        topo.add_link(a, b)
+    return topo
+
+
+SPEC = parse("Pref { (S -> R -> T) >> (S -> L -> T) }")
+
+
+def full_sketch(topo):
+    sketch = WeightConfig(topo)
+    for link in topo.links:
+        sketch.set_weight(link.a, link.b, Hole(f"w_{link.a}{link.b}", (1, 2, 3, 4)))
+    return sketch
+
+
+def test_weight_synthesis(benchmark):
+    topo = diamond()
+    result = benchmark(lambda: synthesize_weights(full_sketch(topo), SPEC))
+    forwarding = compute_forwarding(result.weights)
+    assert forwarding.path("S", "T") == Path(("S", "R", "T"))
+    report(
+        "EXT-OSPF synthesis",
+        [
+            f"constraints: {result.encoding.num_constraints} "
+            f"({result.encoding.size} nodes)",
+            f"weights: {dict((f'{a}-{b}', w) for (a, b), w in result.weights.items())}",
+        ],
+    )
+
+
+def test_weight_explanation(benchmark):
+    topo = diamond()
+    result = synthesize_weights(full_sketch(topo), SPEC)
+    explanation = benchmark(
+        lambda: explain_weights(result.weights, SPEC, (("S", "R"),))
+    )
+    assert not explanation.is_unconstrained
+    assert explanation.acceptable
+    report("EXT-OSPF explanation", [explanation.report()])
+
+
+def test_two_link_explanation(benchmark):
+    topo = diamond()
+    result = synthesize_weights(full_sketch(topo), SPEC)
+    explanation = benchmark(
+        lambda: explain_weights(
+            result.weights, SPEC, (("S", "R"), ("S", "L")), domain=(1, 2, 3, 4, 5, 6)
+        )
+    )
+    assert explanation.total_assignments == 36
+    report(
+        "EXT-OSPF two-link explanation",
+        [
+            f"acceptable: {len(explanation.acceptable)}/36",
+            explanation.report().splitlines()[-1],
+        ],
+    )

@@ -1,0 +1,65 @@
+"""FIG-3 / FIG-4: Scenario 2 -- ambiguous path preferences.
+
+Reproduces Figure 4's subspecification at R3 (preference ordering plus
+two drop rules) and the interpretation gap: the same configuration
+verifies under BLOCK but fails under FALLBACK.
+"""
+
+from conftest import report
+
+from repro.explain import ACTION, ExplanationEngine, FieldRef, SET_VALUE
+from repro.scenarios import MANAGED
+from repro.spec import parse
+from repro.verify import verify
+
+FIG4_TARGETS = [
+    FieldRef("R3", "in", "R1", 10, ACTION),
+    FieldRef("R3", "in", "R2", 10, ACTION),
+    FieldRef("R3", "in", "R1", 20, SET_VALUE, 0),
+    FieldRef("R3", "in", "R2", 20, SET_VALUE, 0),
+]
+
+FALLBACK_REQ2 = """
+Req2 {
+  (C -> R3 -> R1 -> P1 -> ... -> D1)
+    >> (C -> R3 -> R2 -> P2 -> ... -> D1) fallback
+}
+"""
+
+
+def test_figure4_subspecification_at_r3(benchmark, sc2):
+    """FIG-4: explanation of R3's import policies for Req2."""
+    engine = ExplanationEngine(sc2.paper_config, sc2.specification)
+    explanation = benchmark(
+        lambda: engine.explain("R3", FIG4_TARGETS, requirement="Req2")
+    )
+    statements = {str(s) for s in explanation.lift_result.statements}
+    assert (
+        "(R3 -> R1 -> P1 -> ... -> D1) >> (R3 -> R2 -> P2 -> ... -> D1) order"
+        in statements
+    )
+    assert "!(R3 -> R1 -> R2 -> P2 -> ... -> D1)" in statements
+    assert "!(R3 -> R2 -> R1 -> P1 -> ... -> D1)" in statements
+    report("FIG-4 subspecification at R3", [explanation.subspec.render()])
+
+
+def test_interpretation_gap(benchmark, sc2):
+    """FIG-3: BLOCK-mode spec verifies; FALLBACK-mode spec fails."""
+
+    def run():
+        block_report = verify(sc2.paper_config, sc2.specification)
+        fallback_spec = parse(FALLBACK_REQ2, managed=MANAGED)
+        fallback_report = verify(sc2.paper_config, fallback_spec)
+        return block_report, fallback_report
+
+    block_report, fallback_report = benchmark(run)
+    assert block_report.ok
+    assert not fallback_report.ok
+    report(
+        "FIG-3 interpretation gap",
+        [
+            f"interpretation (1) BLOCK   : {block_report.summary()}",
+            f"interpretation (2) FALLBACK: "
+            f"{fallback_report.summary().splitlines()[0]}",
+        ],
+    )

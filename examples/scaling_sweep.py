@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Scaling sweep: explanation cost vs. topology size (EXT-SCALE).
+
+The paper leaves scalability untested ("remains untested and is an
+important area for future research").  This example sweeps synthetic
+managed cores of growing size and reports seed-specification size,
+simplification time and lifting success.
+
+Run:  python examples/scaling_sweep.py
+"""
+
+import time
+
+from repro.explain import ACTION, ExplanationEngine
+from repro.scenarios.generators import chain_case, grid_case, ring_case
+
+
+def run_case(case, max_path_length=7):
+    engine = ExplanationEngine(
+        case.config, case.specification, max_path_length=max_path_length
+    )
+    started = time.perf_counter()
+    explanation = engine.explain_router(
+        case.device, fields=(ACTION,), requirement="NoTransit"
+    )
+    elapsed = time.perf_counter() - started
+    return {
+        "case": case.name,
+        "routers": len(case.topology),
+        "seed_constraints": explanation.seed_constraints,
+        "seed_nodes": explanation.seed.size,
+        "simplified_nodes": explanation.simplified.term.size(),
+        "lifted": explanation.subspec.lifted,
+        "seconds": elapsed,
+    }
+
+
+def main() -> None:
+    cases = [
+        chain_case(2),
+        chain_case(4),
+        chain_case(6),
+        ring_case(4),
+        ring_case(6),
+        grid_case(2, 2),
+        grid_case(2, 3),
+    ]
+    header = (
+        f"{'case':<12} {'routers':>7} {'seed #c':>8} {'seed nodes':>10} "
+        f"{'simpl nodes':>11} {'lifted':>6} {'time (s)':>8}"
+    )
+    print(header)
+    print("-" * len(header))
+    for case in cases:
+        row = run_case(case)
+        print(
+            f"{row['case']:<12} {row['routers']:>7} {row['seed_constraints']:>8} "
+            f"{row['seed_nodes']:>10} {row['simplified_nodes']:>11} "
+            f"{str(row['lifted']):>6} {row['seconds']:>8.2f}"
+        )
+    print(
+        "\nSeed size grows with the number of candidate paths (roughly "
+        "exponentially in well-connected cores, linearly in chains), "
+        "matching the paper's motivation for localized questions."
+    )
+
+
+if __name__ == "__main__":
+    main()

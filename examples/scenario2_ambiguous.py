@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Scenario 2 (paper §2, Figures 3-4): resolving ambiguous specifications.
+
+The administrator writes a path preference for destination D1
+(Figure 3) intending unlisted paths to serve as *fallbacks*
+(interpretation 2).  NetComplete-style synthesis applies
+interpretation 1 -- unlisted paths are blocked -- and the network
+silently loses redundancy.  The subspecification at R3 (Figure 4)
+exposes the drop rules.
+
+Run:  python examples/scenario2_ambiguous.py
+"""
+
+from repro.bgp import simulate
+from repro.explain import ACTION, ExplanationEngine, FieldRef, SET_VALUE
+from repro.scenarios import D1_PREFIX, MANAGED, scenario2
+from repro.spec import format_specification, parse
+from repro.verify import config_on_topology, verify
+
+
+def main() -> None:
+    scenario = scenario2()
+    print(f"=== {scenario.description} ===\n")
+    print("=== global specification (Figures 1a + 3) ===")
+    print(format_specification(scenario.specification))
+
+    report = verify(scenario.paper_config, scenario.specification)
+    print(f"\nverification (BLOCK interpretation): {report.summary()}")
+
+    # Normal operation: the preferred path through P1 is selected.
+    outcome = simulate(scenario.paper_config)
+    print(f"\nC reaches D1 via: {outcome.forwarding_path('C', D1_PREFIX)}")
+
+    # Fail the preferred path: the second listed path takes over.
+    failed = scenario.topology.without_link("R1", "P1")
+    outcome = simulate(config_on_topology(scenario.paper_config, failed))
+    print(f"with R1-P1 failed:  {outcome.forwarding_path('C', D1_PREFIX)}")
+
+    # Fail both listed paths: the detour C->R3->R1->R2->P2->D1 is
+    # physically alive, but interpretation (1) blocked it.
+    failed = scenario.topology.without_link("R1", "P1").without_link("R3", "R2")
+    outcome = simulate(config_on_topology(scenario.paper_config, failed))
+    print(f"with R1-P1 and R3-R2 failed: {outcome.forwarding_path('C', D1_PREFIX)}")
+    print("... a blackhole, although a detour exists: the lost redundancy.")
+
+    # What the administrator *meant*: the fallback interpretation.
+    fallback_spec = parse(
+        """
+        Req2 {
+          (C -> R3 -> R1 -> P1 -> ... -> D1)
+            >> (C -> R3 -> R2 -> P2 -> ... -> D1) fallback
+        }
+        """,
+        managed=MANAGED,
+    )
+    fallback_report = verify(scenario.paper_config, fallback_spec)
+    print("\nverification against the intended (fallback) reading:")
+    print(fallback_report.summary())
+
+    # The subspecification at R3 (Figure 4) reveals the drop rules.
+    engine = ExplanationEngine(scenario.paper_config, scenario.specification)
+    targets = [
+        FieldRef("R3", "in", "R1", 10, ACTION),
+        FieldRef("R3", "in", "R2", 10, ACTION),
+        FieldRef("R3", "in", "R1", 20, SET_VALUE, 0),
+        FieldRef("R3", "in", "R2", 20, SET_VALUE, 0),
+    ]
+    explanation = engine.explain("R3", targets, requirement="Req2")
+    print("\n=== subspecification at R3 (Figure 4) ===")
+    print(explanation.report())
+    print(
+        "\nThe two drop rules show the synthesizer is blocking paths the\n"
+        "administrator never mentioned -- the ambiguity made visible."
+    )
+
+    # -- the resolution: re-synthesize under interpretation (2) --------
+    from repro.scenarios import scenario2_fixed
+    from repro.synthesis import Synthesizer
+
+    fixed = scenario2_fixed()
+    result = Synthesizer(fixed.sketch, fixed.specification).synthesize()
+    print("\n=== resolution: re-synthesis under the fallback reading ===")
+    for name in sorted(result.assignment):
+        print(f"  {name} = {result.assignment[name]}")
+    final_report = verify(result.config, fixed.specification)
+    print(f"verification: {final_report.summary()}")
+    failed = fixed.topology.without_link("R3", "R2").without_link("R1", "P1")
+    outcome = simulate(config_on_topology(result.config, failed))
+    print(
+        "with both listed paths failed, C now reaches D1 via: "
+        f"{outcome.forwarding_path('C', D1_PREFIX)}"
+    )
+
+
+if __name__ == "__main__":
+    main()

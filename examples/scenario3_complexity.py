@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Scenario 3 (paper §2, Figure 5): taming complexity.
+
+With several requirements active at once, the configuration volume is
+overwhelming.  Asking about one requirement at a time shows which
+routers actually matter for it: for no-transit, R3's subspecification
+is *empty* ("R3 can do anything"), so the administrator only needs to
+inspect R1 and R2.
+
+Run:  python examples/scenario3_complexity.py
+"""
+
+from repro.explain import ACTION, ExplanationEngine
+from repro.scenarios import scenario3
+from repro.spec import format_specification
+from repro.verify import check_modular, verify
+from repro.explain import symbolize_router
+
+
+def main() -> None:
+    scenario = scenario3()
+    print(f"=== {scenario.description} ===\n")
+    print("=== global specification (all requirements) ===")
+    print(format_specification(scenario.specification))
+
+    report = verify(scenario.paper_config, scenario.specification)
+    print(f"\nverification: {report.summary()}")
+
+    engine = ExplanationEngine(scenario.paper_config, scenario.specification)
+
+    print("\n=== asking about the no-transit requirement only ===")
+    for router in ("R1", "R2", "R3"):
+        explanation = engine.explain_router(
+            router, fields=(ACTION,), requirement="Req1"
+        )
+        print(f"\n{explanation.subspec.render()}")
+        if explanation.lift_result.equivalents:
+            rendered = ", ".join(str(s) for s in explanation.lift_result.equivalents)
+            print(f"  (equivalently: {rendered})")
+
+    print(
+        "\nR3's subspecification is empty: the administrator can skip it\n"
+        "and focus validation on R1 and R2 (Figures 2 and 5)."
+    )
+
+    # Modular validation: every device configuration the subspec admits
+    # keeps the global requirement satisfied.
+    print("\n=== modular validation of the R2 explanation ===")
+    explanation = engine.explain_router("R2", fields=(ACTION,), requirement="Req1")
+    sketch, _ = symbolize_router(scenario.paper_config, "R2", fields=(ACTION,))
+    modular = check_modular(explanation, sketch, scenario.specification)
+    print(modular.summary())
+
+    # Contrast with the global alternative (paper §6): mining every
+    # intent the configuration satisfies describes the whole network,
+    # but at a very different size.
+    from repro.mining import mine_specification
+
+    mined = mine_specification(
+        scenario.paper_config, tuple(sorted(scenario.specification.managed))
+    )
+    print("\n=== the global alternative: intent mining ===")
+    print(mined.summary())
+    print(
+        "versus 0-1 statements per localized question -- the paper's\n"
+        "'taming complexity' argument, quantified."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""Localized explanations for automatically synthesized network
+configurations -- a reproduction of the HotNets '24 paper.
+
+Package map
+-----------
+``repro.smt``        constraint substrate (terms, 15-rule rewriting, CDCL)
+``repro.topology``   routers, links, prefixes, paths, patterns
+``repro.bgp``        announcements, route-maps, decision process, simulator
+``repro.spec``       the NetComplete-style path-requirement DSL
+``repro.synthesis``  constraint-based configuration synthesis
+``repro.explain``    the paper's contribution: localized subspecifications
+``repro.verify``     global verification + modular subspec validation
+``repro.scenarios``  the paper's case study and synthetic generators
+
+Quickstart::
+
+    from repro.scenarios import scenario1
+    from repro.explain import ExplanationEngine
+
+    scenario = scenario1()
+    engine = ExplanationEngine(scenario.paper_config, scenario.specification)
+    explanation = engine.explain_router("R1", requirement="Req1")
+    print(explanation.report())
+"""
+
+from .explain import ExplanationEngine, Explanation, Subspecification
+from .mining import MiningResult, mine_specification
+from .scenarios import scenario1, scenario2, scenario3
+from .spec import Specification, parse
+from .synthesis import Synthesizer, synthesize
+from .verify import verify
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "ExplanationEngine",
+    "Explanation",
+    "Subspecification",
+    "mine_specification",
+    "MiningResult",
+    "Synthesizer",
+    "synthesize",
+    "verify",
+    "Specification",
+    "parse",
+    "scenario1",
+    "scenario2",
+    "scenario3",
+    "__version__",
+]

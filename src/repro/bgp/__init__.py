@@ -1,0 +1,60 @@
+"""BGP substrate: announcements, route-maps, configs, decision, simulation."""
+
+from .announcement import Announcement, Community, DEFAULT_LOCAL_PREF
+from .config import Direction, NetworkConfig, RouterConfig
+from .confparse import ConfigParseError, parse_network, parse_router, parse_routemaps
+from .decision import preference_key, rank, select_best
+from .diff import OutcomeDiff, RouteChange, diff_outcomes
+from .provenance import MapDecision, RouteTrace, TraceStep, trace_route
+from .render import render_network, render_router, render_routemap
+from .routemap import (
+    DENY,
+    MatchAttribute,
+    PERMIT,
+    RouteMap,
+    RouteMapLine,
+    SetAttribute,
+    SetClause,
+)
+from .simulation import ConvergenceError, RoutingOutcome, simulate
+from .sketch import FieldValue, Hole, concrete_value, is_hole
+
+__all__ = [
+    "Announcement",
+    "Community",
+    "DEFAULT_LOCAL_PREF",
+    "Direction",
+    "NetworkConfig",
+    "RouterConfig",
+    "preference_key",
+    "rank",
+    "select_best",
+    "RouteMap",
+    "RouteMapLine",
+    "SetClause",
+    "MatchAttribute",
+    "SetAttribute",
+    "PERMIT",
+    "DENY",
+    "RoutingOutcome",
+    "ConvergenceError",
+    "simulate",
+    "Hole",
+    "FieldValue",
+    "is_hole",
+    "concrete_value",
+    "render_network",
+    "render_router",
+    "render_routemap",
+    "trace_route",
+    "RouteTrace",
+    "TraceStep",
+    "MapDecision",
+    "OutcomeDiff",
+    "RouteChange",
+    "diff_outcomes",
+    "ConfigParseError",
+    "parse_routemaps",
+    "parse_router",
+    "parse_network",
+]

@@ -1,0 +1,218 @@
+"""Parser for the Cisco-flavoured configuration text.
+
+The inverse of :mod:`repro.bgp.render`: reads the text form back into
+:class:`~repro.bgp.routemap.RouteMap` /
+:class:`~repro.bgp.config.RouterConfig` /
+:class:`~repro.bgp.config.NetworkConfig` objects.  Round-tripping is
+property-tested: ``parse(render(config)) == config`` for every concrete
+configuration.
+
+Only concrete configurations are parseable; sketches render holes as
+``?name``, which this parser rejects with a clear error.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from ..topology.graph import Topology
+from ..topology.prefixes import Prefix, PrefixError
+from .announcement import Community
+from .config import Direction, NetworkConfig, RouterConfig
+from .routemap import (
+    DENY,
+    MatchAttribute,
+    PERMIT,
+    RouteMap,
+    RouteMapLine,
+    SetAttribute,
+    SetClause,
+)
+
+__all__ = ["ConfigParseError", "parse_routemaps", "parse_router", "parse_network"]
+
+
+class ConfigParseError(ValueError):
+    """Raised on malformed configuration text."""
+
+
+_PREFIX_LIST = re.compile(
+    r"^ip prefix-list (\S+) seq \d+ permit (\S+)$"
+)
+_ROUTE_MAP = re.compile(r"^route-map (\S+) (permit|deny|\?\S+) (\d+)$")
+_MATCH_PREFIX_LIST = re.compile(r"^match ip address prefix-list (\S+)$")
+_MATCH_COMMUNITY = re.compile(r"^match community (\S+)$")
+_MATCH_NEXT_HOP = re.compile(r"^match ip next-hop (\S+)$")
+_SET_LOCAL_PREF = re.compile(r"^set local-preference (\S+)$")
+_SET_COMMUNITY = re.compile(r"^set community (\S+) additive$")
+_SET_NEXT_HOP = re.compile(r"^set ip next-hop (\S+)$")
+_SET_MED = re.compile(r"^set metric (\S+)$")
+_ROUTER_HEADER = re.compile(r"^! configuration of (\S+)$")
+_NEIGHBOR_HEADER = re.compile(r"^! neighbor (\S+) route-map (\S+) (in|out)$")
+
+
+def _reject_hole(token: str, context: str) -> str:
+    if token.startswith("?"):
+        raise ConfigParseError(
+            f"{context}: symbolic field {token!r}; only concrete "
+            "configurations can be parsed"
+        )
+    return token
+
+
+class _LineParser:
+    """Accumulates one route-map line's clauses."""
+
+    def __init__(self, action: str, seq: int) -> None:
+        self.action = action
+        self.seq = seq
+        self.match_attr: str = MatchAttribute.ANY
+        self.match_value: object = None
+        self.sets: List[SetClause] = []
+
+    def build(self) -> RouteMapLine:
+        return RouteMapLine(
+            seq=self.seq,
+            action=self.action,
+            match_attr=self.match_attr,
+            match_value=self.match_value,
+            sets=tuple(self.sets),
+        )
+
+
+def parse_routemaps(text: str) -> Dict[str, RouteMap]:
+    """Parse all route-maps (and their prefix-lists) from text."""
+    prefix_lists: Dict[str, Prefix] = {}
+    lines_by_map: Dict[str, List[_LineParser]] = {}
+    order: List[str] = []
+    current: Optional[_LineParser] = None
+    current_map: Optional[str] = None
+
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line == "!" or line.startswith("! "):
+            continue
+        match = _PREFIX_LIST.match(line)
+        if match:
+            name, prefix_text = match.groups()
+            _reject_hole(prefix_text, f"prefix-list {name}")
+            try:
+                prefix_lists[name] = Prefix(prefix_text)
+            except PrefixError as exc:
+                raise ConfigParseError(str(exc)) from None
+            continue
+        match = _ROUTE_MAP.match(line)
+        if match:
+            map_name, action, seq_text = match.groups()
+            _reject_hole(action, f"route-map {map_name}")
+            current = _LineParser(action, int(seq_text))
+            current_map = map_name
+            if map_name not in lines_by_map:
+                lines_by_map[map_name] = []
+                order.append(map_name)
+            lines_by_map[map_name].append(current)
+            continue
+        if current is None:
+            raise ConfigParseError(f"clause outside a route-map entry: {line!r}")
+        match = _MATCH_PREFIX_LIST.match(line)
+        if match:
+            list_name = match.group(1)
+            if list_name not in prefix_lists:
+                raise ConfigParseError(f"unknown prefix-list {list_name!r}")
+            current.match_attr = MatchAttribute.DST_PREFIX
+            current.match_value = prefix_lists[list_name]
+            continue
+        match = _MATCH_COMMUNITY.match(line)
+        if match:
+            current.match_attr = MatchAttribute.COMMUNITY
+            value = _reject_hole(match.group(1), "match community")
+            current.match_value = Community.parse(value)
+            continue
+        match = _MATCH_NEXT_HOP.match(line)
+        if match:
+            current.match_attr = MatchAttribute.NEXT_HOP
+            current.match_value = _reject_hole(match.group(1), "match next-hop")
+            continue
+        match = _SET_LOCAL_PREF.match(line)
+        if match:
+            value = _reject_hole(match.group(1), "set local-preference")
+            current.sets.append(SetClause(SetAttribute.LOCAL_PREF, int(value)))
+            continue
+        match = _SET_COMMUNITY.match(line)
+        if match:
+            value = _reject_hole(match.group(1), "set community")
+            current.sets.append(
+                SetClause(SetAttribute.COMMUNITY, Community.parse(value))
+            )
+            continue
+        match = _SET_NEXT_HOP.match(line)
+        if match:
+            value = _reject_hole(match.group(1), "set next-hop")
+            current.sets.append(SetClause(SetAttribute.NEXT_HOP, value))
+            continue
+        match = _SET_MED.match(line)
+        if match:
+            value = _reject_hole(match.group(1), "set metric")
+            current.sets.append(SetClause(SetAttribute.MED, int(value)))
+            continue
+        raise ConfigParseError(f"unrecognized configuration line: {line!r}")
+
+    result: Dict[str, RouteMap] = {}
+    for name in order:
+        result[name] = RouteMap(
+            name, tuple(parser.build() for parser in lines_by_map[name])
+        )
+    return result
+
+
+def parse_router(text: str) -> Tuple[str, Dict[Tuple[str, str], str]]:
+    """Parse a rendered router block's *attachments*.
+
+    Returns ``(router name, {(direction, neighbor): route-map name})``.
+    The route-map bodies are recovered separately via
+    :func:`parse_routemaps` on the same text.
+    """
+    router: Optional[str] = None
+    attachments: Dict[Tuple[str, str], str] = {}
+    for raw in text.splitlines():
+        line = raw.strip()
+        match = _ROUTER_HEADER.match(line)
+        if match:
+            if router is not None:
+                raise ConfigParseError("multiple router headers in one block")
+            router = match.group(1)
+            continue
+        match = _NEIGHBOR_HEADER.match(line)
+        if match:
+            neighbor, map_name, direction = match.groups()
+            attachments[(direction, neighbor)] = map_name
+    if router is None:
+        raise ConfigParseError("missing '! configuration of <router>' header")
+    return router, attachments
+
+
+def parse_network(text: str, topology: Topology) -> NetworkConfig:
+    """Parse a full rendered network configuration.
+
+    ``topology`` supplies the session structure (the text encodes only
+    policies); attachments referencing sessions that do not exist in
+    the topology are rejected.
+    """
+    config = NetworkConfig(topology)
+    blocks = re.split(r"(?=^! configuration of )", text, flags=re.MULTILINE)
+    for block in blocks:
+        if not block.strip():
+            continue
+        router, attachments = parse_router(block)
+        if router not in topology:
+            raise ConfigParseError(f"unknown router {router!r}")
+        routemaps = parse_routemaps(block)
+        for (direction, neighbor), map_name in attachments.items():
+            if map_name not in routemaps:
+                raise ConfigParseError(
+                    f"{router}: attachment references unknown route-map "
+                    f"{map_name!r}"
+                )
+            config.set_map(router, direction, neighbor, routemaps[map_name])
+    return config

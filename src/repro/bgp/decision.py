@@ -1,0 +1,73 @@
+"""The BGP decision process (best-path selection).
+
+The selection order is the standard BGP tie-break sequence restricted
+to the attributes our model carries:
+
+1. highest local preference,
+2. shortest (router-level) path,
+3. lowest MED,
+4. lowest IGP cost to the advertising neighbor (*hot-potato* routing;
+   only when a link-cost function is supplied -- routes arrive from
+   direct neighbors in this model, so the IGP cost is the weight of
+   the link to the advertiser),
+5. lowest advertising neighbor name (standing in for lowest router-id),
+6. lexicographically smallest full path (a deterministic final
+   tie-break so the decision is a *total* order -- required for the
+   simulator and the symbolic encoder to agree on every input).
+
+The same ordering is encoded symbolically by the synthesizer
+(:mod:`repro.synthesis.encoder`); an agreement property test checks the
+two implementations against each other.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+
+from .announcement import Announcement
+
+__all__ = ["LinkCost", "preference_key", "select_best", "rank"]
+
+# Symmetric link cost, e.g. ``WeightConfig.concrete_weight``.
+LinkCost = Callable[[str, str], int]
+
+
+def preference_key(
+    announcement: Announcement,
+    link_cost: Optional[LinkCost] = None,
+) -> Tuple[int, int, int, int, str, Tuple[str, ...]]:
+    """Sort key: *smaller is better* (so it can be used with ``min``)."""
+    advertiser = announcement.path[-2] if len(announcement.path) >= 2 else ""
+    igp_cost = 0
+    if link_cost is not None and advertiser:
+        igp_cost = link_cost(announcement.holder, advertiser)
+    return (
+        -announcement.local_pref,
+        announcement.path_length,
+        announcement.med,
+        igp_cost,
+        advertiser,
+        announcement.path,
+    )
+
+
+def select_best(
+    candidates: Iterable[Announcement],
+    link_cost: Optional[LinkCost] = None,
+) -> Optional[Announcement]:
+    """The best route among ``candidates`` (None when empty)."""
+    best: Optional[Announcement] = None
+    best_key: Optional[Tuple[int, int, int, int, str, Tuple[str, ...]]] = None
+    for candidate in candidates:
+        key = preference_key(candidate, link_cost)
+        if best_key is None or key < best_key:
+            best, best_key = candidate, key
+    return best
+
+
+def rank(
+    candidates: Sequence[Announcement],
+    link_cost: Optional[LinkCost] = None,
+) -> List[Announcement]:
+    """All candidates ordered best-first."""
+    return sorted(candidates, key=lambda a: preference_key(a, link_cost))

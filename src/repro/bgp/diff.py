@@ -1,0 +1,90 @@
+"""Structured diffs between routing outcomes.
+
+The refinement loop the paper motivates is interactive: the operator
+changes a configuration field and wants to see *what moved*.  This
+module compares two converged :class:`~repro.bgp.simulation.RoutingOutcome`
+states and reports, per (router, prefix): routes gained, routes lost
+and paths changed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..topology.paths import Path
+from .simulation import RoutingOutcome
+
+__all__ = ["RouteChange", "OutcomeDiff", "diff_outcomes"]
+
+
+@dataclass(frozen=True)
+class RouteChange:
+    """One (router, prefix) whose selected route differs."""
+
+    router: str
+    prefix: str
+    before: Optional[Path]
+    after: Optional[Path]
+
+    @property
+    def kind(self) -> str:
+        if self.before is None:
+            return "gained"
+        if self.after is None:
+            return "lost"
+        return "moved"
+
+    def __str__(self) -> str:
+        if self.kind == "gained":
+            return f"{self.router} -> {self.prefix}: gained route via {self.after}"
+        if self.kind == "lost":
+            return f"{self.router} -> {self.prefix}: lost route (was {self.before})"
+        return f"{self.router} -> {self.prefix}: {self.before}  =>  {self.after}"
+
+
+@dataclass
+class OutcomeDiff:
+    """All selected-route differences between two outcomes."""
+
+    changes: List[RouteChange] = field(default_factory=list)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.changes
+
+    def gained(self) -> Tuple[RouteChange, ...]:
+        return tuple(c for c in self.changes if c.kind == "gained")
+
+    def lost(self) -> Tuple[RouteChange, ...]:
+        return tuple(c for c in self.changes if c.kind == "lost")
+
+    def moved(self) -> Tuple[RouteChange, ...]:
+        return tuple(c for c in self.changes if c.kind == "moved")
+
+    def affecting(self, router: str) -> Tuple[RouteChange, ...]:
+        return tuple(c for c in self.changes if c.router == router)
+
+    def render(self) -> str:
+        if self.is_empty:
+            return "no routing changes"
+        lines = [f"{len(self.changes)} routing changes:"]
+        lines.extend(f"  {change}" for change in self.changes)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def diff_outcomes(before: RoutingOutcome, after: RoutingOutcome) -> OutcomeDiff:
+    """Compare two converged routing states."""
+    keys = set(before.rib) | set(after.rib)
+    changes: List[RouteChange] = []
+    for router, prefix_text in sorted(keys):
+        old = before.rib.get((router, prefix_text))
+        new = after.rib.get((router, prefix_text))
+        old_path = Path(old.traffic_path()) if old is not None else None
+        new_path = Path(new.traffic_path()) if new is not None else None
+        if old_path != new_path:
+            changes.append(RouteChange(router, prefix_text, old_path, new_path))
+    return OutcomeDiff(changes=changes)

@@ -1,0 +1,152 @@
+"""Route provenance: positive "why does this route exist?" traces.
+
+The paper's related work (§6) distinguishes *provenance* -- "elucidating
+why certain events occur by showing the chain of derivations" -- from
+the counterfactual subspecifications this library centers on.  The two
+are complementary: a subspec says what a device must do; a provenance
+trace shows how a concrete selected route came to be, hop by hop, with
+the route-map line that admitted (and transformed) it at every step.
+
+A trace replays the announcement along its recorded path through the
+actual configuration, so it is exact by construction; an assertion
+cross-checks the replayed announcement against the simulator's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..topology.prefixes import Prefix
+from .announcement import Announcement
+from .config import Direction, NetworkConfig
+from .routemap import RouteMap
+from .simulation import RoutingOutcome
+
+__all__ = ["MapDecision", "TraceStep", "RouteTrace", "trace_route"]
+
+
+@dataclass(frozen=True)
+class MapDecision:
+    """What one route-map did to the announcement."""
+
+    map_name: Optional[str]          # None = no map attached (permit all)
+    matched_seq: Optional[int]       # None = no line matched / no map
+
+    def describe(self) -> str:
+        if self.map_name is None:
+            return "no route-map (permit)"
+        if self.matched_seq is None:
+            return f"route-map {self.map_name}: no line matched (implicit deny)"
+        return f"route-map {self.map_name} line {self.matched_seq}"
+
+
+@dataclass(frozen=True)
+class TraceStep:
+    """One hop of the propagation: speaker advertises to receiver."""
+
+    speaker: str
+    receiver: str
+    export: MapDecision
+    imported: MapDecision
+    before: Announcement
+    after: Announcement
+
+    def describe(self) -> str:
+        changes = []
+        if self.after.local_pref != self.before.local_pref:
+            changes.append(f"lp {self.before.local_pref}->{self.after.local_pref}")
+        if self.after.med != self.before.med:
+            changes.append(f"med {self.before.med}->{self.after.med}")
+        added = self.after.communities - self.before.communities
+        if added:
+            changes.append("tag " + ",".join(str(c) for c in sorted(added)))
+        suffix = f" [{', '.join(changes)}]" if changes else ""
+        return (
+            f"{self.speaker} -> {self.receiver}: "
+            f"export {self.export.describe()}; "
+            f"import {self.imported.describe()}{suffix}"
+        )
+
+
+@dataclass
+class RouteTrace:
+    """The full derivation chain of one selected route."""
+
+    announcement: Announcement
+    steps: List[TraceStep]
+
+    def render(self) -> str:
+        lines = [
+            f"provenance of {self.announcement.prefix} at "
+            f"{self.announcement.holder} (via {' -> '.join(self.announcement.path)}):",
+            f"  originated by {self.announcement.origin}",
+        ]
+        lines.extend(f"  {step.describe()}" for step in self.steps)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def _apply_traced(
+    routemap: Optional[RouteMap], announcement: Announcement
+) -> Tuple[Optional[Announcement], MapDecision]:
+    """Like ``RouteMap.apply`` but recording the deciding line."""
+    if routemap is None:
+        return announcement, MapDecision(map_name=None, matched_seq=None)
+    for line in routemap.lines:
+        if line.matches(announcement):
+            return line.apply(announcement), MapDecision(routemap.name, line.seq)
+    return None, MapDecision(routemap.name, None)
+
+
+def trace_route(
+    config: NetworkConfig,
+    announcement: Announcement,
+) -> RouteTrace:
+    """Replay ``announcement`` along its path, recording every decision.
+
+    Raises ``ValueError`` if the replay dies or diverges from the
+    recorded announcement -- which would indicate the announcement does
+    not belong to this configuration's converged state.
+    """
+    path = announcement.path
+    current = Announcement.originate(announcement.prefix, path[0])
+    steps: List[TraceStep] = []
+    for speaker, receiver in zip(path, path[1:]):
+        before = current
+        outgoing = current.with_next_hop(speaker)
+        export_map = config.get_map(speaker, Direction.OUT, receiver)
+        outgoing, export_decision = _apply_traced(export_map, outgoing)
+        if outgoing is None:
+            raise ValueError(
+                f"replay died at {speaker} -> {receiver}: export "
+                f"{export_decision.describe()}"
+            )
+        arrived = outgoing.extended_to(receiver)
+        if arrived is None:
+            raise ValueError(f"replay looped at {receiver}")
+        import_map = config.get_map(receiver, Direction.IN, speaker)
+        arrived, import_decision = _apply_traced(import_map, arrived)
+        if arrived is None:
+            raise ValueError(
+                f"replay died at {speaker} -> {receiver}: import "
+                f"{import_decision.describe()}"
+            )
+        steps.append(
+            TraceStep(
+                speaker=speaker,
+                receiver=receiver,
+                export=export_decision,
+                imported=import_decision,
+                before=before,
+                after=arrived,
+            )
+        )
+        current = arrived
+    if current != announcement:
+        raise ValueError(
+            f"replay diverged: got {current}, expected {announcement}"
+        )
+    return RouteTrace(announcement=announcement, steps=steps)

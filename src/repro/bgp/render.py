@@ -1,0 +1,84 @@
+"""Cisco-flavoured text rendering of configurations.
+
+Produces output shaped like the paper's Figure 1c: ``route-map`` blocks
+with ``ip prefix-list`` companions.  Holes render as ``?name`` so
+sketches remain printable.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..topology.prefixes import Prefix
+from .announcement import Community
+from .config import Direction, NetworkConfig, RouterConfig
+from .routemap import MatchAttribute, RouteMap, RouteMapLine, SetAttribute
+from .sketch import Hole
+
+__all__ = ["render_router", "render_network", "render_routemap"]
+
+
+def _field(value: object) -> str:
+    if isinstance(value, Hole):
+        return f"?{value.name}"
+    return str(value)
+
+
+def render_routemap(routemap: RouteMap) -> str:
+    """Render one route-map as Cisco-style lines."""
+    chunks: List[str] = []
+    prefix_lists: List[str] = []
+    for line in routemap.lines:
+        chunks.append(f"route-map {routemap.name} {_field(line.action)} {line.seq}")
+        if isinstance(line.match_attr, Hole) or line.match_attr != MatchAttribute.ANY:
+            attr = line.match_attr
+            value = line.match_value
+            if attr == MatchAttribute.DST_PREFIX and not isinstance(value, Hole):
+                list_name = f"ip_list_{routemap.name}_{line.seq}"
+                prefix_lists.append(
+                    f"ip prefix-list {list_name} seq 10 permit {_field(value)}"
+                )
+                chunks.append(f"  match ip address prefix-list {list_name}")
+            elif attr == MatchAttribute.COMMUNITY:
+                chunks.append(f"  match community {_field(value)}")
+            elif attr == MatchAttribute.NEXT_HOP:
+                chunks.append(f"  match ip next-hop {_field(value)}")
+            else:
+                chunks.append(f"  match {_field(attr)} {_field(value)}")
+        for clause in line.sets:
+            attr = clause.attribute
+            if attr == SetAttribute.LOCAL_PREF:
+                chunks.append(f"  set local-preference {_field(clause.value)}")
+            elif attr == SetAttribute.COMMUNITY:
+                chunks.append(f"  set community {_field(clause.value)} additive")
+            elif attr == SetAttribute.NEXT_HOP:
+                chunks.append(f"  set ip next-hop {_field(clause.value)}")
+            elif attr == SetAttribute.MED:
+                chunks.append(f"  set metric {_field(clause.value)}")
+            else:
+                chunks.append(f"  set {_field(attr)} {_field(clause.value)}")
+        chunks.append("!")
+    return "\n".join(prefix_lists + chunks)
+
+
+def render_router(config: RouterConfig) -> str:
+    """Render all route-maps of one router, with session attachments."""
+    lines: List[str] = [f"! configuration of {config.router}"]
+    for direction, neighbor in config.sessions():
+        routemap = config.get_map(direction, neighbor)
+        assert routemap is not None
+        lines.append(
+            f"! neighbor {neighbor} route-map {routemap.name} "
+            f"{'in' if direction == Direction.IN else 'out'}"
+        )
+        lines.append(render_routemap(routemap))
+    return "\n".join(lines)
+
+
+def render_network(config: NetworkConfig) -> str:
+    """Render every router's configuration."""
+    blocks = [
+        render_router(config.router_config(name))
+        for name in config.topology.router_names
+    ]
+    return "\n\n".join(blocks)

@@ -1,0 +1,202 @@
+"""Deterministic BGP control-plane simulation.
+
+This is the concrete counterpart of the symbolic encoder: it
+propagates announcements over the topology under the configured
+route-maps until a fixpoint, applying the decision process at every
+router.  The verifier uses the resulting :class:`RoutingOutcome` to
+check global path requirements, and a property-based test cross-checks
+the simulator against the symbolic encoding on fully concrete
+configurations.
+
+Semantics (synchronous path-vector):
+
+* Every router permanently selects its own originated prefixes.
+* Each round, every router advertises its current best route per
+  prefix to every neighbor, through its export map; the neighbor runs
+  its import map, then selects the best among everything received in
+  that round (plus its own originations).
+* Rounds repeat until no router changes its selection.  Policy-induced
+  oscillation (BGP "bad gadgets") is detected by a round bound and
+  reported as :class:`ConvergenceError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..topology.graph import Topology
+from ..topology.paths import Path
+from ..topology.prefixes import Prefix
+from .announcement import Announcement
+from .config import Direction, NetworkConfig
+from .decision import LinkCost, rank, select_best
+
+__all__ = ["RoutingOutcome", "ConvergenceError", "simulate"]
+
+
+class ConvergenceError(RuntimeError):
+    """The control plane failed to reach a fixpoint."""
+
+
+@dataclass
+class RoutingOutcome:
+    """The converged control-plane state.
+
+    ``rib`` maps ``(router, prefix str)`` to the selected best
+    announcement; ``candidates`` additionally records every route that
+    survived import filtering (the adj-RIB-in), which the verifier and
+    the explanation reports use to show *why* a route was or was not
+    chosen.
+    """
+
+    topology: Topology
+    rib: Dict[Tuple[str, str], Announcement] = field(default_factory=dict)
+    candidates: Dict[Tuple[str, str], Tuple[Announcement, ...]] = field(default_factory=dict)
+    rounds: int = 0
+
+    def best(self, router: str, prefix: Prefix) -> Optional[Announcement]:
+        return self.rib.get((router, str(prefix)))
+
+    def candidates_at(self, router: str, prefix: Prefix) -> Tuple[Announcement, ...]:
+        return self.candidates.get((router, str(prefix)), ())
+
+    def forwarding_path(self, router: str, prefix: Prefix) -> Optional[Path]:
+        """The traffic path from ``router`` toward ``prefix``."""
+        best = self.best(router, prefix)
+        if best is None:
+            return None
+        return Path(best.traffic_path())
+
+    def reachable(self, router: str, prefix: Prefix) -> bool:
+        return self.best(router, prefix) is not None
+
+    def selected_paths(self) -> Tuple[Tuple[str, str, Path], ...]:
+        """All (router, prefix, traffic path) triples, sorted."""
+        rows = []
+        for (router, prefix_text), announcement in sorted(self.rib.items()):
+            rows.append((router, prefix_text, Path(announcement.traffic_path())))
+        return tuple(rows)
+
+    def summary(self) -> str:
+        lines = [f"routing outcome after {self.rounds} rounds:"]
+        for router, prefix_text, path in self.selected_paths():
+            lines.append(f"  {router} -> {prefix_text}: {path}")
+        return "\n".join(lines)
+
+
+def simulate(
+    config: NetworkConfig,
+    max_rounds: Optional[int] = None,
+    link_cost: Optional[LinkCost] = None,
+    ibgp: bool = False,
+) -> RoutingOutcome:
+    """Run the control plane to convergence.
+
+    ``link_cost`` enables hot-potato routing: ties after MED are broken
+    by the IGP cost to the advertising neighbor (pass
+    ``WeightConfig.concrete_weight``).
+
+    ``ibgp=True`` enables AS-aware semantics for sessions between
+    routers with the same ASN: routes learned over iBGP are not
+    re-advertised to other iBGP peers (the full-mesh rule), and local
+    preference is carried across iBGP sessions instead of resetting.
+
+    Raises
+    ------
+    ValueError
+        If the configuration still contains holes.
+    ConvergenceError
+        If selections oscillate beyond the round bound.
+    """
+    if config.has_holes():
+        raise ValueError("cannot simulate a sketch; fill all holes first")
+    topology = config.topology
+    prefixes = topology.all_prefixes()
+    bound = max_rounds if max_rounds is not None else 2 * max(4, len(topology)) + 4
+
+    # Current best per (router, prefix str).
+    rib: Dict[Tuple[str, str], Announcement] = {}
+    for router in topology.routers:
+        for prefix in router.originated:
+            rib[(router.name, str(prefix))] = Announcement.originate(prefix, router.name)
+
+    adj_in: Dict[Tuple[str, str], Dict[Tuple[str, ...], Announcement]] = {}
+
+    for round_index in range(1, bound + 1):
+        # Advertise from a snapshot of the current RIB.
+        inbox: Dict[Tuple[str, str], List[Announcement]] = {}
+        asn_of = {router.name: router.asn for router in topology.routers}
+        for speaker, neighbor in topology.sessions():
+            export_map = config.get_map(speaker, Direction.OUT, neighbor)
+            import_map = config.get_map(neighbor, Direction.IN, speaker)
+            session_is_ibgp = ibgp and asn_of[speaker] == asn_of[neighbor]
+            for prefix in prefixes:
+                best = rib.get((speaker, str(prefix)))
+                if best is None:
+                    continue
+                if session_is_ibgp and len(best.path) >= 2:
+                    learned_from = best.path[-2]
+                    if asn_of[learned_from] == asn_of[speaker]:
+                        # Full-mesh rule: iBGP-learned routes are not
+                        # re-advertised over iBGP.
+                        continue
+                # Next-hop-self, then export policy (which may override
+                # the next hop), then the hop itself.
+                outgoing = best.with_next_hop(speaker)
+                if export_map is not None:
+                    outgoing = export_map.apply(outgoing)
+                    if outgoing is None:
+                        continue
+                arrived = outgoing.extended_to(
+                    neighbor, reset_local_pref=not session_is_ibgp
+                )
+                if arrived is None:
+                    continue  # loop prevention
+                if import_map is not None:
+                    arrived = import_map.apply(arrived)
+                    if arrived is None:
+                        continue
+                inbox.setdefault((neighbor, str(prefix)), []).append(arrived)
+
+        # Update adj-RIB-in: announcements are withdrawn implicitly by
+        # not being re-advertised, so each round rebuilds the table.
+        new_adj: Dict[Tuple[str, str], Dict[Tuple[str, ...], Announcement]] = {}
+        for key, received in inbox.items():
+            table = new_adj.setdefault(key, {})
+            for announcement in received:
+                table[announcement.path] = announcement
+
+        # Selection.
+        new_rib: Dict[Tuple[str, str], Announcement] = {}
+        for router in topology.routers:
+            for prefix in prefixes:
+                key = (router.name, str(prefix))
+                pool: List[Announcement] = []
+                if prefix in router.originated:
+                    pool.append(Announcement.originate(prefix, router.name))
+                pool.extend(new_adj.get(key, {}).values())
+                best = select_best(pool, link_cost)
+                if best is not None:
+                    new_rib[key] = best
+
+        if new_rib == rib and new_adj == adj_in:
+            outcome = RoutingOutcome(topology, rib=rib, rounds=round_index)
+            for key, table in adj_in.items():
+                outcome.candidates[key] = tuple(rank(list(table.values()), link_cost))
+            for router in topology.routers:
+                for prefix in router.originated:
+                    key = (router.name, str(prefix))
+                    own = Announcement.originate(prefix, router.name)
+                    existing = outcome.candidates.get(key, ())
+                    outcome.candidates[key] = tuple(
+                        rank(list(existing) + [own], link_cost)
+                    )
+            return outcome
+        rib = new_rib
+        adj_in = new_adj
+
+    raise ConvergenceError(
+        f"control plane did not converge within {bound} rounds; "
+        "the policy likely contains a preference cycle"
+    )

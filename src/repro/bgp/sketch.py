@@ -1,0 +1,73 @@
+"""Configuration holes: the symbolic fields of a config sketch.
+
+A :class:`Hole` stands for an unknown configuration field that the
+synthesizer must fill (NetComplete-style autocompletion), or -- in the
+explanation flow -- for a concrete field that has been *symbolized* so
+the seed specification constrains it (paper Figure 6b: ``Var_Attr``,
+``Var_Val``, ``Var_Action``, ``Var_Param``).
+
+Each hole carries the finite domain of values it may take; the encoder
+turns it into an SMT variable over that domain.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Optional, Tuple, TypeVar, Union
+
+__all__ = ["Hole", "FieldValue", "is_hole", "concrete_value"]
+
+_counter = itertools.count(1)
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class Hole:
+    """A symbolic configuration field.
+
+    Attributes
+    ----------
+    name:
+        Unique variable name (used directly as the SMT variable name,
+        so it shows up verbatim in seed specifications and
+        subspecification reports).
+    domain:
+        The finite tuple of admissible values.  Values are whatever
+        the field holds concretely (ints, strings, ``Prefix``,
+        ``Community``, ...); the encoder maps them to enum/int sorts.
+    """
+
+    name: str
+    domain: Tuple[object, ...]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("hole name must be non-empty")
+        if not self.domain:
+            raise ValueError(f"hole {self.name} has an empty domain")
+        if len(set(map(str, self.domain))) != len(self.domain):
+            raise ValueError(f"hole {self.name} has duplicate domain values")
+
+    @classmethod
+    def fresh(cls, hint: str, domain: Tuple[object, ...]) -> "Hole":
+        """A hole with a generated unique name based on ``hint``."""
+        return cls(f"{hint}#{next(_counter)}", domain)
+
+    def __str__(self) -> str:
+        return f"?{self.name}"
+
+
+FieldValue = Union[T, Hole]
+
+
+def is_hole(value: object) -> bool:
+    return isinstance(value, Hole)
+
+
+def concrete_value(value: FieldValue, context: str = "field") -> object:
+    """Unwrap a field that must be concrete; raise if it is a hole."""
+    if isinstance(value, Hole):
+        raise ValueError(f"{context} is symbolic ({value}); fill the sketch first")
+    return value

@@ -1,0 +1,463 @@
+"""Command-line interface: ``python -m repro.cli`` (or ``repro-explain``).
+
+Subcommands
+-----------
+``scenario <name>``
+    Print a paper scenario: topology, specification and the
+    synthesized configuration (Cisco-style rendering).
+``verify <name>``
+    Verify the scenario's configuration against its specification.
+``synth <name>``
+    Run the constraint-based synthesizer on the scenario's sketch and
+    report the chosen hole values.
+``explain <name> <router> [--requirement R] [--per-line]``
+    Generate the localized subspecification for a router (the paper's
+    headline flow), optionally one line at a time.
+``report <name>``
+    The full paper walk-through for a scenario: verification, per-router
+    explanations per requirement, and size statistics.
+``summarize <name> <router> --requirement R``
+    Assume-guarantee summary: what the router guarantees and what it
+    assumes about the rest of the managed network (paper §5).
+``diagnose <name>``
+    Explain why a specification is unrealizable for the scenario's
+    sketch (minimal conflicting requirement set); realizable specs
+    report success.
+``trace <name> <router> <prefix>``
+    Provenance of the selected route: the hop-by-hop derivation chain
+    with the deciding route-map lines (the positive "why" complementing
+    the counterfactual subspecifications; paper §6).
+``mine <name>``
+    Mine the global intents the scenario's configuration satisfies
+    (the Config2Spec/Anime-style baseline of the paper's §6).
+``analyze --topology F --spec F --config F [--explain ROUTER] [--requirement R]``
+    Analyze a *user-provided* network from files: topology in the
+    declarative text format (``repro.topology.parser``), specification
+    in the paper's DSL, configuration in the Cisco-style rendering.
+    Verifies the configuration and optionally explains one router.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, Optional
+
+from .bgp.render import render_network, render_router
+from .explain import ACTION, ExplanationEngine
+from .scenarios import (Scenario, campus_scenario, scenario1, scenario2,
+                        scenario2_fixed, scenario3)
+from .spec.printer import format_specification
+from .synthesis import Synthesizer
+from .verify import verify
+
+__all__ = ["main", "build_parser"]
+
+_SCENARIOS: Dict[str, Callable[[], Scenario]] = {
+    "scenario1": scenario1,
+    "scenario2": scenario2,
+    "scenario2_fixed": scenario2_fixed,
+    "scenario3": scenario3,
+    "campus": campus_scenario,
+}
+
+
+def _load_scenario(name: str) -> Scenario:
+    builder = _SCENARIOS.get(name)
+    if builder is None:
+        known = ", ".join(sorted(_SCENARIOS))
+        raise SystemExit(f"unknown scenario {name!r}; choose one of: {known}")
+    return builder()
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-explain",
+        description="Localized explanations for synthesized network configurations",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    show = subparsers.add_parser("scenario", help="print a paper scenario")
+    show.add_argument("name", choices=sorted(_SCENARIOS))
+
+    check = subparsers.add_parser("verify", help="verify a scenario's configuration")
+    check.add_argument("name", choices=sorted(_SCENARIOS))
+    check.add_argument(
+        "--failures",
+        type=int,
+        default=0,
+        metavar="K",
+        help="additionally sweep all <=K link failures (robustness check)",
+    )
+
+    synth = subparsers.add_parser("synth", help="synthesize from a scenario's sketch")
+    synth.add_argument("name", choices=sorted(_SCENARIOS))
+
+    explain = subparsers.add_parser("explain", help="explain a router's configuration")
+    explain.add_argument("name", choices=sorted(_SCENARIOS))
+    explain.add_argument("router")
+    explain.add_argument("--requirement", default=None, help="requirement block name")
+    explain.add_argument(
+        "--per-line",
+        action="store_true",
+        help="explain each route-map line separately (the paper's "
+        "'one variable at a time' strategy)",
+    )
+    explain.add_argument(
+        "--dialogue",
+        action="store_true",
+        help="render the answer as the paper's Figure 1d conversation",
+    )
+    explain.add_argument(
+        "--certificate",
+        metavar="FILE",
+        default=None,
+        help="additionally write an auditable explanation certificate",
+    )
+
+    report = subparsers.add_parser("report", help="full paper walk-through")
+    report.add_argument("name", choices=sorted(_SCENARIOS))
+
+    summarize_cmd = subparsers.add_parser(
+        "summarize", help="assume-guarantee summary around a router"
+    )
+    summarize_cmd.add_argument("name", choices=sorted(_SCENARIOS))
+    summarize_cmd.add_argument("router")
+    summarize_cmd.add_argument("--requirement", required=True)
+
+    diagnose_cmd = subparsers.add_parser(
+        "diagnose", help="explain an unrealizable specification"
+    )
+    diagnose_cmd.add_argument("name", choices=sorted(_SCENARIOS))
+
+    trace_cmd = subparsers.add_parser(
+        "trace", help="provenance of a selected route"
+    )
+    trace_cmd.add_argument("name", choices=sorted(_SCENARIOS))
+    trace_cmd.add_argument("router")
+    trace_cmd.add_argument("prefix")
+
+    mine_cmd = subparsers.add_parser(
+        "mine", help="mine global intents from a scenario's configuration"
+    )
+    mine_cmd.add_argument("name", choices=sorted(_SCENARIOS))
+
+    annotate_cmd = subparsers.add_parser(
+        "annotate", help="render a router's config with why-comments"
+    )
+    annotate_cmd.add_argument("name", choices=sorted(_SCENARIOS))
+    annotate_cmd.add_argument("router")
+
+    dossier_cmd = subparsers.add_parser(
+        "dossier", help="generate the full Markdown explanation dossier"
+    )
+    dossier_cmd.add_argument("name", choices=sorted(_SCENARIOS))
+    dossier_cmd.add_argument("--output", "-o", default=None, metavar="FILE")
+    dossier_cmd.add_argument("--failures", type=int, default=0, metavar="K")
+
+    audit_cmd = subparsers.add_parser(
+        "audit", help="independently re-check an explanation certificate"
+    )
+    audit_cmd.add_argument("name", choices=sorted(_SCENARIOS))
+    audit_cmd.add_argument("certificate", metavar="FILE")
+
+    analyze = subparsers.add_parser(
+        "analyze", help="verify/explain a user-provided network from files"
+    )
+    analyze.add_argument("--topology", required=True, help="topology file")
+    analyze.add_argument("--spec", required=True, help="specification file")
+    analyze.add_argument("--config", required=True, help="configuration file")
+    analyze.add_argument("--managed", default=None,
+                         help="comma-separated managed routers (default: all "
+                         "routers with role 'managed')")
+    analyze.add_argument("--explain", default=None, metavar="ROUTER")
+    analyze.add_argument("--requirement", default=None)
+
+    return parser
+
+
+def _cmd_scenario(args: argparse.Namespace, out) -> int:
+    scenario = _load_scenario(args.name)
+    print(f"# {scenario.name}: {scenario.description}", file=out)
+    print(file=out)
+    print(scenario.topology.to_ascii(), file=out)
+    print(file=out)
+    print("## specification", file=out)
+    print(format_specification(scenario.specification), file=out)
+    print(file=out)
+    print("## synthesized configuration", file=out)
+    print(render_network(scenario.paper_config), file=out)
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace, out) -> int:
+    scenario = _load_scenario(args.name)
+    report = verify(scenario.paper_config, scenario.specification)
+    print(report.summary(), file=out)
+    ok = report.ok
+    if args.failures > 0:
+        from .verify import verify_under_failures
+
+        # Protect single-homed stub links whose loss trivially
+        # disconnects their router.
+        counts = {}
+        for link in scenario.topology.links:
+            counts[link.a] = counts.get(link.a, 0) + 1
+            counts[link.b] = counts.get(link.b, 0) + 1
+        protected = tuple(
+            (link.a, link.b)
+            for link in scenario.topology.links
+            if counts[link.a] == 1 or counts[link.b] == 1
+        )
+        sweep = verify_under_failures(
+            scenario.paper_config,
+            scenario.specification,
+            k=args.failures,
+            protected_links=protected,
+        )
+        print(sweep.summary(), file=out)
+        ok = ok and sweep.ok
+    return 0 if ok else 1
+
+
+def _cmd_synth(args: argparse.Namespace, out) -> int:
+    scenario = _load_scenario(args.name)
+    result = Synthesizer(scenario.sketch, scenario.specification).synthesize()
+    print(
+        f"synthesized {len(result.assignment)} hole values from "
+        f"{result.num_constraints} constraints "
+        f"({result.encoding_size} nodes)",
+        file=out,
+    )
+    for name in sorted(result.assignment):
+        print(f"  {name} = {result.assignment[name]}", file=out)
+    report = verify(result.config, scenario.specification)
+    print(report.summary(), file=out)
+    return 0 if report.ok else 1
+
+
+def _cmd_explain(args: argparse.Namespace, out) -> int:
+    scenario = _load_scenario(args.name)
+    engine = ExplanationEngine(scenario.paper_config, scenario.specification)
+    if args.router not in scenario.topology:
+        raise SystemExit(f"unknown router {args.router!r}")
+    if args.per_line:
+        router_config = scenario.paper_config.router_config(args.router)
+        for direction, neighbor in router_config.sessions():
+            routemap = router_config.get_map(direction, neighbor)
+            assert routemap is not None
+            for line in routemap.lines:
+                explanation = engine.explain_line(
+                    args.router, direction, neighbor, line.seq,
+                    requirement=args.requirement,
+                )
+                print(
+                    f"--- {args.router} {direction} {neighbor} seq {line.seq}",
+                    file=out,
+                )
+                print(explanation.subspec.render(), file=out)
+        return 0
+    explanation = engine.explain_router(
+        args.router, fields=(ACTION,), requirement=args.requirement
+    )
+    if args.dialogue:
+        from .explain import question_and_answer
+
+        print(question_and_answer(explanation), file=out)
+    else:
+        print(explanation.report(), file=out)
+    if args.certificate:
+        from .explain import make_certificate
+
+        with open(args.certificate, "w") as handle:
+            handle.write(make_certificate(explanation).to_json())
+        print(f"certificate written to {args.certificate}", file=out)
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace, out) -> int:
+    scenario = _load_scenario(args.name)
+    print(f"# {scenario.name}: {scenario.description}", file=out)
+    report = verify(scenario.paper_config, scenario.specification)
+    print(f"verification: {report.summary()}", file=out)
+    engine = ExplanationEngine(scenario.paper_config, scenario.specification)
+    for block in scenario.specification.blocks:
+        print(f"\n## requirement {block.name}", file=out)
+        for router in sorted(scenario.specification.managed):
+            try:
+                explanation = engine.explain_router(
+                    router, fields=(ACTION,), requirement=block.name
+                )
+            except Exception as exc:  # e.g. router without config lines
+                print(f"{router}: (not explainable: {exc})", file=out)
+                continue
+            print(explanation.subspec.render(), file=out)
+    return 0
+
+
+def _cmd_summarize(args: argparse.Namespace, out) -> int:
+    from .explain import summarize
+
+    scenario = _load_scenario(args.name)
+    if args.router not in scenario.topology:
+        raise SystemExit(f"unknown router {args.router!r}")
+    summary = summarize(
+        scenario.paper_config,
+        scenario.specification,
+        args.router,
+        args.requirement,
+    )
+    print(summary.render(), file=out)
+    return 0
+
+
+def _cmd_diagnose(args: argparse.Namespace, out) -> int:
+    from .synthesis import diagnose
+
+    scenario = _load_scenario(args.name)
+    conflict = diagnose(scenario.sketch, scenario.specification)
+    if conflict is None:
+        print("specification is realizable for this sketch", file=out)
+        return 0
+    print(conflict.render(), file=out)
+    return 1
+
+
+def _cmd_trace(args: argparse.Namespace, out) -> int:
+    from .bgp.provenance import trace_route
+    from .bgp.simulation import simulate
+    from .topology.prefixes import Prefix, PrefixError
+
+    scenario = _load_scenario(args.name)
+    if args.router not in scenario.topology:
+        raise SystemExit(f"unknown router {args.router!r}")
+    try:
+        prefix = Prefix(args.prefix)
+    except PrefixError as exc:
+        raise SystemExit(str(exc))
+    outcome = simulate(scenario.paper_config)
+    best = outcome.best(args.router, prefix)
+    if best is None:
+        print(f"{args.router} has no route to {prefix}", file=out)
+        return 1
+    print(trace_route(scenario.paper_config, best).render(), file=out)
+    return 0
+
+
+def _cmd_mine(args: argparse.Namespace, out) -> int:
+    from .mining import mine_specification
+
+    scenario = _load_scenario(args.name)
+    result = mine_specification(
+        scenario.paper_config, tuple(sorted(scenario.specification.managed))
+    )
+    print(result.summary(), file=out)
+    print(format_specification(result.specification), file=out)
+    return 0
+
+
+def _cmd_annotate(args: argparse.Namespace, out) -> int:
+    from .explain import annotate_router
+
+    scenario = _load_scenario(args.name)
+    if args.router not in scenario.topology:
+        raise SystemExit(f"unknown router {args.router!r}")
+    print(
+        annotate_router(scenario.paper_config, scenario.specification, args.router),
+        file=out,
+    )
+    return 0
+
+
+def _cmd_dossier(args: argparse.Namespace, out) -> int:
+    from .explain import generate_dossier
+
+    scenario = _load_scenario(args.name)
+    text = generate_dossier(
+        scenario.paper_config,
+        scenario.specification,
+        title=f"explanation dossier: {scenario.name}",
+        failure_sweep_k=args.failures,
+    )
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"dossier written to {args.output}", file=out)
+    else:
+        print(text, file=out)
+    return 0
+
+
+def _cmd_audit(args: argparse.Namespace, out) -> int:
+    from .explain import Certificate, FieldRef, audit
+
+    scenario = _load_scenario(args.name)
+    with open(args.certificate) as handle:
+        certificate = Certificate.from_json(handle.read())
+    targets = [FieldRef.from_hole_name(name) for name in certificate.variables]
+    result = audit(
+        certificate, scenario.paper_config, scenario.specification, targets
+    )
+    print(result.summary(), file=out)
+    return 0 if result.valid else 1
+
+
+def _cmd_analyze(args: argparse.Namespace, out) -> int:
+    from .bgp.confparse import parse_network
+    from .spec.parser import parse as parse_spec
+    from .topology.parser import parse_topology
+
+    with open(args.topology) as handle:
+        topology = parse_topology(handle.read())
+    with open(args.spec) as handle:
+        spec_text = handle.read()
+    if args.managed is not None:
+        managed = [name.strip() for name in args.managed.split(",") if name.strip()]
+    else:
+        managed = [r.name for r in topology.routers if r.role == "managed"]
+    specification = parse_spec(spec_text, managed=managed)
+    with open(args.config) as handle:
+        config = parse_network(handle.read(), topology)
+
+    report = verify(config, specification)
+    print(report.summary(), file=out)
+    if args.explain is not None:
+        if args.explain not in topology:
+            raise SystemExit(f"unknown router {args.explain!r}")
+        engine = ExplanationEngine(config, specification)
+        explanation = engine.explain_router(
+            args.explain, fields=(ACTION,), requirement=args.requirement
+        )
+        print(explanation.report(), file=out)
+    return 0 if report.ok else 1
+
+
+_COMMANDS = {
+    "scenario": _cmd_scenario,
+    "verify": _cmd_verify,
+    "synth": _cmd_synth,
+    "explain": _cmd_explain,
+    "report": _cmd_report,
+    "summarize": _cmd_summarize,
+    "diagnose": _cmd_diagnose,
+    "analyze": _cmd_analyze,
+    "mine": _cmd_mine,
+    "trace": _cmd_trace,
+    "audit": _cmd_audit,
+    "dossier": _cmd_dossier,
+    "annotate": _cmd_annotate,
+}
+
+
+def main(argv: Optional[list] = None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    if out is None:
+        out = sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handler = _COMMANDS[args.command]
+    return handler(args, out)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,127 @@
+"""Black-box explanations: beyond constraint-based synthesizers.
+
+Paper §5: "there are synthesizers that use custom algorithms ... a
+more general solution is needed".  The seed-specification step needs
+the synthesizer's encoder, but the *projection* and *lifting* steps
+only need an oracle for "does this device configuration satisfy the
+requirement?".  This module supplies that oracle from the concrete
+semantics alone -- simulate and verify -- so explanations can be
+generated for the output of *any* synthesizer.
+
+The resulting acceptable regions use **traffic-level** semantics
+(what the verifier checks) rather than the constraint-based engine's
+**filter-level** semantics (what NetComplete-style synthesizers
+enforce).  The gap between the two is precisely the "slack" the
+modular validator reports; the benchmark compares both regions.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..bgp.config import NetworkConfig
+from ..bgp.simulation import ConvergenceError
+from ..bgp.sketch import Hole
+from ..spec.ast import Specification
+from ..verify.verifier import verify
+from .subspec import Subspecification
+from .symbolize import ACTION, FieldRef, symbolize, symbolize_router
+
+__all__ = ["BlackboxExplanation", "explain_blackbox"]
+
+
+@dataclass
+class BlackboxExplanation:
+    """A traffic-level explanation produced without any encoder."""
+
+    device: str
+    requirement: str
+    holes: Dict[str, Hole]
+    acceptable: Tuple[Dict[str, object], ...]
+    rejected: Tuple[Dict[str, object], ...]
+
+    @property
+    def total_assignments(self) -> int:
+        return len(self.acceptable) + len(self.rejected)
+
+    @property
+    def is_unconstrained(self) -> bool:
+        return not self.rejected
+
+    def acceptable_keys(self) -> frozenset:
+        return frozenset(
+            tuple(sorted((name, str(value)) for name, value in assignment.items()))
+            for assignment in self.acceptable
+        )
+
+    def report(self) -> str:
+        lines = [
+            f"black-box explanation for {self.device} "
+            f"(requirement {self.requirement}, traffic-level semantics):",
+            f"  acceptable configs: {len(self.acceptable)}"
+            f"/{self.total_assignments}",
+        ]
+        if self.is_unconstrained:
+            lines.append(f"  {self.device} {{ }}  // any behaviour works")
+        return "\n".join(lines)
+
+
+def explain_blackbox(
+    config: NetworkConfig,
+    specification: Specification,
+    device: str,
+    requirement: Optional[str] = None,
+    targets: Optional[Sequence[FieldRef]] = None,
+    fields: Sequence[str] = (ACTION,),
+    limit: int = 4096,
+) -> BlackboxExplanation:
+    """Explain a device by exhaustive simulate-and-verify.
+
+    No encoder, no constraints: works for the output of any
+    synthesizer.  The cost is one full verification (including the
+    preference failure analysis) per assignment, so the hole space must
+    stay small -- the same "one variable at a time" regime the paper
+    recommends.
+    """
+    spec = (
+        specification.restricted_to(requirement)
+        if requirement is not None
+        else specification
+    )
+    if targets is not None:
+        sketch, holes = symbolize(config, list(targets))
+    else:
+        sketch, holes = symbolize_router(config, device, fields=fields)
+
+    names = sorted(holes)
+    total = 1
+    for name in names:
+        total *= len(holes[name].domain)
+    if total > limit:
+        raise ValueError(
+            f"{total} assignments exceed the black-box limit of {limit}"
+        )
+
+    acceptable: List[Dict[str, object]] = []
+    rejected: List[Dict[str, object]] = []
+    domains = [holes[name].domain for name in names]
+    for combo in itertools.product(*domains):
+        assignment = dict(zip(names, combo))
+        filled = sketch.fill(assignment)
+        try:
+            ok = verify(filled, spec).ok
+        except ConvergenceError:
+            ok = False
+        if ok:
+            acceptable.append(assignment)
+        else:
+            rejected.append(assignment)
+    return BlackboxExplanation(
+        device=device,
+        requirement=requirement if requirement is not None else "<all>",
+        holes=dict(holes),
+        acceptable=tuple(acceptable),
+        rejected=tuple(rejected),
+    )

@@ -1,0 +1,188 @@
+"""Explanation certificates: exportable, independently checkable.
+
+The paper's goal is *trust*: an operator should not have to believe
+the explanation engine any more than the synthesizer.  A certificate
+makes that concrete -- it packages an explanation's claims as plain
+data (JSON-serializable), and :func:`audit` re-checks every claim from
+scratch using only the concrete simulator and verifier:
+
+1. every assignment the certificate accepts keeps the requirement
+   verifiable (at the certificate's stated semantics level);
+2. every assignment it rejects violates the filter-level requirement
+   (re-derived independently);
+3. the claimed subspecification statements hold on every accepted
+   assignment.
+
+A certificate that passes the audit can be archived with the change
+ticket; re-auditing later detects drift between the explanation and
+the deployed configuration.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..bgp.config import NetworkConfig
+from ..spec.ast import RequirementBlock, Specification
+from ..spec.parser import parse_statement
+from ..spec.printer import format_statement
+from .engine import Explanation
+from .symbolize import FieldRef, symbolize
+
+__all__ = ["Certificate", "AuditResult", "make_certificate", "audit"]
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """A self-contained record of one explanation's claims."""
+
+    device: str
+    requirement: str
+    variables: Tuple[str, ...]
+    domains: Dict[str, Tuple[str, ...]]
+    acceptable: Tuple[Tuple[Tuple[str, str], ...], ...]   # sorted (name, value) pairs
+    statements: Tuple[str, ...]
+    lifted: bool
+
+    def to_json(self) -> str:
+        payload = {
+            "device": self.device,
+            "requirement": self.requirement,
+            "variables": list(self.variables),
+            "domains": {k: list(v) for k, v in self.domains.items()},
+            "acceptable": [
+                [[name, value] for name, value in assignment]
+                for assignment in self.acceptable
+            ],
+            "statements": list(self.statements),
+            "lifted": self.lifted,
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Certificate":
+        payload = json.loads(text)
+        return cls(
+            device=payload["device"],
+            requirement=payload["requirement"],
+            variables=tuple(payload["variables"]),
+            domains={k: tuple(v) for k, v in payload["domains"].items()},
+            acceptable=tuple(
+                tuple((name, value) for name, value in assignment)
+                for assignment in payload["acceptable"]
+            ),
+            statements=tuple(payload["statements"]),
+            lifted=payload["lifted"],
+        )
+
+
+@dataclass
+class AuditResult:
+    """Outcome of independently re-checking a certificate."""
+
+    valid: bool
+    problems: List[str] = field(default_factory=list)
+
+    def summary(self) -> str:
+        if self.valid:
+            return "certificate audit: VALID"
+        lines = ["certificate audit: INVALID"]
+        lines.extend(f"  {problem}" for problem in self.problems)
+        return "\n".join(lines)
+
+
+def make_certificate(explanation: Explanation) -> Certificate:
+    """Package an explanation as a certificate."""
+    holes = explanation.projected.holes
+    acceptable = tuple(
+        tuple(sorted((name, str(value)) for name, value in assignment.items()))
+        for assignment in explanation.projected.acceptable
+    )
+    return Certificate(
+        device=explanation.device,
+        requirement=explanation.requirement,
+        variables=tuple(sorted(holes)),
+        domains={name: tuple(str(v) for v in hole.domain) for name, hole in holes.items()},
+        acceptable=acceptable,
+        statements=tuple(format_statement(s) for s in explanation.lift_result.statements),
+        lifted=explanation.subspec.lifted,
+    )
+
+
+def audit(
+    certificate: Certificate,
+    config: NetworkConfig,
+    specification: Specification,
+    targets: List[FieldRef],
+    max_path_length: Optional[int] = None,
+) -> AuditResult:
+    """Re-check every claim of ``certificate`` from scratch.
+
+    ``targets`` must re-identify the symbolized fields (their hole
+    names must match the certificate's variables).  The audit rebuilds
+    the acceptable region with a fresh encoder + simulator run and
+    compares; if the certificate carries lifted statements, it also
+    re-evaluates their filter-level encodings on every accepted
+    assignment.
+    """
+    from .lift import _statement_term
+    from .project import project
+    from .seed import extract_seed
+
+    result = AuditResult(valid=True)
+
+    sketch, holes = symbolize(config, targets)
+    if tuple(sorted(holes)) != certificate.variables:
+        result.valid = False
+        result.problems.append(
+            f"symbolized variables {sorted(holes)} do not match the "
+            f"certificate's {list(certificate.variables)}"
+        )
+        return result
+
+    spec = (
+        specification.restricted_to(certificate.requirement)
+        if certificate.requirement != "<all>"
+        else specification
+    )
+    seed = extract_seed(sketch, spec, holes, max_path_length)
+    projected = project(seed, sketch)
+    recomputed = {
+        tuple(sorted((name, str(value)) for name, value in assignment.items()))
+        for assignment in projected.acceptable
+    }
+    claimed = set(certificate.acceptable)
+    if recomputed != claimed:
+        result.valid = False
+        missing = claimed - recomputed
+        extra = recomputed - claimed
+        if missing:
+            result.problems.append(
+                f"{len(missing)} claimed-acceptable assignment(s) are rejected "
+                "on re-check"
+            )
+        if extra:
+            result.problems.append(
+                f"{len(extra)} assignment(s) are acceptable on re-check but "
+                "missing from the certificate"
+            )
+
+    if certificate.lifted and certificate.statements:
+        statements = [parse_statement(text) for text in certificate.statements]
+        for statement in statements:
+            term = _statement_term(statement, sketch, spec, seed)
+            if term is None:
+                result.valid = False
+                result.problems.append(f"statement {statement} cannot be re-encoded")
+                continue
+            for key, env in projected.envs.items():
+                accepted = key in recomputed
+                if accepted and not bool(term.evaluate(env)):
+                    result.valid = False
+                    result.problems.append(
+                        f"statement {statement} fails on accepted assignment {key}"
+                    )
+                    break
+    return result

@@ -1,0 +1,136 @@
+"""Explanation dossiers: a complete Markdown report for a network.
+
+The operator-facing artifact that ties the toolkit together: for one
+network and specification, the dossier collects
+
+* the verification verdict (plus an optional robustness sweep),
+* for every requirement x managed router: the subspecification, the
+  Figure 1d dialogue line, and the acceptable-region size,
+* the provenance trace of each reachability requirement's route,
+* the mined global intents for cross-checking.
+
+Rendered as Markdown so it can be attached to change tickets.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..bgp.config import NetworkConfig
+from ..bgp.provenance import trace_route
+from ..bgp.simulation import simulate
+from ..spec.ast import Reachability, Specification
+from ..spec.printer import format_specification
+from ..spec.semantics import destination_prefixes
+from ..verify.verifier import verify
+from .engine import ExplanationEngine
+from .qa import question_and_answer
+from .symbolize import ACTION, SymbolizationError
+
+__all__ = ["generate_dossier"]
+
+
+def generate_dossier(
+    config: NetworkConfig,
+    specification: Specification,
+    title: str = "network explanation dossier",
+    max_path_length: Optional[int] = None,
+    failure_sweep_k: int = 0,
+) -> str:
+    """Render the full Markdown dossier."""
+    lines: List[str] = [f"# {title}", ""]
+
+    # -- intent ---------------------------------------------------------
+    lines += ["## Specification", "", "```"]
+    lines.append(format_specification(specification))
+    lines += ["```", ""]
+
+    # -- verification ----------------------------------------------------
+    report = verify(config, specification)
+    lines += ["## Verification", "", f"`{report.summary().splitlines()[0]}`", ""]
+    if not report.ok:
+        lines += ["```", report.summary(), "```", ""]
+    if failure_sweep_k > 0:
+        from ..verify.failures import verify_under_failures
+
+        sweep = verify_under_failures(config, specification, k=failure_sweep_k)
+        lines += [f"Robustness: `{sweep.summary().splitlines()[0]}`", ""]
+
+    # -- per-requirement explanations ------------------------------------
+    engine = ExplanationEngine(config, specification, max_path_length)
+    managed = sorted(specification.managed) or sorted(
+        router.name for router in config.topology.routers
+    )
+    lines += ["## Localized subspecifications", ""]
+    for block in specification.blocks:
+        lines += [f"### Requirement `{block.name}`", ""]
+        for router in managed:
+            try:
+                explanation = engine.explain_router(
+                    router, fields=(ACTION,), requirement=block.name
+                )
+            except SymbolizationError:
+                lines += [f"- **{router}**: no configuration lines to inspect", ""]
+                continue
+            accept = len(explanation.projected.acceptable)
+            total = explanation.projected.total_assignments
+            lines += [
+                f"- **{router}** (acceptable configurations: {accept}/{total})",
+                "",
+                "  ```",
+            ]
+            lines += [f"  {line}" for line in explanation.subspec.render().splitlines()]
+            lines += ["  ```", ""]
+            dialogue = question_and_answer(explanation).splitlines()[-1]
+            lines += [f"  > {dialogue}", ""]
+
+    # -- provenance of required routes ------------------------------------
+    outcome = simulate(config)
+    reach_statements = [
+        (block.name, statement)
+        for block in specification.blocks
+        for statement in block.statements
+        if isinstance(statement, Reachability)
+    ]
+    if reach_statements:
+        lines += ["## Provenance of required routes", ""]
+        for block_name, statement in reach_statements:
+            for prefix in destination_prefixes(config.topology, statement.destination):
+                best = outcome.best(statement.source, prefix)
+                if best is None:
+                    lines += [
+                        f"- `{statement}`: **no route** from {statement.source}",
+                        "",
+                    ]
+                    continue
+                lines += [f"- `{statement}` ({block_name})", "", "  ```"]
+                lines += [
+                    f"  {line}" for line in trace_route(config, best).render().splitlines()
+                ]
+                lines += ["  ```", ""]
+
+    # -- annotated configurations ------------------------------------------
+    from .annotate import annotate_router
+    from .symbolize import SymbolizationError as _SymbolizationError
+
+    lines += ["## Annotated configurations", ""]
+    for router in managed:
+        try:
+            annotated = annotate_router(
+                config, specification, router, max_path_length, engine=engine
+            )
+        except _SymbolizationError:
+            continue
+        lines += ["```", annotated, "```", ""]
+
+    # -- mined global intents ---------------------------------------------
+    from ..mining import mine_specification
+
+    mined = mine_specification(config, tuple(sorted(specification.managed)))
+    lines += [
+        "## Cross-check: mined global intents",
+        "",
+        f"{mined.summary()}.",
+        "",
+    ]
+    return "\n".join(lines)

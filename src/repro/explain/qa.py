@@ -1,0 +1,64 @@
+"""Figure 1d-style question-and-answer rendering.
+
+The paper frames explanations as a dialogue (Figure 1d)::
+
+    [admin] I know transit traffic is impossible. I like that.
+    [admin] I want to make some changes to R1. What should I keep in mind?
+    [tool ] Make sure to drop all routes to Provider1.
+
+This module renders an :class:`~repro.explain.engine.Explanation` in
+that conversational form -- a thin presentation layer over the subspec,
+useful in the CLI and the examples.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..spec.ast import ForbiddenPath, PathPreference, Reachability, Statement
+from .engine import Explanation
+
+__all__ = ["question_and_answer"]
+
+
+def _statement_sentence(statement: Statement) -> str:
+    if isinstance(statement, ForbiddenPath):
+        return f"make sure no traffic flows along {statement.pattern}"
+    if isinstance(statement, PathPreference):
+        ordered = " over ".join(f"[{pattern}]" for pattern in statement.ranked)
+        return f"keep preferring {ordered}"
+    if isinstance(statement, Reachability):
+        return f"keep traffic from {statement.source} reaching {statement.destination} via {statement.pattern}"
+    raise TypeError(f"unknown statement {statement!r}")
+
+
+def question_and_answer(explanation: Explanation) -> str:
+    """Render an explanation as the paper's Figure 1d dialogue."""
+    device = explanation.device
+    requirement = explanation.requirement
+    lines: List[str] = [
+        f"[admin] I know requirement {requirement} holds. I like that.",
+        f"[admin] I want to make some changes to {device}. "
+        "What should I keep in mind?",
+    ]
+    subspec = explanation.subspec
+    if subspec.is_empty:
+        lines.append(
+            f"[tool ] Nothing: {device} cannot affect {requirement}. "
+            "Change it freely."
+        )
+        return "\n".join(lines)
+    if not subspec.lifted:
+        lines.append(
+            "[tool ] The requirement constrains these fields "
+            f"({', '.join(subspec.variables)}) as follows:"
+        )
+        for conjunct in subspec.low_level.conjuncts():
+            from ..smt import to_infix
+
+            lines.append(f"[tool ]   {to_infix(conjunct)}")
+        return "\n".join(lines)
+    for index, statement in enumerate(subspec.statements):
+        prefix = "[tool ] " if index == 0 else "[tool ] ... and "
+        lines.append(prefix + _statement_sentence(statement) + ".")
+    return "\n".join(lines)

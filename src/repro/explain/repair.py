@@ -1,0 +1,151 @@
+"""Repair candidates: explainable *verification* (paper §5).
+
+"We believe the idea of localized subspecifications can also be
+generalized to assist in explaining network verification."  When a
+configuration violates its specification, the actionable question is:
+*which device can fix it, and how?*
+
+:func:`repair_candidates` answers it with the existing machinery: for
+each managed device, symbolize its line actions, project the seed
+specification, and keep the devices whose acceptable region is
+non-empty -- each acceptable assignment is a concrete local repair,
+verified end-to-end by simulation before being reported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..bgp.config import NetworkConfig
+from ..spec.ast import Specification
+from .engine import ExplanationEngine
+from .subspec import Subspecification
+from .symbolize import ACTION, SymbolizationError, symbolize_router
+
+__all__ = ["RepairCandidate", "RepairReport", "repair_candidates"]
+
+
+@dataclass(frozen=True)
+class RepairCandidate:
+    """One device that can single-handedly restore the specification."""
+
+    device: str
+    assignments: Tuple[Dict[str, object], ...]
+    subspec: Subspecification
+
+    @property
+    def minimal_change(self) -> Optional[Dict[str, object]]:
+        """The repair assignment closest to the current configuration
+        (fewest changed fields); assignments are pre-sorted that way."""
+        return dict(self.assignments[0]) if self.assignments else None
+
+    def render(self) -> str:
+        lines = [f"repair at {self.device}:"]
+        lines.append("  required behaviour: " + self.subspec.render().replace("\n", "\n  "))
+        if self.assignments:
+            change = self.minimal_change
+            assert change is not None
+            lines.append("  smallest concrete fix:")
+            for name in sorted(change):
+                lines.append(f"    {name} = {change[name]}")
+        return "\n".join(lines)
+
+
+@dataclass
+class RepairReport:
+    """All single-device repairs for a violated specification."""
+
+    candidates: List[RepairCandidate] = field(default_factory=list)
+    already_satisfied: bool = False
+
+    @property
+    def repairable(self) -> bool:
+        return self.already_satisfied or bool(self.candidates)
+
+    def render(self) -> str:
+        if self.already_satisfied:
+            return "specification already satisfied; nothing to repair"
+        if not self.candidates:
+            return "no single-device repair exists"
+        return "\n\n".join(candidate.render() for candidate in self.candidates)
+
+
+def repair_candidates(
+    config: NetworkConfig,
+    specification: Specification,
+    requirement: Optional[str] = None,
+    fields: Sequence[str] = (ACTION,),
+    max_path_length: Optional[int] = None,
+) -> RepairReport:
+    """Find every managed device that can restore the specification by
+    changing only its own (symbolized) fields."""
+    from ..verify.verifier import verify
+
+    spec = (
+        specification.restricted_to(requirement)
+        if requirement is not None
+        else specification
+    )
+    if verify(config, spec).ok:
+        return RepairReport(already_satisfied=True)
+
+    engine = ExplanationEngine(config, specification, max_path_length)
+    report = RepairReport()
+    managed = sorted(specification.managed) or sorted(
+        router.name for router in config.topology.routers
+    )
+    for device in managed:
+        try:
+            sketch, holes = symbolize_router(config, device, fields=fields)
+        except SymbolizationError:
+            continue
+        explanation = engine.explain_router(
+            device, fields=fields, requirement=requirement
+        )
+        verified: List[Dict[str, object]] = []
+        for assignment in explanation.projected.acceptable:
+            candidate_config = sketch.fill(assignment)
+            if verify(candidate_config, spec).ok:
+                verified.append(dict(assignment))
+        if not verified:
+            continue
+        current = _current_values(config, holes)
+        verified.sort(
+            key=lambda assignment: (
+                sum(
+                    1
+                    for name, value in assignment.items()
+                    if str(value) != str(current.get(name))
+                ),
+                sorted((k, str(v)) for k, v in assignment.items()),
+            )
+        )
+        report.candidates.append(
+            RepairCandidate(
+                device=device,
+                assignments=tuple(verified),
+                subspec=explanation.subspec,
+            )
+        )
+    return report
+
+
+def _current_values(config: NetworkConfig, holes) -> Dict[str, object]:
+    """The concrete values currently occupying the symbolized fields.
+
+    Hole names encode ``Var_<Field>[router.direction.neighbor.seq]``;
+    we re-read the referenced field from the concrete configuration.
+    """
+    values: Dict[str, object] = {}
+    for name in holes:
+        inner = name[name.index("[") + 1 : -1]
+        parts = inner.split(".")
+        router, direction, neighbor, seq = parts[0], parts[1], parts[2], int(parts[3])
+        routemap = config.get_map(router, direction, neighbor)
+        if routemap is None:
+            continue
+        line = routemap.line(seq)
+        if name.startswith("Var_Action["):
+            values[name] = line.action
+    return values

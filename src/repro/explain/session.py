@@ -1,0 +1,163 @@
+"""Interactive what-if sessions.
+
+The paper's introduction frames explanation as part of an *interactive*
+refinement loop ("identify and refine problematic parts of the
+specification in an interactive manner").  An
+:class:`InteractiveSession` keeps a working configuration, answers
+explanation questions, and evaluates *what-if* edits: change one
+configuration field, see the verification verdict and the routing diff,
+and optionally commit the change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..bgp.config import NetworkConfig
+from ..bgp.diff import OutcomeDiff, diff_outcomes
+from ..bgp.simulation import ConvergenceError, RoutingOutcome, simulate
+from ..spec.ast import Specification
+from ..verify.verifier import Report, verify
+from .engine import Explanation, ExplanationEngine
+from .qa import question_and_answer
+from .symbolize import ACTION, FieldRef, symbolize
+
+__all__ = ["WhatIfResult", "InteractiveSession"]
+
+
+@dataclass
+class WhatIfResult:
+    """The consequences of one hypothetical field edit."""
+
+    ref: FieldRef
+    value: object
+    report: Optional[Report]
+    diff: Optional[OutcomeDiff]
+    converged: bool = True
+
+    @property
+    def ok(self) -> bool:
+        return self.converged and self.report is not None and self.report.ok
+
+    def render(self) -> str:
+        header = f"what if {self.ref} = {self.value}?"
+        if not self.converged:
+            return f"{header}\n  the control plane would oscillate"
+        assert self.report is not None and self.diff is not None
+        lines = [header, f"  verification: {self.report.summary().splitlines()[0]}"]
+        diff_text = self.diff.render()
+        lines.extend(f"  {line}" for line in diff_text.splitlines())
+        return "\n".join(lines)
+
+
+class InteractiveSession:
+    """A stateful explanation/what-if session over one network.
+
+    >>> session = InteractiveSession(config, specification)
+    ... # doctest: +SKIP
+    >>> print(session.ask("R1", requirement="Req1"))
+    ... # doctest: +SKIP
+    >>> result = session.what_if(FieldRef("R1", "out", "P1", 100, ACTION), "permit")
+    ... # doctest: +SKIP
+    """
+
+    def __init__(
+        self,
+        config: NetworkConfig,
+        specification: Specification,
+        max_path_length: Optional[int] = None,
+    ) -> None:
+        self._config = config.copy()
+        self.specification = specification
+        self.max_path_length = max_path_length
+        self.history: List[str] = []
+        self._engine: Optional[ExplanationEngine] = None
+        self._baseline: Optional[RoutingOutcome] = None
+
+    # ------------------------------------------------------------------
+
+    @property
+    def config(self) -> NetworkConfig:
+        return self._config
+
+    def _get_engine(self) -> ExplanationEngine:
+        if self._engine is None:
+            self._engine = ExplanationEngine(
+                self._config, self.specification, self.max_path_length
+            )
+        return self._engine
+
+    def _get_baseline(self) -> RoutingOutcome:
+        if self._baseline is None:
+            self._baseline = simulate(self._config)
+        return self._baseline
+
+    def _invalidate(self) -> None:
+        self._engine = None
+        self._baseline = None
+
+    # ------------------------------------------------------------------
+
+    def verify(self) -> Report:
+        """Verify the current working configuration."""
+        report = verify(self._config, self.specification)
+        self.history.append(f"verify -> {report.summary().splitlines()[0]}")
+        return report
+
+    def ask(
+        self,
+        router: str,
+        requirement: Optional[str] = None,
+        fields: Sequence[str] = (ACTION,),
+    ) -> str:
+        """The Figure 1d dialogue for a router."""
+        explanation = self._get_engine().explain_router(
+            router, fields=fields, requirement=requirement
+        )
+        self.history.append(f"ask {router} ({requirement or '<all>'})")
+        return question_and_answer(explanation)
+
+    def explain(
+        self,
+        router: str,
+        requirement: Optional[str] = None,
+        fields: Sequence[str] = (ACTION,),
+    ) -> Explanation:
+        """The full explanation object for a router."""
+        self.history.append(f"explain {router} ({requirement or '<all>'})")
+        return self._get_engine().explain_router(
+            router, fields=fields, requirement=requirement
+        )
+
+    def what_if(self, ref: FieldRef, value: object) -> WhatIfResult:
+        """Evaluate a hypothetical single-field edit (without applying)."""
+        candidate = self._edited(ref, value)
+        self.history.append(f"what-if {ref} = {value}")
+        try:
+            outcome = simulate(candidate)
+        except ConvergenceError:
+            return WhatIfResult(ref=ref, value=value, report=None, diff=None, converged=False)
+        report = verify(candidate, self.specification)
+        diff = diff_outcomes(self._get_baseline(), outcome)
+        return WhatIfResult(ref=ref, value=value, report=report, diff=diff)
+
+    def apply(self, ref: FieldRef, value: object) -> Report:
+        """Apply a field edit to the working configuration."""
+        self._config = self._edited(ref, value)
+        self._invalidate()
+        self.history.append(f"apply {ref} = {value}")
+        return verify(self._config, self.specification)
+
+    # ------------------------------------------------------------------
+
+    def _edited(self, ref: FieldRef, value: object) -> NetworkConfig:
+        sketch, holes = symbolize(self._config, [ref])
+        name = next(iter(holes))
+        hole = holes[name]
+        if all(str(value) != str(member) for member in hole.domain):
+            raise ValueError(
+                f"{value!r} is not an admissible value for {ref} "
+                f"(domain: {', '.join(str(m) for m in hole.domain)})"
+            )
+        return sketch.fill({name: value})

@@ -1,0 +1,70 @@
+"""The subspecification datatype and its paper-style rendering."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from ..smt import Term, render_conjunction, to_infix
+from ..spec.ast import RequirementBlock, Statement
+from ..spec.printer import format_block
+
+__all__ = ["Subspecification"]
+
+
+@dataclass(frozen=True)
+class Subspecification:
+    """A localized explanation for one device.
+
+    Attributes
+    ----------
+    device:
+        The router being explained.
+    requirement:
+        The name of the requirement block this subspec is relative to
+        (subspecs are per-requirement, paper Scenario 3).
+    statements:
+        The lifted statements in the specification language (empty
+        tuple + ``lifted`` = the *empty subspecification*: the device
+        may do anything).
+    lifted:
+        Whether lifting into the specification language succeeded.
+        When False, ``low_level`` is the best available explanation
+        (the paper's preliminary-results situation).
+    low_level:
+        The projected constraint over the device's symbolized
+        variables (Figure 6c's shape).
+    variables:
+        The symbolized variable names this subspec constrains.
+    """
+
+    device: str
+    requirement: str
+    statements: Tuple[Statement, ...]
+    lifted: bool
+    low_level: Term
+    variables: Tuple[str, ...] = ()
+
+    @property
+    def is_empty(self) -> bool:
+        return self.lifted and not self.statements
+
+    def as_block(self) -> RequirementBlock:
+        """The subspec as a requirement block named after the device."""
+        return RequirementBlock(self.device, self.statements)
+
+    def render(self) -> str:
+        """Paper-style rendering (Figures 2, 4, 5)."""
+        if self.is_empty:
+            return f"{self.device} {{ }}  // any behaviour satisfies {self.requirement}"
+        if self.lifted:
+            return format_block(self.as_block())
+        header = (
+            f"// lifting failed for {self.device} (requirement {self.requirement}); "
+            "low-level constraint over "
+            f"{', '.join(self.variables) if self.variables else 'no variables'}:"
+        )
+        return header + "\n" + render_conjunction(self.low_level)
+
+    def __str__(self) -> str:
+        return self.render()

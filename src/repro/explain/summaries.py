@@ -1,0 +1,133 @@
+"""Assume-guarantee summaries (paper §5, "High-level summary of the
+global behaviors").
+
+The paper observes that a local subspecification is only meaningful
+under assumptions about the rest of the network: R3's "deny routes
+tagged 600:1" rule protects the preference requirement *only if* R2
+actually tags routes learned from P2.  This module makes those
+assumptions explicit: for a device under inspection, it derives
+
+* the **guarantee** -- the device's own subspecification, and
+* the **assumptions** -- the subspecification of every other managed
+  device, computed with the inspected device's configuration held
+  concrete (the paper's "view the rest of the network as a single
+  component").
+
+The result reads like a modular proof obligation: *given* the
+assumptions, the guarantee suffices for the global requirement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..bgp.config import NetworkConfig
+from ..spec.ast import Specification
+from .engine import Explanation, ExplanationEngine
+from .subspec import Subspecification
+from .symbolize import ACTION
+
+__all__ = ["AssumeGuaranteeSummary", "summarize"]
+
+
+@dataclass
+class AssumeGuaranteeSummary:
+    """The modular reading of one requirement around one device."""
+
+    device: str
+    requirement: str
+    guarantee: Subspecification
+    assumptions: Dict[str, Subspecification] = field(default_factory=dict)
+    skipped: Tuple[str, ...] = ()
+
+    def render(self) -> str:
+        lines = [
+            f"assume-guarantee summary for {self.device} "
+            f"(requirement {self.requirement}):",
+            "",
+            "guarantee (this device):",
+        ]
+        lines.append(_indent(self.guarantee.render()))
+        lines.append("")
+        lines.append("assumptions (rest of the managed network):")
+        relevant = {
+            router: subspec
+            for router, subspec in sorted(self.assumptions.items())
+            if not subspec.is_empty
+        }
+        if not relevant:
+            lines.append("  (none: no other device is constrained)")
+        for router, subspec in relevant.items():
+            lines.append(_indent(subspec.render()))
+        if self.skipped:
+            lines.append(
+                f"  (no configuration to inspect on: {', '.join(self.skipped)})"
+            )
+        return "\n".join(lines)
+
+    @property
+    def constrained_others(self) -> Tuple[str, ...]:
+        """Other devices that actually carry obligations."""
+        return tuple(
+            router
+            for router, subspec in sorted(self.assumptions.items())
+            if not subspec.is_empty
+        )
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def _indent(text: str, prefix: str = "  ") -> str:
+    return "\n".join(prefix + line for line in text.splitlines())
+
+
+def summarize(
+    config: NetworkConfig,
+    specification: Specification,
+    device: str,
+    requirement: str,
+    fields: Sequence[str] = (ACTION,),
+    max_path_length: Optional[int] = None,
+    engine: Optional[ExplanationEngine] = None,
+) -> AssumeGuaranteeSummary:
+    """Build the assume-guarantee summary around ``device``.
+
+    Every managed router (including ``device``) is explained against
+    the named requirement with all other configurations concrete;
+    routers with no symbolizable configuration are reported as skipped
+    rather than silently omitted.  Pass a shared ``engine`` to reuse
+    its memoized answers across calls.
+    """
+    if engine is None:
+        engine = ExplanationEngine(config, specification, max_path_length)
+    managed = sorted(specification.managed) or sorted(
+        router.name for router in config.topology.routers
+    )
+    if device not in managed:
+        raise ValueError(f"{device!r} is not a managed router")
+
+    guarantee_explanation = engine.explain_router(
+        device, fields=fields, requirement=requirement
+    )
+    assumptions: Dict[str, Subspecification] = {}
+    skipped: List[str] = []
+    for router in managed:
+        if router == device:
+            continue
+        try:
+            explanation = engine.explain_router(
+                router, fields=fields, requirement=requirement
+            )
+        except Exception:
+            skipped.append(router)
+            continue
+        assumptions[router] = explanation.subspec
+    return AssumeGuaranteeSummary(
+        device=device,
+        requirement=requirement,
+        guarantee=guarantee_explanation.subspec,
+        assumptions=assumptions,
+        skipped=tuple(skipped),
+    )

@@ -1,0 +1,297 @@
+"""Partial symbolization: concrete config fields -> symbolic variables.
+
+This is step (1) of the paper's generation flow (Figure 6b): selected
+fields of the device under explanation are replaced by holes
+(``Var_Attr``, ``Var_Val``, ``Var_Action``, ``Var_Param`` in the
+paper's naming), while the rest of the network stays concrete.
+
+The hole *domain* determines the question being asked: symbolizing a
+line's action over ``{permit, deny}`` asks "why must this line deny?";
+symbolizing a match value over all prefixes in the network asks "why
+must this line match this particular prefix?".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..bgp.announcement import Community
+from ..bgp.config import NetworkConfig
+from ..bgp.routemap import (
+    DENY,
+    MatchAttribute,
+    PERMIT,
+    RouteMap,
+    RouteMapLine,
+    SetAttribute,
+    SetClause,
+)
+from ..bgp.sketch import Hole, is_hole
+from ..topology.prefixes import Prefix
+
+__all__ = ["FieldRef", "SymbolizationError", "symbolize", "symbolize_line", "symbolize_router", "default_domain"]
+
+# Symbolizable field kinds.
+ACTION = "action"
+MATCH_ATTR = "match-attr"
+MATCH_VALUE = "match-value"
+SET_ATTR = "set-attr"
+SET_VALUE = "set-value"
+
+_FIELDS = (ACTION, MATCH_ATTR, MATCH_VALUE, SET_ATTR, SET_VALUE)
+
+
+class SymbolizationError(ValueError):
+    """Raised for malformed symbolization requests."""
+
+
+@dataclass(frozen=True)
+class FieldRef:
+    """Identifies one configuration field of one route-map line.
+
+    ``clause`` indexes into the line's set clauses and is only
+    meaningful for ``set-attr`` / ``set-value`` fields.
+    """
+
+    router: str
+    direction: str
+    neighbor: str
+    seq: int
+    field: str
+    clause: int = 0
+
+    def __post_init__(self) -> None:
+        if self.field not in _FIELDS:
+            raise SymbolizationError(f"unknown field kind {self.field!r}")
+
+    @classmethod
+    def from_hole_name(cls, name: str) -> "FieldRef":
+        """Invert :meth:`hole_name` (used when auditing certificates)."""
+        prefixes = {
+            "Var_Action[": ACTION,
+            "Var_Attr[": MATCH_ATTR,
+            "Var_Val[": MATCH_VALUE,
+            "Var_SetAttr[": SET_ATTR,
+            "Var_Param[": SET_VALUE,
+        }
+        for prefix, kind in prefixes.items():
+            if name.startswith(prefix) and name.endswith("]"):
+                inner = name[len(prefix):-1]
+                parts = inner.split(".")
+                if kind in (SET_ATTR, SET_VALUE):
+                    if len(parts) != 5:
+                        raise SymbolizationError(f"malformed hole name {name!r}")
+                    router, direction, neighbor, seq, clause = parts
+                    return cls(router, direction, neighbor, int(seq), kind, int(clause))
+                if len(parts) != 4:
+                    raise SymbolizationError(f"malformed hole name {name!r}")
+                router, direction, neighbor, seq = parts
+                return cls(router, direction, neighbor, int(seq), kind)
+        raise SymbolizationError(f"not a symbolization hole name: {name!r}")
+
+    def hole_name(self) -> str:
+        """The paper-style variable name for this field."""
+        base = {
+            ACTION: "Var_Action",
+            MATCH_ATTR: "Var_Attr",
+            MATCH_VALUE: "Var_Val",
+            SET_ATTR: "Var_SetAttr",
+            SET_VALUE: "Var_Param",
+        }[self.field]
+        suffix = f"{self.router}.{self.direction}.{self.neighbor}.{self.seq}"
+        if self.field in (SET_ATTR, SET_VALUE):
+            suffix += f".{self.clause}"
+        return f"{base}[{suffix}]"
+
+    def __str__(self) -> str:
+        return self.hole_name()
+
+
+def default_domain(ref: FieldRef, config: NetworkConfig) -> Tuple[object, ...]:
+    """A sensible finite domain for a symbolized field.
+
+    Domains are drawn from the network itself: all originated prefixes
+    for match values, all communities mentioned anywhere for community
+    values, the device's neighbors for next hops, and a small ladder of
+    local preferences.
+    """
+    if ref.field == ACTION:
+        return (PERMIT, DENY)
+    if ref.field == MATCH_ATTR:
+        return tuple(MatchAttribute.ALL)
+    if ref.field == SET_ATTR:
+        return tuple(SetAttribute.ALL)
+    topology = config.topology
+    prefixes: List[object] = list(topology.all_prefixes())
+    communities = _all_communities(config)
+    neighbors = list(topology.neighbors(ref.router))
+    if ref.field == MATCH_VALUE:
+        return tuple(prefixes + communities + neighbors)
+    # SET_VALUE: narrow to the clause's concrete attribute when known,
+    # otherwise (symbolized attribute) offer the mixed Var_Param domain.
+    attribute = _clause_attribute(ref, config)
+    lp_ladder: List[object] = [50, 100, 200, 300]
+    if attribute == SetAttribute.LOCAL_PREF or attribute == SetAttribute.MED:
+        return tuple(lp_ladder)
+    if attribute == SetAttribute.COMMUNITY:
+        return tuple(communities)
+    if attribute == SetAttribute.NEXT_HOP:
+        current = _clause_value(ref, config)
+        extra = [current] if isinstance(current, str) and current not in neighbors else []
+        return tuple(neighbors + extra)
+    return tuple(lp_ladder + communities + neighbors)
+
+
+def _clause_attribute(ref: FieldRef, config: NetworkConfig) -> object:
+    routemap = config.get_map(ref.router, ref.direction, ref.neighbor)
+    if routemap is None:
+        return None
+    line = routemap.line(ref.seq)
+    if ref.clause >= len(line.sets):
+        return None
+    return line.sets[ref.clause].attribute
+
+
+def _clause_value(ref: FieldRef, config: NetworkConfig) -> object:
+    routemap = config.get_map(ref.router, ref.direction, ref.neighbor)
+    if routemap is None:
+        return None
+    line = routemap.line(ref.seq)
+    if ref.clause >= len(line.sets):
+        return None
+    return line.sets[ref.clause].value
+
+
+def _all_communities(config: NetworkConfig) -> List[object]:
+    found: Dict[str, Community] = {}
+    for router in config.topology.router_names:
+        router_config = config.router_config(router)
+        for direction, neighbor in router_config.sessions():
+            routemap = router_config.get_map(direction, neighbor)
+            assert routemap is not None
+            for line in routemap.lines:
+                for value in (line.match_value, *(c.value for c in line.sets)):
+                    if isinstance(value, Community):
+                        found[str(value)] = value
+    if not found:
+        found["100:2"] = Community(100, 2)
+    return [found[key] for key in sorted(found)]
+
+
+def symbolize(
+    config: NetworkConfig,
+    targets: Sequence[FieldRef],
+    domains: Optional[Dict[FieldRef, Tuple[object, ...]]] = None,
+) -> Tuple[NetworkConfig, Dict[str, Hole]]:
+    """Replace the targeted fields with holes.
+
+    Returns the partially symbolic configuration and a map from hole
+    name to hole.  The input configuration must be fully concrete.
+    """
+    if config.has_holes():
+        raise SymbolizationError("symbolize expects a fully concrete configuration")
+    if not targets:
+        raise SymbolizationError("no fields to symbolize")
+    sketch = config.copy()
+    holes: Dict[str, Hole] = {}
+    for ref in targets:
+        routemap = sketch.get_map(ref.router, ref.direction, ref.neighbor)
+        if routemap is None:
+            raise SymbolizationError(
+                f"{ref.router} has no {ref.direction} route-map toward {ref.neighbor}"
+            )
+        line = routemap.line(ref.seq)
+        domain = (domains or {}).get(ref) or default_domain(ref, config)
+        hole = Hole(ref.hole_name(), tuple(domain))
+        if hole.name in holes:
+            raise SymbolizationError(f"duplicate symbolization of {ref}")
+        holes[hole.name] = hole
+        new_line = _replace_field(line, ref, hole)
+        sketch.set_map(
+            ref.router, ref.direction, ref.neighbor, routemap.replace_line(ref.seq, new_line)
+        )
+    return sketch, holes
+
+
+def _replace_field(line: RouteMapLine, ref: FieldRef, hole: Hole) -> RouteMapLine:
+    if ref.field == ACTION:
+        return RouteMapLine(
+            seq=line.seq,
+            action=hole,
+            match_attr=line.match_attr,
+            match_value=line.match_value,
+            sets=line.sets,
+        )
+    if ref.field == MATCH_ATTR:
+        return RouteMapLine(
+            seq=line.seq,
+            action=line.action,
+            match_attr=hole,
+            match_value=line.match_value,
+            sets=line.sets,
+        )
+    if ref.field == MATCH_VALUE:
+        return RouteMapLine(
+            seq=line.seq,
+            action=line.action,
+            match_attr=line.match_attr,
+            match_value=hole,
+            sets=line.sets,
+        )
+    if ref.clause >= len(line.sets):
+        raise SymbolizationError(
+            f"line {line.seq} has no set clause #{ref.clause}"
+        )
+    clauses = list(line.sets)
+    clause = clauses[ref.clause]
+    if ref.field == SET_ATTR:
+        clauses[ref.clause] = SetClause(hole, clause.value)
+    else:
+        clauses[ref.clause] = SetClause(clause.attribute, hole)
+    return RouteMapLine(
+        seq=line.seq,
+        action=line.action,
+        match_attr=line.match_attr,
+        match_value=line.match_value,
+        sets=tuple(clauses),
+    )
+
+
+def symbolize_line(
+    config: NetworkConfig,
+    router: str,
+    direction: str,
+    neighbor: str,
+    seq: int,
+    fields: Sequence[str] = (ACTION,),
+) -> Tuple[NetworkConfig, Dict[str, Hole]]:
+    """Symbolize the given fields of one line."""
+    refs = [FieldRef(router, direction, neighbor, seq, field) for field in fields]
+    return symbolize(config, refs)
+
+
+def symbolize_router(
+    config: NetworkConfig,
+    router: str,
+    fields: Sequence[str] = (ACTION,),
+) -> Tuple[NetworkConfig, Dict[str, Hole]]:
+    """Symbolize the given field kinds on every line of every map of a
+    router (the "explain this whole device" question)."""
+    refs: List[FieldRef] = []
+    router_config = config.router_config(router)
+    for direction, neighbor in router_config.sessions():
+        routemap = router_config.get_map(direction, neighbor)
+        assert routemap is not None
+        for line in routemap.lines:
+            for field in fields:
+                if field in (SET_ATTR, SET_VALUE):
+                    for clause_index in range(len(line.sets)):
+                        refs.append(
+                            FieldRef(router, direction, neighbor, line.seq, field, clause_index)
+                        )
+                else:
+                    refs.append(FieldRef(router, direction, neighbor, line.seq, field))
+    if not refs:
+        raise SymbolizationError(f"{router} has no configuration lines to symbolize")
+    return symbolize(config, refs)

@@ -1,0 +1,27 @@
+"""IGP substrate: OSPF-style link-weight synthesis and explanation."""
+
+from .encoder import IgpEncoder, IgpEncoding
+from .spf import ShortestPaths, compute_forwarding, shortest_path
+from .synthesizer import (
+    IgpExplanation,
+    IgpSynthesisResult,
+    explain_weights,
+    synthesize_weights,
+)
+from .verifier import verify_weights
+from .weights import DEFAULT_WEIGHT_DOMAIN, WeightConfig
+
+__all__ = [
+    "WeightConfig",
+    "DEFAULT_WEIGHT_DOMAIN",
+    "shortest_path",
+    "compute_forwarding",
+    "ShortestPaths",
+    "IgpEncoder",
+    "IgpEncoding",
+    "synthesize_weights",
+    "IgpSynthesisResult",
+    "explain_weights",
+    "IgpExplanation",
+    "verify_weights",
+]

@@ -1,0 +1,214 @@
+"""Symbolic encoding of shortest-path requirements over link weights.
+
+The OSPF side of the NetComplete-style synthesizer: path requirements
+become arithmetic constraints over the (possibly symbolic) link
+weights:
+
+* **Reachability** ``(pattern)`` -- some pattern-matching path is the
+  strict tie-broken shortest among all source-target candidates;
+* **Forbidden** ``!(pattern)`` -- every candidate path carrying a
+  managed matching slice is beaten by some clean path (so the shortest
+  path is clean);
+* **Preference** ``(p1) >> (p2)`` -- every rank-i path costs strictly
+  less than every rank-j path (i < j), so failures fall back in order;
+  unlisted paths cost more than every listed one.
+
+Costs are ``Plus`` terms over weight variables; the decision procedure
+handles them via finite-domain value-case enumeration
+(:mod:`repro.smt.fdblast`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..bgp.sketch import is_hole
+from ..smt import And, IntVal, Lt, Or, Plus, Term, TRUE
+from ..spec.ast import (
+    ForbiddenPath,
+    PathPreference,
+    Reachability,
+    Specification,
+)
+from ..spec.semantics import violates_forbidden
+from ..synthesis.holes import HoleEncoder
+from ..synthesis.space import EncodingError
+from ..topology.paths import Path, enumerate_simple_paths
+from .weights import WeightConfig
+
+__all__ = ["IgpEncoding", "IgpEncoder"]
+
+
+@dataclass
+class IgpEncoding:
+    """Result of encoding a weight sketch against a specification."""
+
+    constraint: Term
+    groups: Dict[str, Tuple[Term, ...]]
+    holes: HoleEncoder
+    costs: Dict[Tuple[str, ...], Term]
+
+    @property
+    def num_constraints(self) -> int:
+        return len(self.constraint.conjuncts())
+
+    @property
+    def size(self) -> int:
+        return self.constraint.size()
+
+
+class IgpEncoder:
+    """Encodes path requirements over a (possibly sketched) weight
+    configuration."""
+
+    def __init__(
+        self,
+        weights: WeightConfig,
+        specification: Specification,
+        max_path_length: Optional[int] = None,
+    ) -> None:
+        self.weights = weights
+        self.specification = specification
+        self.max_path_length = max_path_length
+        self.holes = HoleEncoder()
+        self._costs: Dict[Tuple[str, ...], Term] = {}
+
+    # ------------------------------------------------------------------
+
+    def cost_of(self, path: Path) -> Term:
+        """Symbolic cost of a path (``Plus`` over weight terms)."""
+        cached = self._costs.get(path.hops)
+        if cached is not None:
+            return cached
+        parts: List[Term] = []
+        for a, b in path.edges:
+            value = self.weights.weight(a, b)
+            if is_hole(value):
+                parts.append(self.holes.register(value))
+            else:
+                parts.append(IntVal(int(value)))  # type: ignore[arg-type]
+        cost = Plus(*parts) if parts else IntVal(0)
+        self._costs[path.hops] = cost
+        return cost
+
+    def _candidates(self, source: str, target: str) -> Tuple[Path, ...]:
+        paths = tuple(
+            enumerate_simple_paths(
+                self.weights.topology, source, target, self.max_path_length
+            )
+        )
+        if not paths:
+            raise EncodingError(f"no path from {source} to {target}")
+        return tuple(sorted(paths, key=lambda p: p.hops))
+
+    def _strictly_beats(self, better: Path, worse: Path) -> Term:
+        """``better`` wins the (cost, hops) tie-broken comparison."""
+        cost_better = self.cost_of(better)
+        cost_worse = self.cost_of(worse)
+        if better.hops < worse.hops:
+            # Tie-break already favours `better`: <= suffices.
+            from ..smt import Le
+
+            return Le(cost_better, cost_worse)
+        return Lt(cost_better, cost_worse)
+
+    # ------------------------------------------------------------------
+
+    def _encode_reachability(self, statement: Reachability) -> List[Term]:
+        candidates = self._candidates(statement.source, statement.destination)
+        matching = [p for p in candidates if statement.pattern.matches(p)]
+        if not matching:
+            raise EncodingError(
+                f"reachability pattern ({statement.pattern}) matches no path"
+            )
+        options: List[Term] = []
+        for winner in matching:
+            clauses = [
+                self._strictly_beats(winner, other)
+                for other in candidates
+                if other.hops != winner.hops
+            ]
+            options.append(And(*clauses))
+        return [Or(*options)]
+
+    def _encode_forbidden(self, statement: ForbiddenPath) -> List[Term]:
+        managed = self.specification.managed
+        constraints: List[Term] = []
+        topology = self.weights.topology
+        found = False
+        for source in topology.router_names:
+            for target in topology.router_names:
+                if source == target:
+                    continue
+                candidates = self._candidates(source, target)
+                dirty = [
+                    p
+                    for p in candidates
+                    if violates_forbidden(p, statement.pattern, managed)
+                ]
+                if not dirty:
+                    continue
+                found = True
+                clean = [p for p in candidates if not any(p.hops == d.hops for d in dirty)]
+                for bad in dirty:
+                    if not clean:
+                        raise EncodingError(
+                            f"every {source}->{target} path matches "
+                            f"({statement.pattern}); the requirement would "
+                            "disconnect them"
+                        )
+                    constraints.append(
+                        Or(*[self._strictly_beats(good, bad) for good in clean])
+                    )
+        if not found:
+            raise EncodingError(
+                f"forbidden pattern ({statement.pattern}) matches no path"
+            )
+        return constraints
+
+    def _encode_preference(self, statement: PathPreference) -> List[Term]:
+        from ..spec.semantics import expand_preference
+
+        ranked = expand_preference(
+            statement, self.weights.topology, self.max_path_length
+        )
+        constraints: List[Term] = []
+        # Strict cost ordering between consecutive ranks (transitively
+        # covers all pairs) and listed-beats-unlisted.
+        for high, low in zip(ranked.paths, ranked.paths[1:]):
+            for better in high:
+                for worse in low:
+                    constraints.append(self._strictly_beats(better, worse))
+        if ranked.unlisted:
+            tail = ranked.paths[-1]
+            for listed in tail:
+                for unlisted in ranked.unlisted:
+                    constraints.append(self._strictly_beats(listed, unlisted))
+        return constraints
+
+    # ------------------------------------------------------------------
+
+    def encode(self) -> IgpEncoding:
+        groups: Dict[str, Tuple[Term, ...]] = {}
+        all_terms: List[Term] = []
+        for block in self.specification.blocks:
+            block_terms: List[Term] = []
+            for statement in block.statements:
+                if isinstance(statement, Reachability):
+                    block_terms.extend(self._encode_reachability(statement))
+                elif isinstance(statement, ForbiddenPath):
+                    block_terms.extend(self._encode_forbidden(statement))
+                elif isinstance(statement, PathPreference):
+                    block_terms.extend(self._encode_preference(statement))
+                else:  # pragma: no cover - exhaustive
+                    raise EncodingError(f"unknown statement {statement!r}")
+            groups[f"requirement:{block.name}"] = tuple(block_terms)
+            all_terms.extend(block_terms)
+        constraint = And(*all_terms) if all_terms else TRUE
+        return IgpEncoding(
+            constraint=constraint,
+            groups=groups,
+            holes=self.holes,
+            costs=dict(self._costs),
+        )

@@ -1,0 +1,84 @@
+"""Shortest-path forwarding over concrete weights.
+
+Forwarding is deterministic: among all simple paths between two
+routers, the one minimizing ``(cost, hop sequence)`` wins -- the same
+total order the symbolic encoder mirrors, so the two sides agree by
+construction (property-tested).
+
+Path enumeration is bounded by ``max_path_length`` exactly like the
+BGP candidate space; for the sub-15-router topologies this library
+targets, exhaustive enumeration is simpler and easier to trust than an
+incremental Dijkstra with tie-break bookkeeping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..topology.graph import Topology
+from ..topology.paths import Path, enumerate_simple_paths
+from .weights import WeightConfig
+
+__all__ = ["ShortestPaths", "shortest_path", "compute_forwarding"]
+
+
+def shortest_path(
+    weights: WeightConfig,
+    source: str,
+    target: str,
+    max_path_length: Optional[int] = None,
+) -> Optional[Path]:
+    """The unique (tie-broken) shortest path, or None if disconnected."""
+    best: Optional[Tuple[int, Tuple[str, ...]]] = None
+    for path in enumerate_simple_paths(weights.topology, source, target, max_path_length):
+        key = (weights.path_cost(path), path.hops)
+        if best is None or key < best:
+            best = key
+    if best is None:
+        return None
+    return Path(best[1])
+
+
+@dataclass
+class ShortestPaths:
+    """All-pairs forwarding state for a weight configuration."""
+
+    weights: WeightConfig
+    paths: Dict[Tuple[str, str], Path]
+
+    def path(self, source: str, target: str) -> Optional[Path]:
+        return self.paths.get((source, target))
+
+    def cost(self, source: str, target: str) -> Optional[int]:
+        path = self.path(source, target)
+        if path is None:
+            return None
+        return self.weights.path_cost(path)
+
+    def summary(self) -> str:
+        lines = ["shortest paths:"]
+        for (source, target), path in sorted(self.paths.items()):
+            lines.append(
+                f"  {source} -> {target}: {path} (cost {self.weights.path_cost(path)})"
+            )
+        return "\n".join(lines)
+
+
+def compute_forwarding(
+    weights: WeightConfig,
+    max_path_length: Optional[int] = None,
+) -> ShortestPaths:
+    """Shortest paths between every ordered router pair."""
+    if weights.has_holes():
+        raise ValueError("cannot compute forwarding for a sketch; fill holes first")
+    topology = weights.topology
+    paths: Dict[Tuple[str, str], Path] = {}
+    for source in topology.router_names:
+        for target in topology.router_names:
+            if source == target:
+                continue
+            path = shortest_path(weights, source, target, max_path_length)
+            if path is not None:
+                paths[(source, target)] = path
+    return ShortestPaths(weights=weights, paths=paths)

@@ -1,0 +1,225 @@
+"""IGP weight synthesis and explanation.
+
+The OSPF analogue of the BGP pipeline: fill symbolic link weights so
+that shortest-path forwarding satisfies the path requirements, and --
+the paper's move -- explain a *concrete* weight assignment by
+re-symbolizing chosen links and projecting the seed constraints onto
+them.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..smt import Model, Term, check_sat, simplify
+from ..spec.ast import Specification
+from ..synthesis.synthesizer import SynthesisError
+from .encoder import IgpEncoder, IgpEncoding
+from .spf import compute_forwarding
+from .weights import DEFAULT_WEIGHT_DOMAIN, WeightConfig
+
+__all__ = ["IgpSynthesisResult", "synthesize_weights", "IgpExplanation", "explain_weights"]
+
+
+@dataclass
+class IgpSynthesisResult:
+    """A successful weight synthesis run."""
+
+    weights: WeightConfig
+    assignment: Dict[str, object]
+    encoding: IgpEncoding
+    model: Model
+
+
+def synthesize_weights(
+    sketch: WeightConfig,
+    specification: Specification,
+    max_path_length: Optional[int] = None,
+) -> IgpSynthesisResult:
+    """Fill the weight holes so the requirements hold.
+
+    Raises :class:`~repro.synthesis.synthesizer.SynthesisError` when no
+    weight assignment works.
+    """
+    encoding = IgpEncoder(sketch, specification, max_path_length).encode()
+    model = check_sat(encoding.constraint)
+    if model is None:
+        raise SynthesisError(
+            f"weight requirements are unrealizable "
+            f"({encoding.num_constraints} constraints, "
+            f"{len(encoding.holes)} weight holes)"
+        )
+    assignment = encoding.holes.decode_model(model.assignment)
+    return IgpSynthesisResult(
+        weights=sketch.fill(assignment),
+        assignment=assignment,
+        encoding=encoding,
+        model=model,
+    )
+
+
+@dataclass
+class IgpExplanation:
+    """Explanation of selected link weights (low-level form).
+
+    IGP subspecifications are naturally arithmetic ("this link must
+    stay cheaper than that detour"), which the paper's path-statement
+    language cannot express -- exactly its §4(3) observation.  The
+    explanation therefore reports the projected constraint over the
+    ``Var_Weight[...]`` variables, plus the acceptable assignments.
+    """
+
+    links: Tuple[Tuple[str, str], ...]
+    seed: IgpEncoding
+    projected: Term
+    acceptable: Tuple[Dict[str, int], ...]
+    rejected: Tuple[Dict[str, int], ...]
+
+    @property
+    def total_assignments(self) -> int:
+        return len(self.acceptable) + len(self.rejected)
+
+    @property
+    def is_unconstrained(self) -> bool:
+        return not self.rejected
+
+    def report(self) -> str:
+        from ..smt import to_infix
+
+        names = ", ".join(f"{a}--{b}" for a, b in self.links)
+        lines = [
+            f"igp weight explanation for links {names}:",
+            f"  seed: {self.seed.num_constraints} constraints "
+            f"({self.seed.size} nodes)",
+            f"  acceptable weights: {len(self.acceptable)}"
+            f"/{self.total_assignments}",
+            f"  constraint: {to_infix(self.projected)}",
+        ]
+        return "\n".join(lines)
+
+
+def explain_weights(
+    weights: WeightConfig,
+    specification: Specification,
+    links: Tuple[Tuple[str, str], ...],
+    domain: Tuple[int, ...] = DEFAULT_WEIGHT_DOMAIN,
+    max_path_length: Optional[int] = None,
+    limit: int = 4096,
+) -> IgpExplanation:
+    """Explain why the given links carry their weights.
+
+    The pipeline mirrors the BGP side: symbolize -> seed (same encoder
+    as the synthesizer) -> project onto the weight variables by
+    exhaustive evaluation against the concrete shortest-path semantics.
+    """
+    sketch, holes = weights.symbolized(links, domain)
+    encoding = IgpEncoder(sketch, specification, max_path_length).encode()
+
+    names = sorted(holes)
+    total = len(domain) ** len(names)
+    if total > limit:
+        raise ValueError(
+            f"{total} weight assignments exceed the projection limit of {limit}"
+        )
+
+    acceptable: List[Dict[str, int]] = []
+    rejected: List[Dict[str, int]] = []
+    for combo in itertools.product(domain, repeat=len(names)):
+        assignment = dict(zip(names, combo))
+        env = {name: int(value) for name, value in assignment.items()}
+        if bool(encoding.constraint.evaluate(env)):
+            acceptable.append(assignment)
+        else:
+            rejected.append(assignment)
+
+    projected = _weights_dnf(encoding, names, acceptable, rejected, domain)
+    ordered_links = tuple(tuple(sorted(link)) for link in links)
+    return IgpExplanation(
+        links=ordered_links,  # type: ignore[arg-type]
+        seed=encoding,
+        projected=projected,
+        acceptable=tuple(acceptable),
+        rejected=tuple(rejected),
+    )
+
+
+def _weights_dnf(encoding, names, acceptable, rejected, domain) -> Term:
+    from ..smt import And, Eq, FALSE, Or, TRUE
+
+    if not acceptable:
+        return FALSE
+    if not rejected:
+        return TRUE
+    # Try to express the region as interval bounds per variable first
+    # (the common shape for weight constraints); then as a difference
+    # relation between two weights; fall back to DNF.
+    bounds = _interval_bounds(names, acceptable, domain)
+    if bounds is not None:
+        from ..smt import Ge, Le
+
+        clauses = []
+        for name in names:
+            low, high = bounds[name]
+            variable = encoding.holes.variable(name)
+            if low > domain[0]:
+                clauses.append(Ge(variable, low))
+            if high < domain[-1]:
+                clauses.append(Le(variable, high))
+        return simplify(And(*clauses))
+    relational = _difference_relation(encoding, names, acceptable, domain)
+    if relational is not None:
+        return relational
+    cubes = []
+    for assignment in acceptable:
+        literals = [
+            Eq(encoding.holes.variable(name), int(assignment[name])) for name in names
+        ]
+        cubes.append(And(*literals))
+    return simplify(Or(*cubes))
+
+
+def _difference_relation(encoding, names, acceptable, domain):
+    """For two symbolized weights, try the template ``x <= y + c``
+    (the natural shape of shortest-path ordering constraints)."""
+    if len(names) != 2:
+        return None
+    from ..smt import Le, Plus
+
+    accepted = {(a[names[0]], a[names[1]]) for a in acceptable}
+    span = domain[-1] - domain[0]
+    for first, second in ((0, 1), (1, 0)):
+        x_name, y_name = names[first], names[second]
+        for offset in range(-span, span + 1):
+            region = {
+                (a, b)
+                for a in domain
+                for b in domain
+                if (a, b)[first] <= (a, b)[second] + offset
+            }
+            if region == accepted:
+                x_var = encoding.holes.variable(x_name)
+                y_var = encoding.holes.variable(y_name)
+                return simplify(Le(x_var, Plus(y_var, offset)))
+    return None
+
+
+def _interval_bounds(names, acceptable, domain):
+    """If the acceptable set is exactly a product of intervals, return
+    the per-variable (low, high) bounds; otherwise None."""
+    bounds = {}
+    for name in names:
+        values = sorted({assignment[name] for assignment in acceptable})
+        low, high = values[0], values[-1]
+        expected = [v for v in domain if low <= v <= high]
+        if values != expected:
+            return None
+        bounds[name] = (low, high)
+    product_size = 1
+    for name in names:
+        low, high = bounds[name]
+        product_size *= sum(1 for v in domain if low <= v <= high)
+    if product_size != len(acceptable):
+        return None
+    return bounds

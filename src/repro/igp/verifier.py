@@ -1,0 +1,118 @@
+"""Concrete verification of IGP weight configurations.
+
+The OSPF analogue of :mod:`repro.verify.verifier`: statements are
+checked against deterministic shortest-path forwarding instead of the
+BGP control plane.
+
+* **Forbidden paths** -- no shortest path (between any ordered router
+  pair) contains a managed matching slice.
+* **Reachability** -- the shortest path from the pattern's source to
+  its target matches the pattern.  (IGP destinations are routers, not
+  prefixes, so the pattern target is used directly.)
+* **Preference** -- rank-ordered costs: every rank-i path costs
+  strictly less than every rank-j path (i < j), and listed paths beat
+  unlisted ones -- the property the encoder enforces, checked here on
+  concrete weights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..spec.ast import (
+    ForbiddenPath,
+    PathPreference,
+    Reachability,
+    Specification,
+)
+from ..spec.semantics import expand_preference, violates_forbidden
+from ..verify.verifier import Report, Violation
+from .spf import compute_forwarding, shortest_path
+from .weights import WeightConfig
+
+__all__ = ["verify_weights"]
+
+
+def verify_weights(
+    weights: WeightConfig,
+    specification: Specification,
+    max_path_length: Optional[int] = None,
+) -> Report:
+    """Check every statement against shortest-path forwarding."""
+    report = Report()
+    forwarding = compute_forwarding(weights, max_path_length)
+    for block in specification.blocks:
+        for statement in block.statements:
+            report.statements_checked += 1
+            if isinstance(statement, ForbiddenPath):
+                for (source, target), path in sorted(forwarding.paths.items()):
+                    if violates_forbidden(
+                        path, statement.pattern, specification.managed
+                    ):
+                        report.violations.append(
+                            Violation(
+                                block.name,
+                                statement,
+                                f"shortest path {source} -> {target} is {path}",
+                            )
+                        )
+            elif isinstance(statement, Reachability):
+                path = forwarding.path(statement.source, statement.destination)
+                if path is None:
+                    report.violations.append(
+                        Violation(
+                            block.name,
+                            statement,
+                            f"{statement.source} cannot reach "
+                            f"{statement.destination}",
+                        )
+                    )
+                elif not statement.pattern.matches(path):
+                    report.violations.append(
+                        Violation(
+                            block.name,
+                            statement,
+                            f"shortest path is {path}, which does not match",
+                        )
+                    )
+            elif isinstance(statement, PathPreference):
+                _check_cost_ordering(block.name, statement, weights, report, max_path_length)
+            else:  # pragma: no cover - exhaustive
+                raise TypeError(f"unknown statement {statement!r}")
+    return report
+
+
+def _check_cost_ordering(
+    block: str,
+    statement: PathPreference,
+    weights: WeightConfig,
+    report: Report,
+    max_path_length: Optional[int],
+) -> None:
+    ranked = expand_preference(statement, weights.topology, max_path_length)
+    for high, low in zip(ranked.paths, ranked.paths[1:]):
+        for better in high:
+            for worse in low:
+                if not weights.path_cost(better) < weights.path_cost(worse):
+                    report.violations.append(
+                        Violation(
+                            block,
+                            statement,
+                            f"cost({better}) = {weights.path_cost(better)} is "
+                            f"not below cost({worse}) = {weights.path_cost(worse)}",
+                        )
+                    )
+    if ranked.unlisted:
+        for listed in ranked.paths[-1]:
+            for unlisted in ranked.unlisted:
+                if not weights.path_cost(listed) < weights.path_cost(unlisted):
+                    report.violations.append(
+                        Violation(
+                            block,
+                            statement,
+                            f"unlisted path {unlisted} "
+                            f"(cost {weights.path_cost(unlisted)}) undercuts "
+                            f"listed {listed} (cost {weights.path_cost(listed)})",
+                        )
+                    )

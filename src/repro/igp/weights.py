@@ -1,0 +1,131 @@
+"""IGP link-weight configurations (the OSPF side of NetComplete).
+
+NetComplete synthesizes OSPF link weights as well as BGP policies; the
+paper's explanation technique applies to any constraint-based
+synthesizer, so this package provides the IGP substrate: weights are
+per-link positive integers (symmetric), possibly holes, and forwarding
+follows strict shortest paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterator, Mapping, Optional, Tuple, Union
+
+from ..bgp.sketch import Hole, is_hole
+from ..topology.graph import Topology, TopologyError
+from ..topology.paths import Path
+
+__all__ = ["DEFAULT_WEIGHT_DOMAIN", "WeightConfig"]
+
+DEFAULT_WEIGHT_DOMAIN: Tuple[int, ...] = (1, 2, 3, 4, 5, 6, 7, 8)
+
+Edge = FrozenSet[str]
+WeightValue = Union[int, Hole]
+
+
+class WeightConfig:
+    """Symmetric link weights over a topology.
+
+    Unset links default to weight 1.  Weights may be holes (synthesis
+    sketches / explanation symbolization).
+    """
+
+    def __init__(self, topology: Topology, default: int = 1) -> None:
+        if default <= 0:
+            raise ValueError("link weights must be positive")
+        self.topology = topology
+        self.default = default
+        self._weights: Dict[Edge, WeightValue] = {}
+
+    # ------------------------------------------------------------------
+
+    def _edge(self, a: str, b: str) -> Edge:
+        if not self.topology.has_link(a, b):
+            raise TopologyError(f"no link {a}--{b}")
+        return frozenset((a, b))
+
+    def set_weight(self, a: str, b: str, weight: WeightValue) -> None:
+        if not is_hole(weight):
+            if not isinstance(weight, int) or isinstance(weight, bool) or weight <= 0:
+                raise ValueError(f"link weight must be a positive int, got {weight!r}")
+        self._weights[self._edge(a, b)] = weight
+
+    def weight(self, a: str, b: str) -> WeightValue:
+        return self._weights.get(self._edge(a, b), self.default)
+
+    def concrete_weight(self, a: str, b: str) -> int:
+        value = self.weight(a, b)
+        if is_hole(value):
+            raise ValueError(f"weight of {a}--{b} is symbolic; fill the sketch first")
+        assert isinstance(value, int)
+        return value
+
+    # ------------------------------------------------------------------
+    # Holes
+    # ------------------------------------------------------------------
+
+    def holes(self) -> Iterator[Hole]:
+        for edge in sorted(self._weights, key=sorted):
+            value = self._weights[edge]
+            if is_hole(value):
+                yield value  # type: ignore[misc]
+
+    def has_holes(self) -> bool:
+        return next(self.holes(), None) is not None
+
+    def fill(self, assignment: Mapping[str, object]) -> "WeightConfig":
+        filled = WeightConfig(self.topology, self.default)
+        for edge, value in self._weights.items():
+            a, b = sorted(edge)
+            if is_hole(value):
+                hole = value
+                raw = assignment.get(hole.name)  # type: ignore[union-attr]
+                if raw is None:
+                    raise KeyError(f"no value for weight hole {hole.name}")  # type: ignore[union-attr]
+                filled.set_weight(a, b, int(raw))  # type: ignore[arg-type]
+            else:
+                filled.set_weight(a, b, value)
+        return filled
+
+    def symbolized(
+        self,
+        links: Tuple[Tuple[str, str], ...],
+        domain: Tuple[int, ...] = DEFAULT_WEIGHT_DOMAIN,
+    ) -> Tuple["WeightConfig", Dict[str, Hole]]:
+        """A copy with the given links' weights replaced by holes."""
+        if self.has_holes():
+            raise ValueError("symbolize expects a fully concrete weight config")
+        sketch = WeightConfig(self.topology, self.default)
+        sketch._weights = dict(self._weights)
+        holes: Dict[str, Hole] = {}
+        for a, b in links:
+            left, right = sorted((a, b))
+            hole = Hole(f"Var_Weight[{left}--{right}]", tuple(domain))
+            if hole.name in holes:
+                raise ValueError(f"duplicate symbolization of {left}--{right}")
+            holes[hole.name] = hole
+            sketch.set_weight(a, b, hole)
+        return sketch, holes
+
+    # ------------------------------------------------------------------
+
+    def path_cost(self, path: Path) -> int:
+        """Concrete cost of a path (sum of its edge weights)."""
+        return sum(self.concrete_weight(a, b) for a, b in path.edges)
+
+    def items(self) -> Tuple[Tuple[Tuple[str, str], WeightValue], ...]:
+        rows = []
+        for link in self.topology.links:
+            rows.append(((link.a, link.b), self.weight(link.a, link.b)))
+        return tuple(rows)
+
+    def render(self) -> str:
+        lines = [f"! igp weights for {self.topology.name} (default {self.default})"]
+        for (a, b), value in self.items():
+            shown = f"?{value.name}" if is_hole(value) else str(value)
+            lines.append(f"  {a} -- {b}: {shown}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"WeightConfig({self.topology.name!r}, explicit={len(self._weights)})"

@@ -1,0 +1,47 @@
+"""Scenario library: the paper's case study plus synthetic generators."""
+
+from .campus import (
+    CAMPUS_MANAGED,
+    NET_PREFIX,
+    SRV_PREFIX,
+    T1_PREFIX,
+    T2_PREFIX,
+    campus_scenario,
+    campus_topology,
+)
+from .hotnets import (
+    CUSTOMER_PREFIX,
+    CUSTOMER_SUPERNET,
+    D1_PREFIX,
+    MANAGED,
+    P1_PREFIX,
+    P2_PREFIX,
+    Scenario,
+    hotnets_topology,
+    scenario1,
+    scenario2,
+    scenario2_fixed,
+    scenario3,
+)
+
+__all__ = [
+    "Scenario",
+    "hotnets_topology",
+    "scenario1",
+    "scenario2",
+    "scenario2_fixed",
+    "scenario3",
+    "CUSTOMER_PREFIX",
+    "CUSTOMER_SUPERNET",
+    "P1_PREFIX",
+    "P2_PREFIX",
+    "D1_PREFIX",
+    "MANAGED",
+    "campus_scenario",
+    "campus_topology",
+    "CAMPUS_MANAGED",
+    "T1_PREFIX",
+    "T2_PREFIX",
+    "SRV_PREFIX",
+    "NET_PREFIX",
+]

@@ -1,0 +1,237 @@
+"""Synthetic topology and workload generators for the scaling study.
+
+The paper leaves scalability "untested and ... an important area for
+future research"; the EXT-SCALE benchmark uses these generators to
+sweep explanation cost against topology size.  Every generator builds
+the same *shape* of problem as the HotNets case study: a managed core
+between a customer edge and two (or more) provider edges, with a
+no-transit requirement across the providers.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..bgp.config import Direction, NetworkConfig
+from ..bgp.routemap import DENY, MatchAttribute, PERMIT, RouteMap, RouteMapLine
+from ..spec.ast import Specification
+from ..spec.parser import parse
+from ..topology.graph import Topology
+from ..topology.prefixes import Prefix
+
+__all__ = [
+    "GeneratedCase",
+    "chain_case",
+    "ring_case",
+    "grid_case",
+    "random_case",
+    "leafspine_case",
+]
+
+
+@dataclass
+class GeneratedCase:
+    """A synthetic explanation problem.
+
+    ``device`` is the managed router whose configuration the scaling
+    benchmark symbolizes and explains.
+    """
+
+    name: str
+    topology: Topology
+    specification: Specification
+    config: NetworkConfig
+    device: str
+
+
+def _managed_names(count: int) -> List[str]:
+    return [f"M{i}" for i in range(count)]
+
+
+def _attach_edges(topo: Topology, managed: List[str]) -> None:
+    """Customer at one end, two providers at the other, destination D1
+    behind both providers (the HotNets shape, scaled)."""
+    topo.add_router("C", asn=100, originated=[Prefix("10.0.0.0/24")], role="customer")
+    topo.add_router("P1", asn=500, originated=[Prefix("10.1.0.0/24")], role="provider")
+    topo.add_router("P2", asn=600, originated=[Prefix("10.2.0.0/24")], role="provider")
+    topo.add_router("D1", asn=700, originated=[Prefix("10.3.0.0/24")])
+    topo.add_link("C", managed[0])
+    topo.add_link("P1", managed[-1])
+    topo.add_link("P2", managed[len(managed) // 2])
+    topo.add_link("P1", "D1")
+    topo.add_link("P2", "D1")
+
+
+def _no_transit_spec(managed: List[str]) -> Specification:
+    text = """
+    NoTransit {
+      !(P1 -> ... -> P2)
+      !(P2 -> ... -> P1)
+    }
+    """
+    return parse(text, managed=managed)
+
+
+def _blocking_config(topo: Topology, managed: List[str]) -> NetworkConfig:
+    """Block provider-facing exports on the managed border routers,
+    keeping customer routes flowing (a valid no-transit config)."""
+    config = NetworkConfig(topo)
+    for provider in ("P1", "P2"):
+        for router in managed:
+            if topo.has_link(router, provider):
+                routemap = RouteMap(
+                    f"{router}_to_{provider}",
+                    (
+                        RouteMapLine(
+                            seq=10,
+                            action=PERMIT,
+                            match_attr=MatchAttribute.DST_PREFIX,
+                            match_value=Prefix("10.0.0.0/24"),
+                        ),
+                        RouteMapLine(seq=100, action=DENY),
+                    ),
+                )
+                config.set_map(router, Direction.OUT, provider, routemap)
+    return config
+
+
+def _border_router(topo: Topology, managed: List[str]) -> str:
+    for router in managed:
+        if topo.has_link(router, "P1"):
+            return router
+    raise AssertionError("generator always attaches P1 to a managed router")
+
+
+def chain_case(length: int) -> GeneratedCase:
+    """Managed routers in a chain: M0 - M1 - ... - M(n-1)."""
+    if length < 2:
+        raise ValueError("chain needs at least two managed routers")
+    managed = _managed_names(length)
+    topo = Topology(f"chain-{length}")
+    for name in managed:
+        topo.add_router(name, asn=200, role="managed")
+    for left, right in zip(managed, managed[1:]):
+        topo.add_link(left, right)
+    _attach_edges(topo, managed)
+    config = _blocking_config(topo, managed)
+    return GeneratedCase(
+        name=f"chain-{length}",
+        topology=topo,
+        specification=_no_transit_spec(managed),
+        config=config,
+        device=_border_router(topo, managed),
+    )
+
+
+def ring_case(length: int) -> GeneratedCase:
+    """Managed routers in a ring (adds one redundant path per pair)."""
+    if length < 3:
+        raise ValueError("ring needs at least three managed routers")
+    managed = _managed_names(length)
+    topo = Topology(f"ring-{length}")
+    for name in managed:
+        topo.add_router(name, asn=200, role="managed")
+    for index, name in enumerate(managed):
+        topo.add_link(name, managed[(index + 1) % length])
+    _attach_edges(topo, managed)
+    config = _blocking_config(topo, managed)
+    return GeneratedCase(
+        name=f"ring-{length}",
+        topology=topo,
+        specification=_no_transit_spec(managed),
+        config=config,
+        device=_border_router(topo, managed),
+    )
+
+
+def grid_case(rows: int, cols: int) -> GeneratedCase:
+    """Managed routers in a rows x cols grid."""
+    if rows < 1 or cols < 2:
+        raise ValueError("grid needs at least 1x2 managed routers")
+    managed = [f"M{r}_{c}" for r in range(rows) for c in range(cols)]
+    topo = Topology(f"grid-{rows}x{cols}")
+    for name in managed:
+        topo.add_router(name, asn=200, role="managed")
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                topo.add_link(f"M{r}_{c}", f"M{r}_{c + 1}")
+            if r + 1 < rows:
+                topo.add_link(f"M{r}_{c}", f"M{r + 1}_{c}")
+    _attach_edges(topo, managed)
+    config = _blocking_config(topo, managed)
+    return GeneratedCase(
+        name=f"grid-{rows}x{cols}",
+        topology=topo,
+        specification=_no_transit_spec(managed),
+        config=config,
+        device=_border_router(topo, managed),
+    )
+
+
+def random_case(
+    size: int,
+    edge_probability: float = 0.35,
+    seed: int = 0,
+) -> GeneratedCase:
+    """A connected random managed core (Erdos-Renyi over a spanning
+    chain, so connectivity is guaranteed and results are reproducible
+    for a given seed)."""
+    if size < 2:
+        raise ValueError("random core needs at least two managed routers")
+    rng = random.Random(seed)
+    managed = _managed_names(size)
+    topo = Topology(f"random-{size}-{seed}")
+    for name in managed:
+        topo.add_router(name, asn=200, role="managed")
+    for left, right in zip(managed, managed[1:]):
+        topo.add_link(left, right)
+    for i in range(size):
+        for j in range(i + 2, size):
+            if rng.random() < edge_probability:
+                topo.add_link(managed[i], managed[j])
+    _attach_edges(topo, managed)
+    config = _blocking_config(topo, managed)
+    return GeneratedCase(
+        name=topo.name,
+        topology=topo,
+        specification=_no_transit_spec(managed),
+        config=config,
+        device=_border_router(topo, managed),
+    )
+
+
+def leafspine_case(spines: int, leaves: int) -> GeneratedCase:
+    """A leaf-spine (folded-Clos) managed core: every leaf connects to
+    every spine.  The customer hangs off the first leaf, the providers
+    off the last leaf and the middle spine."""
+    if spines < 1 or leaves < 2:
+        raise ValueError("leaf-spine needs at least 1 spine and 2 leaves")
+    spine_names = [f"SP{i}" for i in range(spines)]
+    leaf_names = [f"LF{i}" for i in range(leaves)]
+    managed = spine_names + leaf_names
+    topo = Topology(f"leafspine-{spines}x{leaves}")
+    for name in managed:
+        topo.add_router(name, asn=200, role="managed")
+    for spine in spine_names:
+        for leaf in leaf_names:
+            topo.add_link(spine, leaf)
+    topo.add_router("C", asn=100, originated=[Prefix("10.0.0.0/24")], role="customer")
+    topo.add_router("P1", asn=500, originated=[Prefix("10.1.0.0/24")], role="provider")
+    topo.add_router("P2", asn=600, originated=[Prefix("10.2.0.0/24")], role="provider")
+    topo.add_router("D1", asn=700, originated=[Prefix("10.3.0.0/24")])
+    topo.add_link("C", leaf_names[0])
+    topo.add_link("P1", leaf_names[-1])
+    topo.add_link("P2", spine_names[len(spine_names) // 2])
+    topo.add_link("P1", "D1")
+    topo.add_link("P2", "D1")
+    config = _blocking_config(topo, managed)
+    return GeneratedCase(
+        name=topo.name,
+        topology=topo,
+        specification=_no_transit_spec(managed),
+        config=config,
+        device=leaf_names[-1],
+    )

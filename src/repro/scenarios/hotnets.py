@@ -1,0 +1,462 @@
+"""The paper's case study: Figure 1b topology and Scenarios 1-3.
+
+Each scenario bundles the global specification, a configuration sketch
+(what a NetComplete user would hand the synthesizer), and the concrete
+"paper configuration" whose explanations the paper walks through
+(Figures 1c, 2, 4, 5).
+
+Orientation note: our specification language writes paths uniformly in
+*traffic* direction (packets), while the paper's Figures 2 and 5 write
+some subspecifications in *announcement* direction (routes).  The two
+are reversals of each other; the tests and EXPERIMENTS.md compare
+modulo that reversal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..bgp.announcement import Community
+from ..bgp.config import Direction, NetworkConfig
+from ..bgp.routemap import (
+    DENY,
+    MatchAttribute,
+    PERMIT,
+    RouteMap,
+    RouteMapLine,
+    SetAttribute,
+    SetClause,
+)
+from ..bgp.sketch import Hole
+from ..spec.ast import Specification
+from ..spec.parser import parse
+from ..topology.graph import Topology
+from ..topology.prefixes import Prefix
+
+__all__ = [
+    "CUSTOMER_PREFIX",
+    "CUSTOMER_SUPERNET",
+    "P1_PREFIX",
+    "P2_PREFIX",
+    "D1_PREFIX",
+    "MANAGED",
+    "Scenario",
+    "hotnets_topology",
+    "scenario1",
+    "scenario2",
+    "scenario3",
+]
+
+CUSTOMER_PREFIX = Prefix("123.0.1.0/24")
+CUSTOMER_SUPERNET = Prefix("123.0.0.0/20")  # Figure 1c's prefix-list entry
+P1_PREFIX = Prefix("128.0.1.0/24")
+P2_PREFIX = Prefix("129.0.1.0/24")
+D1_PREFIX = Prefix("200.0.1.0/24")
+MANAGED = ("R1", "R2", "R3")
+
+TAG_VIA_P1 = Community(500, 1)
+TAG_VIA_P2 = Community(600, 1)
+
+
+@dataclass
+class Scenario:
+    """One of the paper's motivating scenarios, fully materialized."""
+
+    name: str
+    description: str
+    topology: Topology
+    specification: Specification
+    sketch: NetworkConfig
+    paper_config: NetworkConfig
+    notes: Dict[str, str] = field(default_factory=dict)
+
+
+def hotnets_topology() -> Topology:
+    """The paper's Figure 1b network.
+
+    Customer ``C`` (AS100) connects through a managed AS (``R1``,
+    ``R2``, ``R3``) to providers ``P1`` (AS500) and ``P2`` (AS600);
+    destination ``D1`` is reachable behind both providers.
+    """
+    topo = Topology("hotnets-fig1b")
+    topo.add_router("C", asn=100, originated=[CUSTOMER_PREFIX], role="customer")
+    topo.add_router("R1", asn=200, role="managed")
+    topo.add_router("R2", asn=200, role="managed")
+    topo.add_router("R3", asn=200, role="managed")
+    topo.add_router("P1", asn=500, originated=[P1_PREFIX], role="provider")
+    topo.add_router("P2", asn=600, originated=[P2_PREFIX], role="provider")
+    topo.add_router("D1", asn=700, originated=[D1_PREFIX], role="destination")
+    for a, b in [
+        ("C", "R3"),
+        ("R3", "R1"),
+        ("R3", "R2"),
+        ("R1", "R2"),
+        ("R1", "P1"),
+        ("R2", "P2"),
+        ("P1", "D1"),
+        ("P2", "D1"),
+    ]:
+        topo.add_link(a, b)
+    return topo
+
+
+# ----------------------------------------------------------------------
+# Specifications
+# ----------------------------------------------------------------------
+
+NO_TRANSIT_SPEC = """
+// No transit traffic (paper Figure 1a)
+Req1 {
+  !(P1 -> ... -> P2)
+  !(P2 -> ... -> P1)
+}
+"""
+
+PREFERENCE_SPEC = """
+// For D1, prefer the path through P1 over the path through P2
+// (paper Figure 3; NetComplete's interpretation blocks unlisted paths)
+Req2 {
+  (C -> R3 -> R1 -> P1 -> ... -> D1)
+    >> (C -> R3 -> R2 -> P2 -> ... -> D1)
+}
+"""
+
+CONNECTIVITY_SPEC = """
+// Scenario 1's refinement: providers must reach the customer through
+// the managed network
+Req3 {
+  (P1 -> R1 -> ... -> C)
+  (P2 -> R2 -> ... -> C)
+}
+"""
+
+
+# ----------------------------------------------------------------------
+# Configurations
+# ----------------------------------------------------------------------
+
+
+def _figure1c_r1_to_p1() -> RouteMap:
+    """R1's export map toward P1 as generated in the paper (Fig. 1c):
+    a deny line matching the customer prefix list (with the redundant
+    ``set next-hop``), followed by a catch-all deny."""
+    return RouteMap(
+        "R1_to_P1",
+        (
+            RouteMapLine(
+                seq=1,
+                action=DENY,
+                match_attr=MatchAttribute.DST_PREFIX,
+                match_value=CUSTOMER_SUPERNET,
+                sets=(SetClause(SetAttribute.NEXT_HOP, "10.0.0.1"),),
+            ),
+            RouteMapLine(seq=100, action=DENY),
+        ),
+    )
+
+
+def _selective_r2_to_p2() -> RouteMap:
+    """R2's export map toward P2: customer routes pass, the rest is
+    dropped (keeping C <-> P2 connectivity while preventing transit)."""
+    return RouteMap(
+        "R2_to_P2",
+        (
+            RouteMapLine(
+                seq=10,
+                action=PERMIT,
+                match_attr=MatchAttribute.DST_PREFIX,
+                match_value=CUSTOMER_PREFIX,
+            ),
+            RouteMapLine(seq=100, action=DENY),
+        ),
+    )
+
+
+def _sketch_like(config: NetworkConfig) -> NetworkConfig:
+    """A synthesis sketch derived from a concrete config: every line
+    action becomes a hole (the autocompletion question NetComplete
+    answers)."""
+    sketch = config.copy()
+    for router in config.topology.router_names:
+        router_config = config.router_config(router)
+        for direction, neighbor in router_config.sessions():
+            routemap = router_config.get_map(direction, neighbor)
+            assert routemap is not None
+            lines = []
+            for line in routemap.lines:
+                hole = Hole(
+                    f"{router}.{direction}.{neighbor}.{line.seq}.action",
+                    (PERMIT, DENY),
+                )
+                lines.append(
+                    RouteMapLine(
+                        seq=line.seq,
+                        action=hole,
+                        match_attr=line.match_attr,
+                        match_value=line.match_value,
+                        sets=line.sets,
+                    )
+                )
+            sketch.set_map(router, direction, neighbor, RouteMap(routemap.name, tuple(lines)))
+    return sketch
+
+
+def scenario1() -> Scenario:
+    """Scenario 1: identifying underspecified paths.
+
+    The only requirement is no-transit (Figure 1a).  The synthesized
+    configuration (Figure 1c) blocks *all* routes from R1 to P1 --
+    sufficient but unintended, as it cuts P1 off from the customer via
+    the managed network.  The explanation at R1 reveals this.
+    """
+    topo = hotnets_topology()
+    spec = parse(NO_TRANSIT_SPEC, managed=MANAGED)
+    config = NetworkConfig(topo)
+    config.set_map("R1", Direction.OUT, "P1", _figure1c_r1_to_p1())
+    config.set_map("R2", Direction.OUT, "P2", _selective_r2_to_p2())
+    return Scenario(
+        name="scenario1",
+        description="identifying underspecified paths (paper §2, Figures 1-2)",
+        topology=topo,
+        specification=spec,
+        sketch=_sketch_like(config),
+        paper_config=config,
+        notes={
+            "fix": (
+                "after seeing the explanation, the administrator adds the "
+                "connectivity requirement (P1 -> R1 -> ... -> C)"
+            ),
+        },
+    )
+
+
+def _scenario2_config(topo: Topology) -> NetworkConfig:
+    """The synthesized configuration for Req1 + Req2 under the BLOCK
+    interpretation: provenance tags on provider imports, a local-pref
+    ladder at R3, and drop rules for the unlisted detour paths."""
+    config = NetworkConfig(topo)
+    config.set_map("R1", Direction.OUT, "P1", _figure1c_r1_to_p1())
+    config.set_map("R2", Direction.OUT, "P2", _selective_r2_to_p2())
+    # Provenance tags: where did a route enter the managed network?
+    config.set_map(
+        "R1",
+        Direction.IN,
+        "P1",
+        RouteMap(
+            "R1_from_P1",
+            (
+                RouteMapLine(
+                    seq=10,
+                    action=PERMIT,
+                    sets=(SetClause(SetAttribute.COMMUNITY, TAG_VIA_P1),),
+                ),
+            ),
+        ),
+    )
+    config.set_map(
+        "R2",
+        Direction.IN,
+        "P2",
+        RouteMap(
+            "R2_from_P2",
+            (
+                RouteMapLine(
+                    seq=10,
+                    action=PERMIT,
+                    sets=(SetClause(SetAttribute.COMMUNITY, TAG_VIA_P2),),
+                ),
+            ),
+        ),
+    )
+    # R3's imports: drop detoured routes, rank the listed paths.
+    config.set_map(
+        "R3",
+        Direction.IN,
+        "R1",
+        RouteMap(
+            "R3_from_R1",
+            (
+                RouteMapLine(
+                    seq=10,
+                    action=DENY,
+                    match_attr=MatchAttribute.COMMUNITY,
+                    match_value=TAG_VIA_P2,
+                ),
+                RouteMapLine(
+                    seq=20,
+                    action=PERMIT,
+                    match_attr=MatchAttribute.DST_PREFIX,
+                    match_value=D1_PREFIX,
+                    sets=(SetClause(SetAttribute.LOCAL_PREF, 200),),
+                ),
+                RouteMapLine(seq=30, action=PERMIT),
+            ),
+        ),
+    )
+    config.set_map(
+        "R3",
+        Direction.IN,
+        "R2",
+        RouteMap(
+            "R3_from_R2",
+            (
+                RouteMapLine(
+                    seq=10,
+                    action=DENY,
+                    match_attr=MatchAttribute.COMMUNITY,
+                    match_value=TAG_VIA_P1,
+                ),
+                RouteMapLine(
+                    seq=20,
+                    action=PERMIT,
+                    match_attr=MatchAttribute.DST_PREFIX,
+                    match_value=D1_PREFIX,
+                    sets=(SetClause(SetAttribute.LOCAL_PREF, 150),),
+                ),
+                RouteMapLine(seq=30, action=PERMIT),
+            ),
+        ),
+    )
+    return config
+
+
+def scenario2() -> Scenario:
+    """Scenario 2: resolving ambiguous specifications.
+
+    Req2's preference is synthesized under interpretation (1): all
+    unspecified paths are blocked.  The subspecification at R3
+    (Figure 4) exposes the drop rules, revealing the lost redundancy.
+    """
+    topo = hotnets_topology()
+    spec = parse(NO_TRANSIT_SPEC + PREFERENCE_SPEC, managed=MANAGED)
+    config = _scenario2_config(topo)
+    return Scenario(
+        name="scenario2",
+        description="resolving ambiguous specifications (paper §2, Figures 3-4)",
+        topology=topo,
+        specification=spec,
+        sketch=_sketch_like(config),
+        paper_config=config,
+        notes={
+            "ambiguity": (
+                "the administrator intended interpretation (2) -- unlisted "
+                "paths as fallback -- but the synthesizer applied "
+                "interpretation (1); verify the same config against the "
+                "'fallback' variant of Req2 to see the redundancy loss"
+            ),
+        },
+    )
+
+
+def scenario3() -> Scenario:
+    """Scenario 3: taming complexity.
+
+    All requirements hold at once; asking about the no-transit
+    requirement alone shows R3's subspecification is empty while R1 and
+    R2 carry the actual blocking obligations (Figures 2 and 5).
+    """
+    topo = hotnets_topology()
+    spec = parse(
+        NO_TRANSIT_SPEC + PREFERENCE_SPEC + CONNECTIVITY_SPEC, managed=MANAGED
+    )
+    base = _scenario2_config(topo)
+    # Req3 requires P1 -> R1 -> ... -> C: R1 must export customer routes
+    # to P1, so the Figure 1c blanket deny is refined to block only
+    # non-customer routes.
+    refined_r1_to_p1 = RouteMap(
+        "R1_to_P1",
+        (
+            RouteMapLine(
+                seq=1,
+                action=PERMIT,
+                match_attr=MatchAttribute.DST_PREFIX,
+                match_value=CUSTOMER_SUPERNET,
+                sets=(SetClause(SetAttribute.NEXT_HOP, "10.0.0.1"),),
+            ),
+            RouteMapLine(seq=100, action=DENY),
+        ),
+    )
+    base.set_map("R1", Direction.OUT, "P1", refined_r1_to_p1)
+    return Scenario(
+        name="scenario3",
+        description="taming complexity (paper §2, Figure 5)",
+        topology=topo,
+        specification=spec,
+        sketch=_sketch_like(base),
+        paper_config=base,
+        notes={
+            "per-requirement": (
+                "explanations are asked per requirement block; for Req1 the "
+                "subspecification at R3 is empty"
+            ),
+        },
+    )
+
+
+def scenario2_fixed() -> Scenario:
+    """Scenario 2's resolution: re-synthesize under interpretation (2).
+
+    The administrator "adds additional specifications to allow other
+    available paths as the last resort": the preference is restated in
+    FALLBACK mode and R3's import policies become the sketch -- the
+    drop-line actions and the local-preference parameters are holes the
+    synthesizer must refill.
+    """
+    topo = hotnets_topology()
+    spec = parse(
+        NO_TRANSIT_SPEC
+        + """
+        // interpretation (2): unlisted paths serve as fallbacks
+        Req2 {
+          (C -> R3 -> R1 -> P1 -> ... -> D1)
+            >> (C -> R3 -> R2 -> P2 -> ... -> D1) fallback
+        }
+        """,
+        managed=MANAGED,
+    )
+    base = _scenario2_config(topo)
+    sketch = base.copy()
+    for neighbor in ("R1", "R2"):
+        routemap = base.get_map("R3", Direction.IN, neighbor)
+        assert routemap is not None
+        drop_line = routemap.line(10)
+        lp_line = routemap.line(20)
+        action_hole = Hole(f"R3.in.{neighbor}.10.action", (PERMIT, DENY))
+        lp_hole = Hole(f"R3.in.{neighbor}.20.lp", (100, 150, 200, 300))
+        new_map = routemap.replace_line(
+            10,
+            RouteMapLine(
+                seq=10,
+                action=action_hole,
+                match_attr=drop_line.match_attr,
+                match_value=drop_line.match_value,
+            ),
+        ).replace_line(
+            20,
+            RouteMapLine(
+                seq=20,
+                action=lp_line.action,
+                match_attr=lp_line.match_attr,
+                match_value=lp_line.match_value,
+                sets=(SetClause(SetAttribute.LOCAL_PREF, lp_hole),),
+            ),
+        )
+        sketch.set_map("R3", Direction.IN, neighbor, new_map)
+    return Scenario(
+        name="scenario2_fixed",
+        description=(
+            "scenario 2 resolved: preference re-synthesized under the "
+            "fallback interpretation (paper §2)"
+        ),
+        topology=topo,
+        specification=spec,
+        sketch=sketch,
+        paper_config=base,  # the *old* (block-mode) config, for contrast
+        notes={
+            "resolution": (
+                "synthesize from the sketch to obtain a configuration that "
+                "keeps the detours open; the old config fails this spec"
+            ),
+        },
+    )

@@ -1,0 +1,79 @@
+"""Constraint substrate: term language, rewrite engine, decision procedure.
+
+This package replaces the z3 dependency of the original system with a
+self-contained finite-domain constraint stack:
+
+* :mod:`repro.smt.terms` / :mod:`repro.smt.builders` -- hash-consed AST,
+* :mod:`repro.smt.rewrite` -- the paper's 15 simplification rules,
+* :mod:`repro.smt.fdblast` / :mod:`repro.smt.cnf` / :mod:`repro.smt.sat`
+  -- one-hot blasting, Tseitin CNF, CDCL SAT,
+* :mod:`repro.smt.solver` -- sat/validity/entailment/model enumeration,
+* :mod:`repro.smt.printer` -- human-readable constraint rendering.
+"""
+
+from .builders import (
+    And,
+    AtMostOne,
+    BoolVal,
+    BoolVar,
+    Distinct,
+    EnumVal,
+    EnumVar,
+    Eq,
+    ExactlyOne,
+    FALSE,
+    Ge,
+    Gt,
+    Iff,
+    Implies,
+    IntVal,
+    IntVar,
+    Ite,
+    Le,
+    Lt,
+    Ne,
+    Not,
+    Or,
+    Plus,
+    TRUE,
+    Xor,
+)
+from .model import Model
+from .mus import is_minimal_unsat, minimal_unsat_subset
+from .printer import render_conjunction, to_infix, to_sexpr
+from .rewrite import (
+    ALL_RULES,
+    RULES_BY_NAME,
+    RewriteEngine,
+    RewriteRule,
+    RewriteStats,
+    simplify,
+)
+from .solver import (
+    check_sat,
+    count_models,
+    entails,
+    equivalent,
+    is_satisfiable,
+    is_valid,
+    iter_models,
+)
+from .terms import BOOL, INT, EnumSort, Sort, SortError, Term
+
+__all__ = [
+    # terms
+    "Term", "Sort", "EnumSort", "BOOL", "INT", "SortError",
+    # builders
+    "TRUE", "FALSE", "BoolVal", "IntVal", "EnumVal", "BoolVar", "IntVar",
+    "EnumVar", "Not", "And", "Or", "Implies", "Iff", "Xor", "Eq", "Ne",
+    "Le", "Lt", "Ge", "Gt", "Ite", "Plus", "Distinct", "ExactlyOne", "AtMostOne",
+    # rewrite
+    "ALL_RULES", "RULES_BY_NAME", "RewriteEngine", "RewriteRule",
+    "RewriteStats", "simplify",
+    # solver
+    "check_sat", "is_satisfiable", "is_valid", "entails", "equivalent",
+    "iter_models", "count_models", "Model",
+    "minimal_unsat_subset", "is_minimal_unsat",
+    # printing
+    "to_infix", "to_sexpr", "render_conjunction",
+]

@@ -1,0 +1,266 @@
+"""Ergonomic construction API for :mod:`repro.smt.terms`.
+
+These smart constructors perform *only* the normalisation needed for a
+well-formed AST (sort checking, n-ary flattening of trivially empty or
+singleton connectives).  All logical simplification is left to the
+rewrite engine in :mod:`repro.smt.rewrite` so that rule ablations in
+the benchmarks measure the full rewrite workload.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Union
+
+from .terms import BOOL, INT, EnumSort, Sort, SortError, Term, TermKind, Value
+
+__all__ = [
+    "TRUE",
+    "FALSE",
+    "BoolVal",
+    "IntVal",
+    "EnumVal",
+    "BoolVar",
+    "IntVar",
+    "EnumVar",
+    "Not",
+    "And",
+    "Or",
+    "Implies",
+    "Iff",
+    "Xor",
+    "Eq",
+    "Ne",
+    "Le",
+    "Lt",
+    "Ge",
+    "Gt",
+    "Ite",
+    "Plus",
+    "Distinct",
+    "ExactlyOne",
+    "AtMostOne",
+    "coerce",
+]
+
+TRUE = Term.const(True)
+FALSE = Term.const(False)
+
+TermLike = Union[Term, bool, int, str]
+
+
+def coerce(value: TermLike, sort: Optional[Sort] = None) -> Term:
+    """Coerce a Python value (or pass through a term) to a :class:`Term`."""
+    if isinstance(value, Term):
+        return value
+    if isinstance(value, bool):
+        return TRUE if value else FALSE
+    if isinstance(value, int):
+        return Term.const(value, INT)
+    if isinstance(value, str):
+        if sort is None or not sort.is_enum():
+            raise SortError(f"string constant {value!r} requires an enum sort")
+        return Term.const(value, sort)
+    raise SortError(f"cannot coerce {value!r} to a term")
+
+
+def BoolVal(value: bool) -> Term:
+    return TRUE if value else FALSE
+
+
+def IntVal(value: int) -> Term:
+    return Term.const(int(value), INT)
+
+
+def EnumVal(sort: EnumSort, value: str) -> Term:
+    return Term.const(value, sort)
+
+
+def BoolVar(name: str) -> Term:
+    return Term.var(name, BOOL)
+
+
+def IntVar(name: str, domain: Iterable[int]) -> Term:
+    return Term.var(name, INT, domain)
+
+
+def EnumVar(name: str, sort: EnumSort) -> Term:
+    return Term.var(name, sort)
+
+
+def _require_bool(term: Term, context: str) -> Term:
+    if not term.sort.is_bool():
+        raise SortError(f"{context} expects a boolean, got {term.sort}")
+    return term
+
+
+def Not(operand: TermLike) -> Term:
+    term = _require_bool(coerce(operand), "Not")
+    return Term(TermKind.NOT, BOOL, (term,))
+
+
+def And(*operands: TermLike) -> Term:
+    terms = _connective_args(operands, "And")
+    if not terms:
+        return TRUE
+    if len(terms) == 1:
+        return terms[0]
+    return Term(TermKind.AND, BOOL, terms)
+
+
+def Or(*operands: TermLike) -> Term:
+    terms = _connective_args(operands, "Or")
+    if not terms:
+        return FALSE
+    if len(terms) == 1:
+        return terms[0]
+    return Term(TermKind.OR, BOOL, terms)
+
+
+def _connective_args(operands: Sequence[TermLike], context: str) -> tuple:
+    if len(operands) == 1 and isinstance(operands[0], (list, tuple, frozenset, set)):
+        operands = tuple(operands[0])  # type: ignore[assignment]
+    return tuple(_require_bool(coerce(op), context) for op in operands)
+
+
+def Implies(antecedent: TermLike, consequent: TermLike) -> Term:
+    lhs = _require_bool(coerce(antecedent), "Implies")
+    rhs = _require_bool(coerce(consequent), "Implies")
+    return Term(TermKind.IMPLIES, BOOL, (lhs, rhs))
+
+
+def Iff(lhs: TermLike, rhs: TermLike) -> Term:
+    left = _require_bool(coerce(lhs), "Iff")
+    right = _require_bool(coerce(rhs), "Iff")
+    return Term(TermKind.IFF, BOOL, (left, right))
+
+
+def Xor(lhs: TermLike, rhs: TermLike) -> Term:
+    return Not(Iff(lhs, rhs))
+
+
+def _relation_args(lhs: TermLike, rhs: TermLike, context: str) -> tuple:
+    left = coerce(lhs) if isinstance(lhs, Term) else None
+    right = coerce(rhs) if isinstance(rhs, Term) else None
+    if left is None and right is None:
+        left = coerce(lhs)
+        right = coerce(rhs)
+    elif left is None:
+        assert right is not None
+        left = coerce(lhs, right.sort)
+    elif right is None:
+        right = coerce(rhs, left.sort)
+    assert left is not None and right is not None
+    if left.sort is not right.sort:
+        raise SortError(f"{context} over mismatched sorts {left.sort} / {right.sort}")
+    return left, right
+
+
+def Eq(lhs: TermLike, rhs: TermLike) -> Term:
+    left, right = _relation_args(lhs, rhs, "Eq")
+    if left.sort.is_bool():
+        return Iff(left, right)
+    return Term(TermKind.EQ, BOOL, (left, right))
+
+
+def Ne(lhs: TermLike, rhs: TermLike) -> Term:
+    return Not(Eq(lhs, rhs))
+
+
+def _ordered(lhs: TermLike, rhs: TermLike, context: str) -> tuple:
+    left, right = _relation_args(lhs, rhs, context)
+    if not left.sort.is_int():
+        raise SortError(f"{context} requires integer terms, got {left.sort}")
+    return left, right
+
+
+def Le(lhs: TermLike, rhs: TermLike) -> Term:
+    left, right = _ordered(lhs, rhs, "Le")
+    return Term(TermKind.LE, BOOL, (left, right))
+
+
+def Lt(lhs: TermLike, rhs: TermLike) -> Term:
+    left, right = _ordered(lhs, rhs, "Lt")
+    return Term(TermKind.LT, BOOL, (left, right))
+
+
+def Ge(lhs: TermLike, rhs: TermLike) -> Term:
+    return Le(rhs, lhs)
+
+
+def Gt(lhs: TermLike, rhs: TermLike) -> Term:
+    return Lt(rhs, lhs)
+
+
+def Ite(cond: TermLike, then: TermLike, orelse: TermLike) -> Term:
+    condition = _require_bool(coerce(cond), "Ite")
+    then_t = coerce(then)
+    else_t = coerce(orelse)
+    if then_t.sort is not else_t.sort:
+        raise SortError(f"Ite branches have sorts {then_t.sort} / {else_t.sort}")
+    if then_t.sort.is_bool():
+        # Boolean ite is expressed with connectives so the rewrite rules
+        # (which target the boolean fragment) apply uniformly.
+        return And(Implies(condition, then_t), Implies(Not(condition), else_t))
+    return Term(TermKind.ITE, then_t.sort, (condition, then_t, else_t))
+
+
+def Plus(*operands: TermLike) -> Term:
+    """N-ary integer addition.
+
+    Unlike the boolean connectives, ``Plus`` folds constants and
+    flattens at construction: sums are *data* for the finite-domain
+    layer, not targets of the paper's boolean rewrite rules, and an
+    unfolded constant sum would only bloat the one-hot blasting.
+    """
+    if len(operands) == 1 and isinstance(operands[0], (list, tuple)):
+        operands = tuple(operands[0])  # type: ignore[assignment]
+    flat = []
+    constant = 0
+    for operand in operands:
+        term = coerce(operand)
+        if not term.sort.is_int():
+            raise SortError(f"Plus expects integer terms, got {term.sort}")
+        if term.kind == TermKind.PLUS:
+            children = term.children
+        else:
+            children = (term,)
+        for child in children:
+            if child.is_const():
+                constant += child.value  # type: ignore[operator]
+            else:
+                flat.append(child)
+    if not flat:
+        return IntVal(constant)
+    if constant != 0:
+        flat.append(IntVal(constant))
+    if len(flat) == 1:
+        return flat[0]
+    return Term(TermKind.PLUS, INT, tuple(flat))
+
+
+def Distinct(*operands: TermLike) -> Term:
+    """Pairwise disequality."""
+    terms = [coerce(op) for op in operands]
+    clauses = []
+    for i, a in enumerate(terms):
+        for b in terms[i + 1:]:
+            clauses.append(Ne(a, b))
+    return And(*clauses)
+
+
+def AtMostOne(*operands: TermLike) -> Term:
+    """At most one of the boolean operands holds (pairwise encoding)."""
+    terms = _connective_args(operands, "AtMostOne")
+    clauses = []
+    for i, a in enumerate(terms):
+        for b in terms[i + 1:]:
+            clauses.append(Or(Not(a), Not(b)))
+    return And(*clauses)
+
+
+def ExactlyOne(*operands: TermLike) -> Term:
+    """Exactly one of the boolean operands holds."""
+    terms = _connective_args(operands, "ExactlyOne")
+    if not terms:
+        return FALSE
+    return And(Or(*terms), AtMostOne(*terms))

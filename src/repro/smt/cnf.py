@@ -1,0 +1,155 @@
+"""Tseitin conversion from boolean terms to CNF clause lists.
+
+Literals use the DIMACS convention: variables are positive integers,
+negation is arithmetic negation.  The conversion is linear in the size
+of the (hash-consed) term DAG: every distinct subterm receives at most
+one definition variable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .terms import Term, TermKind
+
+__all__ = ["CnfResult", "to_cnf", "to_dimacs"]
+
+
+@dataclass
+class CnfResult:
+    """A CNF formula plus the variable naming maps.
+
+    Attributes
+    ----------
+    clauses:
+        List of clauses; each clause is a tuple of non-zero ints.
+    var_ids:
+        Maps boolean variable names to DIMACS ids.
+    num_vars:
+        Total number of DIMACS variables (including Tseitin
+        definition variables, which have no entry in ``var_ids``).
+    """
+
+    clauses: List[Tuple[int, ...]] = field(default_factory=list)
+    var_ids: Dict[str, int] = field(default_factory=dict)
+    num_vars: int = 0
+
+    def id_of(self, name: str) -> int:
+        return self.var_ids[name]
+
+    def decode(self, assignment: Dict[int, bool]) -> Dict[str, bool]:
+        """Project a DIMACS assignment onto the named variables."""
+        return {
+            name: assignment.get(var_id, False) for name, var_id in self.var_ids.items()
+        }
+
+
+class _Tseitin:
+    def __init__(self) -> None:
+        self.result = CnfResult()
+        self._literal_cache: Dict[Term, int] = {}
+
+    def fresh(self) -> int:
+        self.result.num_vars += 1
+        return self.result.num_vars
+
+    def var_literal(self, name: str) -> int:
+        var_id = self.result.var_ids.get(name)
+        if var_id is None:
+            var_id = self.fresh()
+            self.result.var_ids[name] = var_id
+        return var_id
+
+    def emit(self, *literals: int) -> None:
+        self.result.clauses.append(tuple(literals))
+
+    def literal(self, term: Term) -> int:
+        """Return a literal equivalent to ``term`` (defining it if needed)."""
+        cached = self._literal_cache.get(term)
+        if cached is not None:
+            return cached
+        literal = self._define(term)
+        self._literal_cache[term] = literal
+        return literal
+
+    def _define(self, term: Term) -> int:
+        kind = term.kind
+        if kind == TermKind.CONST:
+            anchor = self.fresh()
+            # A fresh variable pinned to the constant's polarity; the
+            # anchor literal then *is* the constant.
+            self.emit(anchor if term.payload else -anchor)
+            return anchor
+        if kind == TermKind.VAR:
+            return self.var_literal(term.name)
+        if kind == TermKind.NOT:
+            return -self.literal(term.children[0])
+        if kind == TermKind.AND:
+            child_lits = [self.literal(child) for child in term.children]
+            gate = self.fresh()
+            for lit in child_lits:
+                self.emit(-gate, lit)
+            self.emit(gate, *(-lit for lit in child_lits))
+            return gate
+        if kind == TermKind.OR:
+            child_lits = [self.literal(child) for child in term.children]
+            gate = self.fresh()
+            for lit in child_lits:
+                self.emit(gate, -lit)
+            self.emit(-gate, *child_lits)
+            return gate
+        if kind == TermKind.IMPLIES:
+            lhs, rhs = term.children
+            a, b = self.literal(lhs), self.literal(rhs)
+            gate = self.fresh()
+            # gate <-> (!a | b)
+            self.emit(gate, a)
+            self.emit(gate, -b)
+            self.emit(-gate, -a, b)
+            return gate
+        if kind == TermKind.IFF:
+            lhs, rhs = term.children
+            a, b = self.literal(lhs), self.literal(rhs)
+            gate = self.fresh()
+            self.emit(-gate, -a, b)
+            self.emit(-gate, a, -b)
+            self.emit(gate, a, b)
+            self.emit(gate, -a, -b)
+            return gate
+        raise AssertionError(
+            f"term of kind {kind!r} reached CNF conversion; blast it first"
+        )
+
+
+def to_cnf(term: Term) -> CnfResult:
+    """Convert a pure-boolean term to CNF via Tseitin transformation.
+
+    The input must contain only constants, boolean variables and
+    connectives (run :func:`repro.smt.fdblast.blast` first for terms
+    with finite-domain atoms).  The root literal is asserted as a unit
+    clause, making the CNF equisatisfiable with the term.
+    """
+    converter = _Tseitin()
+    if term.is_true():
+        return converter.result
+    if term.is_false():
+        converter.result.clauses.append(())
+        return converter.result
+    root = converter.literal(term)
+    converter.emit(root)
+    return converter.result
+
+
+def to_dimacs(cnf: CnfResult, comment: str = "") -> str:
+    """Serialize a :class:`CnfResult` in DIMACS CNF format."""
+    lines: List[str] = []
+    if comment:
+        for line in comment.splitlines():
+            lines.append(f"c {line}")
+    for name, var_id in sorted(cnf.var_ids.items(), key=lambda kv: kv[1]):
+        lines.append(f"c var {var_id} = {name}")
+    lines.append(f"p cnf {cnf.num_vars} {len(cnf.clauses)}")
+    for clause in cnf.clauses:
+        lines.append(" ".join(str(lit) for lit in clause) + " 0")
+    return "\n".join(lines) + "\n"

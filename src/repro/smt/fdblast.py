@@ -1,0 +1,284 @@
+"""Finite-domain blasting: reduce terms to pure propositional logic.
+
+Every non-boolean variable in the NetComplete-style encoding ranges
+over a small finite domain (route-map actions, local-preference
+levels, community indices, next-hop identifiers).  We therefore decide
+satisfiability by *one-hot encoding*: a variable ``v`` with domain
+``d1..dk`` becomes ``k`` indicator booleans ``v@di`` together with an
+exactly-one side condition, and every atom (``=``, ``<=``, ``<``)
+becomes a boolean combination of indicators.
+
+The resulting formula is purely boolean and is handed to the Tseitin
+converter (:mod:`repro.smt.cnf`) and the CDCL solver
+(:mod:`repro.smt.sat`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from .builders import And, BoolVar, ExactlyOne, FALSE, Implies, Not, Or, TRUE
+from .terms import Term, TermKind, Value
+
+__all__ = ["BlastResult", "blast", "indicator_name"]
+
+
+def indicator_name(variable: Term, value: Value) -> str:
+    """Name of the indicator boolean for ``variable == value``."""
+    return f"{variable.name}@{value}"
+
+
+@dataclass
+class BlastResult:
+    """Outcome of blasting a term.
+
+    Attributes
+    ----------
+    formula:
+        Pure-boolean equivalent of the input (over original boolean
+        variables plus indicator booleans), *including* the
+        exactly-one side conditions.
+    goal:
+        The translated input without the side conditions (useful for
+        unsat-core style inspection).
+    variables:
+        The original non-boolean variables, mapped to their indicator
+        boolean terms in domain order.
+    """
+
+    formula: Term
+    goal: Term
+    variables: Dict[Term, Tuple[Term, ...]] = field(default_factory=dict)
+
+    def decode(self, bool_model: Mapping[str, bool]) -> Dict[str, Value]:
+        """Map a boolean model over indicators back to typed values.
+
+        Unconstrained variables (absent from the boolean model) default
+        to their first domain value / ``False``.
+        """
+        assignment: Dict[str, Value] = {}
+        for variable, indicators in self.variables.items():
+            domain = variable.value_domain()
+            chosen: Optional[Value] = None
+            for value, indicator in zip(domain, indicators):
+                if bool_model.get(indicator.name, False):
+                    chosen = value
+                    break
+            assignment[variable.name] = chosen if chosen is not None else domain[0]
+        for name, value in bool_model.items():
+            if "@" not in name and not name.startswith("__tseitin"):
+                assignment.setdefault(name, value)
+        return assignment
+
+
+class _Blaster:
+    def __init__(self) -> None:
+        self.indicators: Dict[Term, Tuple[Term, ...]] = {}
+        self.side_conditions: List[Term] = []
+        self._cache: Dict[Term, Term] = {}
+        self._cases_cache: Dict[Term, list] = {}
+
+    def boolean(self, term: Term) -> Term:
+        cached = self._cache.get(term)
+        if cached is not None:
+            return cached
+        result = self._boolean(term)
+        self._cache[term] = result
+        return result
+
+    def _boolean(self, term: Term) -> Term:
+        kind = term.kind
+        if kind == TermKind.CONST:
+            return term
+        if kind == TermKind.VAR:
+            return term  # boolean variable
+        if kind == TermKind.NOT:
+            return Not(self.boolean(term.children[0]))
+        if kind in (TermKind.AND, TermKind.OR):
+            children = tuple(self.boolean(child) for child in term.children)
+            return And(*children) if kind == TermKind.AND else Or(*children)
+        if kind == TermKind.IMPLIES:
+            lhs, rhs = term.children
+            return Implies(self.boolean(lhs), self.boolean(rhs))
+        if kind == TermKind.IFF:
+            lhs, rhs = term.children
+            left, right = self.boolean(lhs), self.boolean(rhs)
+            return And(Implies(left, right), Implies(right, left))
+        if kind in TermKind.ATOM_RELATIONS:
+            return self._relation(term)
+        raise AssertionError(f"non-boolean term reached boolean translation: {term!r}")
+
+    # ------------------------------------------------------------------
+
+    def _indicators(self, variable: Term) -> Tuple[Term, ...]:
+        existing = self.indicators.get(variable)
+        if existing is not None:
+            return existing
+        domain = variable.value_domain()
+        bits = tuple(BoolVar(indicator_name(variable, value)) for value in domain)
+        self.indicators[variable] = bits
+        self.side_conditions.append(ExactlyOne(*bits))
+        return bits
+
+    def _indicator_for(self, variable: Term, value: Value) -> Term:
+        domain = variable.value_domain()
+        if value not in domain:
+            return FALSE
+        bits = self._indicators(variable)
+        return bits[domain.index(value)]
+
+    def _relation(self, term: Term) -> Term:
+        lhs, rhs = term.children
+        # Lift ite out of relations (mirrors the relation-fold rewrite,
+        # so blasting does not require pre-simplified input).
+        for index, side in ((0, lhs), (1, rhs)):
+            if side.kind == TermKind.ITE:
+                cond, then, orelse = side.children
+                if index == 0:
+                    then_rel = Term(term.kind, term.sort, (then, rhs))
+                    else_rel = Term(term.kind, term.sort, (orelse, rhs))
+                else:
+                    then_rel = Term(term.kind, term.sort, (lhs, then))
+                    else_rel = Term(term.kind, term.sort, (lhs, orelse))
+                lifted = And(Implies(cond, then_rel), Implies(Not(cond), else_rel))
+                return self.boolean(lifted)
+        # Arithmetic (Plus) sides go through value-case enumeration.
+        if lhs.kind == TermKind.PLUS or rhs.kind == TermKind.PLUS:
+            return self._relation_by_cases(term.kind, lhs, rhs)
+        if term.kind == TermKind.EQ:
+            return self._equality(lhs, rhs)
+        return self._order(term.kind, lhs, rhs)
+
+    # ------------------------------------------------------------------
+    # Value-case enumeration for arithmetic terms
+    # ------------------------------------------------------------------
+
+    def _value_cases(self, term: Term) -> "list[tuple]":
+        """All ``(value, condition)`` pairs a finite-value term can take.
+
+        Conditions are pure-boolean terms over indicators; for each
+        total assignment exactly one condition holds.  Sums convolve
+        their children's cases with per-step deduplication, so the case
+        count stays bounded by the value range rather than the product
+        of domain sizes.
+        """
+        cached = self._cases_cache.get(term)
+        if cached is not None:
+            return cached
+        if term.is_const():
+            result = [(term.value, TRUE)]
+        elif term.is_var():
+            result = [
+                (value, self._indicator_for(term, value))
+                for value in term.value_domain()
+            ]
+        elif term.kind == TermKind.ITE:
+            cond, then, orelse = term.children
+            condition = self.boolean(cond)
+            negated = Not(condition)
+            result_map: Dict[Value, List[Term]] = {}
+            for value, case in self._value_cases(then):
+                result_map.setdefault(value, []).append(And(condition, case))
+            for value, case in self._value_cases(orelse):
+                result_map.setdefault(value, []).append(And(negated, case))
+            result = [(value, Or(*conds)) for value, conds in sorted(result_map.items())]
+        elif term.kind == TermKind.PLUS:
+            partial: List[tuple] = [(0, TRUE)]
+            for child in term.children:
+                child_cases = self._value_cases(child)
+                combined: Dict[Value, List[Term]] = {}
+                for total, total_cond in partial:
+                    for value, case in child_cases:
+                        key = total + value  # type: ignore[operator]
+                        combined.setdefault(key, []).append(And(total_cond, case))
+                partial = [
+                    (value, Or(*conds)) for value, conds in sorted(combined.items())
+                ]
+            result = partial
+        else:
+            raise AssertionError(f"unsupported value term {term!r}")
+        self._cases_cache[term] = result
+        return result
+
+    def _relation_by_cases(self, kind: str, lhs: Term, rhs: Term) -> Term:
+        def holds(a: Value, b: Value) -> bool:
+            if kind == TermKind.EQ:
+                return a == b
+            if kind == TermKind.LE:
+                return a <= b  # type: ignore[operator]
+            return a < b  # type: ignore[operator]
+
+        lhs_cases = self._value_cases(lhs)
+        rhs_cases = self._value_cases(rhs)
+        options = [
+            And(lcond, rcond)
+            for lvalue, lcond in lhs_cases
+            for rvalue, rcond in rhs_cases
+            if holds(lvalue, rvalue)
+        ]
+        return Or(*options)
+
+    def _equality(self, lhs: Term, rhs: Term) -> Term:
+        if lhs.is_const() and rhs.is_const():
+            return TRUE if lhs.value == rhs.value else FALSE
+        if lhs is rhs:
+            return TRUE
+        if lhs.is_var() and rhs.is_const():
+            return self._indicator_for(lhs, rhs.value)
+        if rhs.is_var() and lhs.is_const():
+            return self._indicator_for(rhs, lhs.value)
+        assert lhs.is_var() and rhs.is_var(), f"unsupported equality {lhs!r} = {rhs!r}"
+        shared = [value for value in lhs.value_domain() if value in set(rhs.value_domain())]
+        cases = [
+            And(self._indicator_for(lhs, value), self._indicator_for(rhs, value))
+            for value in shared
+        ]
+        return Or(*cases)
+
+    def _order(self, kind: str, lhs: Term, rhs: Term) -> Term:
+        def holds(a: Value, b: Value) -> bool:
+            if kind == TermKind.LE:
+                return a <= b  # type: ignore[operator]
+            return a < b  # type: ignore[operator]
+
+        if lhs.is_const() and rhs.is_const():
+            return TRUE if holds(lhs.value, rhs.value) else FALSE
+        if lhs is rhs:
+            return TRUE if kind == TermKind.LE else FALSE
+        if lhs.is_var() and rhs.is_const():
+            cases = [
+                self._indicator_for(lhs, value)
+                for value in lhs.value_domain()
+                if holds(value, rhs.value)
+            ]
+            return Or(*cases)
+        if rhs.is_var() and lhs.is_const():
+            cases = [
+                self._indicator_for(rhs, value)
+                for value in rhs.value_domain()
+                if holds(lhs.value, value)
+            ]
+            return Or(*cases)
+        assert lhs.is_var() and rhs.is_var(), f"unsupported order atom {lhs!r} ? {rhs!r}"
+        cases = []
+        for a in lhs.value_domain():
+            for b in rhs.value_domain():
+                if holds(a, b):
+                    cases.append(And(self._indicator_for(lhs, a), self._indicator_for(rhs, b)))
+        return Or(*cases)
+
+
+def blast(term: Term) -> BlastResult:
+    """Blast ``term`` into pure propositional logic.
+
+    The input must be boolean-sorted.  The output formula is
+    equisatisfiable with the input, and every model of the output
+    decodes (via :meth:`BlastResult.decode`) to a model of the input.
+    """
+    if not term.sort.is_bool():
+        raise ValueError(f"can only blast boolean terms, got sort {term.sort}")
+    blaster = _Blaster()
+    goal = blaster.boolean(term)
+    formula = And(goal, *blaster.side_conditions)
+    return BlastResult(formula=formula, goal=goal, variables=dict(blaster.indicators))

@@ -1,0 +1,72 @@
+"""Typed models (satisfying assignments) for terms."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Mapping, Optional, Tuple
+
+from .terms import Term, Value
+
+__all__ = ["Model"]
+
+
+@dataclass(frozen=True)
+class Model:
+    """A satisfying assignment, mapping variable names to Python values.
+
+    Models behave like read-only mappings and additionally support
+    evaluation of arbitrary terms over the assignment.
+    """
+
+    assignment: Mapping[str, Value] = field(default_factory=dict)
+
+    def __getitem__(self, key) -> Value:
+        name = key.name if isinstance(key, Term) else key
+        return self.assignment[name]
+
+    def get(self, key, default: Optional[Value] = None) -> Optional[Value]:
+        name = key.name if isinstance(key, Term) else key
+        return self.assignment.get(name, default)
+
+    def __contains__(self, key) -> bool:
+        name = key.name if isinstance(key, Term) else key
+        return name in self.assignment
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.assignment)
+
+    def __len__(self) -> int:
+        return len(self.assignment)
+
+    def evaluate(self, term: Term) -> Value:
+        """Evaluate ``term`` under this model."""
+        return term.evaluate(self.assignment)
+
+    def satisfies(self, term: Term) -> bool:
+        """Whether this model makes a boolean term true."""
+        return bool(self.evaluate(term))
+
+    def restrict(self, variables) -> "Model":
+        """Project the model onto ``variables`` (terms or names)."""
+        names = {v.name if isinstance(v, Term) else v for v in variables}
+        return Model({k: v for k, v in self.assignment.items() if k in names})
+
+    def items(self) -> Tuple[Tuple[str, Value], ...]:
+        return tuple(sorted(self.assignment.items()))
+
+    def as_substitution(self, variables) -> Dict[Term, Term]:
+        """Build a substitution ``{var term: const term}`` for the given
+        variable terms, taking values from this model."""
+        substitution: Dict[Term, Term] = {}
+        for variable in variables:
+            value = self.assignment.get(variable.name)
+            if value is None and not variable.sort.is_bool():
+                continue
+            if variable.name not in self.assignment:
+                continue
+            substitution[variable] = Term.const(value, variable.sort)
+        return substitution
+
+    def __str__(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in self.items())
+        return f"{{{inner}}}"

@@ -1,0 +1,72 @@
+"""Minimal unsatisfiable subset (MUS) extraction over conjunct sets.
+
+Deletion-based MUS: given an unsatisfiable conjunction of constraints,
+repeatedly try to drop one constraint; if the rest is still
+unsatisfiable, the dropped constraint was irrelevant.  The survivors
+form a *minimal* unsatisfiable subset: removing any single element
+makes the rest satisfiable.
+
+Used by :mod:`repro.synthesis.diagnose` to explain *why* a
+specification is unrealizable -- which requirement statements conflict
+-- supporting the paper's "faster specification refinement iteration"
+motivation (§1).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from .builders import And
+from .solver import check_sat
+from .terms import Term
+
+__all__ = ["minimal_unsat_subset", "is_minimal_unsat"]
+
+
+def minimal_unsat_subset(
+    constraints: Sequence[Term],
+    background: Optional[Term] = None,
+) -> Tuple[Term, ...]:
+    """A minimal subset of ``constraints`` that is unsatisfiable
+    (together with the always-kept ``background``).
+
+    Raises
+    ------
+    ValueError
+        If the full set (with background) is satisfiable -- there is
+        nothing to diagnose.
+    """
+    base = background if background is not None else And()
+
+    def unsat(subset: Sequence[Term]) -> bool:
+        return check_sat(And(base, *subset)) is None
+
+    constraints = list(constraints)
+    if not unsat(constraints):
+        raise ValueError("constraint set is satisfiable; no unsat subset exists")
+
+    kept: List[Term] = list(constraints)
+    index = 0
+    while index < len(kept):
+        candidate = kept[:index] + kept[index + 1:]
+        if unsat(candidate):
+            kept = candidate  # the dropped constraint was not needed
+        else:
+            index += 1  # constraint is necessary; keep it
+    return tuple(kept)
+
+
+def is_minimal_unsat(
+    constraints: Sequence[Term],
+    background: Optional[Term] = None,
+) -> bool:
+    """Whether ``constraints`` is unsatisfiable and every proper subset
+    obtained by dropping one element is satisfiable."""
+    base = background if background is not None else And()
+    if check_sat(And(base, *constraints)) is not None:
+        return False
+    for index in range(len(constraints)):
+        rest = list(constraints[:index]) + list(constraints[index + 1:])
+        if check_sat(And(base, *rest)) is None:
+            return False
+    return True

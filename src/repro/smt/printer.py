@@ -1,0 +1,123 @@
+"""Pretty printers for terms.
+
+Two renderings are provided:
+
+* :func:`to_infix` -- compact mathematical notation, used in test
+  output, subspecification reports and the CLI.
+* :func:`to_sexpr` -- SMT-LIB-flavoured s-expressions, useful for
+  diffing constraint dumps in the benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .terms import Term, TermKind
+
+__all__ = ["to_infix", "to_sexpr", "render_conjunction"]
+
+_INFIX_OPERATORS = {
+    TermKind.AND: " & ",
+    TermKind.OR: " | ",
+    TermKind.IMPLIES: " -> ",
+    TermKind.IFF: " <-> ",
+    TermKind.EQ: " = ",
+    TermKind.LE: " <= ",
+    TermKind.LT: " < ",
+}
+
+_PRECEDENCE = {
+    TermKind.IFF: 1,
+    TermKind.IMPLIES: 2,
+    TermKind.OR: 3,
+    TermKind.AND: 4,
+    TermKind.NOT: 5,
+    TermKind.EQ: 6,
+    TermKind.LE: 6,
+    TermKind.LT: 6,
+}
+
+
+def to_infix(term: Term) -> str:
+    """Render a term in infix notation, with minimal parentheses."""
+    return _infix(term, 0)
+
+
+def _infix(term: Term, parent_precedence: int) -> str:
+    kind = term.kind
+    if kind == TermKind.CONST:
+        value = term.payload
+        if value is True:
+            return "true"
+        if value is False:
+            return "false"
+        return str(value)
+    if kind == TermKind.VAR:
+        return str(term.payload)
+    if kind == TermKind.ITE:
+        cond, then, orelse = term.children
+        body = f"ite({_infix(cond, 0)}, {_infix(then, 0)}, {_infix(orelse, 0)})"
+        return body
+    if kind == TermKind.PLUS:
+        rendered = " + ".join(_infix(child, 7) for child in term.children)
+        return f"({rendered})" if parent_precedence > 0 else rendered
+    if kind == TermKind.NOT:
+        inner = _infix(term.children[0], _PRECEDENCE[TermKind.NOT])
+        text = f"!{inner}"
+        return text
+    operator = _INFIX_OPERATORS[kind]
+    precedence = _PRECEDENCE[kind]
+    rendered = operator.join(_infix(child, precedence) for child in term.children)
+    if precedence < parent_precedence or kind in (TermKind.IMPLIES, TermKind.IFF):
+        return f"({rendered})"
+    if parent_precedence >= _PRECEDENCE[TermKind.NOT] and term.children:
+        return f"({rendered})"
+    if parent_precedence == precedence and kind in (TermKind.EQ, TermKind.LE, TermKind.LT):
+        return f"({rendered})"
+    if parent_precedence > 0 and parent_precedence != precedence:
+        return f"({rendered})"
+    return rendered
+
+
+_SEXPR_HEADS = {
+    TermKind.NOT: "not",
+    TermKind.AND: "and",
+    TermKind.OR: "or",
+    TermKind.IMPLIES: "=>",
+    TermKind.IFF: "=",
+    TermKind.EQ: "=",
+    TermKind.LE: "<=",
+    TermKind.LT: "<",
+    TermKind.ITE: "ite",
+    TermKind.PLUS: "+",
+}
+
+
+def to_sexpr(term: Term) -> str:
+    """Render a term as an SMT-LIB style s-expression."""
+    kind = term.kind
+    if kind == TermKind.CONST:
+        value = term.payload
+        if value is True:
+            return "true"
+        if value is False:
+            return "false"
+        return str(value)
+    if kind == TermKind.VAR:
+        return str(term.payload)
+    head = _SEXPR_HEADS[kind]
+    parts = " ".join(to_sexpr(child) for child in term.children)
+    return f"({head} {parts})"
+
+
+def render_conjunction(term: Term, indent: str = "  ") -> str:
+    """Render a (possibly nested) conjunction one conjunct per line.
+
+    This is the format used when showing seed/simplified specifications
+    to a human, mirroring the constraint listings in the paper's
+    Figure 6c.
+    """
+    lines: List[str] = []
+    for conjunct in term.conjuncts():
+        lines.append(indent + to_infix(conjunct))
+    return "\n".join(lines)

@@ -1,0 +1,341 @@
+"""A CDCL SAT solver over DIMACS-style clause lists.
+
+Implements the standard modern architecture in pure Python:
+
+* two-literal watching for unit propagation,
+* first-UIP conflict analysis with clause learning,
+* VSIDS-style activity with exponential decay,
+* phase saving,
+* geometric restarts.
+
+The solver is deliberately self-contained (no external dependencies)
+and is sized for the formulas produced by the NetComplete-style BGP
+encoder -- thousands of variables and clauses -- which it dispatches in
+milliseconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = ["SatSolver", "SatResult", "solve_clauses"]
+
+
+@dataclass
+class SatResult:
+    """Outcome of a SAT call."""
+
+    satisfiable: bool
+    assignment: Dict[int, bool]
+    conflicts: int = 0
+    decisions: int = 0
+    propagations: int = 0
+
+
+class _Clause:
+    __slots__ = ("literals", "learned", "activity")
+
+    def __init__(self, literals: List[int], learned: bool = False) -> None:
+        self.literals = literals
+        self.learned = learned
+        self.activity = 0.0
+
+
+_UNASSIGNED = 0
+_TRUE = 1
+_FALSE = -1
+
+
+class SatSolver:
+    """Incremental-free CDCL solver.
+
+    Usage::
+
+        solver = SatSolver(num_vars)
+        solver.add_clause([1, -2])
+        result = solver.solve()
+    """
+
+    def __init__(self, num_vars: int) -> None:
+        self.num_vars = num_vars
+        self.clauses: List[_Clause] = []
+        self._watches: Dict[int, List[_Clause]] = {}
+        # Assignment state: index by variable (1-based).
+        self._values: List[int] = [_UNASSIGNED] * (num_vars + 1)
+        self._levels: List[int] = [0] * (num_vars + 1)
+        self._reasons: List[Optional[_Clause]] = [None] * (num_vars + 1)
+        self._trail: List[int] = []
+        self._trail_limits: List[int] = []
+        self._activity: List[float] = [0.0] * (num_vars + 1)
+        self._phase: List[bool] = [False] * (num_vars + 1)
+        self._activity_inc = 1.0
+        self._activity_decay = 0.95
+        self._empty_clause = False
+        self.conflicts = 0
+        self.decisions = 0
+        self.propagations = 0
+
+    # ------------------------------------------------------------------
+    # Clause management
+    # ------------------------------------------------------------------
+
+    def add_clause(self, literals: Iterable[int]) -> None:
+        """Add a clause; must be called before :meth:`solve`."""
+        unique: List[int] = []
+        seen = set()
+        for literal in literals:
+            if literal == 0 or abs(literal) > self.num_vars:
+                raise ValueError(f"literal {literal} out of range (num_vars={self.num_vars})")
+            if -literal in seen:
+                return  # tautology
+            if literal not in seen:
+                seen.add(literal)
+                unique.append(literal)
+        if not unique:
+            self._empty_clause = True
+            return
+        clause = _Clause(unique)
+        self.clauses.append(clause)
+
+    def _attach_all(self) -> bool:
+        """Attach watches; returns False if a top-level conflict exists."""
+        self._watches = {}
+        for clause in self.clauses:
+            if len(clause.literals) == 1:
+                if not self._enqueue(clause.literals[0], clause):
+                    return False
+            else:
+                self._watch(clause, clause.literals[0])
+                self._watch(clause, clause.literals[1])
+        return True
+
+    def _watch(self, clause: _Clause, literal: int) -> None:
+        self._watches.setdefault(-literal, []).append(clause)
+
+    # ------------------------------------------------------------------
+    # Assignment primitives
+    # ------------------------------------------------------------------
+
+    def _value_of(self, literal: int) -> int:
+        value = self._values[abs(literal)]
+        if value == _UNASSIGNED:
+            return _UNASSIGNED
+        return value if literal > 0 else -value
+
+    def _enqueue(self, literal: int, reason: Optional[_Clause]) -> bool:
+        current = self._value_of(literal)
+        if current == _TRUE:
+            return True
+        if current == _FALSE:
+            return False
+        variable = abs(literal)
+        self._values[variable] = _TRUE if literal > 0 else _FALSE
+        self._levels[variable] = len(self._trail_limits)
+        self._reasons[variable] = reason
+        self._phase[variable] = literal > 0
+        self._trail.append(literal)
+        return True
+
+    def _propagate(self) -> Optional[_Clause]:
+        """Unit propagation; returns a conflicting clause or None."""
+        head = getattr(self, "_qhead", 0)
+        while head < len(self._trail):
+            literal = self._trail[head]
+            head += 1
+            self.propagations += 1
+            watchers = self._watches.get(literal)
+            if not watchers:
+                continue
+            retained: List[_Clause] = []
+            conflict: Optional[_Clause] = None
+            index = 0
+            while index < len(watchers):
+                clause = watchers[index]
+                index += 1
+                lits = clause.literals
+                # Normalise: watched literals live at positions 0 and 1.
+                falsified = -literal
+                if lits[0] == falsified:
+                    lits[0], lits[1] = lits[1], lits[0]
+                # lits[1] is now the falsified watch.
+                if self._value_of(lits[0]) == _TRUE:
+                    retained.append(clause)
+                    continue
+                moved = False
+                for k in range(2, len(lits)):
+                    if self._value_of(lits[k]) != _FALSE:
+                        lits[1], lits[k] = lits[k], lits[1]
+                        self._watch(clause, lits[1])
+                        moved = True
+                        break
+                if moved:
+                    continue
+                retained.append(clause)
+                if not self._enqueue(lits[0], clause):
+                    conflict = clause
+                    retained.extend(watchers[index:])
+                    break
+            self._watches[literal] = retained
+            if conflict is not None:
+                self._qhead = len(self._trail)
+                return conflict
+        self._qhead = head
+        return None
+
+    # ------------------------------------------------------------------
+    # Conflict analysis (first UIP)
+    # ------------------------------------------------------------------
+
+    def _analyze(self, conflict: _Clause) -> Tuple[List[int], int]:
+        learned: List[int] = [0]  # placeholder for the asserting literal
+        seen = [False] * (self.num_vars + 1)
+        counter = 0
+        literal = 0
+        clause: Optional[_Clause] = conflict
+        index = len(self._trail) - 1
+        current_level = len(self._trail_limits)
+        while True:
+            assert clause is not None
+            clause.activity += self._activity_inc
+            for lit in clause.literals:
+                variable = abs(lit)
+                if lit == literal or seen[variable]:
+                    continue
+                if self._values[variable] == _UNASSIGNED:
+                    continue
+                seen[variable] = True
+                self._bump(variable)
+                if self._levels[variable] == current_level:
+                    counter += 1
+                elif self._levels[variable] > 0:
+                    learned.append(lit)
+            while True:
+                literal = self._trail[index]
+                index -= 1
+                if seen[abs(literal)]:
+                    break
+            counter -= 1
+            if counter == 0:
+                break
+            clause = self._reasons[abs(literal)]
+        learned[0] = -literal
+        backtrack_level = 0
+        if len(learned) > 1:
+            # Find the highest level among the non-asserting literals.
+            max_index = 1
+            for k in range(2, len(learned)):
+                if self._levels[abs(learned[k])] > self._levels[abs(learned[max_index])]:
+                    max_index = k
+            learned[1], learned[max_index] = learned[max_index], learned[1]
+            backtrack_level = self._levels[abs(learned[1])]
+        return learned, backtrack_level
+
+    def _bump(self, variable: int) -> None:
+        self._activity[variable] += self._activity_inc
+        if self._activity[variable] > 1e100:
+            for v in range(1, self.num_vars + 1):
+                self._activity[v] *= 1e-100
+            self._activity_inc *= 1e-100
+
+    def _backtrack(self, level: int) -> None:
+        if len(self._trail_limits) <= level:
+            return
+        limit = self._trail_limits[level]
+        for literal in reversed(self._trail[limit:]):
+            variable = abs(literal)
+            self._values[variable] = _UNASSIGNED
+            self._reasons[variable] = None
+        del self._trail[limit:]
+        del self._trail_limits[level:]
+        self._qhead = min(getattr(self, "_qhead", 0), len(self._trail))
+
+    def _decide(self) -> Optional[int]:
+        best_var = 0
+        best_activity = -1.0
+        for variable in range(1, self.num_vars + 1):
+            if self._values[variable] == _UNASSIGNED and self._activity[variable] > best_activity:
+                best_activity = self._activity[variable]
+                best_var = variable
+        if best_var == 0:
+            return None
+        return best_var if self._phase[best_var] else -best_var
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+
+    def solve(self, assumptions: Sequence[int] = ()) -> SatResult:
+        """Solve the formula, optionally under unit ``assumptions``."""
+        if self._empty_clause:
+            return SatResult(False, {})
+        self._qhead = 0
+        if not self._attach_all():
+            return SatResult(False, {})
+        conflict = self._propagate()
+        if conflict is not None:
+            return SatResult(False, {})
+        for literal in assumptions:
+            if self._value_of(literal) == _TRUE:
+                continue
+            if self._value_of(literal) == _FALSE:
+                return self._result(False)
+            self._trail_limits.append(len(self._trail))
+            self._enqueue(literal, None)
+            conflict = self._propagate()
+            if conflict is not None:
+                return self._result(False)
+        assumption_level = len(self._trail_limits)
+        conflict_budget = 100
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.conflicts += 1
+                if len(self._trail_limits) <= assumption_level:
+                    return self._result(False)
+                learned, backtrack_level = self._analyze(conflict)
+                backtrack_level = max(backtrack_level, assumption_level)
+                self._backtrack(backtrack_level)
+                clause = _Clause(learned, learned=True)
+                if len(learned) > 1:
+                    self.clauses.append(clause)
+                    self._watch(clause, learned[0])
+                    self._watch(clause, learned[1])
+                self._enqueue(learned[0], clause if len(learned) > 1 else None)
+                self._activity_inc /= self._activity_decay
+                conflict_budget -= 1
+                if conflict_budget <= 0:
+                    # Geometric restart.
+                    conflict_budget = int(100 * 1.5 ** (self.conflicts / 100))
+                    self._backtrack(assumption_level)
+                continue
+            decision = self._decide()
+            if decision is None:
+                return self._result(True)
+            self.decisions += 1
+            self._trail_limits.append(len(self._trail))
+            self._enqueue(decision, None)
+
+    def _result(self, satisfiable: bool) -> SatResult:
+        assignment: Dict[int, bool] = {}
+        if satisfiable:
+            for variable in range(1, self.num_vars + 1):
+                if self._values[variable] != _UNASSIGNED:
+                    assignment[variable] = self._values[variable] == _TRUE
+        result = SatResult(
+            satisfiable,
+            assignment,
+            conflicts=self.conflicts,
+            decisions=self.decisions,
+            propagations=self.propagations,
+        )
+        self._backtrack(0)
+        return result
+
+
+def solve_clauses(num_vars: int, clauses: Iterable[Iterable[int]]) -> SatResult:
+    """One-shot convenience wrapper."""
+    solver = SatSolver(num_vars)
+    for clause in clauses:
+        solver.add_clause(clause)
+    return solver.solve()

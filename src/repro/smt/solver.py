@@ -1,0 +1,146 @@
+"""Public decision-procedure API: satisfiability, validity, entailment
+and model enumeration over the finite-domain term language.
+
+The pipeline is ``term -> fdblast (one-hot) -> Tseitin CNF -> CDCL``.
+All variables appearing in the input must have finite domains (which
+holds by construction for every term the BGP encoder produces).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence
+
+from .builders import And, Not
+from .cnf import to_cnf
+from .fdblast import blast
+from .model import Model
+from .sat import SatSolver
+from .terms import Term
+
+__all__ = [
+    "check_sat",
+    "is_satisfiable",
+    "is_valid",
+    "entails",
+    "equivalent",
+    "iter_models",
+    "count_models",
+]
+
+
+def check_sat(term: Term) -> Optional[Model]:
+    """Return a model of ``term``, or ``None`` if unsatisfiable."""
+    blasted = blast(term)
+    cnf = to_cnf(blasted.formula)
+    solver = SatSolver(cnf.num_vars)
+    for clause in cnf.clauses:
+        if not clause:
+            return None
+        solver.add_clause(clause)
+    result = solver.solve()
+    if not result.satisfiable:
+        return None
+    bool_model = cnf.decode(result.assignment)
+    assignment = blasted.decode(bool_model)
+    # Variables whose atoms all folded away during blasting (e.g. in
+    # ``Eq(x, x)``) are unconstrained: default them so the model stays
+    # total over the input's free variables.
+    for variable in term.free_variables():
+        assignment.setdefault(variable.name, variable.value_domain()[0])
+    return Model(assignment)
+
+
+def is_satisfiable(term: Term) -> bool:
+    """Whether ``term`` has at least one model."""
+    return check_sat(term) is not None
+
+
+def is_valid(term: Term) -> bool:
+    """Whether ``term`` holds under every assignment."""
+    return check_sat(Not(term)) is None
+
+
+def entails(antecedent: Term, consequent: Term) -> bool:
+    """Whether every model of ``antecedent`` satisfies ``consequent``."""
+    return check_sat(And(antecedent, Not(consequent))) is None
+
+
+def equivalent(lhs: Term, rhs: Term) -> bool:
+    """Whether two terms agree under every assignment.
+
+    This is the oracle used by the rewrite-engine soundness tests: each
+    of the 15 simplification rules must produce an equivalent term.
+    """
+    return entails(lhs, rhs) and entails(rhs, lhs)
+
+
+def iter_models(term: Term, limit: int = 1_000_000) -> Iterator[Model]:
+    """Enumerate models of ``term``, distinct on its free variables.
+
+    Enumeration proceeds by adding blocking clauses over the input's
+    free variables (boolean variables and one-hot indicators), so
+    Tseitin definition variables never cause duplicate models.
+    """
+    # Anchor every non-boolean free variable with a tautological domain
+    # disjunction, so its indicators exist in the CNF even when the
+    # blaster folds all its atoms away (e.g. ``Eq(x, x)``).
+    from .builders import Eq, Or as OrB
+
+    anchors = [
+        OrB(*[Eq(variable, Term.const(value, variable.sort)) for value in variable.value_domain()])
+        for variable in term.free_variables()
+        if not variable.sort.is_bool()
+    ]
+    if anchors:
+        term = And(term, *anchors)
+    blasted = blast(term)
+    cnf = to_cnf(blasted.formula)
+    solver = SatSolver(cnf.num_vars)
+    for clause in cnf.clauses:
+        if not clause:
+            return
+        solver.add_clause(clause)
+    free_names = _free_boolean_names(term, blasted)
+    produced = 0
+    extra_clauses: List[List[int]] = []
+    while produced < limit:
+        fresh = SatSolver(cnf.num_vars)
+        for clause in cnf.clauses:
+            fresh.add_clause(clause)
+        for clause in extra_clauses:
+            fresh.add_clause(clause)
+        result = fresh.solve()
+        if not result.satisfiable:
+            return
+        bool_model = cnf.decode(result.assignment)
+        yield Model(blasted.decode(bool_model))
+        produced += 1
+        blocking: List[int] = []
+        for name in free_names:
+            var_id = cnf.var_ids.get(name)
+            if var_id is None:
+                continue
+            value = result.assignment.get(var_id, False)
+            blocking.append(-var_id if value else var_id)
+        if not blocking:
+            return  # ground formula: single model
+        extra_clauses.append(blocking)
+
+
+def _free_boolean_names(term: Term, blasted) -> List[str]:
+    names: List[str] = []
+    for variable in sorted(term.free_variables(), key=lambda v: v.name):
+        if variable.sort.is_bool():
+            names.append(variable.name)
+        else:
+            indicators = blasted.variables.get(variable, ())
+            names.extend(ind.name for ind in indicators)
+    return names
+
+
+def count_models(term: Term, limit: int = 1_000_000) -> int:
+    """Count models (distinct on free variables), up to ``limit``."""
+    count = 0
+    for _ in iter_models(term, limit=limit):
+        count += 1
+    return count

@@ -1,0 +1,45 @@
+"""Specification language: AST, parser, printer, semantics."""
+
+from .ast import (
+    ForbiddenPath,
+    PathPreference,
+    PreferenceMode,
+    Reachability,
+    RequirementBlock,
+    Specification,
+    SpecError,
+    Statement,
+)
+from .parser import ParseError, parse, parse_block, parse_statement, tokenize
+from .printer import format_block, format_specification, format_statement
+from .semantics import (
+    RankedPaths,
+    destination_prefixes,
+    expand_preference,
+    matching_slices,
+    violates_forbidden,
+)
+
+__all__ = [
+    "Specification",
+    "RequirementBlock",
+    "Statement",
+    "ForbiddenPath",
+    "PathPreference",
+    "Reachability",
+    "PreferenceMode",
+    "SpecError",
+    "parse",
+    "parse_block",
+    "parse_statement",
+    "tokenize",
+    "ParseError",
+    "format_statement",
+    "format_block",
+    "format_specification",
+    "matching_slices",
+    "violates_forbidden",
+    "destination_prefixes",
+    "expand_preference",
+    "RankedPaths",
+]

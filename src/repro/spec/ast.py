@@ -1,0 +1,220 @@
+"""Specification-language AST.
+
+The language follows the paper's NetComplete-style DSL (Figures 1a, 3):
+
+* **Forbidden path** -- ``!(P1 -> ... -> P2)``: no traffic may flow
+  along a path containing a matching subpath.
+* **Path preference** -- ``(A) >> (B) [>> (C) ...]``: traffic from the
+  shared source to the shared destination must follow the most
+  preferred *available* path.  The paper's Scenario 2 turns on the two
+  interpretations of unlisted paths, so the AST carries an explicit
+  ``mode``:
+
+  - :data:`PreferenceMode.BLOCK` -- unlisted paths are blocked (the
+    interpretation NetComplete silently applied);
+  - :data:`PreferenceMode.FALLBACK` -- unlisted paths are usable when
+    no listed path is available (what the author intended).
+
+* **Reachability** -- a bare ``(P1 -> ... -> C)``: traffic from the
+  source must reach the destination along some matching path (the
+  requirement Scenario 1's administrator adds after seeing the
+  explanation).
+
+Requirements are grouped into named blocks (``Req1 { ... }``); the same
+AST doubles as the *subspecification* form, where the block name is a
+router (Figures 2, 4, 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterator, Optional, Sequence, Tuple, Union
+
+from ..topology.paths import PathPattern
+
+__all__ = [
+    "SpecError",
+    "PreferenceMode",
+    "ForbiddenPath",
+    "PathPreference",
+    "Reachability",
+    "Statement",
+    "RequirementBlock",
+    "Specification",
+]
+
+
+class SpecError(ValueError):
+    """Raised on malformed specifications."""
+
+
+class PreferenceMode:
+    """Interpretation of paths not listed in a preference chain."""
+
+    BLOCK = "block"        # interpretation (1) in the paper
+    FALLBACK = "fallback"  # interpretation (2) in the paper
+    ORDER = "order"        # ordering only: no statement about unlisted
+                           # paths (used by lifted subspecifications,
+                           # where drop rules are listed explicitly --
+                           # the paper's Figure 4 shape)
+
+    ALL = (BLOCK, FALLBACK, ORDER)
+
+
+@dataclass(frozen=True)
+class ForbiddenPath:
+    """``!(pattern)``: no traffic along any matching subpath."""
+
+    pattern: PathPattern
+
+    def __str__(self) -> str:
+        return f"!({self.pattern})"
+
+
+@dataclass(frozen=True)
+class PathPreference:
+    """``(p1) >> (p2) >> ...``: ranked traffic paths, most preferred first."""
+
+    ranked: Tuple[PathPattern, ...]
+    mode: str = PreferenceMode.BLOCK
+
+    def __post_init__(self) -> None:
+        if len(self.ranked) < 2:
+            raise SpecError("a preference needs at least two ranked paths")
+        if self.mode not in PreferenceMode.ALL:
+            raise SpecError(f"unknown preference mode {self.mode!r}")
+        sources = {pattern.source for pattern in self.ranked}
+        if None in sources or len(sources) != 1:
+            raise SpecError("all ranked paths must share one concrete source")
+        targets = {pattern.target for pattern in self.ranked}
+        if None in targets or len(targets) != 1:
+            raise SpecError("all ranked paths must share one concrete destination")
+
+    @property
+    def source(self) -> str:
+        assert self.ranked[0].source is not None
+        return self.ranked[0].source
+
+    @property
+    def destination(self) -> str:
+        assert self.ranked[0].target is not None
+        return self.ranked[0].target
+
+    def __str__(self) -> str:
+        chain = " >> ".join(f"({pattern})" for pattern in self.ranked)
+        if self.mode != PreferenceMode.BLOCK:
+            return f"{chain} {self.mode}"
+        return chain
+
+
+@dataclass(frozen=True)
+class Reachability:
+    """A bare ``(pattern)``: traffic must reach along a matching path."""
+
+    pattern: PathPattern
+
+    def __post_init__(self) -> None:
+        if self.pattern.source is None or self.pattern.target is None:
+            raise SpecError("reachability patterns need concrete endpoints")
+
+    @property
+    def source(self) -> str:
+        assert self.pattern.source is not None
+        return self.pattern.source
+
+    @property
+    def destination(self) -> str:
+        assert self.pattern.target is not None
+        return self.pattern.target
+
+    def __str__(self) -> str:
+        return f"({self.pattern})"
+
+
+Statement = Union[ForbiddenPath, PathPreference, Reachability]
+
+
+@dataclass(frozen=True)
+class RequirementBlock:
+    """A named group of statements: ``Req1 { ... }``."""
+
+    name: str
+    statements: Tuple[Statement, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SpecError("requirement block needs a name")
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.statements
+
+    def forbidden(self) -> Tuple[ForbiddenPath, ...]:
+        return tuple(s for s in self.statements if isinstance(s, ForbiddenPath))
+
+    def preferences(self) -> Tuple[PathPreference, ...]:
+        return tuple(s for s in self.statements if isinstance(s, PathPreference))
+
+    def reachability(self) -> Tuple[Reachability, ...]:
+        return tuple(s for s in self.statements if isinstance(s, Reachability))
+
+    def __str__(self) -> str:
+        from .printer import format_block  # local import to avoid cycle
+
+        return format_block(self)
+
+
+@dataclass(frozen=True)
+class Specification:
+    """A full specification: requirement blocks plus the managed scope.
+
+    ``managed`` names the routers the operator configures (the middle
+    AS in the paper's topology).  Forbidden-path semantics are scoped
+    to matched subpaths that traverse at least one managed router: the
+    operator cannot -- and is not asked to -- prevent traffic that never
+    touches the managed network.
+    """
+
+    blocks: Tuple[RequirementBlock, ...] = ()
+    managed: FrozenSet[str] = frozenset()
+
+    def __post_init__(self) -> None:
+        names = [block.name for block in self.blocks]
+        if len(set(names)) != len(names):
+            raise SpecError(f"duplicate requirement block names: {names}")
+
+    @classmethod
+    def single(cls, block: RequirementBlock, managed: Sequence[str] = ()) -> "Specification":
+        return cls((block,), frozenset(managed))
+
+    def block(self, name: str) -> RequirementBlock:
+        for candidate in self.blocks:
+            if candidate.name == name:
+                return candidate
+        raise SpecError(f"no requirement block named {name!r}")
+
+    def with_managed(self, managed: Sequence[str]) -> "Specification":
+        return Specification(self.blocks, frozenset(managed))
+
+    def with_block(self, block: RequirementBlock) -> "Specification":
+        return Specification(self.blocks + (block,), self.managed)
+
+    def restricted_to(self, name: str) -> "Specification":
+        """A specification containing only the named block.
+
+        This is how Scenario 3's per-requirement questions are asked:
+        explanations are generated against one requirement at a time.
+        """
+        return Specification((self.block(name),), self.managed)
+
+    def statements(self) -> Iterator[Statement]:
+        for block in self.blocks:
+            yield from block.statements
+
+    def is_managed(self, router: str) -> bool:
+        return not self.managed or router in self.managed
+
+    def __str__(self) -> str:
+        from .printer import format_specification
+
+        return format_specification(self)

@@ -1,0 +1,225 @@
+"""Tokenizer and recursive-descent parser for the specification DSL.
+
+Grammar (paper Figures 1a, 3, with the subspec forms of Figures 2, 4)::
+
+    spec        := { block }
+    block       := IDENT '{' { statement } '}'
+    statement   := forbidden | preference | prefblock | reach
+    forbidden   := '!' path
+    preference  := path '>>' path { '>>' path } [ 'fallback' ]
+    prefblock   := 'preference' '{' preference '}'
+    reach       := path
+    path        := '(' element { '->' element } ')'
+    element     := IDENT | '...'
+
+``//`` starts a line comment.  Identifiers may contain letters, digits,
+``_`` and ``.``.  The keyword ``fallback`` after a preference chain
+selects :data:`~repro.spec.ast.PreferenceMode.FALLBACK`; the default is
+``block`` (NetComplete's interpretation, per the paper's Scenario 2).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..topology.paths import PathPattern, WILDCARD
+from .ast import (
+    ForbiddenPath,
+    PathPreference,
+    PreferenceMode,
+    Reachability,
+    RequirementBlock,
+    Specification,
+    SpecError,
+    Statement,
+)
+
+__all__ = ["parse", "parse_block", "parse_statement", "ParseError", "Token", "tokenize"]
+
+
+class ParseError(SpecError):
+    """Raised on syntax errors, with line/column context."""
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    text: str
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return f"{self.text!r} at line {self.line}, column {self.column}"
+
+
+_TOKEN_SPEC = (
+    ("COMMENT", r"//[^\n]*"),
+    ("ELLIPSIS", r"\.\.\."),
+    ("ARROW", r"->"),
+    ("PREFER", r">>"),
+    ("BANG", r"!"),
+    ("LBRACE", r"\{"),
+    ("RBRACE", r"\}"),
+    ("LPAREN", r"\("),
+    ("RPAREN", r"\)"),
+    ("IDENT", r"[A-Za-z_][A-Za-z0-9_.]*"),
+    ("NEWLINE", r"\n"),
+    ("SPACE", r"[ \t\r]+"),
+)
+
+_MASTER = re.compile("|".join(f"(?P<{kind}>{pattern})" for kind, pattern in _TOKEN_SPEC))
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize, dropping whitespace and comments."""
+    tokens: List[Token] = []
+    line = 1
+    line_start = 0
+    position = 0
+    while position < len(text):
+        match = _MASTER.match(text, position)
+        if match is None:
+            column = position - line_start + 1
+            raise ParseError(
+                f"unexpected character {text[position]!r} at line {line}, column {column}"
+            )
+        kind = match.lastgroup
+        assert kind is not None
+        value = match.group()
+        if kind == "NEWLINE":
+            line += 1
+            line_start = match.end()
+        elif kind not in ("SPACE", "COMMENT"):
+            tokens.append(Token(kind, value, line, position - line_start + 1))
+        position = match.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: Sequence[Token]) -> None:
+        self._tokens = list(tokens)
+        self._index = 0
+
+    # -- primitives ----------------------------------------------------
+
+    def peek(self) -> Optional[Token]:
+        if self._index < len(self._tokens):
+            return self._tokens[self._index]
+        return None
+
+    def advance(self) -> Token:
+        token = self.peek()
+        if token is None:
+            raise ParseError("unexpected end of input")
+        self._index += 1
+        return token
+
+    def expect(self, kind: str) -> Token:
+        token = self.peek()
+        if token is None:
+            raise ParseError(f"expected {kind}, found end of input")
+        if token.kind != kind:
+            raise ParseError(f"expected {kind}, found {token}")
+        return self.advance()
+
+    def at(self, kind: str) -> bool:
+        token = self.peek()
+        return token is not None and token.kind == kind
+
+    # -- grammar -------------------------------------------------------
+
+    def specification(self) -> Specification:
+        blocks: List[RequirementBlock] = []
+        while self.peek() is not None:
+            blocks.append(self.block())
+        return Specification(tuple(blocks))
+
+    def block(self) -> RequirementBlock:
+        name = self.expect("IDENT").text
+        self.expect("LBRACE")
+        statements: List[Statement] = []
+        while not self.at("RBRACE"):
+            statements.append(self.statement())
+        self.expect("RBRACE")
+        return RequirementBlock(name, tuple(statements))
+
+    def statement(self) -> Statement:
+        if self.at("BANG"):
+            self.advance()
+            return ForbiddenPath(self.path())
+        token = self.peek()
+        if token is not None and token.kind == "IDENT" and token.text == "preference":
+            self.advance()
+            self.expect("LBRACE")
+            statement = self.preference_chain(self.path())
+            if not isinstance(statement, PathPreference):
+                raise ParseError("'preference' block must contain a '>>' chain")
+            self.expect("RBRACE")
+            return statement
+        return self.preference_chain(self.path())
+
+    def preference_chain(self, first: PathPattern) -> Statement:
+        if not self.at("PREFER"):
+            return Reachability(first)
+        ranked = [first]
+        while self.at("PREFER"):
+            self.advance()
+            ranked.append(self.path())
+        mode = PreferenceMode.BLOCK
+        token = self.peek()
+        if token is not None and token.kind == "IDENT" and token.text in ("fallback", "order"):
+            self.advance()
+            mode = token.text
+        return PathPreference(tuple(ranked), mode)
+
+    def path(self) -> PathPattern:
+        self.expect("LPAREN")
+        elements: List[object] = [self.element()]
+        while self.at("ARROW"):
+            self.advance()
+            elements.append(self.element())
+        self.expect("RPAREN")
+        try:
+            return PathPattern(tuple(elements))  # type: ignore[arg-type]
+        except ValueError as exc:
+            raise ParseError(str(exc)) from None
+
+    def element(self) -> object:
+        token = self.peek()
+        if token is None:
+            raise ParseError("expected a path element, found end of input")
+        if token.kind == "ELLIPSIS":
+            self.advance()
+            return WILDCARD
+        if token.kind == "IDENT":
+            return self.advance().text
+        raise ParseError(f"expected a router name or '...', found {token}")
+
+
+def parse(text: str, managed: Sequence[str] = ()) -> Specification:
+    """Parse a full specification (one or more requirement blocks)."""
+    parser = _Parser(tokenize(text))
+    spec = parser.specification()
+    if managed:
+        spec = spec.with_managed(managed)
+    return spec
+
+
+def parse_block(text: str) -> RequirementBlock:
+    """Parse a single requirement block."""
+    parser = _Parser(tokenize(text))
+    block = parser.block()
+    if parser.peek() is not None:
+        raise ParseError(f"trailing input after block: {parser.peek()}")
+    return block
+
+
+def parse_statement(text: str) -> Statement:
+    """Parse a single statement (no surrounding block)."""
+    parser = _Parser(tokenize(text))
+    statement = parser.statement()
+    if parser.peek() is not None:
+        raise ParseError(f"trailing input after statement: {parser.peek()}")
+    return statement

@@ -1,0 +1,57 @@
+"""Pretty-printing of specifications and subspecifications.
+
+The output matches the paper's display form (Figures 1a, 2, 3, 4, 5):
+requirement blocks with one statement per line, ``preference { ... }``
+sub-blocks for ranked paths, and ``!`` prefixes for forbidden paths.
+Round-tripping through :func:`repro.spec.parser.parse` is tested.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .ast import (
+    ForbiddenPath,
+    PathPreference,
+    PreferenceMode,
+    Reachability,
+    RequirementBlock,
+    Specification,
+    Statement,
+)
+
+__all__ = ["format_statement", "format_block", "format_specification"]
+
+
+def format_statement(statement: Statement, indent: str = "") -> str:
+    if isinstance(statement, ForbiddenPath):
+        return f"{indent}!({statement.pattern})"
+    if isinstance(statement, Reachability):
+        return f"{indent}({statement.pattern})"
+    if isinstance(statement, PathPreference):
+        lines = [f"{indent}preference {{"]
+        chain = f"\n{indent}    >> ".join(f"({p})" for p in statement.ranked)
+        if statement.mode != PreferenceMode.BLOCK:
+            chain += f" {statement.mode}"
+        lines.append(f"{indent}  {chain}")
+        lines.append(f"{indent}}}")
+        return "\n".join(lines)
+    raise TypeError(f"unknown statement {statement!r}")
+
+
+def format_block(block: RequirementBlock) -> str:
+    if block.is_empty:
+        return f"{block.name} {{ }}"
+    lines: List[str] = [f"{block.name} {{"]
+    for statement in block.statements:
+        lines.append(format_statement(statement, indent="  "))
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def format_specification(spec: Specification) -> str:
+    parts = [format_block(block) for block in spec.blocks]
+    if spec.managed:
+        managed = ", ".join(sorted(spec.managed))
+        parts.insert(0, f"// managed routers: {managed}")
+    return "\n\n".join(parts)

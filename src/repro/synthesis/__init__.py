@@ -1,0 +1,29 @@
+"""Constraint-based network configuration synthesis (NetComplete-style)."""
+
+from .diagnose import Conflict, diagnose
+from .encoder import Encoder, Encoding
+from .heuristic import HeuristicResult, heuristic_synthesize
+from .holes import HoleEncoder
+from .space import Candidate, CandidateSpace, EncodingError
+from .symexec import AttributeUniverse, SymbolicRoute, apply_routemap_symbolic
+from .synthesizer import SynthesisError, SynthesisResult, Synthesizer, synthesize
+
+__all__ = [
+    "Candidate",
+    "CandidateSpace",
+    "EncodingError",
+    "HoleEncoder",
+    "HeuristicResult",
+    "heuristic_synthesize",
+    "AttributeUniverse",
+    "SymbolicRoute",
+    "apply_routemap_symbolic",
+    "Encoder",
+    "Encoding",
+    "Conflict",
+    "diagnose",
+    "Synthesizer",
+    "SynthesisResult",
+    "SynthesisError",
+    "synthesize",
+]

@@ -1,0 +1,96 @@
+"""Diagnosis of unrealizable specifications.
+
+When synthesis fails, the interesting question is *which requirements
+conflict* (with each other, or with the sketch's fixed parts).  The
+paper's introduction motivates exactly this loop: "network synthesis
+... is an iterative process where network operators refine the
+specifications based on the synthesizer output", and interpretability
+is what makes the refinement fast.
+
+:func:`diagnose` encodes the specification statement by statement and
+extracts a minimal conflicting statement set via deletion-based MUS
+over the requirement groups (selection axioms are background: they
+describe the protocol, not the intent).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..bgp.config import NetworkConfig
+from ..smt import And, Term, check_sat
+from ..smt.mus import minimal_unsat_subset
+from ..spec.ast import RequirementBlock, Specification, Statement
+from .encoder import Encoder
+
+__all__ = ["Conflict", "diagnose"]
+
+
+@dataclass(frozen=True)
+class Conflict:
+    """A minimal set of mutually conflicting requirement statements.
+
+    ``statements`` maps each culprit statement to the name of the
+    requirement block it came from.
+    """
+
+    statements: Tuple[Tuple[str, Statement], ...]
+
+    @property
+    def blocks(self) -> Tuple[str, ...]:
+        return tuple(sorted({block for block, _ in self.statements}))
+
+    def render(self) -> str:
+        lines = ["conflicting requirements:"]
+        for block, statement in self.statements:
+            lines.append(f"  [{block}] {statement}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def diagnose(
+    sketch: NetworkConfig,
+    specification: Specification,
+    max_path_length: Optional[int] = None,
+) -> Optional[Conflict]:
+    """Explain why a specification is unrealizable for a sketch.
+
+    Returns ``None`` when the specification is realizable (nothing to
+    diagnose); otherwise a :class:`Conflict` naming a minimal set of
+    statements that cannot be satisfied together.
+
+    The statement-level encoding reuses the synthesizer's encoder: the
+    selection axioms form the satisfiable background, and each
+    statement's requirement terms form one deletable unit.
+    """
+    # One spec per statement so encoding errors attribute precisely.
+    units: List[Tuple[str, Statement, Term]] = []
+    for block in specification.blocks:
+        for statement in block.statements:
+            single = Specification(
+                (RequirementBlock(block.name, (statement,)),),
+                specification.managed,
+            )
+            encoding = Encoder(sketch, single, max_path_length).encode(
+                include_selection=False
+            )
+            units.append((block.name, statement, encoding.constraint))
+
+    background = Encoder(sketch, Specification((), specification.managed),
+                         max_path_length).encode().constraint
+
+    full = And(background, *(term for _, _, term in units))
+    if check_sat(full) is not None:
+        return None
+
+    core = minimal_unsat_subset([term for _, _, term in units], background)
+    core_set = set(core)
+    culprits = tuple(
+        (block, statement)
+        for block, statement, term in units
+        if term in core_set
+    )
+    return Conflict(statements=culprits)

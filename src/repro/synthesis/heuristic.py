@@ -1,0 +1,101 @@
+"""A custom-algorithm (non-constraint-based) synthesizer baseline.
+
+Paper §5 points out that not all synthesizers are constraint-based
+("there are synthesizers that use custom algorithms [5, 21]").  This
+module provides one: greedy local search over hole assignments, scored
+by the number of verified statements, with random restarts.  It is
+deliberately encoder-free -- its output can only be explained through
+the black-box path (:mod:`repro.explain.blackbox`), which is the point
+of the comparison benchmark.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..bgp.config import NetworkConfig
+from ..bgp.simulation import ConvergenceError
+from ..spec.ast import Specification
+from ..verify.verifier import verify
+from .synthesizer import SynthesisError
+
+__all__ = ["HeuristicResult", "heuristic_synthesize"]
+
+
+@dataclass
+class HeuristicResult:
+    """Outcome of the local search."""
+
+    config: NetworkConfig
+    assignment: Dict[str, object]
+    evaluations: int
+    restarts_used: int
+
+
+def _score(config: NetworkConfig, specification: Specification) -> Tuple[int, int]:
+    """(violations, unchecked) -- smaller is better; (0, 0) is a win."""
+    try:
+        report = verify(config, specification)
+    except ConvergenceError:
+        return (10_000, 0)
+    return (len(report.violations), 0)
+
+
+def heuristic_synthesize(
+    sketch: NetworkConfig,
+    specification: Specification,
+    seed: int = 0,
+    max_restarts: int = 8,
+    max_steps: int = 200,
+) -> HeuristicResult:
+    """Greedy hole-flipping local search with random restarts.
+
+    Raises :class:`~repro.synthesis.synthesizer.SynthesisError` when no
+    satisfying assignment is found within the budget (which, unlike the
+    constraint-based synthesizer, proves nothing about realizability).
+    """
+    holes = {hole.name: hole for hole in sketch.holes()}
+    if not holes:
+        raise SynthesisError("sketch has no holes for the search to fill")
+    names = sorted(holes)
+    rng = random.Random(seed)
+    evaluations = 0
+
+    for restart in range(max_restarts):
+        assignment: Dict[str, object] = {
+            name: rng.choice(holes[name].domain) for name in names
+        }
+        current = _score(sketch.fill(assignment), specification)
+        evaluations += 1
+        if current == (0, 0):
+            return HeuristicResult(
+                sketch.fill(assignment), assignment, evaluations, restart
+            )
+        for _ in range(max_steps):
+            improved = False
+            for name in rng.sample(names, len(names)):
+                for value in holes[name].domain:
+                    if str(value) == str(assignment[name]):
+                        continue
+                    candidate = dict(assignment)
+                    candidate[name] = value
+                    score = _score(sketch.fill(candidate), specification)
+                    evaluations += 1
+                    if score < current:
+                        assignment, current = candidate, score
+                        improved = True
+                        break
+                if improved:
+                    break
+            if current == (0, 0):
+                return HeuristicResult(
+                    sketch.fill(assignment), assignment, evaluations, restart
+                )
+            if not improved:
+                break  # local optimum; restart
+    raise SynthesisError(
+        f"heuristic search failed after {max_restarts} restarts "
+        f"({evaluations} evaluations)"
+    )

@@ -1,0 +1,84 @@
+"""Mapping configuration holes to SMT variables and back.
+
+Each :class:`~repro.bgp.sketch.Hole` becomes one SMT variable:
+
+* all-integer domains become ``IntVar`` with exactly that domain;
+* everything else becomes an ``EnumVar`` over the *stringified* domain
+  values, with a side table to decode model strings back into the
+  original Python objects (prefixes, communities, ...).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+from ..bgp.sketch import Hole
+from ..smt import EnumSort, IntVar, Model, Term
+from ..smt.builders import EnumVar
+
+__all__ = ["HoleEncoder"]
+
+
+class HoleEncoder:
+    """Bidirectional hole <-> SMT-variable registry."""
+
+    def __init__(self) -> None:
+        self._vars: Dict[str, Term] = {}
+        self._decode: Dict[str, Dict[str, object]] = {}
+        self._holes: Dict[str, Hole] = {}
+
+    def register(self, hole: Hole) -> Term:
+        """The SMT variable for ``hole`` (idempotent per hole name)."""
+        existing = self._vars.get(hole.name)
+        if existing is not None:
+            if self._holes[hole.name] != hole:
+                raise ValueError(f"conflicting holes registered under {hole.name!r}")
+            return existing
+        if all(isinstance(value, int) and not isinstance(value, bool) for value in hole.domain):
+            variable = IntVar(hole.name, tuple(int(v) for v in hole.domain))  # type: ignore[arg-type]
+            decode: Dict[str, object] = {str(v): v for v in hole.domain}
+        else:
+            values = tuple(str(value) for value in hole.domain)
+            sort = EnumSort(f"Dom<{hole.name}>", values)
+            variable = EnumVar(hole.name, sort)
+            decode = {str(value): value for value in hole.domain}
+        self._vars[hole.name] = variable
+        self._decode[hole.name] = decode
+        self._holes[hole.name] = hole
+        return variable
+
+    def register_all(self, holes: Iterable[Hole]) -> Tuple[Term, ...]:
+        return tuple(self.register(hole) for hole in holes)
+
+    def variable(self, hole_name: str) -> Term:
+        return self._vars[hole_name]
+
+    def hole(self, hole_name: str) -> Hole:
+        return self._holes[hole_name]
+
+    @property
+    def variables(self) -> Tuple[Term, ...]:
+        return tuple(self._vars[name] for name in sorted(self._vars))
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._vars))
+
+    def decode_model(self, model: Mapping[str, object]) -> Dict[str, object]:
+        """Map a solver model to concrete hole values (by hole name)."""
+        assignment: Dict[str, object] = {}
+        for name in self._vars:
+            if name not in model:
+                # Unconstrained hole: default to the first domain value.
+                assignment[name] = self._holes[name].domain[0]
+                continue
+            raw = model[name]
+            table = self._decode[name]
+            key = str(raw)
+            if key not in table:
+                raise ValueError(f"model value {raw!r} outside domain of hole {name}")
+            assignment[name] = table[key]
+        return assignment
+
+    def __len__(self) -> int:
+        return len(self._vars)

@@ -1,0 +1,412 @@
+"""Symbolic execution of route-maps over announcement attributes.
+
+This is the synthesis-side twin of the concrete route-map semantics in
+:mod:`repro.bgp.routemap`.  A :class:`SymbolicRoute` carries *terms*
+instead of values for the mutable announcement attributes (local
+preference, MED, next hop, community membership), while the prefix and
+the propagation path stay concrete (they are fixed per candidate).
+
+Applying a route-map symbolically produces a ``permit`` term plus the
+post-policy attribute state, both expressed over the configuration's
+hole variables.  On a fully concrete route-map every produced term
+folds to a constant, and an agreement property test checks this twin
+against the concrete semantics announcement-for-announcement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Tuple
+
+from ..bgp.announcement import Community, DEFAULT_LOCAL_PREF
+from ..bgp.routemap import DENY, MatchAttribute, PERMIT, RouteMap, RouteMapLine, SetAttribute, SetClause
+from ..bgp.sketch import Hole
+from ..smt import (
+    And,
+    EnumSort,
+    Eq,
+    FALSE,
+    IntVal,
+    Ite,
+    Not,
+    Or,
+    TRUE,
+    Term,
+)
+from ..topology.prefixes import Prefix, PrefixError
+from .holes import HoleEncoder
+from .space import EncodingError
+
+__all__ = ["AttributeUniverse", "SymbolicRoute", "apply_routemap_symbolic"]
+
+
+@dataclass(frozen=True)
+class AttributeUniverse:
+    """The finite attribute vocabulary of one encoding run.
+
+    Collected once per encoder invocation from the configuration (both
+    concrete fields and hole domains):
+
+    * ``communities`` -- every community that any clause may set or
+      match; the symbolic state tracks one membership term per entry.
+    * ``next_hop_sort`` -- enum sort over every value the next-hop
+      attribute may take (router names plus ``set next-hop`` targets).
+    """
+
+    communities: Tuple[Community, ...]
+    next_hop_sort: EnumSort
+
+    @classmethod
+    def collect(cls, configs, topology) -> "AttributeUniverse":
+        """Walk all route-maps and gather the attribute vocabulary."""
+        communities: Dict[str, Community] = {}
+        next_hops: Dict[str, None] = {name: None for name in topology.router_names}
+
+        def note_value(attribute: object, value: object) -> None:
+            attrs: List[object]
+            if isinstance(attribute, Hole):
+                attrs = list(attribute.domain)
+            else:
+                attrs = [attribute]
+            values: List[object]
+            if isinstance(value, Hole):
+                values = list(value.domain)
+            else:
+                values = [value]
+            for attr in attrs:
+                for val in values:
+                    if attr in (MatchAttribute.COMMUNITY, SetAttribute.COMMUNITY):
+                        community = _as_community(val)
+                        if community is not None:
+                            communities[str(community)] = community
+                    if attr in (MatchAttribute.NEXT_HOP, SetAttribute.NEXT_HOP):
+                        if val is not None:
+                            next_hops[str(val)] = None
+
+        for config in configs:
+            for direction, neighbor in config.sessions():
+                routemap = config.get_map(direction, neighbor)
+                assert routemap is not None
+                for line in routemap.lines:
+                    note_value(line.match_attr, line.match_value)
+                    for clause in line.sets:
+                        note_value(clause.attribute, clause.value)
+
+        sort = EnumSort("NextHop", tuple(sorted(next_hops)))
+        ordered = tuple(communities[key] for key in sorted(communities))
+        return cls(ordered, sort)
+
+    def next_hop_term(self, value: str) -> Optional[Term]:
+        """Constant term for a next-hop value (None if out of universe)."""
+        if value not in self.next_hop_sort:
+            return None
+        return Term.const(value, self.next_hop_sort)
+
+
+@dataclass(frozen=True)
+class SymbolicRoute:
+    """Announcement attribute state with symbolic mutable fields."""
+
+    prefix: Prefix
+    local_pref: Term
+    med: Term
+    next_hop: Term
+    communities: Dict[Community, Term]
+
+    @classmethod
+    def originated(cls, prefix: Prefix, origin: str, universe: AttributeUniverse) -> "SymbolicRoute":
+        next_hop = universe.next_hop_term(origin)
+        assert next_hop is not None, "router names are always in the universe"
+        return cls(
+            prefix=prefix,
+            local_pref=IntVal(DEFAULT_LOCAL_PREF),
+            med=IntVal(0),
+            next_hop=next_hop,
+            communities={community: FALSE for community in universe.communities},
+        )
+
+    def crossing_session(self, speaker: str, universe: AttributeUniverse) -> "SymbolicRoute":
+        """Attribute state just before the speaker's export map runs:
+        next-hop-self, local preference back to default."""
+        next_hop = universe.next_hop_term(speaker)
+        assert next_hop is not None
+        return replace(self, next_hop=next_hop, local_pref=IntVal(DEFAULT_LOCAL_PREF))
+
+    def reset_local_pref(self) -> "SymbolicRoute":
+        return replace(self, local_pref=IntVal(DEFAULT_LOCAL_PREF))
+
+
+def _as_community(value: object) -> Optional[Community]:
+    if isinstance(value, Community):
+        return value
+    if isinstance(value, str):
+        try:
+            return Community.parse(value)
+        except ValueError:
+            return None
+    return None
+
+
+def _as_prefix(value: object) -> Optional[Prefix]:
+    if isinstance(value, Prefix):
+        return value
+    if isinstance(value, str):
+        try:
+            return Prefix(value)
+        except PrefixError:
+            return None
+    return None
+
+
+def _as_int(value: object) -> Optional[int]:
+    if isinstance(value, bool):
+        return None
+    if isinstance(value, int):
+        return value
+    if isinstance(value, str) and value.lstrip("-").isdigit():
+        return int(value)
+    return None
+
+
+class _LineEncoder:
+    """Encodes matching and effects of a single route-map line."""
+
+    def __init__(self, universe: AttributeUniverse, holes: HoleEncoder) -> None:
+        self.universe = universe
+        self.holes = holes
+
+    # -- matching ------------------------------------------------------
+
+    def match(self, line: RouteMapLine, state: SymbolicRoute) -> Term:
+        if isinstance(line.match_attr, Hole):
+            attr_var = self.holes.register(line.match_attr)
+            options = []
+            for attr in line.match_attr.domain:
+                condition = self._match_for_attr(str(attr), line.match_value, state)
+                options.append(And(Eq(attr_var, str(attr)), condition))
+            return Or(*options)
+        return self._match_for_attr(str(line.match_attr), line.match_value, state)
+
+    def _match_for_attr(self, attr: str, value: object, state: SymbolicRoute) -> Term:
+        if attr == MatchAttribute.ANY:
+            return TRUE
+        if attr == MatchAttribute.DST_PREFIX:
+            return self._match_prefix(value, state)
+        if attr == MatchAttribute.COMMUNITY:
+            return self._match_community(value, state)
+        if attr == MatchAttribute.NEXT_HOP:
+            return self._match_next_hop(value, state)
+        raise EncodingError(f"unknown match attribute {attr!r}")
+
+    def _match_prefix(self, value: object, state: SymbolicRoute) -> Term:
+        if isinstance(value, Hole):
+            value_var = self.holes.register(value)
+            options = []
+            for member in value.domain:
+                target = _as_prefix(member)
+                if target is not None and self._prefix_matches(state.prefix, target):
+                    options.append(Eq(value_var, str(member)))
+            return Or(*options)
+        target = _as_prefix(value)
+        if target is None:
+            return FALSE
+        return TRUE if self._prefix_matches(state.prefix, target) else FALSE
+
+    @staticmethod
+    def _prefix_matches(announced: Prefix, target: Prefix) -> bool:
+        return announced == target or announced.is_subnet_of(target)
+
+    def _match_community(self, value: object, state: SymbolicRoute) -> Term:
+        if isinstance(value, Hole):
+            value_var = self.holes.register(value)
+            options = []
+            for member in value.domain:
+                community = _as_community(member)
+                if community is None:
+                    continue
+                membership = state.communities.get(community, FALSE)
+                options.append(And(Eq(value_var, str(member)), membership))
+            return Or(*options)
+        community = _as_community(value)
+        if community is None:
+            return FALSE
+        return state.communities.get(community, FALSE)
+
+    def _match_next_hop(self, value: object, state: SymbolicRoute) -> Term:
+        if isinstance(value, Hole):
+            value_var = self.holes.register(value)
+            options = []
+            for member in value.domain:
+                constant = self.universe.next_hop_term(str(member))
+                if constant is None:
+                    continue
+                options.append(And(Eq(value_var, str(member)), Eq(state.next_hop, constant)))
+            return Or(*options)
+        constant = self.universe.next_hop_term(str(value))
+        if constant is None:
+            return FALSE
+        return Eq(state.next_hop, constant)
+
+    # -- action --------------------------------------------------------
+
+    def permits(self, line: RouteMapLine) -> Term:
+        if isinstance(line.action, Hole):
+            action_var = self.holes.register(line.action)
+            return Eq(action_var, PERMIT)
+        return TRUE if line.action == PERMIT else FALSE
+
+    # -- set clauses ----------------------------------------------------
+
+    def apply_sets(self, line: RouteMapLine, state: SymbolicRoute, guard: Term) -> SymbolicRoute:
+        """Attribute state after the line's set clauses, under ``guard``
+        (the term for "this line fired and permitted")."""
+        local_pref = state.local_pref
+        med = state.med
+        next_hop = state.next_hop
+        communities = dict(state.communities)
+        for clause in line.sets:
+            attr_cond = self._attribute_condition(clause)
+            # local-pref
+            condition, value_term = self._int_assignment(clause, SetAttribute.LOCAL_PREF, attr_cond)
+            if value_term is not None:
+                local_pref = Ite(And(guard, condition), value_term, local_pref)
+            # med
+            condition, value_term = self._int_assignment(clause, SetAttribute.MED, attr_cond)
+            if value_term is not None:
+                med = Ite(And(guard, condition), value_term, med)
+            # next-hop
+            condition, value_term = self._next_hop_assignment(clause, attr_cond)
+            if value_term is not None:
+                next_hop = Ite(And(guard, condition), value_term, next_hop)
+            # communities (additive)
+            for community, added in self._community_assignments(clause, attr_cond):
+                communities[community] = Or(
+                    communities.get(community, FALSE), And(guard, added)
+                )
+        return replace(
+            state,
+            local_pref=local_pref,
+            med=med,
+            next_hop=next_hop,
+            communities=communities,
+        )
+
+    def _attribute_condition(self, clause: SetClause):
+        """Returns a callable mapping a set-attribute name to the term
+        "this clause targets that attribute"."""
+        if isinstance(clause.attribute, Hole):
+            attr_var = self.holes.register(clause.attribute)
+
+            def condition(name: str) -> Term:
+                if all(str(member) != name for member in clause.attribute.domain):  # type: ignore[union-attr]
+                    return FALSE
+                return Eq(attr_var, name)
+
+            return condition
+
+        def condition(name: str) -> Term:
+            return TRUE if clause.attribute == name else FALSE
+
+        return condition
+
+    def _int_assignment(self, clause: SetClause, attribute: str, attr_cond):
+        """(condition, value term) for an integer-valued set attribute."""
+        applies = attr_cond(attribute)
+        if applies.is_false():
+            return FALSE, None
+        if isinstance(clause.value, Hole):
+            value_var = self.holes.register(clause.value)
+            int_members = [
+                member for member in clause.value.domain if _as_int(member) is not None
+            ]
+            if not int_members:
+                return FALSE, None
+            if value_var.sort.is_int():
+                return applies, value_var
+            # Mixed-domain hole encoded as an enum: build the value as
+            # an Ite cascade over its integer members, guarded so that
+            # choosing a non-integer member means "no assignment".
+            chosen = Or(*[Eq(value_var, str(member)) for member in int_members])
+            value_term: Term = IntVal(_as_int(int_members[-1]))  # type: ignore[arg-type]
+            for member in reversed(int_members[:-1]):
+                value_term = Ite(
+                    Eq(value_var, str(member)), IntVal(_as_int(member)), value_term  # type: ignore[arg-type]
+                )
+            return And(applies, chosen), value_term
+        constant = _as_int(clause.value)
+        if constant is None:
+            return FALSE, None
+        return applies, IntVal(constant)
+
+    def _next_hop_assignment(self, clause: SetClause, attr_cond):
+        applies = attr_cond(SetAttribute.NEXT_HOP)
+        if applies.is_false():
+            return FALSE, None
+        if isinstance(clause.value, Hole):
+            value_var = self.holes.register(clause.value)
+            members = [
+                member
+                for member in clause.value.domain
+                if self.universe.next_hop_term(str(member)) is not None
+            ]
+            if not members:
+                return FALSE, None
+            chosen = Or(*[Eq(value_var, str(member)) for member in members])
+            value_term = self.universe.next_hop_term(str(members[-1]))
+            assert value_term is not None
+            for member in reversed(members[:-1]):
+                constant = self.universe.next_hop_term(str(member))
+                assert constant is not None
+                value_term = Ite(Eq(value_var, str(member)), constant, value_term)
+            return And(applies, chosen), value_term
+        constant = self.universe.next_hop_term(str(clause.value))
+        if constant is None:
+            raise EncodingError(
+                f"set next-hop value {clause.value!r} missing from the universe"
+            )
+        return applies, constant
+
+    def _community_assignments(self, clause: SetClause, attr_cond):
+        applies = attr_cond(SetAttribute.COMMUNITY)
+        if applies.is_false():
+            return
+        if isinstance(clause.value, Hole):
+            value_var = self.holes.register(clause.value)
+            for member in clause.value.domain:
+                community = _as_community(member)
+                if community is None:
+                    continue
+                yield community, And(applies, Eq(value_var, str(member)))
+            return
+        community = _as_community(clause.value)
+        if community is not None:
+            yield community, applies
+
+
+def apply_routemap_symbolic(
+    routemap: Optional[RouteMap],
+    state: SymbolicRoute,
+    universe: AttributeUniverse,
+    holes: HoleEncoder,
+) -> Tuple[Term, SymbolicRoute]:
+    """Apply ``routemap`` to ``state`` symbolically.
+
+    Returns ``(permit, new_state)``; an absent route-map permits and
+    leaves the state untouched, mirroring the concrete semantics.
+    First-match-wins and implicit deny are encoded with a running
+    "no earlier line matched" term.
+    """
+    if routemap is None:
+        return TRUE, state
+    line_encoder = _LineEncoder(universe, holes)
+    no_match_so_far: Term = TRUE
+    permit_cases: List[Term] = []
+    current = state
+    for line in routemap.lines:
+        match = line_encoder.match(line, current)
+        fired = And(no_match_so_far, match)
+        permits = line_encoder.permits(line)
+        permit_cases.append(And(fired, permits))
+        current = line_encoder.apply_sets(line, current, And(fired, permits))
+        no_match_so_far = And(no_match_so_far, Not(match))
+    return Or(*permit_cases), current

@@ -1,0 +1,125 @@
+"""The constraint-based configuration synthesizer.
+
+Fills the holes of a configuration sketch so that the network
+satisfies a path-requirement specification -- the NetComplete-style
+baseline system the paper's explanation technique operates on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..bgp.config import NetworkConfig
+from ..smt import Model, check_sat
+from ..spec.ast import Specification
+from .encoder import Encoder, Encoding
+from .space import EncodingError
+
+__all__ = ["SynthesisError", "SynthesisResult", "Synthesizer", "synthesize"]
+
+
+class SynthesisError(RuntimeError):
+    """No configuration satisfying the specification exists."""
+
+
+@dataclass
+class SynthesisResult:
+    """A successful synthesis run.
+
+    Attributes
+    ----------
+    config:
+        The concrete configuration (all holes filled).
+    assignment:
+        The hole values chosen by the solver (by hole name).
+    encoding:
+        The full constraint encoding (reused by the explainer and
+        reported by the benchmarks).
+    model:
+        The raw solver model.
+    """
+
+    config: NetworkConfig
+    assignment: Dict[str, object]
+    encoding: Encoding
+    model: Model
+
+    @property
+    def num_constraints(self) -> int:
+        return self.encoding.num_constraints
+
+    @property
+    def encoding_size(self) -> int:
+        return self.encoding.size
+
+
+class Synthesizer:
+    """Synthesizes concrete configurations from sketches.
+
+    >>> result = Synthesizer(sketch, specification).synthesize()
+    ... # doctest: +SKIP
+    """
+
+    def __init__(
+        self,
+        sketch: NetworkConfig,
+        specification: Specification,
+        max_path_length: Optional[int] = None,
+        link_cost=None,
+        ibgp: bool = False,
+    ) -> None:
+        self.sketch = sketch
+        self.specification = specification
+        self.max_path_length = max_path_length
+        self.link_cost = link_cost
+        self.ibgp = ibgp
+
+    def encode(self) -> Encoding:
+        """Encode without solving (exposed for the explanation flow)."""
+        encoder = Encoder(
+            self.sketch,
+            self.specification,
+            self.max_path_length,
+            self.link_cost,
+            ibgp=self.ibgp,
+        )
+        return encoder.encode()
+
+    def synthesize(self) -> SynthesisResult:
+        """Encode, solve, and fill the sketch.
+
+        Raises
+        ------
+        SynthesisError
+            If the constraints are unsatisfiable (no hole assignment
+            makes the network meet the specification).
+        EncodingError
+            If the problem is malformed (unmatchable patterns, bad
+            origination).
+        """
+        encoding = self.encode()
+        model = check_sat(encoding.constraint)
+        if model is None:
+            raise SynthesisError(
+                "specification is unrealizable for this sketch "
+                f"({encoding.num_constraints} constraints, "
+                f"{len(encoding.holes)} holes)"
+            )
+        assignment = encoding.holes.decode_model(model.assignment)
+        config = self.sketch.fill(assignment)
+        return SynthesisResult(
+            config=config,
+            assignment=assignment,
+            encoding=encoding,
+            model=model,
+        )
+
+
+def synthesize(
+    sketch: NetworkConfig,
+    specification: Specification,
+    max_path_length: Optional[int] = None,
+) -> SynthesisResult:
+    """One-shot convenience wrapper around :class:`Synthesizer`."""
+    return Synthesizer(sketch, specification, max_path_length).synthesize()

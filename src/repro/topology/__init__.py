@@ -1,0 +1,22 @@
+"""Topology substrate: routers, links, prefixes, paths and patterns."""
+
+from .graph import Link, Router, Topology, TopologyError
+from .parser import TopologyParseError, parse_topology, render_topology
+from .paths import Path, PathPattern, WILDCARD, enumerate_simple_paths
+from .prefixes import Prefix, PrefixError
+
+__all__ = [
+    "Topology",
+    "Router",
+    "Link",
+    "TopologyError",
+    "parse_topology",
+    "render_topology",
+    "TopologyParseError",
+    "Prefix",
+    "PrefixError",
+    "Path",
+    "PathPattern",
+    "WILDCARD",
+    "enumerate_simple_paths",
+]

@@ -1,0 +1,235 @@
+"""Network topology model: routers, links, autonomous systems.
+
+The model is deliberately at *router* granularity: the paper's path
+requirements (Figures 1a, 3) and subspecifications (Figures 2, 4, 5)
+all name individual routers (``R1``, ``P1``, ``C``), so both the
+simulator and the symbolic encoder treat each router as a BGP speaker
+identified by its name, with loop prevention on router-level paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Tuple
+
+from .prefixes import Prefix
+
+__all__ = ["Router", "Link", "Topology", "TopologyError"]
+
+
+class TopologyError(ValueError):
+    """Raised on malformed topology operations."""
+
+
+@dataclass(frozen=True)
+class Router:
+    """A BGP-speaking device.
+
+    Attributes
+    ----------
+    name:
+        Unique identifier, used in path requirements (e.g. ``"R1"``).
+    asn:
+        Autonomous system number the router belongs to.
+    originated:
+        Prefixes this router originates into BGP.
+    role:
+        Free-form label (``"provider"``, ``"customer"``, ...) used only
+        for reporting.
+    """
+
+    name: str
+    asn: int
+    originated: Tuple[Prefix, ...] = ()
+    role: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise TopologyError("router name must be non-empty")
+        if self.asn <= 0:
+            raise TopologyError(f"router {self.name}: ASN must be positive")
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Link:
+    """An undirected adjacency between two routers."""
+
+    a: str
+    b: str
+
+    def __post_init__(self) -> None:
+        if self.a == self.b:
+            raise TopologyError(f"self-link at {self.a}")
+
+    @property
+    def endpoints(self) -> FrozenSet[str]:
+        return frozenset((self.a, self.b))
+
+    def other(self, router: str) -> str:
+        if router == self.a:
+            return self.b
+        if router == self.b:
+            return self.a
+        raise TopologyError(f"{router} is not an endpoint of {self}")
+
+    def __str__(self) -> str:
+        return f"{self.a}--{self.b}"
+
+
+class Topology:
+    """A set of routers plus undirected links between them.
+
+    >>> topo = Topology()
+    >>> _ = topo.add_router("R1", asn=200)
+    >>> _ = topo.add_router("P1", asn=500)
+    >>> topo.add_link("R1", "P1")
+    >>> topo.neighbors("R1")
+    ('P1',)
+    """
+
+    def __init__(self, name: str = "net") -> None:
+        self.name = name
+        self._routers: Dict[str, Router] = {}
+        self._adjacency: Dict[str, List[str]] = {}
+        self._links: Dict[FrozenSet[str], Link] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def add_router(
+        self,
+        name: str,
+        asn: int,
+        originated: Iterable[Prefix] = (),
+        role: str = "",
+    ) -> Router:
+        if name in self._routers:
+            raise TopologyError(f"duplicate router {name}")
+        router = Router(name, asn, tuple(originated), role)
+        self._routers[name] = router
+        self._adjacency[name] = []
+        return router
+
+    def add_link(self, a: str, b: str) -> Link:
+        self._require(a)
+        self._require(b)
+        link = Link(a, b)
+        if link.endpoints in self._links:
+            raise TopologyError(f"duplicate link {link}")
+        self._links[link.endpoints] = link
+        self._adjacency[a].append(b)
+        self._adjacency[b].append(a)
+        self._adjacency[a].sort()
+        self._adjacency[b].sort()
+        return link
+
+    def _require(self, name: str) -> Router:
+        router = self._routers.get(name)
+        if router is None:
+            raise TopologyError(f"unknown router {name}")
+        return router
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def router(self, name: str) -> Router:
+        return self._require(name)
+
+    def has_router(self, name: str) -> bool:
+        return name in self._routers
+
+    @property
+    def routers(self) -> Tuple[Router, ...]:
+        return tuple(self._routers[name] for name in sorted(self._routers))
+
+    @property
+    def router_names(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._routers))
+
+    @property
+    def links(self) -> Tuple[Link, ...]:
+        return tuple(sorted(self._links.values(), key=lambda l: (l.a, l.b)))
+
+    def neighbors(self, name: str) -> Tuple[str, ...]:
+        self._require(name)
+        return tuple(self._adjacency[name])
+
+    def has_link(self, a: str, b: str) -> bool:
+        return frozenset((a, b)) in self._links
+
+    def sessions(self) -> Iterator[Tuple[str, str]]:
+        """All directed adjacencies (one BGP session per direction)."""
+        for name in sorted(self._adjacency):
+            for neighbor in self._adjacency[name]:
+                yield (name, neighbor)
+
+    def origins_of(self, prefix: Prefix) -> Tuple[Router, ...]:
+        """Routers that originate ``prefix``."""
+        return tuple(
+            router for router in self.routers if prefix in router.originated
+        )
+
+    def all_prefixes(self) -> Tuple[Prefix, ...]:
+        """Every prefix originated anywhere in the topology."""
+        seen: Dict[str, Prefix] = {}
+        for router in self.routers:
+            for prefix in router.originated:
+                seen.setdefault(str(prefix), prefix)
+        return tuple(seen[key] for key in sorted(seen))
+
+    def without_link(self, a: str, b: str) -> "Topology":
+        """A copy of this topology with one link removed.
+
+        Used by the verifier's failure analysis for path-preference
+        requirements (paper Scenario 2: redundancy under failures).
+        """
+        if not self.has_link(a, b):
+            raise TopologyError(f"no link {a}--{b}")
+        clone = Topology(self.name)
+        for router in self.routers:
+            clone.add_router(router.name, router.asn, router.originated, router.role)
+        removed = frozenset((a, b))
+        for link in self.links:
+            if link.endpoints != removed:
+                clone.add_link(link.a, link.b)
+        return clone
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+
+    def to_ascii(self) -> str:
+        """A small human-readable summary of the topology."""
+        lines = [f"topology {self.name}:"]
+        for router in self.routers:
+            origins = ", ".join(str(p) for p in router.originated)
+            suffix = f" originates [{origins}]" if origins else ""
+            role = f" ({router.role})" if router.role else ""
+            lines.append(f"  {router.name} AS{router.asn}{role}{suffix}")
+        for link in self.links:
+            lines.append(f"  {link}")
+        return "\n".join(lines)
+
+    def to_dot(self) -> str:
+        """GraphViz rendering for documentation."""
+        lines = [f'graph "{self.name}" {{']
+        for router in self.routers:
+            lines.append(f'  "{router.name}" [label="{router.name}\\nAS{router.asn}"];')
+        for link in self.links:
+            lines.append(f'  "{link.a}" -- "{link.b}";')
+        lines.append("}")
+        return "\n".join(lines)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._routers
+
+    def __len__(self) -> int:
+        return len(self._routers)
+
+    def __repr__(self) -> str:
+        return f"Topology({self.name!r}, routers={len(self)}, links={len(self._links)})"

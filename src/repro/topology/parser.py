@@ -1,0 +1,109 @@
+"""Text format for topologies.
+
+A small declarative format so networks can be described in files and
+fed to the CLI alongside specification and configuration files::
+
+    topology hotnets {
+      router C  asn 100 role customer originates 123.0.1.0/24
+      router R1 asn 200 role managed
+      router P1 asn 500 originates 128.0.1.0/24
+
+      link C R1
+      link R1 P1
+    }
+
+``//`` starts a line comment.  ``originates`` accepts a comma-separated
+prefix list.  :func:`render_topology` produces this format back
+(round-trip property-tested).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional
+
+from .graph import Topology, TopologyError
+from .prefixes import Prefix, PrefixError
+
+__all__ = ["TopologyParseError", "parse_topology", "render_topology"]
+
+
+class TopologyParseError(ValueError):
+    """Raised on malformed topology text."""
+
+
+_HEADER = re.compile(r"^topology\s+(\S+)\s*\{$")
+_ROUTER = re.compile(
+    r"^router\s+(?P<name>\S+)"
+    r"\s+asn\s+(?P<asn>\d+)"
+    r"(?:\s+role\s+(?P<role>\S+))?"
+    r"(?:\s+originates\s+(?P<prefixes>\S+))?$"
+)
+_LINK = re.compile(r"^link\s+(\S+)\s+(\S+)$")
+
+
+def parse_topology(text: str) -> Topology:
+    """Parse the topology text format."""
+    lines: List[str] = []
+    for raw in text.splitlines():
+        stripped = raw.split("//", 1)[0].strip()
+        if stripped:
+            lines.append(stripped)
+    if not lines:
+        raise TopologyParseError("empty topology description")
+    header = _HEADER.match(lines[0])
+    if header is None:
+        raise TopologyParseError(
+            "expected 'topology <name> {' on the first line, got "
+            f"{lines[0]!r}"
+        )
+    if lines[-1] != "}":
+        raise TopologyParseError("missing closing '}'")
+    topology = Topology(header.group(1))
+    for line in lines[1:-1]:
+        router_match = _ROUTER.match(line)
+        if router_match:
+            prefixes = []
+            if router_match.group("prefixes"):
+                for chunk in router_match.group("prefixes").split(","):
+                    try:
+                        prefixes.append(Prefix(chunk))
+                    except PrefixError as exc:
+                        raise TopologyParseError(str(exc)) from None
+            try:
+                topology.add_router(
+                    router_match.group("name"),
+                    asn=int(router_match.group("asn")),
+                    originated=prefixes,
+                    role=router_match.group("role") or "",
+                )
+            except TopologyError as exc:
+                raise TopologyParseError(str(exc)) from None
+            continue
+        link_match = _LINK.match(line)
+        if link_match:
+            try:
+                topology.add_link(link_match.group(1), link_match.group(2))
+            except TopologyError as exc:
+                raise TopologyParseError(str(exc)) from None
+            continue
+        raise TopologyParseError(f"unrecognized topology line: {line!r}")
+    return topology
+
+
+def render_topology(topology: Topology) -> str:
+    """Serialize a topology in the parseable text format."""
+    lines = [f"topology {topology.name} {{"]
+    for router in topology.routers:
+        parts = [f"  router {router.name} asn {router.asn}"]
+        if router.role:
+            parts.append(f"role {router.role}")
+        if router.originated:
+            joined = ",".join(str(prefix) for prefix in router.originated)
+            parts.append(f"originates {joined}")
+        lines.append(" ".join(parts))
+    lines.append("")
+    for link in topology.links:
+        lines.append(f"  link {link.a} {link.b}")
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,252 @@
+"""Router-level paths and the paper's ``...`` path patterns.
+
+A :class:`Path` is a concrete sequence of adjacent routers.  A
+:class:`PathPattern` is the pattern form used throughout the paper's
+specification language: a sequence of router names interleaved with
+``...`` wildcards, e.g. ``P1 -> ... -> P2``, where each wildcard
+matches *zero or more* intermediate routers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple, Union
+
+from .graph import Topology, TopologyError
+
+__all__ = ["Path", "PathPattern", "WILDCARD", "enumerate_simple_paths"]
+
+
+class _Wildcard:
+    """Singleton marker for the ``...`` pattern element."""
+
+    _instance: Optional["_Wildcard"] = None
+
+    def __new__(cls) -> "_Wildcard":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "..."
+
+
+WILDCARD = _Wildcard()
+
+PatternElement = Union[str, _Wildcard]
+
+
+@dataclass(frozen=True)
+class Path:
+    """A concrete router-level path (at least one router)."""
+
+    hops: Tuple[str, ...]
+
+    def __init__(self, hops: Sequence[str]) -> None:
+        hops = tuple(hops)
+        if not hops:
+            raise ValueError("a path needs at least one hop")
+        if len(set(hops)) != len(hops):
+            raise ValueError(f"path revisits a router: {hops}")
+        object.__setattr__(self, "hops", hops)
+
+    @property
+    def source(self) -> str:
+        return self.hops[0]
+
+    @property
+    def target(self) -> str:
+        return self.hops[-1]
+
+    @property
+    def edges(self) -> Tuple[Tuple[str, str], ...]:
+        return tuple(zip(self.hops, self.hops[1:]))
+
+    def reversed(self) -> "Path":
+        return Path(tuple(reversed(self.hops)))
+
+    def prefix_paths(self) -> Iterator["Path"]:
+        """All non-empty prefixes, shortest first (including self)."""
+        for end in range(1, len(self.hops) + 1):
+            yield Path(self.hops[:end])
+
+    def contains_edge(self, a: str, b: str) -> bool:
+        return (a, b) in self.edges or (b, a) in self.edges
+
+    def is_valid_in(self, topology: Topology) -> bool:
+        """Whether every hop exists and consecutive hops are adjacent."""
+        for hop in self.hops:
+            if hop not in topology:
+                return False
+        return all(topology.has_link(a, b) for a, b in self.edges)
+
+    def __len__(self) -> int:
+        return len(self.hops)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.hops)
+
+    def __str__(self) -> str:
+        return " -> ".join(self.hops)
+
+
+@dataclass(frozen=True)
+class PathPattern:
+    """A path pattern with ``...`` wildcards.
+
+    ``elements`` alternates router names and :data:`WILDCARD` markers.
+    A wildcard matches zero or more routers; two consecutive wildcards
+    are collapsed at construction.
+
+    >>> pattern = PathPattern.of("P1", WILDCARD, "P2")
+    >>> pattern.matches(Path(("P1", "R1", "R2", "P2")))
+    True
+    >>> pattern.matches(Path(("P1", "P2")))
+    True
+    >>> pattern.matches(Path(("P2", "R1", "P1")))
+    False
+    """
+
+    elements: Tuple[PatternElement, ...]
+
+    def __init__(self, elements: Sequence[PatternElement]) -> None:
+        collapsed: List[PatternElement] = []
+        for element in elements:
+            if isinstance(element, _Wildcard) and collapsed and isinstance(collapsed[-1], _Wildcard):
+                continue
+            collapsed.append(element)
+        if not collapsed:
+            raise ValueError("empty path pattern")
+        if not any(isinstance(e, str) for e in collapsed):
+            raise ValueError("a path pattern needs at least one concrete router")
+        object.__setattr__(self, "elements", tuple(collapsed))
+
+    @classmethod
+    def of(cls, *elements: PatternElement) -> "PathPattern":
+        return cls(elements)
+
+    @classmethod
+    def exact(cls, *hops: str) -> "PathPattern":
+        """A pattern with no wildcards."""
+        return cls(hops)
+
+    @property
+    def is_concrete(self) -> bool:
+        return all(isinstance(e, str) for e in self.elements)
+
+    @property
+    def concrete_routers(self) -> Tuple[str, ...]:
+        return tuple(e for e in self.elements if isinstance(e, str))
+
+    @property
+    def source(self) -> Optional[str]:
+        """The anchored first router, or None when starting with ``...``."""
+        first = self.elements[0]
+        return first if isinstance(first, str) else None
+
+    @property
+    def target(self) -> Optional[str]:
+        last = self.elements[-1]
+        return last if isinstance(last, str) else None
+
+    def to_path(self) -> Path:
+        if not self.is_concrete:
+            raise ValueError(f"pattern {self} has wildcards")
+        return Path(self.concrete_routers)
+
+    def matches(self, path: Path) -> bool:
+        """Whether the full hop sequence of ``path`` matches."""
+        return _match(self.elements, path.hops)
+
+    def matching_paths(self, topology: Topology, max_length: Optional[int] = None) -> Tuple[Path, ...]:
+        """All simple paths in ``topology`` matching this pattern.
+
+        Enumeration is anchored at the pattern's endpoints when they
+        are concrete; otherwise all simple paths are scanned.
+        """
+        for router in self.concrete_routers:
+            if router not in topology:
+                raise TopologyError(f"pattern {self} names unknown router {router}")
+        results: List[Path] = []
+        sources = [self.source] if self.source else list(topology.router_names)
+        targets = [self.target] if self.target else list(topology.router_names)
+        for source in sources:
+            for target in targets:
+                if source == target:
+                    candidate = Path((source,))
+                    if self.matches(candidate):
+                        results.append(candidate)
+                    continue
+                for path in enumerate_simple_paths(topology, source, target, max_length):
+                    if self.matches(path):
+                        results.append(path)
+        unique = {path.hops: path for path in results}
+        return tuple(unique[key] for key in sorted(unique))
+
+    def reversed(self) -> "PathPattern":
+        return PathPattern(tuple(reversed(self.elements)))
+
+    def __str__(self) -> str:
+        return " -> ".join("..." if isinstance(e, _Wildcard) else e for e in self.elements)
+
+
+def _match(pattern: Tuple[PatternElement, ...], hops: Tuple[str, ...]) -> bool:
+    """Wildcard matching via simple recursion with memoization."""
+    memo = {}
+
+    def go(pi: int, hi: int) -> bool:
+        key = (pi, hi)
+        if key in memo:
+            return memo[key]
+        if pi == len(pattern):
+            result = hi == len(hops)
+        elif isinstance(pattern[pi], _Wildcard):
+            # Match zero hops, or consume one hop and stay on the wildcard.
+            result = go(pi + 1, hi) or (hi < len(hops) and go(pi, hi + 1))
+        elif hi < len(hops) and pattern[pi] == hops[hi]:
+            result = go(pi + 1, hi + 1)
+        else:
+            result = False
+        memo[key] = result
+        return result
+
+    return go(0, 0)
+
+
+def enumerate_simple_paths(
+    topology: Topology,
+    source: str,
+    target: str,
+    max_length: Optional[int] = None,
+) -> Iterator[Path]:
+    """Yield every simple path from ``source`` to ``target``.
+
+    ``max_length`` bounds the number of hops (routers) per path; the
+    default explores all simple paths, which is fine for the scenario
+    topologies and bounded explicitly in the scaling benchmarks.
+    """
+    if source not in topology:
+        raise TopologyError(f"unknown router {source}")
+    if target not in topology:
+        raise TopologyError(f"unknown router {target}")
+    limit = max_length if max_length is not None else len(topology)
+    stack: List[str] = [source]
+    on_stack = {source}
+
+    def dfs() -> Iterator[Path]:
+        current = stack[-1]
+        if current == target:
+            yield Path(tuple(stack))
+            return
+        if len(stack) >= limit:
+            return
+        for neighbor in topology.neighbors(current):
+            if neighbor in on_stack:
+                continue
+            stack.append(neighbor)
+            on_stack.add(neighbor)
+            yield from dfs()
+            stack.pop()
+            on_stack.remove(neighbor)
+
+    yield from dfs()

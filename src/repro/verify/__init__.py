@@ -1,0 +1,18 @@
+"""Verification: concrete configs against global specs, and modular
+composition of subspecifications."""
+
+from .failures import FailureCase, FailureSweep, verify_under_failures
+from .modular import ModularReport, check_modular
+from .verifier import Report, Violation, config_on_topology, verify
+
+__all__ = [
+    "verify",
+    "Report",
+    "Violation",
+    "config_on_topology",
+    "check_modular",
+    "ModularReport",
+    "verify_under_failures",
+    "FailureSweep",
+    "FailureCase",
+]

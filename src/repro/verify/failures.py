@@ -1,0 +1,128 @@
+"""Robustness analysis: verification under link failures.
+
+Path-preference requirements already get targeted failure analysis
+inside :func:`~repro.verify.verifier.verify`; this module provides the
+blunter, operator-facing sweep: re-verify the *whole* specification
+under every combination of up to ``k`` failed links, reporting which
+failures break which requirements.
+
+This is the check that would have caught Scenario 2's lost redundancy
+directly: under the double failure {R1-P1, R3-R2}, the BLOCK-mode
+configuration blackholes the customer.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..bgp.config import NetworkConfig
+from ..bgp.simulation import ConvergenceError
+from ..spec.ast import Specification, SpecError
+from .verifier import Report, config_on_topology, verify
+
+__all__ = ["FailureCase", "FailureSweep", "verify_under_failures"]
+
+Edge = Tuple[str, str]
+
+
+@dataclass(frozen=True)
+class FailureCase:
+    """The verdict for one set of failed links."""
+
+    failed_links: Tuple[Edge, ...]
+    report: Optional[Report]
+    disconnected: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.report is not None and self.report.ok
+
+    def describe(self) -> str:
+        links = ", ".join(f"{a}-{b}" for a, b in self.failed_links) or "(none)"
+        if self.disconnected:
+            return (
+                f"fail {links}: skipped (not evaluable on this topology: "
+                "oscillation or required paths physically gone)"
+            )
+        assert self.report is not None
+        return f"fail {links}: {self.report.summary().splitlines()[0]}"
+
+
+@dataclass
+class FailureSweep:
+    """All verdicts of one robustness sweep."""
+
+    k: int
+    cases: List[FailureCase] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(case.ok or case.disconnected for case in self.cases)
+
+    def failing_cases(self) -> Tuple[FailureCase, ...]:
+        return tuple(
+            case for case in self.cases if not case.ok and not case.disconnected
+        )
+
+    def summary(self) -> str:
+        failing = self.failing_cases()
+        header = (
+            f"robustness sweep up to {self.k} link failure(s): "
+            f"{len(self.cases) - len(failing)}/{len(self.cases)} cases OK"
+        )
+        if not failing:
+            return header
+        lines = [header]
+        lines.extend(f"  {case.describe()}" for case in failing)
+        return "\n".join(lines)
+
+
+def verify_under_failures(
+    config: NetworkConfig,
+    specification: Specification,
+    k: int = 1,
+    protected_links: Tuple[Edge, ...] = (),
+) -> FailureSweep:
+    """Verify the specification under every <=k-link failure.
+
+    ``protected_links`` are never failed (e.g. the customer's only
+    uplink, whose loss trivially disconnects it).  Failure sets whose
+    control plane cannot converge are recorded as ``disconnected``
+    rather than violations.
+    """
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    topology = config.topology
+    protected = {frozenset(edge) for edge in protected_links}
+    candidate_links = [
+        (link.a, link.b)
+        for link in topology.links
+        if link.endpoints not in protected
+    ]
+    sweep = FailureSweep(k=k)
+    for size in range(0, k + 1):
+        for combo in itertools.combinations(candidate_links, size):
+            reduced = topology
+            try:
+                for a, b in combo:
+                    reduced = reduced.without_link(a, b)
+                rehomed = config_on_topology(config, reduced)
+                report = verify(rehomed, specification)
+            except ConvergenceError:
+                sweep.cases.append(
+                    FailureCase(failed_links=tuple(combo), report=None, disconnected=True)
+                )
+                continue
+            except SpecError:
+                # The failure set removed every path some requirement
+                # pattern needs (e.g. a preference whose listed paths
+                # are physically gone): the requirement is unevaluable
+                # on this topology, recorded like a disconnection.
+                sweep.cases.append(
+                    FailureCase(failed_links=tuple(combo), report=None, disconnected=True)
+                )
+                continue
+            sweep.cases.append(FailureCase(failed_links=tuple(combo), report=report))
+    return sweep

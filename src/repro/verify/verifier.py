@@ -1,0 +1,252 @@
+"""Concrete configuration verification against a specification.
+
+The verifier simulates the control plane and checks every statement:
+
+* **Forbidden paths** -- no selected forwarding path (at any router,
+  for any prefix) may contain a managed matching slice.
+* **Reachability** -- the source's selected path to every prefix of the
+  destination must match the pattern.
+* **Path preference** -- checked with *failure analysis* (the property
+  the paper's Scenario 2 turns on): for each rank ``i``, fail the
+  distinguishing links of all better-ranked paths, re-simulate, and
+  check the selection falls back to rank ``i``.  After all listed
+  paths have failed, BLOCK mode expects a blackhole and FALLBACK mode
+  expects some other path to take over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..bgp.config import NetworkConfig
+from ..bgp.simulation import RoutingOutcome, simulate
+from ..spec.ast import (
+    ForbiddenPath,
+    PathPreference,
+    PreferenceMode,
+    Reachability,
+    Specification,
+    Statement,
+)
+from ..spec.semantics import destination_prefixes, expand_preference, violates_forbidden
+from ..topology.graph import Topology
+from ..topology.prefixes import Prefix
+
+__all__ = ["Violation", "Report", "verify", "config_on_topology"]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One observed specification violation."""
+
+    block: str
+    statement: Statement
+    description: str
+
+    def __str__(self) -> str:
+        return f"[{self.block}] {self.statement}: {self.description}"
+
+
+@dataclass
+class Report:
+    """Result of verifying a configuration."""
+
+    violations: List[Violation] = field(default_factory=list)
+    statements_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> str:
+        if self.ok:
+            return f"OK ({self.statements_checked} statements verified)"
+        lines = [f"FAILED ({len(self.violations)} violations):"]
+        lines.extend(f"  {violation}" for violation in self.violations)
+        return "\n".join(lines)
+
+
+def config_on_topology(config: NetworkConfig, topology: Topology) -> NetworkConfig:
+    """Re-home a configuration onto a (sub-)topology.
+
+    Route-maps attached to sessions that no longer exist are dropped;
+    everything else is preserved.  Used by the failure analysis.
+    """
+    rehomed = NetworkConfig(topology)
+    for router in topology.router_names:
+        source = config.router_config(router)
+        for direction, neighbor in source.sessions():
+            if topology.has_link(router, neighbor):
+                routemap = source.get_map(direction, neighbor)
+                assert routemap is not None
+                rehomed.set_map(router, direction, neighbor, routemap)
+    return rehomed
+
+
+def verify(
+    config: NetworkConfig,
+    specification: Specification,
+    link_cost=None,
+    ibgp: bool = False,
+) -> Report:
+    """Check every statement of ``specification`` against ``config``.
+
+    ``link_cost`` and ``ibgp`` select the same optional protocol modes
+    as :func:`repro.bgp.simulation.simulate` (hot-potato tie-break and
+    AS-aware iBGP semantics).
+    """
+    report = Report()
+    outcome = simulate(config, link_cost=link_cost, ibgp=ibgp)
+    for block in specification.blocks:
+        for statement in block.statements:
+            report.statements_checked += 1
+            if isinstance(statement, ForbiddenPath):
+                _check_forbidden(block.name, statement, specification, outcome, report)
+            elif isinstance(statement, Reachability):
+                _check_reachability(block.name, statement, config, outcome, report)
+            elif isinstance(statement, PathPreference):
+                _check_preference(
+                    block.name, statement, config, report,
+                    link_cost=link_cost, ibgp=ibgp,
+                )
+            else:  # pragma: no cover - exhaustive
+                raise TypeError(f"unknown statement {statement!r}")
+    return report
+
+
+def _check_forbidden(
+    block: str,
+    statement: ForbiddenPath,
+    specification: Specification,
+    outcome: RoutingOutcome,
+    report: Report,
+) -> None:
+    for router, prefix_text, path in outcome.selected_paths():
+        if violates_forbidden(path, statement.pattern, specification.managed):
+            report.violations.append(
+                Violation(
+                    block,
+                    statement,
+                    f"{router}'s selected path to {prefix_text} is {path}",
+                )
+            )
+
+
+def _check_reachability(
+    block: str,
+    statement: Reachability,
+    config: NetworkConfig,
+    outcome: RoutingOutcome,
+    report: Report,
+) -> None:
+    prefixes = destination_prefixes(config.topology, statement.destination)
+    for prefix in prefixes:
+        path = outcome.forwarding_path(statement.source, prefix)
+        if path is None:
+            report.violations.append(
+                Violation(
+                    block,
+                    statement,
+                    f"{statement.source} has no route to {prefix}",
+                )
+            )
+        elif not statement.pattern.matches(path):
+            report.violations.append(
+                Violation(
+                    block,
+                    statement,
+                    f"{statement.source} reaches {prefix} via {path}, "
+                    f"which does not match the pattern",
+                )
+            )
+
+
+def _check_preference(
+    block: str,
+    statement: PathPreference,
+    config: NetworkConfig,
+    report: Report,
+    link_cost=None,
+    ibgp: bool = False,
+) -> None:
+    topology = config.topology
+    ranked = expand_preference(statement, topology)
+    prefixes = destination_prefixes(topology, statement.destination)
+    for prefix in prefixes:
+        # Step i: fail every better-ranked path, expect rank i selected.
+        for rank in range(len(ranked.paths)):
+            failed = _fail_edges(topology, ranked.distinguishing_edges(rank))
+            outcome = simulate(
+                config_on_topology(config, failed), link_cost=link_cost, ibgp=ibgp
+            )
+            selected = outcome.forwarding_path(statement.source, prefix)
+            if selected is None:
+                report.violations.append(
+                    Violation(
+                        block,
+                        statement,
+                        f"with ranks < {rank} failed, {statement.source} has no "
+                        f"route to {prefix} (expected rank {rank} path)",
+                    )
+                )
+                continue
+            if ranked.rank_of(selected) != rank:
+                report.violations.append(
+                    Violation(
+                        block,
+                        statement,
+                        f"with ranks < {rank} failed, {statement.source} uses "
+                        f"{selected} instead of a rank-{rank} path to {prefix}",
+                    )
+                )
+        # Final step: all listed paths failed.  Try to keep one
+        # unlisted path physically alive so the BLOCK-vs-FALLBACK
+        # distinction is actually observable.
+        plan = None
+        survivor_preserved = False
+        for survivor in ranked.unlisted:
+            try:
+                plan = ranked.distinguishing_edges(
+                    len(ranked.paths), preserve=(survivor,)
+                )
+                survivor_preserved = True
+                break
+            except Exception:
+                continue
+        if plan is None:
+            plan = ranked.distinguishing_edges(len(ranked.paths))
+        failed = _fail_edges(topology, plan)
+        outcome = simulate(
+            config_on_topology(config, failed), link_cost=link_cost, ibgp=ibgp
+        )
+        selected = outcome.forwarding_path(statement.source, prefix)
+        if statement.mode == PreferenceMode.BLOCK:
+            if selected is not None:
+                report.violations.append(
+                    Violation(
+                        block,
+                        statement,
+                        f"all listed paths failed but {statement.source} still "
+                        f"reaches {prefix} via {selected} (BLOCK mode forbids "
+                        f"unlisted paths)",
+                    )
+                )
+        else:  # FALLBACK
+            if selected is None and survivor_preserved:
+                report.violations.append(
+                    Violation(
+                        block,
+                        statement,
+                        f"all listed paths failed and {statement.source} lost "
+                        f"all connectivity to {prefix} (FALLBACK mode expects "
+                        f"an unlisted path to take over)",
+                    )
+                )
+
+
+def _fail_edges(topology: Topology, edges: Tuple[Tuple[str, str], ...]) -> Topology:
+    current = topology
+    for a, b in edges:
+        current = current.without_link(a, b)
+    return current

@@ -1,0 +1,160 @@
+"""Tests for configuration containers and Cisco-style rendering."""
+
+import pytest
+
+from repro.bgp import (
+    DENY,
+    Direction,
+    Hole,
+    MatchAttribute,
+    NetworkConfig,
+    PERMIT,
+    RouteMap,
+    RouteMapLine,
+    SetAttribute,
+    SetClause,
+    render_network,
+    render_router,
+    render_routemap,
+)
+from repro.topology import Prefix, TopologyError
+
+
+class TestRouterConfig:
+    def test_set_get_remove(self, line_topology):
+        config = NetworkConfig(line_topology)
+        routemap = RouteMap.permit_all("RM")
+        config.set_map("A", Direction.OUT, "B", routemap)
+        assert config.get_map("A", Direction.OUT, "B") is routemap
+        assert config.get_map("A", Direction.IN, "B") is None
+        config.router_config("A").remove_map(Direction.OUT, "B")
+        assert config.get_map("A", Direction.OUT, "B") is None
+
+    def test_bad_direction(self, line_topology):
+        config = NetworkConfig(line_topology)
+        with pytest.raises(ValueError):
+            config.router_config("A").set_map("sideways", "B", RouteMap.permit_all("RM"))
+
+    def test_unknown_session_rejected(self, line_topology):
+        config = NetworkConfig(line_topology)
+        with pytest.raises(TopologyError):
+            config.set_map("A", Direction.OUT, "Z", RouteMap.permit_all("RM"))
+
+    def test_unknown_router_rejected(self, line_topology):
+        config = NetworkConfig(line_topology)
+        with pytest.raises(TopologyError):
+            config.router_config("ghost")
+
+    def test_sessions_listing(self, line_topology):
+        config = NetworkConfig(line_topology)
+        config.set_map("B", Direction.OUT, "A", RouteMap.permit_all("X"))
+        config.set_map("B", Direction.IN, "Z", RouteMap.permit_all("Y"))
+        assert config.router_config("B").sessions() == (("in", "Z"), ("out", "A"))
+
+
+class TestHolePlumbing:
+    def test_holes_collected_across_routers(self, line_topology):
+        config = NetworkConfig(line_topology)
+        h1 = Hole("h1", (PERMIT, DENY))
+        h2 = Hole("h2", (100, 200))
+        config.set_map("A", Direction.OUT, "B", RouteMap("M1", (RouteMapLine(seq=10, action=h1),)))
+        config.set_map(
+            "B",
+            Direction.IN,
+            "Z",
+            RouteMap(
+                "M2",
+                (RouteMapLine(seq=10, sets=(SetClause(SetAttribute.LOCAL_PREF, h2),)),),
+            ),
+        )
+        assert {hole.name for hole in config.holes()} == {"h1", "h2"}
+        assert {hole.name for hole in config.holes_of("B")} == {"h2"}
+        assert config.has_holes()
+
+    def test_fill_produces_concrete_copy(self, line_topology):
+        config = NetworkConfig(line_topology)
+        hole = Hole("act", (PERMIT, DENY))
+        config.set_map("A", Direction.OUT, "B", RouteMap("M", (RouteMapLine(seq=10, action=hole),)))
+        filled = config.fill({"act": DENY})
+        assert not filled.has_holes()
+        assert config.has_holes()  # original untouched
+        line = filled.get_map("A", Direction.OUT, "B").line(10)
+        assert line.action == DENY
+
+    def test_copy_is_independent(self, line_topology):
+        config = NetworkConfig(line_topology)
+        clone = config.copy()
+        clone.set_map("A", Direction.OUT, "B", RouteMap.permit_all("RM"))
+        assert config.get_map("A", Direction.OUT, "B") is None
+
+
+class TestRendering:
+    def test_prefix_match_renders_prefix_list(self):
+        routemap = RouteMap(
+            "R1_to_P1",
+            (
+                RouteMapLine(
+                    seq=1,
+                    action=DENY,
+                    match_attr=MatchAttribute.DST_PREFIX,
+                    match_value=Prefix("123.0.0.0/20"),
+                ),
+                RouteMapLine(seq=100, action=DENY),
+            ),
+        )
+        text = render_routemap(routemap)
+        assert "route-map R1_to_P1 deny 1" in text
+        assert "ip prefix-list ip_list_R1_to_P1_1 seq 10 permit 123.0.0.0/20" in text
+        assert "match ip address prefix-list ip_list_R1_to_P1_1" in text
+        assert "route-map R1_to_P1 deny 100" in text
+
+    def test_set_clauses_render(self):
+        routemap = RouteMap(
+            "RM",
+            (
+                RouteMapLine(
+                    seq=10,
+                    action=PERMIT,
+                    sets=(
+                        SetClause(SetAttribute.NEXT_HOP, "10.0.0.1"),
+                        SetClause(SetAttribute.LOCAL_PREF, 200),
+                        SetClause(SetAttribute.COMMUNITY, "100:2"),
+                        SetClause(SetAttribute.MED, 5),
+                    ),
+                ),
+            ),
+        )
+        text = render_routemap(routemap)
+        assert "set ip next-hop 10.0.0.1" in text
+        assert "set local-preference 200" in text
+        assert "set community 100:2 additive" in text
+        assert "set metric 5" in text
+
+    def test_community_match_renders(self):
+        routemap = RouteMap(
+            "RM",
+            (
+                RouteMapLine(
+                    seq=10,
+                    action=DENY,
+                    match_attr=MatchAttribute.COMMUNITY,
+                    match_value="100:2",
+                ),
+            ),
+        )
+        assert "match community 100:2" in render_routemap(routemap)
+
+    def test_holes_render_with_question_mark(self):
+        hole = Hole("Var_Action", (PERMIT, DENY))
+        routemap = RouteMap("RM", (RouteMapLine(seq=10, action=hole),))
+        assert "?Var_Action" in render_routemap(routemap)
+
+    def test_render_router_and_network(self, line_topology):
+        config = NetworkConfig(line_topology)
+        config.set_map("B", Direction.OUT, "A", RouteMap.permit_all("B_to_A"))
+        router_text = render_router(config.router_config("B"))
+        assert "! configuration of B" in router_text
+        assert "neighbor A route-map B_to_A out" in router_text
+        network_text = render_network(config)
+        assert "! configuration of A" in network_text
+        assert "! configuration of B" in network_text

@@ -1,0 +1,199 @@
+"""Tests for the Cisco-style configuration parser, including the
+render/parse round-trip property."""
+
+import random
+
+import pytest
+
+from repro.bgp import (
+    Community,
+    ConfigParseError,
+    DENY,
+    Direction,
+    Hole,
+    MatchAttribute,
+    NetworkConfig,
+    PERMIT,
+    RouteMap,
+    RouteMapLine,
+    SetAttribute,
+    SetClause,
+    parse_network,
+    parse_router,
+    parse_routemaps,
+    render_network,
+    render_router,
+    render_routemap,
+)
+from repro.scenarios import scenario1, scenario2, scenario3
+from repro.topology import Prefix
+
+
+class TestParseRoutemaps:
+    def test_simple_permit(self):
+        maps = parse_routemaps("route-map RM permit 10\n!")
+        assert maps["RM"].line(10).action == PERMIT
+
+    def test_prefix_list_resolution(self):
+        text = (
+            "ip prefix-list ip_list_RM_10 seq 10 permit 10.0.0.0/8\n"
+            "route-map RM deny 10\n"
+            "  match ip address prefix-list ip_list_RM_10\n"
+            "!"
+        )
+        line = parse_routemaps(text)["RM"].line(10)
+        assert line.match_attr == MatchAttribute.DST_PREFIX
+        assert line.match_value == Prefix("10.0.0.0/8")
+
+    def test_all_clause_kinds(self):
+        text = (
+            "route-map RM permit 10\n"
+            "  match community 100:2\n"
+            "  set local-preference 200\n"
+            "  set community 100:3 additive\n"
+            "  set ip next-hop 10.0.0.1\n"
+            "  set metric 5\n"
+            "!"
+        )
+        line = parse_routemaps(text)["RM"].line(10)
+        assert line.match_value == Community(100, 2)
+        attrs = [clause.attribute for clause in line.sets]
+        assert attrs == [
+            SetAttribute.LOCAL_PREF,
+            SetAttribute.COMMUNITY,
+            SetAttribute.NEXT_HOP,
+            SetAttribute.MED,
+        ]
+
+    def test_next_hop_match(self):
+        text = "route-map RM deny 10\n  match ip next-hop R9\n!"
+        line = parse_routemaps(text)["RM"].line(10)
+        assert line.match_attr == MatchAttribute.NEXT_HOP
+        assert line.match_value == "R9"
+
+    def test_multiple_maps_and_lines(self):
+        text = (
+            "route-map A permit 10\n"
+            "route-map A deny 20\n"
+            "route-map B deny 10\n"
+            "!"
+        )
+        maps = parse_routemaps(text)
+        assert set(maps) == {"A", "B"}
+        assert len(maps["A"].lines) == 2
+
+    def test_errors(self):
+        with pytest.raises(ConfigParseError, match="unknown prefix-list"):
+            parse_routemaps(
+                "route-map RM deny 10\n  match ip address prefix-list nope\n"
+            )
+        with pytest.raises(ConfigParseError, match="outside a route-map"):
+            parse_routemaps("  set metric 5\n")
+        with pytest.raises(ConfigParseError, match="unrecognized"):
+            parse_routemaps("route-map RM permit 10\n  frobnicate\n")
+        with pytest.raises(ConfigParseError, match="symbolic field"):
+            parse_routemaps("route-map RM ?hole 10\n")
+        with pytest.raises(ConfigParseError, match="invalid prefix"):
+            parse_routemaps(
+                "ip prefix-list L seq 10 permit not-a-prefix\n"
+            )
+
+    def test_hole_in_set_rejected(self):
+        routemap = RouteMap(
+            "RM",
+            (
+                RouteMapLine(
+                    seq=10,
+                    action=PERMIT,
+                    sets=(SetClause(SetAttribute.LOCAL_PREF, Hole("lp", (100, 200))),),
+                ),
+            ),
+        )
+        text = render_routemap(routemap)
+        with pytest.raises(ConfigParseError, match="symbolic field"):
+            parse_routemaps(text)
+
+
+class TestParseRouter:
+    def test_header_and_attachments(self, line_topology):
+        config = NetworkConfig(line_topology)
+        config.set_map("B", Direction.OUT, "A", RouteMap.permit_all("B_to_A"))
+        config.set_map("B", Direction.IN, "Z", RouteMap.deny_all("B_from_Z"))
+        text = render_router(config.router_config("B"))
+        router, attachments = parse_router(text)
+        assert router == "B"
+        assert attachments == {("out", "A"): "B_to_A", ("in", "Z"): "B_from_Z"}
+
+    def test_missing_header(self):
+        with pytest.raises(ConfigParseError, match="missing"):
+            parse_router("route-map RM permit 10\n")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("builder", [scenario1, scenario2, scenario3])
+    def test_scenario_configs_roundtrip(self, builder):
+        scenario = builder()
+        text = render_network(scenario.paper_config)
+        parsed = parse_network(text, scenario.topology)
+        for router in scenario.topology.router_names:
+            original = scenario.paper_config.router_config(router)
+            recovered = parsed.router_config(router)
+            assert original.sessions() == recovered.sessions()
+            for key in original.sessions():
+                assert original.get_map(*key) == recovered.get_map(*key)
+
+    def test_random_configs_roundtrip(self, square_topology):
+        rng = random.Random(42)
+        prefixes = [Prefix("10.1.0.0/24"), Prefix("10.2.0.0/24")]
+        communities = [Community(100, 1), Community(200, 9)]
+        for _ in range(20):
+            config = NetworkConfig(square_topology)
+            for router, neighbor in square_topology.sessions():
+                if rng.random() < 0.6:
+                    continue
+                direction = rng.choice([Direction.IN, Direction.OUT])
+                lines = []
+                for seq in (10, 20):
+                    kind = rng.choice(["any", "prefix", "community", "nh"])
+                    match_attr, match_value = MatchAttribute.ANY, None
+                    if kind == "prefix":
+                        match_attr = MatchAttribute.DST_PREFIX
+                        match_value = rng.choice(prefixes)
+                    elif kind == "community":
+                        match_attr = MatchAttribute.COMMUNITY
+                        match_value = rng.choice(communities)
+                    elif kind == "nh":
+                        match_attr = MatchAttribute.NEXT_HOP
+                        match_value = rng.choice(["T", "S"])
+                    sets = ()
+                    if rng.random() < 0.5:
+                        sets = (
+                            SetClause(SetAttribute.LOCAL_PREF, rng.choice([50, 300])),
+                            SetClause(SetAttribute.COMMUNITY, rng.choice(communities)),
+                        )
+                    lines.append(
+                        RouteMapLine(
+                            seq=seq,
+                            action=rng.choice([PERMIT, DENY]),
+                            match_attr=match_attr,
+                            match_value=match_value,
+                            sets=sets,
+                        )
+                    )
+                name = f"{router}_{direction}_{neighbor}"
+                config.set_map(router, direction, neighbor, RouteMap(name, tuple(lines)))
+            text = render_network(config)
+            parsed = parse_network(text, square_topology)
+            for router in square_topology.router_names:
+                original = config.router_config(router)
+                recovered = parsed.router_config(router)
+                assert original.sessions() == recovered.sessions()
+                for key in original.sessions():
+                    assert original.get_map(*key) == recovered.get_map(*key)
+
+    def test_unknown_router_rejected(self, line_topology, square_topology):
+        config = NetworkConfig(square_topology)
+        config.set_map("S", Direction.OUT, "L", RouteMap.permit_all("RM"))
+        text = render_network(config)
+        with pytest.raises(ConfigParseError, match="unknown router"):
+            parse_network(text, line_topology)

@@ -1,0 +1,73 @@
+"""Unit tests for the BGP decision process."""
+
+from repro.bgp import Announcement, preference_key, rank, select_best
+from repro.topology import Prefix
+
+PFX = Prefix("10.0.0.0/24")
+
+
+def route(path, local_pref=100, med=0):
+    return Announcement(prefix=PFX, path=tuple(path), next_hop=path[-2] if len(path) > 1 else path[0], local_pref=local_pref, med=med)
+
+
+class TestSelectBest:
+    def test_empty_is_none(self):
+        assert select_best([]) is None
+
+    def test_single(self):
+        only = route(("O", "A"))
+        assert select_best([only]) is only
+
+    def test_highest_local_pref_wins(self):
+        low = route(("O", "A"), local_pref=100)
+        high = route(("O", "X", "Y", "Z", "A"), local_pref=200)
+        assert select_best([low, high]) is high
+
+    def test_shorter_path_breaks_lp_tie(self):
+        short = route(("O", "A"))
+        long = route(("O", "B", "A"))
+        assert select_best([long, short]) is short
+
+    def test_lower_med_breaks_length_tie(self):
+        cheap = route(("O", "B", "A"), med=1)
+        pricey = route(("O", "C", "A"), med=9)
+        assert select_best([pricey, cheap]) is cheap
+
+    def test_advertiser_name_is_final_tiebreak(self):
+        via_b = route(("O", "B", "A"))
+        via_c = route(("O", "C", "A"))
+        assert select_best([via_c, via_b]) is via_b  # "B" < "C"
+
+    def test_deterministic_under_input_order(self):
+        routes = [route(("O", "C", "A")), route(("O", "B", "A"))]
+        assert select_best(routes) is select_best(list(reversed(routes)))
+
+
+class TestRank:
+    def test_rank_orders_best_first(self):
+        worst = route(("O", "X", "Y", "A"), local_pref=50)
+        middle = route(("O", "B", "A"))
+        best = route(("O", "C", "A"), local_pref=300)
+        ordered = rank([worst, middle, best])
+        assert ordered == [best, middle, worst]
+
+    def test_preference_key_components(self):
+        ann = route(("O", "B", "A"), local_pref=200, med=5)
+        key = preference_key(ann)
+        assert key == (-200, 3, 5, 0, "B", ("O", "B", "A"))
+
+    def test_originated_route_has_empty_advertiser(self):
+        own = Announcement.originate(PFX, "A")
+        assert preference_key(own)[4] == ""
+
+    def test_hot_potato_tiebreak(self):
+        """With a link-cost function, the cheaper advertiser wins ties
+        even against a lexicographically smaller neighbor name."""
+        via_b = route(("O", "B", "A"))
+        via_c = route(("O", "C", "A"))
+        costs = {frozenset(("A", "B")): 10, frozenset(("A", "C")): 1}
+        link_cost = lambda x, y: costs[frozenset((x, y))]
+        assert select_best([via_b, via_c], link_cost) is via_c
+        # Without costs the name tie-break picks B.
+        assert select_best([via_b, via_c]) is via_b
+        assert rank([via_b, via_c], link_cost) == [via_c, via_b]

@@ -1,0 +1,63 @@
+"""Tests for routing-outcome diffs."""
+
+from repro.bgp import Direction, NetworkConfig, RouteMap, diff_outcomes, simulate
+from repro.topology import Path, Prefix
+
+
+def test_identical_outcomes_diff_empty(line_topology):
+    config = NetworkConfig(line_topology)
+    before = simulate(config)
+    after = simulate(config)
+    diff = diff_outcomes(before, after)
+    assert diff.is_empty
+    assert diff.render() == "no routing changes"
+
+
+def test_lost_routes_detected(line_topology):
+    plain = NetworkConfig(line_topology)
+    blocked = NetworkConfig(line_topology)
+    blocked.set_map("B", Direction.OUT, "A", RouteMap.deny_all("block"))
+    diff = diff_outcomes(simulate(plain), simulate(blocked))
+    lost = diff.lost()
+    assert lost
+    assert any(change.router == "A" and change.prefix == "10.0.9.0/24" for change in lost)
+    assert "lost route" in diff.render()
+
+
+def test_gained_routes_detected(line_topology):
+    blocked = NetworkConfig(line_topology)
+    blocked.set_map("B", Direction.OUT, "A", RouteMap.deny_all("block"))
+    plain = NetworkConfig(line_topology)
+    diff = diff_outcomes(simulate(blocked), simulate(plain))
+    assert diff.gained()
+    assert "gained route" in diff.render()
+
+
+def test_moved_routes_detected(square_topology):
+    from repro.bgp import PERMIT, RouteMapLine, SetAttribute, SetClause
+
+    plain = NetworkConfig(square_topology)
+    steered = NetworkConfig(square_topology)
+    boost = RouteMap(
+        "boost",
+        (RouteMapLine(seq=10, action=PERMIT, sets=(SetClause(SetAttribute.LOCAL_PREF, 300),)),),
+    )
+    steered.set_map("S", Direction.IN, "R", boost)
+    diff = diff_outcomes(simulate(plain), simulate(steered))
+    moved = diff.moved()
+    assert any(
+        change.router == "S"
+        and change.before == Path(("S", "L", "T"))
+        and change.after == Path(("S", "R", "T"))
+        for change in moved
+    )
+    assert "=>" in diff.render()
+
+
+def test_affecting_filter(square_topology):
+    plain = NetworkConfig(square_topology)
+    blocked = NetworkConfig(square_topology)
+    blocked.set_map("T", Direction.OUT, "L", RouteMap.deny_all("b"))
+    diff = diff_outcomes(simulate(plain), simulate(blocked))
+    for change in diff.affecting("S"):
+        assert change.router == "S"

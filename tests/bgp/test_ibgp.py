@@ -1,0 +1,149 @@
+"""Tests for the opt-in iBGP (AS-aware) semantics."""
+
+import pytest
+
+from repro.bgp import (
+    Announcement,
+    DEFAULT_LOCAL_PREF,
+    Direction,
+    NetworkConfig,
+    PERMIT,
+    RouteMap,
+    RouteMapLine,
+    SetAttribute,
+    SetClause,
+    simulate,
+)
+from repro.smt import check_sat
+from repro.spec import Specification
+from repro.synthesis import CandidateSpace, Encoder
+from repro.topology import Path, Prefix, Topology
+
+
+@pytest.fixture
+def two_as_chain():
+    """E1 (AS 10) -- A - B - C (all AS 20) -- E2 (AS 30)."""
+    topo = Topology("two-as-chain")
+    topo.add_router("E1", asn=10, originated=[Prefix("10.1.0.0/24")])
+    topo.add_router("A", asn=20)
+    topo.add_router("B", asn=20)
+    topo.add_router("C", asn=20)
+    topo.add_router("E2", asn=30, originated=[Prefix("10.2.0.0/24")])
+    for a, b in [("E1", "A"), ("A", "B"), ("B", "C"), ("C", "E2")]:
+        topo.add_link(a, b)
+    return topo
+
+
+class TestAnnouncement:
+    def test_lp_preserved_when_requested(self):
+        ann = Announcement.originate(Prefix("10.0.0.0/24"), "A").with_local_pref(300)
+        kept = ann.extended_to("B", reset_local_pref=False)
+        assert kept.local_pref == 300
+        reset = ann.extended_to("B")
+        assert reset.local_pref == DEFAULT_LOCAL_PREF
+
+
+class TestFullMeshRule:
+    def test_ibgp_learned_routes_not_readvertised_over_ibgp(self, two_as_chain):
+        """E1's prefix reaches A (eBGP) and B (one iBGP hop) but not C:
+        B may not re-advertise an iBGP-learned route to C."""
+        config = NetworkConfig(two_as_chain)
+        outcome = simulate(config, ibgp=True)
+        prefix = Prefix("10.1.0.0/24")
+        assert outcome.reachable("A", prefix)
+        assert outcome.reachable("B", prefix)
+        assert not outcome.reachable("C", prefix)
+        assert not outcome.reachable("E2", prefix)
+
+    def test_default_mode_unchanged(self, two_as_chain):
+        outcome = simulate(two_as_chain and NetworkConfig(two_as_chain))
+        assert outcome.reachable("E2", Prefix("10.1.0.0/24"))
+
+    def test_candidate_space_filter_matches(self, two_as_chain):
+        plain = CandidateSpace(two_as_chain)
+        aware = CandidateSpace(two_as_chain, ibgp=True)
+        assert len(aware) < len(plain)
+        # No candidate path contains three consecutive AS-20 routers.
+        for candidate in aware.all():
+            hops = candidate.path.hops
+            asns = [two_as_chain.router(h).asn for h in hops]
+            for i in range(len(asns) - 2):
+                assert not (asns[i] == asns[i + 1] == asns[i + 2]), candidate
+
+
+class TestLocalPrefAcrossIbgp:
+    def test_lp_carried_inside_the_as(self, two_as_chain):
+        """A sets lp 300 on import from E1; B must see lp 300 over the
+        iBGP session (not the default)."""
+        config = NetworkConfig(two_as_chain)
+        boost = RouteMap(
+            "boost",
+            (RouteMapLine(seq=10, action=PERMIT, sets=(SetClause(SetAttribute.LOCAL_PREF, 300),)),),
+        )
+        config.set_map("A", Direction.IN, "E1", boost)
+        outcome = simulate(config, ibgp=True)
+        best_at_b = outcome.best("B", Prefix("10.1.0.0/24"))
+        assert best_at_b is not None
+        assert best_at_b.local_pref == 300
+
+    def test_lp_reset_across_ebgp(self, two_as_chain):
+        config = NetworkConfig(two_as_chain)
+        boost = RouteMap(
+            "boost",
+            (RouteMapLine(seq=10, action=PERMIT, sets=(SetClause(SetAttribute.LOCAL_PREF, 300),)),),
+        )
+        config.set_map("C", Direction.IN, "E2", boost)
+        outcome = simulate(config, ibgp=True)
+        # E2's prefix at B carries lp 300 (iBGP from C), but at A's
+        # eBGP-facing peer E1... check the eBGP boundary instead: A's
+        # route came over iBGP from B, so lp persists; E1's copy (if
+        # any) would reset -- but the full-mesh rule stops it at B.
+        best_at_b = outcome.best("B", Prefix("10.2.0.0/24"))
+        assert best_at_b is not None
+        assert best_at_b.local_pref == 300
+
+
+class TestEncoderAgreementIbgp:
+    def test_agreement_on_mixed_as_topology(self, two_as_chain):
+        config = NetworkConfig(two_as_chain)
+        boost = RouteMap(
+            "boost",
+            (RouteMapLine(seq=10, action=PERMIT, sets=(SetClause(SetAttribute.LOCAL_PREF, 250),)),),
+        )
+        config.set_map("A", Direction.IN, "E1", boost)
+        encoding = Encoder(config, Specification(), ibgp=True).encode()
+        model = check_sat(encoding.constraint)
+        assert model is not None
+        outcome = simulate(config, ibgp=True)
+        for candidate in encoding.space.all():
+            selected = outcome.best(candidate.router, candidate.prefix)
+            expected = selected is not None and selected.path == candidate.path.hops
+            assert model[encoding.best_var(candidate).name] == expected, candidate
+
+
+class TestExplanationInIbgpMode:
+    def test_engine_explains_ibgp_network(self, two_as_chain):
+        """The full pipeline works in iBGP mode: explain B's import
+        policy against a reachability requirement whose route crosses
+        an iBGP session."""
+        from repro.bgp import DENY
+        from repro.explain import ACTION, ExplanationEngine
+        from repro.spec import parse
+        from repro.verify import verify
+
+        spec = parse("Reach { (B -> A -> E1) }", managed=["A", "B", "C"])
+        config = NetworkConfig(two_as_chain)
+        config.set_map(
+            "B",
+            Direction.IN,
+            "A",
+            RouteMap(
+                "B_from_A",
+                (RouteMapLine(seq=10, action=PERMIT),),
+            ),
+        )
+        engine = ExplanationEngine(config, spec, ibgp=True)
+        explanation = engine.explain_router("B", fields=(ACTION,), requirement="Reach")
+        # The import line must stay permit for B to reach E1.
+        assert len(explanation.projected.acceptable) == 1
+        assert explanation.projected.acceptable[0]["Var_Action[B.in.A.10]"] == "permit"

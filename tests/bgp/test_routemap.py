@@ -1,0 +1,252 @@
+"""Unit tests for route-maps, lines, set clauses and holes."""
+
+import pytest
+
+from repro.bgp import (
+    Announcement,
+    Community,
+    DENY,
+    Hole,
+    MatchAttribute,
+    PERMIT,
+    RouteMap,
+    RouteMapLine,
+    SetAttribute,
+    SetClause,
+)
+from repro.topology import Prefix
+
+PFX = Prefix("123.0.1.0/24")
+OTHER = Prefix("99.0.0.0/24")
+
+
+def ann(prefix=PFX, **kwargs):
+    base = Announcement.originate(prefix, "A")
+    for key, value in kwargs.items():
+        base = getattr(base, f"with_{key}")(value)
+    return base
+
+
+class TestMatching:
+    def test_match_any(self):
+        line = RouteMapLine(seq=10)
+        assert line.matches(ann())
+
+    def test_match_prefix_exact(self):
+        line = RouteMapLine(seq=10, match_attr=MatchAttribute.DST_PREFIX, match_value=PFX)
+        assert line.matches(ann())
+        assert not line.matches(ann(prefix=OTHER))
+
+    def test_match_prefix_covering_supernet(self):
+        supernet = Prefix("123.0.0.0/20")
+        line = RouteMapLine(seq=10, match_attr=MatchAttribute.DST_PREFIX, match_value=supernet)
+        assert line.matches(ann())  # /24 inside the /20
+
+    def test_match_prefix_from_string(self):
+        line = RouteMapLine(
+            seq=10, match_attr=MatchAttribute.DST_PREFIX, match_value="123.0.1.0/24"
+        )
+        assert line.matches(ann())
+
+    def test_match_community(self):
+        line = RouteMapLine(
+            seq=10, match_attr=MatchAttribute.COMMUNITY, match_value=Community(100, 2)
+        )
+        assert not line.matches(ann())
+        assert line.matches(ann(community=Community(100, 2)))
+
+    def test_match_next_hop(self):
+        line = RouteMapLine(seq=10, match_attr=MatchAttribute.NEXT_HOP, match_value="A")
+        assert line.matches(ann())
+        assert not line.matches(ann(next_hop="B"))
+
+    def test_match_on_hole_raises(self):
+        hole = Hole("m", (PFX, OTHER))
+        line = RouteMapLine(seq=10, match_attr=MatchAttribute.DST_PREFIX, match_value=hole)
+        with pytest.raises(ValueError):
+            line.matches(ann())
+
+
+class TestLineValidation:
+    def test_bad_action(self):
+        with pytest.raises(ValueError):
+            RouteMapLine(seq=10, action="drop")
+
+    def test_bad_match_attr(self):
+        with pytest.raises(ValueError):
+            RouteMapLine(seq=10, match_attr="as-path")
+
+    def test_negative_seq(self):
+        with pytest.raises(ValueError):
+            RouteMapLine(seq=-1)
+
+
+class TestApply:
+    def test_deny_returns_none(self):
+        line = RouteMapLine(seq=10, action=DENY)
+        assert line.apply(ann()) is None
+
+    def test_permit_applies_sets(self):
+        line = RouteMapLine(
+            seq=10,
+            action=PERMIT,
+            sets=(
+                SetClause(SetAttribute.LOCAL_PREF, 200),
+                SetClause(SetAttribute.COMMUNITY, Community(100, 2)),
+                SetClause(SetAttribute.MED, 7),
+                SetClause(SetAttribute.NEXT_HOP, "10.0.0.1"),
+            ),
+        )
+        result = line.apply(ann())
+        assert result is not None
+        assert result.local_pref == 200
+        assert Community(100, 2) in result.communities
+        assert result.med == 7
+        assert result.next_hop == "10.0.0.1"
+
+    def test_set_community_from_string(self):
+        clause = SetClause(SetAttribute.COMMUNITY, "100:5")
+        result = clause.apply(ann())
+        assert Community(100, 5) in result.communities
+
+    def test_unknown_set_attribute(self):
+        clause = SetClause("colour", "blue")
+        with pytest.raises(ValueError):
+            clause.apply(ann())
+
+
+class TestRouteMap:
+    def test_first_match_wins(self):
+        routemap = RouteMap(
+            "RM",
+            (
+                RouteMapLine(seq=20, action=PERMIT),
+                RouteMapLine(
+                    seq=10,
+                    action=DENY,
+                    match_attr=MatchAttribute.DST_PREFIX,
+                    match_value=PFX,
+                ),
+            ),
+        )
+        # Lines are sorted by seq: the deny at 10 fires first for PFX.
+        assert routemap.apply(ann()) is None
+        assert routemap.apply(ann(prefix=OTHER)) is not None
+
+    def test_implicit_deny(self):
+        routemap = RouteMap(
+            "RM",
+            (
+                RouteMapLine(
+                    seq=10,
+                    action=PERMIT,
+                    match_attr=MatchAttribute.DST_PREFIX,
+                    match_value=PFX,
+                ),
+            ),
+        )
+        assert routemap.apply(ann(prefix=OTHER)) is None
+
+    def test_permit_all_and_deny_all(self):
+        assert RouteMap.permit_all("P").apply(ann()) is not None
+        assert RouteMap.deny_all("D").apply(ann()) is None
+
+    def test_duplicate_seq_rejected(self):
+        with pytest.raises(ValueError):
+            RouteMap("RM", (RouteMapLine(seq=10), RouteMapLine(seq=10)))
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            RouteMap("")
+
+    def test_line_lookup_and_replace(self):
+        routemap = RouteMap.permit_all("RM")
+        line = routemap.line(10)
+        assert line.action == PERMIT
+        replaced = routemap.replace_line(10, RouteMapLine(seq=10, action=DENY))
+        assert replaced.line(10).action == DENY
+        with pytest.raises(ValueError):
+            routemap.line(99)
+        with pytest.raises(ValueError):
+            routemap.replace_line(99, RouteMapLine(seq=99))
+        with pytest.raises(ValueError):
+            routemap.replace_line(10, RouteMapLine(seq=11))
+
+    def test_with_line(self):
+        routemap = RouteMap("RM").with_line(RouteMapLine(seq=10))
+        assert len(routemap.lines) == 1
+
+
+class TestHoles:
+    def test_hole_validation(self):
+        with pytest.raises(ValueError):
+            Hole("", (1,))
+        with pytest.raises(ValueError):
+            Hole("h", ())
+        with pytest.raises(ValueError):
+            Hole("h", (1, 1))
+
+    def test_fresh_holes_unique(self):
+        h1 = Hole.fresh("act", (PERMIT, DENY))
+        h2 = Hole.fresh("act", (PERMIT, DENY))
+        assert h1.name != h2.name
+
+    def test_collect_holes(self):
+        action_hole = Hole("act", (PERMIT, DENY))
+        value_hole = Hole("lp", (100, 200))
+        line = RouteMapLine(
+            seq=10,
+            action=action_hole,
+            sets=(SetClause(SetAttribute.LOCAL_PREF, value_hole),),
+        )
+        routemap = RouteMap("RM", (line,))
+        assert {hole.name for hole in routemap.holes()} == {"act", "lp"}
+        assert routemap.has_holes()
+
+    def test_fill(self):
+        action_hole = Hole("act", (PERMIT, DENY))
+        value_hole = Hole("lp", (100, 200))
+        routemap = RouteMap(
+            "RM",
+            (
+                RouteMapLine(
+                    seq=10,
+                    action=action_hole,
+                    sets=(SetClause(SetAttribute.LOCAL_PREF, value_hole),),
+                ),
+            ),
+        )
+        filled = routemap.fill({"act": PERMIT, "lp": 200})
+        assert not filled.has_holes()
+        result = filled.apply(ann())
+        assert result is not None
+        assert result.local_pref == 200
+
+    def test_fill_missing_value(self):
+        routemap = RouteMap(
+            "RM", (RouteMapLine(seq=10, action=Hole("act", (PERMIT, DENY))),)
+        )
+        with pytest.raises(KeyError):
+            routemap.fill({})
+
+    def test_fill_out_of_domain(self):
+        routemap = RouteMap(
+            "RM", (RouteMapLine(seq=10, action=Hole("act", (PERMIT, DENY))),)
+        )
+        with pytest.raises(ValueError):
+            routemap.fill({"act": "drop"})
+
+    def test_fill_canonicalizes_stringified_values(self):
+        hole = Hole("pfx", (PFX, OTHER))
+        routemap = RouteMap(
+            "RM",
+            (
+                RouteMapLine(
+                    seq=10,
+                    match_attr=MatchAttribute.DST_PREFIX,
+                    match_value=hole,
+                ),
+            ),
+        )
+        filled = routemap.fill({"pfx": str(PFX)})
+        assert filled.line(10).match_value == PFX

@@ -1,0 +1,137 @@
+"""Property tests: invariants of the converged control plane.
+
+Checked over randomized policies on the square and hotnets topologies:
+
+* every selected announcement is well-formed: held at the right
+  router, originated by the prefix's owner, simple, link-valid;
+* path-vector consistency: if router r selects a route learned from
+  neighbor u, then u currently selects exactly that route minus the
+  last hop (BGP only propagates best routes);
+* the best route equals the top of the ranked candidate list.
+"""
+
+import random
+
+import pytest
+
+from repro.bgp import (
+    Community,
+    ConvergenceError,
+    DENY,
+    Direction,
+    MatchAttribute,
+    NetworkConfig,
+    PERMIT,
+    RouteMap,
+    RouteMapLine,
+    SetAttribute,
+    SetClause,
+    simulate,
+)
+from repro.topology import Path
+
+
+def random_config(topology, seed, prefixes, communities):
+    rng = random.Random(seed)
+    config = NetworkConfig(topology)
+    for router, neighbor in topology.sessions():
+        if rng.random() < 0.55:
+            continue
+        direction = rng.choice([Direction.IN, Direction.OUT])
+        lines = []
+        seq = 10
+        for _ in range(rng.randint(1, 3)):
+            action = rng.choice([PERMIT, PERMIT, DENY])
+            kind = rng.choice(["any", "prefix", "community"])
+            match_attr, match_value = MatchAttribute.ANY, None
+            if kind == "prefix":
+                match_attr = MatchAttribute.DST_PREFIX
+                match_value = rng.choice(prefixes)
+            elif kind == "community":
+                match_attr = MatchAttribute.COMMUNITY
+                match_value = rng.choice(communities)
+            sets = ()
+            if action == PERMIT and rng.random() < 0.5:
+                choice = rng.choice(["lp", "comm", "med"])
+                if choice == "lp":
+                    sets = (SetClause(SetAttribute.LOCAL_PREF, rng.choice([60, 140, 260])),)
+                elif choice == "comm":
+                    sets = (SetClause(SetAttribute.COMMUNITY, rng.choice(communities)),)
+                else:
+                    sets = (SetClause(SetAttribute.MED, rng.choice([0, 3, 8])),)
+            lines.append(
+                RouteMapLine(
+                    seq=seq,
+                    action=action,
+                    match_attr=match_attr,
+                    match_value=match_value,
+                    sets=sets,
+                )
+            )
+            seq += 10
+        if rng.random() < 0.6:
+            lines.append(RouteMapLine(seq=seq, action=PERMIT))
+        config.set_map(
+            router, direction, neighbor,
+            RouteMap(f"{router}_{direction}_{neighbor}", tuple(lines)),
+        )
+    return config
+
+
+def assert_invariants(config):
+    topology = config.topology
+    try:
+        outcome = simulate(config)
+    except ConvergenceError:
+        pytest.skip("randomized policy oscillates")
+    for (router, prefix_text), best in outcome.rib.items():
+        # Well-formedness.
+        assert best.holder == router
+        assert str(best.prefix) == prefix_text
+        origins = topology.origins_of(best.prefix)
+        assert [r.name for r in origins] == [best.origin]
+        path = Path(best.path)
+        assert path.is_valid_in(topology)
+        # Path-vector consistency: the upstream neighbor selects the
+        # same route one hop shorter.
+        if len(best.path) > 1:
+            upstream = best.path[-2]
+            upstream_best = outcome.best(upstream, best.prefix)
+            assert upstream_best is not None
+            assert upstream_best.path == best.path[:-1]
+    for (router, prefix_text), candidates in outcome.candidates.items():
+        if not candidates:
+            continue
+        best = outcome.rib.get((router, prefix_text))
+        if best is not None:
+            assert candidates[0].path == best.path
+
+
+SEEDS = list(range(20))
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_square_invariants(square_topology, seed):
+    from repro.topology import Prefix
+
+    prefixes = [Prefix("10.1.0.0/24"), Prefix("10.2.0.0/24")]
+    communities = [Community(100, 1), Community(100, 2)]
+    config = random_config(square_topology, seed, prefixes, communities)
+    assert_invariants(config)
+
+
+@pytest.mark.parametrize("seed", SEEDS[:8])
+def test_hotnets_invariants(hotnets_topology, seed):
+    from repro.topology import Prefix
+
+    prefixes = list(hotnets_topology.all_prefixes())
+    communities = [Community(500, 1), Community(600, 1)]
+    config = random_config(hotnets_topology, seed + 1000, prefixes, communities)
+    assert_invariants(config)
+
+
+def test_scenario_configs_satisfy_invariants():
+    from repro.scenarios import scenario1, scenario2, scenario3
+
+    for builder in (scenario1, scenario2, scenario3):
+        assert_invariants(builder().paper_config)

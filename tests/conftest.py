@@ -1,0 +1,66 @@
+"""Shared fixtures: the paper's Figure 1b topology and helpers."""
+
+import pytest
+
+from repro.topology import Prefix, Topology
+
+
+def build_hotnets_topology() -> Topology:
+    """The paper's Figure 1b network.
+
+    Customer ``C`` (AS100) connects through a managed AS (routers
+    ``R1``, ``R2``, ``R3``) to two providers ``P1`` (AS500) and ``P2``
+    (AS600); destination ``D1`` is reachable behind both providers.
+    """
+    topo = Topology("hotnets-fig1b")
+    topo.add_router("C", asn=100, originated=[Prefix("123.0.1.0/24")], role="customer")
+    topo.add_router("R1", asn=200, role="managed")
+    topo.add_router("R2", asn=200, role="managed")
+    topo.add_router("R3", asn=200, role="managed")
+    topo.add_router("P1", asn=500, originated=[Prefix("128.0.1.0/24")], role="provider")
+    topo.add_router("P2", asn=600, originated=[Prefix("129.0.1.0/24")], role="provider")
+    topo.add_router("D1", asn=700, originated=[Prefix("200.0.1.0/24")], role="destination")
+    for a, b in [
+        ("C", "R3"),
+        ("R3", "R1"),
+        ("R3", "R2"),
+        ("R1", "R2"),
+        ("R1", "P1"),
+        ("R2", "P2"),
+        ("P1", "D1"),
+        ("P2", "D1"),
+    ]:
+        topo.add_link(a, b)
+    return topo
+
+
+@pytest.fixture
+def hotnets_topology() -> Topology:
+    return build_hotnets_topology()
+
+
+@pytest.fixture
+def line_topology() -> Topology:
+    """A -- B -- C chain with prefixes at both ends."""
+    topo = Topology("line")
+    topo.add_router("A", asn=1, originated=[Prefix("10.0.0.0/24")])
+    topo.add_router("B", asn=2)
+    topo.add_router("Z", asn=3, originated=[Prefix("10.0.9.0/24")])
+    topo.add_link("A", "B")
+    topo.add_link("B", "Z")
+    return topo
+
+
+@pytest.fixture
+def square_topology() -> Topology:
+    """A 4-cycle: S -- L, S -- R, L -- T, R -- T (two disjoint paths)."""
+    topo = Topology("square")
+    topo.add_router("S", asn=1, originated=[Prefix("10.1.0.0/24")])
+    topo.add_router("L", asn=2)
+    topo.add_router("R", asn=3)
+    topo.add_router("T", asn=4, originated=[Prefix("10.2.0.0/24")])
+    topo.add_link("S", "L")
+    topo.add_link("S", "R")
+    topo.add_link("L", "T")
+    topo.add_link("R", "T")
+    return topo

@@ -1,0 +1,54 @@
+"""Tests for annotated configurations."""
+
+import pytest
+
+from repro.explain import ExplanationEngine, annotate_router
+from repro.scenarios import campus_scenario, scenario3
+
+
+@pytest.fixture(scope="module")
+def sc3():
+    return scenario3()
+
+
+class TestAnnotateRouter:
+    @pytest.fixture(scope="class")
+    def annotated(self, sc3):
+        return annotate_router(sc3.paper_config, sc3.specification, "R1")
+
+    def test_every_line_has_a_why_comment(self, annotated):
+        lines = annotated.splitlines()
+        for index, line in enumerate(lines):
+            if line.startswith("route-map "):
+                assert any(
+                    earlier.startswith("! why")
+                    for earlier in lines[max(0, index - 4):index]
+                ), f"no why-comment before {line!r}"
+
+    def test_requirement_attribution(self, annotated):
+        assert "! why [Req1]: !(P1 -> R1 -> R2 -> P2)" in annotated
+        assert "! why [Req3]: (P1 -> R1 -> R3 -> C)" in annotated
+        # The tagging import line is attributed to the preference.
+        assert "! why [Req2]: Var_Action[R1.in.P1.10] = permit" in annotated
+
+    def test_config_text_is_still_present(self, annotated):
+        assert "route-map R1_to_P1 deny 100" in annotated
+        assert "ip prefix-list ip_list_R1_to_P1_1" in annotated
+
+    def test_redundant_lines_marked(self):
+        scenario = campus_scenario()
+        annotated = annotate_router(
+            scenario.paper_config, scenario.specification, "A1"
+        )
+        # The tag import line constrains nothing in the campus spec.
+        assert "no requirement constrains this line (redundant)" in annotated
+
+    def test_shared_engine_reuses_cache(self, sc3):
+        engine = ExplanationEngine(sc3.paper_config, sc3.specification)
+        first = annotate_router(
+            sc3.paper_config, sc3.specification, "R1", engine=engine
+        )
+        second = annotate_router(
+            sc3.paper_config, sc3.specification, "R1", engine=engine
+        )
+        assert first == second

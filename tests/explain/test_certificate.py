@@ -1,0 +1,103 @@
+"""Tests for explanation certificates and their independent audit."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.explain import (
+    ACTION,
+    Certificate,
+    ExplanationEngine,
+    FieldRef,
+    audit,
+    make_certificate,
+)
+from repro.scenarios import scenario3
+
+R2_TARGETS = [
+    FieldRef("R2", "in", "P2", 10, ACTION),
+    FieldRef("R2", "out", "P2", 10, ACTION),
+    FieldRef("R2", "out", "P2", 100, ACTION),
+]
+
+
+@pytest.fixture(scope="module")
+def sc3():
+    return scenario3()
+
+
+@pytest.fixture(scope="module")
+def certificate(sc3):
+    engine = ExplanationEngine(sc3.paper_config, sc3.specification)
+    explanation = engine.explain_router("R2", fields=(ACTION,), requirement="Req1")
+    return make_certificate(explanation)
+
+
+class TestSerialization:
+    def test_json_roundtrip(self, certificate):
+        text = certificate.to_json()
+        again = Certificate.from_json(text)
+        assert again == certificate
+
+    def test_json_is_plain_data(self, certificate):
+        import json
+
+        payload = json.loads(certificate.to_json())
+        assert payload["device"] == "R2"
+        assert payload["requirement"] == "Req1"
+        assert payload["lifted"] is True
+        assert payload["statements"]
+
+    def test_deterministic_serialization(self, certificate):
+        assert certificate.to_json() == certificate.to_json()
+
+
+class TestAudit:
+    def test_genuine_certificate_is_valid(self, sc3, certificate):
+        result = audit(certificate, sc3.paper_config, sc3.specification, R2_TARGETS)
+        assert result.valid, result.summary()
+        assert "VALID" in result.summary()
+
+    def test_missing_acceptable_assignment_detected(self, sc3, certificate):
+        tampered = replace(certificate, acceptable=certificate.acceptable[:1])
+        result = audit(tampered, sc3.paper_config, sc3.specification, R2_TARGETS)
+        assert not result.valid
+        assert any("missing from the certificate" in p for p in result.problems)
+
+    def test_extra_acceptable_assignment_detected(self, sc3, certificate):
+        # Claim a rejected assignment as acceptable: flip the catch-all
+        # export to permit in one claimed row.
+        fabricated = tuple(
+            (name, "permit" if name == "Var_Action[R2.out.P2.100]" else value)
+            for name, value in certificate.acceptable[0]
+        )
+        tampered = replace(
+            certificate, acceptable=certificate.acceptable + (fabricated,)
+        )
+        result = audit(tampered, sc3.paper_config, sc3.specification, R2_TARGETS)
+        assert not result.valid
+        assert any("rejected on re-check" in p for p in result.problems)
+
+    def test_wrong_targets_detected(self, sc3, certificate):
+        result = audit(
+            certificate, sc3.paper_config, sc3.specification, R2_TARGETS[:2]
+        )
+        assert not result.valid
+        assert any("do not match" in p for p in result.problems)
+
+    def test_audit_detects_config_drift(self, sc3, certificate):
+        """Re-auditing against a *changed* configuration must fail:
+        the certificate no longer describes the deployed network."""
+        from repro.bgp import Direction, RouteMap
+
+        drifted = sc3.paper_config.copy()
+        drifted.set_map("R2", Direction.OUT, "P2", RouteMap(
+            "R2_to_P2",
+            sc3.paper_config.get_map("R2", "out", "P2").lines,
+        ))
+        # Change something *else* that affects R2's acceptable region:
+        # remove R1's transit blocking so R2 alone must block both
+        # directions.
+        drifted.set_map("R1", Direction.OUT, "P1", RouteMap.permit_all("R1_to_P1"))
+        result = audit(certificate, drifted, sc3.specification, R2_TARGETS)
+        assert not result.valid

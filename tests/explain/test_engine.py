@@ -1,0 +1,298 @@
+"""End-to-end tests for the explanation engine on the paper scenarios.
+
+These tests pin the paper's headline findings:
+
+* Scenario 1 / Figures 1-2: the catch-all deny carries the blocking
+  obligation; every other symbolized field has an *empty*
+  subspecification (paper Section 4, observation 1).
+* Scenario 2 / Figure 4: R3's subspecification is the preference
+  ordering plus two drop rules for the unlisted detours.
+* Scenario 3 / Figure 5: per-requirement explanations give R3 an empty
+  subspec for no-transit while R1/R2 carry transit-blocking slices.
+* Section 3's size claim: seed specifications are large (hundreds of
+  conjuncts, thousands of nodes) and simplify to a manageable size.
+"""
+
+import pytest
+
+from repro.explain import (
+    ACTION,
+    ExplanationEngine,
+    FieldRef,
+    SET_VALUE,
+    generate_candidates,
+)
+from repro.scenarios import scenario1, scenario2, scenario3
+from repro.spec import PathPreference, PreferenceMode, parse_statement
+
+
+@pytest.fixture(scope="module")
+def sc1():
+    return scenario1()
+
+
+@pytest.fixture(scope="module")
+def sc2():
+    return scenario2()
+
+
+@pytest.fixture(scope="module")
+def sc3():
+    return scenario3()
+
+
+@pytest.fixture(scope="module")
+def engine1(sc1):
+    return ExplanationEngine(sc1.paper_config, sc1.specification)
+
+
+@pytest.fixture(scope="module")
+def engine2(sc2):
+    return ExplanationEngine(sc2.paper_config, sc2.specification)
+
+
+@pytest.fixture(scope="module")
+def engine3(sc3):
+    return ExplanationEngine(sc3.paper_config, sc3.specification)
+
+
+class TestScenario1:
+    def test_catch_all_line_carries_the_obligation(self, engine1):
+        explanation = engine1.explain_line("R1", "out", "P1", 100, requirement="Req1")
+        assert explanation.subspec.lifted
+        assert not explanation.subspec.is_empty
+        # With line 1 concretely denying the customer prefix, blocking
+        # everything from P1 through R1 is equivalent to blocking the
+        # transit slices, and the search prefers the smaller blanket
+        # statement -- the paper's Figure 2 shape (traffic orientation).
+        statements = {str(s) for s in explanation.lift_result.statements}
+        assert statements == {"!(P1 -> R1)"}
+        equivalents = {str(s) for s in explanation.lift_result.equivalents}
+        assert "!(P1 -> R1 -> R2 -> P2)" in equivalents
+
+    def test_customer_deny_line_has_empty_subspec(self, engine1):
+        """Paper §4(1): 'the sub-specification for all but the first
+        blocking rule was empty'."""
+        explanation = engine1.explain_line("R1", "out", "P1", 1, requirement="Req1")
+        assert explanation.subspec.is_empty
+
+    def test_redundant_set_next_hop_has_empty_subspec(self, engine1):
+        """Paper §2: 'the set next-hop line is redundant'."""
+        ref = FieldRef("R1", "out", "P1", 1, SET_VALUE, 0)
+        explanation = engine1.explain("R1", [ref], requirement="Req1")
+        assert explanation.subspec.is_empty
+
+    def test_whole_device_explanation(self, engine1):
+        explanation = engine1.explain_router("R1", requirement="Req1")
+        assert explanation.subspec.lifted
+        assert len(explanation.projected.acceptable) == 2
+        assert explanation.projected.total_assignments == 4
+
+    def test_report_renders(self, engine1):
+        explanation = engine1.explain_router("R1", requirement="Req1")
+        text = explanation.report()
+        assert "seed specification" in text
+        assert "R1" in text
+
+
+class TestScenario2:
+    FIG4_TARGETS = [
+        FieldRef("R3", "in", "R1", 10, ACTION),
+        FieldRef("R3", "in", "R2", 10, ACTION),
+        FieldRef("R3", "in", "R1", 20, SET_VALUE, 0),
+        FieldRef("R3", "in", "R2", 20, SET_VALUE, 0),
+    ]
+
+    @pytest.fixture(scope="class")
+    def figure4(self, engine2):
+        return engine2.explain("R3", self.FIG4_TARGETS, requirement="Req2")
+
+    def test_figure4_statements(self, figure4):
+        """The lifted subspec is exactly Figure 4: a preference plus the
+        two drop rules for the unlisted detours."""
+        statements = {str(s) for s in figure4.lift_result.statements}
+        assert (
+            "(R3 -> R1 -> P1 -> ... -> D1) >> (R3 -> R2 -> P2 -> ... -> D1) order"
+            in statements
+        )
+        assert "!(R3 -> R1 -> R2 -> P2 -> ... -> D1)" in statements
+        assert "!(R3 -> R2 -> R1 -> P1 -> ... -> D1)" in statements
+        assert len(statements) == 3
+
+    def test_figure4_acceptable_region(self, figure4):
+        """Acceptable = both deny lines stay deny, lp(via R1) > lp(via R2)."""
+        for assignment in figure4.projected.acceptable:
+            assert assignment["Var_Action[R3.in.R1.10]"] == "deny"
+            assert assignment["Var_Action[R3.in.R2.10]"] == "deny"
+            lp_r1 = int(assignment["Var_Param[R3.in.R1.20.0]"])
+            lp_r2 = int(assignment["Var_Param[R3.in.R2.20.0]"])
+            assert lp_r1 > lp_r2
+
+    def test_preference_statement_is_order_mode(self, figure4):
+        preferences = [
+            s for s in figure4.lift_result.statements if isinstance(s, PathPreference)
+        ]
+        assert len(preferences) == 1
+        assert preferences[0].mode == PreferenceMode.ORDER
+
+
+class TestScenario3:
+    def test_r3_empty_for_no_transit(self, engine3):
+        """Paper §2 Scenario 3: 'R3 can do anything to meet this
+        requirement (empty subspecification)'."""
+        explanation = engine3.explain_router("R3", requirement="Req1")
+        assert explanation.subspec.is_empty
+        assert explanation.projected.is_unconstrained
+
+    def test_r2_blocks_transit(self, engine3):
+        """Figure 5 (traffic orientation): R2 must block the transit
+        slices between the providers."""
+        explanation = engine3.explain_router("R2", requirement="Req1")
+        assert explanation.subspec.lifted
+        found = {str(s) for s in explanation.lift_result.statements} | {
+            str(s) for s in explanation.lift_result.equivalents
+        }
+        assert "!(P2 -> R2 -> R1 -> P1)" in found
+        assert "!(P2 -> R2 -> R3 -> R1 -> P1)" in found
+
+    def test_r1_blocks_transit(self, engine3):
+        explanation = engine3.explain_router("R1", requirement="Req1")
+        assert explanation.subspec.lifted
+        statements = {str(s) for s in explanation.lift_result.statements}
+        assert any("P1" in s and "P2" in s for s in statements)
+
+    def test_subspec_block_named_after_device(self, engine3):
+        explanation = engine3.explain_router("R2", requirement="Req1")
+        assert explanation.subspec.as_block().name == "R2"
+        assert explanation.subspec.render().startswith("R2 {")
+
+
+class TestSizeClaims:
+    def test_seed_is_large(self, engine1):
+        """Paper §3: 'more than 1000 constraints even in the simple
+        scenario' -- our seed has hundreds of conjuncts and thousands
+        of AST nodes (and >1000 CNF clauses, checked in benchmarks)."""
+        explanation = engine1.explain_router("R1", requirement="Req1")
+        assert explanation.seed_constraints > 100
+        assert explanation.seed.size > 1000
+
+    def test_simplification_reduces(self, engine1):
+        explanation = engine1.explain_router("R1", requirement="Req1")
+        assert explanation.simplified.term.size() < explanation.seed.size
+        assert explanation.simplified.stats.total_applications > 0
+
+    def test_timings_recorded(self, engine1):
+        explanation = engine1.explain_router("R1", requirement="Req1")
+        assert set(explanation.timings) == {"seed", "simplify", "project", "lift"}
+        assert all(value >= 0 for value in explanation.timings.values())
+
+
+class TestCandidateGeneration:
+    def test_candidates_are_local(self, engine1, sc1):
+        from repro.explain import extract_seed, symbolize_router
+
+        sketch, holes = symbolize_router(sc1.paper_config, "R1")
+        seed = extract_seed(sketch, sc1.specification, holes)
+        candidates = generate_candidates("R1", sc1.specification, seed)
+        assert candidates
+        for statement in candidates:
+            assert "R1" in str(statement)
+
+    def test_engine_rejects_sketch_input(self, sc1):
+        with pytest.raises(ValueError):
+            ExplanationEngine(sc1.sketch, sc1.specification)
+
+
+class TestProjectionLimit:
+    def test_limit_enforced(self, sc1):
+        from repro.explain import ProjectionError
+
+        engine = ExplanationEngine(
+            sc1.paper_config, sc1.specification, projection_limit=1
+        )
+        with pytest.raises(ProjectionError):
+            engine.explain_router("R1", requirement="Req1")
+
+
+class TestFigure6bFullSymbolization:
+    """Paper §4(2): 'asking questions such as why a particular field
+    must be matched or why it must match a specific value'.  Symbolize
+    Var_Attr, Var_Val AND Var_Action of one line (Figure 6b) and check
+    the projected constraint has Figure 6c's conjunctive shape."""
+
+    @pytest.fixture(scope="class")
+    def figure6(self, sc1):
+        from repro.scenarios import MANAGED
+        from repro.spec import parse
+        from repro.explain import MATCH_ATTR, MATCH_VALUE
+
+        spec = parse(
+            """
+            Req1 {
+              !(P1 -> ... -> P2)
+              !(P2 -> ... -> P1)
+            }
+            Reach { (P2 -> R2 -> R3 -> C) }
+            """,
+            managed=MANAGED,
+        )
+        engine = ExplanationEngine(sc1.paper_config, spec)
+        targets = [
+            FieldRef("R2", "out", "P2", 10, ACTION),
+            FieldRef("R2", "out", "P2", 10, MATCH_ATTR),
+            FieldRef("R2", "out", "P2", 10, MATCH_VALUE),
+        ]
+        return engine.explain("R2", targets)
+
+    def test_unique_acceptable_assignment(self, figure6):
+        assert len(figure6.projected.acceptable) == 1
+        only = figure6.projected.acceptable[0]
+        assert only["Var_Action[R2.out.P2.10]"] == "permit"
+        assert only["Var_Attr[R2.out.P2.10]"] == "dst-prefix"
+        assert str(only["Var_Val[R2.out.P2.10]"]) == "123.0.1.0/24"
+
+    def test_projected_is_a_single_conjunction(self, figure6):
+        from repro.smt import to_infix
+
+        rendered = to_infix(figure6.projected.term)
+        assert "|" not in rendered  # one cube, Figure 6c's shape
+        assert "Var_Attr[R2.out.P2.10] = dst-prefix" in rendered
+        assert "Var_Val[R2.out.P2.10] = 123.0.1.0/24" in rendered
+        assert "Var_Action[R2.out.P2.10] = permit" in rendered
+
+
+class TestEngineCaching:
+    def test_repeated_questions_are_memoized(self, sc1):
+        engine = ExplanationEngine(sc1.paper_config, sc1.specification)
+        first = engine.explain_router("R1", fields=(ACTION,), requirement="Req1")
+        second = engine.explain_router("R1", fields=(ACTION,), requirement="Req1")
+        assert first is second
+
+    def test_different_questions_not_conflated(self, sc1):
+        engine = ExplanationEngine(sc1.paper_config, sc1.specification)
+        line1 = engine.explain_line("R1", "out", "P1", 1, requirement="Req1")
+        line100 = engine.explain_line("R1", "out", "P1", 100, requirement="Req1")
+        assert line1 is not line100
+        assert line1.subspec.is_empty
+        assert not line100.subspec.is_empty
+
+
+class TestReachabilityLifting:
+    """Reachability requirements lift to device-truncated obligations
+    ("keep the neighbor reaching the destination through you")."""
+
+    def test_req3_lifts_at_the_border_routers(self, sc3, engine3):
+        r1 = engine3.explain_router("R1", fields=(ACTION,), requirement="Req3")
+        assert r1.subspec.lifted
+        assert {str(s) for s in r1.lift_result.statements} == {
+            "(P1 -> R1 -> R3 -> C)"
+        }
+        r2 = engine3.explain_router("R2", fields=(ACTION,), requirement="Req3")
+        assert r2.subspec.lifted
+        assert {str(s) for s in r2.lift_result.statements} == {
+            "(P2 -> R2 -> R3 -> C)"
+        }
+
+    def test_req3_empty_at_r3(self, engine3):
+        explanation = engine3.explain_router("R3", fields=(ACTION,), requirement="Req3")
+        assert explanation.subspec.is_empty

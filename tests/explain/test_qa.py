@@ -1,0 +1,65 @@
+"""Tests for the Figure 1d question-and-answer rendering."""
+
+import pytest
+
+from repro.explain import (
+    ACTION,
+    ExplanationEngine,
+    FieldRef,
+    SET_VALUE,
+    question_and_answer,
+    summarize,
+)
+from repro.scenarios import scenario1, scenario2, scenario3
+
+
+@pytest.fixture(scope="module")
+def engine1():
+    scenario = scenario1()
+    return ExplanationEngine(scenario.paper_config, scenario.specification)
+
+
+@pytest.fixture(scope="module")
+def engine2():
+    scenario = scenario2()
+    return ExplanationEngine(scenario.paper_config, scenario.specification)
+
+
+@pytest.fixture(scope="module")
+def engine3():
+    scenario = scenario3()
+    return ExplanationEngine(scenario.paper_config, scenario.specification)
+
+
+class TestDialogue:
+    def test_forbidden_statement_dialogue(self, engine1):
+        explanation = engine1.explain_router("R1", fields=(ACTION,), requirement="Req1")
+        text = question_and_answer(explanation)
+        assert "[admin] I want to make some changes to R1." in text
+        assert "make sure no traffic flows along" in text
+
+    def test_empty_subspec_dialogue(self, engine3):
+        explanation = engine3.explain_router("R3", fields=(ACTION,), requirement="Req1")
+        text = question_and_answer(explanation)
+        assert "Nothing: R3 cannot affect Req1" in text
+
+    def test_preference_dialogue(self, engine2):
+        targets = [
+            FieldRef("R3", "in", "R1", 10, ACTION),
+            FieldRef("R3", "in", "R2", 10, ACTION),
+            FieldRef("R3", "in", "R1", 20, SET_VALUE, 0),
+            FieldRef("R3", "in", "R2", 20, SET_VALUE, 0),
+        ]
+        explanation = engine2.explain("R3", targets, requirement="Req2")
+        text = question_and_answer(explanation)
+        assert "keep preferring" in text
+        assert "... and make sure no traffic flows along" in text
+
+    def test_low_level_fallback_dialogue(self, engine2):
+        # R1's role in Req2 lifts to no path statement (it is a tagging
+        # obligation), so the dialogue falls back to the constraint.
+        explanation = engine2.explain_router("R1", fields=(ACTION,), requirement="Req2")
+        assert not explanation.subspec.lifted
+        text = question_and_answer(explanation)
+        assert "constrains these fields" in text
+        assert "Var_Action[R1.in.P1.10] = permit" in text

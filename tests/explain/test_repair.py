@@ -1,0 +1,111 @@
+"""Tests for repair-candidate analysis (explainable verification)."""
+
+import pytest
+
+from repro.bgp import DENY, Direction, NetworkConfig, PERMIT, RouteMap, RouteMapLine
+from repro.explain import repair_candidates
+from repro.spec import parse
+from repro.topology import Prefix, Topology
+from repro.verify import verify
+
+
+@pytest.fixture
+def hub_case():
+    """One managed hub between two providers and a customer -- without
+    the external D1 shortcut, transit through the hub is actually
+    *selected*, so permissive configs violate at the traffic level."""
+    topo = Topology("hub")
+    topo.add_router("C", asn=100, originated=[Prefix("10.0.0.0/24")])
+    topo.add_router("HUB", asn=200, role="managed")
+    topo.add_router("P1", asn=500, originated=[Prefix("10.1.0.0/24")])
+    topo.add_router("P2", asn=600, originated=[Prefix("10.2.0.0/24")])
+    topo.add_link("C", "HUB")
+    topo.add_link("HUB", "P1")
+    topo.add_link("HUB", "P2")
+    spec = parse(
+        "NoTransit { !(P1 -> HUB -> P2) !(P2 -> HUB -> P1) }",
+        managed=["HUB"],
+    )
+    config = NetworkConfig(topo)
+    # Permissive maps with a customer carve-out: currently violating.
+    for provider in ("P1", "P2"):
+        config.set_map(
+            "HUB",
+            Direction.OUT,
+            provider,
+            RouteMap(
+                f"HUB_to_{provider}",
+                (
+                    RouteMapLine(
+                        seq=10,
+                        action=PERMIT,
+                        match_attr="dst-prefix",
+                        match_value=Prefix("10.0.0.0/24"),
+                    ),
+                    RouteMapLine(seq=100, action=PERMIT),
+                ),
+            ),
+        )
+    return topo, spec, config
+
+
+class TestRepair:
+    def test_violating_config_is_repairable(self, hub_case):
+        topo, spec, config = hub_case
+        assert not verify(config, spec).ok
+        report = repair_candidates(config, spec)
+        assert report.repairable
+        assert [candidate.device for candidate in report.candidates] == ["HUB"]
+
+    def test_minimal_change_flips_catch_alls(self, hub_case):
+        topo, spec, config = hub_case
+        report = repair_candidates(config, spec)
+        change = report.candidates[0].minimal_change
+        assert change is not None
+        # The customer carve-outs may stay permit; the two catch-alls
+        # must become deny.
+        assert change["Var_Action[HUB.out.P1.100]"] == DENY
+        assert change["Var_Action[HUB.out.P2.100]"] == DENY
+        assert change["Var_Action[HUB.out.P1.10]"] == PERMIT
+        assert change["Var_Action[HUB.out.P2.10]"] == PERMIT
+
+    def test_applying_the_fix_verifies(self, hub_case):
+        topo, spec, config = hub_case
+        report = repair_candidates(config, spec)
+        change = report.candidates[0].minimal_change
+        from repro.explain import symbolize_router
+
+        sketch, _ = symbolize_router(config, "HUB")
+        repaired = sketch.fill(change)
+        assert verify(repaired, spec).ok
+
+    def test_already_satisfied(self, hub_case):
+        topo, spec, config = hub_case
+        fixed = config.copy()
+        for provider in ("P1", "P2"):
+            fixed.set_map(
+                "HUB",
+                Direction.OUT,
+                provider,
+                RouteMap.deny_all(f"HUB_to_{provider}"),
+            )
+        report = repair_candidates(fixed, spec)
+        assert report.already_satisfied
+        assert "already satisfied" in report.render()
+
+    def test_unrepairable_conflict(self, hub_case):
+        topo, _, config = hub_case
+        impossible = parse(
+            "Bad { !(P1 -> HUB -> C) (P1 -> HUB -> C) }", managed=["HUB"]
+        )
+        report = repair_candidates(config, impossible)
+        assert not report.repairable
+        assert "no single-device repair" in report.render()
+
+    def test_render_shows_fix(self, hub_case):
+        topo, spec, config = hub_case
+        report = repair_candidates(config, spec)
+        text = report.render()
+        assert "repair at HUB" in text
+        assert "smallest concrete fix" in text
+        assert "Var_Action[HUB.out.P1.100] = deny" in text

@@ -1,0 +1,89 @@
+"""Tests for interactive what-if sessions."""
+
+import pytest
+
+from repro.explain import ACTION, FieldRef, InteractiveSession
+from repro.scenarios import CUSTOMER_PREFIX, scenario1
+
+
+@pytest.fixture
+def session():
+    scenario = scenario1()
+    return InteractiveSession(scenario.paper_config, scenario.specification)
+
+
+class TestBasics:
+    def test_verify(self, session):
+        report = session.verify()
+        assert report.ok
+        assert session.history[-1].startswith("verify")
+
+    def test_ask_renders_dialogue(self, session):
+        text = session.ask("R1", requirement="Req1")
+        assert "[admin]" in text
+        assert "[tool ]" in text
+
+    def test_explain_returns_full_object(self, session):
+        explanation = session.explain("R1", requirement="Req1")
+        assert explanation.subspec.lifted
+
+
+class TestWhatIf:
+    def test_harmless_edit(self, session):
+        # Permitting the catch-all changes no *selected* route: P1
+        # prefers the shorter external paths anyway (filter-level
+        # slack), and the spec stays satisfied at the traffic level.
+        ref = FieldRef("R1", "out", "P1", 100, ACTION)
+        result = session.what_if(ref, "permit")
+        assert result.ok
+        assert result.diff is not None and result.diff.is_empty
+
+    def test_routing_changes_surface(self, session):
+        # Permitting the *customer* deny line gives P1 the short path
+        # to the customer through R1.
+        ref = FieldRef("R1", "out", "P1", 1, ACTION)
+        result = session.what_if(ref, "permit")
+        assert result.converged
+        assert result.diff is not None
+        assert any(
+            change.router == "P1" and change.prefix == str(CUSTOMER_PREFIX)
+            for change in result.diff.changes
+        )
+        assert "what if" in result.render()
+
+    def test_what_if_does_not_mutate(self, session):
+        ref = FieldRef("R1", "out", "P1", 1, ACTION)
+        session.what_if(ref, "permit")
+        # The working config still denies on line 1.
+        assert session.config.get_map("R1", "out", "P1").line(1).action == "deny"
+
+    def test_out_of_domain_value_rejected(self, session):
+        ref = FieldRef("R1", "out", "P1", 1, ACTION)
+        with pytest.raises(ValueError):
+            session.what_if(ref, "drop")
+
+
+class TestApply:
+    def test_apply_mutates_and_reverifies(self, session):
+        ref = FieldRef("R1", "out", "P1", 1, ACTION)
+        report = session.apply(ref, "permit")
+        assert report.ok  # no-transit still holds
+        assert session.config.get_map("R1", "out", "P1").line(1).action == "permit"
+
+    def test_apply_invalidates_caches(self, session):
+        ref = FieldRef("R1", "out", "P1", 1, ACTION)
+        before = session.what_if(ref, "permit")
+        assert not before.diff.is_empty
+        session.apply(ref, "permit")
+        # Re-running the same hypothetical from the new baseline is a
+        # no-op diff.
+        after = session.what_if(ref, "permit")
+        assert after.diff.is_empty
+
+    def test_history_accumulates(self, session):
+        session.verify()
+        session.ask("R1", requirement="Req1")
+        session.what_if(FieldRef("R1", "out", "P1", 1, ACTION), "permit")
+        session.apply(FieldRef("R1", "out", "P1", 1, ACTION), "deny")
+        kinds = [entry.split()[0] for entry in session.history]
+        assert kinds == ["verify", "ask", "what-if", "apply"]

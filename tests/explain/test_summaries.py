@@ -1,0 +1,86 @@
+"""Tests for assume-guarantee summaries (paper §5)."""
+
+import pytest
+
+from repro.explain import summarize
+from repro.scenarios import scenario2, scenario3
+
+
+@pytest.fixture(scope="module")
+def sc2():
+    return scenario2()
+
+
+@pytest.fixture(scope="module")
+def sc3():
+    return scenario3()
+
+
+class TestScenario2Summary:
+    @pytest.fixture(scope="class")
+    def summary(self, sc2):
+        return summarize(sc2.paper_config, sc2.specification, "R3", "Req2")
+
+    def test_guarantee_is_figure4(self, summary):
+        rendered = summary.guarantee.render()
+        assert "!(R3 -> R1 -> R2 -> P2 -> ... -> D1)" in rendered
+        assert "preference {" in rendered
+
+    def test_assumptions_capture_provenance_tagging(self, summary):
+        """Paper §5: R3's community-based drops only work if R1/R2 tag
+        routes on import -- the tagging lines must stay 'permit'."""
+        assert summary.constrained_others == ("R1", "R2")
+        r1 = summary.assumptions["R1"]
+        assert "Var_Action[R1.in.P1.10] = permit" in r1.render()
+        r2 = summary.assumptions["R2"]
+        assert "Var_Action[R2.in.P2.10] = permit" in r2.render()
+
+    def test_render_structure(self, summary):
+        text = summary.render()
+        assert "guarantee (this device):" in text
+        assert "assumptions (rest of the managed network):" in text
+        assert str(summary) == text
+
+
+class TestScenario3Summary:
+    def test_no_transit_around_r3(self, sc3):
+        """For no-transit, R3 itself is unconstrained while R1 and R2
+        carry obligations -- the summary shows both sides."""
+        summary = summarize(sc3.paper_config, sc3.specification, "R3", "Req1")
+        assert summary.guarantee.is_empty
+        assert set(summary.constrained_others) == {"R1", "R2"}
+
+    def test_unconstrained_rest(self, sc3):
+        """Around R1 for Req1, R3 appears unconstrained in the
+        assumptions (empty subspecs are filtered from the rendering)."""
+        summary = summarize(sc3.paper_config, sc3.specification, "R1", "Req1")
+        assert "R3" in summary.assumptions
+        assert summary.assumptions["R3"].is_empty
+        assert "R3 {" not in summary.render().replace("R3 { }", "")
+
+    def test_unknown_device_rejected(self, sc3):
+        with pytest.raises(ValueError):
+            summarize(sc3.paper_config, sc3.specification, "P1", "Req1")
+
+    def test_skipped_devices_reported(self, sc2):
+        from repro.scenarios import scenario1
+
+        sc1 = scenario1()
+        # In scenario 1, R3 has no configuration lines at all.
+        summary = summarize(sc1.paper_config, sc1.specification, "R1", "Req1")
+        assert "R3" in summary.skipped
+        assert "no configuration to inspect" in summary.render()
+
+
+class TestSharedEngine:
+    def test_summarize_accepts_shared_engine(self, sc2):
+        from repro.explain import ExplanationEngine
+
+        engine = ExplanationEngine(sc2.paper_config, sc2.specification)
+        first = summarize(
+            sc2.paper_config, sc2.specification, "R3", "Req2", engine=engine
+        )
+        second = summarize(
+            sc2.paper_config, sc2.specification, "R3", "Req2", engine=engine
+        )
+        assert first.render() == second.render()

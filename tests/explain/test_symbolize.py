@@ -1,0 +1,148 @@
+"""Tests for partial symbolization."""
+
+import pytest
+
+from repro.bgp import DENY, Direction, NetworkConfig, PERMIT, RouteMap, RouteMapLine, SetAttribute, SetClause
+from repro.explain import (
+    ACTION,
+    FieldRef,
+    MATCH_ATTR,
+    MATCH_VALUE,
+    SET_ATTR,
+    SET_VALUE,
+    SymbolizationError,
+    default_domain,
+    symbolize,
+    symbolize_line,
+    symbolize_router,
+)
+from repro.scenarios import scenario1
+from repro.topology import Prefix
+
+
+@pytest.fixture
+def scenario():
+    return scenario1()
+
+
+class TestFieldRef:
+    def test_hole_names_follow_paper_convention(self):
+        assert FieldRef("R1", "out", "P1", 1, ACTION).hole_name() == (
+            "Var_Action[R1.out.P1.1]"
+        )
+        assert FieldRef("R1", "out", "P1", 1, MATCH_ATTR).hole_name() == (
+            "Var_Attr[R1.out.P1.1]"
+        )
+        assert FieldRef("R1", "out", "P1", 1, MATCH_VALUE).hole_name() == (
+            "Var_Val[R1.out.P1.1]"
+        )
+        assert FieldRef("R1", "out", "P1", 1, SET_VALUE, 0).hole_name() == (
+            "Var_Param[R1.out.P1.1.0]"
+        )
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(SymbolizationError):
+            FieldRef("R1", "out", "P1", 1, "colour")
+
+
+class TestSymbolize:
+    def test_action_symbolization(self, scenario):
+        ref = FieldRef("R1", "out", "P1", 100, ACTION)
+        sketch, holes = symbolize(scenario.paper_config, [ref])
+        assert len(holes) == 1
+        hole = next(iter(holes.values()))
+        assert set(hole.domain) == {PERMIT, DENY}
+        line = sketch.get_map("R1", "out", "P1").line(100)
+        assert line.action == hole
+        # Original untouched.
+        assert scenario.paper_config.get_map("R1", "out", "P1").line(100).action == DENY
+
+    def test_match_value_symbolization(self, scenario):
+        ref = FieldRef("R1", "out", "P1", 1, MATCH_VALUE)
+        sketch, holes = symbolize(scenario.paper_config, [ref])
+        hole = next(iter(holes.values()))
+        # Domain covers all prefixes in the network (plus communities
+        # and neighbors).
+        assert any(isinstance(v, Prefix) for v in hole.domain)
+
+    def test_set_value_domain_narrowed_by_attribute(self, scenario):
+        # Line 1's set clause is a next-hop assignment: the domain must
+        # be next-hop-shaped, not the mixed Var_Param domain.
+        ref = FieldRef("R1", "out", "P1", 1, SET_VALUE, 0)
+        domain = default_domain(ref, scenario.paper_config)
+        assert "10.0.0.1" in domain
+        assert all(not isinstance(v, Prefix) for v in domain)
+
+    def test_set_attr_symbolization(self, scenario):
+        ref = FieldRef("R1", "out", "P1", 1, SET_ATTR, 0)
+        sketch, holes = symbolize(scenario.paper_config, [ref])
+        hole = next(iter(holes.values()))
+        assert set(hole.domain) == {"local-pref", "community", "next-hop", "med"}
+
+    def test_custom_domain(self, scenario):
+        ref = FieldRef("R1", "out", "P1", 100, ACTION)
+        sketch, holes = symbolize(
+            scenario.paper_config, [ref], domains={ref: (DENY,)}
+        )
+        hole = next(iter(holes.values()))
+        assert hole.domain == (DENY,)
+
+    def test_errors(self, scenario):
+        config = scenario.paper_config
+        with pytest.raises(SymbolizationError):
+            symbolize(config, [])
+        with pytest.raises(SymbolizationError):
+            symbolize(config, [FieldRef("R1", "in", "P1", 1, ACTION)])
+        with pytest.raises(SymbolizationError):
+            symbolize(config, [FieldRef("R1", "out", "P1", 1, SET_VALUE, 5)])
+        ref = FieldRef("R1", "out", "P1", 1, ACTION)
+        with pytest.raises(SymbolizationError):
+            symbolize(config, [ref, ref])
+
+    def test_sketch_input_rejected(self, scenario):
+        with pytest.raises(SymbolizationError):
+            symbolize(scenario.sketch, [FieldRef("R1", "out", "P1", 1, ACTION)])
+
+
+class TestConvenienceWrappers:
+    def test_symbolize_line(self, scenario):
+        sketch, holes = symbolize_line(
+            scenario.paper_config, "R1", "out", "P1", 1, fields=(ACTION, MATCH_VALUE)
+        )
+        assert len(holes) == 2
+
+    def test_symbolize_router(self, scenario):
+        sketch, holes = symbolize_router(scenario.paper_config, "R1", fields=(ACTION,))
+        # R1 has one map (out to P1) with two lines.
+        assert len(holes) == 2
+        assert sketch.has_holes()
+
+    def test_symbolize_router_set_fields(self, scenario):
+        sketch, holes = symbolize_router(scenario.paper_config, "R1", fields=(SET_VALUE,))
+        # Only line 1 carries a set clause.
+        assert len(holes) == 1
+
+    def test_symbolize_router_without_lines(self, scenario):
+        with pytest.raises(SymbolizationError):
+            symbolize_router(scenario.paper_config, "R3")
+
+
+class TestFieldRefHoleNames:
+    def test_roundtrip_all_kinds(self):
+        refs = [
+            FieldRef("R1", "out", "P1", 100, ACTION),
+            FieldRef("R1", "out", "P1", 1, MATCH_ATTR),
+            FieldRef("R2", "in", "P2", 10, MATCH_VALUE),
+            FieldRef("R3", "in", "R1", 20, SET_ATTR, 0),
+            FieldRef("R3", "in", "R2", 20, SET_VALUE, 1),
+        ]
+        for ref in refs:
+            assert FieldRef.from_hole_name(ref.hole_name()) == ref
+
+    def test_malformed_names_rejected(self):
+        with pytest.raises(SymbolizationError):
+            FieldRef.from_hole_name("not-a-hole")
+        with pytest.raises(SymbolizationError):
+            FieldRef.from_hole_name("Var_Action[too.few]")
+        with pytest.raises(SymbolizationError):
+            FieldRef.from_hole_name("Var_Param[a.b.c.1]")  # missing clause

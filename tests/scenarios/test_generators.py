@@ -1,0 +1,129 @@
+"""Tests for the synthetic topology generators."""
+
+import pytest
+
+from repro.bgp import simulate
+from repro.explain import ACTION, ExplanationEngine
+from repro.scenarios.generators import (
+    GeneratedCase,
+    chain_case,
+    grid_case,
+    random_case,
+    ring_case,
+)
+from repro.verify import verify
+
+
+ALL_BUILDERS = [
+    lambda: chain_case(3),
+    lambda: chain_case(5),
+    lambda: ring_case(4),
+    lambda: grid_case(2, 2),
+    lambda: random_case(4, seed=7),
+]
+
+
+class TestShapes:
+    def test_chain_structure(self):
+        case = chain_case(4)
+        topo = case.topology
+        assert topo.has_link("M0", "M1")
+        assert topo.has_link("M2", "M3")
+        assert not topo.has_link("M0", "M2")
+        assert topo.has_link("C", "M0")
+        assert topo.has_link("P1", "M3")
+
+    def test_ring_structure(self):
+        case = ring_case(4)
+        assert case.topology.has_link("M3", "M0")  # the closing edge
+
+    def test_grid_structure(self):
+        case = grid_case(2, 3)
+        topo = case.topology
+        assert topo.has_link("M0_0", "M0_1")
+        assert topo.has_link("M0_0", "M1_0")
+        assert not topo.has_link("M0_0", "M1_1")
+
+    def test_random_is_reproducible(self):
+        a = random_case(5, seed=3)
+        b = random_case(5, seed=3)
+        assert a.topology.links == b.topology.links
+        c = random_case(5, seed=4)
+        assert a.topology.links != c.topology.links
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            chain_case(1)
+        with pytest.raises(ValueError):
+            ring_case(2)
+        with pytest.raises(ValueError):
+            grid_case(1, 1)
+        with pytest.raises(ValueError):
+            random_case(1)
+
+
+class TestSemantics:
+    @pytest.mark.parametrize("builder", ALL_BUILDERS)
+    def test_generated_config_verifies(self, builder):
+        case = builder()
+        report = verify(case.config, case.specification)
+        assert report.ok, f"{case.name}: {report.summary()}"
+
+    @pytest.mark.parametrize("builder", ALL_BUILDERS)
+    def test_customer_keeps_connectivity(self, builder):
+        from repro.topology import Prefix
+
+        case = builder()
+        outcome = simulate(case.config)
+        # Providers still reach the customer prefix.
+        assert outcome.reachable("P1", Prefix("10.0.0.0/24"))
+        assert outcome.reachable("P2", Prefix("10.0.0.0/24"))
+
+    @pytest.mark.parametrize("builder", ALL_BUILDERS)
+    def test_device_is_managed_border(self, builder):
+        case = builder()
+        assert case.topology.has_link(case.device, "P1")
+        assert case.device in case.specification.managed
+
+    def test_explanation_works_on_generated_case(self):
+        case = chain_case(3)
+        engine = ExplanationEngine(case.config, case.specification, max_path_length=6)
+        explanation = engine.explain_router(
+            case.device, fields=(ACTION,), requirement="NoTransit"
+        )
+        assert explanation.subspec.lifted
+
+
+class TestLeafSpine:
+    def test_structure(self):
+        from repro.scenarios.generators import leafspine_case
+
+        case = leafspine_case(2, 3)
+        topo = case.topology
+        for spine in ("SP0", "SP1"):
+            for leaf in ("LF0", "LF1", "LF2"):
+                assert topo.has_link(spine, leaf)
+        assert not topo.has_link("LF0", "LF1")
+        assert not topo.has_link("SP0", "SP1")
+        assert topo.has_link("C", "LF0")
+        assert topo.has_link("P1", "LF2")
+
+    def test_verifies_and_explains(self):
+        from repro.explain import ACTION, ExplanationEngine
+        from repro.scenarios.generators import leafspine_case
+
+        case = leafspine_case(2, 2)
+        assert verify(case.config, case.specification).ok
+        engine = ExplanationEngine(case.config, case.specification, max_path_length=6)
+        explanation = engine.explain_router(
+            case.device, fields=(ACTION,), requirement="NoTransit"
+        )
+        assert explanation.subspec.lifted or not explanation.projected.is_unsatisfiable
+
+    def test_validation(self):
+        from repro.scenarios.generators import leafspine_case
+
+        with pytest.raises(ValueError):
+            leafspine_case(0, 2)
+        with pytest.raises(ValueError):
+            leafspine_case(1, 1)

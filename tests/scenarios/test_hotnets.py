@@ -1,0 +1,171 @@
+"""Tests for the paper scenario library."""
+
+import pytest
+
+from repro.bgp import simulate
+from repro.scenarios import (
+    CUSTOMER_PREFIX,
+    D1_PREFIX,
+    MANAGED,
+    P1_PREFIX,
+    P2_PREFIX,
+    hotnets_topology,
+    scenario1,
+    scenario2,
+    scenario3,
+)
+from repro.spec import parse
+from repro.synthesis import Synthesizer
+from repro.topology import Path
+from repro.verify import verify
+
+
+class TestTopology:
+    def test_shape(self):
+        topo = hotnets_topology()
+        assert len(topo) == 7
+        assert topo.has_link("R1", "P1")
+        assert topo.has_link("R2", "P2")
+        assert topo.has_link("P1", "D1")
+        assert topo.has_link("P2", "D1")
+        assert not topo.has_link("R3", "P1")
+
+    def test_prefix_origination(self):
+        topo = hotnets_topology()
+        assert topo.origins_of(CUSTOMER_PREFIX)[0].name == "C"
+        assert topo.origins_of(D1_PREFIX)[0].name == "D1"
+
+
+class TestScenario1:
+    def test_paper_config_verifies(self):
+        scenario = scenario1()
+        report = verify(scenario.paper_config, scenario.specification)
+        assert report.ok, report.summary()
+
+    def test_p1_cannot_reach_customer_via_r1(self):
+        """The underspecification the scenario is about: blocking all
+        routes to P1 cuts the direct path from P1 to the customer."""
+        scenario = scenario1()
+        outcome = simulate(scenario.paper_config)
+        path = outcome.forwarding_path("P1", CUSTOMER_PREFIX)
+        assert path is not None  # still reachable -- but the long way
+        assert "R1" not in path.hops
+
+    def test_refined_spec_fails_on_figure1c_config(self):
+        """Adding the connectivity requirement makes the Figure 1c
+        config a violation -- the administrator's realization."""
+        scenario = scenario1()
+        refined = parse(
+            "Fix { (P1 -> R1 -> ... -> C) }", managed=MANAGED
+        )
+        report = verify(scenario.paper_config, refined)
+        assert not report.ok
+
+    def test_synthesis_from_sketch(self):
+        scenario = scenario1()
+        result = Synthesizer(scenario.sketch, scenario.specification).synthesize()
+        report = verify(result.config, scenario.specification)
+        assert report.ok, report.summary()
+
+
+class TestScenario2:
+    def test_paper_config_verifies_block_mode(self):
+        scenario = scenario2()
+        report = verify(scenario.paper_config, scenario.specification)
+        assert report.ok, report.summary()
+
+    def test_preferred_path_selected(self):
+        scenario = scenario2()
+        outcome = simulate(scenario.paper_config)
+        assert outcome.forwarding_path("C", D1_PREFIX) == Path(
+            ("C", "R3", "R1", "P1", "D1")
+        )
+
+    def test_fallback_to_second_path_on_failure(self):
+        scenario = scenario2()
+        from repro.verify import config_on_topology
+
+        failed = scenario.topology.without_link("R1", "P1")
+        outcome = simulate(config_on_topology(scenario.paper_config, failed))
+        assert outcome.forwarding_path("C", D1_PREFIX) == Path(
+            ("C", "R3", "R2", "P2", "D1")
+        )
+
+    def test_unlisted_detour_blackholes(self):
+        """Interpretation (1) in action: when both listed paths fail,
+        the physically alive detour C->R3->R1->R2->P2->D1 is dropped by
+        R3's import rule, blackholing the customer."""
+        scenario = scenario2()
+        from repro.verify import config_on_topology
+
+        failed = scenario.topology.without_link("R3", "R2").without_link("R1", "P1")
+        outcome = simulate(config_on_topology(scenario.paper_config, failed))
+        assert outcome.forwarding_path("C", D1_PREFIX) is None
+
+
+class TestScenario3:
+    def test_all_requirements_verify(self):
+        scenario = scenario3()
+        report = verify(scenario.paper_config, scenario.specification)
+        assert report.ok, report.summary()
+
+    def test_connectivity_restored(self):
+        """Scenario 3 refines R1's export so P1 reaches the customer
+        directly (the scenario-1 fix folded in)."""
+        scenario = scenario3()
+        outcome = simulate(scenario.paper_config)
+        path = outcome.forwarding_path("P1", CUSTOMER_PREFIX)
+        assert path == Path(("P1", "R1", "R3", "C"))
+
+    def test_no_transit_via_managed_network(self):
+        scenario = scenario3()
+        outcome = simulate(scenario.paper_config)
+        for prefix in (P2_PREFIX, D1_PREFIX):
+            path = outcome.forwarding_path("P1", prefix)
+            if path is not None:
+                assert not (set(path.hops) & set(MANAGED) and "P2" in path.hops[1:])
+
+    def test_scenario_metadata(self):
+        for builder in (scenario1, scenario2, scenario3):
+            scenario = builder()
+            assert scenario.name
+            assert scenario.description
+            assert scenario.notes
+            assert scenario.specification.managed == frozenset(MANAGED)
+
+    def test_sketches_have_holes(self):
+        for builder in (scenario1, scenario2, scenario3):
+            scenario = builder()
+            assert scenario.sketch.has_holes()
+            assert not scenario.paper_config.has_holes()
+
+
+class TestScenario2Fixed:
+    """The resolution of the ambiguity: re-synthesis under FALLBACK."""
+
+    def test_old_config_fails_fallback_spec(self):
+        from repro.scenarios import scenario2_fixed
+
+        scenario = scenario2_fixed()
+        report = verify(scenario.paper_config, scenario.specification)
+        assert not report.ok
+
+    def test_resynthesis_restores_redundancy(self):
+        from repro.scenarios import scenario2_fixed
+        from repro.verify import config_on_topology
+
+        scenario = scenario2_fixed()
+        result = Synthesizer(scenario.sketch, scenario.specification).synthesize()
+        report = verify(result.config, scenario.specification)
+        assert report.ok, report.summary()
+        # The synthesizer opened the drop lines...
+        assert result.assignment["R3.in.R1.10.action"] == "permit"
+        assert result.assignment["R3.in.R2.10.action"] == "permit"
+        # ... kept the preference ordering above the default...
+        assert result.assignment["R3.in.R1.20.lp"] > result.assignment["R3.in.R2.20.lp"]
+        assert result.assignment["R3.in.R2.20.lp"] > 100
+        # ... and the detour now survives the double failure that
+        # blackholed Scenario 2's config.
+        failed = scenario.topology.without_link("R3", "R2").without_link("R1", "P1")
+        outcome = simulate(config_on_topology(result.config, failed))
+        assert outcome.forwarding_path("C", D1_PREFIX) is not None

@@ -1,0 +1,100 @@
+"""Shared hypothesis strategies and brute-force oracles for smt tests."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterator, List
+
+from hypothesis import strategies as st
+
+from repro.smt import (
+    And,
+    BoolVar,
+    Eq,
+    FALSE,
+    Iff,
+    Implies,
+    IntVal,
+    IntVar,
+    Le,
+    Lt,
+    Not,
+    Or,
+    Plus,
+    TRUE,
+    Term,
+)
+
+BOOL_NAMES = ("p", "q", "r")
+INT_NAMES = ("x", "y")
+INT_DOMAIN = (0, 1, 2, 3)
+
+
+def bool_vars() -> List[Term]:
+    return [BoolVar(name) for name in BOOL_NAMES]
+
+
+def int_vars() -> List[Term]:
+    return [IntVar(name, INT_DOMAIN) for name in INT_NAMES]
+
+
+def atoms_strategy() -> st.SearchStrategy[Term]:
+    """Leaf boolean terms: constants, bool vars, int relations.
+
+    Integer operands include sums (``Plus``) so the finite-domain
+    arithmetic path is exercised by every property test built on this
+    vocabulary.
+    """
+    simple_ints = st.one_of(
+        st.sampled_from(int_vars()),
+        st.sampled_from([IntVal(v) for v in (-1, 0, 1, 2, 3, 4)]),
+    )
+    int_terms = st.one_of(
+        simple_ints,
+        st.builds(lambda a, b: Plus(a, b), simple_ints, simple_ints),
+    )
+    relations = st.builds(
+        lambda op, a, b: op(a, b),
+        st.sampled_from([Eq, Le, Lt]),
+        int_terms,
+        int_terms,
+    )
+    return st.one_of(
+        st.just(TRUE),
+        st.just(FALSE),
+        st.sampled_from(bool_vars()),
+        relations,
+    )
+
+
+def terms_strategy(max_leaves: int = 12) -> st.SearchStrategy[Term]:
+    """Random boolean terms over a small fixed vocabulary."""
+    return st.recursive(
+        atoms_strategy(),
+        lambda children: st.one_of(
+            st.builds(Not, children),
+            st.builds(lambda a, b: And(a, b), children, children),
+            st.builds(lambda a, b: Or(a, b), children, children),
+            st.builds(Implies, children, children),
+            st.builds(Iff, children, children),
+            st.builds(lambda a, b, c: And(a, b, c), children, children, children),
+            st.builds(lambda a, b, c: Or(a, b, c), children, children, children),
+        ),
+        max_leaves=max_leaves,
+    )
+
+
+def all_assignments(term: Term) -> Iterator[Dict[str, object]]:
+    """Every total assignment over the term's free variables."""
+    variables = sorted(term.free_variables(), key=lambda v: v.name)
+    domains = [v.value_domain() for v in variables]
+    for combo in itertools.product(*domains):
+        yield {v.name: value for v, value in zip(variables, combo)}
+
+
+def brute_force_satisfiable(term: Term) -> bool:
+    return any(term.evaluate(assignment) for assignment in all_assignments(term))
+
+
+def brute_force_model_count(term: Term) -> int:
+    return sum(1 for assignment in all_assignments(term) if term.evaluate(assignment))

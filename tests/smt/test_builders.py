@@ -1,0 +1,181 @@
+"""Unit tests for the smart constructors."""
+
+import pytest
+
+from repro.smt import (
+    And,
+    AtMostOne,
+    BoolVal,
+    BoolVar,
+    Distinct,
+    EnumSort,
+    EnumVar,
+    Eq,
+    ExactlyOne,
+    FALSE,
+    Ge,
+    Gt,
+    Iff,
+    Implies,
+    IntVal,
+    IntVar,
+    Ite,
+    Le,
+    Lt,
+    Ne,
+    Not,
+    Or,
+    SortError,
+    TRUE,
+    Xor,
+)
+from repro.smt.builders import coerce
+from repro.smt.terms import TermKind
+
+
+class TestCoercion:
+    def test_python_bools(self):
+        assert coerce(True) is TRUE
+        assert coerce(False) is FALSE
+        assert BoolVal(True) is TRUE
+
+    def test_python_ints(self):
+        assert coerce(5) is IntVal(5)
+
+    def test_strings_need_enum_sort(self):
+        with pytest.raises(SortError):
+            coerce("permit")
+        action = EnumSort("BActionT", ("permit", "deny"))
+        assert coerce("permit", action).value == "permit"
+
+    def test_terms_pass_through(self):
+        a = BoolVar("a")
+        assert coerce(a) is a
+
+    def test_unsupported_type(self):
+        with pytest.raises(SortError):
+            coerce(3.14)
+
+
+class TestConnectives:
+    def test_nullary_and_singleton(self):
+        assert And() is TRUE
+        assert Or() is FALSE
+        a = BoolVar("a")
+        assert And(a) is a
+        assert Or(a) is a
+
+    def test_iterable_argument(self):
+        a, b = BoolVar("a"), BoolVar("b")
+        assert And([a, b]) is And(a, b)
+        assert Or((a, b)) is Or(a, b)
+
+    def test_no_eager_simplification(self):
+        # Builders must not simplify: that is the rewrite engine's job.
+        a = BoolVar("a")
+        term = And(a, TRUE)
+        assert term.kind == TermKind.AND
+        assert len(term.children) == 2
+
+    def test_sort_checking(self):
+        x = IntVar("x", (0, 1))
+        with pytest.raises(SortError):
+            And(x, BoolVar("a"))
+        with pytest.raises(SortError):
+            Not(x)
+        with pytest.raises(SortError):
+            Implies(BoolVar("a"), x)
+
+
+class TestRelations:
+    def test_eq_over_bools_becomes_iff(self):
+        a, b = BoolVar("a"), BoolVar("b")
+        assert Eq(a, b).kind == TermKind.IFF
+
+    def test_eq_coerces_python_values(self):
+        x = IntVar("x", range(5))
+        term = Eq(x, 3)
+        assert term.children[1] is IntVal(3)
+
+    def test_eq_enum_coerces_string(self):
+        action = EnumSort("BActionT2", ("permit", "deny"))
+        act = EnumVar("act", action)
+        term = Eq(act, "deny")
+        assert term.children[1].value == "deny"
+
+    def test_mismatched_sorts_rejected(self):
+        action = EnumSort("BActionT3", ("permit", "deny"))
+        with pytest.raises(SortError):
+            Eq(IntVar("x", (0, 1)), EnumVar("act", action))
+
+    def test_ordering_requires_ints(self):
+        action = EnumSort("BActionT4", ("permit", "deny"))
+        with pytest.raises(SortError):
+            Le(EnumVar("act", action), EnumVar("act2", action))
+
+    def test_ge_gt_flip(self):
+        x = IntVar("x", range(5))
+        assert Ge(x, 3) is Le(IntVal(3), x)
+        assert Gt(x, 3) is Lt(IntVal(3), x)
+
+    def test_ne(self):
+        x = IntVar("x", range(5))
+        term = Ne(x, 2)
+        assert term.kind == TermKind.NOT
+        assert term.children[0] is Eq(x, 2)
+
+
+class TestIte:
+    def test_value_ite(self):
+        a = BoolVar("a")
+        term = Ite(a, IntVal(1), IntVal(2))
+        assert term.kind == TermKind.ITE
+
+    def test_bool_ite_expands_to_connectives(self):
+        a, b, c = BoolVar("a"), BoolVar("b"), BoolVar("c")
+        term = Ite(a, b, c)
+        assert term is And(Implies(a, b), Implies(Not(a), c))
+
+    def test_mixed_branch_sorts_rejected(self):
+        with pytest.raises(SortError):
+            Ite(BoolVar("a"), IntVal(1), TRUE)
+
+
+class TestCardinality:
+    def test_exactly_one_semantics(self):
+        a, b = BoolVar("a"), BoolVar("b")
+        term = ExactlyOne(a, b)
+        assert term.evaluate({"a": True, "b": False}) is True
+        assert term.evaluate({"a": True, "b": True}) is False
+        assert term.evaluate({"a": False, "b": False}) is False
+
+    def test_exactly_one_empty_is_false(self):
+        assert ExactlyOne() is FALSE
+
+    def test_at_most_one(self):
+        a, b, c = BoolVar("a"), BoolVar("b"), BoolVar("c")
+        term = AtMostOne(a, b, c)
+        assert term.evaluate({"a": False, "b": False, "c": False}) is True
+        assert term.evaluate({"a": True, "b": False, "c": False}) is True
+        assert term.evaluate({"a": True, "b": False, "c": True}) is False
+
+    def test_distinct(self):
+        x = IntVar("x", range(3))
+        y = IntVar("y", range(3))
+        term = Distinct(x, y)
+        assert term.evaluate({"x": 0, "y": 1}) is True
+        assert term.evaluate({"x": 2, "y": 2}) is False
+
+
+class TestBooleanAlgebraViaEvaluate:
+    def test_xor(self):
+        a, b = BoolVar("a"), BoolVar("b")
+        term = Xor(a, b)
+        assert term.evaluate({"a": True, "b": False}) is True
+        assert term.evaluate({"a": True, "b": True}) is False
+
+    def test_iff(self):
+        a, b = BoolVar("a"), BoolVar("b")
+        term = Iff(a, b)
+        assert term.evaluate({"a": False, "b": False}) is True
+        assert term.evaluate({"a": False, "b": True}) is False

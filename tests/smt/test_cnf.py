@@ -1,0 +1,104 @@
+"""Tests for Tseitin CNF conversion."""
+
+import itertools
+
+from hypothesis import given, settings
+
+from repro.smt import And, BoolVar, FALSE, Iff, Implies, Not, Or, TRUE
+from repro.smt.cnf import to_cnf, to_dimacs
+from repro.smt.sat import solve_clauses
+
+from .strategies import all_assignments, terms_strategy
+
+
+def cnf_satisfiable(cnf):
+    result = solve_clauses(cnf.num_vars, cnf.clauses)
+    return result.satisfiable
+
+
+class TestSpecialCases:
+    def test_true_term_empty_cnf(self):
+        cnf = to_cnf(TRUE)
+        assert cnf.clauses == []
+        assert cnf_satisfiable(cnf)
+
+    def test_false_term_empty_clause(self):
+        cnf = to_cnf(FALSE)
+        assert () in cnf.clauses
+        assert not cnf_satisfiable(cnf)
+
+    def test_single_variable(self):
+        a = BoolVar("a")
+        cnf = to_cnf(a)
+        assert cnf.var_ids == {"a": 1}
+        result = solve_clauses(cnf.num_vars, cnf.clauses)
+        assert result.satisfiable
+        assert result.assignment[1] is True
+
+    def test_negated_variable(self):
+        a = BoolVar("a")
+        cnf = to_cnf(Not(a))
+        result = solve_clauses(cnf.num_vars, cnf.clauses)
+        assert result.satisfiable
+        assert result.assignment[cnf.id_of("a")] is False
+
+    def test_contradiction_unsat(self):
+        a = BoolVar("a")
+        assert not cnf_satisfiable(to_cnf(And(a, Not(a))))
+
+    def test_shared_subterms_converted_once(self):
+        a, b = BoolVar("a"), BoolVar("b")
+        shared = And(a, b)
+        term = Or(shared, Not(shared))
+        cnf = to_cnf(term)
+        # One gate for shared AND, one for the OR; the DAG is linear.
+        assert cnf.num_vars <= 5
+
+    def test_decode_projects_named_vars(self):
+        a, b = BoolVar("a"), BoolVar("b")
+        cnf = to_cnf(And(a, Not(b)))
+        result = solve_clauses(cnf.num_vars, cnf.clauses)
+        named = cnf.decode(result.assignment)
+        assert named == {"a": True, "b": False}
+
+
+class TestDimacsSerialization:
+    def test_header_and_clause_lines(self):
+        a, b = BoolVar("a"), BoolVar("b")
+        cnf = to_cnf(Or(a, b))
+        text = to_dimacs(cnf, comment="example")
+        lines = text.splitlines()
+        assert lines[0] == "c example"
+        assert any(line.startswith("p cnf ") for line in lines)
+        assert all(line.endswith(" 0") for line in lines if line[0].isdigit() or line.startswith("-"))
+
+    def test_comment_names_variables(self):
+        a = BoolVar("a")
+        text = to_dimacs(to_cnf(a))
+        assert "c var 1 = a" in text
+
+
+class TestEquisatisfiability:
+    @given(terms_strategy())
+    @settings(max_examples=150, deadline=None)
+    def test_matches_brute_force(self, term):
+        from repro.smt.fdblast import blast
+
+        term = blast(term).formula
+        expected = any(term.evaluate(m) for m in all_assignments(term))
+        cnf = to_cnf(term)
+        assert cnf_satisfiable(cnf) == expected
+
+    @given(terms_strategy(max_leaves=8))
+    @settings(max_examples=80, deadline=None)
+    def test_model_projects_to_term_model(self, term):
+        from repro.smt.fdblast import blast
+
+        term = blast(term).formula
+        cnf = to_cnf(term)
+        result = solve_clauses(cnf.num_vars, cnf.clauses)
+        if not result.satisfiable:
+            return
+        named = cnf.decode(result.assignment)
+        env = {v.name: named.get(v.name, False) for v in term.free_variables()}
+        assert term.evaluate(env) is True

@@ -1,0 +1,175 @@
+"""Tests for one-hot finite-domain blasting."""
+
+from hypothesis import given, settings
+
+from repro.smt import (
+    And,
+    BoolVar,
+    EnumSort,
+    EnumVal,
+    EnumVar,
+    Eq,
+    FALSE,
+    Iff,
+    Implies,
+    IntVal,
+    IntVar,
+    Ite,
+    Le,
+    Lt,
+    Not,
+    Or,
+    TRUE,
+)
+from repro.smt.fdblast import blast, indicator_name
+
+from .strategies import all_assignments, terms_strategy
+
+
+def models_of_boolean(term):
+    """Brute-force models of a pure-boolean term."""
+    for assignment in all_assignments(term):
+        if term.evaluate(assignment):
+            yield assignment
+
+
+class TestIndicatorNaming:
+    def test_name_format(self):
+        x = IntVar("x", (1, 2))
+        assert indicator_name(x, 2) == "x@2"
+
+
+class TestBlastShapes:
+    def test_bool_only_term_unchanged(self):
+        a, b = BoolVar("a"), BoolVar("b")
+        term = And(a, Or(b, Not(a)))
+        result = blast(term)
+        assert result.goal is term
+        assert result.variables == {}
+
+    def test_eq_var_const_becomes_indicator(self):
+        x = IntVar("x", (1, 2, 3))
+        result = blast(Eq(x, 2))
+        assert result.goal is BoolVar("x@2")
+        assert x in result.variables
+
+    def test_eq_out_of_domain_is_false(self):
+        x = IntVar("x", (1, 2, 3))
+        result = blast(Eq(x, 99))
+        assert result.goal is FALSE
+
+    def test_non_bool_input_rejected(self):
+        x = IntVar("x", (1, 2))
+        try:
+            blast(x)
+        except ValueError:
+            pass
+        else:
+            raise AssertionError("expected ValueError")
+
+    def test_enum_equality(self):
+        sort = EnumSort("FBActionT", ("permit", "deny"))
+        act = EnumVar("act", sort)
+        result = blast(Eq(act, EnumVal(sort, "deny")))
+        assert result.goal is BoolVar("act@deny")
+
+    def test_exactly_one_side_condition_enforced(self):
+        from repro.smt import check_sat
+
+        x = IntVar("x", (1, 2))
+        # Without side conditions x@1 and x@2 could both hold; with them
+        # the decoded model must pick exactly one value.
+        model = check_sat(Or(Eq(x, 1), Eq(x, 2)))
+        assert model is not None
+        assert model["x"] in (1, 2)
+
+
+class TestDecoding:
+    def test_decode_picks_true_indicator(self):
+        x = IntVar("x", (5, 6, 7))
+        result = blast(Eq(x, 6))
+        decoded = result.decode({"x@6": True, "x@5": False, "x@7": False})
+        assert decoded["x"] == 6
+
+    def test_decode_defaults_unconstrained(self):
+        x = IntVar("x", (5, 6))
+        result = blast(Eq(x, 6))
+        decoded = result.decode({})
+        assert decoded["x"] == 5  # first domain value
+
+    def test_decode_passes_through_bool_vars(self):
+        a = BoolVar("a")
+        x = IntVar("x", (0, 1))
+        result = blast(And(a, Eq(x, 1)))
+        decoded = result.decode({"a": True, "x@1": True})
+        assert decoded["a"] is True
+        assert decoded["x"] == 1
+
+
+class TestSemanticEquivalence:
+    """Blasted formula models decode to models of the original."""
+
+    @given(terms_strategy())
+    @settings(max_examples=120, deadline=None)
+    def test_blast_preserves_satisfiability(self, term):
+        result = blast(term)
+        original_sat = any(
+            term.evaluate(assignment) for assignment in all_assignments(term)
+        )
+        blasted_sat = any(
+            result.formula.evaluate(assignment)
+            for assignment in all_assignments(result.formula)
+        )
+        assert original_sat == blasted_sat
+
+    @given(terms_strategy(max_leaves=8))
+    @settings(max_examples=60, deadline=None)
+    def test_blasted_models_decode_to_original_models(self, term):
+        result = blast(term)
+        for assignment in all_assignments(result.formula):
+            if not result.formula.evaluate(assignment):
+                continue
+            bool_model = {k: v for k, v in assignment.items()}
+            decoded = result.decode(bool_model)
+            # Fill in any original bool vars missing from the formula.
+            for variable in term.free_variables():
+                decoded.setdefault(
+                    variable.name,
+                    variable.value_domain()[0],
+                )
+            assert term.evaluate(decoded) is True
+
+
+class TestOrderAtoms:
+    def test_le_var_const(self):
+        from repro.smt import check_sat, is_valid
+
+        x = IntVar("x", (0, 1, 2, 3))
+        assert is_valid(Implies(Eq(x, 1), Le(x, 2)))
+        assert check_sat(And(Le(x, 1), Le(IntVal(1), x))) is not None
+
+    def test_lt_var_var(self):
+        from repro.smt import count_models
+
+        x = IntVar("xv", (0, 1, 2))
+        y = IntVar("yv", (0, 1, 2))
+        # pairs with x < y: (0,1),(0,2),(1,2)
+        assert count_models(Lt(x, y)) == 3
+
+    def test_eq_var_var_shared_domain(self):
+        from repro.smt import count_models
+
+        x = IntVar("xe", (0, 1, 5))
+        y = IntVar("ye", (1, 5, 9))
+        assert count_models(Eq(x, y)) == 2
+
+    def test_relation_over_ite_lifted(self):
+        from repro.smt import equivalent
+
+        a = BoolVar("a")
+        x = IntVar("xi", (1, 2))
+        lifted = blast(Eq(Ite(a, IntVal(1), IntVal(2)), x))
+        # a=T,x=1 and a=F,x=2 are the only models.
+        from repro.smt import count_models
+
+        assert count_models(Eq(Ite(a, IntVal(1), IntVal(2)), x)) == 2

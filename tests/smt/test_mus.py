@@ -1,0 +1,75 @@
+"""Tests for minimal unsatisfiable subset extraction."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.smt import (
+    And,
+    BoolVar,
+    Eq,
+    FALSE,
+    IntVar,
+    Not,
+    Or,
+    is_minimal_unsat,
+    minimal_unsat_subset,
+)
+
+from .strategies import terms_strategy
+
+a, b, c = BoolVar("a"), BoolVar("b"), BoolVar("c")
+x = IntVar("x", range(0, 4))
+
+
+class TestBasics:
+    def test_satisfiable_set_rejected(self):
+        with pytest.raises(ValueError):
+            minimal_unsat_subset([a, b])
+
+    def test_direct_contradiction(self):
+        core = minimal_unsat_subset([a, Not(a), b])
+        assert set(core) == {a, Not(a)}
+
+    def test_single_false(self):
+        core = minimal_unsat_subset([a, FALSE, b])
+        assert core == (FALSE,)
+
+    def test_chain_conflict(self):
+        # a, a->b, b->c, !c : all four needed.
+        constraints = [a, Or(Not(a), b), Or(Not(b), c), Not(c)]
+        core = minimal_unsat_subset(constraints)
+        assert set(core) == set(constraints)
+
+    def test_integer_conflict(self):
+        core = minimal_unsat_subset([Eq(x, 1), Eq(x, 2), Eq(x, 1)])
+        assert len(core) == 2
+
+    def test_background_constraint(self):
+        # Background forces a; the deletable part only needs !a.
+        core = minimal_unsat_subset([b, Not(a)], background=a)
+        assert core == (Not(a),)
+
+
+class TestMinimality:
+    def test_is_minimal_unsat_judgement(self):
+        assert is_minimal_unsat([a, Not(a)])
+        assert not is_minimal_unsat([a, Not(a), b])  # b is removable
+        assert not is_minimal_unsat([a, b])  # satisfiable
+
+    def test_extracted_cores_are_minimal(self):
+        cases = [
+            [a, Not(a), b, c],
+            [Eq(x, 0), Eq(x, 3), a],
+            [a, Or(Not(a), b), Not(b), c, FALSE],
+        ]
+        for constraints in cases:
+            core = minimal_unsat_subset(constraints)
+            assert is_minimal_unsat(core)
+
+    @given(terms_strategy(max_leaves=6))
+    @settings(max_examples=40, deadline=None)
+    def test_property_core_is_minimal_and_subset(self, term):
+        constraints = [term, Not(term), a]
+        core = minimal_unsat_subset(constraints)
+        assert set(core) <= set(constraints)
+        assert is_minimal_unsat(core)

@@ -1,0 +1,132 @@
+"""Tests for integer addition (Plus) and its finite-domain blasting."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.smt import (
+    And,
+    BoolVar,
+    Eq,
+    Ge,
+    Gt,
+    IntVal,
+    IntVar,
+    Ite,
+    Le,
+    Lt,
+    Plus,
+    SortError,
+    check_sat,
+    count_models,
+    is_valid,
+    simplify,
+    to_infix,
+)
+
+x = IntVar("px", (1, 2, 3))
+y = IntVar("py", (1, 2, 3))
+z = IntVar("pz", (1, 2, 3))
+
+
+class TestConstruction:
+    def test_constant_folding(self):
+        assert Plus(1, 2, 3) is IntVal(6)
+        assert Plus(x, 0) is x
+        assert Plus() is IntVal(0)
+
+    def test_flattening(self):
+        term = Plus(Plus(x, y), z)
+        assert len(term.children) == 3
+
+    def test_constants_merged(self):
+        term = Plus(x, 2, y, 3)
+        constants = [child for child in term.children if child.is_const()]
+        assert len(constants) == 1
+        assert constants[0].value == 5
+
+    def test_list_argument(self):
+        assert Plus([x, y]) is Plus(x, y)
+
+    def test_sort_checking(self):
+        with pytest.raises(SortError):
+            Plus(x, BoolVar("flag"))
+
+    def test_evaluation(self):
+        term = Plus(x, y, 4)
+        assert term.evaluate({"px": 1, "py": 3}) == 8
+
+    def test_printing(self):
+        assert to_infix(Plus(x, y)) == "px + py"
+        assert to_infix(Eq(Plus(x, y), 4)) == "(px + py) = 4"
+
+
+class TestSolving:
+    def test_count_sum_equality(self):
+        # x + y = 4 over {1,2,3}^2: (1,3), (2,2), (3,1).
+        assert count_models(Eq(Plus(x, y), 4)) == 3
+
+    def test_count_sum_inequality(self):
+        # x + y < z: only 1+1 < 3.
+        assert count_models(Lt(Plus(x, y), z)) == 1
+
+    def test_validity(self):
+        assert is_valid(Ge(Plus(x, y), 2))
+        assert not is_valid(Ge(Plus(x, y), 3))
+
+    def test_sum_vs_sum(self):
+        model = check_sat(And(Lt(Plus(x, y), Plus(y, z)), Eq(y, 2)))
+        assert model is not None
+        assert model["px"] + model["py"] < model["py"] + model["pz"]
+
+    def test_sum_with_ite(self):
+        flag = BoolVar("flag")
+        term = Eq(Plus(x, Ite(flag, IntVal(10), IntVal(0))), 12)
+        model = check_sat(term)
+        assert model is not None
+        bonus = 10 if model["flag"] else 0
+        assert model["px"] + bonus == 12
+
+    def test_models_satisfy(self):
+        term = And(Le(Plus(x, y, z), 5), Gt(Plus(x, y), 3))
+        model = check_sat(term)
+        assert model is not None
+        assert model.satisfies(term)
+
+
+class TestAgainstBruteForce:
+    @given(
+        st.sampled_from([Eq, Le, Lt]),
+        st.integers(min_value=0, max_value=10),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_sum_relation_counts(self, relation, bound):
+        term = relation(Plus(x, y, z), bound)
+        expected = sum(
+            1
+            for vx, vy, vz in itertools.product((1, 2, 3), repeat=3)
+            if term.evaluate({"px": vx, "py": vy, "pz": vz})
+        )
+        assert count_models(term) == expected
+
+    @given(st.integers(min_value=-2, max_value=9))
+    @settings(max_examples=30, deadline=None)
+    def test_shifted_sum(self, offset):
+        term = Eq(Plus(x, offset), 4)
+        expected = sum(1 for vx in (1, 2, 3) if vx + offset == 4)
+        assert count_models(term) == expected
+
+
+class TestRewriteInteraction:
+    def test_simplify_keeps_semantics(self):
+        term = And(Eq(Plus(x, y), 4), Eq(x, 2))
+        simplified = simplify(term)
+        for vx, vy in itertools.product((1, 2, 3), repeat=2):
+            env = {"px": vx, "py": vy}
+            assert term.evaluate(env) == simplified.evaluate(env)
+
+    def test_substitution_into_sum(self):
+        term = Plus(x, y)
+        replaced = term.substitute({x: IntVal(5)})
+        assert replaced.evaluate({"py": 2}) == 7

@@ -1,0 +1,217 @@
+"""Unit tests for each of the 15 simplification rules and the engine."""
+
+import pytest
+
+from repro.smt import (
+    ALL_RULES,
+    And,
+    BoolVar,
+    EnumSort,
+    EnumVar,
+    Eq,
+    FALSE,
+    Iff,
+    Implies,
+    IntVal,
+    IntVar,
+    Ite,
+    Le,
+    Lt,
+    Ne,
+    Not,
+    Or,
+    RULES_BY_NAME,
+    RewriteEngine,
+    RewriteStats,
+    TRUE,
+    simplify,
+)
+from repro.smt.terms import Term, TermKind
+
+a, b, c = BoolVar("a"), BoolVar("b"), BoolVar("c")
+x = IntVar("x", range(0, 10))
+y = IntVar("y", range(0, 10))
+
+
+def test_exactly_fifteen_rules():
+    assert len(ALL_RULES) == 15
+    assert len(RULES_BY_NAME) == 15
+
+
+class TestIndividualRules:
+    """One test per rule, plus the paper's two quoted rules verbatim."""
+
+    def test_not_const(self):
+        assert simplify(Not(TRUE)) is FALSE
+        assert simplify(Not(FALSE)) is TRUE
+
+    def test_double_negation(self):
+        assert simplify(Not(Not(a))) is a
+
+    def test_and_identity(self):
+        assert simplify(And(a, TRUE)) is a
+        assert simplify(And(TRUE, TRUE)) is TRUE
+
+    def test_and_annihilate(self):
+        assert simplify(And(a, FALSE, b)) is FALSE
+
+    def test_or_identity(self):
+        assert simplify(Or(a, FALSE)) is a
+        assert simplify(Or(FALSE, FALSE)) is FALSE
+
+    def test_or_annihilate(self):
+        assert simplify(Or(a, TRUE, b)) is TRUE
+
+    def test_idempotence(self):
+        assert simplify(And(a, a)) is a
+        assert simplify(Or(a, a, a)) is a
+
+    def test_complement_and(self):
+        assert simplify(And(a, Not(a))) is FALSE
+
+    def test_complement_or_paper_rule(self):
+        # Paper, Section 3: "a \/ !a = True"
+        assert simplify(Or(a, Not(a))) is TRUE
+
+    def test_implies_false_antecedent_paper_rule(self):
+        # Paper, Section 3: "False -> a = True"
+        assert simplify(Implies(FALSE, a)) is TRUE
+
+    def test_implies_other_cases(self):
+        assert simplify(Implies(TRUE, a)) is a
+        assert simplify(Implies(a, TRUE)) is TRUE
+        assert simplify(Implies(a, FALSE)) is Not(a)
+        assert simplify(Implies(a, a)) is TRUE
+
+    def test_iff_elim(self):
+        assert simplify(Iff(TRUE, a)) is a
+        assert simplify(Iff(a, FALSE)) is Not(a)
+        assert simplify(Iff(a, a)) is TRUE
+
+    def test_ite_fold(self):
+        assert simplify(Eq(Ite(TRUE, IntVal(1), IntVal(2)), x)) is Eq(IntVal(1), x)
+        assert simplify(Eq(Ite(FALSE, IntVal(1), IntVal(2)), x)) is Eq(IntVal(2), x)
+        assert simplify(Eq(Ite(a, IntVal(1), IntVal(1)), x)) is Eq(IntVal(1), x)
+
+    def test_relation_const_fold(self):
+        assert simplify(Eq(IntVal(3), IntVal(3))) is TRUE
+        assert simplify(Eq(IntVal(3), IntVal(4))) is FALSE
+        assert simplify(Le(IntVal(3), IntVal(4))) is TRUE
+        assert simplify(Lt(IntVal(4), IntVal(4))) is FALSE
+        assert simplify(Eq(x, x)) is TRUE
+        assert simplify(Lt(x, x)) is FALSE
+        assert simplify(Le(x, x)) is TRUE
+
+    def test_relation_domain_fold(self):
+        # x ranges over 0..9: impossible and trivial atoms must fold.
+        assert simplify(Eq(x, 42)) is FALSE
+        assert simplify(Le(x, 9)) is TRUE
+        assert simplify(Le(x, -1)) is FALSE
+        assert simplify(Lt(x, 0)) is FALSE
+        assert simplify(Lt(x, 100)) is TRUE
+        assert simplify(Le(IntVal(0), x)) is TRUE
+        singleton = IntVar("only7", (7,))
+        assert simplify(Eq(singleton, 7)) is TRUE
+
+    def test_relation_ite_distribution(self):
+        term = Eq(Ite(a, IntVal(1), IntVal(2)), IntVal(1))
+        result = simplify(term)
+        assert result is a
+
+    def test_flatten(self):
+        term = And(And(a, b), c)
+        result = simplify(term)
+        assert result.kind == TermKind.AND
+        assert set(result.children) == {a, b, c}
+
+    def test_absorption(self):
+        assert simplify(And(a, Or(a, b))) is a
+        assert simplify(Or(a, And(a, b))) is a
+
+    def test_equality_propagation(self):
+        term = And(Eq(x, 3), Lt(x, 5))
+        assert simplify(term) is Eq(x, 3)
+
+    def test_equality_propagation_detects_contradiction(self):
+        term = And(Eq(x, 3), Eq(x, 4))
+        assert simplify(term) is FALSE
+
+    def test_equality_propagation_across_variables(self):
+        term = And(Eq(x, 2), Eq(y, 2), Ne(x, y))
+        assert simplify(term) is FALSE
+
+
+class TestEngine:
+    def test_fixpoint_idempotent(self):
+        term = Implies(And(a, Not(a)), Or(b, Eq(x, 99)))
+        engine = RewriteEngine()
+        once = engine.simplify(term)
+        twice = engine.simplify(once)
+        assert once is twice
+
+    def test_stats_collection(self):
+        stats = RewriteStats()
+        simplify(And(a, TRUE, Or(b, Not(b))), stats=stats)
+        assert stats.applications.get("or-annihilate") or stats.applications.get("complement")
+        assert stats.input_size > stats.output_size
+        assert stats.total_applications >= 2
+        assert stats.reduction_factor > 1
+
+    def test_reduction_factor_infinite_guard(self):
+        stats = RewriteStats(input_size=5, output_size=0)
+        assert stats.reduction_factor == float("inf")
+
+    def test_rule_subset_engine(self):
+        # Without the complement rule, a | !a must survive.
+        rules = [rule for rule in ALL_RULES if rule.name != "complement"]
+        engine = RewriteEngine(rules)
+        term = Or(a, Not(a))
+        assert engine.simplify(term) is term
+
+    def test_empty_ruleset_is_identity(self):
+        engine = RewriteEngine([])
+        term = And(a, TRUE)
+        assert engine.simplify(term) is term
+
+    def test_cache_isolated_per_engine(self):
+        full = RewriteEngine()
+        empty = RewriteEngine([])
+        term = And(a, TRUE)
+        assert full.simplify(term) is a
+        assert empty.simplify(term) is term
+
+    def test_deep_nesting_converges(self):
+        term = a
+        for _ in range(50):
+            term = And(term, TRUE, Or(FALSE, term))
+        assert simplify(term) is a
+
+    def test_seedlike_reduction(self):
+        """A miniature seed specification collapses to its core."""
+        attr = IntVar("Var_Attr", range(0, 4))
+        val = IntVar("Var_Val", range(0, 4))
+        other = IntVar("Other", range(0, 4))
+        seed = And(
+            Eq(other, 2),                     # concrete rest-of-network
+            Implies(Eq(other, 2), TRUE),      # vacuous protocol fact
+            Or(Eq(attr, 1), FALSE),
+            Implies(Eq(attr, 1), Eq(val, 3)),
+            Or(a, Not(a)),                    # tautological scaffolding
+        )
+        result = simplify(seed)
+        kept = set(result.conjuncts())
+        assert Eq(other, 2) in kept
+        assert Eq(attr, 1) in kept
+        assert Eq(val, 3) in kept
+        assert len(kept) == 3
+
+
+class TestRuleMetadata:
+    def test_every_rule_has_description(self):
+        for rule in ALL_RULES:
+            assert rule.name
+            assert rule.description
+
+    @pytest.mark.parametrize("rule", ALL_RULES, ids=lambda r: r.name)
+    def test_rules_never_fire_on_plain_variable(self, rule):
+        assert rule.apply(a) is None

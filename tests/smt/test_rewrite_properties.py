@@ -1,0 +1,54 @@
+"""Property-based tests: the rewrite engine is sound and canonicalizing."""
+
+from hypothesis import given, settings
+
+from repro.smt import ALL_RULES, RewriteEngine, simplify
+
+from .strategies import all_assignments, terms_strategy
+
+
+@given(terms_strategy())
+@settings(max_examples=200, deadline=None)
+def test_simplify_preserves_semantics(term):
+    """Every assignment gives the same truth value before and after."""
+    simplified = simplify(term)
+    for assignment in all_assignments(term):
+        assert term.evaluate(assignment) == simplified.evaluate(assignment)
+
+
+@given(terms_strategy())
+@settings(max_examples=100, deadline=None)
+def test_simplify_is_idempotent(term):
+    engine = RewriteEngine()
+    once = engine.simplify(term)
+    assert engine.simplify(once) is once
+
+
+@given(terms_strategy())
+@settings(max_examples=100, deadline=None)
+def test_simplified_free_variables_subset(term):
+    """Simplification never invents variables."""
+    simplified = simplify(term)
+    assert simplified.free_variables() <= term.free_variables()
+
+
+@given(terms_strategy(max_leaves=8))
+@settings(max_examples=60, deadline=None)
+def test_each_single_rule_engine_is_sound(term):
+    """Engines restricted to any single rule still preserve semantics."""
+    for rule in ALL_RULES:
+        engine = RewriteEngine([rule])
+        simplified = engine.simplify(term)
+        for assignment in all_assignments(term):
+            assert term.evaluate(assignment) == simplified.evaluate(assignment)
+
+
+@given(terms_strategy())
+@settings(max_examples=100, deadline=None)
+def test_ground_terms_fold_to_constants(term):
+    """Terms without variables always simplify to true or false."""
+    if term.free_variables():
+        return
+    simplified = simplify(term)
+    assert simplified.is_true() or simplified.is_false()
+    assert simplified.value == term.evaluate({})

@@ -1,0 +1,223 @@
+"""Unit and property tests for the CDCL SAT solver."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.smt.sat import SatSolver, solve_clauses
+
+
+def brute_force(num_vars, clauses):
+    for bits in itertools.product([False, True], repeat=num_vars):
+        assignment = {i + 1: bits[i] for i in range(num_vars)}
+        if all(
+            any(assignment[abs(l)] == (l > 0) for l in clause) for clause in clauses
+        ):
+            return True
+    return False
+
+
+def check_model(clauses, assignment):
+    return all(
+        any(assignment.get(abs(l), False) == (l > 0) for l in clause)
+        for clause in clauses
+    )
+
+
+class TestBasics:
+    def test_empty_formula_is_sat(self):
+        assert solve_clauses(0, []).satisfiable
+
+    def test_unit_clause(self):
+        result = solve_clauses(1, [[1]])
+        assert result.satisfiable
+        assert result.assignment[1] is True
+
+    def test_contradicting_units(self):
+        assert not solve_clauses(1, [[1], [-1]]).satisfiable
+
+    def test_empty_clause_unsat(self):
+        assert not solve_clauses(1, [[]]).satisfiable
+
+    def test_tautological_clause_dropped(self):
+        result = solve_clauses(1, [[1, -1]])
+        assert result.satisfiable
+
+    def test_duplicate_literals_deduplicated(self):
+        result = solve_clauses(1, [[1, 1, 1]])
+        assert result.satisfiable
+        assert result.assignment[1] is True
+
+    def test_out_of_range_literal_rejected(self):
+        solver = SatSolver(2)
+        with pytest.raises(ValueError):
+            solver.add_clause([3])
+        with pytest.raises(ValueError):
+            solver.add_clause([0])
+
+    def test_simple_propagation_chain(self):
+        clauses = [[1], [-1, 2], [-2, 3], [-3, 4]]
+        result = solve_clauses(4, clauses)
+        assert result.satisfiable
+        assert all(result.assignment[v] for v in (1, 2, 3, 4))
+
+    def test_requires_backtracking(self):
+        # (1|2) & (1|-2) & (-1|2) forces 1=T,2=T
+        clauses = [[1, 2], [1, -2], [-1, 2]]
+        result = solve_clauses(2, clauses)
+        assert result.satisfiable
+        assert result.assignment[1] and result.assignment[2]
+
+
+class TestStructuredInstances:
+    def test_pigeonhole_3_into_2_unsat(self):
+        # Variables p[i][j] = pigeon i in hole j; i in 0..2, j in 0..1.
+        def var(i, j):
+            return i * 2 + j + 1
+
+        clauses = []
+        for i in range(3):
+            clauses.append([var(i, 0), var(i, 1)])
+        for j in range(2):
+            for i1 in range(3):
+                for i2 in range(i1 + 1, 3):
+                    clauses.append([-var(i1, j), -var(i2, j)])
+        assert not solve_clauses(6, clauses).satisfiable
+
+    def test_graph_coloring_triangle_2_colors_unsat(self):
+        # v in {0,1,2}, colors {0,1}: x[v][c]
+        def var(v, color):
+            return v * 2 + color + 1
+
+        clauses = []
+        for v in range(3):
+            clauses.append([var(v, 0), var(v, 1)])
+        for u, v in [(0, 1), (1, 2), (0, 2)]:
+            for color in range(2):
+                clauses.append([-var(u, color), -var(v, color)])
+        assert not solve_clauses(6, clauses).satisfiable
+
+    def test_graph_coloring_triangle_3_colors_sat(self):
+        def var(v, color):
+            return v * 3 + color + 1
+
+        clauses = []
+        for v in range(3):
+            clauses.append([var(v, 0), var(v, 1), var(v, 2)])
+        for u, v in [(0, 1), (1, 2), (0, 2)]:
+            for color in range(3):
+                clauses.append([-var(u, color), -var(v, color)])
+        result = solve_clauses(9, clauses)
+        assert result.satisfiable
+        assert check_model(clauses, result.assignment)
+
+    def test_at_least_one_long_chain_xor_like(self):
+        # Parity-ish chain that exercises learning.
+        clauses = []
+        n = 20
+        for i in range(1, n):
+            clauses.append([-i, i + 1])
+        clauses.append([1])
+        clauses.append([-n])
+        assert not solve_clauses(n, clauses).satisfiable
+
+
+class TestRandomized:
+    def test_random_3sat_matches_brute_force(self):
+        rng = random.Random(12345)
+        for trial in range(60):
+            num_vars = rng.randint(3, 8)
+            num_clauses = rng.randint(1, 24)
+            clauses = []
+            for _ in range(num_clauses):
+                width = rng.randint(1, 3)
+                clause = [
+                    rng.choice([1, -1]) * rng.randint(1, num_vars)
+                    for _ in range(width)
+                ]
+                clauses.append(clause)
+            expected = brute_force(num_vars, clauses)
+            result = solve_clauses(num_vars, clauses)
+            assert result.satisfiable == expected, f"trial {trial}: {clauses}"
+            if result.satisfiable:
+                assert check_model(clauses, result.assignment)
+
+    def test_larger_random_instances_return_verified_models(self):
+        rng = random.Random(999)
+        for _ in range(10):
+            num_vars = 60
+            clauses = []
+            for _ in range(180):
+                clause = rng.sample(range(1, num_vars + 1), 3)
+                clauses.append([lit * rng.choice([1, -1]) for lit in clause])
+            result = solve_clauses(num_vars, clauses)
+            if result.satisfiable:
+                assert check_model(clauses, result.assignment)
+
+
+class TestAssumptions:
+    def test_assumption_forces_value(self):
+        solver = SatSolver(2)
+        solver.add_clause([1, 2])
+        result = solver.solve(assumptions=[-1])
+        assert result.satisfiable
+        assert result.assignment[2] is True
+
+    def test_conflicting_assumption(self):
+        solver = SatSolver(1)
+        solver.add_clause([1])
+        result = solver.solve(assumptions=[-1])
+        assert not result.satisfiable
+
+    def test_statistics_populated(self):
+        clauses = [[1, 2], [-1, 2], [1, -2], [-1, -2]]
+        result = solve_clauses(2, clauses)
+        assert not result.satisfiable
+        assert result.conflicts >= 1
+
+
+class TestStress:
+    """Larger randomized instances cross-checked against brute force."""
+
+    def test_medium_random_3sat(self):
+        rng = random.Random(2024)
+        for trial in range(25):
+            num_vars = rng.randint(9, 13)
+            num_clauses = rng.randint(num_vars, num_vars * 5)
+            clauses = []
+            for _ in range(num_clauses):
+                clause = rng.sample(range(1, num_vars + 1), 3)
+                clauses.append([lit * rng.choice([1, -1]) for lit in clause])
+            expected = brute_force(num_vars, clauses)
+            result = solve_clauses(num_vars, clauses)
+            assert result.satisfiable == expected, f"trial {trial}"
+            if result.satisfiable:
+                assert check_model(clauses, result.assignment)
+
+    def test_pigeonhole_4_into_3_unsat(self):
+        def var(i, j):
+            return i * 3 + j + 1
+
+        clauses = []
+        for i in range(4):
+            clauses.append([var(i, j) for j in range(3)])
+        for j in range(3):
+            for i1 in range(4):
+                for i2 in range(i1 + 1, 4):
+                    clauses.append([-var(i1, j), -var(i2, j)])
+        result = solve_clauses(12, clauses)
+        assert not result.satisfiable
+        assert result.conflicts > 0
+
+    def test_many_solutions_instance(self):
+        # A loose formula: every returned model must check out.
+        rng = random.Random(77)
+        num_vars = 40
+        clauses = [
+            [lit * rng.choice([1, -1]) for lit in rng.sample(range(1, num_vars + 1), 5)]
+            for _ in range(60)
+        ]
+        result = solve_clauses(num_vars, clauses)
+        assert result.satisfiable
+        assert check_model(clauses, result.assignment)

@@ -1,0 +1,189 @@
+"""Tests for the public decision-procedure API."""
+
+from hypothesis import given, settings
+
+from repro.smt import (
+    And,
+    BoolVar,
+    EnumSort,
+    EnumVar,
+    Eq,
+    FALSE,
+    Implies,
+    IntVar,
+    Le,
+    Lt,
+    Model,
+    Ne,
+    Not,
+    Or,
+    TRUE,
+    check_sat,
+    count_models,
+    entails,
+    equivalent,
+    is_satisfiable,
+    is_valid,
+    iter_models,
+    simplify,
+)
+
+from .strategies import (
+    all_assignments,
+    brute_force_model_count,
+    brute_force_satisfiable,
+    terms_strategy,
+)
+
+a, b = BoolVar("a"), BoolVar("b")
+x = IntVar("x", range(0, 5))
+
+
+class TestCheckSat:
+    def test_model_satisfies_input(self):
+        term = And(Or(a, b), Ne(x, 0), Le(x, 2))
+        model = check_sat(term)
+        assert model is not None
+        assert model.satisfies(term)
+
+    def test_unsat_returns_none(self):
+        assert check_sat(And(Eq(x, 1), Eq(x, 2))) is None
+
+    def test_trivially_true(self):
+        assert check_sat(TRUE) is not None
+
+    def test_trivially_false(self):
+        assert check_sat(FALSE) is None
+
+
+class TestJudgments:
+    def test_is_valid(self):
+        assert is_valid(Or(a, Not(a)))
+        assert not is_valid(a)
+
+    def test_entails(self):
+        assert entails(And(a, b), a)
+        assert not entails(a, And(a, b))
+        assert entails(Eq(x, 2), Le(x, 3))
+
+    def test_equivalent(self):
+        assert equivalent(Implies(a, b), Or(Not(a), b))
+        assert not equivalent(a, b)
+
+    def test_simplify_equivalence_bridge(self):
+        term = And(Or(a, Not(a)), Implies(FALSE, b), Le(x, 10))
+        assert equivalent(term, simplify(term))
+
+
+class TestModelEnumeration:
+    def test_iter_models_exact(self):
+        values = sorted(m["x"] for m in iter_models(Or(Eq(x, 1), Eq(x, 3))))
+        assert values == [1, 3]
+
+    def test_count_models_bool(self):
+        assert count_models(Or(a, b)) == 3
+
+    def test_count_models_mixed(self):
+        term = And(a, Lt(x, 2))
+        assert count_models(term) == 2  # x in {0,1}, a=True
+
+    def test_limit_respected(self):
+        models = list(iter_models(Or(a, b), limit=2))
+        assert len(models) == 2
+
+    def test_ground_formula_yields_one_model(self):
+        assert count_models(TRUE) == 1
+
+    def test_models_are_distinct(self):
+        models = [tuple(sorted(m.assignment.items())) for m in iter_models(Or(a, b))]
+        assert len(models) == len(set(models))
+
+
+class TestModelClass:
+    def test_mapping_protocol(self):
+        model = Model({"a": True, "x": 3})
+        assert model["a"] is True
+        assert model[x] == 3
+        assert "a" in model
+        assert model.get("zz") is None
+        assert len(model) == 2
+        assert set(iter(model)) == {"a", "x"}
+
+    def test_restrict(self):
+        model = Model({"a": True, "x": 3})
+        restricted = model.restrict([x])
+        assert "a" not in restricted
+        assert restricted["x"] == 3
+
+    def test_as_substitution(self):
+        model = Model({"x": 3})
+        substitution = model.as_substitution([x])
+        assert substitution[x].value == 3
+
+    def test_str(self):
+        assert str(Model({"a": True})) == "{a=True}"
+
+
+class TestEnumSolving:
+    def test_enum_model(self):
+        sort = EnumSort("SActionT", ("permit", "deny"))
+        act = EnumVar("act", sort)
+        model = check_sat(Eq(act, "deny"))
+        assert model is not None
+        assert model["act"] == "deny"
+
+    def test_enum_exhaustive(self):
+        sort = EnumSort("SActionT2", ("permit", "deny"))
+        act = EnumVar("act2", sort)
+        assert count_models(Or(Eq(act, "permit"), Eq(act, "deny"))) == 2
+
+
+class TestAgainstBruteForce:
+    @given(terms_strategy())
+    @settings(max_examples=120, deadline=None)
+    def test_satisfiability_matches(self, term):
+        assert is_satisfiable(term) == brute_force_satisfiable(term)
+
+    @given(terms_strategy(max_leaves=8))
+    @settings(max_examples=60, deadline=None)
+    def test_model_count_matches(self, term):
+        # Only free variables of the term are enumerated by the oracle;
+        # iter_models also only blocks on free variables, so the counts
+        # must coincide (with 1 model for ground satisfiable terms).
+        expected = brute_force_model_count(term)
+        if not term.free_variables():
+            expected = 1 if term.evaluate({}) else 0
+        assert count_models(term) == expected
+
+    @given(terms_strategy(max_leaves=10))
+    @settings(max_examples=60, deadline=None)
+    def test_returned_models_satisfy(self, term):
+        model = check_sat(term)
+        if model is not None:
+            assert model.satisfies(term)
+
+
+class TestPrinters:
+    def test_to_sexpr(self):
+        from repro.smt import to_sexpr
+
+        term = And(Or(a, Not(b)), Le(x, 3))
+        text = to_sexpr(term)
+        assert text == "(and (or a (not b)) (<= x 3))"
+        assert to_sexpr(TRUE) == "true"
+        assert to_sexpr(FALSE) == "false"
+
+    def test_to_sexpr_plus_and_ite(self):
+        from repro.smt import Ite, Plus, to_sexpr
+
+        term = Eq(Plus(x, 2), 4)
+        assert to_sexpr(term) == "(= (+ x 2) 4)"
+        ite_term = Eq(Ite(a, 1, 2), x)
+        assert "(ite a 1 2)" in to_sexpr(ite_term)
+
+    def test_render_conjunction(self):
+        from repro.smt import render_conjunction
+
+        term = And(a, Le(x, 3))
+        rendered = render_conjunction(term)
+        assert rendered.splitlines() == ["  a", "  x <= 3"]

@@ -1,0 +1,228 @@
+"""Unit tests for the hash-consed term representation."""
+
+import pytest
+
+from repro.smt import (
+    And,
+    BOOL,
+    BoolVar,
+    EnumSort,
+    EnumVal,
+    EnumVar,
+    Eq,
+    FALSE,
+    INT,
+    IntVal,
+    IntVar,
+    Implies,
+    Ite,
+    Le,
+    Lt,
+    Not,
+    Or,
+    SortError,
+    TRUE,
+    Term,
+)
+from repro.smt.terms import fresh_name
+
+
+class TestHashConsing:
+    def test_equal_structure_is_identical_object(self):
+        a1 = BoolVar("a")
+        a2 = BoolVar("a")
+        assert a1 is a2
+
+    def test_compound_terms_are_interned(self):
+        a, b = BoolVar("a"), BoolVar("b")
+        assert And(a, b) is And(a, b)
+        assert Or(a, b) is Or(a, b)
+        assert And(a, b) is not And(b, a)
+
+    def test_int_vars_interned_by_domain(self):
+        x1 = IntVar("x", (1, 2, 3))
+        x2 = IntVar("x", (3, 2, 1))  # same set, different order
+        x3 = IntVar("x", (1, 2))
+        assert x1 is x2
+        assert x1 is not x3
+
+    def test_constants_interned(self):
+        assert IntVal(5) is IntVal(5)
+        assert TRUE is Term.const(True)
+
+
+class TestSorts:
+    def test_bool_var_has_bool_sort(self):
+        assert BoolVar("a").sort is BOOL
+
+    def test_int_var_requires_domain(self):
+        with pytest.raises(SortError):
+            Term.var("x", INT)
+
+    def test_int_var_empty_domain_rejected(self):
+        with pytest.raises(SortError):
+            IntVar("x", ())
+
+    def test_bool_var_rejects_domain(self):
+        with pytest.raises(SortError):
+            Term.var("a", BOOL, domain=(0, 1))
+
+    def test_enum_sort_values(self):
+        action = EnumSort("ActionT", ("permit", "deny"))
+        assert action.values == ("permit", "deny")
+        assert action.index_of("deny") == 1
+        assert "permit" in action
+        assert "reject" not in action
+
+    def test_enum_sort_duplicate_values_rejected(self):
+        with pytest.raises(ValueError):
+            EnumSort("BadEnum", ("a", "a"))
+
+    def test_enum_sort_empty_rejected(self):
+        with pytest.raises(ValueError):
+            EnumSort("EmptyEnum", ())
+
+    def test_enum_sort_interned(self):
+        e1 = EnumSort("Shared", ("a", "b"))
+        e2 = EnumSort("Shared", ("a", "b"))
+        assert e1 is e2
+
+    def test_enum_const_must_be_member(self):
+        action = EnumSort("ActionT2", ("permit", "deny"))
+        assert EnumVal(action, "permit").value == "permit"
+        with pytest.raises(SortError):
+            EnumVal(action, "drop")
+
+    def test_variable_name_must_be_nonempty(self):
+        with pytest.raises(ValueError):
+            BoolVar("")
+
+
+class TestAccessors:
+    def test_name_and_value(self):
+        x = IntVar("x", (1, 2))
+        assert x.name == "x"
+        assert IntVal(7).value == 7
+        with pytest.raises(ValueError):
+            IntVal(7).name
+        with pytest.raises(ValueError):
+            x.value
+
+    def test_value_domain(self):
+        assert IntVar("x", (2, 1)).value_domain() == (1, 2)
+        assert BoolVar("a").value_domain() == (False, True)
+        action = EnumSort("ActionT3", ("permit", "deny"))
+        assert EnumVar("act", action).value_domain() == ("permit", "deny")
+
+    def test_free_variables(self):
+        a, b = BoolVar("a"), BoolVar("b")
+        x = IntVar("x", (0, 1))
+        term = And(a, Or(b, Eq(x, 1)))
+        assert term.free_variables() == frozenset({a, b, x})
+        assert TRUE.free_variables() == frozenset()
+
+    def test_size_and_depth(self):
+        a, b = BoolVar("a"), BoolVar("b")
+        assert a.size() == 1
+        assert And(a, b).size() == 3
+        assert And(a, Not(b)).depth() == 3
+
+    def test_conjuncts(self):
+        a, b = BoolVar("a"), BoolVar("b")
+        assert And(a, b).conjuncts() == (a, b)
+        assert a.conjuncts() == (a,)
+
+    def test_iter_subterms_unique_and_bottom_up(self):
+        a = BoolVar("a")
+        term = And(a, Not(a))
+        subterms = list(term.iter_subterms())
+        assert len(subterms) == len(set(subterms)) == 3
+        assert subterms.index(a) < subterms.index(Not(a))
+        assert subterms[-1] is term
+
+    def test_atoms(self):
+        a = BoolVar("a")
+        x = IntVar("x", (0, 1))
+        term = And(a, Not(Eq(x, 1)), TRUE)
+        assert term.atoms() == frozenset({a, Eq(x, 1)})
+
+
+class TestEvaluate:
+    def test_connectives(self):
+        a, b = BoolVar("a"), BoolVar("b")
+        env = {"a": True, "b": False}
+        assert And(a, b).evaluate(env) is False
+        assert Or(a, b).evaluate(env) is True
+        assert Not(b).evaluate(env) is True
+        assert Implies(a, b).evaluate(env) is False
+        assert Implies(b, a).evaluate(env) is True
+
+    def test_relations(self):
+        x = IntVar("x", range(10))
+        env = {"x": 4}
+        assert Eq(x, 4).evaluate(env) is True
+        assert Le(x, 3).evaluate(env) is False
+        assert Lt(x, 5).evaluate(env) is True
+
+    def test_ite_value(self):
+        a = BoolVar("a")
+        x = IntVar("x", range(4))
+        term = Eq(Ite(a, IntVal(1), IntVal(2)), x)
+        assert term.evaluate({"a": True, "x": 1}) is True
+        assert term.evaluate({"a": False, "x": 1}) is False
+
+    def test_missing_variable_raises(self):
+        with pytest.raises(KeyError):
+            BoolVar("missing").evaluate({})
+
+    def test_ill_sorted_assignment_raises(self):
+        with pytest.raises(SortError):
+            BoolVar("a").evaluate({"a": 3})
+        with pytest.raises(SortError):
+            Eq(IntVar("x", (0, 1)), 1).evaluate({"x": True})
+
+    def test_enum_evaluation(self):
+        action = EnumSort("ActionT4", ("permit", "deny"))
+        act = EnumVar("act", action)
+        term = Eq(act, EnumVal(action, "deny"))
+        assert term.evaluate({"act": "deny"}) is True
+        assert term.evaluate({"act": "permit"}) is False
+        with pytest.raises(SortError):
+            term.evaluate({"act": "bogus"})
+
+
+class TestSubstitute:
+    def test_variable_substitution(self):
+        a, b = BoolVar("a"), BoolVar("b")
+        term = And(a, Or(a, b))
+        replaced = term.substitute({a: TRUE})
+        assert replaced is And(TRUE, Or(TRUE, b))
+
+    def test_empty_substitution_is_identity(self):
+        term = And(BoolVar("a"), BoolVar("b"))
+        assert term.substitute({}) is term
+
+    def test_subterm_substitution(self):
+        a, b, c = BoolVar("a"), BoolVar("b"), BoolVar("c")
+        term = Or(And(a, b), c)
+        replaced = term.substitute({And(a, b): FALSE})
+        assert replaced is Or(FALSE, c)
+
+    def test_sort_mismatch_rejected(self):
+        x = IntVar("x", (0, 1))
+        with pytest.raises(SortError):
+            Eq(x, 1).substitute({x: TRUE})
+
+    def test_substitution_does_not_recurse_into_replacement(self):
+        a, b = BoolVar("a"), BoolVar("b")
+        term = Not(a)
+        replaced = term.substitute({a: And(a, b)})
+        assert replaced is Not(And(a, b))
+
+
+class TestFreshName:
+    def test_prefers_bare_prefix(self):
+        assert fresh_name("v", ["w"]) == "v"
+
+    def test_appends_counter(self):
+        assert fresh_name("v", ["v", "v.1"]) == "v.2"

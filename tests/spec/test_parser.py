@@ -1,0 +1,231 @@
+"""Tests for the specification DSL tokenizer/parser/printer."""
+
+import pytest
+
+from repro.spec import (
+    ForbiddenPath,
+    ParseError,
+    PathPreference,
+    PreferenceMode,
+    Reachability,
+    RequirementBlock,
+    SpecError,
+    Specification,
+    format_block,
+    format_specification,
+    format_statement,
+    parse,
+    parse_block,
+    parse_statement,
+    tokenize,
+)
+from repro.topology import PathPattern, WILDCARD
+
+
+class TestTokenizer:
+    def test_basic_tokens(self):
+        tokens = tokenize("Req1 { !(P1 -> ... -> P2) }")
+        kinds = [token.kind for token in tokens]
+        assert kinds == [
+            "IDENT", "LBRACE", "BANG", "LPAREN", "IDENT", "ARROW",
+            "ELLIPSIS", "ARROW", "IDENT", "RPAREN", "RBRACE",
+        ]
+
+    def test_comments_dropped(self):
+        tokens = tokenize("// a comment\nReq1 // trailing\n{ }")
+        assert [token.text for token in tokens] == ["Req1", "{", "}"]
+
+    def test_line_numbers(self):
+        tokens = tokenize("a\nb")
+        assert tokens[0].line == 1
+        assert tokens[1].line == 2
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError, match="unexpected character"):
+            tokenize("Req1 @ {}")
+
+    def test_prefer_vs_arrow(self):
+        tokens = tokenize("a >> b -> c")
+        assert [token.kind for token in tokens] == ["IDENT", "PREFER", "IDENT", "ARROW", "IDENT"]
+
+
+class TestStatementParsing:
+    def test_forbidden(self):
+        statement = parse_statement("!(P1 -> ... -> P2)")
+        assert isinstance(statement, ForbiddenPath)
+        assert str(statement.pattern) == "P1 -> ... -> P2"
+
+    def test_reachability(self):
+        statement = parse_statement("(P1 -> ... -> C)")
+        assert isinstance(statement, Reachability)
+        assert statement.source == "P1"
+        assert statement.destination == "C"
+
+    def test_preference_default_mode_is_block(self):
+        statement = parse_statement("(A -> X -> B) >> (A -> Y -> B)")
+        assert isinstance(statement, PathPreference)
+        assert statement.mode == PreferenceMode.BLOCK
+        assert len(statement.ranked) == 2
+
+    def test_preference_fallback_keyword(self):
+        statement = parse_statement("(A -> X -> B) >> (A -> Y -> B) fallback")
+        assert statement.mode == PreferenceMode.FALLBACK
+
+    def test_preference_three_way(self):
+        statement = parse_statement("(A -> X -> B) >> (A -> Y -> B) >> (A -> Z -> B)")
+        assert len(statement.ranked) == 3
+
+    def test_preference_block_form(self):
+        block = parse_block(
+            "R3 { preference { (R3 -> R1 -> P1 -> ... -> D1) >> (R3 -> R2 -> P2 -> ... -> D1) } }"
+        )
+        assert isinstance(block.statements[0], PathPreference)
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_statement("!(A -> B) extra")
+
+    def test_unclosed_paren(self):
+        with pytest.raises(ParseError):
+            parse_statement("!(A -> B")
+
+    def test_bad_element(self):
+        with pytest.raises(ParseError):
+            parse_statement("!(A -> >>)")
+
+
+class TestBlockAndSpecParsing:
+    PAPER_SPEC = """
+    // No transit traffic
+    Req1 {
+      !(P1 -> ... -> P2)
+      !(P2 -> ... -> P1)
+    }
+
+    // For D1, prefer routes through P1 over routes through P2
+    Req2 {
+      (C -> R3 -> R1 -> P1 -> ... -> D1)
+        >> (C -> R3 -> R2 -> P2 -> ... -> D1)
+    }
+    """
+
+    def test_paper_figures_parse(self):
+        spec = parse(self.PAPER_SPEC, managed=["R1", "R2", "R3"])
+        assert [block.name for block in spec.blocks] == ["Req1", "Req2"]
+        req1 = spec.block("Req1")
+        assert len(req1.forbidden()) == 2
+        req2 = spec.block("Req2")
+        assert len(req2.preferences()) == 1
+        assert spec.managed == frozenset({"R1", "R2", "R3"})
+
+    def test_empty_block(self):
+        block = parse_block("R3 { }")
+        assert block.is_empty
+
+    def test_duplicate_block_names_rejected(self):
+        with pytest.raises(SpecError):
+            parse("A { } A { }")
+
+    def test_block_lookup(self):
+        spec = parse("A { } B { !(X -> Y) }")
+        assert spec.block("B").forbidden()
+        with pytest.raises(SpecError):
+            spec.block("C")
+
+    def test_restricted_to(self):
+        spec = parse(self.PAPER_SPEC)
+        only_req1 = spec.restricted_to("Req1")
+        assert [block.name for block in only_req1.blocks] == ["Req1"]
+
+    def test_with_block_and_managed(self):
+        spec = parse("A { }")
+        extended = spec.with_block(RequirementBlock("B")).with_managed(["R1"])
+        assert [b.name for b in extended.blocks] == ["A", "B"]
+        assert extended.managed == frozenset({"R1"})
+        # The original specification is unchanged.
+        assert [b.name for b in spec.blocks] == ["A"]
+
+    def test_is_managed_empty_means_all(self):
+        spec = parse("A { }")
+        assert spec.is_managed("anything")
+        scoped = spec.with_managed(["R1"])
+        assert scoped.is_managed("R1")
+        assert not scoped.is_managed("P1")
+
+
+class TestAstValidation:
+    def test_preference_needs_two_paths(self):
+        with pytest.raises(SpecError):
+            PathPreference((PathPattern.exact("A", "B"),))
+
+    def test_preference_shared_source(self):
+        with pytest.raises(SpecError):
+            PathPreference(
+                (PathPattern.exact("A", "B"), PathPattern.exact("C", "B"))
+            )
+
+    def test_preference_shared_destination(self):
+        with pytest.raises(SpecError):
+            PathPreference(
+                (PathPattern.exact("A", "B"), PathPattern.exact("A", "C"))
+            )
+
+    def test_preference_wildcard_source_rejected(self):
+        with pytest.raises(SpecError):
+            PathPreference(
+                (
+                    PathPattern.of(WILDCARD, "B"),
+                    PathPattern.of(WILDCARD, "B"),
+                )
+            )
+
+    def test_preference_bad_mode(self):
+        with pytest.raises(SpecError):
+            PathPreference(
+                (PathPattern.exact("A", "B"), PathPattern.exact("A", "X", "B")),
+                mode="maybe",
+            )
+
+    def test_reachability_needs_concrete_endpoints(self):
+        with pytest.raises(SpecError):
+            Reachability(PathPattern.of(WILDCARD, "B"))
+
+    def test_block_needs_name(self):
+        with pytest.raises(SpecError):
+            RequirementBlock("")
+
+
+class TestRoundTrip:
+    CASES = [
+        "Req1 {\n  !(P1 -> ... -> P2)\n}",
+        "R1 {\n  !(R1 -> P1)\n}",
+        "R3 { }",
+        (
+            "Req2 {\n  preference {\n    (C -> R3 -> R1 -> P1 -> ... -> D1)\n"
+            "      >> (C -> R3 -> R2 -> P2 -> ... -> D1)\n  }\n}"
+        ),
+        "F {\n  preference {\n    (A -> X -> B)\n      >> (A -> Y -> B) fallback\n  }\n}",
+        "Mix {\n  !(A -> B)\n  (P -> ... -> Q)\n}",
+    ]
+
+    @pytest.mark.parametrize("text", CASES)
+    def test_format_parse_roundtrip(self, text):
+        block = parse_block(text)
+        again = parse_block(format_block(block))
+        assert again == block
+
+    def test_specification_roundtrip(self):
+        spec = parse(TestBlockAndSpecParsing.PAPER_SPEC)
+        again = parse(format_specification(spec))
+        assert again.blocks == spec.blocks
+
+    def test_statement_formatting(self):
+        statement = parse_statement("!(A -> ... -> B)")
+        assert format_statement(statement) == "!(A -> ... -> B)"
+
+    def test_empty_block_formatting(self):
+        assert format_block(RequirementBlock("R3")) == "R3 { }"
+
+    def test_managed_scope_comment(self):
+        spec = parse("A { }", managed=["R2", "R1"])
+        assert "// managed routers: R1, R2" in format_specification(spec)

@@ -1,0 +1,113 @@
+"""Property tests for the specification DSL: random ASTs round-trip
+through the printer and parser."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.spec import (
+    ForbiddenPath,
+    PathPreference,
+    PreferenceMode,
+    Reachability,
+    RequirementBlock,
+    Specification,
+    format_specification,
+    parse,
+)
+from repro.topology import PathPattern, WILDCARD
+
+NAMES = ["R1", "R2", "P1", "P2", "C", "D1", "FW", "CORE"]
+
+
+@st.composite
+def pattern_strategy(draw, min_names=1):
+    """A valid path pattern: names (no immediate repeats) with optional
+    wildcards, at least one concrete router."""
+    count = draw(st.integers(min_value=min_names, max_value=4))
+    names = draw(
+        st.lists(
+            st.sampled_from(NAMES), min_size=count, max_size=count, unique=True
+        )
+    )
+    elements = []
+    for index, name in enumerate(names):
+        if index > 0 and draw(st.booleans()):
+            elements.append(WILDCARD)
+        elements.append(name)
+    return PathPattern(tuple(elements))
+
+
+@st.composite
+def anchored_pattern_strategy(draw, source, target):
+    middle_count = draw(st.integers(min_value=0, max_value=2))
+    middles = draw(
+        st.lists(
+            st.sampled_from([n for n in NAMES if n not in (source, target)]),
+            min_size=middle_count,
+            max_size=middle_count,
+            unique=True,
+        )
+    )
+    elements = [source]
+    for name in middles:
+        if draw(st.booleans()):
+            elements.append(WILDCARD)
+        elements.append(name)
+    if draw(st.booleans()):
+        elements.append(WILDCARD)
+    elements.append(target)
+    return PathPattern(tuple(elements))
+
+
+@st.composite
+def statement_strategy(draw):
+    kind = draw(st.sampled_from(["forbidden", "reach", "preference"]))
+    if kind == "forbidden":
+        return ForbiddenPath(draw(pattern_strategy()))
+    if kind == "reach":
+        source, target = draw(
+            st.lists(st.sampled_from(NAMES), min_size=2, max_size=2, unique=True)
+        )
+        return Reachability(draw(anchored_pattern_strategy(source, target)))
+    source, target = draw(
+        st.lists(st.sampled_from(NAMES), min_size=2, max_size=2, unique=True)
+    )
+    count = draw(st.integers(min_value=2, max_value=3))
+    ranked = tuple(
+        draw(anchored_pattern_strategy(source, target)) for _ in range(count)
+    )
+    mode = draw(st.sampled_from(list(PreferenceMode.ALL)))
+    return PathPreference(ranked, mode)
+
+
+@st.composite
+def specification_strategy(draw):
+    block_count = draw(st.integers(min_value=1, max_value=3))
+    blocks = []
+    for index in range(block_count):
+        statements = tuple(
+            draw(statement_strategy())
+            for _ in range(draw(st.integers(min_value=0, max_value=3)))
+        )
+        blocks.append(RequirementBlock(f"Req{index}", statements))
+    managed = frozenset(
+        draw(st.lists(st.sampled_from(NAMES), max_size=3, unique=True))
+    )
+    return Specification(tuple(blocks), managed)
+
+
+@given(specification_strategy())
+@settings(max_examples=200, deadline=None)
+def test_format_parse_roundtrip(spec):
+    text = format_specification(spec)
+    again = parse(text, managed=sorted(spec.managed))
+    assert again.blocks == spec.blocks
+    assert again.managed == spec.managed
+
+
+@given(statement_strategy())
+@settings(max_examples=200, deadline=None)
+def test_statement_str_reparses(statement):
+    from repro.spec import format_statement, parse_statement
+
+    again = parse_statement(format_statement(statement))
+    assert again == statement

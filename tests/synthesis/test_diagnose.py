@@ -1,0 +1,75 @@
+"""Tests for unrealizability diagnosis."""
+
+import pytest
+
+from repro.scenarios import MANAGED, scenario1
+from repro.spec import parse
+from repro.synthesis import Conflict, diagnose
+
+
+@pytest.fixture(scope="module")
+def sketch():
+    return scenario1().sketch
+
+
+class TestDiagnose:
+    def test_realizable_spec_returns_none(self, sketch):
+        scenario = scenario1()
+        assert diagnose(sketch, scenario.specification) is None
+
+    def test_direct_requirement_conflict(self, sketch):
+        spec = parse(
+            """
+            Block { !(P1 -> R1 -> ... -> C) }
+            Reach { (P1 -> R1 -> ... -> C) }
+            """,
+            managed=MANAGED,
+        )
+        conflict = diagnose(sketch, spec)
+        assert conflict is not None
+        assert set(conflict.blocks) == {"Block", "Reach"}
+        assert len(conflict.statements) == 2
+
+    def test_single_statement_conflict_with_protocol(self, sketch):
+        # Requiring the longer transit path to be selected at P1 cannot
+        # be realized: the external P2 -> D1 -> P1 route is shorter and
+        # no managed knob changes P1's preference.
+        spec = parse("Impossible { (P1 -> R1 -> R2 -> P2) }", managed=MANAGED)
+        conflict = diagnose(sketch, spec)
+        assert conflict is not None
+        assert len(conflict.statements) == 1
+        block, statement = conflict.statements[0]
+        assert block == "Impossible"
+
+    def test_conflict_rendering(self, sketch):
+        spec = parse(
+            """
+            Block { !(P1 -> R1 -> ... -> C) }
+            Reach { (P1 -> R1 -> ... -> C) }
+            """,
+            managed=MANAGED,
+        )
+        conflict = diagnose(sketch, spec)
+        text = conflict.render()
+        assert "conflicting requirements" in text
+        assert "[Block]" in text
+        assert "[Reach]" in text
+        assert str(conflict) == text
+
+    def test_irrelevant_requirements_excluded(self, sketch):
+        """The no-transit statements are realizable and must not appear
+        in the core of an unrelated conflict."""
+        spec = parse(
+            """
+            Req1 {
+              !(P1 -> ... -> P2)
+              !(P2 -> ... -> P1)
+            }
+            Block { !(P1 -> R1 -> ... -> C) }
+            Reach { (P1 -> R1 -> ... -> C) }
+            """,
+            managed=MANAGED,
+        )
+        conflict = diagnose(sketch, spec)
+        assert conflict is not None
+        assert "Req1" not in conflict.blocks

@@ -1,0 +1,79 @@
+"""Tests for the hole <-> SMT variable registry."""
+
+import pytest
+
+from repro.bgp import Hole
+from repro.synthesis import HoleEncoder
+from repro.topology import Prefix
+
+
+class TestRegistration:
+    def test_int_domain_becomes_int_var(self):
+        encoder = HoleEncoder()
+        variable = encoder.register(Hole("lp", (100, 200, 300)))
+        assert variable.sort.is_int()
+        assert variable.value_domain() == (100, 200, 300)
+
+    def test_string_domain_becomes_enum_var(self):
+        encoder = HoleEncoder()
+        variable = encoder.register(Hole("act", ("permit", "deny")))
+        assert variable.sort.is_enum()
+        assert variable.value_domain() == ("permit", "deny")
+
+    def test_mixed_domain_becomes_enum_var(self):
+        encoder = HoleEncoder()
+        variable = encoder.register(Hole("param", (100, "10.0.0.1")))
+        assert variable.sort.is_enum()
+
+    def test_object_domain_stringified(self):
+        encoder = HoleEncoder()
+        prefixes = (Prefix("10.0.0.0/24"), Prefix("10.0.1.0/24"))
+        variable = encoder.register(Hole("pfx", prefixes))
+        assert variable.value_domain() == ("10.0.0.0/24", "10.0.1.0/24")
+
+    def test_idempotent_registration(self):
+        encoder = HoleEncoder()
+        hole = Hole("act", ("permit", "deny"))
+        assert encoder.register(hole) is encoder.register(hole)
+        assert len(encoder) == 1
+
+    def test_conflicting_registration_rejected(self):
+        encoder = HoleEncoder()
+        encoder.register(Hole("act", ("permit", "deny")))
+        with pytest.raises(ValueError):
+            encoder.register(Hole("act", ("permit",)))
+
+    def test_lookup(self):
+        encoder = HoleEncoder()
+        hole = Hole("act", ("permit", "deny"))
+        encoder.register(hole)
+        assert encoder.variable("act").name == "act"
+        assert encoder.hole("act") == hole
+        assert encoder.names == ("act",)
+        assert len(encoder.variables) == 1
+
+
+class TestDecoding:
+    def test_decode_returns_domain_objects(self):
+        encoder = HoleEncoder()
+        prefixes = (Prefix("10.0.0.0/24"), Prefix("10.0.1.0/24"))
+        encoder.register(Hole("pfx", prefixes))
+        decoded = encoder.decode_model({"pfx": "10.0.1.0/24"})
+        assert decoded["pfx"] == Prefix("10.0.1.0/24")
+        assert isinstance(decoded["pfx"], Prefix)
+
+    def test_decode_int(self):
+        encoder = HoleEncoder()
+        encoder.register(Hole("lp", (100, 200)))
+        assert encoder.decode_model({"lp": 200}) == {"lp": 200}
+
+    def test_decode_defaults_missing_to_first_domain_value(self):
+        encoder = HoleEncoder()
+        encoder.register(Hole("act", ("permit", "deny")))
+        assert encoder.decode_model({}) == {"act": "permit"}
+
+    def test_decode_out_of_domain_rejected(self):
+        encoder = HoleEncoder()
+        encoder.register(Hole("act", ("permit", "deny")))
+        with pytest.raises(ValueError):
+            encoder.decode_model({"act": "drop"})

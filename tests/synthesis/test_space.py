@@ -1,0 +1,80 @@
+"""Tests for candidate-route enumeration."""
+
+import pytest
+
+from repro.synthesis import Candidate, CandidateSpace, EncodingError
+from repro.topology import Path, Prefix, Topology
+
+
+class TestCandidate:
+    def test_orientation(self):
+        candidate = Candidate(Prefix("10.0.0.0/24"), Path(("O", "M", "R")))
+        assert candidate.origin == "O"
+        assert candidate.router == "R"
+        assert candidate.traffic_path() == Path(("R", "M", "O"))
+
+    def test_parent(self):
+        candidate = Candidate(Prefix("10.0.0.0/24"), Path(("O", "M", "R")))
+        parent = candidate.parent()
+        assert parent is not None
+        assert parent.path == Path(("O", "M"))
+        origin = Candidate(Prefix("10.0.0.0/24"), Path(("O",)))
+        assert origin.parent() is None
+
+    def test_key_is_stable_and_distinct(self):
+        c1 = Candidate(Prefix("10.0.0.0/24"), Path(("O", "R")))
+        c2 = Candidate(Prefix("10.0.0.0/24"), Path(("O", "M", "R")))
+        assert c1.key() != c2.key()
+        assert c1.key() == Candidate(Prefix("10.0.0.0/24"), Path(("O", "R"))).key()
+
+
+class TestCandidateSpace:
+    def test_counts_on_line(self, line_topology):
+        space = CandidateSpace(line_topology)
+        a_pfx = Prefix("10.0.0.0/24")
+        assert [c.path.hops for c in space.at(a_pfx, "A")] == [("A",)]
+        assert [c.path.hops for c in space.at(a_pfx, "B")] == [("A", "B")]
+        assert [c.path.hops for c in space.at(a_pfx, "Z")] == [("A", "B", "Z")]
+
+    def test_square_has_two_candidates_at_far_corner(self, square_topology):
+        space = CandidateSpace(square_topology)
+        s_pfx = Prefix("10.1.0.0/24")
+        hops = {c.path.hops for c in space.at(s_pfx, "T")}
+        assert hops == {("S", "L", "T"), ("S", "R", "T")}
+
+    def test_origin_of(self, hotnets_topology):
+        space = CandidateSpace(hotnets_topology)
+        assert space.origin_of(Prefix("123.0.1.0/24")) == "C"
+        assert space.origin_of(Prefix("200.0.1.0/24")) == "D1"
+
+    def test_through(self, square_topology):
+        space = CandidateSpace(square_topology)
+        through_l = list(space.through("L"))
+        assert all("L" in c.path.hops for c in through_l)
+        assert through_l
+
+    def test_max_path_length_bounds(self, hotnets_topology):
+        unbounded = CandidateSpace(hotnets_topology)
+        bounded = CandidateSpace(hotnets_topology, max_path_length=3)
+        assert len(bounded) < len(unbounded)
+        assert all(len(c.path) <= 3 for c in bounded.all())
+
+    def test_anycast_rejected(self):
+        topo = Topology()
+        shared = Prefix("10.0.0.0/24")
+        topo.add_router("A", asn=1, originated=[shared])
+        topo.add_router("B", asn=2, originated=[shared])
+        topo.add_link("A", "B")
+        with pytest.raises(EncodingError):
+            CandidateSpace(topo)
+
+    def test_deterministic_order(self, hotnets_topology):
+        space1 = CandidateSpace(hotnets_topology)
+        space2 = CandidateSpace(hotnets_topology)
+        assert [c.key() for c in space1.all()] == [c.key() for c in space2.all()]
+
+    def test_candidate_count_is_substantial(self, hotnets_topology):
+        # The encoding quantifies over a meaningful number of routes;
+        # this anchors the paper's ">1000 constraints" observation.
+        space = CandidateSpace(hotnets_topology)
+        assert len(space) > 50

@@ -1,0 +1,305 @@
+"""Tests for symbolic route-map execution.
+
+The key property: on fully concrete route-maps, the symbolic twin
+produces ground terms that fold to exactly what the concrete semantics
+computes, announcement for announcement.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bgp import (
+    Announcement,
+    Community,
+    DEFAULT_LOCAL_PREF,
+    DENY,
+    Hole,
+    MatchAttribute,
+    NetworkConfig,
+    PERMIT,
+    RouteMap,
+    RouteMapLine,
+    SetAttribute,
+    SetClause,
+)
+from repro.smt import FALSE, TRUE, check_sat, is_valid, simplify
+from repro.synthesis import AttributeUniverse, HoleEncoder, SymbolicRoute, apply_routemap_symbolic
+from repro.topology import Prefix, Topology
+
+PFX = Prefix("123.0.1.0/24")
+OTHER = Prefix("99.0.0.0/24")
+C1 = Community(100, 2)
+C2 = Community(100, 3)
+
+
+def make_universe(*configs_routemaps):
+    """A universe over a two-router topology plus the given maps."""
+    topo = Topology("pair")
+    topo.add_router("A", asn=1, originated=[PFX])
+    topo.add_router("B", asn=2, originated=[OTHER])
+    topo.add_link("A", "B")
+    config = NetworkConfig(topo)
+    for index, routemap in enumerate(configs_routemaps):
+        direction = "out" if index % 2 == 0 else "in"
+        owner, neighbor = ("A", "B") if direction == "out" else ("B", "A")
+        config.set_map(owner, direction, neighbor, routemap)
+    configs = [config.router_config(name) for name in topo.router_names]
+    return AttributeUniverse.collect(configs, topo)
+
+
+def concrete_state(universe, prefix=PFX, origin="A"):
+    return SymbolicRoute.originated(prefix, origin, universe)
+
+
+def evaluate_ground(term):
+    """Fold a ground term to a Python value via the rewrite engine."""
+    folded = simplify(term)
+    assert folded.is_const(), f"term is not ground: {folded!r}"
+    return folded.value
+
+
+class TestConcreteAgreement:
+    """Symbolic execution on hole-free maps folds to concrete results."""
+
+    MAPS = [
+        RouteMap.permit_all("permit_all"),
+        RouteMap.deny_all("deny_all"),
+        RouteMap(
+            "prefix_filter",
+            (
+                RouteMapLine(
+                    seq=10,
+                    action=DENY,
+                    match_attr=MatchAttribute.DST_PREFIX,
+                    match_value=PFX,
+                ),
+                RouteMapLine(seq=20, action=PERMIT),
+            ),
+        ),
+        RouteMap(
+            "lp_boost",
+            (
+                RouteMapLine(
+                    seq=10,
+                    action=PERMIT,
+                    sets=(SetClause(SetAttribute.LOCAL_PREF, 250),),
+                ),
+            ),
+        ),
+        RouteMap(
+            "tag_then_deny",
+            (
+                RouteMapLine(
+                    seq=10,
+                    action=DENY,
+                    match_attr=MatchAttribute.COMMUNITY,
+                    match_value=C1,
+                ),
+                RouteMapLine(
+                    seq=20,
+                    action=PERMIT,
+                    sets=(SetClause(SetAttribute.COMMUNITY, C2),),
+                ),
+            ),
+        ),
+        RouteMap(
+            "med_and_nh",
+            (
+                RouteMapLine(
+                    seq=10,
+                    action=PERMIT,
+                    sets=(
+                        SetClause(SetAttribute.MED, 9),
+                        SetClause(SetAttribute.NEXT_HOP, "B"),
+                    ),
+                ),
+            ),
+        ),
+    ]
+
+    @pytest.mark.parametrize("routemap", MAPS, ids=lambda m: m.name)
+    @pytest.mark.parametrize("prefix", [PFX, OTHER], ids=str)
+    def test_permit_and_attributes_agree(self, routemap, prefix):
+        universe = make_universe(routemap)
+        holes = HoleEncoder()
+        state = concrete_state(universe, prefix=prefix)
+        permit_term, out_state = apply_routemap_symbolic(routemap, state, universe, holes)
+
+        announcement = Announcement.originate(prefix, "A")
+        concrete = routemap.apply(announcement)
+
+        assert evaluate_ground(permit_term) == (concrete is not None)
+        if concrete is not None:
+            assert evaluate_ground(out_state.local_pref) == concrete.local_pref
+            assert evaluate_ground(out_state.med) == concrete.med
+            assert evaluate_ground(out_state.next_hop) == concrete.next_hop
+            for community in universe.communities:
+                assert evaluate_ground(out_state.communities[community]) == (
+                    community in concrete.communities
+                )
+
+    def test_tagged_route_through_tag_then_deny(self):
+        routemap = self.MAPS[4]
+        universe = make_universe(routemap)
+        holes = HoleEncoder()
+        state = concrete_state(universe)
+        # Pre-tag the route with C1 so the deny line fires.
+        state.communities[C1] = TRUE
+        permit_term, _ = apply_routemap_symbolic(routemap, state, universe, holes)
+        announcement = Announcement.originate(PFX, "A").with_community(C1)
+        assert evaluate_ground(permit_term) == (routemap.apply(announcement) is not None)
+
+    def test_absent_routemap_is_identity(self):
+        universe = make_universe()
+        holes = HoleEncoder()
+        state = concrete_state(universe)
+        permit_term, out_state = apply_routemap_symbolic(None, state, universe, holes)
+        assert permit_term is TRUE
+        assert out_state is state
+
+
+class TestSymbolicHoles:
+    def test_action_hole_controls_permit(self):
+        hole = Hole("act", (PERMIT, DENY))
+        routemap = RouteMap("RM", (RouteMapLine(seq=10, action=hole),))
+        universe = make_universe(RouteMap.permit_all("other"))
+        holes = HoleEncoder()
+        permit_term, _ = apply_routemap_symbolic(
+            routemap, concrete_state(universe), universe, holes
+        )
+        variable = holes.variable("act")
+        assert permit_term.evaluate({"act": "permit"}) is True
+        assert permit_term.evaluate({"act": "deny"}) is False
+
+    def test_match_value_hole_prefix(self):
+        hole = Hole("pfx", (PFX, OTHER))
+        routemap = RouteMap(
+            "RM",
+            (
+                RouteMapLine(
+                    seq=10,
+                    action=DENY,
+                    match_attr=MatchAttribute.DST_PREFIX,
+                    match_value=hole,
+                ),
+                RouteMapLine(seq=20, action=PERMIT),
+            ),
+        )
+        universe = make_universe(RouteMap.permit_all("other"))
+        holes = HoleEncoder()
+        permit_term, _ = apply_routemap_symbolic(
+            routemap, concrete_state(universe, prefix=PFX), universe, holes
+        )
+        # Choosing pfx = PFX makes the deny line fire for a PFX route.
+        assert permit_term.evaluate({"pfx": str(PFX)}) is False
+        assert permit_term.evaluate({"pfx": str(OTHER)}) is True
+
+    def test_match_attr_hole(self):
+        attr_hole = Hole("attr", (MatchAttribute.ANY, MatchAttribute.DST_PREFIX))
+        routemap = RouteMap(
+            "RM",
+            (
+                RouteMapLine(
+                    seq=10,
+                    action=DENY,
+                    match_attr=attr_hole,
+                    match_value=OTHER,
+                ),
+                RouteMapLine(seq=20, action=PERMIT),
+            ),
+        )
+        universe = make_universe(RouteMap.permit_all("other"))
+        holes = HoleEncoder()
+        permit_term, _ = apply_routemap_symbolic(
+            routemap, concrete_state(universe, prefix=PFX), universe, holes
+        )
+        # attr=any: the deny matches everything -> deny.
+        assert permit_term.evaluate({"attr": "any"}) is False
+        # attr=dst-prefix with value OTHER: a PFX route does not match
+        # the deny, falls to the permit line.
+        assert permit_term.evaluate({"attr": "dst-prefix"}) is True
+
+    def test_set_local_pref_hole(self):
+        hole = Hole("lp", (100, 200, 300))
+        routemap = RouteMap(
+            "RM",
+            (
+                RouteMapLine(
+                    seq=10,
+                    action=PERMIT,
+                    sets=(SetClause(SetAttribute.LOCAL_PREF, hole),),
+                ),
+            ),
+        )
+        universe = make_universe(RouteMap.permit_all("other"))
+        holes = HoleEncoder()
+        _, out_state = apply_routemap_symbolic(
+            routemap, concrete_state(universe), universe, holes
+        )
+        assert out_state.local_pref.evaluate({"lp": 300}) == 300
+        assert out_state.local_pref.evaluate({"lp": 100}) == 100
+
+    def test_mixed_domain_param_hole(self):
+        """The paper's Figure 6b shape: Var_Action / Var_Param where the
+        parameter domain mixes attribute kinds."""
+        attr_hole = Hole("Var_Action", (SetAttribute.LOCAL_PREF, SetAttribute.NEXT_HOP))
+        param_hole = Hole("Var_Param", (200, "B"))
+        routemap = RouteMap(
+            "RM",
+            (
+                RouteMapLine(
+                    seq=10,
+                    action=PERMIT,
+                    sets=(SetClause(attr_hole, param_hole),),
+                ),
+            ),
+        )
+        universe = make_universe(
+            RouteMap(
+                "decl",
+                (
+                    RouteMapLine(
+                        seq=10,
+                        action=PERMIT,
+                        sets=(SetClause(SetAttribute.NEXT_HOP, "B"),),
+                    ),
+                ),
+            )
+        )
+        holes = HoleEncoder()
+        _, out_state = apply_routemap_symbolic(
+            routemap, concrete_state(universe), universe, holes
+        )
+        env = {"Var_Action": "local-pref", "Var_Param": "200"}
+        assert out_state.local_pref.evaluate(env) == 200
+        assert out_state.next_hop.evaluate(env) == "A"
+        env = {"Var_Action": "next-hop", "Var_Param": "B"}
+        assert out_state.local_pref.evaluate(env) == DEFAULT_LOCAL_PREF
+        assert out_state.next_hop.evaluate(env) == "B"
+        # Incoherent choice (set next-hop to an integer) is a no-op.
+        env = {"Var_Action": "next-hop", "Var_Param": "200"}
+        assert out_state.next_hop.evaluate(env) == "A"
+
+
+class TestUniverseCollection:
+    def test_collects_from_holes_and_concrete(self):
+        routemap = RouteMap(
+            "RM",
+            (
+                RouteMapLine(
+                    seq=10,
+                    action=PERMIT,
+                    match_attr=MatchAttribute.COMMUNITY,
+                    match_value=Hole("c", (C1, C2)),
+                    sets=(SetClause(SetAttribute.NEXT_HOP, "10.9.9.9"),),
+                ),
+            ),
+        )
+        universe = make_universe(routemap)
+        assert set(universe.communities) == {C1, C2}
+        assert "10.9.9.9" in universe.next_hop_sort
+        assert "A" in universe.next_hop_sort
+
+    def test_next_hop_term_out_of_universe(self):
+        universe = make_universe()
+        assert universe.next_hop_term("unknown") is None

@@ -1,0 +1,135 @@
+"""Property test: symbolic and concrete route-map semantics agree on
+randomly generated concrete route-maps and announcements."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.bgp import (
+    Announcement,
+    Community,
+    DENY,
+    MatchAttribute,
+    NetworkConfig,
+    PERMIT,
+    RouteMap,
+    RouteMapLine,
+    SetAttribute,
+    SetClause,
+)
+from repro.smt import FALSE, IntVal, TRUE, simplify
+from repro.synthesis import AttributeUniverse, HoleEncoder, SymbolicRoute, apply_routemap_symbolic
+from repro.topology import Prefix, Topology
+
+PREFIXES = [Prefix("10.0.0.0/24"), Prefix("10.1.0.0/24"), Prefix("10.0.0.0/16")]
+COMMUNITIES = [Community(100, 1), Community(100, 2), Community(200, 1)]
+NEXT_HOPS = ["A", "B", "10.9.9.9"]
+
+
+def make_universe(routemap):
+    topo = Topology("pair")
+    topo.add_router("A", asn=1, originated=[PREFIXES[0]])
+    topo.add_router("B", asn=2, originated=[PREFIXES[1]])
+    topo.add_link("A", "B")
+    config = NetworkConfig(topo)
+    config.set_map("A", "out", "B", routemap)
+    # Declare the full next-hop vocabulary via a side map so random
+    # set-next-hop targets are always in the universe.
+    decl_lines = tuple(
+        RouteMapLine(
+            seq=10 * (i + 1),
+            action=PERMIT,
+            sets=(SetClause(SetAttribute.NEXT_HOP, nh),),
+        )
+        for i, nh in enumerate(NEXT_HOPS)
+    )
+    extra = RouteMap("decl", decl_lines)
+    config.set_map("B", "in", "A", extra)
+    configs = [config.router_config(name) for name in topo.router_names]
+    return AttributeUniverse.collect(configs, topo)
+
+
+@st.composite
+def routemap_strategy(draw):
+    lines = []
+    seq = 10
+    for _ in range(draw(st.integers(min_value=1, max_value=4))):
+        action = draw(st.sampled_from([PERMIT, PERMIT, DENY]))
+        kind = draw(st.sampled_from(["any", "prefix", "community", "nh"]))
+        match_attr, match_value = MatchAttribute.ANY, None
+        if kind == "prefix":
+            match_attr = MatchAttribute.DST_PREFIX
+            match_value = draw(st.sampled_from(PREFIXES))
+        elif kind == "community":
+            match_attr = MatchAttribute.COMMUNITY
+            match_value = draw(st.sampled_from(COMMUNITIES))
+        elif kind == "nh":
+            match_attr = MatchAttribute.NEXT_HOP
+            match_value = draw(st.sampled_from(NEXT_HOPS))
+        sets = []
+        for _ in range(draw(st.integers(min_value=0, max_value=2))):
+            attr = draw(st.sampled_from(SetAttribute.ALL))
+            if attr == SetAttribute.LOCAL_PREF:
+                value = draw(st.sampled_from([50, 100, 200, 300]))
+            elif attr == SetAttribute.MED:
+                value = draw(st.sampled_from([0, 5, 9]))
+            elif attr == SetAttribute.COMMUNITY:
+                value = draw(st.sampled_from(COMMUNITIES))
+            else:
+                value = draw(st.sampled_from(NEXT_HOPS))
+            sets.append(SetClause(attr, value))
+        lines.append(
+            RouteMapLine(
+                seq=seq,
+                action=action,
+                match_attr=match_attr,
+                match_value=match_value,
+                sets=tuple(sets),
+            )
+        )
+        seq += 10
+    return RouteMap("RM", tuple(lines))
+
+
+@st.composite
+def announcement_strategy(draw):
+    prefix = draw(st.sampled_from(PREFIXES[:2]))
+    base = Announcement.originate(prefix, "A")
+    base = base.with_next_hop(draw(st.sampled_from(NEXT_HOPS)))
+    base = base.with_local_pref(draw(st.sampled_from([100, 200])))
+    base = base.with_med(draw(st.sampled_from([0, 5])))
+    for community in draw(st.sets(st.sampled_from(COMMUNITIES), max_size=3)):
+        base = base.with_community(community)
+    return base
+
+
+def ground(term):
+    folded = simplify(term)
+    assert folded.is_const(), f"expected ground term, got {folded!r}"
+    return folded.value
+
+
+@given(routemap_strategy(), announcement_strategy())
+@settings(max_examples=200, deadline=None)
+def test_symbolic_and_concrete_semantics_agree(routemap, announcement):
+    universe = make_universe(routemap)
+    holes = HoleEncoder()
+    state = SymbolicRoute(
+        prefix=announcement.prefix,
+        local_pref=IntVal(announcement.local_pref),
+        med=IntVal(announcement.med),
+        next_hop=universe.next_hop_term(announcement.next_hop),
+        communities={
+            community: (TRUE if community in announcement.communities else FALSE)
+            for community in universe.communities
+        },
+    )
+    permit_term, out_state = apply_routemap_symbolic(routemap, state, universe, holes)
+    concrete = routemap.apply(announcement)
+    assert ground(permit_term) == (concrete is not None)
+    if concrete is not None:
+        assert ground(out_state.local_pref) == concrete.local_pref
+        assert ground(out_state.med) == concrete.med
+        assert ground(out_state.next_hop) == concrete.next_hop
+        for community in universe.communities:
+            assert ground(out_state.communities[community]) == (
+                community in concrete.communities
+            )

@@ -1,0 +1,40 @@
+"""Randomized end-to-end synthesis: on generated cases, the synthesizer
+refills an all-holes sketch and the result verifies."""
+
+import pytest
+
+from repro.scenarios.generators import chain_case, leafspine_case, random_case, ring_case
+from repro.scenarios.hotnets import _sketch_like
+from repro.synthesis import Synthesizer
+from repro.verify import verify
+
+CASES = [
+    ("chain3", lambda: chain_case(3)),
+    ("chain4", lambda: chain_case(4)),
+    ("ring4", lambda: ring_case(4)),
+    ("random4", lambda: random_case(4, seed=5)),
+    ("random5", lambda: random_case(5, seed=9)),
+    ("leafspine22", lambda: leafspine_case(2, 2)),
+]
+
+
+@pytest.mark.parametrize("name,builder", CASES, ids=[n for n, _ in CASES])
+def test_resynthesis_verifies(name, builder):
+    case = builder()
+    sketch = _sketch_like(case.config)
+    result = Synthesizer(
+        sketch, case.specification, max_path_length=8
+    ).synthesize()
+    report = verify(result.config, case.specification)
+    assert report.ok, f"{name}: {report.summary()}"
+
+
+@pytest.mark.parametrize("name,builder", CASES[:3], ids=[n for n, _ in CASES[:3]])
+def test_synthesized_solution_is_reproducible(name, builder):
+    """Same sketch + spec -> same hole assignment (the whole stack is
+    deterministic, including the SAT solver's decision heuristic)."""
+    case = builder()
+    sketch = _sketch_like(case.config)
+    first = Synthesizer(sketch, case.specification, max_path_length=8).synthesize()
+    second = Synthesizer(sketch, case.specification, max_path_length=8).synthesize()
+    assert first.assignment == second.assignment

@@ -1,0 +1,139 @@
+"""Targeted edge-case coverage across packages."""
+
+import pytest
+
+from repro.bgp import Direction, NetworkConfig, RouteMap
+from repro.scenarios import scenario1
+from repro.spec import parse
+from repro.topology import Prefix, Topology
+
+
+class TestFailureSweepEdges:
+    def test_k0_describe_says_none(self):
+        from repro.verify import verify_under_failures
+
+        scenario = scenario1()
+        sweep = verify_under_failures(
+            scenario.paper_config, scenario.specification, k=0
+        )
+        assert "(none)" in sweep.cases[0].describe()
+
+    def test_unevaluable_case_described(self):
+        from repro.verify.failures import FailureCase
+
+        case = FailureCase(failed_links=(("A", "B"),), report=None, disconnected=True)
+        assert "not evaluable" in case.describe()
+        assert not case.ok
+
+
+class TestIgpEncoderEdges:
+    def test_unreachable_pair_rejected(self):
+        from repro.igp import IgpEncoder, WeightConfig
+        from repro.synthesis import EncodingError
+
+        topo = Topology("split")
+        topo.add_router("A", asn=1)
+        topo.add_router("B", asn=2)
+        topo.add_router("X", asn=3)
+        topo.add_link("A", "B")
+        spec = parse("R { (A -> ... -> X) }")
+        with pytest.raises(EncodingError, match="no path"):
+            IgpEncoder(WeightConfig(topo), spec).encode()
+
+    def test_forbidden_would_disconnect(self):
+        from repro.igp import IgpEncoder, WeightConfig
+        from repro.synthesis import EncodingError
+
+        topo = Topology("line3")
+        for name in ("A", "B", "C"):
+            topo.add_router(name, asn=1)
+        topo.add_link("A", "B")
+        topo.add_link("B", "C")
+        # Every A->C path rides A-B: forbidding it would disconnect.
+        spec = parse("F { !(A -> B) }", managed=["A", "B"])
+        with pytest.raises(EncodingError, match="disconnect"):
+            IgpEncoder(WeightConfig(topo), spec).encode()
+
+
+class TestRenderEdges:
+    def test_symbolic_match_attr_renders(self):
+        from repro.bgp import Hole, MatchAttribute, RouteMap, RouteMapLine, render_routemap
+
+        attr_hole = Hole("Var_Attr", tuple(MatchAttribute.ALL))
+        routemap = RouteMap(
+            "RM",
+            (RouteMapLine(seq=10, match_attr=attr_hole, match_value="x"),),
+        )
+        text = render_routemap(routemap)
+        assert "match ?Var_Attr x" in text
+
+
+class TestSubspecRendering:
+    def test_low_level_render_includes_variables(self):
+        from repro.explain import Subspecification
+        from repro.smt import BoolVar
+
+        subspec = Subspecification(
+            device="R1",
+            requirement="Req1",
+            statements=(),
+            lifted=False,
+            low_level=BoolVar("Var_Action[x]"),
+            variables=("Var_Action[x]",),
+        )
+        rendered = subspec.render()
+        assert "lifting failed" in rendered
+        assert "Var_Action[x]" in rendered
+
+
+class TestHeuristicSearchPath:
+    def test_search_actually_iterates(self):
+        """A sketch whose random initialization is unlikely to satisfy
+        immediately, forcing hill-climbing steps."""
+        from repro.bgp import DENY, Hole, PERMIT, RouteMapLine
+        from repro.synthesis import heuristic_synthesize
+        from repro.verify import verify
+
+        topo = Topology("star")
+        topo.add_router("HUB", asn=1)
+        prefixes = []
+        for index in range(4):
+            name = f"S{index}"
+            prefix = Prefix(f"10.{index}.0.0/24")
+            prefixes.append(prefix)
+            topo.add_router(name, asn=10 + index, originated=[prefix])
+            topo.add_link("HUB", name)
+        spec = parse(
+            "Iso { !(S0 -> HUB -> S1) !(S1 -> HUB -> S0) "
+            "!(S2 -> HUB -> S3) !(S3 -> HUB -> S2) }",
+            managed=["HUB"],
+        )
+        sketch = NetworkConfig(topo)
+        for index in range(4):
+            name = f"S{index}"
+            lines = []
+            for j, prefix in enumerate(prefixes):
+                lines.append(
+                    RouteMapLine(
+                        seq=10 + 10 * j,
+                        action=Hole(f"hub.{name}.{j}", (PERMIT, DENY)),
+                        match_attr="dst-prefix",
+                        match_value=prefix,
+                    )
+                )
+            sketch.set_map("HUB", Direction.OUT, name, RouteMap(f"to_{name}", tuple(lines)))
+        result = heuristic_synthesize(sketch, spec, seed=4, max_restarts=16)
+        assert verify(result.config, spec).ok
+        assert result.evaluations > 1  # the search had to work for it
+
+
+class TestSessionHistoryRendering:
+    def test_whatif_render_mentions_field(self):
+        from repro.explain import ACTION, FieldRef, InteractiveSession
+
+        scenario = scenario1()
+        session = InteractiveSession(scenario.paper_config, scenario.specification)
+        result = session.what_if(FieldRef("R1", "out", "P1", 1, ACTION), "permit")
+        text = result.render()
+        assert "Var_Action[R1.out.P1.1]" in text
+        assert "verification:" in text

@@ -1,0 +1,51 @@
+"""Every example script must run cleanly end to end.
+
+Examples are the first thing a new user executes; these tests keep
+them from rotting as the library evolves.  Each script is run in a
+subprocess and must exit 0; a few load-bearing output lines are
+spot-checked.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+
+CASES = [
+    ("quickstart.py", ["verification", "OK (2 statements verified)"]),
+    ("scenario1_underspecified.py", ["subspecification at R1", "any behaviour satisfies"]),
+    (
+        "scenario2_ambiguous.py",
+        ["blackhole", "resolution: re-synthesis under the fallback reading"],
+    ),
+    ("scenario3_complexity.py", ["R3 { }", "SOUND", "mined 18 global statements"]),
+    ("scaling_sweep.py", ["chain-2", "grid-2x3"]),
+    ("specification_refinement.py", ["conflicting requirements", "synthesis succeeded"]),
+    ("assume_guarantee.py", ["guarantee (this device):", "repair at HUB"]),
+    ("igp_weights.py", ["synthesized weights", "Var_Weight[R--S] <="]),
+    ("hot_potato.py", ["hot-potato", "routing diff"]),
+    ("campus_isolation.py", ["isolation", "robustness sweep"]),
+]
+
+
+@pytest.mark.parametrize("script,needles", CASES, ids=[c[0] for c in CASES])
+def test_example_runs(script, needles):
+    path = EXAMPLES_DIR / script
+    assert path.exists(), f"missing example {script}"
+    result = subprocess.run(
+        [sys.executable, str(path)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert result.returncode == 0, (
+        f"{script} failed:\n{result.stdout[-2000:]}\n{result.stderr[-2000:]}"
+    )
+    haystack = result.stdout.lower()
+    for needle in needles:
+        assert needle.lower() in haystack, (
+            f"{script}: expected {needle!r} in output"
+        )

@@ -1,0 +1,55 @@
+"""Golden-output regression tests.
+
+The full CLI reports for the paper scenarios are checked against
+committed golden files, guarding the user-visible behaviour (subspec
+wording, statement order, size numbers) against silent drift.
+
+Regenerate after an intentional change with::
+
+    REGEN_GOLDEN=1 pytest tests/test_golden.py
+"""
+
+import io
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+CASES = [
+    ("report_scenario1", ["report", "scenario1"]),
+    ("report_scenario2", ["report", "scenario2"]),
+    ("report_scenario3", ["report", "scenario3"]),
+    ("mine_scenario3", ["mine", "scenario3"]),
+    ("explain_r3_dialogue", ["explain", "scenario3", "R3", "--requirement", "Req1", "--dialogue"]),
+    ("report_campus", ["report", "campus"]),
+    ("dossier_scenario3", ["dossier", "scenario3"]),
+    ("annotate_r1", ["annotate", "scenario3", "R1"]),
+]
+
+
+def run_cli(argv) -> str:
+    out = io.StringIO()
+    main(argv, out=out)
+    return out.getvalue()
+
+
+@pytest.mark.parametrize("name,argv", CASES, ids=[name for name, _ in CASES])
+def test_golden(name, argv):
+    actual = run_cli(argv)
+    golden_path = GOLDEN_DIR / f"{name}.txt"
+    if os.environ.get("REGEN_GOLDEN"):
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        golden_path.write_text(actual)
+        pytest.skip(f"regenerated {golden_path}")
+    assert golden_path.exists(), (
+        f"golden file missing; run REGEN_GOLDEN=1 pytest {__file__}"
+    )
+    expected = golden_path.read_text()
+    assert actual == expected, (
+        f"output of {' '.join(argv)} drifted from {golden_path}; "
+        "regenerate with REGEN_GOLDEN=1 if the change is intentional"
+    )

@@ -1,0 +1,202 @@
+"""Rich end-to-end integration: synthesis with heterogeneous holes.
+
+One test that exercises the whole stack jointly on the paper topology:
+a sketch with action holes, a match-value hole and local-pref holes,
+the full three-requirement specification, solver-backed synthesis,
+verification (including preference failure analysis), explanation of
+the synthesized result, certificate audit, and provenance tracing.
+"""
+
+import pytest
+
+from repro.bgp import (
+    Community,
+    DENY,
+    Direction,
+    Hole,
+    MatchAttribute,
+    NetworkConfig,
+    PERMIT,
+    RouteMap,
+    RouteMapLine,
+    SetAttribute,
+    SetClause,
+    simulate,
+    trace_route,
+)
+from repro.explain import ACTION, ExplanationEngine, FieldRef, audit, make_certificate
+from repro.scenarios import (
+    CUSTOMER_PREFIX,
+    CUSTOMER_SUPERNET,
+    D1_PREFIX,
+    MANAGED,
+    P1_PREFIX,
+    P2_PREFIX,
+    hotnets_topology,
+)
+from repro.spec import parse
+from repro.synthesis import Synthesizer
+from repro.verify import verify
+
+TAG_P1 = Community(500, 1)
+TAG_P2 = Community(600, 1)
+
+SPEC = parse(
+    """
+    Req1 {
+      !(P1 -> ... -> P2)
+      !(P2 -> ... -> P1)
+    }
+    Req2 {
+      (C -> R3 -> R1 -> P1 -> ... -> D1)
+        >> (C -> R3 -> R2 -> P2 -> ... -> D1)
+    }
+    Req3 {
+      (P1 -> R1 -> ... -> C)
+      (P2 -> R2 -> ... -> C)
+    }
+    """,
+    managed=MANAGED,
+)
+
+
+# NOTE: without Req3's second statement the solver may legally pick
+# r2.customer = deny (P2 loses the customer route) -- the exact
+# underspecification phenomenon Scenario 1 is about.  The requirement
+# below pins the intent, as the paper's administrator does.
+
+
+def build_rich_sketch(topo):
+    """Holes of three kinds: actions, one match value, two local-prefs."""
+    sketch = NetworkConfig(topo)
+    # R1 export to P1: a match-value hole decides WHICH prefix the
+    # permit line covers; the catch-all action is a hole.
+    sketch.set_map(
+        "R1", Direction.OUT, "P1",
+        RouteMap("R1_to_P1", (
+            RouteMapLine(
+                seq=10,
+                action=PERMIT,
+                match_attr=MatchAttribute.DST_PREFIX,
+                match_value=Hole(
+                    "r1.permit.prefix",
+                    (CUSTOMER_PREFIX, P2_PREFIX, D1_PREFIX),
+                ),
+            ),
+            RouteMapLine(seq=100, action=Hole("r1.catchall", (PERMIT, DENY))),
+        )),
+    )
+    # R2 export to P2: action holes.
+    sketch.set_map(
+        "R2", Direction.OUT, "P2",
+        RouteMap("R2_to_P2", (
+            RouteMapLine(
+                seq=10,
+                action=Hole("r2.customer", (PERMIT, DENY)),
+                match_attr=MatchAttribute.DST_PREFIX,
+                match_value=CUSTOMER_PREFIX,
+            ),
+            RouteMapLine(seq=100, action=Hole("r2.catchall", (PERMIT, DENY))),
+        )),
+    )
+    # Provenance tags (concrete) + R3 lp holes for the preference.
+    sketch.set_map(
+        "R1", Direction.IN, "P1",
+        RouteMap("R1_from_P1", (
+            RouteMapLine(seq=10, action=PERMIT,
+                         sets=(SetClause(SetAttribute.COMMUNITY, TAG_P1),)),
+        )),
+    )
+    sketch.set_map(
+        "R2", Direction.IN, "P2",
+        RouteMap("R2_from_P2", (
+            RouteMapLine(seq=10, action=PERMIT,
+                         sets=(SetClause(SetAttribute.COMMUNITY, TAG_P2),)),
+        )),
+    )
+    for neighbor, tag, lp_hole in (
+        ("R1", TAG_P2, "r3.lp.via_r1"),
+        ("R2", TAG_P1, "r3.lp.via_r2"),
+    ):
+        sketch.set_map(
+            "R3", Direction.IN, neighbor,
+            RouteMap(f"R3_from_{neighbor}", (
+                RouteMapLine(seq=10, action=DENY,
+                             match_attr=MatchAttribute.COMMUNITY, match_value=tag),
+                RouteMapLine(
+                    seq=20, action=PERMIT,
+                    match_attr=MatchAttribute.DST_PREFIX, match_value=D1_PREFIX,
+                    sets=(SetClause(SetAttribute.LOCAL_PREF, Hole(lp_hole, (100, 150, 200))),),
+                ),
+                RouteMapLine(seq=30, action=PERMIT),
+            )),
+        )
+    return sketch
+
+
+@pytest.fixture(scope="module")
+def synthesized():
+    topo = hotnets_topology()
+    sketch = build_rich_sketch(topo)
+    result = Synthesizer(sketch, SPEC).synthesize()
+    return topo, sketch, result
+
+
+class TestRichSynthesis:
+    def test_solver_fills_all_hole_kinds(self, synthesized):
+        _, _, result = synthesized
+        assert set(result.assignment) == {
+            "r1.permit.prefix", "r1.catchall", "r2.customer", "r2.catchall",
+            "r3.lp.via_r1", "r3.lp.via_r2",
+        }
+        # Req3 forces the permit line to cover the customer prefix.
+        assert result.assignment["r1.permit.prefix"] == CUSTOMER_PREFIX
+        assert result.assignment["r1.catchall"] == DENY
+        assert result.assignment["r2.customer"] == PERMIT
+        assert result.assignment["r2.catchall"] == DENY
+        assert result.assignment["r3.lp.via_r1"] > result.assignment["r3.lp.via_r2"]
+
+    def test_synthesized_config_verifies(self, synthesized):
+        _, _, result = synthesized
+        report = verify(result.config, SPEC)
+        assert report.ok, report.summary()
+
+    def test_explanation_of_synthesized_result(self, synthesized):
+        _, _, result = synthesized
+        engine = ExplanationEngine(result.config, SPEC)
+        explanation = engine.explain_line(
+            "R1", "out", "P1", 10, fields=("match-value",), requirement="Req3"
+        )
+        # Why must the permit line match the customer prefix?  Because
+        # Req3 needs the customer route exported to P1.
+        acceptable_values = {
+            str(a["Var_Val[R1.out.P1.10]"]) for a in explanation.projected.acceptable
+        }
+        assert str(CUSTOMER_PREFIX) in acceptable_values
+        assert str(P2_PREFIX) not in acceptable_values
+
+    def test_certificate_roundtrip_and_audit(self, synthesized):
+        _, _, result = synthesized
+        engine = ExplanationEngine(result.config, SPEC)
+        explanation = engine.explain_line(
+            "R1", "out", "P1", 100, fields=(ACTION,), requirement="Req1"
+        )
+        certificate = make_certificate(explanation)
+        outcome = audit(
+            certificate,
+            result.config,
+            SPEC,
+            [FieldRef("R1", "out", "P1", 100, ACTION)],
+        )
+        assert outcome.valid, outcome.summary()
+
+    def test_provenance_of_preferred_path(self, synthesized):
+        _, _, result = synthesized
+        outcome = simulate(result.config)
+        best = outcome.best("C", D1_PREFIX)
+        assert best is not None
+        assert best.traffic_path() == ("C", "R3", "R1", "P1", "D1")
+        rendered = trace_route(result.config, best).render()
+        assert "tag 500:1" in rendered
+        lp = result.assignment["r3.lp.via_r1"]
+        assert f"lp 100->{lp}" in rendered

@@ -1,0 +1,73 @@
+"""API-surface consistency: every name in every ``__all__`` resolves."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.smt",
+    "repro.topology",
+    "repro.bgp",
+    "repro.spec",
+    "repro.synthesis",
+    "repro.igp",
+    "repro.verify",
+    "repro.explain",
+    "repro.scenarios",
+    "repro.mining",
+]
+
+MODULES = [
+    "repro.smt.terms", "repro.smt.builders", "repro.smt.rewrite",
+    "repro.smt.fdblast", "repro.smt.cnf", "repro.smt.sat",
+    "repro.smt.solver", "repro.smt.model", "repro.smt.printer",
+    "repro.smt.mus",
+    "repro.topology.graph", "repro.topology.prefixes",
+    "repro.topology.paths", "repro.topology.parser",
+    "repro.bgp.announcement", "repro.bgp.routemap", "repro.bgp.config",
+    "repro.bgp.decision", "repro.bgp.simulation", "repro.bgp.sketch",
+    "repro.bgp.render", "repro.bgp.confparse", "repro.bgp.diff",
+    "repro.bgp.provenance",
+    "repro.spec.ast", "repro.spec.parser", "repro.spec.printer",
+    "repro.spec.semantics",
+    "repro.synthesis.space", "repro.synthesis.holes",
+    "repro.synthesis.symexec", "repro.synthesis.encoder",
+    "repro.synthesis.synthesizer", "repro.synthesis.diagnose",
+    "repro.synthesis.heuristic",
+    "repro.igp.weights", "repro.igp.spf", "repro.igp.encoder",
+    "repro.igp.synthesizer", "repro.igp.verifier",
+    "repro.verify.verifier", "repro.verify.modular",
+    "repro.verify.failures",
+    "repro.explain.symbolize", "repro.explain.seed",
+    "repro.explain.simplifier", "repro.explain.project",
+    "repro.explain.lift", "repro.explain.subspec",
+    "repro.explain.engine", "repro.explain.qa",
+    "repro.explain.summaries", "repro.explain.repair",
+    "repro.explain.blackbox", "repro.explain.session",
+    "repro.explain.certificate", "repro.explain.dossier",
+    "repro.scenarios.hotnets", "repro.scenarios.campus",
+    "repro.scenarios.generators",
+    "repro.cli",
+]
+
+
+@pytest.mark.parametrize("name", PACKAGES + MODULES)
+def test_module_imports(name):
+    importlib.import_module(name)
+
+
+@pytest.mark.parametrize("name", PACKAGES + MODULES)
+def test_all_exports_resolve(name):
+    module = importlib.import_module(name)
+    exported = getattr(module, "__all__", None)
+    if exported is None:
+        pytest.skip(f"{name} has no __all__")
+    for symbol in exported:
+        assert hasattr(module, symbol), f"{name}.__all__ lists missing {symbol!r}"
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_packages_have_docstrings(name):
+    module = importlib.import_module(name)
+    assert module.__doc__, f"{name} lacks a module docstring"

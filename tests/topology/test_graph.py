@@ -1,0 +1,120 @@
+"""Unit tests for the topology graph model."""
+
+import pytest
+
+from repro.topology import Link, Prefix, Router, Topology, TopologyError
+
+
+class TestRouter:
+    def test_basic_construction(self):
+        router = Router("R1", asn=200, role="managed")
+        assert router.name == "R1"
+        assert str(router) == "R1"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(TopologyError):
+            Router("", asn=1)
+
+    def test_nonpositive_asn_rejected(self):
+        with pytest.raises(TopologyError):
+            Router("R1", asn=0)
+
+
+class TestLink:
+    def test_self_link_rejected(self):
+        with pytest.raises(TopologyError):
+            Link("A", "A")
+
+    def test_other(self):
+        link = Link("A", "B")
+        assert link.other("A") == "B"
+        assert link.other("B") == "A"
+        with pytest.raises(TopologyError):
+            link.other("C")
+
+    def test_endpoints_unordered(self):
+        assert Link("A", "B").endpoints == Link("B", "A").endpoints
+
+
+class TestTopology:
+    def test_add_and_query(self):
+        topo = Topology()
+        topo.add_router("A", asn=1)
+        topo.add_router("B", asn=2)
+        topo.add_link("A", "B")
+        assert topo.has_link("A", "B")
+        assert topo.has_link("B", "A")
+        assert topo.neighbors("A") == ("B",)
+        assert len(topo) == 2
+        assert "A" in topo
+
+    def test_duplicate_router_rejected(self):
+        topo = Topology()
+        topo.add_router("A", asn=1)
+        with pytest.raises(TopologyError):
+            topo.add_router("A", asn=2)
+
+    def test_duplicate_link_rejected(self):
+        topo = Topology()
+        topo.add_router("A", asn=1)
+        topo.add_router("B", asn=2)
+        topo.add_link("A", "B")
+        with pytest.raises(TopologyError):
+            topo.add_link("B", "A")
+
+    def test_link_requires_known_routers(self):
+        topo = Topology()
+        topo.add_router("A", asn=1)
+        with pytest.raises(TopologyError):
+            topo.add_link("A", "missing")
+
+    def test_routers_sorted(self, hotnets_topology):
+        names = [router.name for router in hotnets_topology.routers]
+        assert names == sorted(names)
+
+    def test_sessions_are_directed(self):
+        topo = Topology()
+        topo.add_router("A", asn=1)
+        topo.add_router("B", asn=2)
+        topo.add_link("A", "B")
+        assert set(topo.sessions()) == {("A", "B"), ("B", "A")}
+
+    def test_origins_of(self, hotnets_topology):
+        origins = hotnets_topology.origins_of(Prefix("123.0.1.0/24"))
+        assert [router.name for router in origins] == ["C"]
+
+    def test_all_prefixes(self, hotnets_topology):
+        prefixes = hotnets_topology.all_prefixes()
+        assert Prefix("200.0.1.0/24") in prefixes
+        assert len(prefixes) == 4
+
+    def test_without_link(self, hotnets_topology):
+        reduced = hotnets_topology.without_link("R1", "P1")
+        assert not reduced.has_link("R1", "P1")
+        assert reduced.has_link("R2", "P2")
+        assert len(reduced) == len(hotnets_topology)
+        # original untouched
+        assert hotnets_topology.has_link("R1", "P1")
+
+    def test_without_missing_link_rejected(self, hotnets_topology):
+        with pytest.raises(TopologyError):
+            hotnets_topology.without_link("C", "P1")
+
+    def test_ascii_rendering(self, hotnets_topology):
+        text = hotnets_topology.to_ascii()
+        assert "R1 AS200" in text
+        assert "C--R3" in text
+        assert "originates [123.0.1.0/24]" in text
+
+    def test_dot_rendering(self, hotnets_topology):
+        dot = hotnets_topology.to_dot()
+        assert dot.startswith('graph "hotnets-fig1b"')
+        assert '"R1" -- "R2";' in dot
+        assert dot.rstrip().endswith("}")
+
+    def test_unknown_router_query_raises(self):
+        topo = Topology()
+        with pytest.raises(TopologyError):
+            topo.router("nope")
+        with pytest.raises(TopologyError):
+            topo.neighbors("nope")

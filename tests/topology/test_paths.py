@@ -1,0 +1,194 @@
+"""Unit and property tests for paths and path patterns."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.topology import (
+    Path,
+    PathPattern,
+    Topology,
+    TopologyError,
+    WILDCARD,
+    enumerate_simple_paths,
+)
+
+
+class TestPath:
+    def test_basic(self):
+        path = Path(("A", "B", "C"))
+        assert path.source == "A"
+        assert path.target == "C"
+        assert len(path) == 3
+        assert list(path) == ["A", "B", "C"]
+        assert str(path) == "A -> B -> C"
+
+    def test_edges(self):
+        assert Path(("A", "B", "C")).edges == (("A", "B"), ("B", "C"))
+
+    def test_single_hop_path(self):
+        path = Path(("A",))
+        assert path.edges == ()
+        assert path.source == path.target == "A"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Path(())
+
+    def test_loop_rejected(self):
+        with pytest.raises(ValueError):
+            Path(("A", "B", "A"))
+
+    def test_reversed(self):
+        assert Path(("A", "B", "C")).reversed() == Path(("C", "B", "A"))
+
+    def test_prefix_paths(self):
+        prefixes = list(Path(("A", "B", "C")).prefix_paths())
+        assert prefixes == [Path(("A",)), Path(("A", "B")), Path(("A", "B", "C"))]
+
+    def test_contains_edge_either_direction(self):
+        path = Path(("A", "B", "C"))
+        assert path.contains_edge("A", "B")
+        assert path.contains_edge("B", "A")
+        assert not path.contains_edge("A", "C")
+
+    def test_is_valid_in(self, line_topology):
+        assert Path(("A", "B", "Z")).is_valid_in(line_topology)
+        assert not Path(("A", "Z")).is_valid_in(line_topology)
+        assert not Path(("A", "ghost")).is_valid_in(line_topology)
+
+
+class TestPathPattern:
+    def test_exact_match(self):
+        pattern = PathPattern.exact("A", "B")
+        assert pattern.matches(Path(("A", "B")))
+        assert not pattern.matches(Path(("A", "B", "C")))
+        assert pattern.is_concrete
+        assert pattern.to_path() == Path(("A", "B"))
+
+    def test_wildcard_zero_or_more(self):
+        pattern = PathPattern.of("A", WILDCARD, "Z")
+        assert pattern.matches(Path(("A", "Z")))
+        assert pattern.matches(Path(("A", "B", "Z")))
+        assert pattern.matches(Path(("A", "B", "C", "Z")))
+        assert not pattern.matches(Path(("Z", "A")))
+        assert not pattern.matches(Path(("A", "B")))
+
+    def test_internal_wildcards(self):
+        pattern = PathPattern.of("A", WILDCARD, "M", WILDCARD, "Z")
+        assert pattern.matches(Path(("A", "M", "Z")))
+        assert pattern.matches(Path(("A", "x", "M", "y", "Z")))
+        assert not pattern.matches(Path(("A", "Z")))
+
+    def test_consecutive_wildcards_collapse(self):
+        pattern = PathPattern.of("A", WILDCARD, WILDCARD, "Z")
+        assert pattern.elements == PathPattern.of("A", WILDCARD, "Z").elements
+
+    def test_leading_wildcard(self):
+        pattern = PathPattern.of(WILDCARD, "Z")
+        assert pattern.source is None
+        assert pattern.target == "Z"
+        assert pattern.matches(Path(("A", "B", "Z")))
+        assert pattern.matches(Path(("Z",)))
+
+    def test_pure_wildcard_rejected(self):
+        with pytest.raises(ValueError):
+            PathPattern.of(WILDCARD)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            PathPattern(())
+
+    def test_to_path_with_wildcards_rejected(self):
+        with pytest.raises(ValueError):
+            PathPattern.of("A", WILDCARD, "Z").to_path()
+
+    def test_str(self):
+        assert str(PathPattern.of("P1", WILDCARD, "P2")) == "P1 -> ... -> P2"
+
+    def test_reversed(self):
+        pattern = PathPattern.of("A", WILDCARD, "Z")
+        assert str(pattern.reversed()) == "Z -> ... -> A"
+
+    def test_matching_paths(self, hotnets_topology):
+        pattern = PathPattern.of("P1", WILDCARD, "P2")
+        paths = pattern.matching_paths(hotnets_topology)
+        rendered = {str(path) for path in paths}
+        assert "P1 -> R1 -> R2 -> P2" in rendered
+        assert "P1 -> R1 -> R3 -> R2 -> P2" in rendered
+        assert "P1 -> D1 -> P2" in rendered
+        assert all(path.source == "P1" and path.target == "P2" for path in paths)
+
+    def test_matching_paths_unknown_router(self, hotnets_topology):
+        with pytest.raises(TopologyError):
+            PathPattern.of("ghost", WILDCARD, "P2").matching_paths(hotnets_topology)
+
+    def test_matching_paths_max_length(self, hotnets_topology):
+        pattern = PathPattern.of("P1", WILDCARD, "P2")
+        short = pattern.matching_paths(hotnets_topology, max_length=3)
+        assert {str(p) for p in short} == {"P1 -> D1 -> P2"}
+
+    def test_single_router_pattern(self, hotnets_topology):
+        pattern = PathPattern.exact("C")
+        paths = pattern.matching_paths(hotnets_topology)
+        assert paths == (Path(("C",)),)
+
+
+class TestEnumerateSimplePaths:
+    def test_line(self, line_topology):
+        paths = list(enumerate_simple_paths(line_topology, "A", "Z"))
+        assert [str(p) for p in paths] == ["A -> B -> Z"]
+
+    def test_square_has_two_paths(self, square_topology):
+        paths = {str(p) for p in enumerate_simple_paths(square_topology, "S", "T")}
+        assert paths == {"S -> L -> T", "S -> R -> T"}
+
+    def test_max_length(self, hotnets_topology):
+        # C -> R3 -> R1 -> P1 -> D1 needs 5 hops, so max_length=4 excludes it.
+        paths = list(enumerate_simple_paths(hotnets_topology, "C", "D1", max_length=4))
+        assert paths == []
+        paths5 = list(enumerate_simple_paths(hotnets_topology, "C", "D1", max_length=5))
+        assert all(len(p) <= 5 for p in paths5)
+        assert paths5
+
+    def test_unknown_endpoints(self, line_topology):
+        with pytest.raises(TopologyError):
+            list(enumerate_simple_paths(line_topology, "ghost", "Z"))
+        with pytest.raises(TopologyError):
+            list(enumerate_simple_paths(line_topology, "A", "ghost"))
+
+    def test_all_results_are_simple_and_valid(self, hotnets_topology):
+        for path in enumerate_simple_paths(hotnets_topology, "C", "D1"):
+            assert len(set(path.hops)) == len(path.hops)
+            assert path.is_valid_in(hotnets_topology)
+
+
+@st.composite
+def random_path(draw):
+    length = draw(st.integers(min_value=1, max_value=6))
+    names = [f"n{i}" for i in range(8)]
+    hops = draw(st.permutations(names))[:length]
+    return Path(tuple(hops))
+
+
+class TestPatternProperties:
+    @given(random_path())
+    @settings(max_examples=100, deadline=None)
+    def test_exact_pattern_matches_itself(self, path):
+        assert PathPattern(path.hops).matches(path)
+
+    @given(random_path())
+    @settings(max_examples=100, deadline=None)
+    def test_anchored_wildcard_pattern_matches(self, path):
+        pattern = PathPattern.of(path.source, WILDCARD, path.target)
+        if len(path) == 1:
+            # The pattern names the router twice but the path has a
+            # single hop, so it cannot match.
+            assert not pattern.matches(path)
+        else:
+            assert pattern.matches(path)
+
+    @given(random_path(), random_path())
+    @settings(max_examples=100, deadline=None)
+    def test_exact_pattern_rejects_other_paths(self, path, other):
+        if path.hops != other.hops:
+            assert not PathPattern(path.hops).matches(other)

@@ -1,0 +1,70 @@
+"""Property test: path-pattern matching against a regex oracle.
+
+A pattern ``a -> ... -> b`` is equivalent to the regular expression
+``a(,X)*,b`` over comma-joined hop names (where ``X`` is any name).
+Building that regex independently and comparing on random inputs
+guards the hand-rolled memoized matcher.
+"""
+
+import re
+
+from hypothesis import given, settings, strategies as st
+
+from repro.topology import Path, PathPattern, WILDCARD
+
+NAMES = [f"n{i}" for i in range(6)]
+
+
+def pattern_to_regex(pattern: PathPattern) -> "re.Pattern":
+    parts = []
+    for element in pattern.elements:
+        if isinstance(element, str):
+            parts.append(("name", element))
+        else:
+            parts.append(("wild", None))
+    # A wildcard absorbs its neighbours' separators when empty, so the
+    # regex is built by walking elements and emitting separators lazily.
+    regex_parts = []
+    first = True
+    for kind, value in parts:
+        if kind == "name":
+            if not first:
+                regex_parts.append(",")
+            regex_parts.append(re.escape(value))
+            first = False
+        else:
+            # Zero or more ",hop" segments (or "hop," segments if at
+            # the start).
+            if first:
+                regex_parts.append("(?:[^,]+,)*")
+            else:
+                regex_parts.append("(?:,[^,]+)*")
+    return re.compile("^" + "".join(regex_parts) + "$")
+
+
+@st.composite
+def pattern_and_path(draw):
+    hops = tuple(
+        draw(st.permutations(NAMES))[: draw(st.integers(min_value=1, max_value=6))]
+    )
+    element_count = draw(st.integers(min_value=1, max_value=4))
+    elements = []
+    has_name = False
+    for _ in range(element_count):
+        if draw(st.booleans()):
+            elements.append(draw(st.sampled_from(NAMES)))
+            has_name = True
+        else:
+            elements.append(WILDCARD)
+    if not has_name:
+        elements.append(draw(st.sampled_from(NAMES)))
+    return PathPattern(tuple(elements)), Path(hops)
+
+
+@given(pattern_and_path())
+@settings(max_examples=400, deadline=None)
+def test_matcher_agrees_with_regex_oracle(case):
+    pattern, path = case
+    oracle = pattern_to_regex(pattern)
+    expected = oracle.match(",".join(path.hops)) is not None
+    assert pattern.matches(path) == expected

@@ -1,0 +1,64 @@
+"""Unit tests for IPv4 prefix handling."""
+
+import pytest
+
+from repro.topology import Prefix, PrefixError
+
+
+class TestParsing:
+    def test_valid(self):
+        prefix = Prefix("123.0.1.0/24")
+        assert prefix.length == 24
+        assert prefix.network_address == "123.0.1.0"
+        assert str(prefix) == "123.0.1.0/24"
+
+    def test_copy_constructor(self):
+        prefix = Prefix("10.0.0.0/8")
+        assert Prefix(prefix) == prefix
+
+    def test_invalid_host_bits(self):
+        with pytest.raises(PrefixError):
+            Prefix("10.0.0.1/8")
+
+    def test_invalid_text(self):
+        with pytest.raises(PrefixError):
+            Prefix("not-a-prefix")
+
+    def test_invalid_mask(self):
+        with pytest.raises(PrefixError):
+            Prefix("10.0.0.0/33")
+
+
+class TestRelations:
+    def test_subnet(self):
+        assert Prefix("10.1.0.0/16").is_subnet_of(Prefix("10.0.0.0/8"))
+        assert not Prefix("11.0.0.0/16").is_subnet_of(Prefix("10.0.0.0/8"))
+
+    def test_supernet(self):
+        assert Prefix("10.0.0.0/8").is_supernet_of(Prefix("10.1.0.0/16"))
+
+    def test_overlap(self):
+        assert Prefix("10.0.0.0/8").overlaps(Prefix("10.1.0.0/16"))
+        assert not Prefix("10.0.0.0/8").overlaps(Prefix("11.0.0.0/8"))
+
+    def test_contains_address(self):
+        prefix = Prefix("123.0.1.0/24")
+        assert prefix.contains_address("123.0.1.77")
+        assert not prefix.contains_address("123.0.2.1")
+        with pytest.raises(PrefixError):
+            prefix.contains_address("garbage")
+
+
+class TestValueSemantics:
+    def test_equality_and_hash(self):
+        assert Prefix("10.0.0.0/8") == Prefix("10.0.0.0/8")
+        assert hash(Prefix("10.0.0.0/8")) == hash(Prefix("10.0.0.0/8"))
+        assert Prefix("10.0.0.0/8") != Prefix("10.0.0.0/9")
+
+    def test_ordering(self):
+        prefixes = [Prefix("11.0.0.0/8"), Prefix("10.0.0.0/8"), Prefix("10.0.0.0/16")]
+        ordered = sorted(prefixes)
+        assert [str(p) for p in ordered] == ["10.0.0.0/8", "10.0.0.0/16", "11.0.0.0/8"]
+
+    def test_repr(self):
+        assert repr(Prefix("10.0.0.0/8")) == "Prefix('10.0.0.0/8')"

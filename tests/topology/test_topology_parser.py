@@ -1,0 +1,84 @@
+"""Tests for the topology text format."""
+
+import pytest
+
+from repro.scenarios import hotnets_topology
+from repro.scenarios.generators import chain_case, grid_case, leafspine_case
+from repro.topology import (
+    Prefix,
+    TopologyParseError,
+    parse_topology,
+    render_topology,
+)
+
+
+class TestParsing:
+    def test_basic(self):
+        text = """
+        topology t {
+          router A asn 1 originates 10.0.0.0/24
+          router B asn 2 role managed
+          link A B
+        }
+        """
+        topo = parse_topology(text)
+        assert topo.name == "t"
+        assert topo.router("A").originated == (Prefix("10.0.0.0/24"),)
+        assert topo.router("B").role == "managed"
+        assert topo.has_link("A", "B")
+
+    def test_multiple_prefixes(self):
+        text = """
+        topology t {
+          router A asn 1 originates 10.0.0.0/24,10.1.0.0/24
+        }
+        """
+        topo = parse_topology(text)
+        assert len(topo.router("A").originated) == 2
+
+    def test_comments_ignored(self):
+        text = """
+        // leading comment
+        topology t {
+          router A asn 1  // trailing comment
+        }
+        """
+        assert parse_topology(text).has_router("A")
+
+    def test_errors(self):
+        with pytest.raises(TopologyParseError, match="empty"):
+            parse_topology("   \n  ")
+        with pytest.raises(TopologyParseError, match="expected 'topology"):
+            parse_topology("router A asn 1\n}")
+        with pytest.raises(TopologyParseError, match="closing"):
+            parse_topology("topology t {\nrouter A asn 1")
+        with pytest.raises(TopologyParseError, match="unrecognized"):
+            parse_topology("topology t {\nfrobnicate\n}")
+        with pytest.raises(TopologyParseError, match="invalid prefix"):
+            parse_topology("topology t {\nrouter A asn 1 originates nope\n}")
+        with pytest.raises(TopologyParseError, match="unknown router"):
+            parse_topology("topology t {\nrouter A asn 1\nlink A B\n}")
+        with pytest.raises(TopologyParseError, match="duplicate"):
+            parse_topology("topology t {\nrouter A asn 1\nrouter A asn 2\n}")
+
+
+class TestRoundTrip:
+    TOPOLOGIES = [
+        hotnets_topology,
+        lambda: chain_case(4).topology,
+        lambda: grid_case(2, 3).topology,
+        lambda: leafspine_case(2, 2).topology,
+    ]
+
+    @pytest.mark.parametrize("builder", TOPOLOGIES)
+    def test_render_parse_roundtrip(self, builder):
+        topology = builder()
+        again = parse_topology(render_topology(topology))
+        assert again.name == topology.name
+        assert again.router_names == topology.router_names
+        assert again.links == topology.links
+        for router in topology.routers:
+            recovered = again.router(router.name)
+            assert recovered.asn == router.asn
+            assert recovered.role == router.role
+            assert recovered.originated == router.originated

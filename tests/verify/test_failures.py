@@ -1,0 +1,93 @@
+"""Tests for the k-failure robustness sweep."""
+
+import pytest
+
+from repro.scenarios import MANAGED, scenario2, scenario2_fixed
+from repro.spec import parse
+from repro.synthesis import Synthesizer
+from repro.verify import FailureSweep, verify_under_failures
+
+# C's and D1's stub links: failing them trivially disconnects them.
+PROTECTED = (("C", "R3"),)
+
+CONNECTIVITY = parse("Conn { (C -> ... -> D1) }", managed=MANAGED)
+
+
+@pytest.fixture(scope="module")
+def sc2():
+    return scenario2()
+
+
+class TestSweepMechanics:
+    def test_k0_is_plain_verification(self, sc2):
+        sweep = verify_under_failures(sc2.paper_config, sc2.specification, k=0)
+        assert len(sweep.cases) == 1
+        assert sweep.cases[0].failed_links == ()
+        assert sweep.ok
+
+    def test_case_count(self, sc2):
+        links = len(sc2.topology.links) - len(PROTECTED)
+        sweep = verify_under_failures(
+            sc2.paper_config, CONNECTIVITY, k=1, protected_links=PROTECTED
+        )
+        assert len(sweep.cases) == 1 + links
+
+    def test_negative_k_rejected(self, sc2):
+        with pytest.raises(ValueError):
+            verify_under_failures(sc2.paper_config, sc2.specification, k=-1)
+
+    def test_protected_links_never_failed(self, sc2):
+        sweep = verify_under_failures(
+            sc2.paper_config, CONNECTIVITY, k=1, protected_links=PROTECTED
+        )
+        for case in sweep.cases:
+            assert ("C", "R3") not in case.failed_links
+
+    def test_summary_renders(self, sc2):
+        sweep = verify_under_failures(
+            sc2.paper_config, CONNECTIVITY, k=1, protected_links=PROTECTED
+        )
+        assert "robustness sweep" in sweep.summary()
+
+
+class TestScenario2Robustness:
+    """The lost-redundancy story as a robustness sweep."""
+
+    def test_block_config_survives_single_failures(self, sc2):
+        sweep = verify_under_failures(
+            sc2.paper_config, CONNECTIVITY, k=1, protected_links=PROTECTED
+        )
+        assert sweep.ok, sweep.summary()
+
+    def test_block_config_blackholes_under_double_failure(self, sc2):
+        sweep = verify_under_failures(
+            sc2.paper_config, CONNECTIVITY, k=2, protected_links=PROTECTED
+        )
+        failing = sweep.failing_cases()
+        assert failing, "the BLOCK-mode config must lose C -> D1 somewhere"
+        # The paper's exact failure pair is among the failing cases.
+        failing_sets = {frozenset(frozenset(e) for e in c.failed_links) for c in failing}
+        expected = frozenset(
+            {frozenset(("R1", "P1")), frozenset(("R3", "R2"))}
+        )
+        assert expected in failing_sets
+
+    def test_fallback_resynthesis_restores_robustness(self):
+        scenario = scenario2_fixed()
+        result = Synthesizer(scenario.sketch, scenario.specification).synthesize()
+        block_sweep = verify_under_failures(
+            scenario2().paper_config, CONNECTIVITY, k=2, protected_links=PROTECTED
+        )
+        fixed_sweep = verify_under_failures(
+            result.config, CONNECTIVITY, k=2, protected_links=PROTECTED
+        )
+        assert len(fixed_sweep.failing_cases()) < len(block_sweep.failing_cases())
+        # The paper's pair no longer fails.
+        fixed_sets = {
+            frozenset(frozenset(e) for e in c.failed_links)
+            for c in fixed_sweep.failing_cases()
+        }
+        expected = frozenset(
+            {frozenset(("R1", "P1")), frozenset(("R3", "R2"))}
+        )
+        assert expected not in fixed_sets

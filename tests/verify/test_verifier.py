@@ -1,0 +1,161 @@
+"""Tests for simulation-based verification."""
+
+import pytest
+
+from repro.bgp import (
+    DENY,
+    Direction,
+    NetworkConfig,
+    PERMIT,
+    RouteMap,
+    RouteMapLine,
+    SetAttribute,
+    SetClause,
+)
+from repro.spec import parse
+from repro.verify import Report, Violation, config_on_topology, verify
+from repro.topology import Prefix
+
+
+class TestReport:
+    def test_ok_summary(self):
+        report = Report(statements_checked=3)
+        assert report.ok
+        assert "OK" in report.summary()
+
+    def test_failure_summary(self):
+        from repro.spec import parse_statement
+
+        statement = parse_statement("!(A -> B)")
+        report = Report(violations=[Violation("Req", statement, "boom")])
+        assert not report.ok
+        assert "boom" in report.summary()
+        assert "[Req]" in str(report.violations[0])
+
+
+class TestForbidden:
+    def test_unfiltered_network_violates_no_transit(self, hotnets_topology):
+        # With the D1 shortcut removed, provider-to-provider traffic is
+        # forced through the managed network and gets selected there.
+        reduced = hotnets_topology.without_link("P1", "D1")
+        spec = parse(
+            "Req1 { !(P1 -> ... -> P2) !(P2 -> ... -> P1) }",
+            managed=["R1", "R2", "R3"],
+        )
+        report = verify(NetworkConfig(reduced), spec)
+        assert not report.ok
+        assert any("selected path" in v.description for v in report.violations)
+
+    def test_managed_scope_ignores_external_transit(self, hotnets_topology):
+        # Forbid transit, but configure the managed network correctly:
+        # P1 -> D1 -> P2 still exists physically yet is out of scope.
+        spec = parse(
+            "Req1 { !(P1 -> ... -> P2) !(P2 -> ... -> P1) }",
+            managed=["R1", "R2", "R3"],
+        )
+        config = NetworkConfig(hotnets_topology)
+        config.set_map("R1", Direction.OUT, "P1", RouteMap.deny_all("b1"))
+        config.set_map("R2", Direction.OUT, "P2", RouteMap.deny_all("b2"))
+        report = verify(config, spec)
+        assert report.ok, report.summary()
+
+    def test_unscoped_forbidden_catches_external(self, hotnets_topology):
+        spec = parse("Req1 { !(P1 -> ... -> P2) }")  # no managed scope
+        config = NetworkConfig(hotnets_topology)
+        config.set_map("R1", Direction.OUT, "P1", RouteMap.deny_all("b1"))
+        config.set_map("R2", Direction.OUT, "P2", RouteMap.deny_all("b2"))
+        report = verify(config, spec)
+        # P1 -> D1 -> P2 is still selected for P2's prefix.
+        assert not report.ok
+
+
+class TestReachability:
+    def test_reachable_matching(self, line_topology):
+        spec = parse("R { (A -> B -> Z) }")
+        report = verify(NetworkConfig(line_topology), spec)
+        assert report.ok
+
+    def test_unreachable(self, line_topology):
+        spec = parse("R { (A -> B -> Z) }")
+        config = NetworkConfig(line_topology)
+        config.set_map("Z", Direction.OUT, "B", RouteMap.deny_all("block"))
+        report = verify(config, spec)
+        assert not report.ok
+        assert "no route" in report.violations[0].description
+
+    def test_reachable_but_wrong_path(self, square_topology):
+        spec = parse("R { (S -> R -> T) }")
+        report = verify(NetworkConfig(square_topology), spec)
+        # Plain network selects S -> L -> T (tie-break), not S -> R -> T.
+        assert not report.ok
+        assert "does not match" in report.violations[0].description
+
+
+def _lp_map(name, lp):
+    return RouteMap(
+        name,
+        (
+            RouteMapLine(
+                seq=10,
+                action=PERMIT,
+                sets=(SetClause(SetAttribute.LOCAL_PREF, lp),),
+            ),
+        ),
+    )
+
+
+class TestPreference:
+    def test_preference_with_block_mode(self, square_topology):
+        # Prefer S->L->T over S->R->T; BLOCK mode means after both fail
+        # there must be nothing left (trivially true here: no third path).
+        spec = parse("R { (S -> L -> T) >> (S -> R -> T) }")
+        config = NetworkConfig(square_topology)
+        config.set_map("S", Direction.IN, "L", _lp_map("viaL", 300))
+        config.set_map("S", Direction.IN, "R", _lp_map("viaR", 200))
+        report = verify(config, spec)
+        assert report.ok, report.summary()
+
+    def test_preference_violated_ordering(self, square_topology):
+        spec = parse("R { (S -> R -> T) >> (S -> L -> T) }")
+        config = NetworkConfig(square_topology)
+        # No lp steering: tie-break picks L first, violating the order.
+        report = verify(config, spec)
+        assert not report.ok
+
+    def test_fallback_mode_detects_blackhole(self, hotnets_topology):
+        # Listed paths via P1/P2; configure drops of every unlisted
+        # detour; in FALLBACK mode the final failure step must complain.
+        from repro.scenarios import scenario2
+
+        scenario = scenario2()
+        fallback_spec = parse(
+            """
+            Req2 {
+              (C -> R3 -> R1 -> P1 -> ... -> D1)
+                >> (C -> R3 -> R2 -> P2 -> ... -> D1) fallback
+            }
+            """,
+            managed=["R1", "R2", "R3"],
+        )
+        report = verify(scenario.paper_config, fallback_spec)
+        assert not report.ok
+        assert any("FALLBACK" in v.description for v in report.violations)
+
+    def test_block_mode_scenario2_passes(self):
+        from repro.scenarios import scenario2
+
+        scenario = scenario2()
+        report = verify(scenario.paper_config, scenario.specification)
+        assert report.ok, report.summary()
+
+
+class TestConfigOnTopology:
+    def test_drops_maps_of_removed_links(self, square_topology):
+        config = NetworkConfig(square_topology)
+        config.set_map("S", Direction.IN, "L", RouteMap.permit_all("keepme"))
+        config.set_map("S", Direction.IN, "R", RouteMap.permit_all("other"))
+        reduced = square_topology.without_link("S", "L")
+        rehomed = config_on_topology(config, reduced)
+        assert rehomed.get_map("S", Direction.IN, "R") is not None
+        # The S-L session is gone along with its map.
+        assert ("in", "L") not in rehomed.router_config("S").sessions()

@@ -23,8 +23,19 @@ Quickstart::
     print(explanation.report())
 """
 
-from .explain import ExplanationEngine, Explanation, Subspecification
+from .explain import ExplanationEngine, Explanation, ExplanationStatus, Subspecification
 from .mining import MiningResult, mine_specification
+from .runtime import (
+    Cancelled,
+    CancelToken,
+    Deadline,
+    DeadlineExceeded,
+    FaultPlan,
+    Governor,
+    ReproError,
+    ResourceExhausted,
+    WorkBudget,
+)
 from .scenarios import scenario1, scenario2, scenario3
 from .spec import Specification, parse
 from .synthesis import Synthesizer, synthesize
@@ -35,7 +46,17 @@ __version__ = "0.1.0"
 __all__ = [
     "ExplanationEngine",
     "Explanation",
+    "ExplanationStatus",
     "Subspecification",
+    "ReproError",
+    "ResourceExhausted",
+    "DeadlineExceeded",
+    "Cancelled",
+    "Deadline",
+    "WorkBudget",
+    "CancelToken",
+    "Governor",
+    "FaultPlan",
     "mine_specification",
     "MiningResult",
     "Synthesizer",

@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Tuple
 
+from ..runtime import Governor, ReproError
 from ..topology.graph import Topology
 from ..topology.paths import Path
 from ..topology.prefixes import Prefix
@@ -35,8 +36,13 @@ from .decision import LinkCost, rank, select_best
 __all__ = ["RoutingOutcome", "ConvergenceError", "simulate"]
 
 
-class ConvergenceError(RuntimeError):
-    """The control plane failed to reach a fixpoint."""
+class ConvergenceError(ReproError, RuntimeError):
+    """The control plane failed to reach a fixpoint.
+
+    Part of the structured :class:`~repro.runtime.ReproError` taxonomy
+    (oscillation is a bounded, reportable outcome, not a hang); it also
+    remains a ``RuntimeError`` for backward compatibility.
+    """
 
 
 @dataclass
@@ -90,12 +96,17 @@ def simulate(
     max_rounds: Optional[int] = None,
     link_cost: Optional[LinkCost] = None,
     ibgp: bool = False,
+    governor: Optional[Governor] = None,
 ) -> RoutingOutcome:
     """Run the control plane to convergence.
 
     ``link_cost`` enables hot-potato routing: ties after MED are broken
     by the IGP cost to the advertising neighbor (pass
     ``WeightConfig.concrete_weight``).
+
+    A ``governor`` is checkpointed once per simulation round (stage
+    ``"simulate"``, budget kind ``"rounds"``), so deadlines and budgets
+    bound even pathological policies before the round bound trips.
 
     ``ibgp=True`` enables AS-aware semantics for sessions between
     routers with the same ASN: routes learned over iBGP are not
@@ -124,6 +135,8 @@ def simulate(
     adj_in: Dict[Tuple[str, str], Dict[Tuple[str, ...], Announcement]] = {}
 
     for round_index in range(1, bound + 1):
+        if governor is not None:
+            governor.checkpoint("simulate")
         # Advertise from a snapshot of the current RIB.
         inbox: Dict[Tuple[str, str], List[Announcement]] = {}
         asn_of = {router.name: router.asn for router in topology.routers}

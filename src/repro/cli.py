@@ -45,13 +45,32 @@ from typing import Callable, Dict, Optional
 
 from .bgp.render import render_network, render_router
 from .explain import ACTION, ExplanationEngine
+from .runtime import (
+    Cancelled,
+    DeadlineExceeded,
+    Governor,
+    ReproError,
+    ResourceExhausted,
+)
 from .scenarios import (Scenario, campus_scenario, scenario1, scenario2,
                         scenario2_fixed, scenario3)
 from .spec.printer import format_specification
-from .synthesis import Synthesizer
+from .synthesis import SynthesisError, Synthesizer
 from .verify import verify
 
 __all__ = ["main", "build_parser"]
+
+# Exit codes: the structured error taxonomy maps to distinct non-zero
+# codes so scripts can tell a timeout from an unsatisfiable instance
+# from a genuine crash (argparse itself uses 2 for usage errors).
+EXIT_OK = 0
+EXIT_FAILURE = 1
+EXIT_USAGE = 2
+EXIT_TIMEOUT = 3
+EXIT_BUDGET = 4
+EXIT_CANCELLED = 5
+EXIT_UNSAT = 6
+EXIT_INTERNAL = 70
 
 _SCENARIOS: Dict[str, Callable[[], Scenario]] = {
     "scenario1": scenario1,
@@ -70,10 +89,41 @@ def _load_scenario(name: str) -> Scenario:
     return builder()
 
 
+def _non_negative_float(text: str) -> float:
+    value = float(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be non-negative, got {text}")
+    return value
+
+
+def _non_negative_int(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be non-negative, got {text}")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-explain",
         description="Localized explanations for synthesized network configurations",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=_non_negative_float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock deadline for the whole command; degraded or "
+        f"aborted runs exit with code {EXIT_TIMEOUT}",
+    )
+    parser.add_argument(
+        "--budget",
+        type=_non_negative_int,
+        default=None,
+        metavar="N",
+        help="aggregate work budget (SAT conflicts + rewrite steps + "
+        "models + candidates + rounds) shared by every stage; "
+        f"exhaustion exits with code {EXIT_BUDGET}",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -176,6 +226,26 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _governor_of(args: argparse.Namespace) -> Optional[Governor]:
+    """The governor implied by the global --timeout/--budget flags."""
+    governor = getattr(args, "governor", None)
+    if governor is not None:
+        return governor
+    if args.timeout is None and args.budget is None:
+        return None
+    governor = Governor.of(timeout=args.timeout, budget=args.budget)
+    args.governor = governor
+    return governor
+
+
+def _degraded_exit(args: argparse.Namespace) -> int:
+    """Exit code for a gracefully degraded (but printed) result."""
+    governor = getattr(args, "governor", None)
+    if governor is not None and governor.deadline is not None and governor.deadline.expired():
+        return EXIT_TIMEOUT
+    return EXIT_BUDGET
+
+
 def _cmd_scenario(args: argparse.Namespace, out) -> int:
     scenario = _load_scenario(args.name)
     print(f"# {scenario.name}: {scenario.description}", file=out)
@@ -222,7 +292,9 @@ def _cmd_verify(args: argparse.Namespace, out) -> int:
 
 def _cmd_synth(args: argparse.Namespace, out) -> int:
     scenario = _load_scenario(args.name)
-    result = Synthesizer(scenario.sketch, scenario.specification).synthesize()
+    result = Synthesizer(
+        scenario.sketch, scenario.specification, governor=_governor_of(args)
+    ).synthesize()
     print(
         f"synthesized {len(result.assignment)} hole values from "
         f"{result.num_constraints} constraints "
@@ -238,7 +310,9 @@ def _cmd_synth(args: argparse.Namespace, out) -> int:
 
 def _cmd_explain(args: argparse.Namespace, out) -> int:
     scenario = _load_scenario(args.name)
-    engine = ExplanationEngine(scenario.paper_config, scenario.specification)
+    engine = ExplanationEngine(
+        scenario.paper_config, scenario.specification, governor=_governor_of(args)
+    )
     if args.router not in scenario.topology:
         raise SystemExit(f"unknown router {args.router!r}")
     if args.per_line:
@@ -267,11 +341,19 @@ def _cmd_explain(args: argparse.Namespace, out) -> int:
     else:
         print(explanation.report(), file=out)
     if args.certificate:
-        from .explain import make_certificate
+        if explanation.status.degraded:
+            print(
+                f"no certificate written: explanation is {explanation.status.value}",
+                file=out,
+            )
+        else:
+            from .explain import make_certificate
 
-        with open(args.certificate, "w") as handle:
-            handle.write(make_certificate(explanation).to_json())
-        print(f"certificate written to {args.certificate}", file=out)
+            with open(args.certificate, "w") as handle:
+                handle.write(make_certificate(explanation).to_json())
+            print(f"certificate written to {args.certificate}", file=out)
+    if explanation.status.degraded:
+        return _degraded_exit(args)
     return 0
 
 
@@ -280,7 +362,10 @@ def _cmd_report(args: argparse.Namespace, out) -> int:
     print(f"# {scenario.name}: {scenario.description}", file=out)
     report = verify(scenario.paper_config, scenario.specification)
     print(f"verification: {report.summary()}", file=out)
-    engine = ExplanationEngine(scenario.paper_config, scenario.specification)
+    engine = ExplanationEngine(
+        scenario.paper_config, scenario.specification, governor=_governor_of(args)
+    )
+    degraded = False
     for block in scenario.specification.blocks:
         print(f"\n## requirement {block.name}", file=out)
         for router in sorted(scenario.specification.managed):
@@ -288,10 +373,15 @@ def _cmd_report(args: argparse.Namespace, out) -> int:
                 explanation = engine.explain_router(
                     router, fields=(ACTION,), requirement=block.name
                 )
+            except ReproError:
+                raise
             except Exception as exc:  # e.g. router without config lines
                 print(f"{router}: (not explainable: {exc})", file=out)
                 continue
+            degraded = degraded or explanation.status.degraded
             print(explanation.subspec.render(), file=out)
+    if degraded:
+        return _degraded_exit(args)
     return 0
 
 
@@ -424,11 +514,15 @@ def _cmd_analyze(args: argparse.Namespace, out) -> int:
     if args.explain is not None:
         if args.explain not in topology:
             raise SystemExit(f"unknown router {args.explain!r}")
-        engine = ExplanationEngine(config, specification)
+        engine = ExplanationEngine(
+            config, specification, governor=_governor_of(args)
+        )
         explanation = engine.explain_router(
             args.explain, fields=(ACTION,), requirement=args.requirement
         )
         print(explanation.report(), file=out)
+        if explanation.status.degraded:
+            return _degraded_exit(args)
     return 0 if report.ok else 1
 
 
@@ -456,7 +550,31 @@ def main(argv: Optional[list] = None, out=None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     handler = _COMMANDS[args.command]
-    return handler(args, out)
+    try:
+        return handler(args, out)
+    except DeadlineExceeded as exc:
+        print(f"timeout: {exc}", file=sys.stderr)
+        return EXIT_TIMEOUT
+    except Cancelled as exc:
+        print(f"cancelled: {exc}", file=sys.stderr)
+        return EXIT_CANCELLED
+    except ResourceExhausted as exc:
+        print(f"budget exhausted: {exc}", file=sys.stderr)
+        return EXIT_BUDGET
+    except SynthesisError as exc:
+        print(f"unsatisfiable: {exc}", file=sys.stderr)
+        return EXIT_UNSAT
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_FAILURE
+    except SystemExit:
+        raise
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; not our error.
+        return EXIT_FAILURE
+    except Exception as exc:  # pragma: no cover - defensive catch-all
+        print(f"internal error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return EXIT_INTERNAL
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -4,7 +4,7 @@ from .annotate import annotate_router
 from .blackbox import BlackboxExplanation, explain_blackbox
 from .certificate import AuditResult, Certificate, audit, make_certificate
 from .dossier import generate_dossier
-from .engine import Explanation, ExplanationEngine
+from .engine import Explanation, ExplanationEngine, ExplanationStatus
 from .lift import LiftResult, generate_candidates, lift
 from .project import ProjectedSpec, ProjectionError, project
 from .qa import question_and_answer
@@ -31,6 +31,7 @@ from .symbolize import (
 __all__ = [
     "ExplanationEngine",
     "Explanation",
+    "ExplanationStatus",
     "BlackboxExplanation",
     "explain_blackbox",
     "Subspecification",

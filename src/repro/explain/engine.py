@@ -12,17 +12,28 @@ requirement"), the engine runs the four-step pipeline:
 
 and returns an :class:`Explanation` bundling every intermediate
 artifact, sized and timed for the benchmark harness.
+
+When a :class:`~repro.runtime.Governor` is attached, the pipeline
+*degrades gracefully* instead of crashing on an exhausted deadline or
+budget: the fallback chain is exact lift -> partial lift over the
+explored candidates -> raw simplified constraints, and the resulting
+:class:`Explanation` carries an explicit :class:`ExplanationStatus`
+plus per-stage budget accounting in ``timings``.  Without a governor
+the behaviour is byte-identical to the ungoverned pipeline and every
+explanation reports ``EXACT``.
 """
 
 from __future__ import annotations
 
+import enum
 import time
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence, Tuple
 
 from ..bgp.config import NetworkConfig
 from ..bgp.sketch import Hole
-from ..smt import RewriteRule
+from ..runtime import GOVERNED_ERRORS, Governor
+from ..smt import RewriteRule, RewriteStats, TRUE
 from ..spec.ast import Specification
 from .lift import LiftResult, lift
 from .project import ProjectedSpec, project
@@ -31,36 +42,80 @@ from .simplifier import SimplifiedSeed, simplify_seed
 from .subspec import Subspecification
 from .symbolize import ACTION, FieldRef, symbolize, symbolize_line, symbolize_router
 
-__all__ = ["Explanation", "ExplanationEngine"]
+__all__ = ["Explanation", "ExplanationEngine", "ExplanationStatus"]
+
+
+class ExplanationStatus(enum.Enum):
+    """How complete an explanation run was under its resource limits.
+
+    ``EXACT``
+        Every stage ran to completion (always the case without a
+        governor).
+    ``DEGRADED_LIFT``
+        A governed limit fired, but a lifted subspecification was still
+        found over the candidates explored before the interrupt.
+    ``DEGRADED_RAW``
+        Lifting (or the projection it needs) was cut short; the
+        explanation falls back to the raw simplified constraints.
+    ``FAILED``
+        Not even a seed specification could be produced within the
+        limits; the explanation carries no artifacts.
+    """
+
+    EXACT = "EXACT"
+    DEGRADED_LIFT = "DEGRADED_LIFT"
+    DEGRADED_RAW = "DEGRADED_RAW"
+    FAILED = "FAILED"
+
+    @property
+    def degraded(self) -> bool:
+        return self is not ExplanationStatus.EXACT
 
 
 @dataclass
 class Explanation:
-    """Everything produced while answering one explanation question."""
+    """Everything produced while answering one explanation question.
+
+    Artifacts that a governed run could not produce are ``None`` (only
+    possible when ``status`` is not ``EXACT``); ``degradation`` then
+    holds a human-readable account of what was cut short.
+    """
 
     device: str
     requirement: str
-    seed: SeedSpecification
-    simplified: SimplifiedSeed
-    projected: ProjectedSpec
-    lift_result: LiftResult
+    seed: Optional[SeedSpecification]
+    simplified: Optional[SimplifiedSeed]
+    projected: Optional[ProjectedSpec]
+    lift_result: Optional[LiftResult]
     subspec: Subspecification
     timings: Dict[str, float] = field(default_factory=dict)
+    status: ExplanationStatus = ExplanationStatus.EXACT
+    degradation: Optional[str] = None
 
     @property
     def seed_constraints(self) -> int:
-        return self.seed.num_constraints
+        return self.seed.num_constraints if self.seed is not None else 0
 
     @property
     def simplified_constraints(self) -> int:
-        return self.simplified.output_constraints
+        return self.simplified.output_constraints if self.simplified is not None else 0
 
     @property
     def reduction_factor(self) -> float:
-        return self.simplified.constraint_reduction
+        return self.simplified.constraint_reduction if self.simplified is not None else 1.0
 
     def report(self) -> str:
         """A human-readable account of the whole run."""
+        if self.seed is None or self.simplified is None or self.projected is None:
+            lines = [
+                f"explanation for {self.device} "
+                f"(requirement {self.requirement}):",
+                f"  status               : {self.status.value}"
+                + (f" ({self.degradation})" if self.degradation else ""),
+                "",
+                self.subspec.render(),
+            ]
+            return "\n".join(lines)
         lines = [
             f"explanation for {self.device} "
             f"(requirement {self.requirement}):",
@@ -72,9 +127,14 @@ class Explanation:
             f"(x{self.reduction_factor:.0f} reduction)",
             f"  acceptable configs   : {len(self.projected.acceptable)} / "
             f"{self.projected.total_assignments}",
-            "",
-            self.subspec.render(),
         ]
+        if self.status.degraded:
+            lines.insert(
+                1,
+                f"  status               : {self.status.value}"
+                + (f" ({self.degradation})" if self.degradation else ""),
+            )
+        lines.extend(["", self.subspec.render()])
         return "\n".join(lines)
 
 
@@ -85,6 +145,9 @@ class ExplanationEngine:
     ... # doctest: +SKIP
     >>> explanation = engine.explain_router("R1", requirement="Req1")
     ... # doctest: +SKIP
+
+    ``governor`` bounds every stage of every question this engine
+    answers; all questions share its deadline and budget.
     """
 
     def __init__(
@@ -96,6 +159,7 @@ class ExplanationEngine:
         projection_limit: int = 4096,
         link_cost=None,
         ibgp: bool = False,
+        governor: Optional[Governor] = None,
     ) -> None:
         if config.has_holes():
             raise ValueError("the explanation engine expects a concrete configuration")
@@ -106,9 +170,12 @@ class ExplanationEngine:
         self.projection_limit = projection_limit
         self.link_cost = link_cost
         self.ibgp = ibgp
+        self.governor = governor
         # Questions are pure functions of (symbolized fields,
         # requirement) for a fixed engine, so answers are memoized --
-        # the per-requirement reports re-ask the same questions.
+        # the per-requirement reports re-ask the same questions.  Only
+        # EXACT answers are cached: a degraded answer reflects the
+        # budget state at the time it was cut short, not the question.
         self._cache: Dict[tuple, Explanation] = {}
 
     # ------------------------------------------------------------------
@@ -170,32 +237,103 @@ class ExplanationEngine:
         cached = self._cache.get(cache_key)
         if cached is not None:
             return cached
+        governor = self.governor
         timings: Dict[str, float] = {}
+        degradations = []
 
         started = time.perf_counter()
-        seed = extract_seed(
-            sketch, spec, holes, self.max_path_length, self.link_cost, self.ibgp
-        )
+        try:
+            seed = extract_seed(
+                sketch, spec, holes, self.max_path_length, self.link_cost,
+                self.ibgp, governor=governor,
+            )
+        except GOVERNED_ERRORS as exc:
+            timings["seed"] = time.perf_counter() - started
+            return self._finish(
+                Explanation(
+                    device=device,
+                    requirement=requirement_name,
+                    seed=None,
+                    simplified=None,
+                    projected=None,
+                    lift_result=None,
+                    subspec=Subspecification(
+                        device=device,
+                        requirement=requirement_name,
+                        statements=(),
+                        lifted=False,
+                        low_level=TRUE,
+                        variables=tuple(sorted(holes)),
+                    ),
+                    timings=timings,
+                    status=ExplanationStatus.FAILED,
+                    degradation=f"seed extraction interrupted: {exc}",
+                ),
+                cache_key,
+            )
         timings["seed"] = time.perf_counter() - started
 
         started = time.perf_counter()
-        simplified = simplify_seed(seed, rules=self.rules)
+        try:
+            simplified = simplify_seed(seed, rules=self.rules, governor=governor)
+        except GOVERNED_ERRORS as exc:
+            # Fall back to the unsimplified seed constraint; later
+            # stages do not depend on the simplified term.
+            simplified = SimplifiedSeed(
+                term=seed.constraint,
+                stats=RewriteStats(
+                    input_size=seed.size, output_size=seed.size
+                ),
+                input_constraints=seed.num_constraints,
+                output_constraints=seed.num_constraints,
+            )
+            degradations.append(f"simplification interrupted: {exc}")
         timings["simplify"] = time.perf_counter() - started
 
         started = time.perf_counter()
-        projected = project(seed, sketch, limit=self.projection_limit)
+        projected: Optional[ProjectedSpec] = None
+        lift_result: Optional[LiftResult] = None
+        try:
+            projected = project(
+                seed, sketch, limit=self.projection_limit, governor=governor
+            )
+        except GOVERNED_ERRORS as exc:
+            degradations.append(f"projection interrupted: {exc}")
         timings["project"] = time.perf_counter() - started
 
         started = time.perf_counter()
-        lift_result = lift(device, sketch, spec, seed, projected, projected.envs)
+        if projected is not None:
+            lift_result = lift(
+                device, sketch, spec, seed, projected, projected.envs,
+                governor=governor,
+            )
+            if lift_result.exhausted:
+                degradations.append("lift search interrupted")
         timings["lift"] = time.perf_counter() - started
+
+        if lift_result is not None and (lift_result.lifted or not degradations):
+            statements = lift_result.statements
+            lifted = lift_result.lifted
+            low_level = projected.term
+        else:
+            # Raw fallback: the best constraint-level artifact we have.
+            statements = ()
+            lifted = False
+            low_level = projected.term if projected is not None else simplified.term
+
+        if not degradations:
+            status = ExplanationStatus.EXACT
+        elif lift_result is not None and lift_result.lifted:
+            status = ExplanationStatus.DEGRADED_LIFT
+        else:
+            status = ExplanationStatus.DEGRADED_RAW
 
         subspec = Subspecification(
             device=device,
             requirement=requirement_name,
-            statements=lift_result.statements,
-            lifted=lift_result.lifted,
-            low_level=projected.term,
+            statements=statements,
+            lifted=lifted,
+            low_level=low_level,
             variables=tuple(sorted(holes)),
         )
         explanation = Explanation(
@@ -207,6 +345,16 @@ class ExplanationEngine:
             lift_result=lift_result,
             subspec=subspec,
             timings=timings,
+            status=status,
+            degradation="; ".join(degradations) if degradations else None,
         )
-        self._cache[cache_key] = explanation
+        return self._finish(explanation, cache_key)
+
+    def _finish(self, explanation: Explanation, cache_key: tuple) -> Explanation:
+        """Stamp budget accounting and cache exact answers."""
+        if self.governor is not None:
+            for name, value in self.governor.accounting().items():
+                explanation.timings[name] = value
+        if explanation.status is ExplanationStatus.EXACT:
+            self._cache[cache_key] = explanation
         return explanation

@@ -29,6 +29,7 @@ from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from ..bgp.config import NetworkConfig
+from ..runtime import GOVERNED_ERRORS, Governor, ReproError
 from ..smt import Term
 from ..spec.ast import (
     ForbiddenPath,
@@ -63,12 +64,18 @@ class LiftResult:
     variable space -- e.g. the paper's Figure 5 shows two transit
     slices through R2 that are interchangeable given the concrete rest
     of the network.
+
+    ``exhausted`` marks a search that was interrupted by a governed
+    limit (deadline, budget, cancellation): the result is then the best
+    *partial* lift over the candidates explored before the interrupt,
+    not a verdict on the full candidate space.
     """
 
     statements: Tuple[Statement, ...]
     lifted: bool
     candidates_tried: int
     equivalents: Tuple[Statement, ...] = ()
+    exhausted: bool = False
 
     @property
     def is_empty(self) -> bool:
@@ -81,6 +88,7 @@ def generate_candidates(
     specification: Specification,
     seed: SeedSpecification,
     max_candidates: int = 64,
+    governor: Optional[Governor] = None,
 ) -> Tuple[Statement, ...]:
     """Local candidate statements for ``device``."""
     space = seed.encoding.space
@@ -88,6 +96,8 @@ def generate_candidates(
     found: Dict[str, Statement] = {}
 
     def add(statement: Statement) -> None:
+        if governor is not None:
+            governor.checkpoint("lift")
         found.setdefault(str(statement), statement)
 
     # Blanket neighbor filters (Figure 2's shape).
@@ -236,6 +246,7 @@ def _statement_term(
     sketch: NetworkConfig,
     specification: Specification,
     seed: SeedSpecification,
+    governor: Optional[Governor] = None,
 ) -> Optional[Term]:
     """The filter-level encoding of a candidate statement on the sketch
     (same encoder as the synthesizer; selection axioms are not needed
@@ -249,8 +260,11 @@ def _statement_term(
             seed.encoding.space.max_path_length,
             seed.encoding.link_cost,
             ibgp=seed.encoding.ibgp,
+            governor=governor,
         )
         encoding = encoder.encode(include_selection=False)
+    except ReproError:
+        raise  # governed interrupts must not be swallowed
     except Exception:
         return None
     return encoding.constraint
@@ -264,31 +278,47 @@ def lift(
     projected: ProjectedSpec,
     envs: Dict[AssignmentKey, Dict[str, object]],
     max_conjunction: int = 3,
+    governor: Optional[Governor] = None,
 ) -> LiftResult:
     """Search the specification language for an equivalent subspec.
 
     ``envs`` maps each hole-assignment key to the evaluation
     environment produced during projection (hole values plus simulated
     selection values).
+
+    When a ``governor`` limit fires mid-search, the search degrades
+    instead of raising: the candidates already evaluated are still
+    searched for a singleton equivalent (no further budget is spent),
+    and the result is marked ``exhausted``.
     """
     all_keys = set(envs)
     target = {_key(assignment) for assignment in projected.acceptable}
     if target == all_keys:
         return LiftResult(statements=(), lifted=True, candidates_tried=0)
 
-    candidates = generate_candidates(device, specification, seed)
+    exhausted = False
     evaluated: List[Tuple[Statement, FrozenSet[AssignmentKey]]] = []
-    for statement in candidates:
-        term = _statement_term(statement, sketch, specification, seed)
-        if term is None:
-            continue
-        try:
-            accepted = frozenset(
-                key for key, env in envs.items() if bool(term.evaluate(env))
+    try:
+        candidates = generate_candidates(
+            device, specification, seed, governor=governor
+        )
+        for statement in candidates:
+            if governor is not None:
+                governor.checkpoint("lift")
+            term = _statement_term(
+                statement, sketch, specification, seed, governor=governor
             )
-        except KeyError:
-            continue
-        evaluated.append((statement, accepted))
+            if term is None:
+                continue
+            try:
+                accepted = frozenset(
+                    key for key, env in envs.items() if bool(term.evaluate(env))
+                )
+            except KeyError:
+                continue
+            evaluated.append((statement, accepted))
+    except GOVERNED_ERRORS:
+        exhausted = True
 
     # A statement can participate only if it holds on every acceptable
     # assignment (otherwise the conjunction would exclude valid configs).
@@ -300,18 +330,42 @@ def lift(
     singleton_equivalents = tuple(
         statement for statement, accepted in necessary if accepted == target
     )
-    for size in range(1, max_conjunction + 1):
-        for combo in itertools.combinations(necessary, size):
-            intersection = set(all_keys)
-            for _, accepted in combo:
-                intersection &= accepted
-            if intersection == target:
-                chosen = tuple(statement for statement, _ in combo)
-                others = tuple(s for s in singleton_equivalents if s not in chosen)
-                return LiftResult(
-                    statements=chosen,
-                    lifted=True,
-                    candidates_tried=len(evaluated),
-                    equivalents=others,
-                )
-    return LiftResult(statements=(), lifted=False, candidates_tried=len(evaluated))
+    if not exhausted:
+        try:
+            for size in range(1, max_conjunction + 1):
+                for combo in itertools.combinations(necessary, size):
+                    if governor is not None:
+                        governor.checkpoint("lift")
+                    intersection = set(all_keys)
+                    for _, accepted in combo:
+                        intersection &= accepted
+                    if intersection == target:
+                        chosen = tuple(statement for statement, _ in combo)
+                        others = tuple(
+                            s for s in singleton_equivalents if s not in chosen
+                        )
+                        return LiftResult(
+                            statements=chosen,
+                            lifted=True,
+                            candidates_tried=len(evaluated),
+                            equivalents=others,
+                        )
+        except GOVERNED_ERRORS:
+            exhausted = True
+    if exhausted and singleton_equivalents:
+        # Partial lift: a single explored statement already matches the
+        # target exactly, so a (possibly non-minimal) lift exists.
+        chosen = (singleton_equivalents[0],)
+        return LiftResult(
+            statements=chosen,
+            lifted=True,
+            candidates_tried=len(evaluated),
+            equivalents=tuple(s for s in singleton_equivalents[1:]),
+            exhausted=True,
+        )
+    return LiftResult(
+        statements=(),
+        lifted=False,
+        candidates_tried=len(evaluated),
+        exhausted=exhausted,
+    )

@@ -21,13 +21,14 @@ from typing import Dict, List, Mapping, Optional, Tuple
 from ..bgp.config import NetworkConfig
 from ..bgp.simulation import ConvergenceError, simulate
 from ..bgp.sketch import Hole
+from ..runtime import Governor, ReproError
 from ..smt import And, Eq, FALSE, Or, Term, simplify
 from .seed import SeedSpecification
 
 __all__ = ["ProjectionError", "ProjectedSpec", "project"]
 
 
-class ProjectionError(RuntimeError):
+class ProjectionError(ReproError, RuntimeError):
     """The hole space is too large to enumerate."""
 
 
@@ -76,6 +77,7 @@ def project(
     seed: SeedSpecification,
     sketch: NetworkConfig,
     limit: int = 4096,
+    governor: Optional[Governor] = None,
 ) -> ProjectedSpec:
     """Enumerate hole assignments and classify each as acceptable.
 
@@ -105,7 +107,11 @@ def project(
     rejected: List[Dict[str, object]] = []
     envs: Dict[Tuple[Tuple[str, str], ...], Dict[str, object]] = {}
     for assignment in _iter_assignments(seed.holes):
-        ok, env = _classify_assignment(requirement, assignment, sketch, seed)
+        if governor is not None:
+            governor.checkpoint("project")
+        ok, env = _classify_assignment(
+            requirement, assignment, sketch, seed, governor=governor
+        )
         key = tuple(sorted((name, str(value)) for name, value in assignment.items()))
         if env is not None:
             envs[key] = env
@@ -129,6 +135,7 @@ def _classify_assignment(
     assignment: Dict[str, object],
     sketch: NetworkConfig,
     seed: SeedSpecification,
+    governor: Optional[Governor] = None,
 ):
     """(acceptable?, evaluation env) for one hole assignment.
 
@@ -140,6 +147,7 @@ def _classify_assignment(
             filled,
             link_cost=seed.encoding.link_cost,
             ibgp=seed.encoding.ibgp,
+            governor=governor,
         )
     except ConvergenceError:
         return False, None

@@ -15,6 +15,7 @@ from typing import Dict, Optional
 
 from ..bgp.config import NetworkConfig
 from ..bgp.sketch import Hole
+from ..runtime import Governor
 from ..smt import Term
 from ..spec.ast import Specification
 from ..synthesis.encoder import Encoder, Encoding
@@ -64,10 +65,12 @@ def extract_seed(
     max_path_length: Optional[int] = None,
     link_cost=None,
     ibgp: bool = False,
+    governor: Optional[Governor] = None,
 ) -> SeedSpecification:
     """Encode the partially symbolic network into a seed specification."""
     encoding = Encoder(
-        sketch, specification, max_path_length, link_cost, ibgp=ibgp
+        sketch, specification, max_path_length, link_cost, ibgp=ibgp,
+        governor=governor,
     ).encode()
     return SeedSpecification(
         constraint=encoding.constraint,

@@ -17,6 +17,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..bgp.config import NetworkConfig
 from ..bgp.diff import OutcomeDiff, diff_outcomes
 from ..bgp.simulation import ConvergenceError, RoutingOutcome, simulate
+from ..runtime import Governor
 from ..spec.ast import Specification
 from ..verify.verifier import Report, verify
 from .engine import Explanation, ExplanationEngine
@@ -67,10 +68,12 @@ class InteractiveSession:
         config: NetworkConfig,
         specification: Specification,
         max_path_length: Optional[int] = None,
+        governor: Optional[Governor] = None,
     ) -> None:
         self._config = config.copy()
         self.specification = specification
         self.max_path_length = max_path_length
+        self.governor = governor
         self.history: List[str] = []
         self._engine: Optional[ExplanationEngine] = None
         self._baseline: Optional[RoutingOutcome] = None
@@ -84,13 +87,14 @@ class InteractiveSession:
     def _get_engine(self) -> ExplanationEngine:
         if self._engine is None:
             self._engine = ExplanationEngine(
-                self._config, self.specification, self.max_path_length
+                self._config, self.specification, self.max_path_length,
+                governor=self.governor,
             )
         return self._engine
 
     def _get_baseline(self) -> RoutingOutcome:
         if self._baseline is None:
-            self._baseline = simulate(self._config)
+            self._baseline = simulate(self._config, governor=self.governor)
         return self._baseline
 
     def _invalidate(self) -> None:
@@ -135,7 +139,7 @@ class InteractiveSession:
         candidate = self._edited(ref, value)
         self.history.append(f"what-if {ref} = {value}")
         try:
-            outcome = simulate(candidate)
+            outcome = simulate(candidate, governor=self.governor)
         except ConvergenceError:
             return WhatIfResult(ref=ref, value=value, report=None, diff=None, converged=False)
         report = verify(candidate, self.specification)

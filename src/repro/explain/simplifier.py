@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
+from ..runtime import Governor
 from ..smt import And, RewriteEngine, RewriteRule, RewriteStats, Term
 from .seed import SeedSpecification
 
@@ -43,6 +44,7 @@ def simplify_seed(
     seed: SeedSpecification,
     rules: Optional[Sequence[RewriteRule]] = None,
     use_cone_of_influence: bool = False,
+    governor: Optional[Governor] = None,
 ) -> SimplifiedSeed:
     """Apply the rewrite rules (optionally after a cone-of-influence
     restriction to the symbolized variables) until fixpoint."""
@@ -54,7 +56,7 @@ def simplify_seed(
         )
         constraint = cone_of_influence(constraint, hole_vars)
     stats = RewriteStats()
-    engine = RewriteEngine(rules)
+    engine = RewriteEngine(rules, governor=governor)
     simplified = engine.simplify(constraint, stats)
     # Report sizes relative to the original seed even when the cone
     # restriction already removed conjuncts.

@@ -1,0 +1,43 @@
+"""Resource-governed execution: deadlines, budgets, cancellation, faults.
+
+This package sits *below* every other layer (it imports nothing from
+the rest of the repository) and provides the machinery that keeps hard
+instances from hanging an explanation run:
+
+* :class:`Deadline` -- wall-clock limits on a monotonic clock,
+* :class:`WorkBudget` -- named work counters (SAT conflicts, rewrite
+  steps, enumerated models, candidates, simulation rounds, ...),
+* :class:`CancelToken` -- cooperative cancellation,
+* :class:`Governor` -- the composable bundle the hot loops checkpoint,
+* :class:`FaultPlan` -- deterministic fault injection for tests,
+* the structured exception taxonomy rooted at :class:`ReproError`.
+
+See ``docs/robustness.md`` for the degradation contract each pipeline
+stage honours when a governed limit fires.
+"""
+
+from .errors import (
+    Cancelled,
+    DeadlineExceeded,
+    EnumerationTruncated,
+    GOVERNED_ERRORS,
+    ReproError,
+    ResourceExhausted,
+)
+from .faults import FaultPlan, FaultSpec
+from .governor import CancelToken, Deadline, Governor, WorkBudget
+
+__all__ = [
+    "ReproError",
+    "ResourceExhausted",
+    "DeadlineExceeded",
+    "Cancelled",
+    "EnumerationTruncated",
+    "GOVERNED_ERRORS",
+    "Deadline",
+    "WorkBudget",
+    "CancelToken",
+    "Governor",
+    "FaultPlan",
+    "FaultSpec",
+]

@@ -1,0 +1,96 @@
+"""The structured exception taxonomy for resource-governed execution.
+
+Every error the pipeline raises deliberately derives from
+:class:`ReproError`, so callers (the explanation engine, the CLI) can
+distinguish *governed* outcomes -- a deadline fired, a work budget ran
+out, the user cancelled -- from genuine internal errors, and map each
+to a graceful degradation or a distinct exit code.
+
+The taxonomy::
+
+    ReproError
+    ├── ResourceExhausted          a work budget ran out
+    │   └── DeadlineExceeded       the wall-clock deadline passed
+    ├── Cancelled                  cooperative cancellation was requested
+    └── EnumerationTruncated       a model enumeration hit its limit
+                                   with models still remaining
+
+``EnumerationTruncated`` carries the partial count so callers can still
+use the lower bound.  ``GOVERNED_ERRORS`` is the tuple to catch when a
+caller wants to degrade gracefully on any governed interruption.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = [
+    "ReproError",
+    "ResourceExhausted",
+    "DeadlineExceeded",
+    "Cancelled",
+    "EnumerationTruncated",
+    "GOVERNED_ERRORS",
+]
+
+
+class ReproError(Exception):
+    """Base class for all structured errors raised by this package."""
+
+
+class ResourceExhausted(ReproError):
+    """A work budget (conflicts, rewrite steps, models, ...) ran out.
+
+    Attributes
+    ----------
+    stage:
+        The pipeline stage whose checkpoint detected exhaustion
+        (``"sat"``, ``"rewrite"``, ``"enumerate"``, ``"encode"``,
+        ``"lift"``, ``"project"``, ``"simulate"``), when known.
+    kind:
+        The budget counter that ran out (``"conflicts"``,
+        ``"rewrite_steps"``, ``"models"``, ``"candidates"``,
+        ``"rounds"``, ``"assignments"``, ``"total"``), when known.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        stage: Optional[str] = None,
+        kind: Optional[str] = None,
+    ) -> None:
+        super().__init__(message)
+        self.stage = stage
+        self.kind = kind
+
+
+class DeadlineExceeded(ResourceExhausted):
+    """The wall-clock deadline passed (time is a resource too)."""
+
+    def __init__(self, message: str, stage: Optional[str] = None) -> None:
+        super().__init__(message, stage=stage, kind="time")
+
+
+class Cancelled(ReproError):
+    """Cooperative cancellation was requested via a :class:`CancelToken`."""
+
+    def __init__(self, message: str = "operation cancelled", stage: Optional[str] = None) -> None:
+        super().__init__(message)
+        self.stage = stage
+
+
+class EnumerationTruncated(ReproError):
+    """A model enumeration stopped at its limit with models remaining.
+
+    ``count`` is the number of models produced before truncation -- a
+    sound lower bound on the true model count.
+    """
+
+    def __init__(self, message: str, count: int = 0) -> None:
+        super().__init__(message)
+        self.count = count
+
+
+#: The exceptions a governed loop may raise when interrupted; catch this
+#: tuple to degrade gracefully instead of crashing.
+GOVERNED_ERRORS = (ResourceExhausted, Cancelled)

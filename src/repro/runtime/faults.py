@@ -1,0 +1,98 @@
+"""Deterministic fault injection for robustness tests.
+
+A :class:`FaultPlan` is attached to a :class:`~repro.runtime.governor.Governor`
+and fires a configured exception at exactly the Nth checkpoint of a
+named stage.  Because every governed loop counts its checkpoints
+deterministically, a fault plan turns "what happens if the SAT solver
+dies mid-search?" into a reproducible unit test::
+
+    plan = FaultPlan()
+    plan.inject("sat", at=3)                    # ResourceExhausted at the
+    governor = Governor(faults=plan)            # 3rd sat checkpoint
+    ...
+
+``inject`` accepts an exception class (instantiated with a descriptive
+message), a ready-made exception instance, or a zero-argument callable
+returning one -- whatever the test needs.  ``plan.fired`` records every
+fault that actually triggered, so tests can assert the fault was hit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple, Union
+
+from .errors import ResourceExhausted
+
+__all__ = ["FaultPlan", "FaultSpec"]
+
+ExcLike = Union[BaseException, type, Callable[[], BaseException]]
+
+
+@dataclass
+class FaultSpec:
+    """One armed fault: stage name, checkpoint index, exception source."""
+
+    stage: str
+    at: int
+    make: Callable[[], BaseException]
+    once: bool = True
+    triggered: int = 0
+
+
+class FaultPlan:
+    """A deterministic schedule of injected faults, keyed by stage."""
+
+    def __init__(self) -> None:
+        self._specs: List[FaultSpec] = []
+        self.fired: List[Tuple[str, int]] = []
+
+    def inject(
+        self,
+        stage: str,
+        at: int = 1,
+        exc: Optional[ExcLike] = None,
+        message: Optional[str] = None,
+        once: bool = True,
+    ) -> "FaultPlan":
+        """Arm a fault at the ``at``-th checkpoint of ``stage`` (1-based).
+
+        ``once=False`` re-fires at every subsequent checkpoint of the
+        stage from ``at`` on (useful to model a persistently exhausted
+        resource).  Returns ``self`` for chaining.
+        """
+        if at < 1:
+            raise ValueError(f"checkpoint index must be >= 1, got {at}")
+        text = message or f"injected fault at {stage} checkpoint {at}"
+
+        if exc is None:
+            make: Callable[[], BaseException] = lambda: ResourceExhausted(text, stage=stage)
+        elif isinstance(exc, BaseException):
+            make = lambda: exc
+        elif isinstance(exc, type) and issubclass(exc, BaseException):
+            if issubclass(exc, ResourceExhausted):
+                make = lambda: exc(text, stage=stage)
+            else:
+                make = lambda: exc(text)
+        elif callable(exc):
+            make = exc
+        else:
+            raise TypeError(f"exc must be an exception, class or callable, got {exc!r}")
+        self._specs.append(FaultSpec(stage=stage, at=at, make=make, once=once))
+        return self
+
+    def fire(self, stage: str, count: int) -> None:
+        """Called by the governor at every checkpoint; raises if armed."""
+        for spec in self._specs:
+            if spec.stage != stage:
+                continue
+            due = count == spec.at if spec.once else count >= spec.at
+            if due:
+                spec.triggered += 1
+                self.fired.append((stage, count))
+                raise spec.make()
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether every armed one-shot fault has triggered."""
+        return all(spec.triggered > 0 for spec in self._specs if spec.once)

@@ -1,0 +1,263 @@
+"""Deadlines, work budgets, cancellation and the composable Governor.
+
+Every expensive loop in the pipeline -- CDCL search, the rewrite
+fixpoint, model enumeration, candidate-route encoding, the lift search,
+the control-plane simulation -- calls :meth:`Governor.checkpoint` once
+per unit of work.  A checkpoint is cheap (a few dict updates and one
+``time.monotonic`` call) and performs, in order:
+
+1. per-stage accounting (always),
+2. deterministic fault injection (tests only; see
+   :mod:`repro.runtime.faults`),
+3. the cooperative-cancellation check,
+4. the wall-clock deadline check,
+5. the work-budget charge for the stage's counter.
+
+Loops take an ``Optional[Governor]`` and skip the call entirely when it
+is ``None``, so ungoverned runs are byte-identical to the pre-governor
+behaviour.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Optional
+
+from .errors import Cancelled, DeadlineExceeded, ResourceExhausted
+
+__all__ = ["Deadline", "WorkBudget", "CancelToken", "Governor"]
+
+
+class Deadline:
+    """A wall-clock deadline based on a monotonic clock.
+
+    >>> deadline = Deadline(seconds=5.0)
+    >>> deadline.expired()
+    False
+    """
+
+    __slots__ = ("seconds", "_expires_at", "_clock")
+
+    def __init__(
+        self,
+        seconds: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if seconds < 0:
+            raise ValueError(f"deadline must be non-negative, got {seconds}")
+        self.seconds = float(seconds)
+        self._clock = clock
+        self._expires_at = clock() + self.seconds
+
+    @classmethod
+    def after(cls, seconds: float) -> "Deadline":
+        return cls(seconds)
+
+    def remaining(self) -> float:
+        """Seconds left; never negative."""
+        return max(0.0, self._expires_at - self._clock())
+
+    def expired(self) -> bool:
+        return self._clock() >= self._expires_at
+
+    def check(self, stage: Optional[str] = None) -> None:
+        if self.expired():
+            raise DeadlineExceeded(
+                f"deadline of {self.seconds:g}s exceeded"
+                + (f" during stage {stage!r}" if stage else ""),
+                stage=stage,
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Deadline({self.seconds:g}s, remaining={self.remaining():g}s)"
+
+
+class WorkBudget:
+    """Named work counters with optional limits.
+
+    The counters mirror the pipeline's units of work: SAT ``conflicts``,
+    ``rewrite_steps``, enumerated ``models``, encoded/evaluated
+    ``candidates``, simulation ``rounds``, projection ``assignments``,
+    plus an aggregate ``total`` across all of them.  A limit of ``None``
+    means unlimited (but spending is still tracked for accounting).
+    """
+
+    KINDS = (
+        "conflicts",
+        "rewrite_steps",
+        "models",
+        "candidates",
+        "rounds",
+        "assignments",
+        "total",
+    )
+
+    def __init__(
+        self,
+        conflicts: Optional[int] = None,
+        rewrite_steps: Optional[int] = None,
+        models: Optional[int] = None,
+        candidates: Optional[int] = None,
+        rounds: Optional[int] = None,
+        assignments: Optional[int] = None,
+        total: Optional[int] = None,
+    ) -> None:
+        self.limits: Dict[str, Optional[int]] = {
+            "conflicts": conflicts,
+            "rewrite_steps": rewrite_steps,
+            "models": models,
+            "candidates": candidates,
+            "rounds": rounds,
+            "assignments": assignments,
+            "total": total,
+        }
+        for kind, limit in self.limits.items():
+            if limit is not None and limit < 0:
+                raise ValueError(f"budget {kind!r} must be non-negative, got {limit}")
+        self.spent: Dict[str, int] = {kind: 0 for kind in self.KINDS}
+
+    def remaining(self, kind: str) -> Optional[int]:
+        """Units left for ``kind``; ``None`` when unlimited."""
+        limit = self.limits[kind]
+        if limit is None:
+            return None
+        return max(0, limit - self.spent[kind])
+
+    def spend(self, kind: str, amount: int = 1, stage: Optional[str] = None) -> None:
+        """Charge ``amount`` units of ``kind`` (plus the aggregate).
+
+        Raises :class:`ResourceExhausted` when either the kind's limit
+        or the ``total`` limit is exceeded.
+        """
+        if kind not in self.spent:
+            raise ValueError(f"unknown budget kind {kind!r}; known: {', '.join(self.KINDS)}")
+        self.spent[kind] += amount
+        if kind != "total":
+            self.spent["total"] += amount
+        for charged in (kind, "total"):
+            limit = self.limits[charged]
+            if limit is not None and self.spent[charged] > limit:
+                raise ResourceExhausted(
+                    f"work budget exhausted: {charged} limit of {limit} exceeded"
+                    + (f" during stage {stage!r}" if stage else ""),
+                    stage=stage,
+                    kind=charged,
+                )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        parts = [
+            f"{kind}={self.spent[kind]}/{self.limits[kind]}"
+            for kind in self.KINDS
+            if self.limits[kind] is not None
+        ]
+        return f"WorkBudget({', '.join(parts) or 'unlimited'})"
+
+
+class CancelToken:
+    """A cooperative cancellation flag, checked at every checkpoint."""
+
+    __slots__ = ("_cancelled", "reason")
+
+    def __init__(self) -> None:
+        self._cancelled = False
+        self.reason: Optional[str] = None
+
+    def cancel(self, reason: Optional[str] = None) -> None:
+        self._cancelled = True
+        self.reason = reason
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def check(self, stage: Optional[str] = None) -> None:
+        if self._cancelled:
+            raise Cancelled(
+                self.reason or "operation cancelled",
+                stage=stage,
+            )
+
+
+class Governor:
+    """Composable execution governor: deadline + budget + cancellation.
+
+    One governor instance is threaded through an entire pipeline run;
+    its accounting therefore reflects the whole run, and its budget is
+    shared across stages (the aggregate ``total`` counter makes a
+    single ``--budget N`` CLI flag meaningful).
+    """
+
+    #: Which budget counter each stage charges at its checkpoints.
+    STAGE_KINDS: Dict[str, str] = {
+        "sat": "conflicts",
+        "rewrite": "rewrite_steps",
+        "enumerate": "models",
+        "encode": "candidates",
+        "lift": "candidates",
+        "project": "assignments",
+        "simulate": "rounds",
+    }
+
+    def __init__(
+        self,
+        deadline: Optional[Deadline] = None,
+        budget: Optional[WorkBudget] = None,
+        token: Optional[CancelToken] = None,
+        faults=None,
+    ) -> None:
+        self.deadline = deadline
+        self.budget = budget
+        self.token = token
+        self.faults = faults
+        self.checkpoints: Dict[str, int] = {}
+
+    @classmethod
+    def of(
+        cls,
+        timeout: Optional[float] = None,
+        budget: Optional[int] = None,
+        token: Optional[CancelToken] = None,
+    ) -> "Governor":
+        """Convenience constructor matching the CLI flags: an optional
+        wall-clock ``timeout`` in seconds and an aggregate work
+        ``budget`` shared across all stages."""
+        return cls(
+            deadline=Deadline(timeout) if timeout is not None else None,
+            budget=WorkBudget(total=budget) if budget is not None else None,
+            token=token,
+        )
+
+    def checkpoint(self, stage: str, amount: int = 1) -> None:
+        """One unit of work in ``stage``; raises on any governed limit."""
+        self.checkpoints[stage] = self.checkpoints.get(stage, 0) + 1
+        if self.faults is not None:
+            self.faults.fire(stage, self.checkpoints[stage])
+        if self.token is not None:
+            self.token.check(stage)
+        if self.deadline is not None:
+            self.deadline.check(stage)
+        if self.budget is not None:
+            kind = self.STAGE_KINDS.get(stage, "total")
+            self.budget.spend(kind, amount, stage=stage)
+
+    def accounting(self) -> Dict[str, int]:
+        """Checkpoint counts per stage plus budget spend per counter."""
+        report: Dict[str, int] = {
+            f"checkpoints:{stage}": count
+            for stage, count in sorted(self.checkpoints.items())
+        }
+        if self.budget is not None:
+            for kind in WorkBudget.KINDS:
+                if self.budget.spent[kind]:
+                    report[f"budget:{kind}"] = self.budget.spent[kind]
+        return report
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        parts = []
+        if self.deadline is not None:
+            parts.append(repr(self.deadline))
+        if self.budget is not None:
+            parts.append(repr(self.budget))
+        if self.token is not None and self.token.cancelled:
+            parts.append("cancelled")
+        return f"Governor({', '.join(parts) or 'unlimited'})"

@@ -50,9 +50,11 @@ from .rewrite import (
     simplify,
 )
 from .solver import (
+    ModelEnumeration,
     check_sat,
     count_models,
     entails,
+    enumerate_models,
     equivalent,
     is_satisfiable,
     is_valid,
@@ -72,7 +74,8 @@ __all__ = [
     "RewriteStats", "simplify",
     # solver
     "check_sat", "is_satisfiable", "is_valid", "entails", "equivalent",
-    "iter_models", "count_models", "Model",
+    "iter_models", "count_models", "enumerate_models", "ModelEnumeration",
+    "Model",
     "minimal_unsat_subset", "is_minimal_unsat",
     # printing
     "to_infix", "to_sexpr", "render_conjunction",

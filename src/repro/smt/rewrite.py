@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from ..runtime import Governor
 from .builders import And, FALSE, Implies, Not, Or, TRUE
 from .terms import Term, TermKind
 
@@ -394,9 +395,15 @@ class RewriteEngine:
     ablation study) never share results.
     """
 
-    def __init__(self, rules: Optional[Iterable[RewriteRule]] = None, max_passes: int = 10_000) -> None:
+    def __init__(
+        self,
+        rules: Optional[Iterable[RewriteRule]] = None,
+        max_passes: int = 10_000,
+        governor: Optional[Governor] = None,
+    ) -> None:
         self.rules: Tuple[RewriteRule, ...] = tuple(rules) if rules is not None else ALL_RULES
         self.max_passes = max_passes
+        self.governor = governor
         self._cache: Dict[Term, Term] = {}
 
     def simplify(self, term: Term, stats: Optional[RewriteStats] = None) -> Term:
@@ -438,6 +445,8 @@ class RewriteEngine:
         for rule in self.rules:
             rewritten = rule.apply(term)
             if rewritten is not None and rewritten is not term:
+                if self.governor is not None:
+                    self.governor.checkpoint("rewrite")
                 if stats is not None:
                     stats.record(rule.name)
                 return rewritten
@@ -448,6 +457,7 @@ def simplify(
     term: Term,
     rules: Optional[Sequence[RewriteRule]] = None,
     stats: Optional[RewriteStats] = None,
+    governor: Optional[Governor] = None,
 ) -> Term:
     """Simplify ``term`` with the full rule set (or ``rules`` if given)."""
-    return RewriteEngine(rules).simplify(term, stats)
+    return RewriteEngine(rules, governor=governor).simplify(term, stats)

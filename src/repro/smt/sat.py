@@ -19,7 +19,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from ..runtime import Governor
+
 __all__ = ["SatSolver", "SatResult", "solve_clauses"]
+
+# Restart scheduling: the geometric interval is clamped so that very
+# long runs neither overflow ``int(1.5 ** huge)`` nor effectively
+# disable restarts forever.
+_RESTART_BASE = 100
+_RESTART_EXPONENT_CAP = 40.0
+_RESTART_INTERVAL_CEILING = 1_000_000
 
 
 @dataclass
@@ -57,8 +66,9 @@ class SatSolver:
         result = solver.solve()
     """
 
-    def __init__(self, num_vars: int) -> None:
+    def __init__(self, num_vars: int, governor: Optional[Governor] = None) -> None:
         self.num_vars = num_vars
+        self.governor = governor
         self.clauses: List[_Clause] = []
         self._watches: Dict[int, List[_Clause]] = {}
         # Assignment state: index by variable (1-based).
@@ -291,6 +301,8 @@ class SatSolver:
             conflict = self._propagate()
             if conflict is not None:
                 self.conflicts += 1
+                if self.governor is not None:
+                    self.governor.checkpoint("sat")
                 if len(self._trail_limits) <= assumption_level:
                     return self._result(False)
                 learned, backtrack_level = self._analyze(conflict)
@@ -305,8 +317,8 @@ class SatSolver:
                 self._activity_inc /= self._activity_decay
                 conflict_budget -= 1
                 if conflict_budget <= 0:
-                    # Geometric restart.
-                    conflict_budget = int(100 * 1.5 ** (self.conflicts / 100))
+                    # Geometric restart (clamped; see module constants).
+                    conflict_budget = self._restart_interval()
                     self._backtrack(assumption_level)
                 continue
             decision = self._decide()
@@ -315,6 +327,17 @@ class SatSolver:
             self.decisions += 1
             self._trail_limits.append(len(self._trail))
             self._enqueue(decision, None)
+
+    def _restart_interval(self) -> int:
+        """The next geometric restart interval, clamped to a ceiling.
+
+        The unclamped ``int(100 * 1.5 ** (conflicts / 100))`` raises
+        ``OverflowError`` (via ``float('inf')``) once ``conflicts``
+        passes ~175k; clamping both the exponent and the result keeps
+        long runs restarting on a sane schedule.
+        """
+        exponent = min(self.conflicts / 100.0, _RESTART_EXPONENT_CAP)
+        return min(int(_RESTART_BASE * 1.5 ** exponent), _RESTART_INTERVAL_CEILING)
 
     def _result(self, satisfiable: bool) -> SatResult:
         assignment: Dict[int, bool] = {}
@@ -333,9 +356,13 @@ class SatSolver:
         return result
 
 
-def solve_clauses(num_vars: int, clauses: Iterable[Iterable[int]]) -> SatResult:
+def solve_clauses(
+    num_vars: int,
+    clauses: Iterable[Iterable[int]],
+    governor: Optional[Governor] = None,
+) -> SatResult:
     """One-shot convenience wrapper."""
-    solver = SatSolver(num_vars)
+    solver = SatSolver(num_vars, governor=governor)
     for clause in clauses:
         solver.add_clause(clause)
     return solver.solve()

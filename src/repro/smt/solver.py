@@ -8,8 +8,10 @@ holds by construction for every term the BGP encoder produces).
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
 
+from ..runtime import EnumerationTruncated, Governor
 from .builders import And, Not
 from .cnf import to_cnf
 from .fdblast import blast
@@ -25,14 +27,16 @@ __all__ = [
     "equivalent",
     "iter_models",
     "count_models",
+    "enumerate_models",
+    "ModelEnumeration",
 ]
 
 
-def check_sat(term: Term) -> Optional[Model]:
+def check_sat(term: Term, governor: Optional[Governor] = None) -> Optional[Model]:
     """Return a model of ``term``, or ``None`` if unsatisfiable."""
     blasted = blast(term)
     cnf = to_cnf(blasted.formula)
-    solver = SatSolver(cnf.num_vars)
+    solver = SatSolver(cnf.num_vars, governor=governor)
     for clause in cnf.clauses:
         if not clause:
             return None
@@ -74,12 +78,24 @@ def equivalent(lhs: Term, rhs: Term) -> bool:
     return entails(lhs, rhs) and entails(rhs, lhs)
 
 
-def iter_models(term: Term, limit: int = 1_000_000) -> Iterator[Model]:
+def iter_models(
+    term: Term,
+    limit: int = 1_000_000,
+    governor: Optional[Governor] = None,
+    strict: bool = False,
+) -> Iterator[Model]:
     """Enumerate models of ``term``, distinct on its free variables.
 
     Enumeration proceeds by adding blocking clauses over the input's
     free variables (boolean variables and one-hot indicators), so
     Tseitin definition variables never cause duplicate models.
+
+    With ``strict=True``, hitting ``limit`` while further models remain
+    raises :class:`~repro.runtime.EnumerationTruncated` (carrying the
+    partial count) instead of silently stopping -- callers that need an
+    *exhaustive* enumeration must not mistake a truncated one for it.
+    A ``governor`` is checkpointed once per produced model (stage
+    ``"enumerate"``).
     """
     # Anchor every non-boolean free variable with a tautological domain
     # disjunction, so its indicators exist in the CNF even when the
@@ -103,8 +119,8 @@ def iter_models(term: Term, limit: int = 1_000_000) -> Iterator[Model]:
     free_names = _free_boolean_names(term, blasted)
     produced = 0
     extra_clauses: List[List[int]] = []
-    while produced < limit:
-        fresh = SatSolver(cnf.num_vars)
+    while True:
+        fresh = SatSolver(cnf.num_vars, governor=governor)
         for clause in cnf.clauses:
             fresh.add_clause(clause)
         for clause in extra_clauses:
@@ -112,6 +128,17 @@ def iter_models(term: Term, limit: int = 1_000_000) -> Iterator[Model]:
         result = fresh.solve()
         if not result.satisfiable:
             return
+        if produced >= limit:
+            # The limit is hit *and* at least one further model exists.
+            if strict:
+                raise EnumerationTruncated(
+                    f"model enumeration truncated at limit={limit} "
+                    "with models remaining",
+                    count=produced,
+                )
+            return
+        if governor is not None:
+            governor.checkpoint("enumerate")
         bool_model = cnf.decode(result.assignment)
         yield Model(blasted.decode(bool_model))
         produced += 1
@@ -138,9 +165,60 @@ def _free_boolean_names(term: Term, blasted) -> List[str]:
     return names
 
 
-def count_models(term: Term, limit: int = 1_000_000) -> int:
-    """Count models (distinct on free variables), up to ``limit``."""
+@dataclass(frozen=True)
+class ModelEnumeration:
+    """The result of a bounded model enumeration.
+
+    ``exhaustive`` distinguishes "these are *all* the models" from
+    "these are the first ``limit`` models" -- the distinction
+    projection-style consumers must not lose.
+    """
+
+    models: Tuple[Model, ...]
+    exhaustive: bool
+
+    @property
+    def truncated(self) -> bool:
+        return not self.exhaustive
+
+    def __len__(self) -> int:
+        return len(self.models)
+
+    def __iter__(self):
+        return iter(self.models)
+
+
+def enumerate_models(
+    term: Term,
+    limit: int = 1_000_000,
+    governor: Optional[Governor] = None,
+) -> ModelEnumeration:
+    """Enumerate up to ``limit`` models with an explicit exhaustiveness
+    flag instead of an exception."""
+    models: List[Model] = []
+    try:
+        for model in iter_models(term, limit=limit, governor=governor, strict=True):
+            models.append(model)
+    except EnumerationTruncated:
+        return ModelEnumeration(models=tuple(models), exhaustive=False)
+    return ModelEnumeration(models=tuple(models), exhaustive=True)
+
+
+def count_models(
+    term: Term,
+    limit: int = 1_000_000,
+    governor: Optional[Governor] = None,
+    strict: bool = True,
+) -> int:
+    """Count models (distinct on free variables), up to ``limit``.
+
+    By default a truncated count raises
+    :class:`~repro.runtime.EnumerationTruncated` (a silently truncated
+    count is indistinguishable from an exact one and has historically
+    been misread as exhaustive); pass ``strict=False`` to get the
+    lower bound instead.
+    """
     count = 0
-    for _ in iter_models(term, limit=limit):
+    for _ in iter_models(term, limit=limit, governor=governor, strict=strict):
         count += 1
     return count

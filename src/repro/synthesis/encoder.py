@@ -40,6 +40,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..bgp.announcement import DEFAULT_LOCAL_PREF
 from ..bgp.config import Direction, NetworkConfig
+from ..runtime import Governor
 from ..smt import (
     And,
     AtMostOne,
@@ -116,11 +117,13 @@ class Encoder:
         max_path_length: Optional[int] = None,
         link_cost=None,
         ibgp: bool = False,
+        governor: Optional[Governor] = None,
     ) -> None:
         self.config = config
         self.specification = specification
         self.link_cost = link_cost
         self.ibgp = ibgp
+        self.governor = governor
         self.space = CandidateSpace(config.topology, max_path_length, ibgp=ibgp)
         router_configs = [
             config.router_config(name) for name in config.topology.router_names
@@ -137,11 +140,16 @@ class Encoder:
     # Per-candidate symbolic propagation
     # ------------------------------------------------------------------
 
+    def _checkpoint(self) -> None:
+        if self.governor is not None:
+            self.governor.checkpoint("encode")
+
     def _state_of(self, candidate: Candidate) -> SymbolicRoute:
         key = candidate.key()
         cached = self._states.get(key)
         if cached is not None:
             return cached
+        self._checkpoint()
         parent = candidate.parent()
         if parent is None:
             state = SymbolicRoute.originated(
@@ -259,6 +267,7 @@ class Encoder:
                     axioms.append(Implies(best, avail))
                 axioms.append(Implies(Or(*avails), Or(*best_vars)))
                 for chosen in candidates:
+                    self._checkpoint()
                     for other in candidates:
                         if chosen is other:
                             continue
@@ -278,6 +287,7 @@ class Encoder:
         constraints: List[Term] = []
         managed = self.specification.managed
         for candidate in self.space.all():
+            self._checkpoint()
             if len(candidate.path) == 1:
                 continue
             if violates_forbidden(candidate.traffic_path(), statement.pattern, managed):

@@ -11,6 +11,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 from ..bgp.config import NetworkConfig
+from ..runtime import Governor, ReproError
 from ..smt import Model, check_sat
 from ..spec.ast import Specification
 from .encoder import Encoder, Encoding
@@ -19,7 +20,7 @@ from .space import EncodingError
 __all__ = ["SynthesisError", "SynthesisResult", "Synthesizer", "synthesize"]
 
 
-class SynthesisError(RuntimeError):
+class SynthesisError(ReproError, RuntimeError):
     """No configuration satisfying the specification exists."""
 
 
@@ -68,12 +69,14 @@ class Synthesizer:
         max_path_length: Optional[int] = None,
         link_cost=None,
         ibgp: bool = False,
+        governor: Optional[Governor] = None,
     ) -> None:
         self.sketch = sketch
         self.specification = specification
         self.max_path_length = max_path_length
         self.link_cost = link_cost
         self.ibgp = ibgp
+        self.governor = governor
 
     def encode(self) -> Encoding:
         """Encode without solving (exposed for the explanation flow)."""
@@ -83,6 +86,7 @@ class Synthesizer:
             self.max_path_length,
             self.link_cost,
             ibgp=self.ibgp,
+            governor=self.governor,
         )
         return encoder.encode()
 
@@ -99,7 +103,7 @@ class Synthesizer:
             origination).
         """
         encoding = self.encode()
-        model = check_sat(encoding.constraint)
+        model = check_sat(encoding.constraint, governor=self.governor)
         if model is None:
             raise SynthesisError(
                 "specification is unrealizable for this sketch "

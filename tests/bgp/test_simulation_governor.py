@@ -1,0 +1,70 @@
+"""Governed control-plane simulation: round budgets, deadlines, and
+structured errors on oscillating ("bad gadget") configurations."""
+
+import pytest
+
+from repro.bgp.config import NetworkConfig
+from repro.bgp.simulation import ConvergenceError, simulate
+from repro.runtime import (
+    FaultPlan,
+    Governor,
+    ReproError,
+    ResourceExhausted,
+    WorkBudget,
+)
+
+
+class TestStructuredOscillationError:
+    def test_oscillation_raises_repro_error(self, square_topology):
+        """The round-bound trip is part of the structured taxonomy."""
+        config = NetworkConfig(square_topology)
+        with pytest.raises(ReproError):
+            simulate(config, max_rounds=1)
+        # ... while remaining catchable under its historical type.
+        with pytest.raises(RuntimeError):
+            simulate(config, max_rounds=1)
+
+    def test_oscillation_under_fault_harness(self, square_topology):
+        """An injected simulate-stage fault surfaces as a structured
+        error, not a hang or a bare crash."""
+        config = NetworkConfig(square_topology)
+        plan = FaultPlan().inject("simulate", at=2)
+        governor = Governor(faults=plan)
+        with pytest.raises(ResourceExhausted) as info:
+            simulate(config, governor=governor)
+        assert info.value.stage == "simulate"
+        assert plan.fired == [("simulate", 2)]
+
+
+class TestGovernedRounds:
+    def test_round_budget_bounds_simulation(self, line_topology):
+        governor = Governor(budget=WorkBudget(rounds=1))
+        with pytest.raises(ResourceExhausted) as info:
+            simulate(NetworkConfig(line_topology), governor=governor)
+        assert info.value.stage == "simulate"
+        assert info.value.kind in ("rounds", "total")
+
+    def test_generous_budget_converges_identically(self, line_topology):
+        governor = Governor(budget=WorkBudget(rounds=1_000))
+        bare = simulate(NetworkConfig(line_topology))
+        governed = simulate(NetworkConfig(line_topology), governor=governor)
+        assert governed.rounds == bare.rounds
+        assert governed.summary() == bare.summary()
+        assert governed.selected_paths() == bare.selected_paths()
+        assert governor.accounting()["checkpoints:simulate"] == governed.rounds
+
+    def test_budget_checked_before_round_bound(self, square_topology):
+        # The governor fires on round 1, before the max_rounds=1
+        # oscillation check could raise ConvergenceError.
+        governor = Governor(budget=WorkBudget(rounds=0))
+        with pytest.raises(ResourceExhausted):
+            simulate(
+                NetworkConfig(square_topology), max_rounds=1, governor=governor
+            )
+
+    def test_convergence_error_still_wins_within_budget(self, square_topology):
+        governor = Governor(budget=WorkBudget(rounds=1_000))
+        with pytest.raises(ConvergenceError):
+            simulate(
+                NetworkConfig(square_topology), max_rounds=1, governor=governor
+            )

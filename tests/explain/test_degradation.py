@@ -1,0 +1,224 @@
+"""Graceful degradation of the explanation pipeline under governors.
+
+The acceptance bar for resource-governed execution: under any deadline,
+budget, cancellation or injected fault, ``ExplanationEngine.explain``
+*returns* a well-formed (possibly degraded) :class:`Explanation` --
+it never hangs and never leaks a governed exception.
+"""
+
+import pytest
+
+from repro.explain import ExplanationEngine, ExplanationStatus
+from repro.runtime import (
+    CancelToken,
+    Deadline,
+    FaultPlan,
+    Governor,
+    WorkBudget,
+)
+from repro.scenarios import scenario1
+
+
+@pytest.fixture(scope="module")
+def sc1():
+    return scenario1()
+
+
+def _engine(sc1, governor):
+    return ExplanationEngine(
+        sc1.paper_config, sc1.specification, governor=governor
+    )
+
+
+def _well_formed(explanation):
+    """Every explanation, degraded or not, must be presentable."""
+    assert isinstance(explanation.status, ExplanationStatus)
+    assert explanation.subspec is not None
+    assert isinstance(explanation.report(), str)
+    assert isinstance(explanation.subspec.render(), str)
+    if explanation.status.degraded:
+        assert explanation.degradation
+    else:
+        assert explanation.degradation is None
+
+
+# ----------------------------------------------------------------------
+# Acceptance: tiny deadline -> degraded result, no exception, no hang
+
+
+class TestDeadlineDegradation:
+    def test_millisecond_deadline_degrades_not_raises(self, sc1):
+        governor = Governor(deadline=Deadline(0.001))
+        engine = _engine(sc1, governor)
+        explanation = engine.explain_router("R1", requirement="Req1")
+        assert explanation.status.degraded
+        _well_formed(explanation)
+
+    def test_expired_deadline_fails_cleanly(self, sc1):
+        governor = Governor(deadline=Deadline(0.0))
+        engine = _engine(sc1, governor)
+        explanation = engine.explain_router("R1", requirement="Req1")
+        assert explanation.status is ExplanationStatus.FAILED
+        assert explanation.seed is None
+        _well_formed(explanation)
+
+    def test_generous_deadline_stays_exact(self, sc1):
+        governor = Governor(deadline=Deadline(3600.0))
+        engine = _engine(sc1, governor)
+        explanation = engine.explain_router("R1", requirement="Req1")
+        assert explanation.status is ExplanationStatus.EXACT
+        _well_formed(explanation)
+
+
+# ----------------------------------------------------------------------
+# Acceptance: ungoverned runs are exact and identical to seed behaviour
+
+
+class TestUngovernedBaseline:
+    def test_no_governor_is_exact(self, sc1):
+        explanation = _engine(sc1, None).explain_router("R1", requirement="Req1")
+        assert explanation.status is ExplanationStatus.EXACT
+        assert explanation.degradation is None
+        _well_formed(explanation)
+
+    def test_permissive_governor_matches_ungoverned_subspec(self, sc1):
+        bare = _engine(sc1, None).explain_router("R1", requirement="Req1")
+        governed = _engine(sc1, Governor.of(timeout=3600.0, budget=10**9))
+        explanation = governed.explain_router("R1", requirement="Req1")
+        assert explanation.status is ExplanationStatus.EXACT
+        assert explanation.subspec.render() == bare.subspec.render()
+        assert explanation.subspec.statements == bare.subspec.statements
+
+
+# ----------------------------------------------------------------------
+# Budget exhaustion at every scale completes with a valid status
+
+
+class TestBudgetDegradation:
+    @pytest.mark.parametrize("budget", [1, 5, 50, 500, 5_000])
+    def test_any_budget_completes(self, sc1, budget):
+        engine = _engine(sc1, Governor.of(budget=budget))
+        explanation = engine.explain_router("R1", requirement="Req1")
+        _well_formed(explanation)
+
+    def test_tiny_budget_fails_or_degrades(self, sc1):
+        engine = _engine(sc1, Governor.of(budget=1))
+        explanation = engine.explain_router("R1", requirement="Req1")
+        assert explanation.status in (
+            ExplanationStatus.FAILED,
+            ExplanationStatus.DEGRADED_RAW,
+            ExplanationStatus.DEGRADED_LIFT,
+        )
+        assert explanation.status.degraded
+
+    def test_accounting_stamped_into_timings(self, sc1):
+        engine = _engine(sc1, Governor.of(budget=10**9))
+        explanation = engine.explain_router("R1", requirement="Req1")
+        checkpoint_keys = [
+            key for key in explanation.timings if key.startswith("checkpoints:")
+        ]
+        assert checkpoint_keys, explanation.timings
+        assert explanation.timings["budget:total"] > 0
+
+
+# ----------------------------------------------------------------------
+# Cancellation
+
+
+class TestCancellation:
+    def test_pre_cancelled_token_fails_cleanly(self, sc1):
+        token = CancelToken()
+        token.cancel("operator abort")
+        engine = _engine(sc1, Governor(token=token))
+        explanation = engine.explain_router("R1", requirement="Req1")
+        assert explanation.status is ExplanationStatus.FAILED
+        assert "operator abort" in explanation.degradation
+        _well_formed(explanation)
+
+
+# ----------------------------------------------------------------------
+# Deterministic fault injection, stage by stage
+
+
+ENGINE_STAGES = ("encode", "rewrite", "project", "simulate", "lift")
+
+
+class TestFaultInjection:
+    @pytest.mark.parametrize("stage", ENGINE_STAGES)
+    def test_fault_at_first_checkpoint_degrades(self, sc1, stage):
+        plan = FaultPlan().inject(stage, at=1)
+        engine = _engine(sc1, Governor(faults=plan))
+        explanation = engine.explain_router("R1", requirement="Req1")
+        assert plan.exhausted, f"stage {stage!r} was never checkpointed"
+        assert explanation.status.degraded
+        _well_formed(explanation)
+
+    def test_encode_fault_yields_failed(self, sc1):
+        plan = FaultPlan().inject("encode", at=1)
+        engine = _engine(sc1, Governor(faults=plan))
+        explanation = engine.explain_router("R1", requirement="Req1")
+        assert explanation.status is ExplanationStatus.FAILED
+        assert explanation.seed is None
+        assert explanation.projected is None
+
+    def test_rewrite_fault_keeps_downstream_stages(self, sc1):
+        plan = FaultPlan().inject("rewrite", at=1)
+        engine = _engine(sc1, Governor(faults=plan))
+        explanation = engine.explain_router("R1", requirement="Req1")
+        assert explanation.status.degraded
+        # The seed survived and the fallback simplified term is the
+        # raw seed constraint, so projection could still run.
+        assert explanation.seed is not None
+        assert explanation.simplified is not None
+        assert explanation.simplified.term == explanation.seed.constraint
+        assert explanation.projected is not None
+
+    def test_project_fault_falls_back_to_raw(self, sc1):
+        plan = FaultPlan().inject("project", at=1)
+        engine = _engine(sc1, Governor(faults=plan))
+        explanation = engine.explain_router("R1", requirement="Req1")
+        assert explanation.status is ExplanationStatus.DEGRADED_RAW
+        assert explanation.projected is None
+        assert explanation.subspec.low_level == explanation.simplified.term
+        assert explanation.subspec.statements == ()
+
+    def test_lift_fault_marks_search_interrupted(self, sc1):
+        plan = FaultPlan().inject("lift", at=1)
+        engine = _engine(sc1, Governor(faults=plan))
+        explanation = engine.explain_router("R1", requirement="Req1")
+        assert explanation.status.degraded
+        assert explanation.lift_result is not None
+        assert explanation.lift_result.exhausted
+        assert "lift" in explanation.degradation
+
+    def test_mid_stage_fault_indexes(self, sc1):
+        # A fault deep into a stage still degrades cleanly -- the
+        # partially explored state is discarded or reused, never leaked.
+        plan = FaultPlan().inject("encode", at=25)
+        engine = _engine(sc1, Governor(faults=plan))
+        explanation = engine.explain_router("R1", requirement="Req1")
+        assert plan.exhausted
+        assert explanation.status is ExplanationStatus.FAILED
+        _well_formed(explanation)
+
+
+# ----------------------------------------------------------------------
+# Caching semantics
+
+
+class TestCaching:
+    def test_degraded_answers_are_not_cached(self, sc1):
+        plan = FaultPlan().inject("rewrite", at=1)  # one-shot fault
+        engine = _engine(sc1, Governor(faults=plan))
+        first = engine.explain_router("R1", requirement="Req1")
+        assert first.status.degraded
+        # The fault has burned out; the same question now completes.
+        second = engine.explain_router("R1", requirement="Req1")
+        assert second.status is ExplanationStatus.EXACT
+        assert second is not first
+
+    def test_exact_answers_are_cached(self, sc1):
+        engine = _engine(sc1, Governor.of(budget=10**9))
+        first = engine.explain_router("R1", requirement="Req1")
+        assert first.status is ExplanationStatus.EXACT
+        assert engine.explain_router("R1", requirement="Req1") is first

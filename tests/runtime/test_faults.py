@@ -1,0 +1,100 @@
+"""Unit tests for the deterministic fault-injection harness."""
+
+import pytest
+
+from repro.runtime import (
+    Cancelled,
+    FaultPlan,
+    Governor,
+    ResourceExhausted,
+)
+
+
+class TestFaultPlan:
+    def test_fires_at_exact_checkpoint(self):
+        plan = FaultPlan().inject("sat", at=3)
+        governor = Governor(faults=plan)
+        governor.checkpoint("sat")
+        governor.checkpoint("sat")
+        with pytest.raises(ResourceExhausted):
+            governor.checkpoint("sat")
+        assert plan.fired == [("sat", 3)]
+        assert plan.exhausted
+
+    def test_once_fault_does_not_refire(self):
+        plan = FaultPlan().inject("sat", at=2)
+        governor = Governor(faults=plan)
+        governor.checkpoint("sat")
+        with pytest.raises(ResourceExhausted):
+            governor.checkpoint("sat")
+        # Checkpoint 3 and beyond proceed normally.
+        governor.checkpoint("sat")
+        governor.checkpoint("sat")
+        assert plan.fired == [("sat", 2)]
+
+    def test_persistent_fault_refires(self):
+        plan = FaultPlan().inject("sat", at=2, once=False)
+        governor = Governor(faults=plan)
+        governor.checkpoint("sat")
+        for _ in range(3):
+            with pytest.raises(ResourceExhausted):
+                governor.checkpoint("sat")
+        assert len(plan.fired) == 3
+
+    def test_stage_isolation(self):
+        plan = FaultPlan().inject("rewrite", at=1)
+        governor = Governor(faults=plan)
+        for _ in range(5):
+            governor.checkpoint("sat")  # different stage: untouched
+        with pytest.raises(ResourceExhausted):
+            governor.checkpoint("rewrite")
+
+    def test_custom_exception_class(self):
+        plan = FaultPlan().inject("lift", at=1, exc=Cancelled)
+        governor = Governor(faults=plan)
+        with pytest.raises(Cancelled):
+            governor.checkpoint("lift")
+
+    def test_custom_exception_instance(self):
+        boom = ResourceExhausted("boom", stage="encode", kind="candidates")
+        plan = FaultPlan().inject("encode", at=1, exc=boom)
+        governor = Governor(faults=plan)
+        with pytest.raises(ResourceExhausted) as info:
+            governor.checkpoint("encode")
+        assert info.value is boom
+
+    def test_custom_exception_callable(self):
+        plan = FaultPlan().inject(
+            "project", at=1, exc=lambda: RuntimeError("made fresh")
+        )
+        governor = Governor(faults=plan)
+        with pytest.raises(RuntimeError, match="made fresh"):
+            governor.checkpoint("project")
+
+    def test_custom_message(self):
+        plan = FaultPlan().inject("sat", at=1, message="disk on fire")
+        governor = Governor(faults=plan)
+        with pytest.raises(ResourceExhausted, match="disk on fire"):
+            governor.checkpoint("sat")
+
+    def test_multiple_faults_chainable(self):
+        plan = FaultPlan().inject("sat", at=2).inject("rewrite", at=1)
+        governor = Governor(faults=plan)
+        governor.checkpoint("sat")
+        with pytest.raises(ResourceExhausted):
+            governor.checkpoint("rewrite")
+        with pytest.raises(ResourceExhausted):
+            governor.checkpoint("sat")
+        assert plan.exhausted
+
+    def test_exhausted_false_before_trigger(self):
+        plan = FaultPlan().inject("sat", at=100)
+        assert not plan.exhausted
+
+    def test_rejects_bad_index(self):
+        with pytest.raises(ValueError):
+            FaultPlan().inject("sat", at=0)
+
+    def test_rejects_bad_exc(self):
+        with pytest.raises(TypeError):
+            FaultPlan().inject("sat", exc=42)

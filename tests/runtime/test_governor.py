@@ -1,0 +1,252 @@
+"""Unit tests for the resource-governed execution primitives."""
+
+import pytest
+
+from repro.runtime import (
+    Cancelled,
+    CancelToken,
+    Deadline,
+    DeadlineExceeded,
+    Governor,
+    ReproError,
+    ResourceExhausted,
+    WorkBudget,
+)
+
+
+class FakeClock:
+    """A manually advanced monotonic clock."""
+
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+# ----------------------------------------------------------------------
+# Deadline
+
+
+class TestDeadline:
+    def test_not_expired_initially(self):
+        clock = FakeClock()
+        deadline = Deadline(10.0, clock=clock)
+        assert not deadline.expired()
+        assert deadline.remaining() == pytest.approx(10.0)
+
+    def test_expires_after_elapsed_time(self):
+        clock = FakeClock()
+        deadline = Deadline(10.0, clock=clock)
+        clock.advance(10.0)
+        assert deadline.expired()
+        assert deadline.remaining() == 0.0
+
+    def test_check_raises_deadline_exceeded(self):
+        clock = FakeClock()
+        deadline = Deadline(1.0, clock=clock)
+        deadline.check("sat")  # fine before expiry
+        clock.advance(2.0)
+        with pytest.raises(DeadlineExceeded) as info:
+            deadline.check("sat")
+        assert info.value.stage == "sat"
+        assert info.value.kind == "time"
+
+    def test_remaining_never_negative(self):
+        clock = FakeClock()
+        deadline = Deadline(1.0, clock=clock)
+        clock.advance(100.0)
+        assert deadline.remaining() == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Deadline(-1.0)
+
+    def test_zero_deadline_is_immediately_expired(self):
+        clock = FakeClock()
+        deadline = Deadline(0.0, clock=clock)
+        assert deadline.expired()
+
+
+# ----------------------------------------------------------------------
+# WorkBudget
+
+
+class TestWorkBudget:
+    def test_spend_within_limit(self):
+        budget = WorkBudget(conflicts=10)
+        for _ in range(10):
+            budget.spend("conflicts", stage="sat")
+        assert budget.spent["conflicts"] == 10
+
+    def test_spend_past_limit_raises(self):
+        budget = WorkBudget(conflicts=3)
+        for _ in range(3):
+            budget.spend("conflicts", stage="sat")
+        with pytest.raises(ResourceExhausted) as info:
+            budget.spend("conflicts", stage="sat")
+        assert info.value.kind == "conflicts"
+        assert info.value.stage == "sat"
+
+    def test_total_aggregates_all_kinds(self):
+        budget = WorkBudget(total=5)
+        budget.spend("conflicts", stage="sat")
+        budget.spend("rewrite_steps", stage="rewrite")
+        budget.spend("models", stage="enumerate")
+        assert budget.spent["total"] == 3
+        budget.spend("candidates", stage="lift")
+        budget.spend("rounds", stage="simulate")
+        with pytest.raises(ResourceExhausted) as info:
+            budget.spend("conflicts", stage="sat")
+        assert info.value.kind == "total"
+
+    def test_unlimited_kind_never_raises(self):
+        budget = WorkBudget(conflicts=1)
+        for _ in range(1000):
+            budget.spend("models", stage="enumerate")
+        assert budget.spent["models"] == 1000
+
+    def test_unknown_kind_rejected(self):
+        budget = WorkBudget()
+        with pytest.raises(ValueError):
+            budget.spend("bogus", stage="sat")
+        with pytest.raises(TypeError):
+            WorkBudget(bogus=1)
+        with pytest.raises(ValueError):
+            WorkBudget(conflicts=-1)
+
+    def test_remaining(self):
+        budget = WorkBudget(conflicts=10)
+        budget.spend("conflicts", amount=4, stage="sat")
+        assert budget.remaining("conflicts") == 6
+        assert budget.remaining("models") is None
+
+
+# ----------------------------------------------------------------------
+# CancelToken
+
+
+class TestCancelToken:
+    def test_initially_clear(self):
+        token = CancelToken()
+        assert not token.cancelled
+        token.check("sat")  # no raise
+
+    def test_cancel_then_check_raises(self):
+        token = CancelToken()
+        token.cancel("user pressed ctrl-c")
+        assert token.cancelled
+        with pytest.raises(Cancelled) as info:
+            token.check("lift")
+        assert info.value.stage == "lift"
+        assert "ctrl-c" in str(info.value)
+
+    def test_cancel_is_idempotent(self):
+        token = CancelToken()
+        token.cancel()
+        token.cancel("second reason ignored")
+        assert token.cancelled
+
+
+# ----------------------------------------------------------------------
+# Governor
+
+
+class TestGovernor:
+    def test_null_governor_checkpoints_freely(self):
+        governor = Governor()
+        for _ in range(10_000):
+            governor.checkpoint("sat")
+        assert governor.accounting()["checkpoints:sat"] == 10_000
+
+    def test_deadline_enforced(self):
+        clock = FakeClock()
+        governor = Governor(deadline=Deadline(5.0, clock=clock))
+        governor.checkpoint("rewrite")
+        clock.advance(6.0)
+        with pytest.raises(DeadlineExceeded):
+            governor.checkpoint("rewrite")
+
+    def test_stage_budget_mapping(self):
+        governor = Governor(budget=WorkBudget(conflicts=2))
+        governor.checkpoint("sat")
+        governor.checkpoint("sat")
+        # other stages draw from other (unlimited) meters
+        governor.checkpoint("lift")
+        with pytest.raises(ResourceExhausted):
+            governor.checkpoint("sat")
+
+    def test_total_budget_spans_stages(self):
+        governor = Governor(budget=WorkBudget(total=3))
+        governor.checkpoint("sat")
+        governor.checkpoint("rewrite")
+        governor.checkpoint("lift")
+        with pytest.raises(ResourceExhausted):
+            governor.checkpoint("enumerate")
+
+    def test_cancellation_wins_over_budget(self):
+        token = CancelToken()
+        governor = Governor(budget=WorkBudget(total=0), token=token)
+        token.cancel("stop")
+        with pytest.raises(Cancelled):
+            governor.checkpoint("sat")
+
+    def test_accounting_counts_checkpoints_and_spend(self):
+        governor = Governor(budget=WorkBudget())
+        governor.checkpoint("sat")
+        governor.checkpoint("sat")
+        governor.checkpoint("lift")
+        accounting = governor.accounting()
+        assert accounting["checkpoints:sat"] == 2
+        assert accounting["checkpoints:lift"] == 1
+        assert accounting["budget:conflicts"] == 2
+        assert accounting["budget:candidates"] == 1
+        assert accounting["budget:total"] == 3
+
+    def test_of_constructor(self):
+        assert Governor.of() is not None
+        governor = Governor.of(timeout=10.0, budget=100)
+        assert governor.deadline is not None
+        assert governor.budget is not None
+        assert governor.budget.limits["total"] == 100
+        with pytest.raises(ResourceExhausted):
+            for _ in range(101):
+                governor.checkpoint("sat")
+
+    def test_unknown_stage_charges_only_total(self):
+        governor = Governor(budget=WorkBudget(total=2))
+        governor.checkpoint("weird-new-stage")
+        governor.checkpoint("weird-new-stage")
+        with pytest.raises(ResourceExhausted):
+            governor.checkpoint("weird-new-stage")
+
+
+# ----------------------------------------------------------------------
+# Exception taxonomy
+
+
+class TestTaxonomy:
+    def test_hierarchy(self):
+        assert issubclass(DeadlineExceeded, ResourceExhausted)
+        assert issubclass(ResourceExhausted, ReproError)
+        assert issubclass(Cancelled, ReproError)
+
+    def test_domain_errors_join_taxonomy(self):
+        from repro.bgp.simulation import ConvergenceError
+        from repro.explain.project import ProjectionError
+        from repro.synthesis import SynthesisError
+
+        for exc_type in (ConvergenceError, ProjectionError, SynthesisError):
+            assert issubclass(exc_type, ReproError)
+            # They keep their historical RuntimeError contract too.
+            assert issubclass(exc_type, RuntimeError)
+
+    def test_deadline_exceeded_is_catchable_as_exhaustion(self):
+        clock = FakeClock()
+        deadline = Deadline(1.0, clock=clock)
+        clock.advance(2.0)
+        with pytest.raises(ResourceExhausted):
+            deadline.check("sat")

@@ -1,0 +1,193 @@
+"""Governed execution in the SMT layer: budgets, truncation signals,
+and the geometric-restart overflow clamp."""
+
+import pytest
+
+from repro.runtime import (
+    EnumerationTruncated,
+    FaultPlan,
+    Governor,
+    ResourceExhausted,
+    WorkBudget,
+)
+from repro.smt import (
+    And,
+    BoolVar,
+    IntVar,
+    Le,
+    ModelEnumeration,
+    Not,
+    Or,
+    check_sat,
+    count_models,
+    enumerate_models,
+    iter_models,
+    simplify,
+)
+from repro.smt.sat import (
+    _RESTART_INTERVAL_CEILING,
+    SatSolver,
+    solve_clauses,
+)
+
+a, b, c = BoolVar("a"), BoolVar("b"), BoolVar("c")
+x = IntVar("x", range(0, 8))
+
+
+def _hard_instance(holes=4):
+    """Pigeonhole: holes+1 pigeons, unsat, forces real CDCL search."""
+    pigeons = holes + 1
+    var = {
+        (p, h): BoolVar(f"p{p}h{h}")
+        for p in range(pigeons)
+        for h in range(holes)
+    }
+    clauses = [Or(*[var[p, h] for h in range(holes)]) for p in range(pigeons)]
+    for h in range(holes):
+        for p in range(pigeons):
+            for q in range(p + 1, pigeons):
+                clauses.append(Or(Not(var[p, h]), Not(var[q, h])))
+    return And(*clauses)
+
+
+# ----------------------------------------------------------------------
+# Satellite: geometric restart overflow clamp
+
+
+class TestRestartClamp:
+    def test_interval_bounded_at_huge_conflict_counts(self):
+        solver = SatSolver(4)
+        solver.conflicts = 10**9
+        interval = solver._restart_interval()
+        assert isinstance(interval, int)
+        assert 0 < interval <= _RESTART_INTERVAL_CEILING
+
+    def test_old_formula_overflows(self):
+        # The regression being guarded: the unclamped formula raises
+        # OverflowError once conflicts pass ~175k.
+        conflicts = 10**9
+        with pytest.raises(OverflowError):
+            int(100 * 1.5 ** (conflicts / 100))
+
+    def test_interval_monotone_then_flat(self):
+        solver = SatSolver(4)
+        previous = 0
+        for conflicts in (0, 100, 1_000, 10_000, 100_000, 10**7, 10**9):
+            solver.conflicts = conflicts
+            interval = solver._restart_interval()
+            assert interval >= previous
+            previous = interval
+        assert previous == _RESTART_INTERVAL_CEILING
+
+    def test_solver_still_correct_after_clamp(self):
+        # (a | b) & (!a | b) & (a | !b) & (!a | !b) is unsat.
+        result = solve_clauses(2, [[1, 2], [-1, 2], [1, -2], [-1, -2]])
+        assert not result.satisfiable
+        result = solve_clauses(2, [[1, 2], [-1, 2]])
+        assert result.satisfiable
+
+
+# ----------------------------------------------------------------------
+# Governed CDCL search
+
+
+class TestGovernedSat:
+    def test_conflict_budget_interrupts_search(self):
+        governor = Governor(budget=WorkBudget(conflicts=2))
+        with pytest.raises(ResourceExhausted) as info:
+            check_sat(_hard_instance(), governor=governor)
+        assert info.value.stage == "sat"
+        assert info.value.kind in ("conflicts", "total")
+
+    def test_ungoverned_search_unchanged(self):
+        assert check_sat(_hard_instance()) is None
+
+    def test_generous_budget_does_not_interfere(self):
+        governor = Governor(budget=WorkBudget(conflicts=1_000_000))
+        term = And(Or(a, b), Le(x, 3))
+        model = check_sat(term, governor=governor)
+        assert model is not None
+        assert model.satisfies(term)
+
+    def test_fault_injection_at_sat_checkpoint(self):
+        plan = FaultPlan().inject("sat", at=1)
+        governor = Governor(faults=plan)
+        with pytest.raises(ResourceExhausted):
+            check_sat(_hard_instance(), governor=governor)
+        assert plan.fired == [("sat", 1)]
+
+
+# ----------------------------------------------------------------------
+# Governed rewriting
+
+
+class TestGovernedRewrite:
+    def test_rewrite_budget_interrupts_fixpoint(self):
+        from repro.smt import Not
+
+        term = And(Or(a, And(b, Not(Not(c)))), Or(b, c), Not(Not(a)))
+        governor = Governor(budget=WorkBudget(rewrite_steps=1))
+        with pytest.raises(ResourceExhausted) as info:
+            simplify(term, governor=governor)
+        assert info.value.stage == "rewrite"
+
+    def test_ungoverned_rewrite_unchanged(self):
+        from repro.smt import Not
+
+        term = Not(Not(a))
+        assert simplify(term) == a
+
+
+# ----------------------------------------------------------------------
+# Satellite: explicit truncation signal for enumeration
+
+
+class TestTruncation:
+    def test_iter_models_default_stops_silently(self):
+        term = Or(a, b)  # 3 models
+        assert len(list(iter_models(term, limit=2))) == 2
+
+    def test_iter_models_strict_raises_with_partial_count(self):
+        term = Or(a, b)
+        with pytest.raises(EnumerationTruncated) as info:
+            list(iter_models(term, limit=2, strict=True))
+        assert info.value.count == 2
+
+    def test_strict_no_raise_when_limit_not_hit(self):
+        term = Or(a, b)
+        assert len(list(iter_models(term, limit=10, strict=True))) == 3
+
+    def test_strict_no_raise_when_exactly_at_limit(self):
+        term = Or(a, b)
+        assert len(list(iter_models(term, limit=3, strict=True))) == 3
+
+    def test_enumerate_models_exhaustive_flag(self):
+        term = Or(a, b)
+        full = enumerate_models(term, limit=10)
+        assert isinstance(full, ModelEnumeration)
+        assert full.exhaustive and not full.truncated
+        assert len(full) == 3
+        partial = enumerate_models(term, limit=2)
+        assert partial.truncated and not partial.exhaustive
+        assert len(partial) == 2
+
+    def test_count_models_strict_by_default(self):
+        term = Or(a, b)
+        with pytest.raises(EnumerationTruncated):
+            count_models(term, limit=2)
+        assert count_models(term, limit=2, strict=False) == 2
+        assert count_models(term, limit=10) == 3
+
+    def test_governed_enumeration_budget(self):
+        term = Or(a, b, c)  # 7 models
+        governor = Governor(budget=WorkBudget(models=3))
+        with pytest.raises(ResourceExhausted) as info:
+            list(iter_models(term, governor=governor))
+        assert info.value.stage == "enumerate"
+
+    def test_governed_enumeration_accounting(self):
+        term = Or(a, b)
+        governor = Governor()
+        models = list(iter_models(term, governor=governor))
+        assert len(models) == 3
+        assert governor.accounting()["checkpoints:enumerate"] == 3

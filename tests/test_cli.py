@@ -263,3 +263,76 @@ class TestAnnotateCommand:
         assert code == 0
         assert "! why [Req1]: !(P1 -> R1 -> R2 -> P2)" in text
         assert "route-map R1_to_P1 deny 100" in text
+
+
+class TestResourceGovernedFlags:
+    """The --timeout/--budget flags and the exit-code taxonomy."""
+
+    def test_flags_accepted_and_harmless_when_generous(self):
+        code, text = run_cli("--timeout", "3600", "--budget", "1000000000",
+                             "explain", "scenario1", "R1",
+                             "--requirement", "Req1")
+        assert code == 0
+        assert "explanation for R1" in text
+
+    def test_tiny_timeout_exits_with_timeout_code(self):
+        from repro.cli import EXIT_TIMEOUT
+
+        code, text = run_cli("--timeout", "0.001",
+                             "explain", "scenario1", "R1",
+                             "--requirement", "Req1")
+        assert code == EXIT_TIMEOUT
+        # A degraded explanation is still printed.
+        assert "explanation for R1" in text
+        assert ("FAILED" in text or "DEGRADED" in text)
+
+    def test_tiny_budget_exits_with_budget_code(self):
+        from repro.cli import EXIT_BUDGET
+
+        code, text = run_cli("--budget", "3",
+                             "explain", "scenario1", "R1",
+                             "--requirement", "Req1")
+        assert code == EXIT_BUDGET
+        assert "explanation for R1" in text
+
+    def test_degraded_run_skips_certificate(self, tmp_path):
+        cert_file = tmp_path / "cert.json"
+        code, text = run_cli("--budget", "3",
+                             "explain", "scenario1", "R1",
+                             "--requirement", "Req1",
+                             "--certificate", str(cert_file))
+        assert code != 0
+        assert not cert_file.exists()
+        assert "no certificate written" in text
+
+    def test_synth_budget_exhaustion_exit_code(self):
+        from repro.cli import EXIT_BUDGET, EXIT_TIMEOUT
+
+        code, text = run_cli("--budget", "1", "synth", "scenario1")
+        assert code in (EXIT_BUDGET, EXIT_TIMEOUT)
+        assert code == EXIT_BUDGET
+
+    def test_synth_timeout_exit_code(self):
+        from repro.cli import EXIT_TIMEOUT
+
+        code, text = run_cli("--timeout", "0.0", "synth", "scenario1")
+        assert code == EXIT_TIMEOUT
+
+    def test_report_degrades_with_nonzero_exit(self):
+        from repro.cli import EXIT_BUDGET
+
+        code, text = run_cli("--budget", "50", "report", "scenario1")
+        assert code == EXIT_BUDGET
+
+    def test_usage_error_is_exit_2(self):
+        with pytest.raises(SystemExit) as info:
+            run_cli("--timeout", "not-a-number", "verify", "scenario1")
+        assert info.value.code == 2
+
+    def test_exit_codes_are_distinct(self):
+        from repro import cli
+
+        codes = [cli.EXIT_OK, cli.EXIT_FAILURE, cli.EXIT_USAGE,
+                 cli.EXIT_TIMEOUT, cli.EXIT_BUDGET, cli.EXIT_CANCELLED,
+                 cli.EXIT_UNSAT, cli.EXIT_INTERNAL]
+        assert len(set(codes)) == len(codes)

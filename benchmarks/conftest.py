@@ -4,11 +4,23 @@ Every module reproduces one experiment from DESIGN.md's index.  Each
 benchmark both *times* its pipeline stage (pytest-benchmark) and
 *asserts the paper's qualitative shape*, printing the rows recorded in
 EXPERIMENTS.md.
+
+Experiment tables are additionally queued and, at session end, appended
+to the structured BENCH.json report (via :func:`repro.obs.append_experiment`)
+so the pytest benchmarks and ``python -m repro.cli bench`` share one
+machine-readable output.  Set ``BENCH_JSON`` to redirect the file
+(default: ``BENCH.json`` at the repository root).
 """
+
+import os
 
 import pytest
 
+from repro.obs import append_experiment
 from repro.scenarios import scenario1, scenario2, scenario3
+
+#: (title, rows) tables queued by report() during the session.
+_PENDING_EXPERIMENTS = []
 
 
 @pytest.fixture(scope="session")
@@ -27,7 +39,20 @@ def sc3():
 
 
 def report(title, rows):
-    """Print an experiment table (captured by pytest -s / tee)."""
+    """Print an experiment table (captured by pytest -s / tee) and queue
+    it for the session's BENCH.json."""
     print(f"\n[{title}]")
     for row in rows:
         print(f"  {row}")
+    _PENDING_EXPERIMENTS.append((title, [str(row) for row in rows]))
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _PENDING_EXPERIMENTS:
+        return
+    path = os.environ.get(
+        "BENCH_JSON", os.path.join(str(session.config.rootpath), "BENCH.json")
+    )
+    for title, rows in _PENDING_EXPERIMENTS:
+        append_experiment(path, title, rows)
+    _PENDING_EXPERIMENTS.clear()

@@ -1,0 +1,218 @@
+"""The reproducible benchmark runner behind ``python -m repro.cli bench``.
+
+Runs the paper's scenario suite end to end (synthesis, verification,
+simulation and the four-stage explanation pipeline) under a fresh
+:class:`~repro.obs.Instrumentation` per iteration, aggregates wall-time
+medians/p95s plus work counters per pipeline stage, and packages the
+result as a schema-versioned :class:`~repro.obs.BenchReport`
+(``BENCH.json``).
+
+Timings come from the spans the pipeline already opens; work counters
+come from the stage-attributed metrics the hot paths already record.
+The runner adds no instrumentation of its own beyond three outer spans
+(``synth``, ``verify``, ``simulate``) and an ``explain`` wrapper.
+
+``measure_calibration`` times a fixed pure-Python workload on the
+producing machine; the comparator uses the ratio of calibrations to
+normalize baselines recorded on different hardware (a checked-in
+baseline from a fast dev box must not fail CI on a slow runner).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional, Sequence
+
+from .explain import ACTION, ExplanationEngine
+from .obs import (
+    BenchReport,
+    Instrumentation,
+    MetricsRegistry,
+    SPAN_PREFIX,
+    StageRecord,
+    percentile,
+)
+from .scenarios import Scenario, scenario1, scenario2, scenario3
+from .synthesis import Synthesizer
+from .verify import verify
+
+__all__ = [
+    "SCENARIO_BUILDERS",
+    "measure_calibration",
+    "run_scenario_once",
+    "run_bench",
+    "format_report",
+]
+
+#: The scenario suite the bench runs, in execution order.
+SCENARIO_BUILDERS: Dict[str, Callable[[], Scenario]] = {
+    "scenario1": scenario1,
+    "scenario2": scenario2,
+    "scenario3": scenario3,
+}
+
+QUICK_REPEAT = 2
+FULL_REPEAT = 5
+
+
+def _calibration_workload() -> int:
+    """A fixed, allocation-free integer workload (~tens of ms)."""
+    total = 7
+    for i in range(200_000):
+        total = (total * 1103515245 + i) % 2_147_483_647
+    return total
+
+
+def measure_calibration(repeats: int = 3) -> float:
+    """Best-of-``repeats`` wall time of the calibration workload."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        _calibration_workload()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run_scenario_once(scenario: Scenario, obs: Instrumentation) -> None:
+    """One full pipeline pass over ``scenario``, recorded into ``obs``.
+
+    Stages: ``synth`` (sketch -> concrete config), ``verify`` (paper
+    config against the specification), ``simulate`` (control-plane
+    fixpoint), ``explain`` (every managed router, per requirement
+    block; the engine's own ``seed``/``simplify``/``project``/``lift``
+    spans nest inside it).
+    """
+    with obs.span("synth"):
+        Synthesizer(scenario.sketch, scenario.specification, obs=obs).synthesize()
+    with obs.span("verify"):
+        verify(scenario.paper_config, scenario.specification)
+    with obs.span("simulate"):
+        from .bgp.simulation import simulate
+
+        simulate(scenario.paper_config, obs=obs)
+    engine = ExplanationEngine(
+        scenario.paper_config, scenario.specification, obs=obs
+    )
+    with obs.span("explain"):
+        for block in scenario.specification.blocks:
+            for router in sorted(scenario.specification.managed):
+                try:
+                    engine.explain_router(
+                        router, fields=(ACTION,), requirement=block.name
+                    )
+                except Exception:
+                    # Routers without explainable lines (mirrors the
+                    # `report` command); never part of the timing story.
+                    continue
+
+
+def _stage_records(scenario_name: str, merged: MetricsRegistry) -> List[StageRecord]:
+    """Per-stage records from the merged per-iteration registries.
+
+    One record per ``span:<stage>`` histogram; its counters are the
+    stage-attributed counters with the ``<stage>:`` prefix stripped,
+    totalled over *all* runs (the pipeline is deterministic, so
+    per-run work is the total divided by ``runs``).
+    """
+    records: List[StageRecord] = []
+    for name in merged.histogram_names:
+        if not name.startswith(SPAN_PREFIX):
+            continue
+        stage = name[len(SPAN_PREFIX):]
+        samples = merged.samples(name)
+        counters = {
+            counter[len(stage) + 1:]: value
+            for counter, value in merged.counters.items()
+            if counter.startswith(stage + ":")
+        }
+        records.append(
+            StageRecord(
+                scenario=scenario_name,
+                stage=stage,
+                runs=len(samples),
+                median_s=percentile(samples, 0.50),
+                p95_s=percentile(samples, 0.95),
+                total_s=sum(samples),
+                counters=counters,
+            )
+        )
+    records.sort(key=lambda record: record.stage)
+    return records
+
+
+def run_bench(
+    scenarios: Optional[Sequence[str]] = None,
+    repeat: Optional[int] = None,
+    quick: bool = False,
+) -> BenchReport:
+    """Run the suite and return the aggregated report.
+
+    ``scenarios`` defaults to the full suite; ``repeat`` defaults to
+    2 iterations in ``--quick`` mode and 5 otherwise.
+    """
+    names = list(scenarios) if scenarios else list(SCENARIO_BUILDERS)
+    for name in names:
+        if name not in SCENARIO_BUILDERS:
+            known = ", ".join(sorted(SCENARIO_BUILDERS))
+            raise ValueError(f"unknown bench scenario {name!r}; known: {known}")
+    runs = repeat if repeat is not None else (QUICK_REPEAT if quick else FULL_REPEAT)
+    if runs < 1:
+        raise ValueError(f"repeat must be positive, got {runs}")
+
+    stages: List[StageRecord] = []
+    for name in names:
+        scenario = SCENARIO_BUILDERS[name]()
+        merged = MetricsRegistry()
+        for _ in range(runs):
+            obs = Instrumentation()
+            run_scenario_once(scenario, obs)
+            merged.merge(obs.metrics)
+        stages.extend(_stage_records(name, merged))
+
+    return BenchReport(
+        stages=stages,
+        source="repro.cli bench",
+        quick=quick,
+        repeat=runs,
+        calibration_s=measure_calibration(),
+    )
+
+
+#: Counters surfaced in the rendered table (full set stays in the JSON).
+_HEADLINE_COUNTERS = (
+    "sat.conflicts",
+    "sat.propagations",
+    "rewrite.steps",
+    "encode.candidates",
+    "project.assignments",
+    "lift.candidates_evaluated",
+    "simulate.rounds",
+)
+
+
+def format_report(report: BenchReport) -> str:
+    """Render ``report`` as the table the CLI prints."""
+    lines = [
+        f"bench: {report.repeat} run(s) per scenario"
+        + (" [quick]" if report.quick else "")
+        + (
+            f", calibration {report.calibration_s * 1000:.1f}ms"
+            if report.calibration_s is not None
+            else ""
+        )
+    ]
+    header = f"{'scenario':<12} {'stage':<10} {'runs':>4} {'median':>9} {'p95':>9} {'total':>9}  work"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for record in report.stages:
+        work = ", ".join(
+            f"{counter.split('.', 1)[1]}={record.counters[counter]}"
+            for counter in _HEADLINE_COUNTERS
+            if counter in record.counters
+        )
+        lines.append(
+            f"{record.scenario:<12} {record.stage:<10} {record.runs:>4} "
+            f"{record.median_s * 1000:>7.1f}ms {record.p95_s * 1000:>7.1f}ms "
+            f"{record.total_s * 1000:>7.1f}ms  {work}"
+        )
+    return "\n".join(lines)

@@ -87,7 +87,6 @@ def parse_routemaps(text: str) -> Dict[str, RouteMap]:
     lines_by_map: Dict[str, List[_LineParser]] = {}
     order: List[str] = []
     current: Optional[_LineParser] = None
-    current_map: Optional[str] = None
 
     for raw in text.splitlines():
         line = raw.strip()
@@ -107,7 +106,6 @@ def parse_routemaps(text: str) -> Dict[str, RouteMap]:
             map_name, action, seq_text = match.groups()
             _reject_hole(action, f"route-map {map_name}")
             current = _LineParser(action, int(seq_text))
-            current_map = map_name
             if map_name not in lines_by_map:
                 lines_by_map[map_name] = []
                 order.append(map_name)

@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Tuple
 
+from ..obs import Instrumentation
 from ..runtime import Governor, ReproError
 from ..topology.graph import Topology
 from ..topology.paths import Path
@@ -97,6 +98,7 @@ def simulate(
     link_cost: Optional[LinkCost] = None,
     ibgp: bool = False,
     governor: Optional[Governor] = None,
+    obs: Optional[Instrumentation] = None,
 ) -> RoutingOutcome:
     """Run the control plane to convergence.
 
@@ -137,6 +139,8 @@ def simulate(
     for round_index in range(1, bound + 1):
         if governor is not None:
             governor.checkpoint("simulate")
+        if obs is not None:
+            obs.count("simulate.rounds")
         # Advertise from a snapshot of the current RIB.
         inbox: Dict[Tuple[str, str], List[Announcement]] = {}
         asn_of = {router.name: router.asn for router in topology.routers}
@@ -171,6 +175,8 @@ def simulate(
                     if arrived is None:
                         continue
                 inbox.setdefault((neighbor, str(prefix)), []).append(arrived)
+                if obs is not None:
+                    obs.count("simulate.messages")
 
         # Update adj-RIB-in: announcements are withdrawn implicitly by
         # not being re-advertised, so each round rebuilds the table.

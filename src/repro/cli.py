@@ -30,6 +30,11 @@ Subcommands
 ``mine <name>``
     Mine the global intents the scenario's configuration satisfies
     (the Config2Spec/Anime-style baseline of the paper's §6).
+``bench [--quick] [--repeat N] [--json PATH] [--compare BASELINE]``
+    Run the reproducible benchmark suite over the paper scenarios,
+    print per-stage timings and work counters, optionally write a
+    schema-versioned BENCH.json and gate against a checked-in
+    baseline (non-zero exit on regression).
 ``analyze --topology F --spec F --config F [--explain ROUTER] [--requirement R]``
     Analyze a *user-provided* network from files: topology in the
     declarative text format (``repro.topology.parser``), specification
@@ -210,6 +215,49 @@ def build_parser() -> argparse.ArgumentParser:
     )
     audit_cmd.add_argument("name", choices=sorted(_SCENARIOS))
     audit_cmd.add_argument("certificate", metavar="FILE")
+
+    bench_cmd = subparsers.add_parser(
+        "bench", help="run the reproducible benchmark suite"
+    )
+    bench_cmd.add_argument(
+        "--quick",
+        action="store_true",
+        help="fewer repetitions (the CI configuration)",
+    )
+    bench_cmd.add_argument(
+        "--repeat",
+        type=_non_negative_int,
+        default=None,
+        metavar="N",
+        help="iterations per scenario (default: 2 with --quick, else 5)",
+    )
+    bench_cmd.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="write the schema-versioned BENCH.json report to PATH",
+    )
+    bench_cmd.add_argument(
+        "--compare",
+        default=None,
+        metavar="BASELINE",
+        help="compare against a baseline BENCH.json; regressions exit "
+        f"with code {EXIT_FAILURE}",
+    )
+    bench_cmd.add_argument(
+        "--tolerance",
+        type=_non_negative_float,
+        default=0.25,
+        metavar="FRACTION",
+        help="relative median slowdown tolerated by --compare (default 0.25)",
+    )
+    bench_cmd.add_argument(
+        "--scenario",
+        action="append",
+        default=None,
+        choices=["scenario1", "scenario2", "scenario3"],
+        help="restrict the suite (repeatable; default: all scenarios)",
+    )
 
     analyze = subparsers.add_parser(
         "analyze", help="verify/explain a user-provided network from files"
@@ -526,6 +574,33 @@ def _cmd_analyze(args: argparse.Namespace, out) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_bench(args: argparse.Namespace, out) -> int:
+    from .bench import format_report, run_bench
+    from .obs import SchemaError, compare_reports, load_report, write_report
+
+    try:
+        report = run_bench(
+            scenarios=args.scenario, repeat=args.repeat, quick=args.quick
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    print(format_report(report), file=out)
+    if args.json:
+        write_report(report, args.json)
+        print(f"report written to {args.json}", file=out)
+    if args.compare:
+        try:
+            baseline = load_report(args.compare)
+        except (OSError, SchemaError) as exc:
+            print(f"cannot load baseline {args.compare!r}: {exc}", file=sys.stderr)
+            return EXIT_FAILURE
+        result = compare_reports(report, baseline, tolerance=args.tolerance)
+        print(result.render(), file=out)
+        if not result.ok:
+            return EXIT_FAILURE
+    return EXIT_OK
+
+
 _COMMANDS = {
     "scenario": _cmd_scenario,
     "verify": _cmd_verify,
@@ -540,6 +615,7 @@ _COMMANDS = {
     "audit": _cmd_audit,
     "dossier": _cmd_dossier,
     "annotate": _cmd_annotate,
+    "bench": _cmd_bench,
 }
 
 

@@ -26,12 +26,12 @@ explanation reports ``EXACT``.
 from __future__ import annotations
 
 import enum
-import time
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence, Tuple
 
 from ..bgp.config import NetworkConfig
 from ..bgp.sketch import Hole
+from ..obs import Instrumentation
 from ..runtime import GOVERNED_ERRORS, Governor
 from ..smt import RewriteRule, RewriteStats, TRUE
 from ..spec.ast import Specification
@@ -148,6 +148,14 @@ class ExplanationEngine:
 
     ``governor`` bounds every stage of every question this engine
     answers; all questions share its deadline and budget.
+
+    ``obs`` attaches an :class:`~repro.obs.Instrumentation` bundle: each
+    pipeline stage runs inside a span (``seed``, ``simplify``,
+    ``project``, ``lift``) and the hot paths record work counters with
+    stage attribution.  The public ``Explanation.timings`` mapping is a
+    view derived from those spans, so its keys are unchanged.  When
+    both ``obs`` and ``governor`` are given, the instrumentation also
+    subscribes to the governor's checkpoint stream.
     """
 
     def __init__(
@@ -160,6 +168,7 @@ class ExplanationEngine:
         link_cost=None,
         ibgp: bool = False,
         governor: Optional[Governor] = None,
+        obs: Optional[Instrumentation] = None,
     ) -> None:
         if config.has_holes():
             raise ValueError("the explanation engine expects a concrete configuration")
@@ -171,6 +180,9 @@ class ExplanationEngine:
         self.link_cost = link_cost
         self.ibgp = ibgp
         self.governor = governor
+        self.obs = obs
+        if obs is not None and governor is not None:
+            obs.watch(governor)
         # Questions are pure functions of (symbolized fields,
         # requirement) for a fixed engine, so answers are memoized --
         # the per-requirement reports re-ask the same questions.  Only
@@ -236,19 +248,30 @@ class ExplanationEngine:
         cache_key = (tuple(sorted(holes)), requirement_name)
         cached = self._cache.get(cache_key)
         if cached is not None:
+            if self.obs is not None:
+                self.obs.count("engine.cache_hits")
             return cached
         governor = self.governor
+        # Stage timings are derived from spans.  A private throwaway
+        # Instrumentation keeps the span machinery (and therefore the
+        # timing code path) identical when the engine is uninstrumented;
+        # the hot paths still receive ``self.obs`` (possibly ``None``).
+        obs = self.obs if self.obs is not None else Instrumentation()
         timings: Dict[str, float] = {}
         degradations = []
 
-        started = time.perf_counter()
-        try:
-            seed = extract_seed(
-                sketch, spec, holes, self.max_path_length, self.link_cost,
-                self.ibgp, governor=governor,
-            )
-        except GOVERNED_ERRORS as exc:
-            timings["seed"] = time.perf_counter() - started
+        seed_error: Optional[BaseException] = None
+        seed: Optional[SeedSpecification] = None
+        with obs.span("seed") as span:
+            try:
+                seed = extract_seed(
+                    sketch, spec, holes, self.max_path_length, self.link_cost,
+                    self.ibgp, governor=governor, obs=self.obs,
+                )
+            except GOVERNED_ERRORS as exc:
+                seed_error = exc
+        timings["seed"] = span.duration
+        if seed is None:
             return self._finish(
                 Explanation(
                     device=device,
@@ -267,49 +290,51 @@ class ExplanationEngine:
                     ),
                     timings=timings,
                     status=ExplanationStatus.FAILED,
-                    degradation=f"seed extraction interrupted: {exc}",
+                    degradation=f"seed extraction interrupted: {seed_error}",
                 ),
                 cache_key,
             )
-        timings["seed"] = time.perf_counter() - started
 
-        started = time.perf_counter()
-        try:
-            simplified = simplify_seed(seed, rules=self.rules, governor=governor)
-        except GOVERNED_ERRORS as exc:
-            # Fall back to the unsimplified seed constraint; later
-            # stages do not depend on the simplified term.
-            simplified = SimplifiedSeed(
-                term=seed.constraint,
-                stats=RewriteStats(
-                    input_size=seed.size, output_size=seed.size
-                ),
-                input_constraints=seed.num_constraints,
-                output_constraints=seed.num_constraints,
-            )
-            degradations.append(f"simplification interrupted: {exc}")
-        timings["simplify"] = time.perf_counter() - started
+        with obs.span("simplify") as span:
+            try:
+                simplified = simplify_seed(
+                    seed, rules=self.rules, governor=governor, obs=self.obs
+                )
+            except GOVERNED_ERRORS as exc:
+                # Fall back to the unsimplified seed constraint; later
+                # stages do not depend on the simplified term.
+                simplified = SimplifiedSeed(
+                    term=seed.constraint,
+                    stats=RewriteStats(
+                        input_size=seed.size, output_size=seed.size
+                    ),
+                    input_constraints=seed.num_constraints,
+                    output_constraints=seed.num_constraints,
+                )
+                degradations.append(f"simplification interrupted: {exc}")
+        timings["simplify"] = span.duration
 
-        started = time.perf_counter()
         projected: Optional[ProjectedSpec] = None
         lift_result: Optional[LiftResult] = None
-        try:
-            projected = project(
-                seed, sketch, limit=self.projection_limit, governor=governor
-            )
-        except GOVERNED_ERRORS as exc:
-            degradations.append(f"projection interrupted: {exc}")
-        timings["project"] = time.perf_counter() - started
+        with obs.span("project") as span:
+            try:
+                projected = project(
+                    seed, sketch, limit=self.projection_limit, governor=governor,
+                    obs=self.obs,
+                )
+            except GOVERNED_ERRORS as exc:
+                degradations.append(f"projection interrupted: {exc}")
+        timings["project"] = span.duration
 
-        started = time.perf_counter()
-        if projected is not None:
-            lift_result = lift(
-                device, sketch, spec, seed, projected, projected.envs,
-                governor=governor,
-            )
-            if lift_result.exhausted:
-                degradations.append("lift search interrupted")
-        timings["lift"] = time.perf_counter() - started
+        with obs.span("lift") as span:
+            if projected is not None:
+                lift_result = lift(
+                    device, sketch, spec, seed, projected, projected.envs,
+                    governor=governor, obs=self.obs,
+                )
+                if lift_result.exhausted:
+                    degradations.append("lift search interrupted")
+        timings["lift"] = span.duration
 
         if lift_result is not None and (lift_result.lifted or not degradations):
             statements = lift_result.statements

@@ -29,6 +29,7 @@ from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from ..bgp.config import NetworkConfig
+from ..obs import Instrumentation
 from ..runtime import GOVERNED_ERRORS, Governor, ReproError
 from ..smt import Term
 from ..spec.ast import (
@@ -89,6 +90,7 @@ def generate_candidates(
     seed: SeedSpecification,
     max_candidates: int = 64,
     governor: Optional[Governor] = None,
+    obs: Optional[Instrumentation] = None,
 ) -> Tuple[Statement, ...]:
     """Local candidate statements for ``device``."""
     space = seed.encoding.space
@@ -98,6 +100,8 @@ def generate_candidates(
     def add(statement: Statement) -> None:
         if governor is not None:
             governor.checkpoint("lift")
+        if obs is not None:
+            obs.count("lift.candidates_generated")
         found.setdefault(str(statement), statement)
 
     # Blanket neighbor filters (Figure 2's shape).
@@ -105,14 +109,11 @@ def generate_candidates(
         add(ForbiddenPath(PathPattern.exact(device, neighbor)))
         add(ForbiddenPath(PathPattern.exact(neighbor, device)))
 
-    listed_suffixes: Set[Tuple[str, ...]] = set()
     for statement in specification.statements():
         if isinstance(statement, ForbiddenPath):
             _forbidden_slice_candidates(device, statement, space, add)
         elif isinstance(statement, PathPreference):
-            listed_suffixes |= _preference_candidates(
-                device, statement, space, add
-            )
+            _preference_candidates(device, statement, space, add)
         elif isinstance(statement, Reachability):
             _reachability_candidates(device, statement, space, add)
     return tuple(itertools.islice(found.values(), max_candidates))
@@ -182,7 +183,6 @@ def _preference_candidates(device, statement, space, add) -> Set[Tuple[str, ...]
         prefixes = destination_prefixes(space.topology, statement.destination)
     except SpecError:
         return set()
-    destination = statement.destination
     listed_suffixes: Set[Tuple[str, ...]] = set()
     suffix_patterns: List[PathPattern] = []
     for group in ranked.paths:
@@ -247,6 +247,7 @@ def _statement_term(
     specification: Specification,
     seed: SeedSpecification,
     governor: Optional[Governor] = None,
+    obs: Optional[Instrumentation] = None,
 ) -> Optional[Term]:
     """The filter-level encoding of a candidate statement on the sketch
     (same encoder as the synthesizer; selection axioms are not needed
@@ -261,6 +262,7 @@ def _statement_term(
             seed.encoding.link_cost,
             ibgp=seed.encoding.ibgp,
             governor=governor,
+            obs=obs,
         )
         encoding = encoder.encode(include_selection=False)
     except ReproError:
@@ -279,6 +281,7 @@ def lift(
     envs: Dict[AssignmentKey, Dict[str, object]],
     max_conjunction: int = 3,
     governor: Optional[Governor] = None,
+    obs: Optional[Instrumentation] = None,
 ) -> LiftResult:
     """Search the specification language for an equivalent subspec.
 
@@ -300,13 +303,15 @@ def lift(
     evaluated: List[Tuple[Statement, FrozenSet[AssignmentKey]]] = []
     try:
         candidates = generate_candidates(
-            device, specification, seed, governor=governor
+            device, specification, seed, governor=governor, obs=obs
         )
         for statement in candidates:
             if governor is not None:
                 governor.checkpoint("lift")
+            if obs is not None:
+                obs.count("lift.candidates_evaluated")
             term = _statement_term(
-                statement, sketch, specification, seed, governor=governor
+                statement, sketch, specification, seed, governor=governor, obs=obs
             )
             if term is None:
                 continue
@@ -336,6 +341,8 @@ def lift(
                 for combo in itertools.combinations(necessary, size):
                     if governor is not None:
                         governor.checkpoint("lift")
+                    if obs is not None:
+                        obs.count("lift.combinations")
                     intersection = set(all_keys)
                     for _, accepted in combo:
                         intersection &= accepted

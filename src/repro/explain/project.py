@@ -21,6 +21,7 @@ from typing import Dict, List, Mapping, Optional, Tuple
 from ..bgp.config import NetworkConfig
 from ..bgp.simulation import ConvergenceError, simulate
 from ..bgp.sketch import Hole
+from ..obs import Instrumentation
 from ..runtime import Governor, ReproError
 from ..smt import And, Eq, FALSE, Or, Term, simplify
 from .seed import SeedSpecification
@@ -78,6 +79,7 @@ def project(
     sketch: NetworkConfig,
     limit: int = 4096,
     governor: Optional[Governor] = None,
+    obs: Optional[Instrumentation] = None,
 ) -> ProjectedSpec:
     """Enumerate hole assignments and classify each as acceptable.
 
@@ -109,8 +111,10 @@ def project(
     for assignment in _iter_assignments(seed.holes):
         if governor is not None:
             governor.checkpoint("project")
+        if obs is not None:
+            obs.count("project.assignments")
         ok, env = _classify_assignment(
-            requirement, assignment, sketch, seed, governor=governor
+            requirement, assignment, sketch, seed, governor=governor, obs=obs
         )
         key = tuple(sorted((name, str(value)) for name, value in assignment.items()))
         if env is not None:
@@ -136,6 +140,7 @@ def _classify_assignment(
     sketch: NetworkConfig,
     seed: SeedSpecification,
     governor: Optional[Governor] = None,
+    obs: Optional[Instrumentation] = None,
 ):
     """(acceptable?, evaluation env) for one hole assignment.
 
@@ -148,6 +153,7 @@ def _classify_assignment(
             link_cost=seed.encoding.link_cost,
             ibgp=seed.encoding.ibgp,
             governor=governor,
+            obs=obs,
         )
     except ConvergenceError:
         return False, None

@@ -15,6 +15,7 @@ from typing import Dict, Optional
 
 from ..bgp.config import NetworkConfig
 from ..bgp.sketch import Hole
+from ..obs import Instrumentation
 from ..runtime import Governor
 from ..smt import Term
 from ..spec.ast import Specification
@@ -66,11 +67,12 @@ def extract_seed(
     link_cost=None,
     ibgp: bool = False,
     governor: Optional[Governor] = None,
+    obs: Optional[Instrumentation] = None,
 ) -> SeedSpecification:
     """Encode the partially symbolic network into a seed specification."""
     encoding = Encoder(
         sketch, specification, max_path_length, link_cost, ibgp=ibgp,
-        governor=governor,
+        governor=governor, obs=obs,
     ).encode()
     return SeedSpecification(
         constraint=encoding.constraint,

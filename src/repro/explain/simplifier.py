@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
+from ..obs import Instrumentation
 from ..runtime import Governor
 from ..smt import And, RewriteEngine, RewriteRule, RewriteStats, Term
 from .seed import SeedSpecification
@@ -45,6 +46,7 @@ def simplify_seed(
     rules: Optional[Sequence[RewriteRule]] = None,
     use_cone_of_influence: bool = False,
     governor: Optional[Governor] = None,
+    obs: Optional[Instrumentation] = None,
 ) -> SimplifiedSeed:
     """Apply the rewrite rules (optionally after a cone-of-influence
     restriction to the symbolized variables) until fixpoint."""
@@ -56,7 +58,7 @@ def simplify_seed(
         )
         constraint = cone_of_influence(constraint, hole_vars)
     stats = RewriteStats()
-    engine = RewriteEngine(rules, governor=governor)
+    engine = RewriteEngine(rules, governor=governor, obs=obs)
     simplified = engine.simplify(constraint, stats)
     # Report sizes relative to the original seed even when the cone
     # restriction already removed conjuncts.

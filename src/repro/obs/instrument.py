@@ -1,0 +1,105 @@
+"""The :class:`Instrumentation` bundle threaded through the hot paths.
+
+One ``Instrumentation`` pairs a :class:`~repro.obs.tracer.Tracer` with a
+:class:`~repro.obs.metrics.MetricsRegistry` and adds *stage
+attribution*: counters recorded while a span is open are prefixed with
+the innermost span's name (``"lift:encode.candidates"``), so a single
+registry localizes work to pipeline stages without any extra plumbing.
+
+Every instrumented function takes ``obs: Optional[Instrumentation]``
+and skips recording when it is ``None`` -- exactly the convention the
+resource governor established -- so uninstrumented runs stay
+byte-identical.  ``Instrumentation.watch`` additionally piggybacks on a
+:class:`~repro.runtime.Governor`'s checkpoint seam, counting every
+checkpoint as ``checkpoint.<stage>`` without touching the governed
+loops again.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Iterator, Optional
+
+from .metrics import MetricsRegistry
+from .tracer import Span, Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - import for annotations only
+    from ..runtime import Governor
+
+__all__ = ["Instrumentation", "SPAN_PREFIX"]
+
+#: Histogram-name prefix under which span durations are observed.
+SPAN_PREFIX = "span:"
+
+
+class Instrumentation:
+    """A tracer plus a metrics registry with stage attribution."""
+
+    def __init__(
+        self,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+
+    # ------------------------------------------------------------------
+    # Spans
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def span(self, name: str) -> Iterator[Span]:
+        """Open a traced span and observe its duration as a histogram
+        sample under ``span:<name>`` when it closes."""
+        span: Optional[Span] = None
+        try:
+            with self.tracer.span(name) as span:
+                yield span
+        finally:
+            if span is not None:
+                self.metrics.observe(SPAN_PREFIX + name, span.duration)
+
+    @property
+    def stage(self) -> Optional[str]:
+        """The innermost open span name, used as the counter prefix."""
+        current = self.tracer.current
+        return current.name if current is not None else None
+
+    # ------------------------------------------------------------------
+    # Metrics (stage-attributed)
+    # ------------------------------------------------------------------
+
+    def _qualified(self, name: str) -> str:
+        stage = self.stage
+        return f"{stage}:{name}" if stage is not None else name
+
+    def count(self, name: str, amount: int = 1) -> int:
+        """Count ``amount`` under ``<stage>:<name>`` (or bare ``name``
+        outside any span)."""
+        return self.metrics.count(self._qualified(name), amount)
+
+    def gauge(self, name: str, value: float) -> None:
+        self.metrics.gauge(self._qualified(name), value)
+
+    def observe(self, name: str, value: float) -> None:
+        self.metrics.observe(self._qualified(name), value)
+
+    # ------------------------------------------------------------------
+    # Governor piggyback
+    # ------------------------------------------------------------------
+
+    def watch(self, governor: "Governor") -> None:
+        """Subscribe to ``governor``'s checkpoint seam.
+
+        Every ``Governor.checkpoint(stage, amount)`` is then counted as
+        ``checkpoint.<stage>`` (stage-attributed like any counter), so
+        code already threaded with a governor reports work units with
+        no further changes.
+        """
+        governor.observer = self._on_checkpoint
+
+    def _on_checkpoint(self, stage: str, amount: int) -> None:
+        self.count(f"checkpoint.{stage}", amount)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Instrumentation(stage={self.stage!r}, {self.metrics!r})"

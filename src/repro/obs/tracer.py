@@ -1,0 +1,129 @@
+"""Nested span tracing on a monotonic clock.
+
+A :class:`Tracer` collects a forest of :class:`Span` objects.  Spans
+are opened with the :meth:`Tracer.span` context manager, nest by
+lexical scope, survive exceptions (an interrupted span is closed and
+marked ``"error"``), and record wall-clock durations measured with
+``time.perf_counter``.
+
+The tracer is deliberately passive: opening a span never changes the
+behaviour of the code it wraps, so an instrumented pipeline run
+produces byte-identical outputs to an uninstrumented one.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator, List, Optional
+
+__all__ = ["Span", "Tracer"]
+
+
+class Span:
+    """One timed region of work, possibly with nested child spans."""
+
+    __slots__ = ("name", "start", "end", "parent", "children", "status")
+
+    def __init__(self, name: str, start: float, parent: Optional["Span"] = None) -> None:
+        self.name = name
+        self.start = start
+        self.end: Optional[float] = None
+        self.parent = parent
+        self.children: List["Span"] = []
+        self.status = "ok"
+
+    @property
+    def closed(self) -> bool:
+        return self.end is not None
+
+    @property
+    def duration(self) -> float:
+        """Wall-clock seconds; ``0.0`` while the span is still open."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-serializable view of this span and its subtree."""
+        return {
+            "name": self.name,
+            "duration_s": self.duration,
+            "status": self.status,
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = f"{self.duration:.6f}s" if self.closed else "open"
+        return f"Span({self.name}, {state}, {self.status})"
+
+
+class Tracer:
+    """Collects nested spans; the innermost open span is ``current``.
+
+    >>> tracer = Tracer()
+    >>> with tracer.span("outer"):
+    ...     with tracer.span("inner"):
+    ...         pass
+    >>> [root.name for root in tracer.roots]
+    ['outer']
+    """
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
+        self._clock = clock
+        self.roots: List[Span] = []
+        self._stack: List[Span] = []
+
+    @property
+    def current(self) -> Optional[Span]:
+        """The innermost open span, or ``None`` outside any span."""
+        return self._stack[-1] if self._stack else None
+
+    @contextmanager
+    def span(self, name: str) -> Iterator[Span]:
+        """Open a span named ``name`` for the duration of the block.
+
+        The span is closed (its ``end`` stamped) even when the block
+        raises; the exception also marks the span status ``"error"``
+        before propagating.
+        """
+        span = Span(name, self._clock(), parent=self.current)
+        if span.parent is not None:
+            span.parent.children.append(span)
+        else:
+            self.roots.append(span)
+        self._stack.append(span)
+        try:
+            yield span
+        except BaseException:
+            span.status = "error"
+            raise
+        finally:
+            span.end = self._clock()
+            if self._stack and self._stack[-1] is span:
+                self._stack.pop()
+            elif span in self._stack:  # pragma: no cover - defensive
+                self._stack.remove(span)
+
+    def iter_spans(self) -> Iterator[Span]:
+        """All spans, depth-first in creation order."""
+        pending = list(reversed(self.roots))
+        while pending:
+            span = pending.pop()
+            yield span
+            pending.extend(reversed(span.children))
+
+    def timings(self) -> Dict[str, float]:
+        """Total closed-span duration per span name.
+
+        Same-named spans are summed, so repeated stages aggregate the
+        way the legacy ``ExplanationEngine.timings`` mapping did.
+        """
+        totals: Dict[str, float] = {}
+        for span in self.iter_spans():
+            if span.closed:
+                totals[span.name] = totals.get(span.name, 0.0) + span.duration
+        return totals
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"spans": [root.to_dict() for root in self.roots]}

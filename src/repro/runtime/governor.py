@@ -204,11 +204,18 @@ class Governor:
         budget: Optional[WorkBudget] = None,
         token: Optional[CancelToken] = None,
         faults=None,
+        observer: Optional[Callable[[str, int], None]] = None,
     ) -> None:
         self.deadline = deadline
         self.budget = budget
         self.token = token
         self.faults = faults
+        #: Passive checkpoint subscriber ``(stage, amount) -> None``;
+        #: :meth:`repro.obs.Instrumentation.watch` attaches one so
+        #: metrics piggyback on the already-threaded checkpoint seam.
+        #: Observers run before any governed check can raise, so
+        #: interrupted work is still accounted for.
+        self.observer = observer
         self.checkpoints: Dict[str, int] = {}
 
     @classmethod
@@ -230,6 +237,8 @@ class Governor:
     def checkpoint(self, stage: str, amount: int = 1) -> None:
         """One unit of work in ``stage``; raises on any governed limit."""
         self.checkpoints[stage] = self.checkpoints.get(stage, 0) + 1
+        if self.observer is not None:
+            self.observer(stage, amount)
         if self.faults is not None:
             self.faults.fire(stage, self.checkpoints[stage])
         if self.token is not None:

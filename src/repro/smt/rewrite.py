@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from ..obs import Instrumentation
 from ..runtime import Governor
 from .builders import And, FALSE, Implies, Not, Or, TRUE
 from .terms import Term, TermKind
@@ -400,10 +401,12 @@ class RewriteEngine:
         rules: Optional[Iterable[RewriteRule]] = None,
         max_passes: int = 10_000,
         governor: Optional[Governor] = None,
+        obs: Optional[Instrumentation] = None,
     ) -> None:
         self.rules: Tuple[RewriteRule, ...] = tuple(rules) if rules is not None else ALL_RULES
         self.max_passes = max_passes
         self.governor = governor
+        self.obs = obs
         self._cache: Dict[Term, Term] = {}
 
     def simplify(self, term: Term, stats: Optional[RewriteStats] = None) -> Term:
@@ -418,6 +421,8 @@ class RewriteEngine:
     def _normalize(self, term: Term, stats: Optional[RewriteStats], depth: int) -> Term:
         cached = self._cache.get(term)
         if cached is not None:
+            if self.obs is not None:
+                self.obs.count("rewrite.cache_hits")
             return cached
         current = term
         for _ in range(self.max_passes):
@@ -447,6 +452,9 @@ class RewriteEngine:
             if rewritten is not None and rewritten is not term:
                 if self.governor is not None:
                     self.governor.checkpoint("rewrite")
+                if self.obs is not None:
+                    self.obs.count("rewrite.steps")
+                    self.obs.count(f"rewrite.rule.{rule.name}")
                 if stats is not None:
                     stats.record(rule.name)
                 return rewritten
@@ -458,6 +466,7 @@ def simplify(
     rules: Optional[Sequence[RewriteRule]] = None,
     stats: Optional[RewriteStats] = None,
     governor: Optional[Governor] = None,
+    obs: Optional[Instrumentation] = None,
 ) -> Term:
     """Simplify ``term`` with the full rule set (or ``rules`` if given)."""
-    return RewriteEngine(rules, governor=governor).simplify(term, stats)
+    return RewriteEngine(rules, governor=governor, obs=obs).simplify(term, stats)

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from ..obs import Instrumentation
 from ..runtime import Governor
 
 __all__ = ["SatSolver", "SatResult", "solve_clauses"]
@@ -40,6 +41,7 @@ class SatResult:
     conflicts: int = 0
     decisions: int = 0
     propagations: int = 0
+    restarts: int = 0
 
 
 class _Clause:
@@ -66,9 +68,15 @@ class SatSolver:
         result = solver.solve()
     """
 
-    def __init__(self, num_vars: int, governor: Optional[Governor] = None) -> None:
+    def __init__(
+        self,
+        num_vars: int,
+        governor: Optional[Governor] = None,
+        obs: Optional[Instrumentation] = None,
+    ) -> None:
         self.num_vars = num_vars
         self.governor = governor
+        self.obs = obs
         self.clauses: List[_Clause] = []
         self._watches: Dict[int, List[_Clause]] = {}
         # Assignment state: index by variable (1-based).
@@ -85,6 +93,7 @@ class SatSolver:
         self.conflicts = 0
         self.decisions = 0
         self.propagations = 0
+        self.restarts = 0
 
     # ------------------------------------------------------------------
     # Clause management
@@ -277,6 +286,16 @@ class SatSolver:
 
     def solve(self, assumptions: Sequence[int] = ()) -> SatResult:
         """Solve the formula, optionally under unit ``assumptions``."""
+        result = self._solve(assumptions)
+        if self.obs is not None:
+            self.obs.count("sat.calls")
+            self.obs.count("sat.conflicts", result.conflicts)
+            self.obs.count("sat.decisions", result.decisions)
+            self.obs.count("sat.propagations", result.propagations)
+            self.obs.count("sat.restarts", result.restarts)
+        return result
+
+    def _solve(self, assumptions: Sequence[int]) -> SatResult:
         if self._empty_clause:
             return SatResult(False, {})
         self._qhead = 0
@@ -318,6 +337,7 @@ class SatSolver:
                 conflict_budget -= 1
                 if conflict_budget <= 0:
                     # Geometric restart (clamped; see module constants).
+                    self.restarts += 1
                     conflict_budget = self._restart_interval()
                     self._backtrack(assumption_level)
                 continue
@@ -351,6 +371,7 @@ class SatSolver:
             conflicts=self.conflicts,
             decisions=self.decisions,
             propagations=self.propagations,
+            restarts=self.restarts,
         )
         self._backtrack(0)
         return result
@@ -360,9 +381,10 @@ def solve_clauses(
     num_vars: int,
     clauses: Iterable[Iterable[int]],
     governor: Optional[Governor] = None,
+    obs: Optional[Instrumentation] = None,
 ) -> SatResult:
     """One-shot convenience wrapper."""
-    solver = SatSolver(num_vars, governor=governor)
+    solver = SatSolver(num_vars, governor=governor, obs=obs)
     for clause in clauses:
         solver.add_clause(clause)
     return solver.solve()

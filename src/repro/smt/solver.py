@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator, List, Optional, Sequence, Tuple
 
+from ..obs import Instrumentation
 from ..runtime import EnumerationTruncated, Governor
 from .builders import And, Not
 from .cnf import to_cnf
@@ -32,11 +33,17 @@ __all__ = [
 ]
 
 
-def check_sat(term: Term, governor: Optional[Governor] = None) -> Optional[Model]:
+def check_sat(
+    term: Term,
+    governor: Optional[Governor] = None,
+    obs: Optional[Instrumentation] = None,
+) -> Optional[Model]:
     """Return a model of ``term``, or ``None`` if unsatisfiable."""
+    if obs is not None:
+        obs.count("solver.queries")
     blasted = blast(term)
     cnf = to_cnf(blasted.formula)
-    solver = SatSolver(cnf.num_vars, governor=governor)
+    solver = SatSolver(cnf.num_vars, governor=governor, obs=obs)
     for clause in cnf.clauses:
         if not clause:
             return None
@@ -83,6 +90,7 @@ def iter_models(
     limit: int = 1_000_000,
     governor: Optional[Governor] = None,
     strict: bool = False,
+    obs: Optional[Instrumentation] = None,
 ) -> Iterator[Model]:
     """Enumerate models of ``term``, distinct on its free variables.
 
@@ -120,7 +128,7 @@ def iter_models(
     produced = 0
     extra_clauses: List[List[int]] = []
     while True:
-        fresh = SatSolver(cnf.num_vars, governor=governor)
+        fresh = SatSolver(cnf.num_vars, governor=governor, obs=obs)
         for clause in cnf.clauses:
             fresh.add_clause(clause)
         for clause in extra_clauses:
@@ -139,6 +147,8 @@ def iter_models(
             return
         if governor is not None:
             governor.checkpoint("enumerate")
+        if obs is not None:
+            obs.count("solver.models")
         bool_model = cnf.decode(result.assignment)
         yield Model(blasted.decode(bool_model))
         produced += 1
@@ -192,12 +202,15 @@ def enumerate_models(
     term: Term,
     limit: int = 1_000_000,
     governor: Optional[Governor] = None,
+    obs: Optional[Instrumentation] = None,
 ) -> ModelEnumeration:
     """Enumerate up to ``limit`` models with an explicit exhaustiveness
     flag instead of an exception."""
     models: List[Model] = []
     try:
-        for model in iter_models(term, limit=limit, governor=governor, strict=True):
+        for model in iter_models(
+            term, limit=limit, governor=governor, strict=True, obs=obs
+        ):
             models.append(model)
     except EnumerationTruncated:
         return ModelEnumeration(models=tuple(models), exhaustive=False)
@@ -209,6 +222,7 @@ def count_models(
     limit: int = 1_000_000,
     governor: Optional[Governor] = None,
     strict: bool = True,
+    obs: Optional[Instrumentation] = None,
 ) -> int:
     """Count models (distinct on free variables), up to ``limit``.
 
@@ -219,6 +233,6 @@ def count_models(
     lower bound instead.
     """
     count = 0
-    for _ in iter_models(term, limit=limit, governor=governor, strict=strict):
+    for _ in iter_models(term, limit=limit, governor=governor, strict=strict, obs=obs):
         count += 1
     return count

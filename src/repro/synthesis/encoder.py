@@ -40,6 +40,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..bgp.announcement import DEFAULT_LOCAL_PREF
 from ..bgp.config import Direction, NetworkConfig
+from ..obs import Instrumentation
 from ..runtime import Governor
 from ..smt import (
     And,
@@ -118,12 +119,14 @@ class Encoder:
         link_cost=None,
         ibgp: bool = False,
         governor: Optional[Governor] = None,
+        obs: Optional[Instrumentation] = None,
     ) -> None:
         self.config = config
         self.specification = specification
         self.link_cost = link_cost
         self.ibgp = ibgp
         self.governor = governor
+        self.obs = obs
         self.space = CandidateSpace(config.topology, max_path_length, ibgp=ibgp)
         router_configs = [
             config.router_config(name) for name in config.topology.router_names
@@ -143,13 +146,19 @@ class Encoder:
     def _checkpoint(self) -> None:
         if self.governor is not None:
             self.governor.checkpoint("encode")
+        if self.obs is not None:
+            self.obs.count("encode.steps")
 
     def _state_of(self, candidate: Candidate) -> SymbolicRoute:
         key = candidate.key()
         cached = self._states.get(key)
         if cached is not None:
+            if self.obs is not None:
+                self.obs.count("encode.cache_hits")
             return cached
         self._checkpoint()
+        if self.obs is not None:
+            self.obs.count("encode.candidates")
         parent = candidate.parent()
         if parent is None:
             state = SymbolicRoute.originated(
@@ -373,7 +382,6 @@ class Encoder:
             raise EncodingError(
                 f"ranked paths {high_path} and {low_path} share no source"
             )
-        divergence = high_path.hops[common - 1]
         high_suffix = Path(high_path.hops[common - 1:])
         low_suffix = Path(low_path.hops[common - 1:])
         high_candidate = Candidate(prefix, high_suffix.reversed())

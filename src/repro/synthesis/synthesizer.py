@@ -11,6 +11,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 from ..bgp.config import NetworkConfig
+from ..obs import Instrumentation
 from ..runtime import Governor, ReproError
 from ..smt import Model, check_sat
 from ..spec.ast import Specification
@@ -70,6 +71,7 @@ class Synthesizer:
         link_cost=None,
         ibgp: bool = False,
         governor: Optional[Governor] = None,
+        obs: Optional[Instrumentation] = None,
     ) -> None:
         self.sketch = sketch
         self.specification = specification
@@ -77,6 +79,7 @@ class Synthesizer:
         self.link_cost = link_cost
         self.ibgp = ibgp
         self.governor = governor
+        self.obs = obs
 
     def encode(self) -> Encoding:
         """Encode without solving (exposed for the explanation flow)."""
@@ -87,6 +90,7 @@ class Synthesizer:
             self.link_cost,
             ibgp=self.ibgp,
             governor=self.governor,
+            obs=self.obs,
         )
         return encoder.encode()
 
@@ -103,7 +107,7 @@ class Synthesizer:
             origination).
         """
         encoding = self.encode()
-        model = check_sat(encoding.constraint, governor=self.governor)
+        model = check_sat(encoding.constraint, governor=self.governor, obs=self.obs)
         if model is None:
             raise SynthesisError(
                 "specification is unrealizable for this sketch "

@@ -1,0 +1,121 @@
+"""The --compare regression gate: verdicts, calibration, jitter floor."""
+
+import pytest
+
+from repro.obs import BenchReport, StageRecord, compare_reports
+
+
+def _stage(scenario, stage, median, runs=2):
+    return StageRecord(
+        scenario=scenario,
+        stage=stage,
+        runs=runs,
+        median_s=median,
+        p95_s=median * 1.2,
+        total_s=median * runs,
+    )
+
+
+def _report(medians, calibration=None):
+    return BenchReport(
+        stages=[
+            _stage(scenario, stage, median)
+            for (scenario, stage), median in medians.items()
+        ],
+        calibration_s=calibration,
+    )
+
+
+def test_unchanged_report_is_ok():
+    report = _report({("s1", "lift"): 0.100, ("s1", "seed"): 0.050})
+    result = compare_reports(report, report)
+    assert result.ok
+    assert {verdict.status for verdict in result.verdicts} == {"ok"}
+
+
+def test_regression_detected_beyond_tolerance_and_floor():
+    baseline = _report({("s1", "lift"): 0.100})
+    current = _report({("s1", "lift"): 0.140})  # +40%, +40ms
+    result = compare_reports(current, baseline, tolerance=0.25)
+    (verdict,) = result.verdicts
+    assert verdict.status == "regression"
+    assert not result.ok
+    assert result.regressions == [verdict]
+    assert verdict.ratio == pytest.approx(1.4)
+
+
+def test_slowdown_within_tolerance_is_ok():
+    baseline = _report({("s1", "lift"): 0.100})
+    current = _report({("s1", "lift"): 0.120})  # +20% < 25%
+    assert compare_reports(current, baseline, tolerance=0.25).ok
+
+
+def test_micro_stage_jitter_below_absolute_floor_is_ok():
+    # +100% relative, but only +4ms absolute: under the 20ms floor.
+    baseline = _report({("s1", "simulate"): 0.004})
+    current = _report({("s1", "simulate"): 0.008})
+    result = compare_reports(current, baseline, tolerance=0.25)
+    (verdict,) = result.verdicts
+    assert verdict.status == "ok"
+
+
+def test_improvement_is_reported_and_passes():
+    baseline = _report({("s1", "lift"): 0.200})
+    current = _report({("s1", "lift"): 0.100})
+    result = compare_reports(current, baseline)
+    (verdict,) = result.verdicts
+    assert verdict.status == "improvement"
+    assert result.ok
+
+
+def test_missing_stage_fails():
+    baseline = _report({("s1", "lift"): 0.100, ("s1", "seed"): 0.100})
+    current = _report({("s1", "lift"): 0.100})
+    result = compare_reports(current, baseline)
+    assert not result.ok
+    statuses = {(v.scenario, v.stage): v.status for v in result.verdicts}
+    assert statuses[("s1", "seed")] == "missing"
+    assert statuses[("s1", "lift")] == "ok"
+
+
+def test_new_stage_passes():
+    baseline = _report({("s1", "lift"): 0.100})
+    current = _report({("s1", "lift"): 0.100, ("s1", "explain"): 0.500})
+    result = compare_reports(current, baseline)
+    assert result.ok
+    statuses = {(v.scenario, v.stage): v.status for v in result.verdicts}
+    assert statuses[("s1", "explain")] == "new"
+
+
+def test_calibration_scales_baseline():
+    # Baseline machine is 2x faster (calibration 15ms vs our 30ms):
+    # its 100ms median is expected to take ~200ms here.
+    baseline = _report({("s1", "lift"): 0.100}, calibration=0.015)
+    current = _report({("s1", "lift"): 0.190}, calibration=0.030)
+    result = compare_reports(current, baseline, tolerance=0.25)
+    assert result.scale == pytest.approx(2.0)
+    (verdict,) = result.verdicts
+    assert verdict.status == "ok"
+    assert verdict.baseline_s == pytest.approx(0.200)
+
+
+def test_calibration_ratio_is_clamped():
+    baseline = _report({("s1", "lift"): 0.100}, calibration=0.001)
+    current = _report({("s1", "lift"): 0.100}, calibration=10.0)
+    result = compare_reports(current, baseline)
+    assert result.scale == 4.0  # clamped: a corrupt calibration cannot
+    # scale a baseline into meaninglessness
+
+
+def test_missing_calibration_means_no_scaling():
+    baseline = _report({("s1", "lift"): 0.100}, calibration=None)
+    current = _report({("s1", "lift"): 0.100}, calibration=0.030)
+    assert compare_reports(current, baseline).scale == 1.0
+
+
+def test_render_mentions_verdict():
+    baseline = _report({("s1", "lift"): 0.100})
+    current = _report({("s1", "lift"): 0.500})
+    text = compare_reports(current, baseline).render()
+    assert "REGRESSION" in text
+    assert "s1/lift" in text

@@ -1,0 +1,132 @@
+"""BENCH.json schema round-trip, validation and experiment appending."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    BenchReport,
+    Experiment,
+    SCHEMA_VERSION,
+    SchemaError,
+    StageRecord,
+    append_experiment,
+    load_report,
+    validate_report,
+    write_report,
+)
+
+
+def _report():
+    return BenchReport(
+        stages=[
+            StageRecord(
+                scenario="scenario1",
+                stage="lift",
+                runs=4,
+                median_s=0.045,
+                p95_s=0.050,
+                total_s=0.19,
+                counters={"encode.candidates": 936, "sat.conflicts": 0},
+            )
+        ],
+        experiments=[Experiment(title="FIG-2", rows=["row one", "row two"])],
+        source="unit-test",
+        quick=True,
+        repeat=2,
+        calibration_s=0.03,
+    )
+
+
+def test_round_trip_preserves_everything():
+    original = _report()
+    restored = BenchReport.from_json(original.to_json())
+    assert restored.schema == SCHEMA_VERSION
+    assert restored.source == "unit-test"
+    assert restored.quick is True
+    assert restored.repeat == 2
+    assert restored.calibration_s == pytest.approx(0.03)
+    assert restored.to_dict() == original.to_dict()
+    record = restored.stage("scenario1", "lift")
+    assert record is not None
+    assert record.counters == {"encode.candidates": 936, "sat.conflicts": 0}
+    assert restored.experiments[0].rows == ["row one", "row two"]
+
+
+def test_stage_lookup_misses_return_none():
+    assert _report().stage("scenario1", "unknown") is None
+    assert _report().stage("nope", "lift") is None
+
+
+@pytest.mark.parametrize(
+    "mutate",
+    [
+        lambda d: d.update(schema="repro-bench/999"),
+        lambda d: d.pop("schema"),
+        lambda d: d.pop("stages"),
+        lambda d: d.update(stages="not-a-list"),
+        lambda d: d["stages"][0].pop("median_s"),
+        lambda d: d["stages"][0].update(runs="two"),
+        lambda d: d["stages"][0].update(counters=[1, 2]),
+        lambda d: d.update(experiments=[{"rows": []}]),
+    ],
+)
+def test_validate_rejects_malformed_documents(mutate):
+    data = _report().to_dict()
+    mutate(data)
+    with pytest.raises(SchemaError):
+        validate_report(data)
+
+
+def test_from_json_rejects_non_json():
+    with pytest.raises(SchemaError):
+        BenchReport.from_json("{not json")
+
+
+def test_validate_rejects_non_object():
+    with pytest.raises(SchemaError):
+        validate_report([1, 2, 3])
+
+
+def test_write_and_load(tmp_path):
+    path = tmp_path / "nested" / "BENCH.json"
+    write_report(_report(), str(path))
+    loaded = load_report(str(path))
+    assert loaded.to_dict() == _report().to_dict()
+    # On-disk form is the versioned schema.
+    data = json.loads(path.read_text())
+    assert data["schema"] == SCHEMA_VERSION
+
+
+def test_append_experiment_creates_missing_file(tmp_path):
+    path = tmp_path / "BENCH.json"
+    report = append_experiment(str(path), "EXP-1", ["a", "b"])
+    assert path.exists()
+    assert [e.title for e in report.experiments] == ["EXP-1"]
+    assert load_report(str(path)).experiments[0].rows == ["a", "b"]
+
+
+def test_append_experiment_replaces_same_title(tmp_path):
+    path = tmp_path / "BENCH.json"
+    append_experiment(str(path), "EXP-1", ["old"])
+    append_experiment(str(path), "EXP-2", ["other"])
+    report = append_experiment(str(path), "EXP-1", ["new"])
+    titles = [e.title for e in report.experiments]
+    assert titles == ["EXP-2", "EXP-1"]
+    assert report.experiments[-1].rows == ["new"]
+
+
+def test_append_experiment_recovers_from_invalid_file(tmp_path):
+    path = tmp_path / "BENCH.json"
+    path.write_text("garbage, not json")
+    report = append_experiment(str(path), "EXP-1", ["row"])
+    assert [e.title for e in report.experiments] == ["EXP-1"]
+    assert load_report(str(path)).schema == SCHEMA_VERSION
+
+
+def test_append_experiment_preserves_stage_records(tmp_path):
+    path = tmp_path / "BENCH.json"
+    write_report(_report(), str(path))
+    report = append_experiment(str(path), "EXTRA", ["row"])
+    assert report.stage("scenario1", "lift") is not None
+    assert len(report.experiments) == 2

@@ -1,0 +1,99 @@
+"""Instrumentation: stage attribution, span histograms, governor watch."""
+
+import pytest
+
+from repro.obs import Instrumentation, SPAN_PREFIX
+from repro.runtime import Governor, ResourceExhausted, WorkBudget
+
+
+def test_counters_outside_spans_are_bare():
+    obs = Instrumentation()
+    obs.count("sat.conflicts", 3)
+    assert obs.metrics.counters == {"sat.conflicts": 3}
+
+
+def test_counters_inside_spans_get_stage_prefix():
+    obs = Instrumentation()
+    with obs.span("lift"):
+        obs.count("encode.candidates", 5)
+        with obs.span("inner"):
+            obs.count("deep", 1)  # innermost span wins
+    assert obs.metrics.counters == {
+        "lift:encode.candidates": 5,
+        "inner:deep": 1,
+    }
+
+
+def test_span_duration_lands_in_histogram():
+    obs = Instrumentation()
+    with obs.span("seed"):
+        pass
+    samples = obs.metrics.samples(SPAN_PREFIX + "seed")
+    assert len(samples) == 1
+    assert samples[0] >= 0.0
+
+
+def test_span_histogram_recorded_even_on_exception():
+    obs = Instrumentation()
+    with pytest.raises(RuntimeError):
+        with obs.span("seed"):
+            raise RuntimeError("boom")
+    assert len(obs.metrics.samples(SPAN_PREFIX + "seed")) == 1
+    (root,) = obs.tracer.roots
+    assert root.status == "error"
+
+
+def test_stage_property_tracks_innermost_span():
+    obs = Instrumentation()
+    assert obs.stage is None
+    with obs.span("outer"):
+        assert obs.stage == "outer"
+        with obs.span("inner"):
+            assert obs.stage == "inner"
+        assert obs.stage == "outer"
+    assert obs.stage is None
+
+
+def test_gauge_and_observe_are_stage_attributed():
+    obs = Instrumentation()
+    with obs.span("simplify"):
+        obs.gauge("term.size", 120.0)
+        obs.observe("pass.time", 0.5)
+    assert obs.metrics.gauges == {"simplify:term.size": 120.0}
+    assert obs.metrics.samples("simplify:pass.time") == (0.5,)
+
+
+def test_watch_counts_governor_checkpoints():
+    obs = Instrumentation()
+    governor = Governor()
+    obs.watch(governor)
+    governor.checkpoint("rewrite")
+    governor.checkpoint("rewrite")
+    with obs.span("simplify"):
+        governor.checkpoint("rewrite")
+    assert obs.metrics.counters == {
+        "checkpoint.rewrite": 2,
+        "simplify:checkpoint.rewrite": 1,
+    }
+    # The governor's own accounting is untouched by the observer.
+    assert governor.checkpoints == {"rewrite": 3}
+
+
+def test_watch_observes_before_limits_fire():
+    obs = Instrumentation()
+    governor = Governor(budget=WorkBudget(total=1))
+    obs.watch(governor)
+    governor.checkpoint("sat")
+    with pytest.raises(ResourceExhausted):
+        governor.checkpoint("sat")
+    # Both checkpoints were observed, including the one that raised.
+    assert obs.metrics.counters == {"checkpoint.sat": 2}
+
+
+def test_unwatched_governor_behaves_as_before():
+    governor = Governor(budget=WorkBudget(total=2))
+    governor.checkpoint("sat")
+    governor.checkpoint("sat")
+    with pytest.raises(ResourceExhausted):
+        governor.checkpoint("sat")
+    assert governor.checkpoints == {"sat": 3}

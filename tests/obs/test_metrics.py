@@ -1,0 +1,100 @@
+"""MetricsRegistry semantics: counters, gauges, histograms, merge."""
+
+import pytest
+
+from repro.obs import MetricsRegistry, percentile
+
+
+def test_counters_accumulate():
+    registry = MetricsRegistry()
+    assert registry.count("sat.conflicts") == 1
+    assert registry.count("sat.conflicts", 4) == 5
+    assert registry.counters == {"sat.conflicts": 5}
+
+
+def test_gauges_last_writer_wins():
+    registry = MetricsRegistry()
+    registry.gauge("seed.size", 100.0)
+    registry.gauge("seed.size", 42.0)
+    assert registry.gauges == {"seed.size": 42.0}
+
+
+def test_histogram_stats():
+    registry = MetricsRegistry()
+    for value in (1.0, 2.0, 3.0, 4.0):
+        registry.observe("span:lift", value)
+    stats = registry.histogram_stats("span:lift")
+    assert stats["count"] == 4.0
+    assert stats["min"] == 1.0
+    assert stats["max"] == 4.0
+    assert stats["mean"] == 2.5
+    assert stats["p50"] == 2.5
+    assert registry.samples("span:lift") == (1.0, 2.0, 3.0, 4.0)
+
+
+def test_histogram_stats_unknown_name_raises():
+    with pytest.raises(KeyError):
+        MetricsRegistry().histogram_stats("nope")
+
+
+def test_merge_semantics():
+    left = MetricsRegistry()
+    left.count("c", 2)
+    left.count("only-left")
+    left.gauge("g", 1.0)
+    left.observe("h", 1.0)
+
+    right = MetricsRegistry()
+    right.count("c", 3)
+    right.count("only-right", 7)
+    right.gauge("g", 9.0)  # last writer (the merged-in side) wins
+    right.observe("h", 2.0)
+    right.observe("h2", 5.0)
+
+    merged = left.merge(right)
+    assert merged is left
+    assert left.counters == {"c": 5, "only-left": 1, "only-right": 7}
+    assert left.gauges == {"g": 9.0}
+    assert left.samples("h") == (1.0, 2.0)
+    assert left.samples("h2") == (5.0,)
+    # The merged-in registry is unchanged.
+    assert right.counters == {"c": 3, "only-right": 7}
+
+
+def test_merge_is_associative_on_counters():
+    def reg(value):
+        registry = MetricsRegistry()
+        registry.count("n", value)
+        return registry
+
+    a = reg(1).merge(reg(2)).merge(reg(3))
+    b = reg(1).merge(reg(2).merge(reg(3)))
+    assert a.counters == b.counters == {"n": 6}
+
+
+def test_snapshot_round_trips_through_json():
+    import json
+
+    registry = MetricsRegistry()
+    registry.count("c")
+    registry.gauge("g", 2.5)
+    registry.observe("h", 1.0)
+    data = json.loads(json.dumps(registry.snapshot()))
+    assert data["counters"] == {"c": 1}
+    assert data["gauges"] == {"g": 2.5}
+    assert data["histograms"]["h"]["count"] == 1.0
+
+
+def test_percentile_interpolates():
+    samples = [10.0, 20.0, 30.0, 40.0]
+    assert percentile(samples, 0.0) == 10.0
+    assert percentile(samples, 1.0) == 40.0
+    assert percentile(samples, 0.5) == 25.0
+    assert percentile([5.0], 0.95) == 5.0
+
+
+def test_percentile_rejects_bad_input():
+    with pytest.raises(ValueError):
+        percentile([], 0.5)
+    with pytest.raises(ValueError):
+        percentile([1.0], 1.5)

@@ -1,0 +1,113 @@
+"""Span nesting, exception safety and timing aggregation."""
+
+import pytest
+
+from repro.obs import Tracer
+
+
+class FakeClock:
+    """A deterministic clock advancing by a fixed step per reading."""
+
+    def __init__(self, step=1.0):
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self):
+        value = self.now
+        self.now += self.step
+        return value
+
+
+def test_single_span_times_with_monotonic_clock():
+    tracer = Tracer(clock=FakeClock())
+    with tracer.span("work") as span:
+        assert not span.closed
+        assert span.duration == 0.0  # open spans report zero
+    assert span.closed
+    assert span.duration == 1.0
+    assert span.status == "ok"
+    assert [root.name for root in tracer.roots] == ["work"]
+
+
+def test_spans_nest_lexically():
+    tracer = Tracer(clock=FakeClock())
+    with tracer.span("outer") as outer:
+        with tracer.span("inner-1") as first:
+            assert tracer.current is first
+        with tracer.span("inner-2"):
+            pass
+        assert tracer.current is outer
+    assert tracer.current is None
+    assert [root.name for root in tracer.roots] == ["outer"]
+    assert [child.name for child in outer.children] == ["inner-1", "inner-2"]
+    assert first.parent is outer
+
+
+def test_sibling_roots_form_a_forest():
+    tracer = Tracer(clock=FakeClock())
+    with tracer.span("a"):
+        pass
+    with tracer.span("b"):
+        pass
+    assert [root.name for root in tracer.roots] == ["a", "b"]
+    assert [span.name for span in tracer.iter_spans()] == ["a", "b"]
+
+
+def test_exception_closes_span_and_marks_error():
+    tracer = Tracer(clock=FakeClock())
+    with pytest.raises(RuntimeError):
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                raise RuntimeError("boom")
+    outer, = tracer.roots
+    inner, = outer.children
+    assert inner.closed and inner.status == "error"
+    assert outer.closed and outer.status == "error"
+    assert tracer.current is None  # stack fully unwound
+
+
+def test_exception_unwinds_only_affected_spans():
+    tracer = Tracer(clock=FakeClock())
+    with tracer.span("outer") as outer:
+        try:
+            with tracer.span("inner"):
+                raise ValueError("contained")
+        except ValueError:
+            pass
+        assert tracer.current is outer
+    assert outer.status == "ok"
+    assert outer.children[0].status == "error"
+
+
+def test_iter_spans_is_depth_first_in_creation_order():
+    tracer = Tracer(clock=FakeClock())
+    with tracer.span("a"):
+        with tracer.span("a1"):
+            pass
+        with tracer.span("a2"):
+            pass
+    with tracer.span("b"):
+        pass
+    names = [span.name for span in tracer.iter_spans()]
+    assert names == ["a", "a1", "a2", "b"]
+
+
+def test_timings_sum_same_named_spans():
+    tracer = Tracer(clock=FakeClock())
+    for _ in range(3):
+        with tracer.span("stage"):
+            pass
+    assert tracer.timings() == {"stage": 3.0}
+
+
+def test_to_dict_is_json_shaped():
+    tracer = Tracer(clock=FakeClock())
+    with tracer.span("outer"):
+        with tracer.span("inner"):
+            pass
+    data = tracer.to_dict()
+    (outer,) = data["spans"]
+    assert outer["name"] == "outer"
+    assert outer["status"] == "ok"
+    assert outer["children"][0]["name"] == "inner"
+    assert outer["children"][0]["duration_s"] == 1.0

@@ -168,7 +168,7 @@ class TestOrderAtoms:
 
         a = BoolVar("a")
         x = IntVar("xi", (1, 2))
-        lifted = blast(Eq(Ite(a, IntVal(1), IntVal(2)), x))
+        blast(Eq(Ite(a, IntVal(1), IntVal(2)), x))
         # a=T,x=1 and a=F,x=2 are the only models.
         from repro.smt import count_models
 

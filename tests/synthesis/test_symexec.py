@@ -167,7 +167,7 @@ class TestSymbolicHoles:
         permit_term, _ = apply_routemap_symbolic(
             routemap, concrete_state(universe), universe, holes
         )
-        variable = holes.variable("act")
+        holes.variable("act")
         assert permit_term.evaluate({"act": "permit"}) is True
         assert permit_term.evaluate({"act": "deny"}) is False
 

@@ -34,6 +34,13 @@ class Community:
     def __str__(self) -> str:
         return f"{self.asn}:{self.value}"
 
+    def to_dict(self) -> dict:
+        return {"asn": self.asn, "value": self.value}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Community":
+        return cls(int(payload["asn"]), int(payload["value"]))
+
 
 @dataclass(frozen=True)
 class Announcement:
@@ -120,6 +127,30 @@ class Announcement:
     def traffic_path(self) -> Tuple[str, ...]:
         """Forwarding direction: holder first, origin last."""
         return tuple(reversed(self.path))
+
+    def to_dict(self) -> dict:
+        """A JSON-safe encoding; inverse of :meth:`from_dict`."""
+        return {
+            "prefix": str(self.prefix),
+            "path": list(self.path),
+            "next_hop": self.next_hop,
+            "local_pref": self.local_pref,
+            "med": self.med,
+            "communities": [str(c) for c in sorted(self.communities)],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Announcement":
+        return cls(
+            prefix=Prefix(payload["prefix"]),
+            path=tuple(payload["path"]),
+            next_hop=payload["next_hop"],
+            local_pref=int(payload["local_pref"]),
+            med=int(payload["med"]),
+            communities=frozenset(
+                Community.parse(text) for text in payload["communities"]
+            ),
+        )
 
     def __str__(self) -> str:
         tags = ",".join(str(c) for c in sorted(self.communities)) or "-"

@@ -99,12 +99,18 @@ def simulate(
     ibgp: bool = False,
     governor: Optional[Governor] = None,
     obs: Optional[Instrumentation] = None,
+    recorder=None,
 ) -> RoutingOutcome:
     """Run the control plane to convergence.
 
     ``link_cost`` enables hot-potato routing: ties after MED are broken
     by the IGP cost to the advertising neighbor (pass
     ``WeightConfig.concrete_weight``).
+
+    ``recorder`` observes every route-map transfer (duck-typed
+    ``concrete(owner, direction, neighbor, announcement, result)``),
+    including identity transfers through absent maps, so callers can
+    capture exactly which policy each simulation run read.
 
     A ``governor`` is checkpointed once per simulation round (stage
     ``"simulate"``, budget kind ``"rounds"``), so deadlines and budgets
@@ -161,19 +167,30 @@ def simulate(
                 # Next-hop-self, then export policy (which may override
                 # the next hop), then the hop itself.
                 outgoing = best.with_next_hop(speaker)
-                if export_map is not None:
-                    outgoing = export_map.apply(outgoing)
-                    if outgoing is None:
-                        continue
-                arrived = outgoing.extended_to(
+                exported = (
+                    export_map.apply(outgoing) if export_map is not None else outgoing
+                )
+                if recorder is not None:
+                    recorder.concrete(
+                        speaker, Direction.OUT, neighbor, outgoing, exported
+                    )
+                if exported is None:
+                    continue
+                arrived = exported.extended_to(
                     neighbor, reset_local_pref=not session_is_ibgp
                 )
                 if arrived is None:
                     continue  # loop prevention
-                if import_map is not None:
-                    arrived = import_map.apply(arrived)
-                    if arrived is None:
-                        continue
+                imported = (
+                    import_map.apply(arrived) if import_map is not None else arrived
+                )
+                if recorder is not None:
+                    recorder.concrete(
+                        neighbor, Direction.IN, speaker, arrived, imported
+                    )
+                if imported is None:
+                    continue
+                arrived = imported
                 inbox.setdefault((neighbor, str(prefix)), []).append(arrived)
                 if obs is not None:
                     obs.count("simulate.messages")

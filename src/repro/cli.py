@@ -30,6 +30,11 @@ Subcommands
 ``mine <name>``
     Mine the global intents the scenario's configuration satisfies
     (the Config2Spec/Anime-style baseline of the paper's §6).
+``explain-all <name> [-j N] [--cache-dir D | --no-cache] [--since OLD] [--json PATH]``
+    Batch-explain every managed router (x every requirement) through
+    the farm: parallel worker processes, a persistent content-addressed
+    artifact cache, and incremental invalidation (``--since`` re-runs
+    only the jobs an edit dirtied).
 ``bench [--quick] [--repeat N] [--json PATH] [--compare BASELINE]``
     Run the reproducible benchmark suite over the paper scenarios,
     print per-stage timings and work counters, optionally write a
@@ -257,6 +262,52 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         choices=["scenario1", "scenario2", "scenario3"],
         help="restrict the suite (repeatable; default: all scenarios)",
+    )
+
+    explain_all = subparsers.add_parser(
+        "explain-all",
+        help="batch-explain every managed router through the farm "
+        "(parallel workers + persistent artifact cache)",
+    )
+    explain_all.add_argument("name", choices=sorted(_SCENARIOS))
+    explain_all.add_argument(
+        "-j",
+        "--jobs",
+        dest="workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes (1 = serial, no multiprocessing)",
+    )
+    explain_all.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="artifact cache location (default: ~/.cache/repro-farm)",
+    )
+    explain_all.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="run without the persistent artifact store",
+    )
+    explain_all.add_argument(
+        "--since",
+        default=None,
+        metavar="OLD_CONFIG",
+        help="incremental mode: a rendered configuration file of the "
+        "previous run; only jobs it dirtied are re-run",
+    )
+    explain_all.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="write the batch report (jobs, cache stats, BENCH-"
+        "compatible stage records) as JSON",
+    )
+    explain_all.add_argument(
+        "--per-line",
+        action="store_true",
+        help="one job per route-map line instead of per router",
     )
 
     analyze = subparsers.add_parser(
@@ -574,6 +625,63 @@ def _cmd_analyze(args: argparse.Namespace, out) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_explain_all(args: argparse.Namespace, out) -> int:
+    import json as json_module
+    import os
+
+    from .bgp.confparse import parse_network
+    from .farm import enumerate_jobs, run_batch, run_incremental
+
+    scenario = _load_scenario(args.name)
+    if args.no_cache and args.cache_dir is not None:
+        raise SystemExit("--no-cache and --cache-dir are mutually exclusive")
+    if args.no_cache:
+        cache_dir = None
+    elif args.cache_dir is not None:
+        cache_dir = args.cache_dir
+    else:
+        cache_dir = os.path.join(
+            os.path.expanduser("~"), ".cache", "repro-farm"
+        )
+    jobs = enumerate_jobs(
+        scenario.paper_config, scenario.specification, per_line=args.per_line
+    )
+    if not jobs:
+        print("no explainable jobs in this scenario", file=out)
+        return EXIT_OK
+    if args.since is not None:
+        if cache_dir is None:
+            raise SystemExit("--since needs the cache (drop --no-cache)")
+        with open(args.since) as handle:
+            old_config = parse_network(handle.read(), scenario.topology)
+        report = run_incremental(
+            old_config, scenario.paper_config, scenario.specification, jobs,
+            cache_dir=cache_dir, workers=args.workers,
+            timeout=args.timeout, budget=args.budget, scenario=args.name,
+        )
+    else:
+        report = run_batch(
+            scenario.paper_config, scenario.specification, jobs,
+            cache_dir=cache_dir, workers=args.workers,
+            timeout=args.timeout, budget=args.budget, scenario=args.name,
+        )
+    print(report.summary_table(), file=out)
+    if args.json:
+        with open(args.json, "w") as handle:
+            json_module.dump(report.to_dict(), handle, indent=2)
+            handle.write("\n")
+        print(f"report written to {args.json}", file=out)
+    if report.failed:
+        return EXIT_FAILURE
+    if report.degraded:
+        # Per-job governors live in the workers, so the batch cannot
+        # ask "which limit fired?" -- map from the flags instead.
+        if args.timeout is not None and args.budget is None:
+            return EXIT_TIMEOUT
+        return EXIT_BUDGET
+    return EXIT_OK
+
+
 def _cmd_bench(args: argparse.Namespace, out) -> int:
     from .bench import format_report, run_bench
     from .obs import SchemaError, compare_reports, load_report, write_report
@@ -616,6 +724,7 @@ _COMMANDS = {
     "dossier": _cmd_dossier,
     "annotate": _cmd_annotate,
     "bench": _cmd_bench,
+    "explain-all": _cmd_explain_all,
 }
 
 

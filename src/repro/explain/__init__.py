@@ -10,6 +10,8 @@ from .project import ProjectedSpec, ProjectionError, project
 from .qa import question_and_answer
 from .repair import RepairCandidate, RepairReport, repair_candidates
 from .seed import SeedSpecification, extract_seed
+from .serialize import SCHEMA as EXPLANATION_SCHEMA
+from .serialize import explanation_from_dict, explanation_to_dict
 from .session import InteractiveSession, WhatIfResult
 from .simplifier import SimplifiedSeed, cone_of_influence, simplify_seed
 from .subspec import Subspecification
@@ -51,6 +53,9 @@ __all__ = [
     "WhatIfResult",
     "SeedSpecification",
     "extract_seed",
+    "EXPLANATION_SCHEMA",
+    "explanation_to_dict",
+    "explanation_from_dict",
     "SimplifiedSeed",
     "simplify_seed",
     "cone_of_influence",

@@ -104,6 +104,18 @@ class Explanation:
     def reduction_factor(self) -> float:
         return self.simplified.constraint_reduction if self.simplified is not None else 1.0
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe encoding; see :mod:`repro.explain.serialize`."""
+        from .serialize import explanation_to_dict
+
+        return explanation_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "Explanation":
+        from .serialize import explanation_from_dict
+
+        return explanation_from_dict(payload)
+
     def report(self) -> str:
         """A human-readable account of the whole run."""
         if self.seed is None or self.simplified is None or self.projected is None:
@@ -156,6 +168,21 @@ class ExplanationEngine:
     view derived from those spans, so its keys are unchanged.  When
     both ``obs`` and ``governor`` are given, the instrumentation also
     subscribes to the governor's checkpoint stream.
+
+    ``stage_store`` plugs in a per-question artifact store (duck-typed:
+    ``load(stage) -> Optional[dict]`` and ``save(stage, payload)``).
+    Completed stage artifacts (``seed``, ``simplify``, ``projected``,
+    ``lift``) are saved through it and later runs resume mid-pipeline
+    from whatever loads -- the persistence behind
+    :mod:`repro.farm.store`.  The store must be scoped to a single
+    question (the farm keys it by job); degraded stage outputs are
+    never saved.
+
+    ``recorder`` observes every route-map transfer the pipeline applies
+    (duck-typed: ``symbolic(...)`` / ``concrete(...)``; see
+    :class:`repro.farm.readset.TransferRecorder`), capturing the
+    rest-of-network slice a question actually reads so the farm can
+    invalidate cached answers precisely.
     """
 
     def __init__(
@@ -169,6 +196,8 @@ class ExplanationEngine:
         ibgp: bool = False,
         governor: Optional[Governor] = None,
         obs: Optional[Instrumentation] = None,
+        stage_store=None,
+        recorder=None,
     ) -> None:
         if config.has_holes():
             raise ValueError("the explanation engine expects a concrete configuration")
@@ -181,6 +210,8 @@ class ExplanationEngine:
         self.ibgp = ibgp
         self.governor = governor
         self.obs = obs
+        self.stage_store = stage_store
+        self.recorder = recorder
         if obs is not None and governor is not None:
             obs.watch(governor)
         # Questions are pure functions of (symbolized fields,
@@ -232,6 +263,64 @@ class ExplanationEngine:
 
     # ------------------------------------------------------------------
 
+    def _cache_key(self, holes: Dict[str, Hole], requirement_name: str) -> tuple:
+        """The memoization key for one question.
+
+        Beyond the hole names and requirement, the key pins everything
+        that can change the *answer*: the hole domains (two questions
+        may symbolize the same fields over different value sets) and
+        the engine options/governor limits -- so answers computed under
+        one configuration of the engine are never served for another.
+        """
+        rules = (
+            tuple(rule.name for rule in self.rules) if self.rules is not None else None
+        )
+        governor_fp = None
+        if self.governor is not None:
+            deadline = (
+                self.governor.deadline.seconds
+                if self.governor.deadline is not None
+                else None
+            )
+            budget = (
+                tuple(
+                    sorted(
+                        (kind, limit)
+                        for kind, limit in self.governor.budget.limits.items()
+                        if limit is not None
+                    )
+                )
+                if self.governor.budget is not None
+                else None
+            )
+            governor_fp = (deadline, budget)
+        options = (
+            self.max_path_length,
+            self.projection_limit,
+            bool(self.ibgp),
+            id(self.link_cost) if self.link_cost is not None else None,
+            rules,
+            governor_fp,
+        )
+        domains = tuple(
+            (name, tuple(str(value) for value in holes[name].domain))
+            for name in sorted(holes)
+        )
+        return (domains, requirement_name, options)
+
+    def _load_stage(self, stage: str) -> Optional[dict]:
+        """A stored artifact payload for ``stage``, or ``None``."""
+        if self.stage_store is None:
+            return None
+        payload = self.stage_store.load(stage)
+        if payload is not None and self.obs is not None:
+            self.obs.count(f"engine.stage_hits.{stage}")
+        return payload
+
+    def _save_stage(self, stage: str, payload: dict) -> None:
+        if self.stage_store is not None:
+            self.stage_store.save(stage, payload)
+
     def _run(
         self,
         device: str,
@@ -245,7 +334,7 @@ class ExplanationEngine:
             else self.specification
         )
         requirement_name = requirement if requirement is not None else "<all>"
-        cache_key = (tuple(sorted(holes)), requirement_name)
+        cache_key = self._cache_key(holes, requirement_name)
         cached = self._cache.get(cache_key)
         if cached is not None:
             if self.obs is not None:
@@ -267,10 +356,15 @@ class ExplanationEngine:
                 seed = extract_seed(
                     sketch, spec, holes, self.max_path_length, self.link_cost,
                     self.ibgp, governor=governor, obs=self.obs,
+                    recorder=self.recorder,
                 )
             except GOVERNED_ERRORS as exc:
                 seed_error = exc
         timings["seed"] = span.duration
+        if seed is not None and self.stage_store is not None:
+            from .serialize import seed_to_dict
+
+            self._save_stage("seed", seed_to_dict(seed))
         if seed is None:
             return self._finish(
                 Explanation(
@@ -296,44 +390,72 @@ class ExplanationEngine:
             )
 
         with obs.span("simplify") as span:
-            try:
-                simplified = simplify_seed(
-                    seed, rules=self.rules, governor=governor, obs=self.obs
-                )
-            except GOVERNED_ERRORS as exc:
-                # Fall back to the unsimplified seed constraint; later
-                # stages do not depend on the simplified term.
-                simplified = SimplifiedSeed(
-                    term=seed.constraint,
-                    stats=RewriteStats(
-                        input_size=seed.size, output_size=seed.size
-                    ),
-                    input_constraints=seed.num_constraints,
-                    output_constraints=seed.num_constraints,
-                )
-                degradations.append(f"simplification interrupted: {exc}")
+            stored = self._load_stage("simplify")
+            if stored is not None:
+                from .serialize import simplified_from_dict
+
+                simplified = simplified_from_dict(stored)
+            else:
+                try:
+                    simplified = simplify_seed(
+                        seed, rules=self.rules, governor=governor, obs=self.obs
+                    )
+                    from .serialize import simplified_to_dict
+
+                    self._save_stage("simplify", simplified_to_dict(simplified))
+                except GOVERNED_ERRORS as exc:
+                    # Fall back to the unsimplified seed constraint; later
+                    # stages do not depend on the simplified term.
+                    simplified = SimplifiedSeed(
+                        term=seed.constraint,
+                        stats=RewriteStats(
+                            input_size=seed.size, output_size=seed.size
+                        ),
+                        input_constraints=seed.num_constraints,
+                        output_constraints=seed.num_constraints,
+                    )
+                    degradations.append(f"simplification interrupted: {exc}")
         timings["simplify"] = span.duration
 
         projected: Optional[ProjectedSpec] = None
         lift_result: Optional[LiftResult] = None
         with obs.span("project") as span:
-            try:
-                projected = project(
-                    seed, sketch, limit=self.projection_limit, governor=governor,
-                    obs=self.obs,
-                )
-            except GOVERNED_ERRORS as exc:
-                degradations.append(f"projection interrupted: {exc}")
+            stored = self._load_stage("projected")
+            if stored is not None:
+                from .serialize import projected_from_dict
+
+                projected = projected_from_dict(stored)
+            else:
+                try:
+                    projected = project(
+                        seed, sketch, limit=self.projection_limit, governor=governor,
+                        obs=self.obs, recorder=self.recorder,
+                    )
+                    from .serialize import projected_to_dict
+
+                    self._save_stage("projected", projected_to_dict(projected))
+                except GOVERNED_ERRORS as exc:
+                    degradations.append(f"projection interrupted: {exc}")
         timings["project"] = span.duration
 
         with obs.span("lift") as span:
             if projected is not None:
-                lift_result = lift(
-                    device, sketch, spec, seed, projected, projected.envs,
-                    governor=governor, obs=self.obs,
-                )
-                if lift_result.exhausted:
-                    degradations.append("lift search interrupted")
+                stored = self._load_stage("lift")
+                if stored is not None:
+                    from .serialize import lift_result_from_dict
+
+                    lift_result = lift_result_from_dict(stored)
+                else:
+                    lift_result = lift(
+                        device, sketch, spec, seed, projected, projected.envs,
+                        governor=governor, obs=self.obs, recorder=self.recorder,
+                    )
+                    if lift_result.exhausted:
+                        degradations.append("lift search interrupted")
+                    else:
+                        from .serialize import lift_result_to_dict
+
+                        self._save_stage("lift", lift_result_to_dict(lift_result))
         timings["lift"] = span.duration
 
         if lift_result is not None and (lift_result.lifted or not degradations):

@@ -248,6 +248,7 @@ def _statement_term(
     seed: SeedSpecification,
     governor: Optional[Governor] = None,
     obs: Optional[Instrumentation] = None,
+    recorder=None,
 ) -> Optional[Term]:
     """The filter-level encoding of a candidate statement on the sketch
     (same encoder as the synthesizer; selection axioms are not needed
@@ -263,6 +264,7 @@ def _statement_term(
             ibgp=seed.encoding.ibgp,
             governor=governor,
             obs=obs,
+            recorder=recorder,
         )
         encoding = encoder.encode(include_selection=False)
     except ReproError:
@@ -282,6 +284,7 @@ def lift(
     max_conjunction: int = 3,
     governor: Optional[Governor] = None,
     obs: Optional[Instrumentation] = None,
+    recorder=None,
 ) -> LiftResult:
     """Search the specification language for an equivalent subspec.
 
@@ -311,7 +314,8 @@ def lift(
             if obs is not None:
                 obs.count("lift.candidates_evaluated")
             term = _statement_term(
-                statement, sketch, specification, seed, governor=governor, obs=obs
+                statement, sketch, specification, seed, governor=governor, obs=obs,
+                recorder=recorder,
             )
             if term is None:
                 continue

@@ -80,6 +80,7 @@ def project(
     limit: int = 4096,
     governor: Optional[Governor] = None,
     obs: Optional[Instrumentation] = None,
+    recorder=None,
 ) -> ProjectedSpec:
     """Enumerate hole assignments and classify each as acceptable.
 
@@ -114,7 +115,8 @@ def project(
         if obs is not None:
             obs.count("project.assignments")
         ok, env = _classify_assignment(
-            requirement, assignment, sketch, seed, governor=governor, obs=obs
+            requirement, assignment, sketch, seed, governor=governor, obs=obs,
+            recorder=recorder,
         )
         key = tuple(sorted((name, str(value)) for name, value in assignment.items()))
         if env is not None:
@@ -141,6 +143,7 @@ def _classify_assignment(
     seed: SeedSpecification,
     governor: Optional[Governor] = None,
     obs: Optional[Instrumentation] = None,
+    recorder=None,
 ):
     """(acceptable?, evaluation env) for one hole assignment.
 
@@ -154,6 +157,7 @@ def _classify_assignment(
             ibgp=seed.encoding.ibgp,
             governor=governor,
             obs=obs,
+            recorder=recorder,
         )
     except ConvergenceError:
         return False, None

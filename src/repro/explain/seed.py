@@ -34,13 +34,17 @@ class SeedSpecification:
         The full constraint term (selection axioms + requirements).
     encoding:
         The underlying :class:`~repro.synthesis.encoder.Encoding`
-        (candidate space, hole registry, per-group terms).
+        (candidate space, hole registry, per-group terms).  ``None``
+        for seeds restored from the artifact store: the encoding holds
+        recomputation state (candidate space, per-group terms) that is
+        deliberately not serialized, so restored seeds describe the
+        result but cannot drive further pipeline stages.
     holes:
         The symbolized fields, by hole name.
     """
 
     constraint: Term
-    encoding: Encoding
+    encoding: Optional[Encoding]
     holes: Dict[str, Hole]
 
     @property
@@ -68,11 +72,12 @@ def extract_seed(
     ibgp: bool = False,
     governor: Optional[Governor] = None,
     obs: Optional[Instrumentation] = None,
+    recorder=None,
 ) -> SeedSpecification:
     """Encode the partially symbolic network into a seed specification."""
     encoding = Encoder(
         sketch, specification, max_path_length, link_cost, ibgp=ibgp,
-        governor=governor, obs=obs,
+        governor=governor, obs=obs, recorder=recorder,
     ).encode()
     return SeedSpecification(
         constraint=encoding.constraint,

@@ -1,0 +1,59 @@
+"""repro.farm: the parallel batch-explanation service.
+
+Explaining every managed router of a scenario re-runs the same
+pipeline many times over inputs that barely change between invocations,
+so the farm wraps the :class:`~repro.explain.ExplanationEngine` in a
+build-system shell:
+
+* :mod:`repro.farm.job` -- one :class:`ExplainJob` per (device,
+  granularity, requirement) question, enumerated from a specification;
+* :mod:`repro.farm.keys` -- a deterministic content-addressed key per
+  job, derived from everything the job's *own* inputs pin down
+  (topology, specification, the device's rendered configuration and
+  symbolized hole domains, engine options);
+* :mod:`repro.farm.readset` -- a recorder for the rest-of-network
+  slice a job actually reads (every route-map transfer at the symbolic
+  and concrete seams), stored next to the answer;
+* :mod:`repro.farm.store` -- the persistent on-disk artifact store
+  with schema versions and integrity hashes, memoizing per-stage
+  pipeline artifacts so interrupted runs resume mid-pipeline;
+* :mod:`repro.farm.invalidate` -- incremental invalidation: replaying
+  a stored read-set against an edited configuration decides whether a
+  cached answer is still exact, so a one-device edit re-runs only that
+  device's jobs;
+* :mod:`repro.farm.worker` / :mod:`repro.farm.pool` -- the per-job
+  runner (governed, gracefully degrading) and the process pool that
+  fans jobs out and folds per-worker metrics into one report.
+
+The CLI front-end is ``python -m repro.cli explain-all``; see
+``docs/farm.md`` for the architecture.
+"""
+
+from .invalidate import compute_dirty, readset_valid, sketch_universe
+from .job import ExplainJob, enumerate_jobs
+from .keys import FarmOptions, canonical_json, digest, job_key
+from .pool import BatchReport, run_batch, run_incremental
+from .readset import TransferRecorder
+from .store import ArtifactStore, JobStore, StoreError
+from .worker import JobResult, run_job
+
+__all__ = [
+    "ExplainJob",
+    "enumerate_jobs",
+    "FarmOptions",
+    "canonical_json",
+    "digest",
+    "job_key",
+    "TransferRecorder",
+    "ArtifactStore",
+    "JobStore",
+    "StoreError",
+    "compute_dirty",
+    "readset_valid",
+    "sketch_universe",
+    "JobResult",
+    "run_job",
+    "BatchReport",
+    "run_batch",
+    "run_incremental",
+]

@@ -1,0 +1,298 @@
+"""The worker pool: fan jobs out, fold metrics back in.
+
+``-j N`` with ``N > 1`` runs jobs on a :class:`ProcessPoolExecutor`
+(each worker re-opens the shared artifact store; writes are atomic, so
+concurrent workers are safe); ``-j 1`` is a plain serial loop with no
+multiprocessing machinery at all -- the fallback for environments where
+fork/spawn is unavailable or undesirable.
+
+One aggregate ``--budget`` is split into equal deterministic per-job
+shares (:func:`repro.runtime.split_budget`); ``--timeout`` applies to
+each job individually (a batch-wide wall-clock deadline would make a
+job's outcome depend on its position in the schedule, destroying cache
+determinism).
+
+Every worker ships its :class:`MetricsRegistry` home inside the
+:class:`JobResult`; the batch merges them (counters add, histograms
+concatenate) into one registry, from which the BENCH-compatible
+per-stage report is derived exactly as the benchmark harness does.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..obs import (
+    BenchReport,
+    MetricsRegistry,
+    SPAN_PREFIX,
+    StageRecord,
+    percentile,
+)
+from ..runtime import split_budget
+from ..spec.ast import Specification
+from ..bgp.config import NetworkConfig
+from .invalidate import compute_dirty
+from .job import ExplainJob
+from .keys import FarmOptions
+from .store import ArtifactStore
+from .worker import JobResult, STATUS_CACHED, run_job
+
+__all__ = ["BatchReport", "run_batch", "run_incremental"]
+
+
+@dataclass
+class BatchReport:
+    """Everything one ``explain-all`` invocation produced."""
+
+    scenario: str
+    results: List[JobResult]
+    workers: int
+    wall_s: float
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+
+    # -- aggregate views -----------------------------------------------
+
+    @property
+    def completed(self) -> int:
+        return sum(1 for r in self.results if r.ok)
+
+    @property
+    def degraded(self) -> int:
+        return sum(1 for r in self.results if r.degraded)
+
+    @property
+    def failed(self) -> int:
+        return sum(1 for r in self.results if r.status == "ERROR")
+
+    @property
+    def cached(self) -> int:
+        return sum(1 for r in self.results if r.cached)
+
+    @property
+    def cpu_s(self) -> float:
+        """Summed per-job runtime (compare against ``wall_s`` for the
+        parallel speedup actually realized)."""
+        return sum(r.duration_s for r in self.results)
+
+    def stage_cache_rate(self) -> Optional[float]:
+        """Fraction of per-stage store probes that hit, or ``None``
+        when the batch ran without a store."""
+        hits = sum(
+            value
+            for name, value in self.metrics.counters.items()
+            if name.startswith("farm.store.hit.")
+        )
+        misses = sum(
+            value
+            for name, value in self.metrics.counters.items()
+            if name.startswith("farm.store.miss.")
+        )
+        if hits + misses == 0:
+            return None
+        return hits / (hits + misses)
+
+    # -- rendering ------------------------------------------------------
+
+    def summary_table(self) -> str:
+        """The human-readable per-job table plus batch totals."""
+        rows = [("job", "status", "cached", "time")]
+        for result in self.results:
+            rows.append(
+                (
+                    result.job.job_id,
+                    result.status,
+                    "yes" if result.cached else "no",
+                    f"{result.duration_s:.2f}s",
+                )
+            )
+        widths = [max(len(row[i]) for row in rows) for i in range(4)]
+        lines = [
+            "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)).rstrip()
+            for row in rows
+        ]
+        lines.insert(1, "  ".join("-" * width for width in widths))
+        lines.append("")
+        lines.append(
+            f"{len(self.results)} jobs: {self.completed} ok "
+            f"({self.cached} from cache), {self.degraded} degraded, "
+            f"{self.failed} failed"
+        )
+        lines.append(
+            f"wall {self.wall_s:.2f}s, cpu {self.cpu_s:.2f}s, "
+            f"workers {self.workers}"
+        )
+        rate = self.stage_cache_rate()
+        if rate is not None:
+            lines.append(f"stage cache hit rate: {rate:.0%}")
+        return "\n".join(lines)
+
+    def stage_records(self) -> List[StageRecord]:
+        """Per-stage records in the benchmark harness's shape."""
+        records: List[StageRecord] = []
+        for name in self.metrics.histogram_names:
+            if not name.startswith(SPAN_PREFIX):
+                continue
+            stage = name[len(SPAN_PREFIX):]
+            samples = self.metrics.samples(name)
+            counters = {
+                counter[len(stage) + 1:]: value
+                for counter, value in self.metrics.counters.items()
+                if counter.startswith(stage + ":")
+            }
+            records.append(
+                StageRecord(
+                    scenario=self.scenario,
+                    stage=stage,
+                    runs=len(samples),
+                    median_s=percentile(samples, 0.50),
+                    p95_s=percentile(samples, 0.95),
+                    total_s=sum(samples),
+                    counters=counters,
+                )
+            )
+        records.sort(key=lambda record: record.stage)
+        return records
+
+    def to_bench_report(self) -> BenchReport:
+        return BenchReport(
+            stages=self.stage_records(), source="repro.farm", repeat=1
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """The ``--json`` report document."""
+        farm_counters = {
+            name: value
+            for name, value in sorted(self.metrics.counters.items())
+            if name.startswith("farm.")
+        }
+        return {
+            "schema": "repro-farm-report/1",
+            "scenario": self.scenario,
+            "workers": self.workers,
+            "wall_s": round(self.wall_s, 4),
+            "cpu_s": round(self.cpu_s, 4),
+            "jobs": [result.row() for result in self.results],
+            "totals": {
+                "jobs": len(self.results),
+                "completed": self.completed,
+                "cached": self.cached,
+                "degraded": self.degraded,
+                "failed": self.failed,
+            },
+            "stage_cache_rate": self.stage_cache_rate(),
+            "counters": farm_counters,
+            "bench": self.to_bench_report().to_dict(),
+        }
+
+
+def _merge_metrics(report: BatchReport) -> None:
+    for result in report.results:
+        report.metrics.merge(result.metrics)
+
+
+def run_batch(
+    config: NetworkConfig,
+    specification: Specification,
+    jobs: List[ExplainJob],
+    options: FarmOptions = FarmOptions(),
+    cache_dir: Optional[str] = None,
+    workers: int = 1,
+    timeout: Optional[float] = None,
+    budget: Optional[int] = None,
+    scenario: str = "batch",
+) -> BatchReport:
+    """Answer every job, serially or on a process pool."""
+    started = time.perf_counter()
+    per_job_budget = split_budget(budget, len(jobs)) if jobs else budget
+    results: List[JobResult] = []
+    if workers <= 1 or len(jobs) <= 1:
+        for job in jobs:
+            results.append(
+                run_job(
+                    config, specification, job, options,
+                    cache_dir, timeout, per_job_budget,
+                )
+            )
+    else:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(
+                    run_job, config, specification, job, options,
+                    cache_dir, timeout, per_job_budget,
+                )
+                for job in jobs
+            ]
+            results = [future.result() for future in futures]
+    report = BatchReport(
+        scenario=scenario,
+        results=results,
+        workers=max(1, workers),
+        wall_s=time.perf_counter() - started,
+    )
+    _merge_metrics(report)
+    return report
+
+
+def run_incremental(
+    old_config: NetworkConfig,
+    new_config: NetworkConfig,
+    specification: Specification,
+    jobs: List[ExplainJob],
+    options: FarmOptions = FarmOptions(),
+    cache_dir: Optional[str] = None,
+    workers: int = 1,
+    timeout: Optional[float] = None,
+    budget: Optional[int] = None,
+    scenario: str = "batch",
+) -> BatchReport:
+    """Re-run only the jobs an edit actually dirtied.
+
+    Jobs whose key is unchanged *and* whose stored read-set replays
+    cleanly against ``new_config`` are served from the store without
+    touching the pipeline; everything else goes through
+    :func:`run_batch` as usual.  Requires a cache directory (without
+    one there is nothing to be incremental against).
+    """
+    if cache_dir is None:
+        raise ValueError("incremental runs need a cache directory")
+    started = time.perf_counter()
+    store = ArtifactStore(cache_dir)
+    dirty, clean = compute_dirty(
+        old_config, new_config, specification, jobs, options, store
+    )
+    batch = run_batch(
+        new_config, specification, dirty, options, cache_dir,
+        workers, timeout, budget, scenario,
+    )
+    # Serve the provably-clean jobs from the store, preserving the
+    # original enumeration order in the final report.
+    served: Dict[ExplainJob, JobResult] = {r.job: r for r in batch.results}
+    from ..explain.engine import Explanation
+
+    for job, key in clean.items():
+        payload = store.load(key, "explanation")
+        assert payload is not None  # compute_dirty checked it exists
+        restored = Explanation.from_dict(payload)
+        metrics = MetricsRegistry()
+        metrics.count("farm.cache.full_hit")
+        metrics.count(f"farm.jobs.{STATUS_CACHED}")
+        served[job] = JobResult(
+            job=job, key=key, status=STATUS_CACHED, cached=True,
+            duration_s=0.0, subspec=restored.subspec.render(),
+            explanation=payload, metrics=metrics,
+        )
+    report = BatchReport(
+        scenario=scenario,
+        results=[served[job] for job in jobs if job in served],
+        workers=max(1, workers),
+        wall_s=time.perf_counter() - started,
+    )
+    report.metrics = MetricsRegistry()
+    _merge_metrics(report)
+    report.metrics.count("farm.incremental.dirty", len(dirty))
+    report.metrics.count("farm.incremental.clean", len(clean))
+    return report

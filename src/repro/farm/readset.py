@@ -1,0 +1,204 @@
+"""Recording the rest-of-network slice an explanation actually reads.
+
+A job's content-addressed key covers its *own* inputs; its dependency
+on every other router's policy is dynamic -- the pipeline reads other
+configurations only by pushing routes through their route-maps.  Those
+transfers happen at exactly two seams:
+
+* the **symbolic** seam -- :meth:`Encoder._state_of` applies a
+  neighbor's export/import map to a :class:`SymbolicRoute` via
+  :func:`apply_routemap_symbolic`;
+* the **concrete** seam -- :func:`repro.bgp.simulation.simulate`
+  applies export/import maps to concrete :class:`Announcement`\\ s.
+
+:class:`TransferRecorder` taps both seams (the engine threads it
+through), capturing ``(owner, direction, neighbor, input) -> output``
+fingerprints for every transfer owned by *another* router -- including
+identity transfers through absent maps and denials, so adding or
+removing a map is visible.  The resulting read-set payload is stored
+next to the cached answer; :mod:`repro.farm.invalidate` replays it
+against an edited configuration to decide whether the answer is stale.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..bgp.announcement import Announcement, Community
+from ..bgp.config import NetworkConfig
+from ..bgp.render import render_routemap
+from ..smt.serialize import term_from_payload, term_to_payload
+from ..synthesis.symexec import AttributeUniverse, SymbolicRoute
+from ..topology.prefixes import Prefix
+from .keys import digest
+
+__all__ = [
+    "READSET_SCHEMA",
+    "TransferRecorder",
+    "symbolic_route_to_payload",
+    "symbolic_route_from_payload",
+    "universe_payload",
+]
+
+READSET_SCHEMA = "repro-farm-readset/1"
+
+SYMBOLIC = "symbolic"
+CONCRETE = "concrete"
+
+
+def symbolic_route_to_payload(route: SymbolicRoute) -> Dict[str, object]:
+    """A self-contained JSON encoding of a symbolic attribute state."""
+    return {
+        "prefix": str(route.prefix),
+        "local_pref": term_to_payload(route.local_pref),
+        "med": term_to_payload(route.med),
+        "next_hop": term_to_payload(route.next_hop),
+        "communities": [
+            [str(community), term_to_payload(route.communities[community])]
+            for community in sorted(route.communities, key=str)
+        ],
+    }
+
+
+def symbolic_route_from_payload(payload: Dict[str, object]) -> SymbolicRoute:
+    return SymbolicRoute(
+        prefix=Prefix(str(payload["prefix"])),
+        local_pref=term_from_payload(payload["local_pref"]),
+        med=term_from_payload(payload["med"]),
+        next_hop=term_from_payload(payload["next_hop"]),
+        communities={
+            Community.parse(str(text)): term_from_payload(term)
+            for text, term in payload["communities"]  # type: ignore[union-attr]
+        },
+    )
+
+
+def universe_payload(universe: AttributeUniverse) -> Dict[str, object]:
+    """The attribute vocabulary a symbolic replay must agree on."""
+    return {
+        "communities": [str(c) for c in universe.communities],
+        "next_hops": list(universe.next_hop_sort.values),
+    }
+
+
+def symbolic_output_fingerprint(
+    permit, state: SymbolicRoute
+) -> str:
+    return digest(
+        {"permit": term_to_payload(permit), "state": symbolic_route_to_payload(state)}
+    )
+
+
+def concrete_output_fingerprint(result: Optional[Announcement]) -> Optional[str]:
+    if result is None:
+        return None  # an explicit denial is itself an observation
+    return digest(result.to_dict())
+
+
+class TransferRecorder:
+    """Observes every route-map transfer of one explanation question.
+
+    Transfers owned by ``device`` itself are skipped: the device's own
+    configuration is part of the static key (and its maps carry the
+    question's holes).  Entries are deduplicated on
+    ``(seam, owner, direction, neighbor, input fingerprint)``; the
+    pipeline pushes the same routes through the same maps many times
+    (per candidate assignment, per simulation round), and one record
+    per distinct input suffices for replay.
+    """
+
+    def __init__(self, device: str) -> None:
+        self.device = device
+        #: (seam, owner, direction, neighbor, input fp) -> entry dict
+        self._entries: Dict[Tuple[str, str, str, str, str], Dict[str, object]] = {}
+
+    # -- the two seams -------------------------------------------------
+
+    def symbolic(
+        self,
+        owner: str,
+        direction: str,
+        neighbor: str,
+        state_in: SymbolicRoute,
+        permit,
+        state_out: SymbolicRoute,
+    ) -> None:
+        """One symbolic transfer through ``owner``'s map (may be absent)."""
+        if owner == self.device:
+            return
+        input_payload = symbolic_route_to_payload(state_in)
+        key = (SYMBOLIC, owner, direction, neighbor, digest(input_payload))
+        if key in self._entries:
+            return
+        self._entries[key] = {
+            "seam": SYMBOLIC,
+            "owner": owner,
+            "direction": direction,
+            "neighbor": neighbor,
+            "input": input_payload,
+            "output": symbolic_output_fingerprint(permit, state_out),
+        }
+
+    def concrete(
+        self,
+        owner: str,
+        direction: str,
+        neighbor: str,
+        announcement: Announcement,
+        result: Optional[Announcement],
+    ) -> None:
+        """One concrete transfer through ``owner``'s map (may be absent)."""
+        if owner == self.device:
+            return
+        input_payload = announcement.to_dict()
+        key = (CONCRETE, owner, direction, neighbor, digest(input_payload))
+        if key in self._entries:
+            return
+        self._entries[key] = {
+            "seam": CONCRETE,
+            "owner": owner,
+            "direction": direction,
+            "neighbor": neighbor,
+            "input": input_payload,
+            "output": concrete_output_fingerprint(result),
+        }
+
+    # -- export --------------------------------------------------------
+
+    def seams(self) -> List[Tuple[str, str, str]]:
+        """Every (owner, direction, neighbor) triple touched."""
+        return sorted({key[1:4] for key in self._entries})
+
+    def payload(
+        self, config: NetworkConfig, universe: AttributeUniverse
+    ) -> Dict[str, object]:
+        """The full read-set document to store next to the answer.
+
+        ``config`` must be the configuration the recording ran against:
+        each touched seam's route-map is snapshotted as rendered text,
+        giving validation a fast textually-unchanged path before it
+        falls back to semantic replay.
+        """
+        maps = []
+        for owner, direction, neighbor in self.seams():
+            routemap = config.get_map(owner, direction, neighbor)
+            maps.append(
+                [
+                    owner,
+                    direction,
+                    neighbor,
+                    render_routemap(routemap) if routemap is not None else None,
+                ]
+            )
+        return {
+            "schema": READSET_SCHEMA,
+            "device": self.device,
+            "universe": universe_payload(universe),
+            "maps": maps,
+            "entries": [
+                self._entries[key] for key in sorted(self._entries)
+            ],
+        }
+
+    def __len__(self) -> int:
+        return len(self._entries)

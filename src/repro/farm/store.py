@@ -1,0 +1,146 @@
+"""The persistent content-addressed artifact store.
+
+Layout (ccache-style fan-out to keep directories small)::
+
+    <cache_dir>/<key[:2]>/<key>.<stage>.json
+
+Each file is a schema-versioned envelope wrapping one JSON artifact
+payload plus an integrity hash; anything that fails to parse, carries
+the wrong schema, or does not hash to its recorded integrity value is
+treated as a miss (and counted), never as an error -- a corrupted cache
+must degrade to a cold run, not break the batch.
+
+Stages are free-form strings; the farm uses ``seed``, ``simplify``,
+``projected`` and ``lift`` (the engine's mid-pipeline artifacts,
+written through the :class:`JobStore` adapter) plus ``explanation`` and
+``readset`` (the full answer and its recorded dependency slice).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Dict, Optional
+
+from .keys import canonical_json, digest
+
+__all__ = ["STORE_SCHEMA", "ArtifactStore", "JobStore", "StoreError"]
+
+STORE_SCHEMA = "repro-farm-store/1"
+
+_STAGE_SAFE = frozenset("abcdefghijklmnopqrstuvwxyz0123456789_-")
+
+
+class StoreError(ValueError):
+    """Raised on misuse of the store API (never on bad cache bytes)."""
+
+
+class ArtifactStore:
+    """On-disk artifact store keyed by (job key, stage).
+
+    All operations are best-effort with respect to the filesystem:
+    unreadable or corrupt entries read as misses, and writes are atomic
+    (temp file + ``os.replace``) so concurrent workers sharing one
+    cache directory can never observe a half-written artifact.
+    """
+
+    def __init__(self, cache_dir: str) -> None:
+        self.cache_dir = cache_dir
+        #: ``hit.<stage>`` / ``miss.<stage>`` / ``store.<stage>`` /
+        #: ``corrupt.<stage>`` counters for the batch report.
+        self.stats: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+
+    def _count(self, event: str, stage: str) -> None:
+        name = f"{event}.{stage}"
+        self.stats[name] = self.stats.get(name, 0) + 1
+
+    def path_for(self, key: str, stage: str) -> str:
+        if not key or any(c not in "0123456789abcdef" for c in key):
+            raise StoreError(f"malformed job key {key!r}")
+        if not stage or any(c not in _STAGE_SAFE for c in stage):
+            raise StoreError(f"malformed stage name {stage!r}")
+        return os.path.join(self.cache_dir, key[:2], f"{key}.{stage}.json")
+
+    # ------------------------------------------------------------------
+
+    def load(self, key: str, stage: str) -> Optional[dict]:
+        """The stored payload for (key, stage), or ``None`` on a miss."""
+        path = self.path_for(key, stage)
+        try:
+            with open(path, "r", encoding="ascii") as handle:
+                envelope = json.load(handle)
+        except (OSError, ValueError):
+            if os.path.exists(path):
+                self._count("corrupt", stage)
+            self._count("miss", stage)
+            return None
+        if (
+            not isinstance(envelope, dict)
+            or envelope.get("schema") != STORE_SCHEMA
+            or envelope.get("key") != key
+            or envelope.get("stage") != stage
+            or not isinstance(envelope.get("payload"), dict)
+            or envelope.get("integrity") != digest(envelope["payload"])
+        ):
+            self._count("corrupt", stage)
+            self._count("miss", stage)
+            return None
+        self._count("hit", stage)
+        return envelope["payload"]
+
+    def save(self, key: str, stage: str, payload: dict) -> None:
+        """Atomically persist ``payload`` under (key, stage)."""
+        if not isinstance(payload, dict):
+            raise StoreError(
+                f"artifact payloads must be dicts, got {type(payload).__name__}"
+            )
+        path = self.path_for(key, stage)
+        envelope = {
+            "schema": STORE_SCHEMA,
+            "key": key,
+            "stage": stage,
+            "integrity": digest(payload),
+            "payload": payload,
+        }
+        text = canonical_json(envelope)
+        directory = os.path.dirname(path)
+        try:
+            os.makedirs(directory, exist_ok=True)
+            fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w", encoding="ascii") as handle:
+                    handle.write(text)
+                os.replace(tmp_path, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp_path)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            # A read-only or full cache degrades to "no cache".
+            return
+        self._count("store", stage)
+
+
+class JobStore:
+    """Adapter scoping an :class:`ArtifactStore` to one job key.
+
+    This is the object handed to the engine as its ``stage_store``:
+    the engine speaks ``load(stage)`` / ``save(stage, payload)`` with
+    no notion of keys, and the farm guarantees one adapter (and one
+    engine) per job so stage artifacts can never leak across questions.
+    """
+
+    def __init__(self, store: ArtifactStore, key: str) -> None:
+        self.store = store
+        self.key = key
+
+    def load(self, stage: str) -> Optional[dict]:
+        return self.store.load(self.key, stage)
+
+    def save(self, stage: str, payload: dict) -> None:
+        self.store.save(self.key, stage, payload)

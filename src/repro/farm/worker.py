@@ -1,0 +1,196 @@
+"""The per-job runner (one call = one explanation question).
+
+:func:`run_job` is a module-level function taking only picklable
+arguments and returning a picklable :class:`JobResult`, so the pool can
+ship it to worker processes unchanged; running it inline is the serial
+(``-j 1``) fallback.
+
+Per-job flow::
+
+    symbolize -> key -> full-hit probe (answer + valid read-set?)
+        hit:  return the stored answer (no pipeline work)
+        miss: run the governed engine with a JobStore (partial stage
+              hits resume mid-pipeline) and a TransferRecorder, then
+              persist the answer + read-set iff the run was EXACT
+
+Failures are contained: any exception becomes an ``ERROR`` result with
+the per-job metrics collected so far -- one failing device never kills
+the batch.  Degraded (governed) runs return their status but are never
+cached; a later run with more budget must not be served a truncated
+answer.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..bgp.config import NetworkConfig
+from ..explain.engine import Explanation, ExplanationEngine, ExplanationStatus
+from ..obs import Instrumentation, MetricsRegistry
+from ..runtime import Governor
+from ..spec.ast import Specification
+from ..synthesis.symexec import AttributeUniverse
+from .invalidate import readset_valid
+from .job import ExplainJob
+from .keys import FarmOptions, job_key
+from .readset import TransferRecorder
+from .store import ArtifactStore, JobStore
+
+__all__ = ["JobResult", "run_job", "STATUS_ERROR", "STATUS_CACHED"]
+
+#: Statuses beyond the engine's ExplanationStatus values.
+STATUS_ERROR = "ERROR"
+STATUS_CACHED = "CACHED"
+
+
+@dataclass
+class JobResult:
+    """The picklable outcome of one job."""
+
+    job: ExplainJob
+    key: Optional[str]
+    status: str
+    cached: bool
+    duration_s: float
+    subspec: str = ""
+    error: Optional[str] = None
+    #: The schema-stamped explanation payload (timings stripped), for
+    #: ``--json`` reports and byte-level result comparisons.  ``None``
+    #: for errored jobs.
+    explanation: Optional[dict] = None
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+
+    @property
+    def ok(self) -> bool:
+        return self.status in (ExplanationStatus.EXACT.value, STATUS_CACHED)
+
+    @property
+    def degraded(self) -> bool:
+        return self.status in (
+            ExplanationStatus.DEGRADED_LIFT.value,
+            ExplanationStatus.DEGRADED_RAW.value,
+            ExplanationStatus.FAILED.value,
+        )
+
+    def row(self) -> Dict[str, object]:
+        """One summary-table / JSON-report row."""
+        return {
+            "job": self.job.job_id,
+            "status": self.status,
+            "cached": self.cached,
+            "duration_s": round(self.duration_s, 4),
+            "key": self.key,
+            "error": self.error,
+        }
+
+
+def _answer_payload(explanation: Explanation) -> dict:
+    """The persistent form of an answer: timings are run-specific
+    measurements, not part of the answer, so they are stripped to keep
+    stored artifacts deterministic and byte-comparable."""
+    payload = explanation.to_dict()
+    payload["timings"] = {}
+    return payload
+
+
+def _sketch_universe_of(sketch: NetworkConfig) -> AttributeUniverse:
+    configs = [
+        sketch.router_config(name) for name in sketch.topology.router_names
+    ]
+    return AttributeUniverse.collect(configs, sketch.topology)
+
+
+def run_job(
+    config: NetworkConfig,
+    specification: Specification,
+    job: ExplainJob,
+    options: FarmOptions = FarmOptions(),
+    cache_dir: Optional[str] = None,
+    timeout: Optional[float] = None,
+    budget: Optional[int] = None,
+) -> JobResult:
+    """Answer one job, consulting and feeding the artifact store."""
+    started = time.perf_counter()
+    obs = Instrumentation()
+    store = ArtifactStore(cache_dir) if cache_dir is not None else None
+
+    def finish(result: JobResult) -> JobResult:
+        result.duration_s = time.perf_counter() - started
+        if store is not None:
+            for name, value in sorted(store.stats.items()):
+                obs.metrics.count(f"farm.store.{name}", value)
+        obs.metrics.count(f"farm.jobs.{result.status}")
+        result.metrics = obs.metrics
+        return result
+
+    try:
+        sketch, holes = job.symbolize(config)
+        key = job_key(config, specification, job, options, holes=holes)
+    except Exception as exc:
+        return finish(
+            JobResult(
+                job=job, key=None, status=STATUS_ERROR, cached=False,
+                duration_s=0.0, error=f"{type(exc).__name__}: {exc}",
+            )
+        )
+
+    try:
+        if store is not None:
+            answer = store.load(key, "explanation")
+            readset = store.load(key, "readset")
+            if answer is not None and readset is not None:
+                universe = _sketch_universe_of(sketch)
+                if readset_valid(readset, config, universe):
+                    obs.metrics.count("farm.cache.full_hit")
+                    restored = Explanation.from_dict(answer)
+                    return finish(
+                        JobResult(
+                            job=job, key=key, status=STATUS_CACHED,
+                            cached=True, duration_s=0.0,
+                            subspec=restored.subspec.render(),
+                            explanation=answer,
+                        )
+                    )
+                obs.metrics.count("farm.cache.invalidated")
+
+        recorder = TransferRecorder(job.device)
+        governor = (
+            Governor.of(timeout=timeout, budget=budget)
+            if timeout is not None or budget is not None
+            else None
+        )
+        engine = ExplanationEngine(
+            config,
+            specification,
+            max_path_length=options.max_path_length,
+            projection_limit=options.projection_limit,
+            ibgp=options.ibgp,
+            governor=governor,
+            obs=obs,
+            stage_store=JobStore(store, key) if store is not None else None,
+            recorder=recorder,
+        )
+        explanation = job.run(engine)
+        payload = _answer_payload(explanation)
+        if store is not None and explanation.status is ExplanationStatus.EXACT:
+            store.save(key, "explanation", payload)
+            universe = _sketch_universe_of(sketch)
+            store.save(key, "readset", recorder.payload(config, universe))
+        return finish(
+            JobResult(
+                job=job, key=key, status=explanation.status.value,
+                cached=False, duration_s=0.0,
+                subspec=explanation.subspec.render(),
+                error=explanation.degradation,
+                explanation=payload,
+            )
+        )
+    except Exception as exc:
+        return finish(
+            JobResult(
+                job=job, key=key, status=STATUS_ERROR, cached=False,
+                duration_s=0.0, error=f"{type(exc).__name__}: {exc}",
+            )
+        )

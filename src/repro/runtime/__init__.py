@@ -25,7 +25,7 @@ from .errors import (
     ResourceExhausted,
 )
 from .faults import FaultPlan, FaultSpec
-from .governor import CancelToken, Deadline, Governor, WorkBudget
+from .governor import CancelToken, Deadline, Governor, WorkBudget, split_budget
 
 __all__ = [
     "ReproError",
@@ -38,6 +38,7 @@ __all__ = [
     "WorkBudget",
     "CancelToken",
     "Governor",
+    "split_budget",
     "FaultPlan",
     "FaultSpec",
 ]

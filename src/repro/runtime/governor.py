@@ -25,7 +25,25 @@ from typing import Callable, Dict, Optional
 
 from .errors import Cancelled, DeadlineExceeded, ResourceExhausted
 
-__all__ = ["Deadline", "WorkBudget", "CancelToken", "Governor"]
+__all__ = ["Deadline", "WorkBudget", "CancelToken", "Governor", "split_budget"]
+
+
+def split_budget(total: Optional[int], jobs: int) -> Optional[int]:
+    """An even per-job share of an aggregate work budget.
+
+    Used by the batch farm to hand each of ``jobs`` jobs its own
+    governor while honouring one ``--budget N`` flag for the whole
+    batch.  Remainder units are dropped rather than redistributed so
+    every job gets the same (deterministic) limit; ``None`` (unlimited)
+    splits to ``None``.  Each job is guaranteed at least one unit so a
+    tiny budget over a large batch degrades jobs individually instead
+    of zeroing them all.
+    """
+    if total is None:
+        return None
+    if jobs <= 0:
+        raise ValueError(f"cannot split a budget across {jobs} jobs")
+    return max(1, total // jobs)
 
 
 class Deadline:

@@ -1,0 +1,106 @@
+"""JSON-serializable encoding of terms and sorts.
+
+Terms are hash-consed DAGs, so the on-disk form is a flat node table
+(children referenced by index) rather than a tree -- shared subterms
+are stored once and sharing is restored on load.  The format is
+deliberately dumb: every node records its kind, sort, children,
+payload and (for integer variables) domain, exactly the fields
+:class:`~repro.smt.terms.Term` interns on.
+
+This codec underpins the persistent explanation artifact store
+(:mod:`repro.farm.store`) and the ``--json`` CLI output; it must stay
+deterministic (equal terms encode to equal payloads).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .terms import BOOL, INT, EnumSort, Sort, Term
+
+__all__ = ["SerializationError", "term_to_payload", "term_from_payload"]
+
+
+class SerializationError(ValueError):
+    """A payload does not describe a well-formed term."""
+
+
+def _sort_to_payload(sort: Sort) -> object:
+    if sort.is_bool():
+        return "bool"
+    if sort.is_int():
+        return "int"
+    if isinstance(sort, EnumSort):
+        return ["enum", sort.name, list(sort.values)]
+    raise SerializationError(f"unknown sort {sort!r}")
+
+
+def _sort_from_payload(payload: object) -> Sort:
+    if payload == "bool":
+        return BOOL
+    if payload == "int":
+        return INT
+    if (
+        isinstance(payload, (list, tuple))
+        and len(payload) == 3
+        and payload[0] == "enum"
+    ):
+        return EnumSort(str(payload[1]), tuple(str(v) for v in payload[2]))
+    raise SerializationError(f"malformed sort payload {payload!r}")
+
+
+def term_to_payload(term: Term) -> Dict[str, object]:
+    """Encode ``term`` as a JSON-safe flat node table.
+
+    The table is in bottom-up order: every node's children appear at
+    strictly smaller indices, and the root is the last entry.
+    """
+    index: Dict[Term, int] = {}
+    nodes: List[List[object]] = []
+
+    def visit(node: Term) -> int:
+        existing = index.get(node)
+        if existing is not None:
+            return existing
+        children = [visit(child) for child in node.children]
+        row: List[object] = [
+            node.kind,
+            _sort_to_payload(node.sort),
+            children,
+            node.payload,
+            list(node.domain) if node.domain is not None else None,
+        ]
+        position = len(nodes)
+        nodes.append(row)
+        index[node] = position
+        return position
+
+    visit(term)
+    return {"nodes": nodes}
+
+
+def term_from_payload(payload: object) -> Term:
+    """Rebuild a term from :func:`term_to_payload`'s output."""
+    if not isinstance(payload, dict) or "nodes" not in payload:
+        raise SerializationError(f"malformed term payload {payload!r}")
+    rows = payload["nodes"]
+    if not isinstance(rows, list) or not rows:
+        raise SerializationError("term payload has no nodes")
+    built: List[Term] = []
+    for row in rows:
+        if not isinstance(row, (list, tuple)) or len(row) != 5:
+            raise SerializationError(f"malformed term node {row!r}")
+        kind, sort_payload, child_indices, raw_payload, raw_domain = row
+        try:
+            children: Tuple[Term, ...] = tuple(built[i] for i in child_indices)
+        except (IndexError, TypeError):
+            raise SerializationError(
+                f"term node references a forward/unknown child: {row!r}"
+            ) from None
+        domain: Optional[Tuple[int, ...]] = (
+            tuple(int(v) for v in raw_domain) if raw_domain is not None else None
+        )
+        built.append(
+            Term(str(kind), _sort_from_payload(sort_payload), children, raw_payload, domain)
+        )
+    return built[-1]

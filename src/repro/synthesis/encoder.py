@@ -120,6 +120,7 @@ class Encoder:
         ibgp: bool = False,
         governor: Optional[Governor] = None,
         obs: Optional[Instrumentation] = None,
+        recorder=None,
     ) -> None:
         self.config = config
         self.specification = specification
@@ -127,6 +128,11 @@ class Encoder:
         self.ibgp = ibgp
         self.governor = governor
         self.obs = obs
+        #: Optional transfer observer (duck-typed ``symbolic(...)``);
+        #: sees every route-map application performed while threading
+        #: attributes along candidate paths, so callers can capture the
+        #: exact rest-of-network slice an encoding reads.
+        self.recorder = recorder
         self.space = CandidateSpace(config.topology, max_path_length, ibgp=ibgp)
         router_configs = [
             config.router_config(name) for name in config.topology.router_names
@@ -176,6 +182,11 @@ class Encoder:
             export_permit, after_export = apply_routemap_symbolic(
                 export_map, crossing, self.universe, self.holes
             )
+            if self.recorder is not None:
+                self.recorder.symbolic(
+                    speaker, Direction.OUT, receiver, crossing,
+                    export_permit, after_export,
+                )
             session_is_ibgp = self.ibgp and (
                 self.config.topology.router(speaker).asn
                 == self.config.topology.router(receiver).asn
@@ -186,6 +197,11 @@ class Encoder:
             import_permit, state = apply_routemap_symbolic(
                 import_map, after_hop, self.universe, self.holes
             )
+            if self.recorder is not None:
+                self.recorder.symbolic(
+                    receiver, Direction.IN, speaker, after_hop,
+                    import_permit, state,
+                )
             self._hop_permits[key] = And(export_permit, import_permit)
             self._filter_ok[key] = And(
                 self._filter_ok[parent.key()], self._hop_permits[key]

@@ -1,0 +1,59 @@
+"""The engine's in-memory memoization key must pin every input that
+can change an answer: hole domains, requirement, engine options and
+governor limits -- not just the hole names."""
+
+from repro.explain import ExplanationEngine
+from repro.runtime import Governor
+from repro.scenarios import scenario1
+
+
+def _engine(**kwargs):
+    s = scenario1()
+    return ExplanationEngine(s.paper_config, s.specification, **kwargs)
+
+
+def _holes_of(engine, router="R1"):
+    _, holes = __import__(
+        "repro.explain.symbolize", fromlist=["symbolize_router"]
+    ).symbolize_router(engine.config, router)
+    return holes
+
+
+def test_key_depends_on_requirement():
+    engine = _engine()
+    holes = _holes_of(engine)
+    assert engine._cache_key(holes, "Req1") != engine._cache_key(holes, "<all>")
+
+
+def test_key_depends_on_hole_domains():
+    from repro.bgp.sketch import Hole
+
+    engine = _engine()
+    holes = _holes_of(engine)
+    name = sorted(holes)[0]
+    narrowed = dict(holes)
+    narrowed[name] = Hole(name, ("permit",))
+    assert engine._cache_key(holes, "Req1") != engine._cache_key(narrowed, "Req1")
+
+
+def test_key_depends_on_engine_options():
+    holes = _holes_of(_engine())
+    default = _engine()._cache_key(holes, "Req1")
+    assert _engine(projection_limit=7)._cache_key(holes, "Req1") != default
+    assert _engine(ibgp=True)._cache_key(holes, "Req1") != default
+    assert _engine(max_path_length=3)._cache_key(holes, "Req1") != default
+
+
+def test_key_depends_on_governor_limits():
+    holes = _holes_of(_engine())
+    ungoverned = _engine()._cache_key(holes, "Req1")
+    timed = _engine(governor=Governor.of(timeout=30.0))._cache_key(holes, "Req1")
+    budgeted = _engine(governor=Governor.of(budget=1000))._cache_key(holes, "Req1")
+    assert len({ungoverned, timed, budgeted}) == 3
+
+
+def test_identical_setups_share_a_key():
+    holes = _holes_of(_engine())
+    first = _engine(governor=Governor.of(budget=1000))._cache_key(holes, "Req1")
+    second = _engine(governor=Governor.of(budget=1000))._cache_key(holes, "Req1")
+    assert first == second

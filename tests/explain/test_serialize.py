@@ -1,0 +1,83 @@
+"""Round-trip serialization of explanations (versioned schema)."""
+
+import json
+
+import pytest
+
+from repro.explain import (
+    ExplanationEngine,
+    explanation_from_dict,
+    explanation_to_dict,
+)
+from repro.explain.serialize import SCHEMA
+from repro.runtime import Governor
+from repro.scenarios import scenario1
+from repro.smt.serialize import SerializationError
+
+
+@pytest.fixture(scope="module")
+def sc1():
+    return scenario1()
+
+
+@pytest.fixture(scope="module")
+def explanation(sc1):
+    engine = ExplanationEngine(sc1.paper_config, sc1.specification)
+    return engine.explain_router("R1")
+
+
+def test_roundtrip_through_json(explanation):
+    text = json.dumps(explanation_to_dict(explanation), sort_keys=True)
+    restored = explanation_from_dict(json.loads(text))
+    assert restored.report() == explanation.report()
+    assert restored.status is explanation.status
+    assert restored.timings == explanation.timings
+    # hash-consing makes term equality identity
+    assert restored.seed.constraint is explanation.seed.constraint
+    assert restored.simplified.term is explanation.simplified.term
+    assert restored.projected.term is explanation.projected.term
+    assert restored.subspec == explanation.subspec
+
+
+def test_reencoding_is_stable(explanation):
+    payload = explanation_to_dict(explanation)
+    text = json.dumps(payload, sort_keys=True)
+    again = json.dumps(explanation_to_dict(explanation_from_dict(payload)), sort_keys=True)
+    assert again == text
+
+
+def test_restored_seed_has_no_encoding(explanation):
+    restored = explanation_from_dict(explanation_to_dict(explanation))
+    assert restored.seed.encoding is None
+    assert restored.seed.num_constraints == explanation.seed.num_constraints
+    assert restored.seed.size == explanation.seed.size
+
+
+def test_projected_envs_and_assignments_roundtrip(explanation):
+    restored = explanation_from_dict(explanation_to_dict(explanation))
+    assert restored.projected.envs == explanation.projected.envs
+    assert restored.projected.acceptable == explanation.projected.acceptable
+    assert restored.projected.rejected == explanation.projected.rejected
+    assert restored.projected.holes == explanation.projected.holes
+
+
+def test_degraded_explanation_roundtrips(sc1):
+    engine = ExplanationEngine(
+        sc1.paper_config, sc1.specification, governor=Governor.of(budget=40)
+    )
+    degraded = engine.explain_router("R1")
+    assert degraded.status.degraded
+    restored = explanation_from_dict(explanation_to_dict(degraded))
+    assert restored.status is degraded.status
+    assert restored.degradation == degraded.degradation
+    assert restored.report() == degraded.report()
+
+
+def test_schema_mismatch_rejected(explanation):
+    payload = explanation_to_dict(explanation)
+    payload["schema"] = "repro-explanation/999"
+    with pytest.raises(SerializationError):
+        explanation_from_dict(payload)
+    with pytest.raises(SerializationError):
+        explanation_from_dict({"no": "schema"})
+    assert payload["schema"] != SCHEMA

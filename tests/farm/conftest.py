@@ -1,0 +1,8 @@
+import pytest
+
+from repro.scenarios import scenario1
+
+
+@pytest.fixture(scope="module")
+def s1():
+    return scenario1()

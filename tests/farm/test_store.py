@@ -1,0 +1,87 @@
+"""The on-disk artifact store: integrity, atomicity, corruption."""
+
+import json
+import os
+
+import pytest
+
+from repro.farm import ArtifactStore, JobStore, StoreError
+
+KEY = "ab" * 32
+
+
+def test_round_trip(tmp_path):
+    store = ArtifactStore(str(tmp_path))
+    payload = {"answer": 42, "nested": {"list": [1, 2, 3]}}
+    store.save(KEY, "seed", payload)
+    assert store.load(KEY, "seed") == payload
+    assert store.stats == {"store.seed": 1, "hit.seed": 1}
+
+
+def test_miss_on_absent_entry(tmp_path):
+    store = ArtifactStore(str(tmp_path))
+    assert store.load(KEY, "seed") is None
+    assert store.stats == {"miss.seed": 1}
+
+
+def test_corrupt_json_reads_as_miss(tmp_path):
+    store = ArtifactStore(str(tmp_path))
+    store.save(KEY, "seed", {"v": 1})
+    path = store.path_for(KEY, "seed")
+    with open(path, "w") as handle:
+        handle.write("{not json")
+    assert store.load(KEY, "seed") is None
+    assert store.stats["corrupt.seed"] == 1
+
+
+def test_tampered_payload_fails_integrity(tmp_path):
+    store = ArtifactStore(str(tmp_path))
+    store.save(KEY, "seed", {"v": 1})
+    path = store.path_for(KEY, "seed")
+    with open(path) as handle:
+        envelope = json.load(handle)
+    envelope["payload"]["v"] = 2  # integrity hash now stale
+    with open(path, "w") as handle:
+        json.dump(envelope, handle)
+    assert store.load(KEY, "seed") is None
+    assert store.stats["corrupt.seed"] == 1
+
+
+def test_wrong_schema_reads_as_miss(tmp_path):
+    store = ArtifactStore(str(tmp_path))
+    store.save(KEY, "seed", {"v": 1})
+    path = store.path_for(KEY, "seed")
+    with open(path) as handle:
+        envelope = json.load(handle)
+    envelope["schema"] = "repro-farm-store/0"
+    with open(path, "w") as handle:
+        json.dump(envelope, handle)
+    assert store.load(KEY, "seed") is None
+
+
+def test_malformed_key_and_stage_rejected(tmp_path):
+    store = ArtifactStore(str(tmp_path))
+    with pytest.raises(StoreError):
+        store.path_for("../escape", "seed")
+    with pytest.raises(StoreError):
+        store.path_for(KEY, "seed/../../etc")
+    with pytest.raises(StoreError):
+        store.save(KEY, "seed", "not a dict")  # type: ignore[arg-type]
+
+
+def test_unwritable_cache_degrades_to_no_cache(tmp_path):
+    missing = os.path.join(str(tmp_path), "file-not-dir")
+    with open(missing, "w") as handle:
+        handle.write("occupied")
+    store = ArtifactStore(os.path.join(missing, "cache"))
+    store.save(KEY, "seed", {"v": 1})  # must not raise
+    assert store.load(KEY, "seed") is None
+
+
+def test_job_store_scopes_one_key(tmp_path):
+    store = ArtifactStore(str(tmp_path))
+    scoped = JobStore(store, KEY)
+    scoped.save("simplify", {"v": 1})
+    assert scoped.load("simplify") == {"v": 1}
+    other = JobStore(store, "cd" * 32)
+    assert other.load("simplify") is None

@@ -1,0 +1,55 @@
+"""Cross-process metrics: registries must survive pickling and merge
+losslessly, because the farm ships per-worker registries home inside
+job results and folds them into one batch registry."""
+
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.obs import MetricsRegistry
+
+
+def _child_registry(offset: float) -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.count("jobs", 1)
+    registry.gauge("last_offset", offset)
+    for i in range(5):
+        registry.observe("latency", offset + i)
+    return registry
+
+
+def test_histograms_survive_pickle_round_trip():
+    registry = _child_registry(10.0)
+    clone = pickle.loads(pickle.dumps(registry))
+    assert clone.samples("latency") == registry.samples("latency")
+    assert clone.counters == registry.counters
+    assert clone.gauges == registry.gauges
+    # The clone is live, not a frozen snapshot.
+    clone.observe("latency", 99.0)
+    assert len(clone.samples("latency")) == 6
+    assert len(registry.samples("latency")) == 5
+
+
+def test_merge_of_pickled_registries_concatenates_histograms():
+    parent = MetricsRegistry()
+    parent.observe("latency", 1.0)
+    for offset in (10.0, 20.0):
+        child = pickle.loads(pickle.dumps(_child_registry(offset)))
+        parent.merge(child)
+    samples = parent.samples("latency")
+    assert len(samples) == 11
+    assert samples[0] == 1.0  # parent's samples stay in front
+    assert samples[1:6] == (10.0, 11.0, 12.0, 13.0, 14.0)
+    assert parent.counters["jobs"] == 2
+    assert parent.gauges["last_offset"] == 20.0
+    stats = parent.histogram_stats("latency")
+    assert stats["count"] == 11.0
+    assert stats["min"] == 1.0 and stats["max"] == 24.0
+
+
+def test_registry_from_real_child_process():
+    with ProcessPoolExecutor(max_workers=1) as pool:
+        child = pool.submit(_child_registry, 5.0).result()
+    parent = MetricsRegistry()
+    parent.merge(child)
+    assert parent.samples("latency") == (5.0, 6.0, 7.0, 8.0, 9.0)
+    assert parent.histogram_stats("latency")["p50"] == 7.0

@@ -1,0 +1,62 @@
+"""Round-trip tests for the flat-DAG term codec."""
+
+import json
+
+import pytest
+
+from repro.smt import And, BoolVar, Eq, EnumVar, Iff, IntVar, Not, Or, TRUE
+from repro.smt.serialize import (
+    SerializationError,
+    term_from_payload,
+    term_to_payload,
+)
+from repro.smt.terms import EnumSort, Term
+
+
+def roundtrip(term):
+    payload = json.loads(json.dumps(term_to_payload(term)))
+    return term_from_payload(payload)
+
+
+def test_constants_roundtrip():
+    for term in (TRUE, Term.const(False), Term.const(7)):
+        assert roundtrip(term) is term
+
+
+def test_enum_roundtrip():
+    action = EnumSort("Action", ("permit", "deny"))
+    term = Eq(EnumVar("a", action), Term.const("deny", action))
+    assert roundtrip(term) is term
+
+
+def test_int_variable_domain_roundtrip():
+    term = Eq(IntVar("lp", domain=(50, 100, 200)), Term.const(100))
+    assert roundtrip(term) is term
+
+
+def test_shared_subterms_stored_once():
+    shared = And(BoolVar("a"), BoolVar("b"))
+    term = Or(shared, Not(shared), Iff(shared, TRUE))
+    payload = term_to_payload(term)
+    # a, b, and(a,b), not(...), true, iff(...), or(...): no duplicates.
+    assert len(payload["nodes"]) == 7
+    assert roundtrip(term) is term
+
+
+def test_encoding_is_deterministic():
+    term = And(BoolVar("x"), Or(BoolVar("y"), BoolVar("x")))
+    assert term_to_payload(term) == term_to_payload(term)
+
+
+def test_malformed_payloads_rejected():
+    with pytest.raises(SerializationError):
+        term_from_payload({"nodes": []})
+    with pytest.raises(SerializationError):
+        term_from_payload("nope")
+    with pytest.raises(SerializationError):
+        term_from_payload({"nodes": [["var", "Frob", [], "x", None]]})
+    # forward child reference
+    with pytest.raises(SerializationError):
+        term_from_payload(
+            {"nodes": [["not", "bool", [1], None, None], ["const", "bool", [], True, None]]}
+        )

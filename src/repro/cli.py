@@ -34,7 +34,13 @@ Subcommands
     Batch-explain every managed router (x every requirement) through
     the farm: parallel worker processes, a persistent content-addressed
     artifact cache, and incremental invalidation (``--since`` re-runs
-    only the jobs an edit dirtied).
+    only the jobs an edit dirtied).  Runs are supervised: transient
+    worker failures are retried with backoff (``--retries``,
+    ``--retry-backoff``), hung workers are detected and replaced
+    (``--hang-timeout``, needs ``-j 2``+), jobs that exhaust their
+    retries are quarantined into the store's ledger
+    (``--max-quarantine`` bounds the loss), and a killed batch can
+    ``--resume`` from its crash-safe run journal.
 ``bench [--quick] [--repeat N] [--json PATH] [--compare BASELINE]``
     Run the reproducible benchmark suite over the paper scenarios,
     print per-stage timings and work counters, optionally write a
@@ -80,6 +86,9 @@ EXIT_TIMEOUT = 3
 EXIT_BUDGET = 4
 EXIT_CANCELLED = 5
 EXIT_UNSAT = 6
+#: A supervised batch completed, but some jobs were quarantined after
+#: exhausting their retries: the report is partial but honest.
+EXIT_PARTIAL = 7
 EXIT_INTERNAL = 70
 
 _SCENARIOS: Dict[str, Callable[[], Scenario]] = {
@@ -308,6 +317,55 @@ def build_parser() -> argparse.ArgumentParser:
         "--per-line",
         action="store_true",
         help="one job per route-map line instead of per router",
+    )
+    explain_all.add_argument(
+        "--retries",
+        type=_non_negative_int,
+        default=2,
+        metavar="N",
+        help="retries per job for transient failures (worker crash, "
+        "hang, injected fault) before quarantine (default 2; "
+        "permanent failures never retry)",
+    )
+    explain_all.add_argument(
+        "--retry-backoff",
+        type=_non_negative_float,
+        default=0.1,
+        metavar="SECONDS",
+        help="first retry delay; doubles per attempt with deterministic "
+        "jitter, capped at 5s (default 0.1; 0 disables sleeping)",
+    )
+    explain_all.add_argument(
+        "--hang-timeout",
+        type=_non_negative_float,
+        default=None,
+        metavar="SECONDS",
+        help="per-job wall clock after which a worker counts as hung "
+        "and is replaced (watchdog; needs -j 2 or more)",
+    )
+    explain_all.add_argument(
+        "--max-quarantine",
+        type=_non_negative_int,
+        default=None,
+        metavar="N",
+        help="abort the batch once more than N jobs are quarantined "
+        "(default: never abort; quarantined jobs exit with code "
+        f"{EXIT_PARTIAL})",
+    )
+    explain_all.add_argument(
+        "--resume",
+        action="store_true",
+        help="replay the crash-safe run journal and re-run only the "
+        "jobs a killed batch left unfinished (needs the cache)",
+    )
+    explain_all.add_argument(
+        "--chaos",
+        default=None,
+        metavar="PLAN",
+        help="(testing) deterministic fault injection: comma-separated "
+        "kill@JOB, hang[:SECS]@JOB, flaky[:TIMES]@JOB, "
+        "corrupt[:STAGE]@JOB, where JOB is a job id, #N (the Nth job "
+        "of a worker process) or *",
     )
 
     analyze = subparsers.add_parser(
@@ -630,7 +688,13 @@ def _cmd_explain_all(args: argparse.Namespace, out) -> int:
     import os
 
     from .bgp.confparse import parse_network
-    from .farm import enumerate_jobs, run_batch, run_incremental
+    from .farm import (
+        SupervisePolicy,
+        enumerate_jobs,
+        run_incremental,
+        run_supervised,
+    )
+    from .runtime import ChaosPlan
 
     scenario = _load_scenario(args.name)
     if args.no_cache and args.cache_dir is not None:
@@ -643,6 +707,16 @@ def _cmd_explain_all(args: argparse.Namespace, out) -> int:
         cache_dir = os.path.join(
             os.path.expanduser("~"), ".cache", "repro-farm"
         )
+    chaos = None
+    if args.chaos is not None:
+        try:
+            chaos = ChaosPlan.parse(args.chaos)
+        except ValueError as exc:
+            raise SystemExit(f"bad --chaos plan: {exc}")
+        if chaos.needs_process_isolation and args.workers <= 1:
+            raise SystemExit("--chaos kill/hang events need -j 2 or more")
+    if args.resume and cache_dir is None:
+        raise SystemExit("--resume needs the cache (drop --no-cache)")
     jobs = enumerate_jobs(
         scenario.paper_config, scenario.specification, per_line=args.per_line
     )
@@ -660,10 +734,19 @@ def _cmd_explain_all(args: argparse.Namespace, out) -> int:
             timeout=args.timeout, budget=args.budget, scenario=args.name,
         )
     else:
-        report = run_batch(
+        policy = SupervisePolicy(
+            max_retries=args.retries,
+            backoff_base=args.retry_backoff,
+            hang_timeout=args.hang_timeout,
+            max_quarantine=args.max_quarantine,
+            resume=args.resume,
+            chaos=chaos,
+        )
+        report = run_supervised(
             scenario.paper_config, scenario.specification, jobs,
             cache_dir=cache_dir, workers=args.workers,
             timeout=args.timeout, budget=args.budget, scenario=args.name,
+            policy=policy,
         )
     print(report.summary_table(), file=out)
     if args.json:
@@ -673,6 +756,8 @@ def _cmd_explain_all(args: argparse.Namespace, out) -> int:
         print(f"report written to {args.json}", file=out)
     if report.failed:
         return EXIT_FAILURE
+    if report.quarantined:
+        return EXIT_PARTIAL
     if report.degraded:
         # Per-job governors live in the workers, so the batch cannot
         # ask "which limit fired?" -- map from the flags instead.

@@ -23,7 +23,12 @@ build-system shell:
   device's jobs;
 * :mod:`repro.farm.worker` / :mod:`repro.farm.pool` -- the per-job
   runner (governed, gracefully degrading) and the process pool that
-  fans jobs out and folds per-worker metrics into one report.
+  fans jobs out and folds per-worker metrics into one report;
+* :mod:`repro.farm.supervise` -- the fault-tolerant supervisor:
+  per-job hang watchdog, retry with capped backoff + deterministic
+  jitter for transient failures, a quarantine ledger for jobs that
+  exhaust their retries, and a crash-safe run journal that lets a
+  killed batch ``--resume`` with only its unfinished jobs.
 
 The CLI front-end is ``python -m repro.cli explain-all``; see
 ``docs/farm.md`` for the architecture.
@@ -35,6 +40,13 @@ from .keys import FarmOptions, canonical_json, digest, job_key
 from .pool import BatchReport, run_batch, run_incremental
 from .readset import TransferRecorder
 from .store import ArtifactStore, JobStore, StoreError
+from .supervise import (
+    RunJournal,
+    SupervisePolicy,
+    Supervisor,
+    batch_signature,
+    run_supervised,
+)
 from .worker import JobResult, run_job
 
 __all__ = [
@@ -56,4 +68,9 @@ __all__ = [
     "BatchReport",
     "run_batch",
     "run_incremental",
+    "RunJournal",
+    "SupervisePolicy",
+    "Supervisor",
+    "batch_signature",
+    "run_supervised",
 ]

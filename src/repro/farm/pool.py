@@ -6,11 +6,18 @@ concurrent workers are safe); ``-j 1`` is a plain serial loop with no
 multiprocessing machinery at all -- the fallback for environments where
 fork/spawn is unavailable or undesirable.
 
-One aggregate ``--budget`` is split into equal deterministic per-job
-shares (:func:`repro.runtime.split_budget`); ``--timeout`` applies to
-each job individually (a batch-wide wall-clock deadline would make a
-job's outcome depend on its position in the schedule, destroying cache
-determinism).
+One aggregate ``--budget`` is split into deterministic per-job shares
+that sum to the batch budget (:func:`repro.runtime.split_budget`);
+``--timeout`` applies to each job individually (a batch-wide
+wall-clock deadline would make a job's outcome depend on its position
+in the schedule, destroying cache determinism).
+
+Results are collected with :func:`~concurrent.futures.as_completed`
+and every per-future exception -- a worker killed by the OS, a broken
+pool, an unpicklable result -- is converted into a ``FAILED``
+:class:`JobResult` for that job alone: even the minimal non-supervised
+path survives one bad job.  For retries, hang watchdogs, quarantine
+and crash-safe resume, see :mod:`repro.farm.supervise`.
 
 Every worker ships its :class:`MetricsRegistry` home inside the
 :class:`JobResult`; the batch merges them (counters add, histograms
@@ -21,7 +28,7 @@ per-stage report is derived exactly as the benchmark harness does.
 from __future__ import annotations
 
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -32,14 +39,14 @@ from ..obs import (
     StageRecord,
     percentile,
 )
-from ..runtime import split_budget
+from ..runtime import TRANSIENT, split_budget
 from ..spec.ast import Specification
 from ..bgp.config import NetworkConfig
 from .invalidate import compute_dirty
 from .job import ExplainJob
 from .keys import FarmOptions
 from .store import ArtifactStore
-from .worker import JobResult, STATUS_CACHED, run_job
+from .worker import JobResult, STATUS_CACHED, STATUS_ERROR, run_job
 
 __all__ = ["BatchReport", "run_batch", "run_incremental"]
 
@@ -66,7 +73,16 @@ class BatchReport:
 
     @property
     def failed(self) -> int:
-        return sum(1 for r in self.results if r.status == "ERROR")
+        return sum(1 for r in self.results if r.status == STATUS_ERROR)
+
+    @property
+    def quarantined(self) -> int:
+        return sum(1 for r in self.results if r.quarantined)
+
+    @property
+    def retried(self) -> int:
+        """Jobs that needed more than one attempt (supervised runs)."""
+        return sum(1 for r in self.results if r.attempts > 1)
 
     @property
     def cached(self) -> int:
@@ -99,17 +115,18 @@ class BatchReport:
 
     def summary_table(self) -> str:
         """The human-readable per-job table plus batch totals."""
-        rows = [("job", "status", "cached", "time")]
+        rows = [("job", "status", "cached", "tries", "time")]
         for result in self.results:
             rows.append(
                 (
                     result.job.job_id,
                     result.status,
                     "yes" if result.cached else "no",
+                    str(result.attempts),
                     f"{result.duration_s:.2f}s",
                 )
             )
-        widths = [max(len(row[i]) for row in rows) for i in range(4)]
+        widths = [max(len(row[i]) for row in rows) for i in range(5)]
         lines = [
             "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)).rstrip()
             for row in rows
@@ -119,7 +136,7 @@ class BatchReport:
         lines.append(
             f"{len(self.results)} jobs: {self.completed} ok "
             f"({self.cached} from cache), {self.degraded} degraded, "
-            f"{self.failed} failed"
+            f"{self.failed} failed, {self.quarantined} quarantined"
         )
         lines.append(
             f"wall {self.wall_s:.2f}s, cpu {self.cpu_s:.2f}s, "
@@ -182,6 +199,8 @@ class BatchReport:
                 "cached": self.cached,
                 "degraded": self.degraded,
                 "failed": self.failed,
+                "quarantined": self.quarantined,
+                "retried": self.retried,
             },
             "stage_cache_rate": self.stage_cache_rate(),
             "counters": farm_counters,
@@ -198,35 +217,59 @@ def run_batch(
     config: NetworkConfig,
     specification: Specification,
     jobs: List[ExplainJob],
-    options: FarmOptions = FarmOptions(),
+    options: Optional[FarmOptions] = None,
     cache_dir: Optional[str] = None,
     workers: int = 1,
     timeout: Optional[float] = None,
     budget: Optional[int] = None,
     scenario: str = "batch",
 ) -> BatchReport:
-    """Answer every job, serially or on a process pool."""
+    """Answer every job, serially or on a process pool.
+
+    This is the minimal, non-supervised path: no retries, no watchdog
+    -- but a dead worker or unpicklable result fails only its own job,
+    never the batch.  Use :func:`repro.farm.supervise.run_supervised`
+    for fault tolerance.
+    """
+    if options is None:
+        options = FarmOptions()
     started = time.perf_counter()
-    per_job_budget = split_budget(budget, len(jobs)) if jobs else budget
+    shares = split_budget(budget, len(jobs)) if jobs else None
     results: List[JobResult] = []
     if workers <= 1 or len(jobs) <= 1:
-        for job in jobs:
+        for index, job in enumerate(jobs):
             results.append(
                 run_job(
                     config, specification, job, options,
-                    cache_dir, timeout, per_job_budget,
+                    cache_dir, timeout,
+                    shares[index] if shares is not None else None,
                 )
             )
     else:
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [
+            job_of = {
                 pool.submit(
                     run_job, config, specification, job, options,
-                    cache_dir, timeout, per_job_budget,
-                )
-                for job in jobs
-            ]
-            results = [future.result() for future in futures]
+                    cache_dir, timeout,
+                    shares[index] if shares is not None else None,
+                ): (index, job)
+                for index, job in enumerate(jobs)
+            }
+            collected: Dict[int, JobResult] = {}
+            for future in as_completed(job_of):
+                index, job = job_of[future]
+                try:
+                    collected[index] = future.result()
+                except Exception as exc:
+                    # The worker died (or its result cannot cross the
+                    # process boundary): fail this job, keep siblings.
+                    collected[index] = JobResult(
+                        job=job, key=None, status=STATUS_ERROR,
+                        cached=False, duration_s=0.0,
+                        error=f"{type(exc).__name__}: {exc}",
+                        error_kind=TRANSIENT,
+                    )
+            results = [collected[index] for index in range(len(jobs))]
     report = BatchReport(
         scenario=scenario,
         results=results,
@@ -242,7 +285,7 @@ def run_incremental(
     new_config: NetworkConfig,
     specification: Specification,
     jobs: List[ExplainJob],
-    options: FarmOptions = FarmOptions(),
+    options: Optional[FarmOptions] = None,
     cache_dir: Optional[str] = None,
     workers: int = 1,
     timeout: Optional[float] = None,
@@ -259,6 +302,8 @@ def run_incremental(
     """
     if cache_dir is None:
         raise ValueError("incremental runs need a cache directory")
+    if options is None:
+        options = FarmOptions()
     started = time.perf_counter()
     store = ArtifactStore(cache_dir)
     dirty, clean = compute_dirty(

@@ -21,13 +21,20 @@ from __future__ import annotations
 import json
 import os
 import tempfile
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from .keys import canonical_json, digest
 
-__all__ = ["STORE_SCHEMA", "ArtifactStore", "JobStore", "StoreError"]
+__all__ = [
+    "STORE_SCHEMA",
+    "QUARANTINE_SCHEMA",
+    "ArtifactStore",
+    "JobStore",
+    "StoreError",
+]
 
 STORE_SCHEMA = "repro-farm-store/1"
+QUARANTINE_SCHEMA = "repro-farm-quarantine/1"
 
 _STAGE_SAFE = frozenset("abcdefghijklmnopqrstuvwxyz0123456789_-")
 
@@ -91,21 +98,13 @@ class ArtifactStore:
         self._count("hit", stage)
         return envelope["payload"]
 
-    def save(self, key: str, stage: str, payload: dict) -> None:
-        """Atomically persist ``payload`` under (key, stage)."""
-        if not isinstance(payload, dict):
-            raise StoreError(
-                f"artifact payloads must be dicts, got {type(payload).__name__}"
-            )
-        path = self.path_for(key, stage)
-        envelope = {
-            "schema": STORE_SCHEMA,
-            "key": key,
-            "stage": stage,
-            "integrity": digest(payload),
-            "payload": payload,
-        }
-        text = canonical_json(envelope)
+    def _write_atomic(self, path: str, text: str) -> bool:
+        """Write ``text`` to ``path`` atomically (temp + ``os.replace``).
+
+        Returns whether the write landed; a read-only or full cache
+        degrades to "no cache" and never leaves a half-written file
+        visible under ``path``.
+        """
         directory = os.path.dirname(path)
         try:
             os.makedirs(directory, exist_ok=True)
@@ -121,9 +120,64 @@ class ArtifactStore:
                     pass
                 raise
         except OSError:
-            # A read-only or full cache degrades to "no cache".
-            return
-        self._count("store", stage)
+            return False
+        return True
+
+    def save(self, key: str, stage: str, payload: dict) -> None:
+        """Atomically persist ``payload`` under (key, stage)."""
+        if not isinstance(payload, dict):
+            raise StoreError(
+                f"artifact payloads must be dicts, got {type(payload).__name__}"
+            )
+        path = self.path_for(key, stage)
+        envelope = {
+            "schema": STORE_SCHEMA,
+            "key": key,
+            "stage": stage,
+            "integrity": digest(payload),
+            "payload": payload,
+        }
+        if self._write_atomic(path, canonical_json(envelope)):
+            self._count("store", stage)
+
+    # -- quarantine ledger ---------------------------------------------
+
+    @property
+    def quarantine_path(self) -> str:
+        return os.path.join(self.cache_dir, "quarantine.json")
+
+    def quarantine_entries(self) -> List[dict]:
+        """The quarantine ledger's entries (empty on absence/corruption).
+
+        Like artifact reads, a corrupt ledger degrades to "no ledger"
+        rather than failing a batch whose answers are otherwise fine.
+        """
+        try:
+            with open(self.quarantine_path, "r", encoding="ascii") as handle:
+                document = json.load(handle)
+        except (OSError, ValueError):
+            return []
+        if (
+            not isinstance(document, dict)
+            or document.get("schema") != QUARANTINE_SCHEMA
+            or not isinstance(document.get("entries"), list)
+        ):
+            return []
+        return [e for e in document["entries"] if isinstance(e, dict)]
+
+    def quarantine_add(self, entry: dict) -> None:
+        """Append one quarantined-job record to the ledger, atomically.
+
+        The supervisor is the only writer (one process per batch), so
+        read-modify-write with an atomic replace is race-free in
+        practice; concurrent batches over one cache can at worst drop
+        each other's newest entry, never corrupt the ledger.
+        """
+        entries = self.quarantine_entries()
+        entries.append(entry)
+        document = {"schema": QUARANTINE_SCHEMA, "entries": entries}
+        if self._write_atomic(self.quarantine_path, canonical_json(document)):
+            self._count("quarantine", "ledger")
 
 
 class JobStore:

@@ -1,0 +1,660 @@
+"""The fault-tolerant batch supervisor: treat worker death as routine.
+
+:func:`repro.farm.pool.run_batch` is the minimal path -- one shot per
+job, no babysitting.  This module wraps the same workers in a
+:class:`Supervisor` whose contract is the ROADMAP's serving-layer
+prerequisite: *a batch completes, and reports every job exactly once,
+no matter what the processes under it do.*  The per-job state machine::
+
+      dispatch ──────────► running ──────────► settled (EXACT / CACHED /
+         ▲                   │                          DEGRADED / FAILED
+         │                   │ worker crash,            / permanent ERROR)
+         │                   │ hang past --hang-timeout,
+         │                   │ transient ERROR
+         │                   ▼
+         │ backoff      failed attempt
+         └──────────────── retry? ── attempts exhausted ──► QUARANTINED
+                                                            (ledger entry)
+
+* **Watchdog** -- jobs are dispatched with ``as_completed`` semantics
+  and a per-job wall clock.  An attempt running past ``hang_timeout``
+  is declared hung: its worker pool is abandoned (processes
+  terminated), innocent in-flight siblings are re-dispatched to a
+  fresh pool *without* consuming one of their attempts, and the hung
+  job's attempt counts as a transient failure.
+* **Retry** -- transient failures (worker killed, broken pool,
+  injected chaos faults, I/O hiccups; see
+  :func:`repro.runtime.error_kind`) are retried with capped
+  exponential backoff plus deterministic jitter derived from the job
+  id, so schedules are reproducible.  Permanent failures -- an
+  unsatisfiable question, an exhausted budget, a symbolization error
+  -- fail fast: re-asking cannot change the answer.
+* **Quarantine** -- a job that fails ``max_retries + 1`` attempts is
+  quarantined: the batch completes without it, the report carries a
+  ``QUARANTINED`` row with the attempt count, and the full error
+  chain is appended to the ``quarantine.json`` ledger in the artifact
+  store.  ``max_quarantine`` bounds how much of a batch may be lost
+  before the run aborts loudly.
+* **Resume** -- every settled job is journaled to an append-only,
+  fsync'd run journal keyed by a batch signature (config, spec, jobs,
+  options, limits).  A SIGKILL'd batch re-run with ``resume=True``
+  replays the journal and re-dispatches only unfinished jobs; replayed
+  results are byte-identical to what the killed run computed, and a
+  torn final line (the crash landed mid-write) is ignored.
+
+Duplicate execution is safe by construction: workers only write
+content-addressed artifacts atomically, so an abandoned attempt that
+limps to completion in a dying pool changes nothing the re-dispatched
+attempt would not also write.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field, replace
+from typing import Deque, Dict, List, Optional
+
+from ..bgp.config import NetworkConfig
+from ..bgp.render import render_network
+from ..obs import MetricsRegistry
+from ..runtime import ChaosPlan, ReproError, TRANSIENT, split_budget
+from ..spec.ast import Specification
+from ..spec.printer import format_specification
+from .job import ExplainJob
+from .keys import FarmOptions, canonical_json, digest
+from .pool import BatchReport, _merge_metrics
+from .store import ArtifactStore
+from .worker import (
+    JobResult,
+    STATUS_ERROR,
+    STATUS_QUARANTINED,
+    run_job,
+)
+
+__all__ = [
+    "JOURNAL_SCHEMA",
+    "RunJournal",
+    "SupervisePolicy",
+    "Supervisor",
+    "backoff_delay",
+    "batch_signature",
+    "run_supervised",
+]
+
+JOURNAL_SCHEMA = "repro-farm-journal/1"
+
+#: How long the dispatch loop waits on in-flight futures per iteration;
+#: bounds watchdog latency without busy-waiting.
+_TICK_S = 0.05
+
+
+@dataclass(frozen=True)
+class SupervisePolicy:
+    """The supervisor's knobs (the CLI's ``--retries`` family)."""
+
+    #: Retries *beyond* the first attempt; a job consumes at most
+    #: ``max_retries + 1`` attempts before quarantine.
+    max_retries: int = 2
+    #: First backoff delay in seconds; attempt N waits
+    #: ``base * 2**(N-1)`` (jittered, capped).  Zero disables sleeping.
+    backoff_base: float = 0.1
+    #: Upper bound on any single backoff delay.
+    backoff_cap: float = 5.0
+    #: Wall-clock seconds an attempt may run before the watchdog
+    #: declares it hung; ``None`` disables the watchdog.
+    hang_timeout: Optional[float] = None
+    #: Abort the batch once more than this many jobs are quarantined;
+    #: ``None`` never aborts.
+    max_quarantine: Optional[int] = None
+    #: Replay the run journal and skip already-settled jobs.
+    resume: bool = False
+    #: Deterministic process-level fault injection (tests / chaos CI).
+    chaos: Optional[ChaosPlan] = None
+
+
+def backoff_delay(
+    base: float, cap: float, job_id: str, attempt: int
+) -> float:
+    """Capped exponential backoff with deterministic jitter.
+
+    The jitter factor (0..25% extra) is derived from a hash of the job
+    id and attempt number, so concurrent retries de-synchronize without
+    making any schedule random: the same batch replays identically.
+    """
+    if base <= 0:
+        return 0.0
+    seed = hashlib.sha256(f"{job_id}:{attempt}".encode("utf-8")).hexdigest()
+    jitter = int(seed[:8], 16) / 0xFFFFFFFF
+    return min(cap, base * (2 ** (attempt - 1)) * (1.0 + 0.25 * jitter))
+
+
+def batch_signature(
+    config: NetworkConfig,
+    specification: Specification,
+    jobs: List[ExplainJob],
+    options: FarmOptions,
+    timeout: Optional[float] = None,
+    budget: Optional[int] = None,
+) -> str:
+    """The identity of a batch for journaling purposes.
+
+    Everything that pins the batch's *answers* participates -- config,
+    specification, job list, engine options and the governed limits --
+    so a resumed run can only ever be completed with results the
+    crashed run would itself have produced.
+    """
+    payload = {
+        "schema": JOURNAL_SCHEMA,
+        "config": render_network(config),
+        "spec": format_specification(specification),
+        "managed": sorted(specification.managed),
+        "jobs": [job.payload() for job in jobs],
+        "options": options.payload(),
+        "timeout": timeout,
+        "budget": budget,
+    }
+    return digest(payload)
+
+
+# ---------------------------------------------------------------------------
+# The crash-safe run journal
+
+
+def _result_payload(result: JobResult) -> Dict[str, object]:
+    """The journaled form of a settled job (metrics excluded)."""
+    return {
+        "job": result.job.payload(),
+        "key": result.key,
+        "status": result.status,
+        "cached": result.cached,
+        "duration_s": result.duration_s,
+        "subspec": result.subspec,
+        "error": result.error,
+        "error_kind": result.error_kind,
+        "attempts": result.attempts,
+        "quarantined": result.quarantined,
+        "explanation": result.explanation,
+    }
+
+
+def _result_from_payload(payload: Dict[str, object]) -> JobResult:
+    job_fields = dict(payload["job"])  # type: ignore[arg-type]
+    job_fields["fields"] = tuple(job_fields.get("fields") or ())
+    return JobResult(
+        job=ExplainJob(**job_fields),
+        key=payload.get("key"),  # type: ignore[arg-type]
+        status=str(payload["status"]),
+        cached=bool(payload.get("cached")),
+        duration_s=float(payload.get("duration_s") or 0.0),
+        subspec=str(payload.get("subspec") or ""),
+        error=payload.get("error"),  # type: ignore[arg-type]
+        error_kind=payload.get("error_kind"),  # type: ignore[arg-type]
+        attempts=int(payload.get("attempts") or 1),
+        quarantined=bool(payload.get("quarantined")),
+        explanation=payload.get("explanation"),  # type: ignore[arg-type]
+    )
+
+
+class RunJournal:
+    """An append-only, fsync'd record of settled jobs.
+
+    Layout: ``<cache_dir>/journal/<signature>.jsonl`` -- a header line
+    naming the schema and batch signature, then one line per settled
+    job.  Each line is flushed and fsync'd before the supervisor moves
+    on, so after SIGKILL the journal is a valid prefix of the run plus
+    at most one torn line, which replay ignores.
+    """
+
+    def __init__(self, cache_dir: str, signature: str) -> None:
+        self.signature = signature
+        self.path = os.path.join(cache_dir, "journal", f"{signature}.jsonl")
+        self._handle = None
+
+    # -- replay ---------------------------------------------------------
+
+    def replay(self) -> Dict[str, JobResult]:
+        """job id -> settled result from a prior (possibly killed) run.
+
+        An absent journal, a schema/signature mismatch, or a corrupt
+        header all replay to "nothing done"; a torn or garbled line
+        ends the replay at the last intact record.
+        """
+        try:
+            with open(self.path, "r", encoding="ascii") as handle:
+                lines = handle.read().splitlines()
+        except OSError:
+            return {}
+        if not lines:
+            return {}
+        try:
+            header = json.loads(lines[0])
+        except ValueError:
+            return {}
+        if (
+            not isinstance(header, dict)
+            or header.get("schema") != JOURNAL_SCHEMA
+            or header.get("batch") != self.signature
+        ):
+            return {}
+        results: Dict[str, JobResult] = {}
+        for line in lines[1:]:
+            try:
+                record = json.loads(line)
+                if not isinstance(record, dict) or "done" not in record:
+                    break
+                result = _result_from_payload(record["done"])
+            except (ValueError, KeyError, TypeError):
+                break  # torn tail: the crash landed mid-write
+            results[result.job.job_id] = result
+        return results
+
+    # -- writing --------------------------------------------------------
+
+    def start(self, fresh: bool) -> None:
+        """Open for appending; ``fresh`` truncates and re-headers."""
+        try:
+            os.makedirs(os.path.dirname(self.path), exist_ok=True)
+            exists = os.path.exists(self.path) and not fresh
+            if exists:
+                self._trim_torn_tail()
+            self._handle = open(
+                self.path, "a" if exists else "w", encoding="ascii"
+            )
+            if not exists:
+                self._write(
+                    {"schema": JOURNAL_SCHEMA, "batch": self.signature}
+                )
+        except OSError:
+            self._handle = None  # unwritable cache: run without a journal
+
+    def _trim_torn_tail(self) -> None:
+        """Cut the journal back to its last intact line.
+
+        Appending after a crash must not glue the first new record onto
+        the torn line the crash left behind -- that would garble a
+        *settled* record, not just the tail.
+        """
+        try:
+            with open(self.path, "rb") as handle:
+                raw = handle.read()
+        except OSError:
+            return
+        good = 0
+        for line in raw.splitlines(keepends=True):
+            if not line.endswith(b"\n"):
+                break
+            try:
+                json.loads(line.decode("ascii"))
+            except (ValueError, UnicodeDecodeError):
+                break
+            good += len(line)
+        if good < len(raw):
+            try:
+                with open(self.path, "r+b") as handle:
+                    handle.truncate(good)
+            except OSError:
+                pass
+
+    def record(self, result: JobResult) -> None:
+        self._write({"done": _result_payload(result)})
+
+    def _write(self, record: Dict[str, object]) -> None:
+        if self._handle is None:
+            return
+        try:
+            self._handle.write(canonical_json(record) + "\n")
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+        except (OSError, ValueError):
+            self._handle = None
+
+    def close(self) -> None:
+        if self._handle is not None:
+            try:
+                self._handle.close()
+            except OSError:
+                pass
+            self._handle = None
+
+
+# ---------------------------------------------------------------------------
+# The supervisor
+
+
+@dataclass
+class _Attempt:
+    """One dispatch of one job."""
+
+    index: int
+    job: ExplainJob
+    attempt: int = 1
+    #: Monotonic time before which the attempt must not be dispatched
+    #: (backoff); 0.0 dispatches immediately.
+    ready_at: float = 0.0
+    #: Monotonic dispatch time of the running attempt (watchdog clock).
+    started: float = field(default=0.0, compare=False)
+
+
+class Supervisor:
+    """Run one batch to completion despite worker death and hangs."""
+
+    def __init__(
+        self,
+        config: NetworkConfig,
+        specification: Specification,
+        jobs: List[ExplainJob],
+        options: Optional[FarmOptions] = None,
+        cache_dir: Optional[str] = None,
+        workers: int = 1,
+        timeout: Optional[float] = None,
+        budget: Optional[int] = None,
+        scenario: str = "batch",
+        policy: Optional[SupervisePolicy] = None,
+    ) -> None:
+        self.config = config
+        self.specification = specification
+        self.jobs = list(jobs)
+        self.options = options if options is not None else FarmOptions()
+        self.cache_dir = cache_dir
+        self.workers = max(1, workers)
+        self.timeout = timeout
+        self.budget = budget
+        self.scenario = scenario
+        self.policy = policy if policy is not None else SupervisePolicy()
+        if (
+            self.workers <= 1
+            and self.policy.chaos is not None
+            and self.policy.chaos.needs_process_isolation
+        ):
+            raise ValueError(
+                "chaos kill/hang events need a process pool (workers >= 2)"
+            )
+        self.metrics = MetricsRegistry()
+        #: job id -> per-attempt error chain (for the quarantine ledger).
+        self.errors: Dict[str, List[Dict[str, object]]] = {}
+
+    # -- public entry ---------------------------------------------------
+
+    def run(self) -> BatchReport:
+        started = time.perf_counter()
+        shares = split_budget(self.budget, len(self.jobs)) if self.jobs else None
+        store = (
+            ArtifactStore(self.cache_dir) if self.cache_dir is not None else None
+        )
+        results: Dict[int, JobResult] = {}
+        journal: Optional[RunJournal] = None
+        if self.cache_dir is not None:
+            signature = batch_signature(
+                self.config, self.specification, self.jobs, self.options,
+                timeout=self.timeout, budget=self.budget,
+            )
+            journal = RunJournal(self.cache_dir, signature)
+            if self.policy.resume:
+                replayed = journal.replay()
+                for index, job in enumerate(self.jobs):
+                    done = replayed.get(job.job_id)
+                    if done is not None:
+                        results[index] = done
+                        self.metrics.count("farm.supervise.resumed")
+            journal.start(fresh=not results)
+        pending = [
+            _Attempt(index=index, job=job)
+            for index, job in enumerate(self.jobs)
+            if index not in results
+        ]
+        try:
+            if self.workers <= 1:
+                self._run_serial(pending, shares, results, journal, store)
+            else:
+                self._run_pool(pending, shares, results, journal, store)
+        finally:
+            if journal is not None:
+                journal.close()
+        report = BatchReport(
+            scenario=self.scenario,
+            results=[results[index] for index in sorted(results)],
+            workers=self.workers,
+            wall_s=time.perf_counter() - started,
+        )
+        _merge_metrics(report)
+        report.metrics.merge(self.metrics)
+        return report
+
+    # -- shared settle/fail machinery -----------------------------------
+
+    def _share(self, shares, index: int) -> Optional[int]:
+        return shares[index] if shares is not None else None
+
+    def _settle(
+        self,
+        att: _Attempt,
+        result: JobResult,
+        now: float,
+        requeue,
+        results: Dict[int, JobResult],
+        journal: Optional[RunJournal],
+        store: Optional[ArtifactStore],
+    ) -> None:
+        """Fold one finished attempt into the batch state."""
+        if result.status == STATUS_ERROR and result.error_kind == TRANSIENT:
+            self._fail(
+                att, result.error or "transient failure", now, requeue,
+                results, journal, store, key=result.key,
+            )
+            return
+        result.attempts = att.attempt
+        results[att.index] = result
+        if journal is not None:
+            journal.record(result)
+
+    def _fail(
+        self,
+        att: _Attempt,
+        error_text: str,
+        now: float,
+        requeue,
+        results: Dict[int, JobResult],
+        journal: Optional[RunJournal],
+        store: Optional[ArtifactStore],
+        key: Optional[str] = None,
+    ) -> None:
+        """One transient failure: schedule a retry or quarantine."""
+        chain = self.errors.setdefault(att.job.job_id, [])
+        chain.append(
+            {"attempt": att.attempt, "error": error_text, "kind": TRANSIENT}
+        )
+        if att.attempt <= self.policy.max_retries:
+            self.metrics.count("farm.supervise.retry")
+            delay = backoff_delay(
+                self.policy.backoff_base, self.policy.backoff_cap,
+                att.job.job_id, att.attempt,
+            )
+            requeue(
+                replace(att, attempt=att.attempt + 1, ready_at=now + delay)
+            )
+            return
+        self.metrics.count("farm.supervise.quarantine")
+        result = JobResult(
+            job=att.job, key=key, status=STATUS_QUARANTINED, cached=False,
+            duration_s=0.0, error=error_text, error_kind=TRANSIENT,
+            attempts=att.attempt, quarantined=True,
+        )
+        results[att.index] = result
+        if store is not None:
+            store.quarantine_add(
+                {
+                    "job": att.job.job_id,
+                    "key": key,
+                    "attempts": att.attempt,
+                    "errors": chain,
+                }
+            )
+        if journal is not None:
+            journal.record(result)
+        quarantined = sum(1 for r in results.values() if r.quarantined)
+        limit = self.policy.max_quarantine
+        if limit is not None and quarantined > limit:
+            raise ReproError(
+                f"quarantine limit exceeded: {quarantined} jobs quarantined "
+                f"(--max-quarantine {limit})"
+            )
+
+    # -- serial mode ----------------------------------------------------
+
+    def _run_serial(self, pending, shares, results, journal, store) -> None:
+        """In-process loop: retries and quarantine, no watchdog.
+
+        Without a process boundary a hang cannot be interrupted, so
+        ``hang_timeout`` is inert here -- the CLI documents that the
+        watchdog needs ``-j 2`` or more.
+        """
+        queue: Deque[_Attempt] = deque(pending)
+        while queue:
+            att = queue.popleft()
+            now = time.monotonic()
+            if att.ready_at > now:
+                time.sleep(att.ready_at - now)
+            result = run_job(
+                self.config, self.specification, att.job, self.options,
+                self.cache_dir, self.timeout, self._share(shares, att.index),
+                attempt=att.attempt, chaos=self.policy.chaos,
+            )
+            self._settle(
+                att, result, time.monotonic(), queue.append,
+                results, journal, store,
+            )
+
+    # -- pool mode ------------------------------------------------------
+
+    def _new_pool(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(max_workers=self.workers)
+
+    def _abandon_pool(self, pool: ProcessPoolExecutor) -> None:
+        """Tear a (broken or hung) pool down without waiting on it.
+
+        ``_processes`` is private executor state, but terminating the
+        children is the only way to reclaim a worker stuck in a
+        non-cooperative hang; the executor object itself is abandoned
+        either way, so a future stdlib rearrangement degrades this to
+        "leak one hung process", never to wrong results.
+        """
+        for process in list((getattr(pool, "_processes", None) or {}).values()):
+            try:
+                process.terminate()
+            except Exception:
+                pass
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:
+            pass
+
+    def _dispatch(
+        self, pool: ProcessPoolExecutor, att: _Attempt, shares
+    ) -> Future:
+        att.started = time.monotonic()
+        return pool.submit(
+            run_job, self.config, self.specification, att.job, self.options,
+            self.cache_dir, self.timeout, self._share(shares, att.index),
+            att.attempt, self.policy.chaos,
+        )
+
+    def _run_pool(self, pending, shares, results, journal, store) -> None:
+        waiting: Deque[_Attempt] = deque(pending)
+        backoff: List[_Attempt] = []
+        inflight: Dict[Future, _Attempt] = {}
+        pool = self._new_pool()
+        try:
+            while waiting or backoff or inflight:
+                now = time.monotonic()
+                due = [att for att in backoff if att.ready_at <= now]
+                if due:
+                    backoff = [a for a in backoff if a.ready_at > now]
+                    waiting.extend(sorted(due, key=lambda a: a.index))
+                while waiting and len(inflight) < self.workers:
+                    att = waiting.popleft()
+                    inflight[self._dispatch(pool, att, shares)] = att
+                if not inflight:
+                    next_ready = min(att.ready_at for att in backoff)
+                    time.sleep(max(0.0, min(next_ready - now, _TICK_S)))
+                    continue
+                done, _ = wait(
+                    set(inflight), timeout=_TICK_S,
+                    return_when=FIRST_COMPLETED,
+                )
+                now = time.monotonic()
+                rebuild = False
+                for future in done:
+                    att = inflight.pop(future)
+                    error = future.exception()
+                    if error is None:
+                        self._settle(
+                            att, future.result(), now, backoff.append,
+                            results, journal, store,
+                        )
+                    else:
+                        # The worker (or the whole pool) died under the
+                        # job: transient by definition.
+                        rebuild = True
+                        self.metrics.count("farm.supervise.crash")
+                        self._fail(
+                            att,
+                            f"{type(error).__name__}: {error}",
+                            now, backoff.append, results, journal, store,
+                        )
+                if self.policy.hang_timeout is not None:
+                    hung = [
+                        future
+                        for future, att in inflight.items()
+                        if now - att.started > self.policy.hang_timeout
+                    ]
+                    for future in hung:
+                        att = inflight.pop(future)
+                        rebuild = True
+                        self.metrics.count("farm.supervise.hang")
+                        self._fail(
+                            att,
+                            f"WorkerHang: no result within "
+                            f"{self.policy.hang_timeout}s (watchdog)",
+                            now, backoff.append, results, journal, store,
+                        )
+                if rebuild:
+                    # Innocent in-flight siblings go back to the front
+                    # of the queue at their *current* attempt number: a
+                    # neighbor's death must not burn their retries.
+                    for att in inflight.values():
+                        waiting.append(att)
+                    inflight.clear()
+                    self._abandon_pool(pool)
+                    pool = self._new_pool()
+                    self.metrics.count("farm.supervise.pool_rebuild")
+        finally:
+            if inflight:
+                # Aborted mid-flight (e.g. quarantine limit): do not
+                # wait on workers that may be hung or dying.
+                self._abandon_pool(pool)
+            else:
+                pool.shutdown(wait=True)
+
+
+def run_supervised(
+    config: NetworkConfig,
+    specification: Specification,
+    jobs: List[ExplainJob],
+    options: Optional[FarmOptions] = None,
+    cache_dir: Optional[str] = None,
+    workers: int = 1,
+    timeout: Optional[float] = None,
+    budget: Optional[int] = None,
+    scenario: str = "batch",
+    policy: Optional[SupervisePolicy] = None,
+) -> BatchReport:
+    """Answer every job under supervision; see :class:`Supervisor`."""
+    return Supervisor(
+        config, specification, jobs, options, cache_dir, workers,
+        timeout, budget, scenario, policy,
+    ).run()

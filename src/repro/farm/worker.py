@@ -15,13 +15,22 @@ Per-job flow::
 
 Failures are contained: any exception becomes an ``ERROR`` result with
 the per-job metrics collected so far -- one failing device never kills
-the batch.  Degraded (governed) runs return their status but are never
-cached; a later run with more budget must not be served a truncated
-answer.
+the batch.  Each error is classified transient or permanent
+(:func:`repro.runtime.error_kind`) inside the worker, so the
+supervisor on the other side of the process boundary knows whether a
+retry can help without re-raising anything.  Degraded (governed) runs
+return their status but are never cached; a later run with more budget
+must not be served a truncated answer.
+
+Chaos hooks: when a :class:`~repro.runtime.ChaosPlan` rides along, the
+worker consults it when it picks the job up (kill / hang / flaky) and
+again after persisting artifacts (corrupt) -- see
+``tests/farm/test_chaos.py`` for the recovery paths this exercises.
 """
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Dict, Optional
@@ -29,7 +38,16 @@ from typing import Dict, Optional
 from ..bgp.config import NetworkConfig
 from ..explain.engine import Explanation, ExplanationEngine, ExplanationStatus
 from ..obs import Instrumentation, MetricsRegistry
-from ..runtime import Governor
+from ..runtime import (
+    CHAOS_CORRUPT,
+    CHAOS_FLAKY,
+    CHAOS_HANG,
+    CHAOS_KILL,
+    ChaosPlan,
+    Governor,
+    TransientError,
+    error_kind,
+)
 from ..spec.ast import Specification
 from ..synthesis.symexec import AttributeUniverse
 from .invalidate import readset_valid
@@ -38,11 +56,23 @@ from .keys import FarmOptions, job_key
 from .readset import TransferRecorder
 from .store import ArtifactStore, JobStore
 
-__all__ = ["JobResult", "run_job", "STATUS_ERROR", "STATUS_CACHED"]
+__all__ = [
+    "JobResult",
+    "run_job",
+    "STATUS_ERROR",
+    "STATUS_CACHED",
+    "STATUS_QUARANTINED",
+]
 
 #: Statuses beyond the engine's ExplanationStatus values.
 STATUS_ERROR = "ERROR"
 STATUS_CACHED = "CACHED"
+#: Assigned by the supervisor when a job exhausts its retries.
+STATUS_QUARANTINED = "QUARANTINED"
+
+#: 1-based count of jobs this worker process has picked up; chaos
+#: events can target "the Nth job of a worker" through it.
+_JOB_ORDINAL = 0
 
 
 @dataclass
@@ -56,6 +86,14 @@ class JobResult:
     duration_s: float
     subspec: str = ""
     error: Optional[str] = None
+    #: ``"transient"`` / ``"permanent"`` for errored jobs (the
+    #: supervisor's retry decision), ``None`` otherwise.
+    error_kind: Optional[str] = None
+    #: How many attempts this job consumed (set by the supervisor; the
+    #: unsupervised path always reports 1).
+    attempts: int = 1
+    #: Whether the job exhausted its retries and was quarantined.
+    quarantined: bool = False
     #: The schema-stamped explanation payload (timings stripped), for
     #: ``--json`` reports and byte-level result comparisons.  ``None``
     #: for errored jobs.
@@ -83,6 +121,9 @@ class JobResult:
             "duration_s": round(self.duration_s, 4),
             "key": self.key,
             "error": self.error,
+            "error_kind": self.error_kind,
+            "attempts": self.attempts,
+            "quarantined": self.quarantined,
         }
 
 
@@ -102,16 +143,60 @@ def _sketch_universe_of(sketch: NetworkConfig) -> AttributeUniverse:
     return AttributeUniverse.collect(configs, sketch.topology)
 
 
+def _apply_pickup_chaos(
+    chaos: Optional[ChaosPlan], job_id: str, ordinal: int, attempt: int
+) -> None:
+    """Kill / hang / flaky faults fire when the worker picks a job up."""
+    if chaos is None:
+        return
+    if chaos.select(CHAOS_KILL, job_id, ordinal, attempt):
+        os._exit(chaos.select(CHAOS_KILL, job_id, ordinal, attempt)[0].exit_code)
+    for event in chaos.select(CHAOS_HANG, job_id, ordinal, attempt):
+        time.sleep(event.seconds)
+    for event in chaos.select(CHAOS_FLAKY, job_id, ordinal, attempt):
+        raise TransientError(
+            f"injected transient fault ({job_id} attempt {attempt})"
+        )
+
+
+def _apply_corrupt_chaos(
+    chaos: Optional[ChaosPlan],
+    store: Optional[ArtifactStore],
+    job_id: str,
+    key: str,
+    ordinal: int,
+    attempt: int,
+) -> None:
+    """Truncate stored artifacts the plan marks for corruption."""
+    if chaos is None or store is None:
+        return
+    for event in chaos.select(CHAOS_CORRUPT, job_id, ordinal, attempt):
+        path = store.path_for(key, event.stage)
+        try:
+            size = os.path.getsize(path)
+            with open(path, "r+b") as handle:
+                handle.truncate(max(1, size // 2))
+        except OSError:
+            pass
+
+
 def run_job(
     config: NetworkConfig,
     specification: Specification,
     job: ExplainJob,
-    options: FarmOptions = FarmOptions(),
+    options: Optional[FarmOptions] = None,
     cache_dir: Optional[str] = None,
     timeout: Optional[float] = None,
     budget: Optional[int] = None,
+    attempt: int = 1,
+    chaos: Optional[ChaosPlan] = None,
 ) -> JobResult:
     """Answer one job, consulting and feeding the artifact store."""
+    global _JOB_ORDINAL
+    _JOB_ORDINAL += 1
+    ordinal = _JOB_ORDINAL
+    if options is None:
+        options = FarmOptions()
     started = time.perf_counter()
     obs = Instrumentation()
     store = ArtifactStore(cache_dir) if cache_dir is not None else None
@@ -126,6 +211,7 @@ def run_job(
         return result
 
     try:
+        _apply_pickup_chaos(chaos, job.job_id, ordinal, attempt)
         sketch, holes = job.symbolize(config)
         key = job_key(config, specification, job, options, holes=holes)
     except Exception as exc:
@@ -133,6 +219,7 @@ def run_job(
             JobResult(
                 job=job, key=None, status=STATUS_ERROR, cached=False,
                 duration_s=0.0, error=f"{type(exc).__name__}: {exc}",
+                error_kind=error_kind(exc),
             )
         )
 
@@ -178,6 +265,7 @@ def run_job(
             store.save(key, "explanation", payload)
             universe = _sketch_universe_of(sketch)
             store.save(key, "readset", recorder.payload(config, universe))
+            _apply_corrupt_chaos(chaos, store, job.job_id, key, ordinal, attempt)
         return finish(
             JobResult(
                 job=job, key=key, status=explanation.status.value,
@@ -192,5 +280,6 @@ def run_job(
             JobResult(
                 job=job, key=key, status=STATUS_ERROR, cached=False,
                 duration_s=0.0, error=f"{type(exc).__name__}: {exc}",
+                error_kind=error_kind(exc),
             )
         )

@@ -21,10 +21,25 @@ from .errors import (
     DeadlineExceeded,
     EnumerationTruncated,
     GOVERNED_ERRORS,
+    PERMANENT,
     ReproError,
     ResourceExhausted,
+    TRANSIENT,
+    TransientError,
+    WorkerCrash,
+    error_kind,
+    is_transient,
 )
-from .faults import FaultPlan, FaultSpec
+from .faults import (
+    CHAOS_CORRUPT,
+    CHAOS_FLAKY,
+    CHAOS_HANG,
+    CHAOS_KILL,
+    ChaosEvent,
+    ChaosPlan,
+    FaultPlan,
+    FaultSpec,
+)
 from .governor import CancelToken, Deadline, Governor, WorkBudget, split_budget
 
 __all__ = [
@@ -33,7 +48,13 @@ __all__ = [
     "DeadlineExceeded",
     "Cancelled",
     "EnumerationTruncated",
+    "TransientError",
+    "WorkerCrash",
     "GOVERNED_ERRORS",
+    "TRANSIENT",
+    "PERMANENT",
+    "error_kind",
+    "is_transient",
     "Deadline",
     "WorkBudget",
     "CancelToken",
@@ -41,4 +62,10 @@ __all__ = [
     "split_budget",
     "FaultPlan",
     "FaultSpec",
+    "ChaosPlan",
+    "ChaosEvent",
+    "CHAOS_KILL",
+    "CHAOS_HANG",
+    "CHAOS_FLAKY",
+    "CHAOS_CORRUPT",
 ]

@@ -12,17 +12,31 @@ The taxonomy::
     ├── ResourceExhausted          a work budget ran out
     │   └── DeadlineExceeded       the wall-clock deadline passed
     ├── Cancelled                  cooperative cancellation was requested
-    └── EnumerationTruncated       a model enumeration hit its limit
-                                   with models still remaining
+    ├── EnumerationTruncated       a model enumeration hit its limit
+    │                              with models still remaining
+    └── TransientError             an infrastructure fault that may pass
+        └── WorkerCrash            a worker process died mid-job
 
 ``EnumerationTruncated`` carries the partial count so callers can still
 use the lower bound.  ``GOVERNED_ERRORS`` is the tuple to catch when a
 caller wants to degrade gracefully on any governed interruption.
+
+Transient vs. permanent
+-----------------------
+The batch supervisor (:mod:`repro.farm.supervise`) retries failures it
+has reason to believe will not recur -- a worker process killed by the
+OS, a broken process pool, an I/O hiccup, an injected chaos fault --
+and fails fast on failures that are properties of the *question* (an
+unsatisfiable instance, an exhausted budget, a symbolization error):
+re-asking those can only waste the batch's time.  :func:`error_kind`
+encodes that policy in one place; both the worker and the supervisor
+consult it so a failure is classified identically on both sides of the
+process boundary.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Union
 
 __all__ = [
     "ReproError",
@@ -30,7 +44,13 @@ __all__ = [
     "DeadlineExceeded",
     "Cancelled",
     "EnumerationTruncated",
+    "TransientError",
+    "WorkerCrash",
     "GOVERNED_ERRORS",
+    "TRANSIENT",
+    "PERMANENT",
+    "error_kind",
+    "is_transient",
 ]
 
 
@@ -91,6 +111,62 @@ class EnumerationTruncated(ReproError):
         self.count = count
 
 
+class TransientError(ReproError):
+    """An infrastructure fault that may pass on retry.
+
+    Raised (or injected) for conditions that are properties of the
+    *execution*, not the question being asked: flaky I/O, a chaos-plan
+    fault, a worker lost mid-flight.  The batch supervisor retries
+    these with backoff instead of failing the job.
+    """
+
+    def __init__(self, message: str, stage: Optional[str] = None) -> None:
+        super().__init__(message)
+        self.stage = stage
+
+
+class WorkerCrash(TransientError):
+    """A worker process died (killed, OOM, broken pool) mid-job."""
+
+
 #: The exceptions a governed loop may raise when interrupted; catch this
 #: tuple to degrade gracefully instead of crashing.
 GOVERNED_ERRORS = (ResourceExhausted, Cancelled)
+
+#: Classification labels for :func:`error_kind`.
+TRANSIENT = "transient"
+PERMANENT = "permanent"
+
+
+def error_kind(error: Union[BaseException, type]) -> str:
+    """``TRANSIENT`` or ``PERMANENT`` for a failure.
+
+    Transient: :class:`TransientError` (incl. :class:`WorkerCrash`),
+    any :class:`concurrent.futures` executor breakage, plain
+    :class:`OSError` I/O trouble and pickling failures at the process
+    boundary.  Everything else -- governed exhaustion, cancellation,
+    unsatisfiable instances, genuine bugs -- is permanent: the same
+    question would fail the same way again.
+    """
+    cls = error if isinstance(error, type) else type(error)
+    if issubclass(cls, TransientError):
+        return TRANSIENT
+    if issubclass(cls, GOVERNED_ERRORS) or issubclass(cls, ReproError):
+        return PERMANENT
+    try:  # BrokenExecutor covers BrokenProcessPool
+        from concurrent.futures import BrokenExecutor
+
+        if issubclass(cls, BrokenExecutor):
+            return TRANSIENT
+    except ImportError:  # pragma: no cover - stdlib always has it
+        pass
+    import pickle
+
+    if issubclass(cls, (OSError, EOFError, pickle.PickleError)):
+        return TRANSIENT
+    return PERMANENT
+
+
+def is_transient(error: Union[BaseException, type]) -> bool:
+    """Whether a failure is worth retrying (see :func:`error_kind`)."""
+    return error_kind(error) == TRANSIENT

@@ -15,16 +15,47 @@ dies mid-search?" into a reproducible unit test::
 message), a ready-made exception instance, or a zero-argument callable
 returning one -- whatever the test needs.  ``plan.fired`` records every
 fault that actually triggered, so tests can assert the fault was hit.
+
+Process-level chaos
+-------------------
+:class:`FaultPlan` injects *inside* a governed loop; :class:`ChaosPlan`
+extends the same idea to the process level for the batch farm.  A
+chaos plan is a frozen, picklable schedule of worker-level events --
+kill the worker at a given job, hang it, fail the first K attempts of
+a job with a :class:`~repro.runtime.errors.TransientError`, corrupt a
+stored artifact right after it is written -- each keyed by job id (or
+per-process job ordinal) and attempt number, so every recovery path of
+the supervisor can be exercised deterministically::
+
+    plan = (ChaosPlan()
+            .kill("R2/router/Req1")           # worker dies on attempt 1
+            .flaky("R1/router/Req1", times=2) # transient on attempts 1-2
+            .corrupt("R2/router/Req1"))       # truncate the stored answer
+
+``ChaosPlan.parse`` accepts the same schedule as compact text (the
+CLI's ``--chaos`` flag): ``kill@JOB``, ``hang[:SECONDS]@JOB``,
+``flaky[:TIMES]@JOB``, ``corrupt[:STAGE]@JOB``, comma-separated, where
+``JOB`` is a job id, ``#N`` for the Nth job a worker process picks up,
+or ``*`` for any job.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, List, Optional, Tuple, Union
 
 from .errors import ResourceExhausted
 
-__all__ = ["FaultPlan", "FaultSpec"]
+__all__ = [
+    "FaultPlan",
+    "FaultSpec",
+    "ChaosPlan",
+    "ChaosEvent",
+    "CHAOS_KILL",
+    "CHAOS_HANG",
+    "CHAOS_FLAKY",
+    "CHAOS_CORRUPT",
+]
 
 ExcLike = Union[BaseException, type, Callable[[], BaseException]]
 
@@ -96,3 +127,187 @@ class FaultPlan:
     def exhausted(self) -> bool:
         """Whether every armed one-shot fault has triggered."""
         return all(spec.triggered > 0 for spec in self._specs if spec.once)
+
+
+# ---------------------------------------------------------------------------
+# Process-level chaos
+
+CHAOS_KILL = "kill"
+CHAOS_HANG = "hang"
+CHAOS_FLAKY = "flaky"
+CHAOS_CORRUPT = "corrupt"
+
+_CHAOS_ACTIONS = (CHAOS_KILL, CHAOS_HANG, CHAOS_FLAKY, CHAOS_CORRUPT)
+
+
+@dataclass(frozen=True)
+class ChaosEvent:
+    """One armed process-level fault.
+
+    A worker consults the plan once per job (and once more before
+    persisting artifacts); an event fires when its target matches and
+    the current attempt number is at most ``attempts`` -- so a fault
+    armed with ``attempts=1`` hits the first try and lets the
+    supervisor's retry succeed, while ``attempts=99`` drives the job
+    into quarantine.
+    """
+
+    action: str
+    #: Match by job id; ``None`` matches any job.
+    job_id: Optional[str] = None
+    #: Match by the 1-based ordinal of the job within its worker
+    #: process (``kill the worker at its Nth job``); ``None`` ignores.
+    ordinal: Optional[int] = None
+    #: Fire while the job's attempt number is <= this.
+    attempts: int = 1
+    #: Hang duration (``hang`` only); the watchdog is expected to kill
+    #: the worker long before this elapses.
+    seconds: float = 3600.0
+    #: Artifact stage to corrupt (``corrupt`` only).
+    stage: str = "explanation"
+    #: Process exit status for ``kill`` (137 = SIGKILL's shell code).
+    exit_code: int = 137
+
+    def __post_init__(self) -> None:
+        if self.action not in _CHAOS_ACTIONS:
+            raise ValueError(f"unknown chaos action {self.action!r}")
+        if self.attempts < 1:
+            raise ValueError(f"attempts must be >= 1, got {self.attempts}")
+
+    def matches(self, job_id: str, ordinal: int, attempt: int) -> bool:
+        if self.job_id is not None and self.job_id != job_id:
+            return False
+        if self.ordinal is not None and self.ordinal != ordinal:
+            return False
+        return attempt <= self.attempts
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """A frozen, picklable schedule of worker-level chaos events."""
+
+    events: Tuple[ChaosEvent, ...] = ()
+
+    # -- builders (each returns a new plan; the plan itself is frozen
+    # -- so it can cross the process boundary safely) -------------------
+
+    def _with(self, event: ChaosEvent) -> "ChaosPlan":
+        return replace(self, events=self.events + (event,))
+
+    def kill(
+        self,
+        job_id: Optional[str] = None,
+        ordinal: Optional[int] = None,
+        attempts: int = 1,
+    ) -> "ChaosPlan":
+        """Kill the worker process outright when it picks up the job."""
+        return self._with(
+            ChaosEvent(CHAOS_KILL, job_id=job_id, ordinal=ordinal, attempts=attempts)
+        )
+
+    def hang(
+        self,
+        job_id: Optional[str] = None,
+        ordinal: Optional[int] = None,
+        seconds: float = 3600.0,
+        attempts: int = 1,
+    ) -> "ChaosPlan":
+        """Make the worker sleep mid-job (a hang for the watchdog)."""
+        return self._with(
+            ChaosEvent(
+                CHAOS_HANG, job_id=job_id, ordinal=ordinal,
+                seconds=seconds, attempts=attempts,
+            )
+        )
+
+    def flaky(
+        self,
+        job_id: Optional[str] = None,
+        ordinal: Optional[int] = None,
+        times: int = 1,
+    ) -> "ChaosPlan":
+        """Raise a ``TransientError`` on the job's first ``times`` attempts."""
+        return self._with(
+            ChaosEvent(CHAOS_FLAKY, job_id=job_id, ordinal=ordinal, attempts=times)
+        )
+
+    def corrupt(
+        self,
+        job_id: Optional[str] = None,
+        ordinal: Optional[int] = None,
+        stage: str = "explanation",
+        attempts: int = 1,
+    ) -> "ChaosPlan":
+        """Truncate the named stored artifact right after it is written."""
+        return self._with(
+            ChaosEvent(
+                CHAOS_CORRUPT, job_id=job_id, ordinal=ordinal,
+                stage=stage, attempts=attempts,
+            )
+        )
+
+    # -- selection ------------------------------------------------------
+
+    def select(
+        self, action: str, job_id: str, ordinal: int, attempt: int
+    ) -> List[ChaosEvent]:
+        """The armed events of ``action`` matching this (job, attempt)."""
+        return [
+            event
+            for event in self.events
+            if event.action == action and event.matches(job_id, ordinal, attempt)
+        ]
+
+    @property
+    def needs_process_isolation(self) -> bool:
+        """Whether the plan would take down a serial (in-process) run."""
+        return any(
+            event.action in (CHAOS_KILL, CHAOS_HANG) for event in self.events
+        )
+
+    # -- text form (the CLI's --chaos flag) ----------------------------
+
+    @classmethod
+    def parse(cls, text: str) -> "ChaosPlan":
+        """``kill@JOB,hang[:S]@JOB,flaky[:K]@JOB,corrupt[:STAGE]@JOB``.
+
+        ``JOB`` is a job id, ``#N`` (per-worker-process ordinal) or
+        ``*`` (any job).
+        """
+        plan = cls()
+        for clause in text.split(","):
+            clause = clause.strip()
+            if not clause:
+                continue
+            head, sep, target = clause.partition("@")
+            if not sep or not target:
+                raise ValueError(f"chaos clause {clause!r} needs @TARGET")
+            action, _, qualifier = head.partition(":")
+            if action not in _CHAOS_ACTIONS:
+                raise ValueError(f"unknown chaos action {action!r} in {clause!r}")
+            job_id: Optional[str] = None
+            ordinal: Optional[int] = None
+            if target == "*":
+                pass
+            elif target.startswith("#"):
+                ordinal = int(target[1:])
+            else:
+                job_id = target
+            if action == CHAOS_KILL:
+                plan = plan.kill(job_id, ordinal)
+            elif action == CHAOS_HANG:
+                seconds = float(qualifier) if qualifier else 3600.0
+                plan = plan.hang(job_id, ordinal, seconds=seconds)
+            elif action == CHAOS_FLAKY:
+                times = int(qualifier) if qualifier else 1
+                plan = plan.flaky(job_id, ordinal, times=times)
+            else:
+                # Parsed corrupt events fire on every attempt: the CLI
+                # intent is "this job's stored artifact ends up bad",
+                # regardless of which attempt wrote it.  Attempt-scoped
+                # corruption is a builder-only (test) concern.
+                stage = qualifier or "explanation"
+                plan = plan.corrupt(
+                    job_id, ordinal, stage=stage, attempts=1_000_000
+                )
+        return plan

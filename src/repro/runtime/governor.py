@@ -21,29 +21,40 @@ behaviour.
 from __future__ import annotations
 
 import time
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Optional, Tuple
 
 from .errors import Cancelled, DeadlineExceeded, ResourceExhausted
 
 __all__ = ["Deadline", "WorkBudget", "CancelToken", "Governor", "split_budget"]
 
 
-def split_budget(total: Optional[int], jobs: int) -> Optional[int]:
-    """An even per-job share of an aggregate work budget.
+def split_budget(total: Optional[int], jobs: int) -> Optional[Tuple[int, ...]]:
+    """Deterministic per-job shares of an aggregate work budget.
 
     Used by the batch farm to hand each of ``jobs`` jobs its own
     governor while honouring one ``--budget N`` flag for the whole
-    batch.  Remainder units are dropped rather than redistributed so
-    every job gets the same (deterministic) limit; ``None`` (unlimited)
-    splits to ``None``.  Each job is guaranteed at least one unit so a
-    tiny budget over a large batch degrades jobs individually instead
-    of zeroing them all.
+    batch.  The shares sum to exactly ``total`` (no remainder unit is
+    silently dropped): the first ``total % jobs`` jobs get one extra
+    unit, and since batch enumeration order is deterministic, so is
+    every job's share.  ``None`` (unlimited) splits to ``None``.
+
+    The one documented exception to exact conservation: every job is
+    guaranteed at least one unit, so a budget smaller than the job
+    count is inflated to one unit per job -- a tiny budget over a
+    large batch degrades jobs individually instead of zeroing them
+    all.
     """
     if total is None:
         return None
     if jobs <= 0:
         raise ValueError(f"cannot split a budget across {jobs} jobs")
-    return max(1, total // jobs)
+    base, remainder = divmod(total, jobs)
+    shares = tuple(
+        base + 1 if index < remainder else base for index in range(jobs)
+    )
+    if base == 0:
+        shares = tuple(max(1, share) for share in shares)
+    return shares
 
 
 class Deadline:

@@ -1,0 +1,270 @@
+"""Chaos suite: every supervisor recovery path, deterministically.
+
+Each test arms a :class:`ChaosPlan` against scenario1's two jobs and
+asserts the batch completes with every job reported exactly once --
+completed, retried-then-completed, or quarantined with its error
+chain -- plus the resume-after-crash contract of the run journal.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.farm import (
+    ArtifactStore,
+    FarmOptions,
+    SupervisePolicy,
+    Supervisor,
+    batch_signature,
+    enumerate_jobs,
+    run_supervised,
+)
+from repro.farm.keys import canonical_json
+from repro.runtime import ChaosPlan, ReproError
+
+
+def _policy(**kwargs):
+    kwargs.setdefault("backoff_base", 0.0)  # no sleeping in tests
+    return SupervisePolicy(**kwargs)
+
+
+def _answers(report):
+    """job -> canonical answer text, timings excluded."""
+    return {
+        result.job.job_id: canonical_json(
+            {**result.explanation, "timings": {}}
+        )
+        for result in report.results
+        if result.explanation is not None
+    }
+
+
+def _supervise(s1, jobs, cache_dir, **kwargs):
+    policy_kwargs = kwargs.pop("policy", {})
+    return run_supervised(
+        s1.paper_config, s1.specification, jobs,
+        cache_dir=cache_dir, scenario="scenario1",
+        policy=_policy(**policy_kwargs), **kwargs,
+    )
+
+
+@pytest.fixture()
+def jobs(s1):
+    return enumerate_jobs(s1.paper_config, s1.specification)
+
+
+# -- retry / backoff ----------------------------------------------------
+
+
+def test_flaky_job_retries_then_succeeds(s1, jobs, tmp_path):
+    plan = ChaosPlan().flaky(jobs[0].job_id, times=2)
+    report = _supervise(
+        s1, jobs, str(tmp_path), policy={"chaos": plan, "max_retries": 2}
+    )
+    by_id = {r.job.job_id: r for r in report.results}
+    assert by_id[jobs[0].job_id].status == "EXACT"
+    assert by_id[jobs[0].job_id].attempts == 3
+    assert by_id[jobs[1].job_id].attempts == 1
+    assert report.metrics.counters["farm.supervise.retry"] == 2
+    assert report.quarantined == 0 and report.failed == 0
+
+
+def test_permanent_failure_fails_fast(s1, tmp_path):
+    from repro.farm import ExplainJob
+
+    jobs = enumerate_jobs(s1.paper_config, s1.specification)
+    poisoned = jobs + [ExplainJob("R3")]  # nothing to symbolize: permanent
+    report = _supervise(s1, poisoned, str(tmp_path))
+    bad = [r for r in report.results if r.status == "ERROR"]
+    assert len(bad) == 1 and bad[0].attempts == 1
+    assert bad[0].error_kind == "permanent"
+    assert "farm.supervise.retry" not in report.metrics.counters
+    assert report.completed == len(jobs)
+
+
+# -- quarantine ---------------------------------------------------------
+
+
+def test_retry_exhaustion_quarantines_with_error_chain(s1, jobs, tmp_path):
+    plan = ChaosPlan().flaky(jobs[0].job_id, times=99)
+    report = _supervise(
+        s1, jobs, str(tmp_path), policy={"chaos": plan, "max_retries": 2}
+    )
+    by_id = {r.job.job_id: r for r in report.results}
+    victim = by_id[jobs[0].job_id]
+    assert victim.status == "QUARANTINED" and victim.quarantined
+    assert victim.attempts == 3  # 1 + max_retries
+    assert by_id[jobs[1].job_id].status == "EXACT"
+    assert report.quarantined == 1 and report.failed == 0
+
+    entries = ArtifactStore(str(tmp_path)).quarantine_entries()
+    assert len(entries) == 1
+    assert entries[0]["job"] == jobs[0].job_id
+    assert entries[0]["attempts"] == 3
+    chain = entries[0]["errors"]
+    assert [e["attempt"] for e in chain] == [1, 2, 3]
+    assert all(e["kind"] == "transient" for e in chain)
+
+    # The report document carries the partial-but-honest accounting.
+    totals = report.to_dict()["totals"]
+    assert totals["quarantined"] == 1 and totals["completed"] == 1
+
+
+def test_max_quarantine_aborts_the_batch(s1, jobs, tmp_path):
+    plan = ChaosPlan().flaky(times=99)  # every job is flaky
+    with pytest.raises(ReproError, match="quarantine limit"):
+        _supervise(
+            s1, jobs, str(tmp_path),
+            policy={"chaos": plan, "max_retries": 0, "max_quarantine": 0},
+        )
+
+
+# -- worker death and hangs (need a real process pool) ------------------
+
+
+def test_worker_kill_mid_batch_completes(s1, jobs, tmp_path):
+    plan = ChaosPlan().kill(jobs[1].job_id)
+    report = _supervise(
+        s1, jobs, str(tmp_path), workers=2, policy={"chaos": plan}
+    )
+    assert sorted(r.job.job_id for r in report.results) == sorted(
+        j.job_id for j in jobs
+    )
+    assert all(r.status == "EXACT" for r in report.results)
+    by_id = {r.job.job_id: r for r in report.results}
+    assert by_id[jobs[1].job_id].attempts >= 2
+    counters = report.metrics.counters
+    assert counters["farm.supervise.pool_rebuild"] >= 1
+    assert counters["farm.supervise.crash"] >= 1
+
+
+def test_hung_worker_is_detected_and_replaced(s1, jobs, tmp_path):
+    plan = ChaosPlan().hang(jobs[0].job_id, seconds=60.0)
+    report = _supervise(
+        s1, jobs, str(tmp_path), workers=2,
+        policy={"chaos": plan, "hang_timeout": 1.0},
+    )
+    by_id = {r.job.job_id: r for r in report.results}
+    assert all(r.status == "EXACT" for r in report.results)
+    assert by_id[jobs[0].job_id].attempts == 2
+    # The sibling was re-dispatched without burning an attempt.
+    assert by_id[jobs[1].job_id].attempts == 1
+    counters = report.metrics.counters
+    assert counters["farm.supervise.hang"] == 1
+    assert counters["farm.supervise.pool_rebuild"] >= 1
+    assert report.wall_s < 30.0  # nobody waited for the 60s sleep
+
+
+def test_kill_and_corrupt_chaos_keeps_cache_healthy(s1, jobs, tmp_path):
+    """The acceptance scenario: one killed worker plus one corrupted
+    artifact; the batch completes and the next (warm) run still
+    produces byte-identical answers."""
+    plan = (
+        ChaosPlan()
+        .kill(jobs[1].job_id)
+        .corrupt(jobs[0].job_id, stage="explanation", attempts=99)
+    )
+    chaotic = _supervise(
+        s1, jobs, str(tmp_path), workers=2, policy={"chaos": plan}
+    )
+    assert all(r.status == "EXACT" for r in chaotic.results)
+    warm = _supervise(s1, jobs, str(tmp_path))
+    assert not any(r.status == "ERROR" for r in warm.results)
+    cold = _supervise(s1, jobs, None)
+    assert _answers(warm) == _answers(cold)
+
+
+def test_chaos_kill_requires_process_isolation(s1, jobs, tmp_path):
+    with pytest.raises(ValueError, match="workers >= 2"):
+        Supervisor(
+            s1.paper_config, s1.specification, jobs,
+            cache_dir=str(tmp_path), workers=1,
+            policy=_policy(chaos=ChaosPlan().kill()),
+        )
+
+
+# -- corrupt artifacts --------------------------------------------------
+
+
+def test_corrupted_artifact_degrades_to_recompute(s1, jobs, tmp_path):
+    plan = ChaosPlan().corrupt(jobs[0].job_id, stage="explanation")
+    first = _supervise(s1, jobs, str(tmp_path), policy={"chaos": plan})
+    assert all(r.status == "EXACT" for r in first.results)
+
+    warm = _supervise(s1, jobs, str(tmp_path))
+    by_id = {r.job.job_id: r for r in warm.results}
+    # The corrupted answer reads as a miss and recomputes; the intact
+    # sibling is served from the cache.
+    assert not by_id[jobs[0].job_id].cached
+    assert by_id[jobs[1].job_id].cached
+    assert _answers(warm) == _answers(first)
+
+
+# -- crash-safe resume --------------------------------------------------
+
+
+def _journal_path(s1, jobs, cache_dir, **kwargs):
+    signature = batch_signature(
+        s1.paper_config, s1.specification, jobs, FarmOptions(), **kwargs
+    )
+    return os.path.join(cache_dir, "journal", f"{signature}.jsonl")
+
+
+def test_journal_records_every_job_exactly_once(s1, jobs, tmp_path):
+    _supervise(s1, jobs, str(tmp_path))
+    lines = open(_journal_path(s1, jobs, str(tmp_path))).read().splitlines()
+    header = json.loads(lines[0])
+    assert header["schema"] == "repro-farm-journal/1"
+    done = [json.loads(line)["done"]["job"] for line in lines[1:]]
+    assert len(done) == len(jobs)
+
+
+def test_resume_reruns_only_unfinished_jobs(s1, jobs, tmp_path):
+    full = _supervise(s1, jobs, str(tmp_path))
+    path = _journal_path(s1, jobs, str(tmp_path))
+    lines = open(path).read().splitlines()
+    # Simulate SIGKILL after the first job settled: the journal is a
+    # valid prefix plus one torn line from the crash.
+    with open(path, "w") as handle:
+        handle.write("\n".join(lines[:2]) + "\n")
+        handle.write('{"done": {"job": {"dev')  # torn mid-write
+
+    resumed = _supervise(
+        s1, jobs, str(tmp_path), policy={"resume": True}
+    )
+    assert resumed.metrics.counters["farm.supervise.resumed"] == 1
+    assert len(resumed.results) == len(jobs)
+    assert _answers(resumed) == _answers(full)
+    # The journal is whole again after the resumed run: the torn line
+    # was trimmed, not glued onto the newly appended record.
+    done = [
+        json.loads(line)["done"]["job"]["device"]
+        for line in open(path).read().splitlines()[1:]
+    ]
+    assert sorted(done) == sorted(j.device for j in jobs)
+
+
+def test_resume_ignores_stale_journal_of_other_batch(s1, jobs, tmp_path):
+    _supervise(s1, jobs, str(tmp_path), budget=100000)
+    # Different governed limits -> different batch signature: nothing
+    # from the budgeted run may leak into this one.
+    resumed = _supervise(
+        s1, jobs, str(tmp_path), policy={"resume": True}
+    )
+    assert "farm.supervise.resumed" not in resumed.metrics.counters
+    assert all(r.status in ("EXACT", "CACHED") for r in resumed.results)
+
+
+def test_resume_with_complete_journal_serves_everything(s1, jobs, tmp_path):
+    full = _supervise(s1, jobs, str(tmp_path))
+    resumed = _supervise(s1, jobs, str(tmp_path), policy={"resume": True})
+    assert resumed.metrics.counters["farm.supervise.resumed"] == len(jobs)
+    assert _answers(resumed) == _answers(full)
+
+
+def test_fresh_run_truncates_old_journal(s1, jobs, tmp_path):
+    _supervise(s1, jobs, str(tmp_path))
+    _supervise(s1, jobs, str(tmp_path))  # no resume: fresh journal
+    lines = open(_journal_path(s1, jobs, str(tmp_path))).read().splitlines()
+    assert len(lines) == 1 + len(jobs)  # header + one line per job

@@ -106,3 +106,86 @@ def test_budget_degrades_with_exit_code(tmp_path):
     )
     assert code == 4  # EXIT_BUDGET
     assert "degraded" in text or "FAILED" in text
+
+
+def test_chaos_kill_recovers_and_exits_clean(tmp_path):
+    """The acceptance smoke: a worker killed mid-batch is retried and
+    the batch still answers every job."""
+    report_path = str(tmp_path / "report.json")
+    code, text = run_cli(
+        "explain-all", "scenario1",
+        "--cache-dir", str(tmp_path / "cache"),
+        "-j", "2",
+        "--retry-backoff", "0",
+        "--chaos", "kill@R2/router/Req1",
+        "--json", report_path,
+    )
+    assert code == 0
+    assert "0 failed, 0 quarantined" in text
+    with open(report_path) as handle:
+        report = json.load(handle)
+    assert report["totals"]["jobs"] == 2
+    assert report["totals"]["completed"] == 2
+    assert report["totals"]["retried"] >= 1
+    assert report["counters"]["farm.supervise.pool_rebuild"] >= 1
+
+
+def test_chaos_quarantine_exits_partial(tmp_path):
+    """A job that stays transiently broken past its retries quarantines
+    and the process signals partial success (exit 7)."""
+    report_path = str(tmp_path / "report.json")
+    code, text = run_cli(
+        "explain-all", "scenario1",
+        "--cache-dir", str(tmp_path / "cache"),
+        "--retries", "1",
+        "--retry-backoff", "0",
+        "--chaos", "flaky:99@R1/router/Req1",
+        "--json", report_path,
+    )
+    assert code == 7  # EXIT_PARTIAL
+    assert "1 quarantined" in text
+    with open(report_path) as handle:
+        report = json.load(handle)
+    rows = {row["job"]: row for row in report["jobs"]}
+    assert rows["R1/router/Req1"]["status"] == "QUARANTINED"
+    assert rows["R1/router/Req1"]["attempts"] == 2
+    assert rows["R2/router/Req1"]["status"] == "EXACT"
+    store_dir = str(tmp_path / "cache")
+    with open(store_dir + "/quarantine.json") as handle:
+        ledger = json.load(handle)
+    assert len(ledger["entries"]) == 1
+
+
+def test_chaos_kill_rejected_without_pool(tmp_path):
+    with pytest.raises(SystemExit):
+        run_cli(
+            "explain-all", "scenario1",
+            "--cache-dir", str(tmp_path),
+            "--chaos", "kill@R1/router/Req1",
+        )
+    with pytest.raises(SystemExit):
+        run_cli(
+            "explain-all", "scenario1",
+            "--cache-dir", str(tmp_path),
+            "--chaos", "explode@R1",
+        )
+
+
+def test_resume_requires_cache():
+    with pytest.raises(SystemExit):
+        run_cli("explain-all", "scenario1", "--no-cache", "--resume")
+
+
+def test_resume_serves_settled_jobs_from_journal(tmp_path):
+    cache = str(tmp_path / "cache")
+    code, _ = run_cli("explain-all", "scenario1", "--cache-dir", cache)
+    assert code == 0
+    report_path = str(tmp_path / "report.json")
+    code, _ = run_cli(
+        "explain-all", "scenario1", "--cache-dir", cache,
+        "--resume", "--json", report_path,
+    )
+    assert code == 0
+    with open(report_path) as handle:
+        report = json.load(handle)
+    assert report["counters"]["farm.supervise.resumed"] == 2

@@ -104,7 +104,8 @@ def test_bench_compatible_stage_records(s1, tmp_path):
 
 def test_budget_split_degrades_jobs_individually(s1):
     jobs = enumerate_jobs(s1.paper_config, s1.specification)
-    assert split_budget(100, len(jobs)) == 100 // len(jobs)
+    shares = split_budget(100, len(jobs))
+    assert sum(shares) == 100 and max(shares) - min(shares) <= 1
     report = run_batch(
         s1.paper_config, s1.specification, jobs, cache_dir=None, budget=40
     )
@@ -168,6 +169,45 @@ def test_incremental_requires_cache(s1):
             s1.paper_config, s1.paper_config, s1.specification, jobs,
             cache_dir=None,
         )
+
+
+def _run_job_dying_on_r2(config, specification, job, *args, **kwargs):
+    """A stand-in worker entry point whose process dies on R2's job."""
+    if job.device == "R2":
+        os._exit(1)
+    from repro.farm.worker import run_job
+
+    return run_job(config, specification, job, *args, **kwargs)
+
+
+def test_dead_worker_fails_only_its_own_job(s1, tmp_path, monkeypatch):
+    """Satellite regression: a worker killed by the OS mid-batch must
+    surface as one failed JobResult, never as a lost batch."""
+    import repro.farm.pool as pool_mod
+
+    monkeypatch.setattr(pool_mod, "run_job", _run_job_dying_on_r2)
+    jobs = enumerate_jobs(s1.paper_config, s1.specification)
+    report = run_batch(
+        s1.paper_config, s1.specification, jobs,
+        cache_dir=str(tmp_path), workers=2,
+    )
+    assert len(report.results) == len(jobs)
+    by_device = {r.job.device: r for r in report.results}
+    assert by_device["R2"].status == "ERROR"
+    assert by_device["R2"].error_kind == "transient"
+    # R1 either finished before the pool broke or was collateral
+    # damage of the shared executor -- but it is always reported.
+    assert by_device["R1"].status in ("EXACT", "ERROR")
+
+
+def test_default_options_are_not_shared(s1):
+    """Satellite regression: run_batch used to take a mutable
+    FarmOptions() default evaluated once at import time."""
+    import inspect
+
+    for function in (run_batch, run_incremental):
+        parameter = inspect.signature(function).parameters["options"]
+        assert parameter.default is None
 
 
 @pytest.mark.skipif(

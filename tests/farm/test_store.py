@@ -78,6 +78,77 @@ def test_unwritable_cache_degrades_to_no_cache(tmp_path):
     assert store.load(KEY, "seed") is None
 
 
+def test_truncated_envelope_reads_as_miss(tmp_path):
+    """A torn write (crash mid-copy, truncated download) is a miss --
+    and the slot is immediately writable again."""
+    store = ArtifactStore(str(tmp_path))
+    store.save(KEY, "seed", {"v": 1, "pad": list(range(64))})
+    path = store.path_for(KEY, "seed")
+    with open(path, "r+b") as handle:
+        handle.truncate(os.path.getsize(path) // 2)
+    assert store.load(KEY, "seed") is None
+    assert store.stats["corrupt.seed"] == 1
+    store.save(KEY, "seed", {"v": 2})
+    assert store.load(KEY, "seed") == {"v": 2}
+
+
+def test_disk_full_leaves_no_half_written_file(tmp_path, monkeypatch):
+    """ENOSPC at the atomic-replace step: the write degrades silently
+    and neither the target nor any temp file becomes visible."""
+    store = ArtifactStore(str(tmp_path))
+
+    def full_disk(src, dst):
+        raise OSError(28, "No space left on device")
+
+    monkeypatch.setattr(os, "replace", full_disk)
+    store.save(KEY, "seed", {"v": 1})  # must not raise
+    monkeypatch.undo()
+    assert not os.path.exists(store.path_for(KEY, "seed"))
+    leftovers = [
+        name
+        for _, _, names in os.walk(str(tmp_path))
+        for name in names
+        if name.endswith(".tmp")
+    ]
+    assert leftovers == []
+    assert "store.seed" not in store.stats
+    assert store.load(KEY, "seed") is None
+
+
+def test_tmp_creation_failure_degrades(tmp_path, monkeypatch):
+    import tempfile
+
+    store = ArtifactStore(str(tmp_path))
+
+    def no_fd(*args, **kwargs):
+        raise OSError(24, "Too many open files")
+
+    monkeypatch.setattr(tempfile, "mkstemp", no_fd)
+    store.save(KEY, "seed", {"v": 1})  # must not raise
+    monkeypatch.undo()
+    assert store.load(KEY, "seed") is None
+
+
+def test_quarantine_ledger_round_trip(tmp_path):
+    store = ArtifactStore(str(tmp_path))
+    assert store.quarantine_entries() == []
+    store.quarantine_add({"job": "a", "attempts": 3})
+    store.quarantine_add({"job": "b", "attempts": 2})
+    entries = ArtifactStore(str(tmp_path)).quarantine_entries()
+    assert [e["job"] for e in entries] == ["a", "b"]
+    assert store.stats["quarantine.ledger"] == 2
+
+
+def test_corrupt_quarantine_ledger_degrades_to_empty(tmp_path):
+    store = ArtifactStore(str(tmp_path))
+    store.quarantine_add({"job": "a"})
+    with open(store.quarantine_path, "w") as handle:
+        handle.write('{"schema": "repro-farm-quarant')  # torn write
+    assert store.quarantine_entries() == []
+    store.quarantine_add({"job": "b"})  # re-seeds a fresh ledger
+    assert [e["job"] for e in store.quarantine_entries()] == ["b"]
+
+
 def test_job_store_scopes_one_key(tmp_path):
     store = ArtifactStore(str(tmp_path))
     scoped = JobStore(store, KEY)

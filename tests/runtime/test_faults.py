@@ -98,3 +98,120 @@ class TestFaultPlan:
     def test_rejects_bad_exc(self):
         with pytest.raises(TypeError):
             FaultPlan().inject("sat", exc=42)
+
+
+# ----------------------------------------------------------------------
+# Transient/permanent classification (the supervisor's retry decision)
+
+
+class TestErrorKind:
+    def test_transient_taxonomy(self):
+        from concurrent.futures.process import BrokenProcessPool
+
+        from repro.runtime import TRANSIENT, TransientError, WorkerCrash, is_transient
+
+        for exc in (
+            TransientError("flaky"),
+            WorkerCrash("killed"),
+            BrokenProcessPool("pool died"),
+            OSError(5, "I/O error"),
+            EOFError("truncated pipe"),
+        ):
+            assert is_transient(exc), exc
+
+    def test_permanent_taxonomy(self):
+        from repro.runtime import PERMANENT, error_kind
+
+        for exc in (
+            ResourceExhausted("budget gone", stage="sat"),
+            Cancelled("stop"),
+            ValueError("bad input"),
+            RuntimeError("unknown"),
+        ):
+            assert error_kind(exc) == PERMANENT, exc
+
+    def test_worker_crash_is_a_repro_error(self):
+        from repro.runtime import ReproError, TransientError, WorkerCrash
+
+        assert issubclass(WorkerCrash, TransientError)
+        assert issubclass(TransientError, ReproError)
+
+
+# ----------------------------------------------------------------------
+# Process-level chaos plans
+
+
+class TestChaosPlan:
+    def test_builders_accumulate_events(self):
+        from repro.runtime import ChaosPlan
+
+        plan = ChaosPlan().kill("a").hang("b", seconds=2.0).flaky("c", times=3)
+        assert [e.action for e in plan.events] == ["kill", "hang", "flaky"]
+        assert plan.events[1].seconds == 2.0
+        assert plan.events[2].attempts == 3
+
+    def test_plans_are_frozen_and_picklable(self):
+        import pickle
+
+        from repro.runtime import ChaosPlan
+
+        plan = ChaosPlan().corrupt("job", stage="readset")
+        assert pickle.loads(pickle.dumps(plan)) == plan
+
+    def test_select_matches_job_and_attempt(self):
+        from repro.runtime import CHAOS_FLAKY, ChaosPlan
+
+        plan = ChaosPlan().flaky("job-a", times=2)
+        assert plan.select(CHAOS_FLAKY, "job-a", 1, 1)
+        assert plan.select(CHAOS_FLAKY, "job-a", 9, 2)
+        assert not plan.select(CHAOS_FLAKY, "job-a", 1, 3)  # retries win
+        assert not plan.select(CHAOS_FLAKY, "job-b", 1, 1)
+
+    def test_wildcard_and_ordinal_targets(self):
+        from repro.runtime import CHAOS_KILL, ChaosPlan
+
+        anywhere = ChaosPlan().kill()
+        assert anywhere.select(CHAOS_KILL, "whatever", 3, 1)
+        second_pickup = ChaosPlan().kill(ordinal=2)
+        assert not second_pickup.select(CHAOS_KILL, "j", 1, 1)
+        assert second_pickup.select(CHAOS_KILL, "j", 2, 1)
+
+    def test_needs_process_isolation(self):
+        from repro.runtime import ChaosPlan
+
+        assert ChaosPlan().kill("j").needs_process_isolation
+        assert ChaosPlan().hang("j").needs_process_isolation
+        assert not ChaosPlan().flaky("j").needs_process_isolation
+        assert not ChaosPlan().corrupt("j").needs_process_isolation
+
+    def test_parse_round_trip(self):
+        from repro.runtime import ChaosPlan
+
+        plan = ChaosPlan.parse(
+            "kill@R2/router/Req1, hang:2.5@#2, flaky:3@*, corrupt:readset@J"
+        )
+        kill, hang, flaky, corrupt = plan.events
+        assert kill.action == "kill" and kill.job_id == "R2/router/Req1"
+        assert hang.action == "hang" and hang.ordinal == 2
+        assert hang.seconds == 2.5
+        assert flaky.action == "flaky" and flaky.job_id is None
+        assert flaky.attempts == 3
+        assert corrupt.stage == "readset" and corrupt.job_id == "J"
+
+    def test_parse_rejects_garbage(self):
+        from repro.runtime import ChaosPlan
+
+        with pytest.raises(ValueError):
+            ChaosPlan.parse("explode@R1")
+        with pytest.raises(ValueError):
+            ChaosPlan.parse("kill")
+        with pytest.raises(ValueError):
+            ChaosPlan.parse("flaky:notanumber@R1")
+
+    def test_event_validation(self):
+        from repro.runtime import ChaosEvent
+
+        with pytest.raises(ValueError):
+            ChaosEvent("explode")
+        with pytest.raises(ValueError):
+            ChaosEvent("kill", attempts=0)

@@ -250,3 +250,50 @@ class TestTaxonomy:
         clock.advance(2.0)
         with pytest.raises(ResourceExhausted):
             deadline.check("sat")
+
+
+# ----------------------------------------------------------------------
+# Budget splitting
+
+
+class TestSplitBudget:
+    def test_exact_division(self):
+        from repro.runtime import split_budget
+
+        assert split_budget(100, 4) == (25, 25, 25, 25)
+
+    def test_remainder_spread_over_first_jobs(self):
+        from repro.runtime import split_budget
+
+        assert split_budget(10, 3) == (4, 3, 3)
+        assert split_budget(11, 3) == (4, 4, 3)
+
+    def test_shares_sum_to_batch_budget(self):
+        """Property: for any (total, jobs) with total >= jobs, the
+        shares sum exactly to the batch budget, every job gets at
+        least 1, and no two shares differ by more than 1."""
+        from repro.runtime import split_budget
+
+        for total in range(1, 250, 7):
+            for jobs in range(1, 17):
+                shares = split_budget(total, jobs)
+                assert len(shares) == jobs
+                assert all(share >= 1 for share in shares)
+                assert max(shares) - min(shares) <= 1
+                if total >= jobs:
+                    assert sum(shares) == total
+                else:
+                    # Too little to go around: everyone still gets the
+                    # minimum useful budget of 1.
+                    assert shares == (1,) * jobs
+
+    def test_none_passes_through(self):
+        from repro.runtime import split_budget
+
+        assert split_budget(None, 5) is None
+
+    def test_rejects_nonpositive_job_count(self):
+        from repro.runtime import split_budget
+
+        with pytest.raises(ValueError):
+            split_budget(100, 0)

@@ -37,8 +37,10 @@ from .synthesis import Synthesizer
 from .verify import verify
 
 __all__ = [
+    "BENCH_FAMILIES",
     "SCENARIO_BUILDERS",
     "measure_calibration",
+    "run_perline_once",
     "run_scenario_once",
     "run_bench",
     "format_report",
@@ -50,6 +52,11 @@ SCENARIO_BUILDERS: Dict[str, Callable[[], Scenario]] = {
     "scenario2": scenario2,
     "scenario3": scenario3,
 }
+
+#: Bench families: ``pipeline`` is the classic end-to-end pass
+#: (synth/verify/simulate/explain); ``perline`` measures the cold
+#: per-line batch under family dispatch against per-job dispatch.
+BENCH_FAMILIES = ("pipeline", "perline")
 
 QUICK_REPEAT = 2
 FULL_REPEAT = 5
@@ -106,6 +113,92 @@ def run_scenario_once(scenario: Scenario, obs: Instrumentation) -> None:
                     continue
 
 
+def run_perline_once(scenario: Scenario) -> "_PerlineSample":
+    """One cold per-line batch, per-job then family-dispatched.
+
+    Both runs are fully cold: no artifact store, and the process's
+    shared-cache slot is dropped first so no family SAT session or
+    seed encode survives from a previous iteration.  Answers and cache
+    keys must be byte-identical between the two dispatch modes --
+    a mismatch fails the bench rather than timing a wrong answer.
+    """
+    from .farm import enumerate_jobs, reset_shared_slot, run_batch
+    from .farm.keys import canonical_json
+
+    config, spec = scenario.paper_config, scenario.specification
+    jobs = enumerate_jobs(config, spec, per_line=True)
+
+    def answers(report):
+        return {
+            result.job.job_id: canonical_json({**result.explanation, "timings": {}})
+            for result in report.results
+        }
+
+    reset_shared_slot()
+    solo = run_batch(config, spec, jobs, cache_dir=None, share=False)
+    reset_shared_slot()
+    shared = run_batch(config, spec, jobs, cache_dir=None, share=True)
+    reset_shared_slot()
+    if answers(solo) != answers(shared):
+        raise RuntimeError("family dispatch changed an answer payload")
+    if [r.key for r in solo.results] != [r.key for r in shared.results]:
+        raise RuntimeError("family dispatch changed a cache key")
+    counters = {
+        name: value
+        for name, value in shared.metrics.counters.items()
+        if name.startswith(("smt.session.", "farm.families"))
+    }
+    return _PerlineSample(solo.wall_s, shared.wall_s, counters)
+
+
+class _PerlineSample:
+    """Wall times and session counters of one cold per-line iteration."""
+
+    def __init__(self, solo_s: float, shared_s: float, counters: Dict[str, int]):
+        self.solo_s = solo_s
+        self.shared_s = shared_s
+        self.counters = counters
+
+
+def _perline_records(
+    scenario_name: str,
+    samples: Sequence[_PerlineSample],
+) -> List[StageRecord]:
+    """Two records per scenario: family dispatch and the per-job control.
+
+    ``perline`` (the gated stage) is the cold wall time of the
+    family-dispatched batch; ``perline.solo`` is per-job dispatch over
+    the same jobs, so the speedup is the ratio of the two medians.
+    Counters are totalled over all runs, like every other stage.
+    """
+    shared = [sample.shared_s for sample in samples]
+    solo = [sample.solo_s for sample in samples]
+    counters: Dict[str, int] = {}
+    for sample in samples:
+        for name, value in sample.counters.items():
+            counters[name] = counters.get(name, 0) + value
+    return [
+        StageRecord(
+            scenario=scenario_name,
+            stage="perline",
+            runs=len(samples),
+            median_s=percentile(shared, 0.50),
+            p95_s=percentile(shared, 0.95),
+            total_s=sum(shared),
+            counters=counters,
+        ),
+        StageRecord(
+            scenario=scenario_name,
+            stage="perline.solo",
+            runs=len(samples),
+            median_s=percentile(solo, 0.50),
+            p95_s=percentile(solo, 0.95),
+            total_s=sum(solo),
+            counters={},
+        ),
+    ]
+
+
 def _stage_records(scenario_name: str, merged: MetricsRegistry) -> List[StageRecord]:
     """Per-stage records from the merged per-iteration registries.
 
@@ -144,17 +237,24 @@ def run_bench(
     scenarios: Optional[Sequence[str]] = None,
     repeat: Optional[int] = None,
     quick: bool = False,
+    families: Optional[Sequence[str]] = None,
 ) -> BenchReport:
     """Run the suite and return the aggregated report.
 
     ``scenarios`` defaults to the full suite; ``repeat`` defaults to
-    2 iterations in ``--quick`` mode and 5 otherwise.
+    2 iterations in ``--quick`` mode and 5 otherwise; ``families``
+    defaults to every family in :data:`BENCH_FAMILIES`.
     """
     names = list(scenarios) if scenarios else list(SCENARIO_BUILDERS)
     for name in names:
         if name not in SCENARIO_BUILDERS:
             known = ", ".join(sorted(SCENARIO_BUILDERS))
             raise ValueError(f"unknown bench scenario {name!r}; known: {known}")
+    chosen = list(families) if families else list(BENCH_FAMILIES)
+    for family in chosen:
+        if family not in BENCH_FAMILIES:
+            known = ", ".join(BENCH_FAMILIES)
+            raise ValueError(f"unknown bench family {family!r}; known: {known}")
     runs = repeat if repeat is not None else (QUICK_REPEAT if quick else FULL_REPEAT)
     if runs < 1:
         raise ValueError(f"repeat must be positive, got {runs}")
@@ -162,12 +262,16 @@ def run_bench(
     stages: List[StageRecord] = []
     for name in names:
         scenario = SCENARIO_BUILDERS[name]()
-        merged = MetricsRegistry()
-        for _ in range(runs):
-            obs = Instrumentation()
-            run_scenario_once(scenario, obs)
-            merged.merge(obs.metrics)
-        stages.extend(_stage_records(name, merged))
+        if "pipeline" in chosen:
+            merged = MetricsRegistry()
+            for _ in range(runs):
+                obs = Instrumentation()
+                run_scenario_once(scenario, obs)
+                merged.merge(obs.metrics)
+            stages.extend(_stage_records(name, merged))
+        if "perline" in chosen:
+            samples = [run_perline_once(scenario) for _ in range(runs)]
+            stages.extend(_perline_records(name, samples))
 
     return BenchReport(
         stages=stages,
@@ -187,6 +291,9 @@ _HEADLINE_COUNTERS = (
     "project.assignments",
     "lift.candidates_evaluated",
     "simulate.rounds",
+    "farm.families",
+    "smt.session.instances",
+    "smt.session.reuse",
 )
 
 

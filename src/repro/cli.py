@@ -272,6 +272,15 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["scenario1", "scenario2", "scenario3"],
         help="restrict the suite (repeatable; default: all scenarios)",
     )
+    bench_cmd.add_argument(
+        "--family",
+        action="append",
+        default=None,
+        choices=["pipeline", "perline"],
+        help="restrict the bench families (repeatable; default: both). "
+        "'pipeline' is the end-to-end pass; 'perline' times the cold "
+        "per-line batch under family dispatch vs per-job dispatch",
+    )
 
     explain_all = subparsers.add_parser(
         "explain-all",
@@ -317,6 +326,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--per-line",
         action="store_true",
         help="one job per route-map line instead of per router",
+    )
+    explain_all.add_argument(
+        "--no-share",
+        action="store_true",
+        help="dispatch jobs individually instead of grouping job "
+        "families (same device + requirement) onto one worker's "
+        "shared caches and incremental SAT session",
     )
     explain_all.add_argument(
         "--retries",
@@ -732,6 +748,7 @@ def _cmd_explain_all(args: argparse.Namespace, out) -> int:
             old_config, scenario.paper_config, scenario.specification, jobs,
             cache_dir=cache_dir, workers=args.workers,
             timeout=args.timeout, budget=args.budget, scenario=args.name,
+            share=not args.no_share,
         )
     else:
         policy = SupervisePolicy(
@@ -746,7 +763,7 @@ def _cmd_explain_all(args: argparse.Namespace, out) -> int:
             scenario.paper_config, scenario.specification, jobs,
             cache_dir=cache_dir, workers=args.workers,
             timeout=args.timeout, budget=args.budget, scenario=args.name,
-            policy=policy,
+            policy=policy, share=not args.no_share,
         )
     print(report.summary_table(), file=out)
     if args.json:
@@ -773,7 +790,10 @@ def _cmd_bench(args: argparse.Namespace, out) -> int:
 
     try:
         report = run_bench(
-            scenarios=args.scenario, repeat=args.repeat, quick=args.quick
+            scenarios=args.scenario,
+            repeat=args.repeat,
+            quick=args.quick,
+            families=args.family,
         )
     except ValueError as exc:
         raise SystemExit(str(exc))

@@ -5,6 +5,7 @@ from .blackbox import BlackboxExplanation, explain_blackbox
 from .certificate import AuditResult, Certificate, audit, make_certificate
 from .dossier import generate_dossier
 from .engine import Explanation, ExplanationEngine, ExplanationStatus
+from .family import SharedCaches, SimulationCache, TransferCache, family_key
 from .lift import LiftResult, generate_candidates, lift
 from .project import ProjectedSpec, ProjectionError, project
 from .qa import question_and_answer
@@ -34,6 +35,10 @@ __all__ = [
     "ExplanationEngine",
     "Explanation",
     "ExplanationStatus",
+    "SharedCaches",
+    "SimulationCache",
+    "TransferCache",
+    "family_key",
     "BlackboxExplanation",
     "explain_blackbox",
     "Subspecification",

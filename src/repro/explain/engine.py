@@ -198,9 +198,15 @@ class ExplanationEngine:
         obs: Optional[Instrumentation] = None,
         stage_store=None,
         recorder=None,
+        shared=None,
     ) -> None:
         if config.has_holes():
             raise ValueError("the explanation engine expects a concrete configuration")
+        if shared is not None and governor is not None:
+            # Sharing is only sound ungoverned: a cached stage result
+            # reflects no budget consumption, so serving it under a
+            # deadline/budget would make answers depend on cache state.
+            raise ValueError("shared caches cannot be combined with a governor")
         self.config = config
         self.specification = specification
         self.max_path_length = max_path_length
@@ -212,6 +218,12 @@ class ExplanationEngine:
         self.obs = obs
         self.stage_store = stage_store
         self.recorder = recorder
+        #: Optional :class:`~repro.explain.family.SharedCaches`: the
+        #: cross-question cache layer the farm threads through sibling
+        #: jobs of one batch.  Stage outputs are byte-identical with or
+        #: without it (sharing works by memoized recomputation over
+        #: hash-consed terms, never by substitution).
+        self.shared = shared
         if obs is not None and governor is not None:
             obs.watch(governor)
         # Questions are pure functions of (symbolized fields,
@@ -353,11 +365,17 @@ class ExplanationEngine:
         seed: Optional[SeedSpecification] = None
         with obs.span("seed") as span:
             try:
-                seed = extract_seed(
-                    sketch, spec, holes, self.max_path_length, self.link_cost,
-                    self.ibgp, governor=governor, obs=self.obs,
-                    recorder=self.recorder,
-                )
+                if self.shared is not None:
+                    seed = self.shared.seed_for(
+                        sketch, holes, requirement, obs=self.obs,
+                        recorder=self.recorder,
+                    )
+                else:
+                    seed = extract_seed(
+                        sketch, spec, holes, self.max_path_length, self.link_cost,
+                        self.ibgp, governor=governor, obs=self.obs,
+                        recorder=self.recorder,
+                    )
             except GOVERNED_ERRORS as exc:
                 seed_error = exc
         timings["seed"] = span.duration
@@ -430,6 +448,11 @@ class ExplanationEngine:
                     projected = project(
                         seed, sketch, limit=self.projection_limit, governor=governor,
                         obs=self.obs, recorder=self.recorder,
+                        sim_cache=(
+                            self.shared.simulations
+                            if self.shared is not None
+                            else None
+                        ),
                     )
                     from .serialize import projected_to_dict
 
@@ -449,6 +472,16 @@ class ExplanationEngine:
                     lift_result = lift(
                         device, sketch, spec, seed, projected, projected.envs,
                         governor=governor, obs=self.obs, recorder=self.recorder,
+                        term_cache=(
+                            self.shared.term_cache_for(holes)
+                            if self.shared is not None
+                            else None
+                        ),
+                        transfer_cache=(
+                            self.shared.transfers
+                            if self.shared is not None
+                            else None
+                        ),
                     )
                     if lift_result.exhausted:
                         degradations.append("lift search interrupted")

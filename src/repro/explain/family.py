@@ -1,0 +1,657 @@
+"""Shared computation across families of explanation questions.
+
+A *job family* groups the per-line questions of one (router,
+requirement block): siblings symbolize different lines of the same
+device against the same specification, so almost everything they
+compute -- the seed encoding's traversal of the rest of the network,
+the concrete simulations behind projection, the filter-level encodings
+of candidate local statements -- is repeated work.  This module is the
+cache layer a worker process threads through every family member:
+
+* :class:`TransferCache` memoizes the *symbolic hop*: applying a
+  hole-free (export map, import map) pair of some other router to an
+  attribute state.  Terms are globally hash-consed, so replaying a
+  cached hop yields the *same* term objects a fresh
+  ``apply_routemap_symbolic`` would build -- outputs stay
+  byte-identical by construction.
+* ``seed_for`` memoizes one **full** encode per sketch and reassembles
+  each requirement's seed from the recorded per-group terms.  The
+  selection axioms traverse every candidate regardless of which
+  requirement is asked, so the reassembled restricted seed is
+  term-for-term identical to a fresh restricted encode.
+* :class:`SimulationCache` memoizes converged routing outcomes by the
+  rendered text of the filled configuration -- sibling jobs fill their
+  sketches back to (mostly) the same concrete networks.
+* ``term_cache_for`` memoizes candidate-statement encodings: always
+  across requirement blocks of one sketch (a statement's filter-level
+  term does not depend on the requirement being asked), and across
+  *sketches* whenever the statement's encoding never traverses a
+  symbolized route-map -- then the term is hole-free and, by
+  hash-consing, identical under every sibling sketch.
+* ``certify`` maintains one assumption-based SAT session per family
+  (:class:`~repro.smt.incremental.TermSession`): the family's union
+  sketch is encoded **once**, and every member's projected verdicts are
+  re-checked by assuming per-hole selector literals -- solve once per
+  router family, assume per hole.  Agreement is counted
+  (``smt.session.agree`` / ``smt.session.disagree``), never asserted:
+  the SAT view asks "does *some* stable selection satisfy the
+  requirement" while projection asks about *the* converged one, and
+  the two legitimately diverge on ties and non-convergence.
+
+Every cache replays the transfer/simulation events it observed into
+the requesting job's :class:`~repro.farm.readset.TransferRecorder`
+(capture is unfiltered; the recorder's own device filter and
+deduplication run on replay), so recorded read-sets -- and therefore
+cache keys and invalidation -- are byte-identical to unshared runs.
+
+Sharing is only legal ungoverned: a deadline or budget makes answers
+depend on how much work *this* run performed, which a cache would
+falsify.  The engine enforces this (``shared`` + ``governor`` is a
+``ValueError``) and the farm only enables sharing when a batch runs
+without ``--timeout``/``--budget``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..bgp.config import NetworkConfig
+from ..bgp.render import render_network, render_routemap
+from ..bgp.simulation import ConvergenceError, simulate
+from ..bgp.sketch import Hole, is_hole
+from ..obs import Instrumentation
+from ..smt import Term, TermSession
+from ..smt.builders import And
+from ..spec.ast import Specification
+from ..synthesis.encoder import Encoder, Encoding
+from ..synthesis.symexec import AttributeUniverse, SymbolicRoute
+from .lift import TERM_MISS
+from .seed import SeedSpecification
+from .symbolize import (
+    ACTION,
+    MATCH_ATTR,
+    MATCH_VALUE,
+    SET_ATTR,
+    FieldRef,
+    symbolize,
+)
+
+__all__ = [
+    "SharedCaches",
+    "SimulationCache",
+    "StatementTermCache",
+    "TransferCache",
+    "family_key",
+]
+
+#: Projections larger than this are not re-checked against the family
+#: SAT session; the certificate is a per-assignment probe and a
+#: router-granularity question can enumerate thousands of assignments.
+CERTIFY_ASSIGNMENT_LIMIT = 64
+
+#: Mirrors :data:`repro.farm.job.LINE` without importing the farm
+#: (the farm layers on top of this package, not under it).
+_LINE = "line"
+
+
+def family_key(job) -> Tuple[object, ...]:
+    """The grouping key: siblings share device, requirement, shape."""
+    return (job.device, job.requirement, job.granularity, tuple(job.fields))
+
+
+def _sketch_key(holes: Dict[str, Hole]) -> Tuple[Tuple[str, Tuple[str, ...]], ...]:
+    """A sketch is pinned by its hole names and stringified domains
+    (the same identification the engine's question cache uses)."""
+    return tuple(
+        (name, tuple(str(value) for value in holes[name].domain))
+        for name in sorted(holes)
+    )
+
+
+class _CaptureRecorder:
+    """Buffers transfer events unfiltered for later replay.
+
+    The capturing run must not filter or deduplicate: a later job with
+    a *different* device filter replays the same stream through its own
+    recorder, which applies its own filtering.  Event order and
+    duplication are irrelevant to read-set bytes (the recorder dedups
+    and its payload sorts), so replay is exact.
+    """
+
+    def __init__(self) -> None:
+        self.events: List[Tuple[str, tuple]] = []
+
+    def symbolic(self, *args: object) -> None:
+        self.events.append(("symbolic", args))
+
+    def concrete(self, *args: object) -> None:
+        self.events.append(("concrete", args))
+
+    def replay(self, recorder) -> None:
+        if recorder is None:
+            return
+        for seam, args in self.events:
+            getattr(recorder, seam)(*args)
+
+
+class TransferCache:
+    """Memoizes symbolic propagation through a hole-free hop.
+
+    A hop is the (export map, import map) pair between two routers plus
+    the iBGP flag; its result on an input attribute state is five
+    values: ``(export_permit, after_export, after_hop, import_permit,
+    state_out)``.  Keys use the maps' rendered text (not identity: the
+    farm re-pickles configurations per job) and the input state's
+    hash-consed terms.  Hops whose maps contain holes are never cached:
+    applying a holey map registers hole variables with the running
+    encoder, which a cache hit would silently skip.
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[tuple, tuple] = {}
+        #: id(map) -> (map, rendered text) -- the map reference keeps
+        #: the id stable for the memo's lifetime.
+        self._rendered: Dict[int, Tuple[object, Optional[str]]] = {}
+        self._hole_free: Dict[int, Tuple[object, bool]] = {}
+        self._universe_keys: Dict[int, Tuple[object, tuple]] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def _render(self, routemap) -> Optional[str]:
+        if routemap is None:
+            return None
+        memo = self._rendered.get(id(routemap))
+        if memo is not None:
+            return memo[1]
+        text = render_routemap(routemap)
+        self._rendered[id(routemap)] = (routemap, text)
+        return text
+
+    def _is_hole_free(self, routemap) -> bool:
+        if routemap is None:
+            return True
+        memo = self._hole_free.get(id(routemap))
+        if memo is not None:
+            return memo[1]
+        free = not any(
+            is_hole(line.action)
+            or is_hole(line.match_attr)
+            or is_hole(line.match_value)
+            or any(is_hole(c.attribute) or is_hole(c.value) for c in line.sets)
+            for line in routemap.lines
+        )
+        self._hole_free[id(routemap)] = (routemap, free)
+        return free
+
+    def _universe_key(self, universe: AttributeUniverse) -> tuple:
+        memo = self._universe_keys.get(id(universe))
+        if memo is not None:
+            return memo[1]
+        key = (
+            tuple(str(c) for c in universe.communities),
+            tuple(universe.next_hop_sort.values),
+        )
+        self._universe_keys[id(universe)] = (universe, key)
+        return key
+
+    def _state_key(self, state: SymbolicRoute) -> tuple:
+        # Terms are hash-consed: structurally equal states produce
+        # equal keys even across encoder instances.
+        return (
+            str(state.prefix),
+            state.local_pref,
+            state.med,
+            state.next_hop,
+            tuple(sorted((str(c), t) for c, t in state.communities.items())),
+        )
+
+    def _key(
+        self, export_map, import_map, session_is_ibgp: bool,
+        state: SymbolicRoute, universe: AttributeUniverse,
+    ) -> Optional[tuple]:
+        if not (self._is_hole_free(export_map) and self._is_hole_free(import_map)):
+            return None
+        return (
+            self._universe_key(universe),
+            self._render(export_map),
+            self._render(import_map),
+            bool(session_is_ibgp),
+            self._state_key(state),
+        )
+
+    def lookup(
+        self, export_map, import_map, session_is_ibgp: bool,
+        state: SymbolicRoute, universe: AttributeUniverse,
+        obs: Optional[Instrumentation] = None,
+    ) -> Optional[tuple]:
+        key = self._key(export_map, import_map, session_is_ibgp, state, universe)
+        if key is None:
+            return None
+        hit = self._entries.get(key)
+        if hit is not None and obs is not None:
+            obs.count("encode.transfer_cache_hits")
+        return hit
+
+    def store(
+        self, export_map, import_map, session_is_ibgp: bool,
+        state: SymbolicRoute, universe: AttributeUniverse, result: tuple,
+    ) -> None:
+        key = self._key(export_map, import_map, session_is_ibgp, state, universe)
+        if key is not None:
+            self._entries[key] = result
+
+
+class SimulationCache:
+    """Memoizes concrete control-plane runs by rendered configuration.
+
+    Sibling jobs fill their sketches back to overlapping concrete
+    networks -- every job's "original value" assignment *is* the
+    synthesized network -- so converged outcomes are keyed by the full
+    rendered text of the filled configuration (never by the hole
+    values, which name different fields in different sketches).
+    Non-convergence is cached too and re-raised on hit.  Runs with a
+    link-cost callable or a governor bypass the cache entirely.
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[
+            Tuple[str, bool],
+            Tuple[object, Optional[ConvergenceError], _CaptureRecorder],
+        ] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def simulate(
+        self,
+        filled: NetworkConfig,
+        link_cost=None,
+        ibgp: bool = False,
+        governor=None,
+        obs: Optional[Instrumentation] = None,
+        recorder=None,
+    ):
+        if link_cost is not None or governor is not None:
+            return simulate(
+                filled, link_cost=link_cost, ibgp=ibgp, governor=governor,
+                obs=obs, recorder=recorder,
+            )
+        key = (render_network(filled), bool(ibgp))
+        hit = self._entries.get(key)
+        if hit is not None:
+            outcome, error, capture = hit
+            if obs is not None:
+                obs.count("project.sim_cache_hits")
+            capture.replay(recorder)
+            if error is not None:
+                raise error
+            return outcome
+        capture = _CaptureRecorder()
+        try:
+            outcome = simulate(filled, ibgp=ibgp, obs=obs, recorder=capture)
+        except ConvergenceError as exc:
+            self._entries[key] = (None, exc, capture)
+            capture.replay(recorder)
+            raise
+        self._entries[key] = (outcome, None, capture)
+        capture.replay(recorder)
+        return outcome
+
+
+class _SeamTap:
+    """Forwards recorder events while collecting traversed seams.
+
+    Wraps the job recorder during one statement encode so the cache
+    learns which ``(owner, direction, neighbor)`` route-maps the
+    encoding applied -- the safety condition for cross-sketch reuse.
+    """
+
+    def __init__(self, inner) -> None:
+        self.inner = inner
+        self.seams: Set[Tuple[str, str, str]] = set()
+
+    def symbolic(self, owner, direction, neighbor, *rest) -> None:
+        self.seams.add((owner, direction, neighbor))
+        if self.inner is not None:
+            self.inner.symbolic(owner, direction, neighbor, *rest)
+
+    def concrete(self, owner, direction, neighbor, *rest) -> None:
+        self.seams.add((owner, direction, neighbor))
+        if self.inner is not None:
+            self.inner.concrete(owner, direction, neighbor, *rest)
+
+
+class StatementTermCache:
+    """Two-tier memo for candidate-statement terms (see :func:`lift`).
+
+    The *local* tier is per sketch and unconditional -- a sketch asks
+    the same statements under every requirement block.  The *global*
+    tier is shared across all sketches of the batch and guarded by the
+    seams the encoding traversed: route-map traversal is structural
+    (paths and neighbors, never hole values), so a statement whose
+    encode applied no symbolized map produces a hole-free term that is
+    -- by hash-consing -- the very object a fresh encode under any
+    other hole-avoiding sketch would build.  Encodes that raised are
+    cached as ``None`` under the same guard: with no symbolized map on
+    the traversal up to the failure point, a sibling sketch's encode
+    fails identically.
+    """
+
+    def __init__(
+        self,
+        local: Dict[str, Optional[Term]],
+        shared: Dict[str, Tuple[Optional[Term], frozenset]],
+        blocked: frozenset,
+    ) -> None:
+        self._local = local
+        self._shared = shared
+        self._blocked = blocked
+
+    def lookup(self, text: str, obs: Optional[Instrumentation] = None) -> object:
+        if text in self._local:
+            if obs is not None:
+                obs.count("lift.term_cache_hits")
+            return self._local[text]
+        entry = self._shared.get(text)
+        if entry is not None and not (entry[1] & self._blocked):
+            if obs is not None:
+                obs.count("lift.term_cache_hits")
+            return entry[0]
+        return TERM_MISS
+
+    def tap(self, recorder) -> _SeamTap:
+        return _SeamTap(recorder)
+
+    def store(self, text: str, term: Optional[Term], tap) -> None:
+        self._local[text] = term
+        seams = frozenset(getattr(tap, "seams", ()))
+        if not (seams & self._blocked):
+            self._shared.setdefault(text, (term, seams))
+
+
+def _original_value(config: NetworkConfig, hole_name: str) -> object:
+    """The concrete field value a hole replaced in ``config``."""
+    ref = FieldRef.from_hole_name(hole_name)
+    routemap = config.get_map(ref.router, ref.direction, ref.neighbor)
+    if routemap is None:
+        raise KeyError(hole_name)
+    line = routemap.line(ref.seq)
+    if ref.field == ACTION:
+        return line.action
+    if ref.field == MATCH_ATTR:
+        return line.match_attr
+    if ref.field == MATCH_VALUE:
+        return line.match_value
+    clause = line.sets[ref.clause]
+    return clause.attribute if ref.field == SET_ATTR else clause.value
+
+
+class _FamilySession:
+    """One incremental SAT session per job family.
+
+    The family's *union* sketch (every member's symbolized fields at
+    once) is encoded against the family's requirement and blasted into
+    a single :class:`TermSession`.  Each member's projected verdicts
+    are then probed as assumption solves: the member's own holes take
+    the assignment under test, every sibling hole is pinned to its
+    original concrete value, and the formula is never re-encoded.
+    """
+
+    def __init__(self, shared: "SharedCaches", members: Sequence[object], job, obs) -> None:
+        self.config = shared.config
+        if job.granularity == _LINE and len(members) > 1:
+            refs = [
+                FieldRef(m.device, m.direction, m.neighbor, m.seq, f)
+                for m in members
+                for f in m.fields
+            ]
+            sketch, holes = symbolize(shared.config, refs)
+        else:
+            sketch, holes = job.symbolize(shared.config)
+        spec = (
+            shared.specification.restricted_to(job.requirement)
+            if job.requirement is not None
+            else shared.specification
+        )
+        encoding = Encoder(
+            sketch, spec, shared.max_path_length, None, ibgp=shared.ibgp,
+            transfer_cache=shared.transfers,
+        ).encode()
+        if obs is not None:
+            obs.count("engine.family.encodes")
+        self.encoding = encoding
+        self.holes = holes
+        self.session = TermSession(encoding.constraint, obs=obs)
+
+    def _selector(self, name: str, value: object, obs) -> Optional[int]:
+        try:
+            variable = self.encoding.holes.variable(name)
+        except KeyError:
+            # The hole's line was never traversed by this requirement's
+            # candidates; the formula does not constrain it.
+            if obs is not None:
+                obs.count("smt.session.unpinned")
+            return None
+        try:
+            pin = int(value) if variable.sort.is_int() else str(value)  # type: ignore[arg-type]
+            return self.session.selector(variable, pin)
+        except (KeyError, TypeError, ValueError):
+            if obs is not None:
+                obs.count("smt.session.unpinned")
+            return None
+
+    def check(self, projected, obs) -> None:
+        """Probe every projected verdict of one member against the
+        shared session, counting agreement."""
+        self.session.attach_obs(obs)
+        own: Set[str] = set(projected.holes)
+        pins: List[int] = []
+        for name in sorted(self.holes):
+            if name in own:
+                continue
+            literal = self._selector(name, _original_value(self.config, name), obs)
+            if literal is not None:
+                pins.append(literal)
+        for expected, assignments in (
+            (True, projected.acceptable),
+            (False, projected.rejected),
+        ):
+            for assignment in assignments:
+                assumptions = list(pins)
+                for name in sorted(assignment):
+                    literal = self._selector(name, assignment[name], obs)
+                    if literal is not None:
+                        assumptions.append(literal)
+                result = self.session.solve(assumptions)
+                if obs is not None:
+                    obs.count(
+                        "smt.session.agree"
+                        if result.satisfiable == expected
+                        else "smt.session.disagree"
+                    )
+
+
+class SharedCaches:
+    """Every cross-job cache one worker process shares within a batch.
+
+    One instance serves *one* (configuration, specification, options)
+    triple; the farm keys instances by a batch digest and rebuilds on
+    mismatch.  All methods replay their recorded transfer events into
+    the per-job recorder they are handed, keeping read-sets exact.
+    """
+
+    def __init__(
+        self,
+        config: NetworkConfig,
+        specification: Specification,
+        max_path_length: Optional[int] = None,
+        projection_limit: int = 4096,
+        ibgp: bool = False,
+    ) -> None:
+        self.config = config
+        self.specification = specification
+        self.max_path_length = max_path_length
+        self.projection_limit = projection_limit
+        self.ibgp = ibgp
+        self.transfers = TransferCache()
+        self.simulations = SimulationCache()
+        #: sketch key -> (full Encoding, captured transfer events)
+        self._seeds: Dict[tuple, Tuple[Encoding, _CaptureRecorder]] = {}
+        #: sketch keys whose full encode failed; their seeds fall back
+        #: to per-call restricted encodes (identical to unshared runs).
+        self._unshared: Set[tuple] = set()
+        self._term_caches: Dict[tuple, Dict[str, Optional[Term]]] = {}
+        #: statement text -> (term, seams its encode traversed); the
+        #: cross-sketch tier of :class:`StatementTermCache`.
+        self._statement_terms: Dict[str, Tuple[Optional[Term], frozenset]] = {}
+        self._members: Dict[tuple, Tuple[object, ...]] = {}
+        self._sessions: Dict[tuple, Optional[_FamilySession]] = {}
+
+    # -- seed sharing ---------------------------------------------------
+
+    def seed_for(
+        self,
+        sketch: NetworkConfig,
+        holes: Dict[str, Hole],
+        requirement: Optional[str],
+        obs: Optional[Instrumentation] = None,
+        recorder=None,
+    ) -> SeedSpecification:
+        """The seed specification for one question, from a shared full
+        encode of the sketch.
+
+        The full encode (all requirement blocks, selection axioms) runs
+        once per sketch; each requirement's seed is reassembled from
+        its recorded constraint group.  Selection axioms traverse every
+        candidate whatever the specification restriction, so the
+        reassembled terms -- and, via hash-consing, the constraint
+        object itself -- equal a fresh restricted encode's.
+        """
+        key = _sketch_key(holes)
+        if key not in self._unshared:
+            entry = self._seeds.get(key)
+            if entry is None:
+                capture = _CaptureRecorder()
+                try:
+                    encoding = Encoder(
+                        sketch, self.specification, self.max_path_length, None,
+                        ibgp=self.ibgp, obs=obs, recorder=capture,
+                        transfer_cache=self.transfers,
+                    ).encode()
+                except Exception:
+                    # Some *other* requirement block may be what failed;
+                    # this sketch reverts to per-call restricted encodes.
+                    self._unshared.add(key)
+                else:
+                    entry = (encoding, capture)
+                    self._seeds[key] = entry
+                    if obs is not None:
+                        obs.count("engine.family.seed_encodes")
+            else:
+                if obs is not None:
+                    obs.count("engine.family.seed_reuse")
+            if entry is not None:
+                encoding, capture = entry
+                capture.replay(recorder)
+                return self._assemble(encoding, holes, requirement)
+        spec = (
+            self.specification.restricted_to(requirement)
+            if requirement is not None
+            else self.specification
+        )
+        encoding = Encoder(
+            sketch, spec, self.max_path_length, None, ibgp=self.ibgp,
+            obs=obs, recorder=recorder, transfer_cache=self.transfers,
+        ).encode()
+        return SeedSpecification(
+            constraint=encoding.constraint, encoding=encoding, holes=dict(holes)
+        )
+
+    def _assemble(
+        self,
+        encoding: Encoding,
+        holes: Dict[str, Hole],
+        requirement: Optional[str],
+    ) -> SeedSpecification:
+        if requirement is None:
+            return SeedSpecification(
+                constraint=encoding.constraint,
+                encoding=encoding,
+                holes=dict(holes),
+            )
+        group = f"requirement:{requirement}"
+        block_terms = encoding.groups[group]
+        selection = encoding.groups["selection"]
+        constraint = And(*(list(selection) + list(block_terms)))
+        restricted = Encoding(
+            constraint=constraint,
+            groups={group: block_terms, "selection": selection},
+            holes=encoding.holes,
+            space=encoding.space,
+            universe=encoding.universe,
+            best_vars=dict(encoding.best_vars),
+            filter_ok=dict(encoding.filter_ok),
+            local_pref=dict(encoding.local_pref),
+            link_cost=encoding.link_cost,
+            ibgp=encoding.ibgp,
+        )
+        return SeedSpecification(
+            constraint=constraint, encoding=restricted, holes=dict(holes)
+        )
+
+    # -- lift sharing ---------------------------------------------------
+
+    def term_cache_for(self, holes: Dict[str, Hole]) -> StatementTermCache:
+        """The candidate-statement term cache for one sketch.
+
+        The sketch's symbolized route-maps are the *blocked* seams: a
+        cached term is only shared across sketches when its encode
+        never traversed one (otherwise the term mentions hole
+        variables and is sketch-specific, so it stays in the local
+        tier).
+        """
+        blocked = frozenset(
+            (ref.router, ref.direction, ref.neighbor)
+            for ref in (FieldRef.from_hole_name(name) for name in holes)
+        )
+        return StatementTermCache(
+            self._term_caches.setdefault(_sketch_key(holes), {}),
+            self._statement_terms,
+            blocked,
+        )
+
+    # -- the family SAT session -----------------------------------------
+
+    def register_family(self, jobs: Sequence[object]) -> None:
+        """Declare the sibling set of a family before its members run
+        (the certifier encodes the union sketch of all members)."""
+        if not jobs:
+            return
+        self._members.setdefault(family_key(jobs[0]), tuple(jobs))
+
+    def certify(self, job, explanation, obs: Optional[Instrumentation] = None) -> None:
+        """Re-check one member's projected verdicts against the
+        family's shared SAT session (counted, never asserted)."""
+        projected = explanation.projected
+        if projected is None or explanation.status.name != "EXACT":
+            return
+        if projected.total_assignments > CERTIFY_ASSIGNMENT_LIMIT:
+            if obs is not None:
+                obs.count("smt.session.certify_skipped")
+            return
+        key = family_key(job)
+        if key in self._sessions:
+            session = self._sessions[key]
+        else:
+            try:
+                session = _FamilySession(
+                    self, self._members.get(key, (job,)), job, obs
+                )
+            except Exception:
+                session = None
+                if obs is not None:
+                    obs.count("smt.session.family_encode_errors")
+            self._sessions[key] = session
+        if session is not None:
+            session.check(projected, obs)

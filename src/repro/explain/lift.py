@@ -47,9 +47,13 @@ from ..topology.paths import Path, PathPattern, WILDCARD
 from .project import ProjectedSpec
 from .seed import SeedSpecification
 
-__all__ = ["LiftResult", "generate_candidates", "lift"]
+__all__ = ["LiftResult", "TERM_MISS", "generate_candidates", "lift"]
 
 AssignmentKey = Tuple[Tuple[str, str], ...]
+
+#: Sentinel a term cache's ``lookup`` returns on a miss (``None`` is a
+#: valid cached value: statements whose encoding failed).
+TERM_MISS = object()
 
 
 def _key(assignment: Dict[str, object]) -> AssignmentKey:
@@ -249,10 +253,30 @@ def _statement_term(
     governor: Optional[Governor] = None,
     obs: Optional[Instrumentation] = None,
     recorder=None,
+    term_cache=None,
+    transfer_cache=None,
 ) -> Optional[Term]:
     """The filter-level encoding of a candidate statement on the sketch
     (same encoder as the synthesizer; selection axioms are not needed
-    because the projection envs already carry the ``best`` values)."""
+    because the projection envs already carry the ``best`` values).
+
+    ``term_cache`` is a :class:`~repro.explain.family.StatementTermCache`
+    (``lookup``/``tap``/``store``): statement encodings are memoized by
+    statement text, shared across requirement blocks and -- when the
+    encoding never traverses the sketch's symbolized route-map -- across
+    sketches of the whole batch.  A hit skips the encode, legitimately
+    including its recorder events: statement encoders traverse a subset
+    of the hops the seed encode already recorded with identical inputs,
+    so the skipped events are exact duplicates the recorder would
+    deduplicate anyway.
+    """
+    text = str(statement)
+    tap = recorder
+    if term_cache is not None:
+        hit = term_cache.lookup(text, obs=obs)
+        if hit is not TERM_MISS:
+            return hit
+        tap = term_cache.tap(recorder)
     block = RequirementBlock("local", (statement,))
     local_spec = Specification((block,), specification.managed)
     try:
@@ -264,14 +288,18 @@ def _statement_term(
             ibgp=seed.encoding.ibgp,
             governor=governor,
             obs=obs,
-            recorder=recorder,
+            recorder=tap,
+            transfer_cache=transfer_cache,
         )
         encoding = encoder.encode(include_selection=False)
+        term: Optional[Term] = encoding.constraint
     except ReproError:
         raise  # governed interrupts must not be swallowed
     except Exception:
-        return None
-    return encoding.constraint
+        term = None
+    if term_cache is not None:
+        term_cache.store(text, term, tap)
+    return term
 
 
 def lift(
@@ -285,6 +313,8 @@ def lift(
     governor: Optional[Governor] = None,
     obs: Optional[Instrumentation] = None,
     recorder=None,
+    term_cache=None,
+    transfer_cache=None,
 ) -> LiftResult:
     """Search the specification language for an equivalent subspec.
 
@@ -315,7 +345,8 @@ def lift(
                 obs.count("lift.candidates_evaluated")
             term = _statement_term(
                 statement, sketch, specification, seed, governor=governor, obs=obs,
-                recorder=recorder,
+                recorder=recorder, term_cache=term_cache,
+                transfer_cache=transfer_cache,
             )
             if term is None:
                 continue

@@ -81,8 +81,15 @@ def project(
     governor: Optional[Governor] = None,
     obs: Optional[Instrumentation] = None,
     recorder=None,
+    sim_cache=None,
 ) -> ProjectedSpec:
     """Enumerate hole assignments and classify each as acceptable.
+
+    ``sim_cache`` plugs in a cross-question
+    :class:`~repro.explain.family.SimulationCache`; cached outcomes are
+    keyed by the rendered filled configuration and replay their
+    recorded transfers, so attaching one never changes a verdict or a
+    read-set.
 
     Raises
     ------
@@ -116,7 +123,7 @@ def project(
             obs.count("project.assignments")
         ok, env = _classify_assignment(
             requirement, assignment, sketch, seed, governor=governor, obs=obs,
-            recorder=recorder,
+            recorder=recorder, sim_cache=sim_cache,
         )
         key = tuple(sorted((name, str(value)) for name, value in assignment.items()))
         if env is not None:
@@ -144,6 +151,7 @@ def _classify_assignment(
     governor: Optional[Governor] = None,
     obs: Optional[Instrumentation] = None,
     recorder=None,
+    sim_cache=None,
 ):
     """(acceptable?, evaluation env) for one hole assignment.
 
@@ -151,14 +159,24 @@ def _classify_assignment(
     """
     filled = sketch.fill(assignment)
     try:
-        outcome = simulate(
-            filled,
-            link_cost=seed.encoding.link_cost,
-            ibgp=seed.encoding.ibgp,
-            governor=governor,
-            obs=obs,
-            recorder=recorder,
-        )
+        if sim_cache is not None:
+            outcome = sim_cache.simulate(
+                filled,
+                link_cost=seed.encoding.link_cost,
+                ibgp=seed.encoding.ibgp,
+                governor=governor,
+                obs=obs,
+                recorder=recorder,
+            )
+        else:
+            outcome = simulate(
+                filled,
+                link_cost=seed.encoding.link_cost,
+                ibgp=seed.encoding.ibgp,
+                governor=governor,
+                obs=obs,
+                recorder=recorder,
+            )
     except ConvergenceError:
         return False, None
     env: Dict[str, object] = {}

@@ -23,7 +23,12 @@ build-system shell:
   device's jobs;
 * :mod:`repro.farm.worker` / :mod:`repro.farm.pool` -- the per-job
   runner (governed, gracefully degrading) and the process pool that
-  fans jobs out and folds per-worker metrics into one report;
+  fans work out and folds per-worker metrics into one report.
+  Dispatch is per :class:`JobFamily` -- the per-line questions of one
+  (device, requirement block) run back to back in one worker against
+  the shared caches of :mod:`repro.explain.family`, including one
+  incremental SAT session per family (solve once per router, assume
+  per hole);
 * :mod:`repro.farm.supervise` -- the fault-tolerant supervisor:
   per-job hang watchdog, retry with capped backoff + deterministic
   jitter for transient failures, a quarantine ledger for jobs that
@@ -35,7 +40,7 @@ The CLI front-end is ``python -m repro.cli explain-all``; see
 """
 
 from .invalidate import compute_dirty, readset_valid, sketch_universe
-from .job import ExplainJob, enumerate_jobs
+from .job import ExplainJob, JobFamily, enumerate_jobs, group_families
 from .keys import FarmOptions, canonical_json, digest, job_key
 from .pool import BatchReport, run_batch, run_incremental
 from .readset import TransferRecorder
@@ -47,11 +52,19 @@ from .supervise import (
     batch_signature,
     run_supervised,
 )
-from .worker import JobResult, run_job
+from .worker import (
+    JobResult,
+    reset_shared_slot,
+    run_family,
+    run_job,
+    shared_batch_key,
+)
 
 __all__ = [
     "ExplainJob",
+    "JobFamily",
     "enumerate_jobs",
+    "group_families",
     "FarmOptions",
     "canonical_json",
     "digest",
@@ -64,7 +77,10 @@ __all__ = [
     "readset_valid",
     "sketch_universe",
     "JobResult",
+    "reset_shared_slot",
+    "run_family",
     "run_job",
+    "shared_batch_key",
     "BatchReport",
     "run_batch",
     "run_incremental",

@@ -21,7 +21,7 @@ from ..explain.symbolize import (
 )
 from ..spec.ast import Specification
 
-__all__ = ["ExplainJob", "enumerate_jobs"]
+__all__ = ["ExplainJob", "JobFamily", "enumerate_jobs", "group_families"]
 
 ROUTER = "router"
 LINE = "line"
@@ -93,6 +93,65 @@ class ExplainJob:
         return engine.explain_router(
             self.device, fields=self.fields, requirement=self.requirement
         )
+
+
+@dataclass(frozen=True)
+class JobFamily:
+    """The sibling jobs of one (device, requirement block) group.
+
+    Per-line jobs of one router asked against one requirement differ
+    only in which line they symbolize; dispatching them to the same
+    worker lets it share the seed encode, simulations, statement terms
+    and one incremental SAT session across the whole group (see
+    :mod:`repro.explain.family`).  A router-granularity job is its own
+    singleton family.  ``index`` preserves the family's first
+    appearance so batch reports keep the original job order.
+    """
+
+    index: int
+    jobs: Tuple[ExplainJob, ...]
+
+    def __post_init__(self) -> None:
+        if not self.jobs:
+            raise ValueError("a job family cannot be empty")
+
+    @property
+    def key(self) -> Tuple[object, ...]:
+        first = self.jobs[0]
+        return (
+            first.device, first.requirement, first.granularity,
+            tuple(first.fields),
+        )
+
+    @property
+    def family_id(self) -> str:
+        first = self.jobs[0]
+        requirement = first.requirement if first.requirement is not None else "<all>"
+        return f"{first.device}/{first.granularity}/{requirement}"
+
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+
+def group_families(jobs: List[ExplainJob]) -> List[JobFamily]:
+    """Group a batch into families, in first-appearance order.
+
+    Jobs sharing (device, requirement, granularity, fields) land in one
+    family; order within a family and across families follows the input
+    (which :func:`enumerate_jobs` keeps deterministic).
+    """
+    grouped: Dict[Tuple[object, ...], List[ExplainJob]] = {}
+    order: List[Tuple[object, ...]] = []
+    for job in jobs:
+        key = (job.device, job.requirement, job.granularity, tuple(job.fields))
+        if key not in grouped:
+            grouped[key] = []
+            order.append(key)
+        grouped[key].append(job)
+    return [
+        JobFamily(index=index, jobs=tuple(grouped[key]))
+        for index, key in enumerate(order)
+    ]
 
 
 def enumerate_jobs(

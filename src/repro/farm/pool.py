@@ -43,10 +43,17 @@ from ..runtime import TRANSIENT, split_budget
 from ..spec.ast import Specification
 from ..bgp.config import NetworkConfig
 from .invalidate import compute_dirty
-from .job import ExplainJob
+from .job import ExplainJob, JobFamily, group_families
 from .keys import FarmOptions
 from .store import ArtifactStore
-from .worker import JobResult, STATUS_CACHED, STATUS_ERROR, run_job
+from .worker import (
+    JobResult,
+    STATUS_CACHED,
+    STATUS_ERROR,
+    run_family,
+    run_job,
+    shared_batch_key,
+)
 
 __all__ = ["BatchReport", "run_batch", "run_incremental"]
 
@@ -184,7 +191,7 @@ class BatchReport:
         farm_counters = {
             name: value
             for name, value in sorted(self.metrics.counters.items())
-            if name.startswith("farm.")
+            if name.startswith(("farm.", "smt.", "engine."))
         }
         return {
             "schema": "repro-farm-report/1",
@@ -208,6 +215,19 @@ class BatchReport:
         }
 
 
+def _member_indices(
+    jobs: List[ExplainJob], families: List[JobFamily]
+) -> Dict[int, List[int]]:
+    """family.index -> each member's position in the original batch."""
+    positions: Dict[ExplainJob, List[int]] = {}
+    for index, job in enumerate(jobs):
+        positions.setdefault(job, []).append(index)
+    return {
+        family.index: [positions[job].pop(0) for job in family.jobs]
+        for family in families
+    }
+
+
 def _merge_metrics(report: BatchReport) -> None:
     for result in report.results:
         report.metrics.merge(result.metrics)
@@ -223,53 +243,116 @@ def run_batch(
     timeout: Optional[float] = None,
     budget: Optional[int] = None,
     scenario: str = "batch",
+    share: bool = True,
 ) -> BatchReport:
     """Answer every job, serially or on a process pool.
 
+    With ``share`` (the default), jobs are grouped into
+    :class:`JobFamily` units -- the per-line questions of one (device,
+    requirement block) -- and each family is dispatched to one worker,
+    which answers its members against a process-local
+    :class:`~repro.explain.family.SharedCaches`.  Sharing silently
+    disables itself under ``--timeout``/``--budget`` (governed answers
+    must not depend on sibling work); ``share=False`` restores per-job
+    dispatch with no shared state at all.  Either way, per-job cache
+    keys, stored artifacts and read-sets are byte-identical.
+
     This is the minimal, non-supervised path: no retries, no watchdog
-    -- but a dead worker or unpicklable result fails only its own job,
-    never the batch.  Use :func:`repro.farm.supervise.run_supervised`
-    for fault tolerance.
+    -- but a dead worker or unpicklable result fails only its own job
+    (its own family, under family dispatch), never the batch.  Use
+    :func:`repro.farm.supervise.run_supervised` for fault tolerance.
     """
     if options is None:
         options = FarmOptions()
     started = time.perf_counter()
     shares = split_budget(budget, len(jobs)) if jobs else None
     results: List[JobResult] = []
-    if workers <= 1 or len(jobs) <= 1:
-        for index, job in enumerate(jobs):
-            results.append(
-                run_job(
-                    config, specification, job, options,
-                    cache_dir, timeout,
-                    shares[index] if shares is not None else None,
-                )
-            )
-    else:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            job_of = {
-                pool.submit(
-                    run_job, config, specification, job, options,
-                    cache_dir, timeout,
-                    shares[index] if shares is not None else None,
-                ): (index, job)
-                for index, job in enumerate(jobs)
-            }
-            collected: Dict[int, JobResult] = {}
-            for future in as_completed(job_of):
-                index, job = job_of[future]
-                try:
-                    collected[index] = future.result()
-                except Exception as exc:
-                    # The worker died (or its result cannot cross the
-                    # process boundary): fail this job, keep siblings.
-                    collected[index] = JobResult(
-                        job=job, key=None, status=STATUS_ERROR,
-                        cached=False, duration_s=0.0,
-                        error=f"{type(exc).__name__}: {exc}",
-                        error_kind=TRANSIENT,
+    if not share:
+        if workers <= 1 or len(jobs) <= 1:
+            for index, job in enumerate(jobs):
+                results.append(
+                    run_job(
+                        config, specification, job, options,
+                        cache_dir, timeout,
+                        shares[index] if shares is not None else None,
                     )
-            results = [collected[index] for index in range(len(jobs))]
+                )
+        else:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                job_of = {
+                    pool.submit(
+                        run_job, config, specification, job, options,
+                        cache_dir, timeout,
+                        shares[index] if shares is not None else None,
+                    ): (index, job)
+                    for index, job in enumerate(jobs)
+                }
+                collected: Dict[int, JobResult] = {}
+                for future in as_completed(job_of):
+                    index, job = job_of[future]
+                    try:
+                        collected[index] = future.result()
+                    except Exception as exc:
+                        # The worker died (or its result cannot cross
+                        # the process boundary): fail this job, keep
+                        # siblings.
+                        collected[index] = JobResult(
+                            job=job, key=None, status=STATUS_ERROR,
+                            cached=False, duration_s=0.0,
+                            error=f"{type(exc).__name__}: {exc}",
+                            error_kind=TRANSIENT,
+                        )
+                results = [collected[index] for index in range(len(jobs))]
+    else:
+        families = group_families(jobs)
+        members = _member_indices(jobs, families)
+        shared_key = (
+            shared_batch_key(config, specification, options)
+            if timeout is None and budget is None
+            else None
+        )
+
+        def family_args(family: JobFamily):
+            indices = members[family.index]
+            budgets = (
+                [shares[i] for i in indices] if shares is not None else None
+            )
+            return (
+                config, specification, family.jobs, options, cache_dir,
+                timeout, budgets, None, None, shared_key,
+            )
+
+        by_index: Dict[int, JobResult] = {}
+        if workers <= 1 or len(families) <= 1:
+            for family in families:
+                for i, result in zip(
+                    members[family.index], run_family(*family_args(family))
+                ):
+                    by_index[i] = result
+        else:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                family_of = {
+                    pool.submit(run_family, *family_args(family)): family
+                    for family in families
+                }
+                for future in as_completed(family_of):
+                    family = family_of[future]
+                    indices = members[family.index]
+                    try:
+                        for i, result in zip(indices, future.result()):
+                            by_index[i] = result
+                    except Exception as exc:
+                        # The worker died mid-family: fail every member
+                        # (their shared state is suspect), keep other
+                        # families.
+                        for i in indices:
+                            by_index[i] = JobResult(
+                                job=jobs[i], key=None, status=STATUS_ERROR,
+                                cached=False, duration_s=0.0,
+                                error=f"{type(exc).__name__}: {exc}",
+                                error_kind=TRANSIENT,
+                            )
+        results = [by_index[index] for index in range(len(jobs))]
     report = BatchReport(
         scenario=scenario,
         results=results,
@@ -291,6 +374,7 @@ def run_incremental(
     timeout: Optional[float] = None,
     budget: Optional[int] = None,
     scenario: str = "batch",
+    share: bool = True,
 ) -> BatchReport:
     """Re-run only the jobs an edit actually dirtied.
 
@@ -311,7 +395,7 @@ def run_incremental(
     )
     batch = run_batch(
         new_config, specification, dirty, options, cache_dir,
-        workers, timeout, budget, scenario,
+        workers, timeout, budget, scenario, share=share,
     )
     # Serve the provably-clean jobs from the store, preserving the
     # original enumeration order in the final report.

@@ -65,7 +65,7 @@ from ..obs import MetricsRegistry
 from ..runtime import ChaosPlan, ReproError, TRANSIENT, split_budget
 from ..spec.ast import Specification
 from ..spec.printer import format_specification
-from .job import ExplainJob
+from .job import ExplainJob, group_families
 from .keys import FarmOptions, canonical_json, digest
 from .pool import BatchReport, _merge_metrics
 from .store import ArtifactStore
@@ -73,7 +73,8 @@ from .worker import (
     JobResult,
     STATUS_ERROR,
     STATUS_QUARANTINED,
-    run_job,
+    run_family,
+    shared_batch_key,
 )
 
 __all__ = [
@@ -340,6 +341,13 @@ class _Attempt:
     started: float = field(default=0.0, compare=False)
 
 
+#: The supervisor's dispatch unit: the attempts of one job family,
+#: shipped to one worker together.  First dispatch groups whole
+#: families; every retry is a singleton unit (a failed member must not
+#: drag its innocent siblings through another attempt).
+_Unit = List[_Attempt]
+
+
 class Supervisor:
     """Run one batch to completion despite worker death and hangs."""
 
@@ -355,6 +363,7 @@ class Supervisor:
         budget: Optional[int] = None,
         scenario: str = "batch",
         policy: Optional[SupervisePolicy] = None,
+        share: bool = True,
     ) -> None:
         self.config = config
         self.specification = specification
@@ -366,6 +375,15 @@ class Supervisor:
         self.budget = budget
         self.scenario = scenario
         self.policy = policy if policy is not None else SupervisePolicy()
+        self.share = share
+        #: Identity of the batch's worker-side shared caches; ``None``
+        #: disables sharing (explicitly, or because the run is
+        #: governed -- see :func:`repro.farm.worker.run_family`).
+        self._shared_key = (
+            shared_batch_key(config, specification, self.options)
+            if share and timeout is None and budget is None
+            else None
+        )
         if (
             self.workers <= 1
             and self.policy.chaos is not None
@@ -402,11 +420,7 @@ class Supervisor:
                         results[index] = done
                         self.metrics.count("farm.supervise.resumed")
             journal.start(fresh=not results)
-        pending = [
-            _Attempt(index=index, job=job)
-            for index, job in enumerate(self.jobs)
-            if index not in results
-        ]
+        pending = self._units(results)
         try:
             if self.workers <= 1:
                 self._run_serial(pending, shares, results, journal, store)
@@ -426,6 +440,36 @@ class Supervisor:
         return report
 
     # -- shared settle/fail machinery -----------------------------------
+
+    def _units(self, results: Dict[int, JobResult]) -> List[_Unit]:
+        """Group unsettled jobs into first-dispatch units.
+
+        Family grouping mirrors :func:`repro.farm.pool.run_batch`:
+        whole families with ``share``, singletons without.  Jobs
+        already settled (journal replay) are dropped from their unit --
+        a resumed family re-dispatches only its unfinished members.
+        """
+        attempts = {
+            index: _Attempt(index=index, job=job)
+            for index, job in enumerate(self.jobs)
+            if index not in results
+        }
+        if not self.share:
+            return [[attempts[index]] for index in sorted(attempts)]
+        from .pool import _member_indices
+
+        families = group_families(self.jobs)
+        members = _member_indices(self.jobs, families)
+        units: List[_Unit] = []
+        for family in families:
+            unit = [
+                attempts[index]
+                for index in members[family.index]
+                if index in attempts
+            ]
+            if unit:
+                units.append(unit)
+        return units
 
     def _share(self, shares, index: int) -> Optional[int]:
         return shares[index] if shares is not None else None
@@ -513,21 +557,30 @@ class Supervisor:
         ``hang_timeout`` is inert here -- the CLI documents that the
         watchdog needs ``-j 2`` or more.
         """
-        queue: Deque[_Attempt] = deque(pending)
+        queue: Deque[_Unit] = deque(pending)
+
+        def requeue(att: _Attempt) -> None:
+            queue.append([att])
+
         while queue:
-            att = queue.popleft()
+            unit = queue.popleft()
             now = time.monotonic()
-            if att.ready_at > now:
-                time.sleep(att.ready_at - now)
-            result = run_job(
-                self.config, self.specification, att.job, self.options,
-                self.cache_dir, self.timeout, self._share(shares, att.index),
-                attempt=att.attempt, chaos=self.policy.chaos,
+            ready = max(att.ready_at for att in unit)
+            if ready > now:
+                time.sleep(ready - now)
+            outcomes = run_family(
+                self.config, self.specification,
+                [att.job for att in unit], self.options, self.cache_dir,
+                self.timeout,
+                [self._share(shares, att.index) for att in unit],
+                [att.attempt for att in unit],
+                self.policy.chaos, self._shared_key,
             )
-            self._settle(
-                att, result, time.monotonic(), queue.append,
-                results, journal, store,
-            )
+            now = time.monotonic()
+            for att, result in zip(unit, outcomes):
+                self._settle(
+                    att, result, now, requeue, results, journal, store
+                )
 
     # -- pool mode ------------------------------------------------------
 
@@ -554,19 +607,24 @@ class Supervisor:
             pass
 
     def _dispatch(
-        self, pool: ProcessPoolExecutor, att: _Attempt, shares
+        self, pool: ProcessPoolExecutor, unit: _Unit, shares
     ) -> Future:
-        att.started = time.monotonic()
+        started = time.monotonic()
+        for att in unit:
+            att.started = started
         return pool.submit(
-            run_job, self.config, self.specification, att.job, self.options,
-            self.cache_dir, self.timeout, self._share(shares, att.index),
-            att.attempt, self.policy.chaos,
+            run_family, self.config, self.specification,
+            [att.job for att in unit], self.options, self.cache_dir,
+            self.timeout,
+            [self._share(shares, att.index) for att in unit],
+            [att.attempt for att in unit],
+            self.policy.chaos, self._shared_key,
         )
 
     def _run_pool(self, pending, shares, results, journal, store) -> None:
-        waiting: Deque[_Attempt] = deque(pending)
+        waiting: Deque[_Unit] = deque(pending)
         backoff: List[_Attempt] = []
-        inflight: Dict[Future, _Attempt] = {}
+        inflight: Dict[Future, _Unit] = {}
         pool = self._new_pool()
         try:
             while waiting or backoff or inflight:
@@ -574,10 +632,12 @@ class Supervisor:
                 due = [att for att in backoff if att.ready_at <= now]
                 if due:
                     backoff = [a for a in backoff if a.ready_at > now]
-                    waiting.extend(sorted(due, key=lambda a: a.index))
+                    waiting.extend(
+                        [att] for att in sorted(due, key=lambda a: a.index)
+                    )
                 while waiting and len(inflight) < self.workers:
-                    att = waiting.popleft()
-                    inflight[self._dispatch(pool, att, shares)] = att
+                    unit = waiting.popleft()
+                    inflight[self._dispatch(pool, unit, shares)] = unit
                 if not inflight:
                     next_ready = min(att.ready_at for att in backoff)
                     time.sleep(max(0.0, min(next_ready - now, _TICK_S)))
@@ -589,45 +649,54 @@ class Supervisor:
                 now = time.monotonic()
                 rebuild = False
                 for future in done:
-                    att = inflight.pop(future)
+                    unit = inflight.pop(future)
                     error = future.exception()
                     if error is None:
-                        self._settle(
-                            att, future.result(), now, backoff.append,
-                            results, journal, store,
-                        )
+                        for att, result in zip(unit, future.result()):
+                            self._settle(
+                                att, result, now, backoff.append,
+                                results, journal, store,
+                            )
                     else:
                         # The worker (or the whole pool) died under the
-                        # job: transient by definition.
+                        # unit: transient by definition, for every
+                        # member -- a family shares its process.
                         rebuild = True
                         self.metrics.count("farm.supervise.crash")
-                        self._fail(
-                            att,
-                            f"{type(error).__name__}: {error}",
-                            now, backoff.append, results, journal, store,
-                        )
+                        for att in unit:
+                            self._fail(
+                                att,
+                                f"{type(error).__name__}: {error}",
+                                now, backoff.append, results, journal,
+                                store,
+                            )
                 if self.policy.hang_timeout is not None:
+                    # A unit runs its members back to back, so its hang
+                    # allowance scales with its size.
                     hung = [
                         future
-                        for future, att in inflight.items()
-                        if now - att.started > self.policy.hang_timeout
+                        for future, unit in inflight.items()
+                        if now - unit[0].started
+                        > self.policy.hang_timeout * len(unit)
                     ]
                     for future in hung:
-                        att = inflight.pop(future)
+                        unit = inflight.pop(future)
                         rebuild = True
                         self.metrics.count("farm.supervise.hang")
-                        self._fail(
-                            att,
-                            f"WorkerHang: no result within "
-                            f"{self.policy.hang_timeout}s (watchdog)",
-                            now, backoff.append, results, journal, store,
-                        )
+                        for att in unit:
+                            self._fail(
+                                att,
+                                f"WorkerHang: no result within "
+                                f"{self.policy.hang_timeout}s (watchdog)",
+                                now, backoff.append, results, journal,
+                                store,
+                            )
                 if rebuild:
-                    # Innocent in-flight siblings go back to the front
-                    # of the queue at their *current* attempt number: a
+                    # Innocent in-flight units go back to the front of
+                    # the queue at their *current* attempt numbers: a
                     # neighbor's death must not burn their retries.
-                    for att in inflight.values():
-                        waiting.append(att)
+                    for unit in inflight.values():
+                        waiting.append(unit)
                     inflight.clear()
                     self._abandon_pool(pool)
                     pool = self._new_pool()
@@ -652,9 +721,10 @@ def run_supervised(
     budget: Optional[int] = None,
     scenario: str = "batch",
     policy: Optional[SupervisePolicy] = None,
+    share: bool = True,
 ) -> BatchReport:
     """Answer every job under supervision; see :class:`Supervisor`."""
     return Supervisor(
         config, specification, jobs, options, cache_dir, workers,
-        timeout, budget, scenario, policy,
+        timeout, budget, scenario, policy, share=share,
     ).run()

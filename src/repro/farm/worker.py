@@ -33,10 +33,12 @@ from __future__ import annotations
 import os
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Sequence
 
 from ..bgp.config import NetworkConfig
+from ..bgp.render import render_network
 from ..explain.engine import Explanation, ExplanationEngine, ExplanationStatus
+from ..explain.family import SharedCaches
 from ..obs import Instrumentation, MetricsRegistry
 from ..runtime import (
     CHAOS_CORRUPT,
@@ -50,19 +52,26 @@ from ..runtime import (
 )
 from ..spec.ast import Specification
 from ..synthesis.symexec import AttributeUniverse
+from ..spec.printer import format_specification
 from .invalidate import readset_valid
 from .job import ExplainJob
-from .keys import FarmOptions, job_key
+from .keys import FarmOptions, digest, job_key
 from .readset import TransferRecorder
 from .store import ArtifactStore, JobStore
 
 __all__ = [
     "JobResult",
+    "reset_shared_slot",
+    "run_family",
     "run_job",
+    "shared_batch_key",
     "STATUS_ERROR",
     "STATUS_CACHED",
     "STATUS_QUARANTINED",
 ]
+
+#: Bumped whenever the shared-cache identity payload changes.
+SHARED_KEY_SCHEMA = "repro-farm-shared/1"
 
 #: Statuses beyond the engine's ExplanationStatus values.
 STATUS_ERROR = "ERROR"
@@ -190,8 +199,15 @@ def run_job(
     budget: Optional[int] = None,
     attempt: int = 1,
     chaos: Optional[ChaosPlan] = None,
+    shared: Optional[SharedCaches] = None,
 ) -> JobResult:
-    """Answer one job, consulting and feeding the artifact store."""
+    """Answer one job, consulting and feeding the artifact store.
+
+    ``shared`` threads a worker-process :class:`SharedCaches` through
+    the engine (family dispatch passes it); it is dropped whenever a
+    governor is in play -- sharing under a deadline or budget would let
+    one job's spend change another's answer.
+    """
     global _JOB_ORDINAL
     _JOB_ORDINAL += 1
     ordinal = _JOB_ORDINAL
@@ -258,8 +274,14 @@ def run_job(
             obs=obs,
             stage_store=JobStore(store, key) if store is not None else None,
             recorder=recorder,
+            shared=shared if governor is None else None,
         )
         explanation = job.run(engine)
+        if shared is not None and governor is None:
+            try:
+                shared.certify(job, explanation, obs)
+            except Exception:
+                obs.metrics.count("smt.session.certify_errors")
         payload = _answer_payload(explanation)
         if store is not None and explanation.status is ExplanationStatus.EXACT:
             store.save(key, "explanation", payload)
@@ -283,3 +305,122 @@ def run_job(
                 error_kind=error_kind(exc),
             )
         )
+
+
+def shared_batch_key(
+    config: NetworkConfig,
+    specification: Specification,
+    options: Optional[FarmOptions] = None,
+) -> str:
+    """The identity of one batch's shared caches.
+
+    Covers everything a :class:`SharedCaches` instance bakes in: the
+    full rendered configuration (shared seeds and simulations read all
+    of it, unlike per-job keys), the specification, and the engine
+    options.  Worker processes key their cache slot by it, so a process
+    reused across different batches (or a configuration edit between
+    incremental runs) can never serve stale shared state.
+    """
+    if options is None:
+        options = FarmOptions()
+    return digest(
+        {
+            "schema": SHARED_KEY_SCHEMA,
+            "config": render_network(config),
+            "specification": format_specification(specification),
+            "managed": sorted(specification.managed),
+            "options": options.payload(),
+        }
+    )
+
+
+#: One shared-cache slot per worker process.  A single slot suffices:
+#: a process only ever serves one batch at a time, and a key mismatch
+#: (new batch, edited configuration) simply rebuilds.
+_SHARED_KEY: Optional[str] = None
+_SHARED: Optional[SharedCaches] = None
+
+
+def reset_shared_slot() -> None:
+    """Drop this process's shared-cache slot.
+
+    Serial batches run in the caller's own process, so the slot --
+    and with it every memoized family SAT session -- survives from
+    one batch to the next.  Cold measurements (the ``perline`` bench)
+    and tests that assert on fresh-session counters call this first.
+    """
+    global _SHARED_KEY, _SHARED
+    _SHARED_KEY = None
+    _SHARED = None
+
+
+def _shared_for(
+    key: str,
+    config: NetworkConfig,
+    specification: Specification,
+    options: FarmOptions,
+) -> SharedCaches:
+    global _SHARED_KEY, _SHARED
+    if _SHARED is None or key != _SHARED_KEY:
+        _SHARED = SharedCaches(
+            config,
+            specification,
+            max_path_length=options.max_path_length,
+            projection_limit=options.projection_limit,
+            ibgp=options.ibgp,
+        )
+        _SHARED_KEY = key
+    return _SHARED
+
+
+def run_family(
+    config: NetworkConfig,
+    specification: Specification,
+    jobs: Sequence[ExplainJob],
+    options: Optional[FarmOptions] = None,
+    cache_dir: Optional[str] = None,
+    timeout: Optional[float] = None,
+    budgets: Optional[Sequence[Optional[int]]] = None,
+    attempts: Optional[Sequence[int]] = None,
+    chaos: Optional[ChaosPlan] = None,
+    shared_key: Optional[str] = None,
+) -> List[JobResult]:
+    """Answer one family's jobs in a single worker process.
+
+    Members run back to back against one :class:`SharedCaches`, so the
+    family's seed encode, simulations, statement terms and incremental
+    SAT session are built once and reused.  Sharing is only enabled for
+    ungoverned runs (no ``timeout``, no per-job budget) *and* when the
+    caller supplies the batch's ``shared_key``; otherwise members run
+    exactly as individually dispatched jobs.  Per-job cache keys,
+    stores and read-sets are untouched either way -- a family is a
+    dispatch unit, never a cache unit.
+    """
+    if options is None:
+        options = FarmOptions()
+    budget_list: List[Optional[int]] = (
+        list(budgets) if budgets is not None else [None] * len(jobs)
+    )
+    attempt_list: List[int] = (
+        list(attempts) if attempts is not None else [1] * len(jobs)
+    )
+    shared: Optional[SharedCaches] = None
+    if (
+        shared_key is not None
+        and timeout is None
+        and all(budget is None for budget in budget_list)
+    ):
+        shared = _shared_for(shared_key, config, specification, options)
+        shared.register_family(jobs)
+    results: List[JobResult] = []
+    for job, budget, attempt in zip(jobs, budget_list, attempt_list):
+        results.append(
+            run_job(
+                config, specification, job, options=options,
+                cache_dir=cache_dir, timeout=timeout, budget=budget,
+                attempt=attempt, chaos=chaos, shared=shared,
+            )
+        )
+    if results:
+        results[0].metrics.count("farm.families")
+    return results

@@ -38,6 +38,7 @@ from .builders import (
     TRUE,
     Xor,
 )
+from .incremental import IncrementalSession, TermSession
 from .model import Model
 from .mus import is_minimal_unsat, minimal_unsat_subset
 from .printer import render_conjunction, to_infix, to_sexpr
@@ -76,6 +77,7 @@ __all__ = [
     "check_sat", "is_satisfiable", "is_valid", "entails", "equivalent",
     "iter_models", "count_models", "enumerate_models", "ModelEnumeration",
     "Model",
+    "IncrementalSession", "TermSession",
     "minimal_unsat_subset", "is_minimal_unsat",
     # printing
     "to_infix", "to_sexpr", "render_conjunction",

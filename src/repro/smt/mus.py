@@ -6,6 +6,18 @@ unsatisfiable, the dropped constraint was irrelevant.  The survivors
 form a *minimal* unsatisfiable subset: removing any single element
 makes the rest satisfiable.
 
+The probes run incrementally: each constraint ``c_i`` is guarded by a
+fresh selector boolean (``__mus_sel_i -> c_i``), the whole guarded
+conjunction is blasted into a single :class:`~repro.smt.incremental.
+TermSession`, and every probe is an assumption solve over the selector
+literals of the surviving subset -- learned clauses carry across
+probes instead of re-blasting the conjunction each time.  UNSAT probes
+additionally return a failed-assumption core, and any later candidate
+that still contains the last known core is unsatisfiable *without
+solving* -- the same verdict a solve would return, so the deletion
+sequence (and therefore the extracted MUS) is identical to the naive
+one-shot loop, just cheaper.
+
 Used by :mod:`repro.synthesis.diagnose` to explain *why* a
 specification is unrealizable -- which requirement statements conflict
 -- supporting the paper's "faster specification refinement iteration"
@@ -14,18 +26,48 @@ motivation (§1).
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from .builders import And
+from ..obs import Instrumentation
+from ..runtime import Governor
+from .builders import And, BoolVar, Implies
+from .incremental import TermSession
+from .sat import SatResult
 from .solver import check_sat
 from .terms import Term
 
 __all__ = ["minimal_unsat_subset", "is_minimal_unsat"]
 
 
+def _guarded_session(
+    constraints: Sequence[Term],
+    background: Optional[Term],
+    governor: Optional[Governor],
+    obs: Optional[Instrumentation],
+) -> Tuple[TermSession, List[Optional[int]]]:
+    """One session over ``background AND (sel_i -> c_i)`` per constraint.
+
+    Returns the session plus each constraint's selector literal.  A
+    ``None`` literal means the guarded implication folded away (e.g.
+    the constraint is trivially true), so the constraint never affects
+    satisfiability and needs no assumption.
+    """
+    base = background if background is not None else And()
+    selectors = [BoolVar(f"__mus_sel_{index}") for index in range(len(constraints))]
+    guarded = And(
+        base,
+        *[Implies(selector, constraint) for selector, constraint in zip(selectors, constraints)],
+    )
+    session = TermSession(guarded, governor=governor, obs=obs)
+    literals = [session.selector(selector, True) for selector in selectors]
+    return session, literals
+
+
 def minimal_unsat_subset(
     constraints: Sequence[Term],
     background: Optional[Term] = None,
+    governor: Optional[Governor] = None,
+    obs: Optional[Instrumentation] = None,
 ) -> Tuple[Term, ...]:
     """A minimal subset of ``constraints`` that is unsatisfiable
     (together with the always-kept ``background``).
@@ -36,37 +78,68 @@ def minimal_unsat_subset(
         If the full set (with background) is satisfiable -- there is
         nothing to diagnose.
     """
-    base = background if background is not None else And()
-
-    def unsat(subset: Sequence[Term]) -> bool:
-        return check_sat(And(base, *subset)) is None
-
     constraints = list(constraints)
-    if not unsat(constraints):
-        raise ValueError("constraint set is satisfiable; no unsat subset exists")
+    session, literals = _guarded_session(constraints, background, governor, obs)
+    literal_index: Dict[int, int] = {
+        literal: index for index, literal in enumerate(literals) if literal is not None
+    }
 
-    kept: List[Term] = list(constraints)
-    index = 0
-    while index < len(kept):
-        candidate = kept[:index] + kept[index + 1:]
-        if unsat(candidate):
+    def probe(indices: Sequence[int]) -> SatResult:
+        assumptions = [
+            literal for literal in (literals[index] for index in indices) if literal is not None
+        ]
+        return session.solve(assumptions)
+
+    def core_of(result: SatResult) -> Set[int]:
+        return {literal_index[literal] for literal in result.core if literal in literal_index}
+
+    every = list(range(len(constraints)))
+    result = probe(every)
+    if result.satisfiable:
+        raise ValueError("constraint set is satisfiable; no unsat subset exists")
+    # Invariant: ``base AND {constraints[i] for i in core}`` is
+    # unsatisfiable, and ``core`` is a subset of ``kept``.
+    core = core_of(result)
+
+    kept = every
+    position = 0
+    while position < len(kept):
+        dropped = kept[position]
+        candidate = kept[:position] + kept[position + 1 :]
+        if dropped not in core:
+            # Core reuse: the last known unsat core survives this drop,
+            # so the candidate is unsatisfiable without solving -- the
+            # exact verdict a probe would return.
+            kept = candidate
+            if obs is not None:
+                obs.count("smt.mus.core_skips")
+            continue
+        result = probe(candidate)
+        if not result.satisfiable:
             kept = candidate  # the dropped constraint was not needed
+            core = core_of(result)
         else:
-            index += 1  # constraint is necessary; keep it
-    return tuple(kept)
+            position += 1  # constraint is necessary; keep it
+    return tuple(constraints[index] for index in kept)
 
 
 def is_minimal_unsat(
     constraints: Sequence[Term],
     background: Optional[Term] = None,
+    governor: Optional[Governor] = None,
+    obs: Optional[Instrumentation] = None,
 ) -> bool:
     """Whether ``constraints`` is unsatisfiable and every proper subset
     obtained by dropping one element is satisfiable."""
     base = background if background is not None else And()
-    if check_sat(And(base, *constraints)) is not None:
+    if check_sat(And(base, *constraints), governor=governor, obs=obs) is not None:
         return False
+    if not constraints:
+        return True
+    session, literals = _guarded_session(constraints, background, governor, obs)
     for index in range(len(constraints)):
-        rest = list(constraints[:index]) + list(constraints[index + 1:])
-        if check_sat(And(base, *rest)) is None:
+        rest = [i for i in range(len(constraints)) if i != index]
+        assumptions = [literal for literal in (literals[i] for i in rest) if literal is not None]
+        if not session.solve(assumptions).satisfiable:
             return False
     return True

@@ -34,7 +34,14 @@ _RESTART_INTERVAL_CEILING = 1_000_000
 
 @dataclass
 class SatResult:
-    """Outcome of a SAT call."""
+    """Outcome of a SAT call.
+
+    ``core`` is only populated on unsatisfiable calls made under
+    assumptions: it is a subset of the assumption literals that is
+    already unsatisfiable together with the clause set (MiniSat's
+    "failed assumptions").  An empty core on an UNSAT result means the
+    clause set is unsatisfiable regardless of the assumptions.
+    """
 
     satisfiable: bool
     assignment: Dict[int, bool]
@@ -42,6 +49,7 @@ class SatResult:
     decisions: int = 0
     propagations: int = 0
     restarts: int = 0
+    core: Tuple[int, ...] = ()
 
 
 class _Clause:
@@ -59,13 +67,20 @@ _FALSE = -1
 
 
 class SatSolver:
-    """Incremental-free CDCL solver.
+    """CDCL solver supporting repeated assumption solves.
 
     Usage::
 
         solver = SatSolver(num_vars)
         solver.add_clause([1, -2])
         result = solver.solve()
+
+    ``solve()`` may be called repeatedly (with different assumptions,
+    and with further ``add_clause`` calls in between); each call resets
+    the search state but keeps learned clauses, variable activities,
+    and saved phases, so related queries get cheaper over time.  The
+    ``conflicts``/``decisions``/``propagations``/``restarts`` counters
+    on both the solver and its results are cumulative across calls.
     """
 
     def __init__(
@@ -87,6 +102,7 @@ class SatSolver:
         self._trail_limits: List[int] = []
         self._activity: List[float] = [0.0] * (num_vars + 1)
         self._phase: List[bool] = [False] * (num_vars + 1)
+        self._qhead = 0
         self._activity_inc = 1.0
         self._activity_decay = 0.95
         self._empty_clause = False
@@ -158,7 +174,7 @@ class SatSolver:
 
     def _propagate(self) -> Optional[_Clause]:
         """Unit propagation; returns a conflicting clause or None."""
-        head = getattr(self, "_qhead", 0)
+        head = self._qhead
         while head < len(self._trail):
             literal = self._trail[head]
             head += 1
@@ -264,10 +280,11 @@ class SatSolver:
         for literal in reversed(self._trail[limit:]):
             variable = abs(literal)
             self._values[variable] = _UNASSIGNED
+            self._levels[variable] = 0
             self._reasons[variable] = None
         del self._trail[limit:]
         del self._trail_limits[level:]
-        self._qhead = min(getattr(self, "_qhead", 0), len(self._trail))
+        self._qhead = min(self._qhead, len(self._trail))
 
     def _decide(self) -> Optional[int]:
         best_var = 0
@@ -295,25 +312,53 @@ class SatSolver:
             self.obs.count("sat.restarts", result.restarts)
         return result
 
-    def _solve(self, assumptions: Sequence[int]) -> SatResult:
-        if self._empty_clause:
-            return SatResult(False, {})
+    def _reset_search(self) -> None:
+        """Return to a clean root state before a new search.
+
+        Repeated ``solve()`` calls on one solver (the incremental
+        session's bread and butter) must not observe the previous
+        call's trail, assumption levels, or propagation queue --
+        including after UNSAT exits that never reached the main loop.
+        """
+        for literal in self._trail:
+            variable = abs(literal)
+            self._values[variable] = _UNASSIGNED
+            self._levels[variable] = 0
+            self._reasons[variable] = None
+        self._trail.clear()
+        self._trail_limits.clear()
         self._qhead = 0
+
+    def _solve(self, assumptions: Sequence[int]) -> SatResult:
+        self._reset_search()
+        for literal in assumptions:
+            if literal == 0 or abs(literal) > self.num_vars:
+                raise ValueError(
+                    f"assumption literal {literal} out of range (num_vars={self.num_vars})"
+                )
+        assumption_set = frozenset(assumptions)
+        if self._empty_clause:
+            return self._result(False)
         if not self._attach_all():
-            return SatResult(False, {})
+            return self._result(False)
         conflict = self._propagate()
         if conflict is not None:
-            return SatResult(False, {})
+            return self._result(False)
         for literal in assumptions:
             if self._value_of(literal) == _TRUE:
                 continue
             if self._value_of(literal) == _FALSE:
-                return self._result(False)
+                # The assumption is already falsified: the failed core
+                # is the assumption itself plus whatever assumptions
+                # forced its negation.
+                core = (literal,) + self._assumption_core([literal], assumption_set)
+                return self._result(False, core=core)
             self._trail_limits.append(len(self._trail))
             self._enqueue(literal, None)
             conflict = self._propagate()
             if conflict is not None:
-                return self._result(False)
+                core = self._assumption_core(conflict.literals, assumption_set)
+                return self._result(False, core=core)
         assumption_level = len(self._trail_limits)
         conflict_budget = 100
         while True:
@@ -323,7 +368,8 @@ class SatSolver:
                 if self.governor is not None:
                     self.governor.checkpoint("sat")
                 if len(self._trail_limits) <= assumption_level:
-                    return self._result(False)
+                    core = self._assumption_core(conflict.literals, assumption_set)
+                    return self._result(False, core=core)
                 learned, backtrack_level = self._analyze(conflict)
                 backtrack_level = max(backtrack_level, assumption_level)
                 self._backtrack(backtrack_level)
@@ -359,7 +405,49 @@ class SatSolver:
         exponent = min(self.conflicts / 100.0, _RESTART_EXPONENT_CAP)
         return min(int(_RESTART_BASE * 1.5 ** exponent), _RESTART_INTERVAL_CEILING)
 
-    def _result(self, satisfiable: bool) -> SatResult:
+    def _assumption_core(
+        self, seed: Iterable[int], assumption_set: frozenset
+    ) -> Tuple[int, ...]:
+        """Failed-assumption analysis (MiniSat's ``analyzeFinal``).
+
+        Walks antecedents backwards from the falsified ``seed``
+        literals; every assumption decision reached belongs to a subset
+        of the assumptions that is unsatisfiable together with the
+        clause set.  Literals assigned at level 0 are implied by the
+        clause set alone and contribute nothing, as are reason-less
+        literals that are not assumptions (units asserted by conflict
+        analysis, which are clause-set consequences).
+        """
+        seen = [False] * (self.num_vars + 1)
+        pending = 0
+        for lit in seed:
+            variable = abs(lit)
+            if self._levels[variable] > 0 and not seen[variable]:
+                seen[variable] = True
+                pending += 1
+        core: List[int] = []
+        for literal in reversed(self._trail):
+            if pending == 0:
+                break
+            variable = abs(literal)
+            if not seen[variable]:
+                continue
+            seen[variable] = False
+            pending -= 1
+            reason = self._reasons[variable]
+            if reason is None:
+                if literal in assumption_set:
+                    core.append(literal)
+            else:
+                for lit in reason.literals:
+                    v = abs(lit)
+                    if self._levels[v] > 0 and not seen[v]:
+                        seen[v] = True
+                        pending += 1
+        core.reverse()
+        return tuple(core)
+
+    def _result(self, satisfiable: bool, core: Tuple[int, ...] = ()) -> SatResult:
         assignment: Dict[int, bool] = {}
         if satisfiable:
             for variable in range(1, self.num_vars + 1):
@@ -372,6 +460,7 @@ class SatSolver:
             decisions=self.decisions,
             propagations=self.propagations,
             restarts=self.restarts,
+            core=core,
         )
         self._backtrack(0)
         return result

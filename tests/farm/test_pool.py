@@ -180,16 +180,28 @@ def _run_job_dying_on_r2(config, specification, job, *args, **kwargs):
     return run_job(config, specification, job, *args, **kwargs)
 
 
-def test_dead_worker_fails_only_its_own_job(s1, tmp_path, monkeypatch):
+def _run_family_dying_on_r2(config, specification, jobs, *args, **kwargs):
+    """A stand-in family entry point whose process dies on R2's family."""
+    if any(job.device == "R2" for job in jobs):
+        os._exit(1)
+    from repro.farm.worker import run_family
+
+    return run_family(config, specification, jobs, *args, **kwargs)
+
+
+@pytest.mark.parametrize("share", [False, True])
+def test_dead_worker_fails_only_its_own_job(s1, tmp_path, monkeypatch, share):
     """Satellite regression: a worker killed by the OS mid-batch must
-    surface as one failed JobResult, never as a lost batch."""
+    surface as failed JobResults for its own unit, never as a lost
+    batch -- under both per-job and family dispatch."""
     import repro.farm.pool as pool_mod
 
     monkeypatch.setattr(pool_mod, "run_job", _run_job_dying_on_r2)
+    monkeypatch.setattr(pool_mod, "run_family", _run_family_dying_on_r2)
     jobs = enumerate_jobs(s1.paper_config, s1.specification)
     report = run_batch(
         s1.paper_config, s1.specification, jobs,
-        cache_dir=str(tmp_path), workers=2,
+        cache_dir=str(tmp_path), workers=2, share=share,
     )
     assert len(report.results) == len(jobs)
     by_device = {r.job.device: r for r in report.results}

@@ -56,6 +56,24 @@ def test_run_bench_rejects_unknown_scenario():
         run_bench(scenarios=["scenario9"])
     with pytest.raises(ValueError):
         run_bench(scenarios=["scenario1"], repeat=0)
+    with pytest.raises(ValueError):
+        run_bench(scenarios=["scenario1"], families=["warmline"])
+
+
+def test_perline_family_measures_family_dispatch():
+    report = run_bench(
+        scenarios=["scenario1"], repeat=1, families=["perline"]
+    )
+    stages = {record.stage for record in report.stages}
+    assert stages == {"perline", "perline.solo"}
+    perline = report.stage("scenario1", "perline")
+    assert perline is not None and perline.median_s > 0.0
+    # The counters pin the solver-reuse arithmetic the CI job gates on.
+    counters = perline.counters
+    assert counters["smt.session.instances"] == counters["farm.families"]
+    assert counters["smt.session.reuse"] > 0
+    solo = report.stage("scenario1", "perline.solo")
+    assert solo is not None and solo.counters == {}
 
 
 def test_run_scenario_once_nests_engine_spans_under_explain():

@@ -122,8 +122,10 @@ def run_perline_once(scenario: Scenario) -> "_PerlineSample":
     keys must be byte-identical between the two dispatch modes --
     a mismatch fails the bench rather than timing a wrong answer.
     """
-    from .farm import enumerate_jobs, reset_shared_slot, run_batch
+    from .farm.job import enumerate_jobs
     from .farm.keys import canonical_json
+    from .farm.pool import run_batch
+    from .farm.worker import reset_shared_slot
 
     config, spec = scenario.paper_config, scenario.specification
     jobs = enumerate_jobs(config, spec, per_line=True)

@@ -61,6 +61,23 @@ from typing import Callable, Dict, Optional
 
 from .bgp.render import render_network, render_router
 from .explain import ACTION, ExplanationEngine
+
+# Exit codes: the structured error taxonomy maps to distinct non-zero
+# codes so scripts can tell a timeout from an unsatisfiable instance
+# from a genuine crash (argparse itself uses 2 for usage errors).
+# Defined once in repro.farm.report (the batch-report vocabulary) and
+# re-exported here for backwards compatibility.
+from .farm.report import (
+    EXIT_BUDGET,
+    EXIT_CANCELLED,
+    EXIT_FAILURE,
+    EXIT_INTERNAL,
+    EXIT_OK,
+    EXIT_PARTIAL,
+    EXIT_TIMEOUT,
+    EXIT_UNSAT,
+    EXIT_USAGE,
+)
 from .runtime import (
     Cancelled,
     DeadlineExceeded,
@@ -68,36 +85,14 @@ from .runtime import (
     ReproError,
     ResourceExhausted,
 )
-from .scenarios import (Scenario, campus_scenario, scenario1, scenario2,
-                        scenario2_fixed, scenario3)
+from .scenarios import SCENARIOS, Scenario
 from .spec.printer import format_specification
 from .synthesis import SynthesisError, Synthesizer
 from .verify import verify
 
 __all__ = ["main", "build_parser"]
 
-# Exit codes: the structured error taxonomy maps to distinct non-zero
-# codes so scripts can tell a timeout from an unsatisfiable instance
-# from a genuine crash (argparse itself uses 2 for usage errors).
-EXIT_OK = 0
-EXIT_FAILURE = 1
-EXIT_USAGE = 2
-EXIT_TIMEOUT = 3
-EXIT_BUDGET = 4
-EXIT_CANCELLED = 5
-EXIT_UNSAT = 6
-#: A supervised batch completed, but some jobs were quarantined after
-#: exhausting their retries: the report is partial but honest.
-EXIT_PARTIAL = 7
-EXIT_INTERNAL = 70
-
-_SCENARIOS: Dict[str, Callable[[], Scenario]] = {
-    "scenario1": scenario1,
-    "scenario2": scenario2,
-    "scenario2_fixed": scenario2_fixed,
-    "scenario3": scenario3,
-    "campus": campus_scenario,
-}
+_SCENARIOS: Dict[str, Callable[[], Scenario]] = dict(SCENARIOS)
 
 
 def _load_scenario(name: str) -> Scenario:
@@ -382,6 +377,59 @@ def build_parser() -> argparse.ArgumentParser:
         "kill@JOB, hang[:SECS]@JOB, flaky[:TIMES]@JOB, "
         "corrupt[:STAGE]@JOB, where JOB is a job id, #N (the Nth job "
         "of a worker process) or *",
+    )
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the HTTP explanation service (see docs/service.md)",
+    )
+    serve.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address (default 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8421,
+        help="listen port (default 8421)",
+    )
+    serve.add_argument(
+        "-j",
+        "--jobs",
+        dest="workers",
+        type=int,
+        default=2,
+        metavar="N",
+        help="default per-tenant cap on farm workers per batch "
+        "(default 2; a --tenant-config overrides)",
+    )
+    serve.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="shared artifact cache every batch runs against "
+        "(default: ~/.cache/repro-farm)",
+    )
+    serve.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="run the service without a persistent artifact store",
+    )
+    serve.add_argument(
+        "--tenant-config",
+        default=None,
+        metavar="PATH",
+        help="JSON tenant policy document (schema repro-serve-tenants/1): "
+        "per-tenant rate limits and worker/budget/timeout caps",
+    )
+    serve.add_argument(
+        "--drain-timeout",
+        type=_non_negative_float,
+        default=60.0,
+        metavar="SECONDS",
+        help="on SIGTERM, how long to wait for in-flight families to "
+        "finish and journal before giving up (default 60)",
     )
 
     analyze = subparsers.add_parser(
@@ -700,19 +748,12 @@ def _cmd_analyze(args: argparse.Namespace, out) -> int:
 
 
 def _cmd_explain_all(args: argparse.Namespace, out) -> int:
-    import json as json_module
     import os
 
-    from .bgp.confparse import parse_network
-    from .farm import (
-        SupervisePolicy,
-        enumerate_jobs,
-        run_incremental,
-        run_supervised,
-    )
+    from . import api
+    from .farm.report import dump_document
     from .runtime import ChaosPlan
 
-    scenario = _load_scenario(args.name)
     if args.no_cache and args.cache_dir is not None:
         raise SystemExit("--no-cache and --cache-dir are mutually exclusive")
     if args.no_cache:
@@ -733,55 +774,40 @@ def _cmd_explain_all(args: argparse.Namespace, out) -> int:
             raise SystemExit("--chaos kill/hang events need -j 2 or more")
     if args.resume and cache_dir is None:
         raise SystemExit("--resume needs the cache (drop --no-cache)")
-    jobs = enumerate_jobs(
-        scenario.paper_config, scenario.specification, per_line=args.per_line
-    )
-    if not jobs:
-        print("no explainable jobs in this scenario", file=out)
-        return EXIT_OK
+    since = None
     if args.since is not None:
         if cache_dir is None:
             raise SystemExit("--since needs the cache (drop --no-cache)")
         with open(args.since) as handle:
-            old_config = parse_network(handle.read(), scenario.topology)
-        report = run_incremental(
-            old_config, scenario.paper_config, scenario.specification, jobs,
-            cache_dir=cache_dir, workers=args.workers,
-            timeout=args.timeout, budget=args.budget, scenario=args.name,
-            share=not args.no_share,
-        )
-    else:
-        policy = SupervisePolicy(
-            max_retries=args.retries,
-            backoff_base=args.retry_backoff,
-            hang_timeout=args.hang_timeout,
-            max_quarantine=args.max_quarantine,
-            resume=args.resume,
-            chaos=chaos,
-        )
-        report = run_supervised(
-            scenario.paper_config, scenario.specification, jobs,
-            cache_dir=cache_dir, workers=args.workers,
-            timeout=args.timeout, budget=args.budget, scenario=args.name,
-            policy=policy, share=not args.no_share,
-        )
+            since = handle.read()
+    request = api.ExplainRequest(
+        scenario=args.name,
+        since=since,
+        per_line=args.per_line,
+        workers=args.workers,
+        cache_dir=cache_dir,
+        timeout=args.timeout,
+        budget=args.budget,
+        share=not args.no_share,
+        retries=args.retries,
+        retry_backoff=args.retry_backoff,
+        hang_timeout=args.hang_timeout,
+        max_quarantine=args.max_quarantine,
+        resume=args.resume,
+    )
+    try:
+        report = api.explain_batch(request, chaos=chaos)
+    except api.ApiError as exc:
+        raise SystemExit(str(exc))
+    if not report.results:
+        print("no explainable jobs in this scenario", file=out)
+        return EXIT_OK
     print(report.summary_table(), file=out)
     if args.json:
         with open(args.json, "w") as handle:
-            json_module.dump(report.to_dict(), handle, indent=2)
-            handle.write("\n")
+            handle.write(dump_document(dict(report.document)))
         print(f"report written to {args.json}", file=out)
-    if report.failed:
-        return EXIT_FAILURE
-    if report.quarantined:
-        return EXIT_PARTIAL
-    if report.degraded:
-        # Per-job governors live in the workers, so the batch cannot
-        # ask "which limit fired?" -- map from the flags instead.
-        if args.timeout is not None and args.budget is None:
-            return EXIT_TIMEOUT
-        return EXIT_BUDGET
-    return EXIT_OK
+    return report.exit_code(timeout=args.timeout, budget=args.budget)
 
 
 def _cmd_bench(args: argparse.Namespace, out) -> int:
@@ -814,6 +840,44 @@ def _cmd_bench(args: argparse.Namespace, out) -> int:
     return EXIT_OK
 
 
+def _cmd_serve(args: argparse.Namespace, out) -> int:
+    import os
+
+    from .serve import TenantBook, TenantConfigError, TenantPolicy, serve_forever
+
+    if args.no_cache and args.cache_dir is not None:
+        raise SystemExit("--no-cache and --cache-dir are mutually exclusive")
+    if args.no_cache:
+        cache_dir = None
+    elif args.cache_dir is not None:
+        cache_dir = args.cache_dir
+    else:
+        cache_dir = os.path.join(
+            os.path.expanduser("~"), ".cache", "repro-farm"
+        )
+    if args.tenant_config is not None:
+        try:
+            tenants = TenantBook.from_file(args.tenant_config)
+        except (OSError, TenantConfigError) as exc:
+            raise SystemExit(f"bad --tenant-config: {exc}")
+    else:
+        tenants = TenantBook(
+            {"default": TenantPolicy(max_workers=args.workers)}
+        )
+    print(
+        f"repro-serve listening on http://{args.host}:{args.port} "
+        f"(cache: {cache_dir or 'disabled'})",
+        file=out,
+    )
+    return serve_forever(
+        host=args.host,
+        port=args.port,
+        cache_dir=cache_dir,
+        tenants=tenants,
+        drain_timeout=args.drain_timeout,
+    )
+
+
 _COMMANDS = {
     "scenario": _cmd_scenario,
     "verify": _cmd_verify,
@@ -830,6 +894,7 @@ _COMMANDS = {
     "annotate": _cmd_annotate,
     "bench": _cmd_bench,
     "explain-all": _cmd_explain_all,
+    "serve": _cmd_serve,
 }
 
 

@@ -39,18 +39,36 @@ The CLI front-end is ``python -m repro.cli explain-all``; see
 ``docs/farm.md`` for the architecture.
 """
 
+import warnings
+from typing import Any
+
 from .invalidate import compute_dirty, readset_valid, sketch_universe
 from .job import ExplainJob, JobFamily, enumerate_jobs, group_families
 from .keys import FarmOptions, canonical_json, digest, job_key
-from .pool import BatchReport, run_batch, run_incremental
+from .pool import BatchReport
 from .readset import TransferRecorder
+from .report import (
+    EXIT_BUDGET,
+    EXIT_FAILURE,
+    EXIT_OK,
+    EXIT_PARTIAL,
+    EXIT_TIMEOUT,
+    REPORT_SCHEMA,
+    STATUS_CACHED,
+    STATUS_DEGRADED_LIFT,
+    STATUS_DEGRADED_RAW,
+    STATUS_ERROR,
+    STATUS_EXACT,
+    STATUS_FAILED,
+    STATUS_QUARANTINED,
+    normalize_document,
+)
 from .store import ArtifactStore, JobStore, StoreError
 from .supervise import (
     RunJournal,
     SupervisePolicy,
     Supervisor,
     batch_signature,
-    run_supervised,
 )
 from .worker import (
     JobResult,
@@ -59,6 +77,35 @@ from .worker import (
     run_job,
     shared_batch_key,
 )
+
+# The batch entrypoints moved behind the typed facade in ``repro.api``
+# (``explain_batch`` and friends); importing them from the farm root is
+# deprecated for one release.  PEP 562 module ``__getattr__`` keeps
+# ``from repro.farm import run_batch`` working -- with a warning --
+# while internal callers import from ``.pool`` / ``.supervise``
+# directly and stay silent.
+_DEPRECATED_ENTRYPOINTS = {
+    "run_batch": ("pool", "repro.api.explain_batch"),
+    "run_incremental": ("pool", "repro.api.explain_batch (with since=...)"),
+    "run_supervised": ("supervise", "repro.api.explain_batch"),
+}
+
+
+def __getattr__(name: str) -> Any:
+    moved = _DEPRECATED_ENTRYPOINTS.get(name)
+    if moved is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    submodule, replacement = moved
+    warnings.warn(
+        f"importing {name!r} from repro.farm is deprecated; "
+        f"use {replacement} or repro.farm.{submodule}.{name}",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    import importlib
+
+    return getattr(importlib.import_module(f".{submodule}", __name__), name)
+
 
 __all__ = [
     "ExplainJob",
@@ -89,4 +136,18 @@ __all__ = [
     "Supervisor",
     "batch_signature",
     "run_supervised",
+    "REPORT_SCHEMA",
+    "STATUS_EXACT",
+    "STATUS_DEGRADED_LIFT",
+    "STATUS_DEGRADED_RAW",
+    "STATUS_FAILED",
+    "STATUS_ERROR",
+    "STATUS_CACHED",
+    "STATUS_QUARANTINED",
+    "EXIT_OK",
+    "EXIT_FAILURE",
+    "EXIT_TIMEOUT",
+    "EXIT_BUDGET",
+    "EXIT_PARTIAL",
+    "normalize_document",
 ]

@@ -42,6 +42,7 @@ from ..obs import (
 from ..runtime import TRANSIENT, split_budget
 from ..spec.ast import Specification
 from ..bgp.config import NetworkConfig
+from . import report as report_mod
 from .invalidate import compute_dirty
 from .job import ExplainJob, JobFamily, group_families
 from .keys import FarmOptions
@@ -119,40 +120,15 @@ class BatchReport:
         return hits / (hits + misses)
 
     # -- rendering ------------------------------------------------------
+    #
+    # The table and document shapes live in repro.farm.report (the
+    # single source of truth the CLI, the serving layer and the typed
+    # facade share); these methods are thin delegates kept for callers
+    # holding a report object.
 
     def summary_table(self) -> str:
         """The human-readable per-job table plus batch totals."""
-        rows = [("job", "status", "cached", "tries", "time")]
-        for result in self.results:
-            rows.append(
-                (
-                    result.job.job_id,
-                    result.status,
-                    "yes" if result.cached else "no",
-                    str(result.attempts),
-                    f"{result.duration_s:.2f}s",
-                )
-            )
-        widths = [max(len(row[i]) for row in rows) for i in range(5)]
-        lines = [
-            "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)).rstrip()
-            for row in rows
-        ]
-        lines.insert(1, "  ".join("-" * width for width in widths))
-        lines.append("")
-        lines.append(
-            f"{len(self.results)} jobs: {self.completed} ok "
-            f"({self.cached} from cache), {self.degraded} degraded, "
-            f"{self.failed} failed, {self.quarantined} quarantined"
-        )
-        lines.append(
-            f"wall {self.wall_s:.2f}s, cpu {self.cpu_s:.2f}s, "
-            f"workers {self.workers}"
-        )
-        rate = self.stage_cache_rate()
-        if rate is not None:
-            lines.append(f"stage cache hit rate: {rate:.0%}")
-        return "\n".join(lines)
+        return report_mod.summary_table(self)
 
     def stage_records(self) -> List[StageRecord]:
         """Per-stage records in the benchmark harness's shape."""
@@ -188,31 +164,7 @@ class BatchReport:
 
     def to_dict(self) -> Dict[str, object]:
         """The ``--json`` report document."""
-        farm_counters = {
-            name: value
-            for name, value in sorted(self.metrics.counters.items())
-            if name.startswith(("farm.", "smt.", "engine."))
-        }
-        return {
-            "schema": "repro-farm-report/1",
-            "scenario": self.scenario,
-            "workers": self.workers,
-            "wall_s": round(self.wall_s, 4),
-            "cpu_s": round(self.cpu_s, 4),
-            "jobs": [result.row() for result in self.results],
-            "totals": {
-                "jobs": len(self.results),
-                "completed": self.completed,
-                "cached": self.cached,
-                "degraded": self.degraded,
-                "failed": self.failed,
-                "quarantined": self.quarantined,
-                "retried": self.retried,
-            },
-            "stage_cache_rate": self.stage_cache_rate(),
-            "counters": farm_counters,
-            "bench": self.to_bench_report().to_dict(),
-        }
+        return report_mod.report_document(self)
 
 
 def _member_indices(

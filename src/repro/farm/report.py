@@ -1,0 +1,331 @@
+"""The single source of truth for batch-report vocabulary and shape.
+
+Three consumers need to agree on what a batch run *says*: the
+``explain-all`` CLI (summary table, ``--json`` document, exit code),
+the HTTP serving layer (job status and result documents), and the
+typed :mod:`repro.api` facade.  Before this module each of them
+hand-rolled its own status strings and dict plumbing; now everything
+-- the status taxonomy (``EXACT`` / ``DEGRADED_*`` / ``FAILED`` /
+``ERROR`` / ``CACHED`` / ``QUARANTINED``), the process exit codes
+(3/4/5/6/7/70), the ``repro-farm-report/1`` JSON document and the
+human summary table -- is defined here once and imported everywhere
+else.
+
+The functions are deliberately duck-typed over
+:class:`repro.farm.pool.BatchReport` and
+:class:`repro.farm.worker.JobResult` (this module sits *below* both in
+the import graph), and the document/table output is regression-tested
+byte-for-byte against goldens captured before the extraction
+(``tests/farm/test_report.py``): moving the code must not move the
+bytes.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+__all__ = [
+    "REPORT_SCHEMA",
+    "STATUS_EXACT",
+    "STATUS_DEGRADED_LIFT",
+    "STATUS_DEGRADED_RAW",
+    "STATUS_FAILED",
+    "STATUS_ERROR",
+    "STATUS_CACHED",
+    "STATUS_QUARANTINED",
+    "OK_STATUSES",
+    "DEGRADED_STATUSES",
+    "ALL_STATUSES",
+    "EXIT_OK",
+    "EXIT_FAILURE",
+    "EXIT_USAGE",
+    "EXIT_TIMEOUT",
+    "EXIT_BUDGET",
+    "EXIT_CANCELLED",
+    "EXIT_UNSAT",
+    "EXIT_PARTIAL",
+    "EXIT_INTERNAL",
+    "job_row",
+    "report_document",
+    "report_totals",
+    "summary_table",
+    "summary_from_document",
+    "exit_code",
+    "normalize_document",
+    "dump_document",
+]
+
+#: Bumped whenever the ``--json`` document shape changes.
+REPORT_SCHEMA = "repro-farm-report/1"
+
+# ---------------------------------------------------------------------------
+# The status taxonomy.
+#
+# The first four mirror repro.explain.ExplanationStatus (the engine's
+# degradation ladder); the rest are farm-level outcomes a job can have
+# without the engine ever running.  The enum values are duplicated here
+# as plain strings on purpose: this module is the vocabulary the wire
+# formats promise, and must not drift silently with engine internals
+# (``tests/farm/test_report.py`` pins the correspondence).
+
+STATUS_EXACT = "EXACT"
+STATUS_DEGRADED_LIFT = "DEGRADED_LIFT"
+STATUS_DEGRADED_RAW = "DEGRADED_RAW"
+STATUS_FAILED = "FAILED"
+#: The job raised (worker-side); ``error_kind`` says transient/permanent.
+STATUS_ERROR = "ERROR"
+#: Served whole from the artifact store (answer + valid read-set).
+STATUS_CACHED = "CACHED"
+#: Exhausted its supervised retries; in the quarantine ledger.
+STATUS_QUARANTINED = "QUARANTINED"
+
+#: Statuses counting as a successful answer.
+OK_STATUSES = frozenset({STATUS_EXACT, STATUS_CACHED})
+#: Statuses meaning "the engine ran but was cut short".
+DEGRADED_STATUSES = frozenset(
+    {STATUS_DEGRADED_LIFT, STATUS_DEGRADED_RAW, STATUS_FAILED}
+)
+ALL_STATUSES = frozenset(
+    {
+        STATUS_EXACT,
+        STATUS_DEGRADED_LIFT,
+        STATUS_DEGRADED_RAW,
+        STATUS_FAILED,
+        STATUS_ERROR,
+        STATUS_CACHED,
+        STATUS_QUARANTINED,
+    }
+)
+
+# ---------------------------------------------------------------------------
+# Exit codes (shared by the CLI and the serving layer's job documents).
+# argparse itself uses 2 for usage errors.
+
+EXIT_OK = 0
+EXIT_FAILURE = 1
+EXIT_USAGE = 2
+EXIT_TIMEOUT = 3
+EXIT_BUDGET = 4
+EXIT_CANCELLED = 5
+EXIT_UNSAT = 6
+#: A supervised batch completed, but some jobs were quarantined after
+#: exhausting their retries: the report is partial but honest.
+EXIT_PARTIAL = 7
+EXIT_INTERNAL = 70
+
+
+# ---------------------------------------------------------------------------
+# The JSON document (the CLI's --json file, the server's result body)
+
+
+def job_row(result: Any) -> Dict[str, object]:
+    """One summary-table / JSON-report row for a ``JobResult``."""
+    return {
+        "job": result.job.job_id,
+        "status": result.status,
+        "cached": result.cached,
+        "duration_s": round(result.duration_s, 4),
+        "key": result.key,
+        "error": result.error,
+        "error_kind": result.error_kind,
+        "attempts": result.attempts,
+        "quarantined": result.quarantined,
+    }
+
+
+def report_totals(report: Any) -> Dict[str, int]:
+    """The ``totals`` section of the document."""
+    return {
+        "jobs": len(report.results),
+        "completed": report.completed,
+        "cached": report.cached,
+        "degraded": report.degraded,
+        "failed": report.failed,
+        "quarantined": report.quarantined,
+        "retried": report.retried,
+    }
+
+
+def report_document(report: Any) -> Dict[str, object]:
+    """The schema-versioned ``--json`` report document.
+
+    Accepts a :class:`repro.farm.pool.BatchReport`; this is the one
+    place its JSON shape is defined.
+    """
+    farm_counters = {
+        name: value
+        for name, value in sorted(report.metrics.counters.items())
+        if name.startswith(("farm.", "smt.", "engine."))
+    }
+    return {
+        "schema": REPORT_SCHEMA,
+        "scenario": report.scenario,
+        "workers": report.workers,
+        "wall_s": round(report.wall_s, 4),
+        "cpu_s": round(report.cpu_s, 4),
+        "jobs": [job_row(result) for result in report.results],
+        "totals": report_totals(report),
+        "stage_cache_rate": report.stage_cache_rate(),
+        "counters": farm_counters,
+        "bench": report.to_bench_report().to_dict(),
+    }
+
+
+def dump_document(document: Dict[str, object]) -> str:
+    """The byte-exact serialization ``--json`` writes to disk."""
+    return json.dumps(document, indent=2) + "\n"
+
+
+def _render_table(
+    rows: List[tuple],
+    totals: Dict[str, int],
+    wall_s: float,
+    cpu_s: float,
+    workers: int,
+    rate: Optional[float],
+) -> str:
+    rows = [("job", "status", "cached", "tries", "time")] + rows
+    widths = [max(len(row[i]) for row in rows) for i in range(5)]
+    lines = [
+        "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)).rstrip()
+        for row in rows
+    ]
+    lines.insert(1, "  ".join("-" * width for width in widths))
+    lines.append("")
+    lines.append(
+        f"{totals['jobs']} jobs: {totals['completed']} ok "
+        f"({totals['cached']} from cache), {totals['degraded']} degraded, "
+        f"{totals['failed']} failed, {totals['quarantined']} quarantined"
+    )
+    lines.append(f"wall {wall_s:.2f}s, cpu {cpu_s:.2f}s, workers {workers}")
+    if rate is not None:
+        lines.append(f"stage cache hit rate: {rate:.0%}")
+    return "\n".join(lines)
+
+
+def summary_table(report: Any) -> str:
+    """The human-readable per-job table plus batch totals."""
+    rows = [
+        (
+            result.job.job_id,
+            result.status,
+            "yes" if result.cached else "no",
+            str(result.attempts),
+            f"{result.duration_s:.2f}s",
+        )
+        for result in report.results
+    ]
+    return _render_table(
+        rows,
+        report_totals(report),
+        report.wall_s,
+        report.cpu_s,
+        report.workers,
+        report.stage_cache_rate(),
+    )
+
+
+def summary_from_document(document: Dict[str, object]) -> str:
+    """:func:`summary_table` recomputed from a report *document*.
+
+    Front-ends holding only the JSON document (the typed facade, the
+    serving layer) render the same table the CLI prints, without
+    needing the live ``BatchReport``.
+    """
+    rows = [
+        (
+            str(row["job"]),
+            str(row["status"]),
+            "yes" if row["cached"] else "no",
+            str(row["attempts"]),
+            f"{float(row['duration_s']):.2f}s",  # type: ignore[arg-type]
+        )
+        for row in document.get("jobs", ())  # type: ignore[union-attr]
+    ]
+    totals = document.get("totals")
+    if not isinstance(totals, dict):
+        totals = {
+            "jobs": 0, "completed": 0, "cached": 0,
+            "degraded": 0, "failed": 0, "quarantined": 0,
+        }
+    return _render_table(
+        rows,
+        totals,
+        float(document.get("wall_s", 0.0)),  # type: ignore[arg-type]
+        float(document.get("cpu_s", 0.0)),  # type: ignore[arg-type]
+        int(document.get("workers", 1)),  # type: ignore[arg-type]
+        document.get("stage_cache_rate"),  # type: ignore[arg-type]
+    )
+
+
+def exit_code(
+    report: Any,
+    timeout: Optional[float] = None,
+    budget: Optional[int] = None,
+) -> int:
+    """The process exit code a finished batch maps to.
+
+    This is the ``explain-all`` contract, verbatim: failures dominate
+    quarantine dominates degradation; a degraded batch blames the
+    timeout when only a timeout was set (per-job governors live in the
+    workers, so the batch cannot ask which limit actually fired and
+    maps from the flags instead).
+    """
+    if report.failed:
+        return EXIT_FAILURE
+    if report.quarantined:
+        return EXIT_PARTIAL
+    if report.degraded:
+        if timeout is not None and budget is None:
+            return EXIT_TIMEOUT
+        return EXIT_BUDGET
+    return EXIT_OK
+
+
+# ---------------------------------------------------------------------------
+# Run-to-run comparison
+
+
+#: Timing fields that legitimately differ between two runs computing
+#: the same answers.
+_VOLATILE_TOP = ("wall_s", "cpu_s")
+_VOLATILE_ROW = ("duration_s",)
+_VOLATILE_STAGE = ("median_s", "p95_s", "total_s")
+
+
+def normalize_document(document: Dict[str, object]) -> Dict[str, object]:
+    """A copy of ``document`` with run-specific timings zeroed.
+
+    Two batches that computed identical *answers* -- same jobs, same
+    statuses, same cache behaviour, same work counters -- produce
+    byte-identical normalized documents even though their wall clocks
+    differ.  This is what the serve-vs-CLI equivalence tests and the CI
+    smoke compare.
+    """
+    normalized: Dict[str, object] = dict(document)
+    for name in _VOLATILE_TOP:
+        if name in normalized:
+            normalized[name] = 0.0
+    rows: List[Dict[str, object]] = []
+    for row in normalized.get("jobs", ()):  # type: ignore[union-attr]
+        row = dict(row)
+        for name in _VOLATILE_ROW:
+            if name in row:
+                row[name] = 0.0
+        rows.append(row)
+    normalized["jobs"] = rows
+    bench = normalized.get("bench")
+    if isinstance(bench, dict):
+        bench = dict(bench)
+        bench["calibration_s"] = None
+        stages = []
+        for stage in bench.get("stages", ()):
+            stage = dict(stage)
+            for name in _VOLATILE_STAGE:
+                if name in stage:
+                    stage[name] = 0.0
+            stages.append(stage)
+        bench["stages"] = stages
+        normalized["bench"] = bench
+    return normalized

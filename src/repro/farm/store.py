@@ -21,6 +21,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import threading
 from typing import Dict, List, Optional
 
 from .keys import canonical_json, digest
@@ -50,6 +51,16 @@ class ArtifactStore:
     unreadable or corrupt entries read as misses, and writes are atomic
     (temp file + ``os.replace``) so concurrent workers sharing one
     cache directory can never observe a half-written artifact.
+
+    One instance may be shared by many threads of a long-running
+    process (the serving layer hands one store to every request): the
+    mutable bits -- the stats counters and the quarantine-ledger
+    read-modify-write -- are guarded by an instance lock, and reads
+    never hold it (concurrent readers only ever see a complete old or
+    complete new artifact, courtesy of ``os.replace``).  The ledger
+    lock is per-process only; concurrent *processes* appending to one
+    ledger can at worst drop each other's newest entry, never corrupt
+    it.
     """
 
     def __init__(self, cache_dir: str) -> None:
@@ -57,12 +68,14 @@ class ArtifactStore:
         #: ``hit.<stage>`` / ``miss.<stage>`` / ``store.<stage>`` /
         #: ``corrupt.<stage>`` counters for the batch report.
         self.stats: Dict[str, int] = {}
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
 
     def _count(self, event: str, stage: str) -> None:
         name = f"{event}.{stage}"
-        self.stats[name] = self.stats.get(name, 0) + 1
+        with self._lock:
+            self.stats[name] = self.stats.get(name, 0) + 1
 
     def path_for(self, key: str, stage: str) -> str:
         if not key or any(c not in "0123456789abcdef" for c in key):
@@ -110,7 +123,15 @@ class ArtifactStore:
             os.makedirs(directory, exist_ok=True)
             fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
             try:
-                with os.fdopen(fd, "w", encoding="ascii") as handle:
+                try:
+                    handle = os.fdopen(fd, "w", encoding="ascii")
+                except BaseException:
+                    # fdopen failing would otherwise leak the raw fd: a
+                    # long-running server bleeding one descriptor per
+                    # failed write eventually hits EMFILE.
+                    os.close(fd)
+                    raise
+                with handle:
                     handle.write(text)
                 os.replace(tmp_path, path)
             except BaseException:
@@ -168,15 +189,20 @@ class ArtifactStore:
     def quarantine_add(self, entry: dict) -> None:
         """Append one quarantined-job record to the ledger, atomically.
 
-        The supervisor is the only writer (one process per batch), so
-        read-modify-write with an atomic replace is race-free in
-        practice; concurrent batches over one cache can at worst drop
-        each other's newest entry, never corrupt the ledger.
+        The read-modify-write runs under the instance lock, so every
+        supervisor thread of one process (the serving layer runs many
+        batches over one store) appends without losing entries;
+        concurrent *processes* over one cache can at worst drop each
+        other's newest entry, never corrupt the ledger.
         """
-        entries = self.quarantine_entries()
-        entries.append(entry)
-        document = {"schema": QUARANTINE_SCHEMA, "entries": entries}
-        if self._write_atomic(self.quarantine_path, canonical_json(document)):
+        with self._lock:
+            entries = self.quarantine_entries()
+            entries.append(entry)
+            document = {"schema": QUARANTINE_SCHEMA, "entries": entries}
+            landed = self._write_atomic(
+                self.quarantine_path, canonical_json(document)
+            )
+        if landed:
             self._count("quarantine", "ledger")
 
 

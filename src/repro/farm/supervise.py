@@ -53,11 +53,12 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import threading
 import time
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field, replace
-from typing import Deque, Dict, List, Optional
+from typing import Callable, Deque, Dict, List, Optional
 
 from ..bgp.config import NetworkConfig
 from ..bgp.render import render_network
@@ -364,6 +365,8 @@ class Supervisor:
         scenario: str = "batch",
         policy: Optional[SupervisePolicy] = None,
         share: bool = True,
+        progress: Optional[Callable[[JobResult], None]] = None,
+        stop: Optional[threading.Event] = None,
     ) -> None:
         self.config = config
         self.specification = specification
@@ -376,6 +379,13 @@ class Supervisor:
         self.scenario = scenario
         self.policy = policy if policy is not None else SupervisePolicy()
         self.share = share
+        #: Long-lived-process seams (the serving layer): ``progress``
+        #: is called in the supervisor's thread after each job settles
+        #: (journaled result in hand); ``stop`` set mid-run drains the
+        #: batch -- in-flight families finish and are journaled,
+        #: everything still waiting is left unsettled for ``--resume``.
+        self.progress = progress
+        self.stop = stop
         #: Identity of the batch's worker-side shared caches; ``None``
         #: disables sharing (explicitly, or because the run is
         #: governed -- see :func:`repro.farm.worker.run_family`).
@@ -495,6 +505,8 @@ class Supervisor:
         results[att.index] = result
         if journal is not None:
             journal.record(result)
+        if self.progress is not None:
+            self.progress(result)
 
     def _fail(
         self,
@@ -540,6 +552,8 @@ class Supervisor:
             )
         if journal is not None:
             journal.record(result)
+        if self.progress is not None:
+            self.progress(result)
         quarantined = sum(1 for r in results.values() if r.quarantined)
         limit = self.policy.max_quarantine
         if limit is not None and quarantined > limit:
@@ -547,6 +561,14 @@ class Supervisor:
                 f"quarantine limit exceeded: {quarantined} jobs quarantined "
                 f"(--max-quarantine {limit})"
             )
+
+    def _stopping(self) -> bool:
+        """Whether a drain was requested (serving-layer SIGTERM)."""
+        return self.stop is not None and self.stop.is_set()
+
+    def _count_drained(self, drained: int) -> None:
+        if drained:
+            self.metrics.count("farm.supervise.drained", drained)
 
     # -- serial mode ----------------------------------------------------
 
@@ -563,6 +585,9 @@ class Supervisor:
             queue.append([att])
 
         while queue:
+            if self._stopping():
+                self._count_drained(sum(len(unit) for unit in queue))
+                return
             unit = queue.popleft()
             now = time.monotonic()
             ready = max(att.ready_at for att in unit)
@@ -628,6 +653,18 @@ class Supervisor:
         pool = self._new_pool()
         try:
             while waiting or backoff or inflight:
+                if self._stopping() and (waiting or backoff):
+                    # Drain: in-flight families run to completion (and
+                    # are journaled below); everything not yet
+                    # dispatched -- including pending retries -- is
+                    # left unsettled for a later --resume.
+                    self._count_drained(
+                        sum(len(unit) for unit in waiting) + len(backoff)
+                    )
+                    waiting.clear()
+                    backoff = []
+                    if not inflight:
+                        break
                 now = time.monotonic()
                 due = [att for att in backoff if att.ready_at <= now]
                 if due:
@@ -722,9 +759,12 @@ def run_supervised(
     scenario: str = "batch",
     policy: Optional[SupervisePolicy] = None,
     share: bool = True,
+    progress: Optional[Callable[[JobResult], None]] = None,
+    stop: Optional[threading.Event] = None,
 ) -> BatchReport:
     """Answer every job under supervision; see :class:`Supervisor`."""
     return Supervisor(
         config, specification, jobs, options, cache_dir, workers,
         timeout, budget, scenario, policy, share=share,
+        progress=progress, stop=stop,
     ).run()

@@ -57,6 +57,14 @@ from .invalidate import readset_valid
 from .job import ExplainJob
 from .keys import FarmOptions, digest, job_key
 from .readset import TransferRecorder
+from .report import (
+    DEGRADED_STATUSES,
+    OK_STATUSES,
+    STATUS_CACHED,
+    STATUS_ERROR,
+    STATUS_QUARANTINED,
+    job_row,
+)
 from .store import ArtifactStore, JobStore
 
 __all__ = [
@@ -73,11 +81,9 @@ __all__ = [
 #: Bumped whenever the shared-cache identity payload changes.
 SHARED_KEY_SCHEMA = "repro-farm-shared/1"
 
-#: Statuses beyond the engine's ExplanationStatus values.
-STATUS_ERROR = "ERROR"
-STATUS_CACHED = "CACHED"
-#: Assigned by the supervisor when a job exhausts its retries.
-STATUS_QUARANTINED = "QUARANTINED"
+# STATUS_ERROR / STATUS_CACHED / STATUS_QUARANTINED are defined in
+# repro.farm.report (the status-taxonomy source of truth) and
+# re-exported here for the worker's historical callers.
 
 #: 1-based count of jobs this worker process has picked up; chaos
 #: events can target "the Nth job of a worker" through it.
@@ -111,29 +117,15 @@ class JobResult:
 
     @property
     def ok(self) -> bool:
-        return self.status in (ExplanationStatus.EXACT.value, STATUS_CACHED)
+        return self.status in OK_STATUSES
 
     @property
     def degraded(self) -> bool:
-        return self.status in (
-            ExplanationStatus.DEGRADED_LIFT.value,
-            ExplanationStatus.DEGRADED_RAW.value,
-            ExplanationStatus.FAILED.value,
-        )
+        return self.status in DEGRADED_STATUSES
 
     def row(self) -> Dict[str, object]:
         """One summary-table / JSON-report row."""
-        return {
-            "job": self.job.job_id,
-            "status": self.status,
-            "cached": self.cached,
-            "duration_s": round(self.duration_s, 4),
-            "key": self.key,
-            "error": self.error,
-            "error_kind": self.error_kind,
-            "attempts": self.attempts,
-            "quarantined": self.quarantined,
-        }
+        return job_row(self)
 
 
 def _answer_payload(explanation: Explanation) -> dict:

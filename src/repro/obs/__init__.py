@@ -35,11 +35,16 @@ from .export import (
     validate_report,
     write_report,
 )
+from .expose import CONTENT_TYPE as METRICS_CONTENT_TYPE
+from .expose import render_metrics, sanitize_metric_name
 from .instrument import Instrumentation, SPAN_PREFIX
 from .metrics import MetricsRegistry, percentile
 from .tracer import Span, Tracer
 
 __all__ = [
+    "METRICS_CONTENT_TYPE",
+    "render_metrics",
+    "sanitize_metric_name",
     "Span",
     "Tracer",
     "MetricsRegistry",

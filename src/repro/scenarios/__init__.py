@@ -1,5 +1,7 @@
 """Scenario library: the paper's case study plus synthetic generators."""
 
+from typing import Callable, Dict
+
 from .campus import (
     CAMPUS_MANAGED,
     NET_PREFIX,
@@ -24,7 +26,18 @@ from .hotnets import (
     scenario3,
 )
 
+#: Scenario registry: every named scenario a caller (CLI, typed API,
+#: serving layer) may ask for by string, mapped to its zero-arg builder.
+SCENARIOS: Dict[str, Callable[[], Scenario]] = {
+    "scenario1": scenario1,
+    "scenario2": scenario2,
+    "scenario2_fixed": scenario2_fixed,
+    "scenario3": scenario3,
+    "campus": campus_scenario,
+}
+
 __all__ = [
+    "SCENARIOS",
     "Scenario",
     "hotnets_topology",
     "scenario1",

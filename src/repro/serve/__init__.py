@@ -1,0 +1,44 @@
+"""repro.serve: explanation-as-a-service over the farm.
+
+A stdlib-only HTTP layer (:mod:`http.server`, no new dependencies)
+exposing the batch-explanation pipeline as a long-running service:
+
+* :mod:`repro.serve.server` -- the routes (``POST /v1/jobs``, status,
+  byte-exact result documents, a chunked progress-event stream,
+  ``/v1/healthz``, ``/v1/metrics``) and graceful SIGTERM drain;
+* :mod:`repro.serve.queue` -- the job machine: a FIFO of submitted
+  batches drained by one dispatcher through
+  :func:`repro.api.explain_batch`, with a monotonically numbered
+  per-job event log for streaming;
+* :mod:`repro.serve.tenants` -- admission control: per-tenant token
+  buckets (429 + ``Retry-After``) and request shaping onto per-tenant
+  worker/budget/timeout caps.
+
+The wire vocabulary is entirely :mod:`repro.api` (requests, statuses)
+plus :mod:`repro.farm.report` (result documents), so a served batch is
+byte-identical to ``explain-all --json`` on the same cache.  The CLI
+front-end is ``python -m repro.cli serve``; see ``docs/service.md``.
+"""
+
+from .queue import JobQueue, ServeJob
+from .server import ExplainHandler, ServeApp, serve_forever
+from .tenants import (
+    TENANTS_SCHEMA,
+    TenantBook,
+    TenantConfigError,
+    TenantPolicy,
+    TokenBucket,
+)
+
+__all__ = [
+    "JobQueue",
+    "ServeJob",
+    "ServeApp",
+    "ExplainHandler",
+    "serve_forever",
+    "TenantBook",
+    "TenantPolicy",
+    "TokenBucket",
+    "TenantConfigError",
+    "TENANTS_SCHEMA",
+]

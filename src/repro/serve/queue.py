@@ -1,0 +1,303 @@
+"""The server's job machine: queue, dispatcher, progress events.
+
+A :class:`ServeJob` is one submitted batch moving through
+``QUEUED -> RUNNING -> DONE|FAILED|DRAINED`` (the states are defined
+by :mod:`repro.api`; the HTTP layer serializes them as
+:class:`repro.api.JobStatus` documents).  A :class:`JobQueue` owns the
+jobs, a FIFO of pending work, and one dispatcher thread that drains it
+through :func:`repro.api.explain_batch` -- one batch at a time, on
+purpose: batches already parallelize internally across farm workers
+sharing one artifact store, and running two process pools side by side
+just makes both slower.
+
+Every state change and every settled job appends a monotonically
+numbered event to the job's event log and wakes waiters on the
+queue-wide condition; the HTTP event stream is "replay the log from
+seq N, then block for more" -- late subscribers see the full history,
+and there is no per-subscriber state server-side.
+
+Drain (SIGTERM) is cooperative and crash-safe by construction: the
+stop event is threaded into the running batch's supervisor, which
+stops dispatching new job families, lets in-flight families finish and
+journal, and returns a partial report.  Still-queued jobs flip to
+``DRAINED`` without running.  Because every settled job is journaled,
+resubmitting a drained batch with ``resume=True`` replays only the
+remainder (see :mod:`repro.farm.supervise`).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import traceback
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional
+
+from .. import api
+from ..obs import MetricsRegistry
+
+__all__ = ["ServeJob", "JobQueue"]
+
+
+class ServeJob:
+    """One submitted batch and everything observable about it.
+
+    Mutable on purpose (the dispatcher and progress callbacks write,
+    handler threads read); every mutation happens under the owning
+    queue's lock, and readers snapshot via :meth:`status` /
+    :meth:`events_since` rather than touching fields directly.
+    """
+
+    def __init__(self, job_id: str, tenant: str, request: api.ExplainRequest) -> None:
+        self.id = job_id
+        self.tenant = tenant
+        self.request = request
+        self.state = api.STATE_QUEUED
+        self.submitted_at = time.time()
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        self.error: Optional[str] = None
+        self.report: Optional[api.BatchReport] = None
+        self.exit_code: Optional[int] = None
+        #: Settled-job tallies, updated live by the progress callback.
+        self.counts: Dict[str, int] = {
+            "settled": 0, "ok": 0, "degraded": 0, "failed": 0,
+            "quarantined": 0, "cached": 0,
+        }
+        self.total = 0
+        self.events: List[Dict[str, object]] = []
+
+    # The queue calls these with its lock held. -------------------------
+
+    def _event(self, kind: str, **payload: object) -> None:
+        self.events.append({"seq": len(self.events), "event": kind, **payload})
+
+    def _tally(self, result) -> None:
+        self.counts["settled"] += 1
+        if result.ok:
+            self.counts["ok"] += 1
+        if result.degraded:
+            self.counts["degraded"] += 1
+        if result.status == "ERROR":
+            self.counts["failed"] += 1
+        if result.quarantined:
+            self.counts["quarantined"] += 1
+        if result.cached:
+            self.counts["cached"] += 1
+
+    # -------------------------------------------------------------------
+
+    def status(self) -> api.JobStatus:
+        """A consistent snapshot (call via :meth:`JobQueue.status`)."""
+        return api.JobStatus(
+            id=self.id,
+            state=self.state,
+            tenant=self.tenant,
+            scenario=self.request.name,
+            total=self.total,
+            settled=self.counts["settled"],
+            ok=self.counts["ok"],
+            degraded=self.counts["degraded"],
+            failed=self.counts["failed"],
+            quarantined=self.counts["quarantined"],
+            cached=self.counts["cached"],
+            submitted_at=self.submitted_at,
+            started_at=self.started_at,
+            finished_at=self.finished_at,
+            error=self.error,
+            exit_code=self.exit_code,
+        )
+
+
+class JobQueue:
+    """FIFO of batches plus the dispatcher thread that runs them.
+
+    ``runner`` defaults to :func:`repro.api.explain_batch` and is
+    injectable so queue tests exercise the machine without solving
+    anything.  ``cache_dir`` is the server's shared artifact store:
+    requests that do not opt out of caching are rewritten onto it, so
+    every batch of the process hits one store.
+    """
+
+    def __init__(
+        self,
+        cache_dir: Optional[str] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        runner: Optional[Callable[..., api.BatchReport]] = None,
+    ) -> None:
+        self.cache_dir = cache_dir
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._runner = runner if runner is not None else api.explain_batch
+        self._lock = threading.Lock()
+        self._wake = threading.Condition(self._lock)
+        self._jobs: Dict[str, ServeJob] = {}
+        self._pending: Deque[ServeJob] = deque()
+        self._stop = threading.Event()
+        self._drained = threading.Event()
+        self._serial = 0
+        self._dispatcher = threading.Thread(
+            target=self._run, name="repro-serve-dispatcher", daemon=True
+        )
+        self._dispatcher.start()
+
+    # -- submission ----------------------------------------------------
+
+    def _shape(self, request: api.ExplainRequest) -> api.ExplainRequest:
+        from dataclasses import replace
+
+        if not request.no_cache and self.cache_dir is not None:
+            if request.cache_dir != self.cache_dir:
+                request = replace(request, cache_dir=self.cache_dir)
+        return request
+
+    def submit(self, request: api.ExplainRequest, tenant: str = "public") -> ServeJob:
+        """Enqueue one validated request; returns its job record."""
+        request = self._shape(request)
+        with self._wake:
+            if self._stop.is_set():
+                raise RuntimeError("server is draining; not accepting work")
+            self._serial += 1
+            job = ServeJob(f"job-{self._serial:06d}", tenant, request)
+            job._event("queued", tenant=tenant, scenario=request.name)
+            self._jobs[job.id] = job
+            self._pending.append(job)
+            self.metrics.count("serve.jobs.submitted")
+            self._wake.notify_all()
+            return job
+
+    # -- read side -----------------------------------------------------
+
+    def get(self, job_id: str) -> Optional[ServeJob]:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def status(self, job_id: str) -> Optional[api.JobStatus]:
+        with self._lock:
+            job = self._jobs.get(job_id)
+            return job.status() if job is not None else None
+
+    def jobs(self) -> List[api.JobStatus]:
+        with self._lock:
+            return [job.status() for job in self._jobs.values()]
+
+    def events_since(
+        self,
+        job_id: str,
+        seq: int,
+        timeout: Optional[float] = None,
+    ) -> List[Dict[str, object]]:
+        """Events of ``job_id`` with ``seq`` and up, blocking for news.
+
+        Returns an empty list only when the job is already terminal and
+        has no events past ``seq`` (the stream's end), or on timeout.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._wake:
+            job = self._jobs.get(job_id)
+            if job is None:
+                return []
+            while True:
+                if len(job.events) > seq:
+                    return [dict(event) for event in job.events[seq:]]
+                if job.state not in (api.STATE_QUEUED, api.STATE_RUNNING):
+                    return []
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return []
+                self._wake.wait(remaining)
+
+    # -- dispatcher ----------------------------------------------------
+
+    def _run(self) -> None:
+        while True:
+            with self._wake:
+                while not self._pending and not self._stop.is_set():
+                    self._wake.wait()
+                if self._stop.is_set():
+                    for job in self._pending:
+                        job.state = api.STATE_DRAINED
+                        job.finished_at = time.time()
+                        job._event("drained")
+                    self._pending.clear()
+                    self._wake.notify_all()
+                    self._drained.set()
+                    return
+                job = self._pending.popleft()
+                job.state = api.STATE_RUNNING
+                job.started_at = time.time()
+                job._event("started")
+                self._wake.notify_all()
+            self._execute(job)
+
+    def _progress(self, job: ServeJob):
+        def on_settled(result) -> None:
+            with self._wake:
+                job._tally(result)
+                job._event(
+                    "settled",
+                    job=result.job.job_id,
+                    status=result.status,
+                    cached=result.cached,
+                    attempts=result.attempts,
+                )
+                self._wake.notify_all()
+
+        return on_settled
+
+    def _execute(self, job: ServeJob) -> None:
+        try:
+            report = self._runner(
+                job.request, progress=self._progress(job), stop=self._stop
+            )
+        except Exception as exc:  # noqa: BLE001 - the job absorbs it
+            with self._wake:
+                job.state = api.STATE_FAILED
+                job.finished_at = time.time()
+                job.error = f"{type(exc).__name__}: {exc}"
+                job._event("failed", error=job.error)
+                self.metrics.count("serve.jobs.failed")
+                self._wake.notify_all()
+            traceback.print_exc()
+            return
+        with self._wake:
+            job.report = report
+            job.total = len(report.results)
+            drained = self._stop.is_set() and report.document.get(
+                "counters", {}
+            ).get("farm.supervise.drained", 0)
+            job.state = api.STATE_DRAINED if drained else api.STATE_DONE
+            job.finished_at = time.time()
+            job.exit_code = report.exit_code(
+                timeout=job.request.timeout, budget=job.request.budget
+            )
+            job._event(
+                "finished",
+                state=job.state,
+                exit_code=job.exit_code,
+                total=job.total,
+            )
+            self.metrics.count("serve.jobs.completed")
+            counters = report.document.get("counters")
+            if isinstance(counters, dict):
+                for name, value in counters.items():
+                    if isinstance(value, int):
+                        self.metrics.count(name, value)
+            self._wake.notify_all()
+
+    # -- shutdown ------------------------------------------------------
+
+    def drain(self, timeout: float = 60.0) -> bool:
+        """Stop accepting and dispatching; wait for the queue to settle.
+
+        The running batch (if any) sees the stop event through its
+        supervisor and returns after its in-flight families journal;
+        queued batches flip to ``DRAINED``.  Returns whether the
+        dispatcher wound down within ``timeout``.
+        """
+        with self._wake:
+            self._stop.set()
+            self._wake.notify_all()
+        self._dispatcher.join(timeout)
+        return not self._dispatcher.is_alive()

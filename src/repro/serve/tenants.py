@@ -1,0 +1,234 @@
+"""Tenancy: admission control and per-tenant resource caps.
+
+The serving layer is multi-tenant in the narrow, honest sense a
+single-process research service can be: every request names a tenant
+(the ``X-Tenant`` header, defaulting to ``public``), and the
+:class:`TenantBook` decides
+
+* **whether the request may run now** -- a token-bucket rate limit per
+  tenant, refilling continuously, answering 429 with a precise
+  ``Retry-After`` when empty.  One tenant hammering the service drains
+  only its own bucket; everyone else's admission decisions are
+  independent (the book's lock is held only for arithmetic, never
+  across a batch).
+* **how big the request may be** -- per-tenant caps on farm workers
+  and on the per-job :class:`~repro.runtime.Governor` limits (engine
+  budget and wall-clock timeout).  Shaping clamps rather than
+  rejects: a request asking for more than its tenant's cap runs at
+  the cap, and a request asking for *nothing* (no governor) gets the
+  tenant's cap imposed, so no tenant can submit unbounded work.
+
+Configuration is a JSON document (the ``--tenant-config`` flag)::
+
+    {"schema": "repro-serve-tenants/1",
+     "tenants": {
+       "alice": {"rate": 2.0, "burst": 4, "max_workers": 2,
+                 "max_budget": 200000, "max_timeout": 30.0},
+       "bob":   {"rate": 0.5, "burst": 1}}}
+
+Unknown tenants fall back to the ``default`` entry when present, else
+to built-in permissive defaults.  All clocks are injectable for tests.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+__all__ = [
+    "TENANTS_SCHEMA",
+    "TenantConfigError",
+    "TenantPolicy",
+    "TokenBucket",
+    "TenantBook",
+]
+
+TENANTS_SCHEMA = "repro-serve-tenants/1"
+
+
+class TenantConfigError(ValueError):
+    """A malformed tenant-configuration document."""
+
+
+@dataclass(frozen=True)
+class TenantPolicy:
+    """One tenant's admission and sizing limits."""
+
+    #: Sustained admissions per second (token-bucket refill rate).
+    rate: float = 10.0
+    #: Bucket capacity: how many requests may land back-to-back.
+    burst: int = 10
+    #: Cap on farm workers one request may use.
+    max_workers: int = 4
+    #: Cap (and default) for the per-job engine work budget; ``None``
+    #: leaves the request's own budget untouched.
+    max_budget: Optional[int] = None
+    #: Cap (and default) for the per-job wall-clock timeout, seconds.
+    max_timeout: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise TenantConfigError("rate must be > 0")
+        if self.burst < 1:
+            raise TenantConfigError("burst must be >= 1")
+        if self.max_workers < 1:
+            raise TenantConfigError("max_workers must be >= 1")
+        if self.max_budget is not None and self.max_budget < 0:
+            raise TenantConfigError("max_budget must be >= 0")
+        if self.max_timeout is not None and self.max_timeout < 0:
+            raise TenantConfigError("max_timeout must be >= 0")
+
+    @classmethod
+    def from_payload(cls, payload: object) -> "TenantPolicy":
+        if not isinstance(payload, dict):
+            raise TenantConfigError("tenant entries must be objects")
+        known = {"rate", "burst", "max_workers", "max_budget", "max_timeout"}
+        unknown = set(payload) - known
+        if unknown:
+            raise TenantConfigError(f"unknown tenant keys: {sorted(unknown)}")
+        try:
+            return cls(**payload)
+        except TypeError as exc:
+            raise TenantConfigError(f"malformed tenant entry: {exc}")
+
+
+class TokenBucket:
+    """A continuously-refilling token bucket.
+
+    Starts full.  ``take()`` consumes one token if available, else
+    reports how long until one will be -- the 429 ``Retry-After``
+    value, rounded up to a whole second by the caller.  The clock is
+    injectable so tests never sleep.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: int,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.rate = float(rate)
+        self.burst = int(burst)
+        self._clock = clock
+        self._tokens = float(burst)
+        self._updated = clock()
+        self._lock = threading.Lock()
+
+    def _refill(self, now: float) -> None:
+        elapsed = max(0.0, now - self._updated)
+        self._tokens = min(float(self.burst), self._tokens + elapsed * self.rate)
+        self._updated = now
+
+    def take(self) -> Tuple[bool, float]:
+        """(admitted, seconds-until-next-token-if-not)."""
+        with self._lock:
+            now = self._clock()
+            self._refill(now)
+            if self._tokens >= 1.0:
+                self._tokens -= 1.0
+                return True, 0.0
+            return False, (1.0 - self._tokens) / self.rate
+
+
+#: Built-in fallback when no config names the tenant (permissive: the
+#: service is a lab tool first; strictness is opt-in via config).
+_DEFAULT_POLICY = TenantPolicy()
+
+
+class TenantBook:
+    """The tenant registry: admission + request shaping.
+
+    One book per server process.  Buckets are created lazily per
+    tenant name, so tenants absent from the config still get isolated
+    buckets (under the default policy) rather than sharing one.
+    """
+
+    def __init__(
+        self,
+        policies: Optional[Dict[str, TenantPolicy]] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.policies: Dict[str, TenantPolicy] = dict(policies or {})
+        self._clock = clock
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_json(
+        cls,
+        text: str,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> "TenantBook":
+        try:
+            document = json.loads(text)
+        except ValueError as exc:
+            raise TenantConfigError(f"malformed tenant config: {exc}")
+        if (
+            not isinstance(document, dict)
+            or document.get("schema") != TENANTS_SCHEMA
+        ):
+            raise TenantConfigError(
+                f"tenant config must carry schema {TENANTS_SCHEMA!r}"
+            )
+        entries = document.get("tenants", {})
+        if not isinstance(entries, dict):
+            raise TenantConfigError("tenants must be an object")
+        policies = {
+            str(name): TenantPolicy.from_payload(entry)
+            for name, entry in entries.items()
+        }
+        return cls(policies, clock=clock)
+
+    @classmethod
+    def from_file(cls, path: str) -> "TenantBook":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_json(handle.read())
+
+    # ------------------------------------------------------------------
+
+    def policy_for(self, tenant: str) -> TenantPolicy:
+        policy = self.policies.get(tenant)
+        if policy is None:
+            policy = self.policies.get("default", _DEFAULT_POLICY)
+        return policy
+
+    def _bucket_for(self, tenant: str) -> TokenBucket:
+        with self._lock:
+            bucket = self._buckets.get(tenant)
+            if bucket is None:
+                policy = self.policy_for(tenant)
+                bucket = TokenBucket(policy.rate, policy.burst, clock=self._clock)
+                self._buckets[tenant] = bucket
+            return bucket
+
+    def admit(self, tenant: str) -> Tuple[bool, float]:
+        """Whether ``tenant`` may submit now; else seconds to wait."""
+        return self._bucket_for(tenant).take()
+
+    def shape(self, tenant: str, request):
+        """``request`` clamped to ``tenant``'s policy caps.
+
+        Returns a (possibly identical) :class:`repro.api.ExplainRequest`.
+        Caps clamp; absent request limits are *imposed* so no tenant
+        runs ungoverned when its policy sets a ceiling.
+        """
+        from dataclasses import replace
+
+        policy = self.policy_for(tenant)
+        changes = {}
+        if request.workers > policy.max_workers:
+            changes["workers"] = policy.max_workers
+        if policy.max_budget is not None and (
+            request.budget is None or request.budget > policy.max_budget
+        ):
+            changes["budget"] = policy.max_budget
+        if policy.max_timeout is not None and (
+            request.timeout is None or request.timeout > policy.max_timeout
+        ):
+            changes["timeout"] = policy.max_timeout
+        return replace(request, **changes) if changes else request

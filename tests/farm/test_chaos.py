@@ -18,8 +18,8 @@ from repro.farm import (
     Supervisor,
     batch_signature,
     enumerate_jobs,
-    run_supervised,
 )
+from repro.farm.supervise import run_supervised
 from repro.farm.keys import canonical_json
 from repro.runtime import ChaosPlan, ReproError
 

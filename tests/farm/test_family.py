@@ -19,9 +19,9 @@ from repro.farm import (
     enumerate_jobs,
     group_families,
     job_key,
-    run_batch,
-    run_supervised,
 )
+from repro.farm.pool import run_batch
+from repro.farm.supervise import run_supervised
 from repro.farm.keys import canonical_json
 from repro.farm.worker import _answer_payload, run_family, shared_batch_key
 from repro.obs import Instrumentation

@@ -5,9 +5,9 @@ import os
 import pytest
 
 from repro.bgp.routemap import RouteMap, RouteMapLine
-from repro.farm import enumerate_jobs, run_batch
+from repro.farm import enumerate_jobs
 from repro.farm.keys import canonical_json
-from repro.farm.pool import run_incremental
+from repro.farm.pool import run_batch, run_incremental
 from repro.runtime import split_budget
 
 

@@ -1,0 +1,150 @@
+"""ArtifactStore under fire: one store, many threads, many processes.
+
+The serving layer keeps a single :class:`ArtifactStore` alive for the
+life of the process and hands it to every request, so the store must
+survive concurrent readers/writers in-process (handler threads) and
+across processes (farm workers) without ever serving a torn artifact:
+a reader sees a complete old payload, a complete new payload, or a
+miss -- never an error, never a hybrid.
+"""
+
+import json
+import multiprocessing
+import os
+import threading
+
+from repro.farm.store import ArtifactStore
+
+KEYS = [f"{i:02x}" * 32 for i in range(16)]
+STAGES = ["seed", "lift", "explanation"]
+
+
+def _payload(key: str, stage: str, round_no: int) -> dict:
+    return {"key": key, "stage": stage, "round": round_no, "blob": "x" * 256}
+
+
+def _hammer(cache_dir: str, worker_id: int, rounds: int) -> int:
+    """Write+read every (key, stage) repeatedly; returns torn reads."""
+    store = ArtifactStore(cache_dir)
+    torn = 0
+    for round_no in range(rounds):
+        for key in KEYS:
+            for stage in STAGES:
+                store.save(key, stage, _payload(key, stage, round_no))
+                loaded = store.load(key, stage)
+                # A miss is legal mid-replace; a partial dict is not.
+                if loaded is not None and set(loaded) != {
+                    "key", "stage", "round", "blob",
+                }:
+                    torn += 1
+    return torn
+
+
+def _process_main(cache_dir: str, worker_id: int, queue) -> None:
+    queue.put(_hammer(cache_dir, worker_id, rounds=3))
+
+
+class TestConcurrentStore:
+    def test_threads_and_processes_share_one_store(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        errors = []
+
+        def thread_main(worker_id: int) -> None:
+            try:
+                torn = _hammer(cache_dir, worker_id, rounds=3)
+                if torn:
+                    errors.append(f"thread {worker_id}: {torn} torn reads")
+            except Exception as exc:  # noqa: BLE001 - reported below
+                errors.append(f"thread {worker_id}: {type(exc).__name__}: {exc}")
+
+        ctx = multiprocessing.get_context("fork")
+        queue = ctx.Queue()
+        processes = [
+            ctx.Process(target=_process_main, args=(cache_dir, pid, queue))
+            for pid in range(2)
+        ]
+        for process in processes:
+            process.start()
+        threads = [
+            threading.Thread(target=thread_main, args=(tid,)) for tid in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        for process in processes:
+            process.join(timeout=120)
+        assert not errors, errors
+        assert all(process.exitcode == 0 for process in processes)
+        assert queue.get(timeout=10) == 0
+        assert queue.get(timeout=10) == 0
+
+        # Every artifact is left whole and loadable.
+        store = ArtifactStore(cache_dir)
+        for key in KEYS:
+            for stage in STAGES:
+                loaded = store.load(key, stage)
+                assert loaded is not None
+                assert loaded["key"] == key and loaded["stage"] == stage
+
+    def test_no_temp_file_leaks_after_stress(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        threads = [
+            threading.Thread(target=_hammer, args=(cache_dir, tid, 2))
+            for tid in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        leaked = [
+            os.path.join(dirpath, name)
+            for dirpath, _, names in os.walk(cache_dir)
+            for name in names
+            if name.endswith(".tmp")
+        ]
+        assert leaked == []
+
+    def test_corrupt_entry_is_a_miss_under_concurrency(self, tmp_path):
+        store = ArtifactStore(str(tmp_path / "cache"))
+        key, stage = KEYS[0], "seed"
+        store.save(key, stage, {"fine": 1})
+        path = store.path_for(key, stage)
+        with open(path, "w", encoding="ascii") as handle:
+            handle.write('{"schema": "repro-farm-store/1", "truncated...')
+        results = []
+
+        def read() -> None:
+            results.append(store.load(key, stage))
+
+        threads = [threading.Thread(target=read) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert results == [None] * 8
+        assert store.stats.get("corrupt.seed", 0) >= 8
+
+    def test_quarantine_ledger_append_is_thread_safe(self, tmp_path):
+        store = ArtifactStore(str(tmp_path / "cache"))
+
+        def append(worker_id: int) -> None:
+            for i in range(10):
+                store.quarantine_add({"worker": worker_id, "i": i})
+
+        threads = [
+            threading.Thread(target=append, args=(tid,)) for tid in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        entries = store.quarantine_entries()
+        # In-process appends are serialized by the store lock: nothing
+        # may be lost or duplicated.
+        assert len(entries) == 80
+        seen = {(entry["worker"], entry["i"]) for entry in entries}
+        assert len(seen) == 80
+        with open(store.quarantine_path, "r", encoding="ascii") as handle:
+            document = json.load(handle)
+        assert document["schema"] == "repro-farm-quarantine/1"

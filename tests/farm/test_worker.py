@@ -2,7 +2,8 @@
 
 import pickle
 
-from repro.farm import ExplainJob, FarmOptions, enumerate_jobs, run_batch, run_job
+from repro.farm import ExplainJob, FarmOptions, enumerate_jobs, run_job
+from repro.farm.pool import run_batch
 
 
 def test_failing_job_is_contained(s1):

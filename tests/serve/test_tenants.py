@@ -1,0 +1,127 @@
+"""Admission control: token buckets, tenant policies, request shaping."""
+
+import json
+
+import pytest
+
+from repro import api
+from repro.serve.tenants import (
+    TENANTS_SCHEMA,
+    TenantBook,
+    TenantConfigError,
+    TenantPolicy,
+    TokenBucket,
+)
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_burst_then_empty(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=2, clock=clock)
+        assert bucket.take() == (True, 0.0)
+        assert bucket.take() == (True, 0.0)
+        admitted, wait = bucket.take()
+        assert not admitted
+        assert wait == pytest.approx(1.0)
+
+    def test_continuous_refill(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=1, clock=clock)
+        assert bucket.take()[0]
+        assert not bucket.take()[0]
+        clock.advance(0.5)  # 2/s * 0.5s = exactly one token
+        assert bucket.take() == (True, 0.0)
+
+    def test_refill_caps_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=100.0, burst=3, clock=clock)
+        clock.advance(1000.0)
+        taken = sum(1 for _ in range(10) if bucket.take()[0])
+        assert taken == 3
+
+    def test_retry_after_shrinks_as_tokens_accrue(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=1, clock=clock)
+        bucket.take()
+        _, wait_full = bucket.take()
+        clock.advance(0.75)
+        _, wait_later = bucket.take()
+        assert wait_later == pytest.approx(0.25)
+        assert wait_later < wait_full
+
+
+class TestTenantPolicy:
+    def test_rejects_bad_values(self):
+        with pytest.raises(TenantConfigError):
+            TenantPolicy(rate=0.0)
+        with pytest.raises(TenantConfigError):
+            TenantPolicy(burst=0)
+        with pytest.raises(TenantConfigError):
+            TenantPolicy(max_workers=0)
+
+    def test_rejects_unknown_keys(self):
+        with pytest.raises(TenantConfigError, match="unknown tenant keys"):
+            TenantPolicy.from_payload({"rate": 1.0, "burts": 2})
+
+
+class TestTenantBook:
+    def test_from_json_and_policy_lookup(self):
+        text = json.dumps({
+            "schema": TENANTS_SCHEMA,
+            "tenants": {
+                "alice": {"rate": 2.0, "burst": 4, "max_workers": 2},
+                "default": {"rate": 0.5, "burst": 1},
+            },
+        })
+        book = TenantBook.from_json(text)
+        assert book.policy_for("alice").max_workers == 2
+        # Unknown tenants inherit the config's default entry.
+        assert book.policy_for("mallory").rate == 0.5
+
+    def test_from_json_rejects_wrong_schema(self):
+        with pytest.raises(TenantConfigError, match="schema"):
+            TenantBook.from_json(json.dumps({"tenants": {}}))
+
+    def test_buckets_are_isolated_per_tenant(self):
+        clock = FakeClock()
+        book = TenantBook(
+            {"default": TenantPolicy(rate=1.0, burst=1)}, clock=clock
+        )
+        assert book.admit("alice")[0]
+        assert not book.admit("alice")[0]
+        # Alice's empty bucket does not touch Bob's.
+        assert book.admit("bob")[0]
+
+    def test_shape_clamps_and_imposes(self):
+        book = TenantBook({
+            "small": TenantPolicy(
+                rate=1.0, burst=1, max_workers=2, max_budget=100,
+                max_timeout=5.0,
+            ),
+        })
+        request = api.ExplainRequest(
+            scenario="scenario1", workers=8, budget=10_000, timeout=60.0,
+        )
+        shaped = book.shape("small", request)
+        assert shaped.workers == 2
+        assert shaped.budget == 100
+        assert shaped.timeout == 5.0
+        # A request with *no* limits gets the caps imposed.
+        bare = book.shape("small", api.ExplainRequest(scenario="scenario1"))
+        assert bare.budget == 100 and bare.timeout == 5.0
+
+    def test_shape_is_identity_within_caps(self):
+        book = TenantBook({"default": TenantPolicy(max_workers=4)})
+        request = api.ExplainRequest(scenario="scenario1", workers=2)
+        assert book.shape("anyone", request) is request

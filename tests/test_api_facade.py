@@ -1,0 +1,165 @@
+"""The typed facade: schemas, validation, round-trips, execution."""
+
+import json
+
+import pytest
+
+from repro import api
+from repro.farm.report import REPORT_SCHEMA, normalize_document
+
+
+class TestExplainRequest:
+    def test_defaults_mirror_explain_all(self):
+        request = api.ExplainRequest(scenario="scenario1")
+        request.validate()
+        assert request.workers == 1
+        assert request.retries == 2
+        assert request.retry_backoff == 0.1
+        assert request.share is True
+        assert request.per_line is False
+        assert request.fields == ("action",)
+
+    def test_json_round_trip(self):
+        request = api.ExplainRequest(
+            scenario="scenario2", per_line=True, workers=3, timeout=5.0,
+            budget=1000, retries=1, resume=True, cache_dir="/tmp/c",
+        )
+        decoded = api.ExplainRequest.from_json(request.to_json())
+        assert decoded == request
+        assert json.loads(request.to_json())["schema"] == api.API_REQUEST_SCHEMA
+
+    def test_lists_freeze_to_tuples(self):
+        request = api.ExplainRequest(
+            scenario="scenario1", fields=["action"], managed=["R1"],
+        )
+        assert request.fields == ("action",)
+        assert request.managed == ("R1",)
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(api.ApiError, match="unknown request keys"):
+            api.ExplainRequest.from_payload(
+                {"scenario": "scenario1", "retrys": 3}
+            )
+
+    def test_wrong_schema_rejected(self):
+        with pytest.raises(api.ApiError, match="expected schema"):
+            api.ExplainRequest.from_json(
+                json.dumps({"schema": "bogus/9", "scenario": "scenario1"})
+            )
+
+    @pytest.mark.parametrize(
+        "overrides,match",
+        [
+            ({"scenario": "s", "topology": "t", "spec": "s", "config": "c"},
+             "not both"),
+            ({}, "topology, spec and config together"),
+            ({"scenario": "s", "fields": ()}, "fields cannot be empty"),
+            ({"scenario": "s", "fields": ("bogus",)}, "unknown field kinds"),
+            ({"scenario": "s", "workers": 0}, "workers"),
+            ({"scenario": "s", "retries": -1}, "retries"),
+            ({"scenario": "s", "timeout": -1.0}, "timeout"),
+            ({"scenario": "s", "no_cache": True, "cache_dir": "/x"},
+             "mutually exclusive"),
+            ({"scenario": "s", "no_cache": True, "since": "cfg"}, "cache"),
+            ({"scenario": "s", "no_cache": True, "resume": True}, "cache"),
+        ],
+    )
+    def test_validation_rejects(self, overrides, match):
+        with pytest.raises(api.ApiError, match=match):
+            api.ExplainRequest(**overrides).validate()
+
+    def test_resolve_unknown_scenario(self):
+        with pytest.raises(api.ApiError, match="unknown scenario"):
+            api.resolve_inputs(api.ExplainRequest(scenario="nope"))
+
+    def test_resolve_named_scenario(self):
+        config, spec = api.resolve_inputs(
+            api.ExplainRequest(scenario="scenario1")
+        )
+        assert config.topology.router_names
+        assert spec.blocks
+
+    def test_scenario_registry_is_shared_with_cli(self):
+        from repro.scenarios import SCENARIOS
+
+        assert {"scenario1", "scenario2", "scenario2_fixed", "scenario3",
+                "campus"} == set(SCENARIOS)
+
+
+class TestStatusAndResultDocuments:
+    def test_job_status_round_trip(self):
+        status = api.JobStatus(
+            id="job-000001", state=api.STATE_RUNNING, tenant="alice",
+            scenario="scenario1", total=4, settled=2, ok=2,
+            submitted_at=1.0, started_at=2.0,
+        )
+        decoded = api.JobStatus.from_json(status.to_json())
+        assert decoded == status
+        assert not status.terminal
+
+    def test_terminal_states(self):
+        for state in (api.STATE_DONE, api.STATE_FAILED, api.STATE_DRAINED):
+            assert api.JobStatus(id="j", state=state).terminal
+        for state in (api.STATE_QUEUED, api.STATE_RUNNING):
+            assert not api.JobStatus(id="j", state=state).terminal
+
+    def test_unknown_state_rejected(self):
+        with pytest.raises(api.ApiError, match="unknown job state"):
+            api.JobStatus(id="j", state="LIMBO")
+
+    def test_result_rejects_unknown_status(self):
+        with pytest.raises(api.ApiError, match="unknown job status"):
+            api.ExplainResult(job_id="x", status="MAYBE")
+
+
+class TestExplainBatch:
+    def test_scenario1_end_to_end(self):
+        request = api.ExplainRequest(scenario="scenario1", no_cache=True)
+        report = api.explain_batch(request)
+        assert report.scenario == "scenario1"
+        assert len(report.results) == 2
+        assert report.completed == 2
+        assert report.exit_code() == 0
+        assert report.document["schema"] == REPORT_SCHEMA
+        assert {r.status for r in report.results} == {"EXACT"}
+        # The typed layer carries what the document omits.
+        assert all(r.explanation is not None for r in report.results)
+
+    def test_batch_report_round_trip(self):
+        request = api.ExplainRequest(scenario="scenario1", no_cache=True)
+        report = api.explain_batch(request)
+        decoded = api.BatchReport.from_json(report.to_json())
+        assert decoded.scenario == report.scenario
+        assert decoded.results == report.results
+        assert json.dumps(dict(decoded.document), sort_keys=True) == json.dumps(
+            dict(report.document), sort_keys=True
+        )
+
+    def test_summary_table_matches_farm_rendering(self):
+        request = api.ExplainRequest(scenario="scenario1", no_cache=True)
+        report = api.explain_batch(request)
+        table = report.summary_table()
+        assert "2 jobs: 2 ok" in table
+        assert table.splitlines()[0].startswith("job")
+
+    def test_progress_callback_sees_every_job(self):
+        settled = []
+        request = api.ExplainRequest(scenario="scenario1", no_cache=True)
+        api.explain_batch(request, progress=lambda r: settled.append(r))
+        assert sorted(r.job.job_id for r in settled) == [
+            "R1/router/Req1", "R2/router/Req1",
+        ]
+
+    def test_warm_cache_reruns_identically(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        request = api.ExplainRequest(scenario="scenario1", cache_dir=cache_dir)
+        cold = api.explain_batch(request)
+        warm = api.explain_batch(request)
+        assert warm.cached == len(warm.results)
+        cold_doc = normalize_document(dict(cold.document))
+        warm_doc = normalize_document(dict(warm.document))
+        # Same answers; the warm run differs only in cache provenance.
+        assert [r["job"] for r in warm_doc["jobs"]] == [
+            r["job"] for r in cold_doc["jobs"]
+        ]
+        assert {r["status"] for r in warm_doc["jobs"]} == {"CACHED"}

@@ -587,6 +587,7 @@ def explain_batch(
     progress: Optional[Callable[[JobResult], None]] = None,
     stop: Optional[threading.Event] = None,
     chaos: Optional[Any] = None,
+    fleet: Optional[Any] = None,
 ) -> BatchReport:
     """Execute one request end to end and return the typed report.
 
@@ -596,7 +597,10 @@ def explain_batch(
     outcome.  ``progress`` is invoked per settled job in the calling
     thread; ``stop`` drains the batch at the next family boundary.
     ``chaos`` (a :class:`repro.runtime.ChaosPlan`) is an execution-side
-    fault-injection knob, deliberately not part of the request schema.
+    fault-injection knob, deliberately not part of the request schema;
+    so is ``fleet`` (a :class:`repro.farm.fleet.WorkerFleet`), the
+    serving layer's long-lived worker pool -- where the batch runs is
+    an operator decision, never the requester's.
     """
     request.validate()
     config, specification = resolve_inputs(request)
@@ -635,6 +639,6 @@ def explain_batch(
             workers=request.workers, timeout=request.timeout,
             budget=request.budget, scenario=request.name,
             policy=policy, share=request.share,
-            progress=progress, stop=stop,
+            progress=progress, stop=stop, fleet=fleet,
         )
     return BatchReport.from_farm_report(farm)

@@ -42,6 +42,7 @@ __all__ = [
     "measure_calibration",
     "run_perline_once",
     "run_scenario_once",
+    "run_serve_once",
     "run_bench",
     "format_report",
 ]
@@ -55,11 +56,22 @@ SCENARIO_BUILDERS: Dict[str, Callable[[], Scenario]] = {
 
 #: Bench families: ``pipeline`` is the classic end-to-end pass
 #: (synth/verify/simulate/explain); ``perline`` measures the cold
-#: per-line batch under family dispatch against per-job dispatch.
-BENCH_FAMILIES = ("pipeline", "perline")
+#: per-line batch under family dispatch against per-job dispatch;
+#: ``serve`` pushes a multi-tenant concurrent workload through the
+#: serving queue on a warm worker fleet against the FIFO +
+#: per-batch-pool path.
+BENCH_FAMILIES = ("pipeline", "perline", "serve")
 
 QUICK_REPEAT = 2
 FULL_REPEAT = 5
+
+#: The serve family's workload shape: K tenants each submitting B
+#: batches concurrently (the issue's 4-tenant contention scenario).
+SERVE_TENANTS = 4
+SERVE_BATCHES_PER_TENANT = 2
+#: Fleet size and per-batch worker cap for the serve family.
+SERVE_FLEET_WORKERS = 4
+SERVE_BATCH_WORKERS = 2
 
 
 def _calibration_workload() -> int:
@@ -201,6 +213,257 @@ def _perline_records(
     ]
 
 
+class _ServeSample:
+    """One iteration of the multi-tenant serving workload.
+
+    Wall times for the three paths (seed FIFO + per-batch pools, cold
+    fleet, warm fleet), plus per-job queue-wait and end-to-end latency
+    samples from the warm-fleet pass and the interesting counters.
+    """
+
+    def __init__(
+        self,
+        fifo_s: float,
+        cold_s: float,
+        warm_s: float,
+        waits: List[float],
+        e2e: List[float],
+        results: int,
+        counters: Dict[str, int],
+    ):
+        self.fifo_s = fifo_s
+        self.cold_s = cold_s
+        self.warm_s = warm_s
+        self.waits = waits
+        self.e2e = e2e
+        self.results = results
+        self.counters = counters
+
+
+def _verify_served(jobs, reference: str) -> int:
+    """Every job finished ``DONE`` with the reference document bytes.
+
+    The serving layer's contract is that a served batch is
+    byte-identical (timings normalized) to ``explain-all --json`` on
+    the same cache; a divergence fails the bench rather than timing a
+    wrong answer.  Returns the total per-line results served.
+    """
+    from . import api
+    from .farm.report import dump_document, normalize_document
+
+    total = 0
+    for job in jobs:
+        if job.state != api.STATE_DONE or job.report is None:
+            raise RuntimeError(
+                f"serve bench job {job.id} ended {job.state}: {job.error}"
+            )
+        document = dump_document(normalize_document(dict(job.report.document)))
+        if document != reference:
+            raise RuntimeError(
+                f"served document for {job.id} diverged from explain-all --json"
+            )
+        total += len(job.report.results)
+    return total
+
+
+def run_serve_once(
+    scenario_name: str, cache_dir: str, reference: str
+) -> _ServeSample:
+    """One pass of the K-tenant concurrent workload, three ways.
+
+    The workload is :data:`SERVE_TENANTS` tenants each submitting
+    :data:`SERVE_BATCHES_PER_TENANT` batches of ``scenario_name`` at
+    once.  It runs first on the seed path (one FIFO runner, a process
+    pool forked per batch), then twice on a freshly spawned
+    :class:`~repro.farm.fleet.WorkerFleet` behind a fair-share queue --
+    the first fleet pass is cold (workers just forked), the second is
+    warm (resident stores and caches).  Every served document must be
+    byte-identical to ``reference``.
+    """
+    import gc
+
+    from . import api
+    from .farm.fleet import WorkerFleet
+    from .serve.queue import JobQueue, RetentionPolicy
+    from .serve.tenants import TenantBook
+
+    request = api.ExplainRequest(
+        scenario=scenario_name, workers=SERVE_BATCH_WORKERS
+    )
+    # Evict terminal jobs immediately: retained result documents are
+    # megabytes of live parent heap, and carrying one pass's reports
+    # into the next skews it (slower forks, more GC).  Each pass is
+    # verified from local references, then released.
+    retention = RetentionPolicy(max_completed=0)
+
+    def workload(queue: JobQueue):
+        start = time.perf_counter()
+        jobs = []
+        for _ in range(SERVE_BATCHES_PER_TENANT):
+            for index in range(SERVE_TENANTS):
+                jobs.append(queue.submit(request, tenant=f"tenant-{index}"))
+        for job in jobs:
+            # Blocks until the job is terminal (the event stream's end).
+            queue.events_since(job.id, 1 << 30, timeout=None)
+        return time.perf_counter() - start, jobs
+
+    # The seed path: global FIFO, per-batch process pools.
+    fifo = JobQueue(cache_dir=cache_dir, concurrency=1, retention=retention)
+    try:
+        fifo_s, fifo_jobs = workload(fifo)
+    finally:
+        fifo.drain(timeout=60.0)
+    _verify_served(fifo_jobs, reference)
+    del fifo, fifo_jobs
+    gc.collect()
+
+    # The fleet path: shared warm workers, fair-share concurrent batches.
+    metrics = MetricsRegistry()
+    fleet = WorkerFleet(SERVE_FLEET_WORKERS, metrics=metrics)
+    queue = JobQueue(
+        cache_dir=cache_dir,
+        metrics=metrics,
+        tenants=TenantBook(),
+        concurrency=SERVE_TENANTS,
+        fleet=fleet,
+        retention=retention,
+    )
+    try:
+        cold_s, cold_jobs = workload(queue)
+        _verify_served(cold_jobs, reference)
+        del cold_jobs
+        gc.collect()
+        warm_s, warm_jobs = workload(queue)
+        residency = dict(fleet.stats().residency)
+    finally:
+        queue.drain(timeout=60.0)
+        fleet.close()
+    results = _verify_served(warm_jobs, reference)
+
+    waits = [
+        max(0.0, (job.started_at or 0.0) - job.submitted_at)
+        for job in warm_jobs
+    ]
+    e2e = [
+        max(0.0, (job.finished_at or 0.0) - job.submitted_at)
+        for job in warm_jobs
+    ]
+    counters = {
+        name: value
+        for name, value in metrics.counters.items()
+        if name.startswith(("serve.", "farm.fleet."))
+    }
+    for name, value in residency.items():
+        key = f"farm.fleet.{name}"
+        counters[key] = counters.get(key, 0) + value
+    return _ServeSample(fifo_s, cold_s, warm_s, waits, e2e, results, counters)
+
+
+def _serve_records(
+    scenario_name: str,
+    samples: Sequence[_ServeSample],
+) -> List[StageRecord]:
+    """Five records per scenario for the serving workload.
+
+    ``serve`` (the gated stage) is the warm-fleet wall time of the
+    whole workload; ``serve.cold`` is the same workload on a
+    just-forked fleet, ``serve.fifo`` the seed FIFO + per-batch-pool
+    control (speedup = ``serve.fifo`` / ``serve``).  ``serve.wait``
+    and ``serve.e2e`` aggregate per-job queue-wait and end-to-end
+    latency samples from the warm pass (their p95s are the tail the
+    issue asks for).  Throughput in jobs/sec is
+    ``serve.results / total_s`` of the ``serve`` record.
+    """
+    warm = [sample.warm_s for sample in samples]
+    cold = [sample.cold_s for sample in samples]
+    fifo = [sample.fifo_s for sample in samples]
+    waits = [value for sample in samples for value in sample.waits]
+    e2e = [value for sample in samples for value in sample.e2e]
+    counters: Dict[str, int] = {"serve.results": 0}
+    for sample in samples:
+        counters["serve.results"] += sample.results
+        for name, value in sample.counters.items():
+            counters[name] = counters.get(name, 0) + value
+    return [
+        StageRecord(
+            scenario=scenario_name,
+            stage="serve",
+            runs=len(samples),
+            median_s=percentile(warm, 0.50),
+            p95_s=percentile(warm, 0.95),
+            total_s=sum(warm),
+            counters=counters,
+        ),
+        StageRecord(
+            scenario=scenario_name,
+            stage="serve.cold",
+            runs=len(samples),
+            median_s=percentile(cold, 0.50),
+            p95_s=percentile(cold, 0.95),
+            total_s=sum(cold),
+            counters={},
+        ),
+        StageRecord(
+            scenario=scenario_name,
+            stage="serve.fifo",
+            runs=len(samples),
+            median_s=percentile(fifo, 0.50),
+            p95_s=percentile(fifo, 0.95),
+            total_s=sum(fifo),
+            counters={},
+        ),
+        StageRecord(
+            scenario=scenario_name,
+            stage="serve.wait",
+            runs=len(waits),
+            median_s=percentile(waits, 0.50),
+            p95_s=percentile(waits, 0.95),
+            total_s=sum(waits),
+            counters={},
+        ),
+        StageRecord(
+            scenario=scenario_name,
+            stage="serve.e2e",
+            runs=len(e2e),
+            median_s=percentile(e2e, 0.50),
+            p95_s=percentile(e2e, 0.95),
+            total_s=sum(e2e),
+            counters={},
+        ),
+    ]
+
+
+def _serve_bench(scenario_name: str, runs: int) -> List[StageRecord]:
+    """The serve family for one scenario: warm a cache, run, record.
+
+    Each scenario gets a throwaway artifact store, warm-filled once by
+    a direct :func:`repro.api.explain_batch` pass; a second direct
+    pass yields the warm reference document every served batch must
+    reproduce byte-for-byte (the served batches hit the warm store, so
+    the reference must be the cached-status document, not the cold
+    one).
+    """
+    import tempfile
+
+    from . import api
+    from .farm.report import dump_document, normalize_document
+
+    with tempfile.TemporaryDirectory(prefix="repro-serve-bench-") as cache_dir:
+        request = api.ExplainRequest(
+            scenario=scenario_name,
+            workers=SERVE_BATCH_WORKERS,
+            cache_dir=cache_dir,
+        )
+        api.explain_batch(request)
+        warm = api.explain_batch(request)
+        reference = dump_document(normalize_document(dict(warm.document)))
+        samples = [
+            run_serve_once(scenario_name, cache_dir, reference)
+            for _ in range(runs)
+        ]
+    return _serve_records(scenario_name, samples)
+
+
 def _stage_records(scenario_name: str, merged: MetricsRegistry) -> List[StageRecord]:
     """Per-stage records from the merged per-iteration registries.
 
@@ -274,6 +537,8 @@ def run_bench(
         if "perline" in chosen:
             samples = [run_perline_once(scenario) for _ in range(runs)]
             stages.extend(_perline_records(name, samples))
+        if "serve" in chosen:
+            stages.extend(_serve_bench(name, runs))
 
     return BenchReport(
         stages=stages,
@@ -296,6 +561,10 @@ _HEADLINE_COUNTERS = (
     "farm.families",
     "smt.session.instances",
     "smt.session.reuse",
+    "serve.results",
+    "serve.sched.dispatch",
+    "farm.fleet.shared_warm_hits",
+    "farm.fleet.store_resident_hits",
 )
 
 

@@ -271,10 +271,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--family",
         action="append",
         default=None,
-        choices=["pipeline", "perline"],
-        help="restrict the bench families (repeatable; default: both). "
+        choices=["pipeline", "perline", "serve"],
+        help="restrict the bench families (repeatable; default: all). "
         "'pipeline' is the end-to-end pass; 'perline' times the cold "
-        "per-line batch under family dispatch vs per-job dispatch",
+        "per-line batch under family dispatch vs per-job dispatch; "
+        "'serve' times a multi-tenant concurrent workload through the "
+        "fair-share queue on a warm worker fleet vs the FIFO + "
+        "per-batch-pool path",
     )
 
     explain_all = subparsers.add_parser(
@@ -430,6 +433,48 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="on SIGTERM, how long to wait for in-flight families to "
         "finish and journal before giving up (default 60)",
+    )
+    serve.add_argument(
+        "--fleet-workers",
+        type=_non_negative_int,
+        default=0,
+        metavar="N",
+        help="size of the persistent warm worker fleet every batch "
+        "executes on (default 0: per-batch pools/serial, the "
+        "pre-fleet behavior)",
+    )
+    serve.add_argument(
+        "--concurrency",
+        type=int,
+        default=1,
+        metavar="N",
+        help="batches run at once under fair-share scheduling "
+        "(default 1: one at a time)",
+    )
+    serve.add_argument(
+        "--retain-ttl",
+        type=_non_negative_float,
+        default=None,
+        metavar="SECONDS",
+        help="evict finished jobs (and their event logs) this long "
+        "after completion (default: keep forever)",
+    )
+    serve.add_argument(
+        "--retain-max",
+        type=_non_negative_int,
+        default=None,
+        metavar="N",
+        help="retain at most N finished jobs, oldest evicted first "
+        "(default: unbounded)",
+    )
+    serve.add_argument(
+        "--event-poll",
+        type=_non_negative_float,
+        default=10.0,
+        metavar="SECONDS",
+        help="long-poll length of the /events stream; each expiry "
+        "emits a keep-alive chunk and checks the client is still "
+        "there (default 10)",
     )
 
     analyze = subparsers.add_parser(
@@ -843,7 +888,13 @@ def _cmd_bench(args: argparse.Namespace, out) -> int:
 def _cmd_serve(args: argparse.Namespace, out) -> int:
     import os
 
-    from .serve import TenantBook, TenantConfigError, TenantPolicy, serve_forever
+    from .serve import (
+        RetentionPolicy,
+        TenantBook,
+        TenantConfigError,
+        TenantPolicy,
+        serve_forever,
+    )
 
     if args.no_cache and args.cache_dir is not None:
         raise SystemExit("--no-cache and --cache-dir are mutually exclusive")
@@ -864,9 +915,18 @@ def _cmd_serve(args: argparse.Namespace, out) -> int:
         tenants = TenantBook(
             {"default": TenantPolicy(max_workers=args.workers)}
         )
+    retention = RetentionPolicy(
+        ttl_s=args.retain_ttl, max_completed=args.retain_max
+    )
+    fleet_note = (
+        f"fleet: {args.fleet_workers} workers"
+        if args.fleet_workers > 0
+        else "fleet: off"
+    )
     print(
         f"repro-serve listening on http://{args.host}:{args.port} "
-        f"(cache: {cache_dir or 'disabled'})",
+        f"(cache: {cache_dir or 'disabled'}, {fleet_note}, "
+        f"concurrency: {max(1, args.concurrency)})",
         file=out,
     )
     return serve_forever(
@@ -875,6 +935,10 @@ def _cmd_serve(args: argparse.Namespace, out) -> int:
         cache_dir=cache_dir,
         tenants=tenants,
         drain_timeout=args.drain_timeout,
+        fleet_workers=args.fleet_workers,
+        concurrency=args.concurrency,
+        retention=retention,
+        event_poll_s=args.event_poll,
     )
 
 

@@ -42,6 +42,7 @@ The CLI front-end is ``python -m repro.cli explain-all``; see
 import warnings
 from typing import Any
 
+from .fleet import FleetStats, WorkerFleet
 from .invalidate import compute_dirty, readset_valid, sketch_universe
 from .job import ExplainJob, JobFamily, enumerate_jobs, group_families
 from .keys import FarmOptions, canonical_json, digest, job_key
@@ -124,6 +125,8 @@ __all__ = [
     "readset_valid",
     "sketch_universe",
     "JobResult",
+    "FleetStats",
+    "WorkerFleet",
     "reset_shared_slot",
     "run_family",
     "run_job",

@@ -22,7 +22,8 @@ import json
 import os
 import tempfile
 import threading
-from typing import Dict, List, Optional
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
 
 from .keys import canonical_json, digest
 
@@ -63,11 +64,23 @@ class ArtifactStore:
     it.
     """
 
-    def __init__(self, cache_dir: str) -> None:
+    def __init__(self, cache_dir: str, hot_artifacts: int = 0) -> None:
         self.cache_dir = cache_dir
         #: ``hit.<stage>`` / ``miss.<stage>`` / ``store.<stage>`` /
         #: ``corrupt.<stage>`` counters for the batch report.
         self.stats: Dict[str, int] = {}
+        #: Capacity of the in-memory hot-artifact cache (0 disables).
+        #: Long-lived handles (a fleet worker's resident store) keep
+        #: the canonical JSON of the most recently touched payloads so
+        #: repeat loads skip the filesystem entirely.  Hits are counted
+        #: exactly like disk hits, and each load deserializes a fresh
+        #: dict, so callers (and batch report documents) cannot tell
+        #: the difference.  A payload replaced on disk by *another*
+        #: process keeps serving the remembered copy until evicted --
+        #: acceptable because artifacts are content-addressed by job
+        #: key and deterministic.
+        self.hot_artifacts = hot_artifacts
+        self._hot: "OrderedDict[Tuple[str, str], str]" = OrderedDict()
         self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
@@ -76,6 +89,22 @@ class ArtifactStore:
         name = f"{event}.{stage}"
         with self._lock:
             self.stats[name] = self.stats.get(name, 0) + 1
+
+    def _remember(self, key: str, stage: str, text: str) -> None:
+        with self._lock:
+            self._hot[(key, stage)] = text
+            self._hot.move_to_end((key, stage))
+            while len(self._hot) > self.hot_artifacts:
+                self._hot.popitem(last=False)
+
+    def _recall(self, key: str, stage: str) -> Optional[str]:
+        if not self.hot_artifacts:
+            return None
+        with self._lock:
+            text = self._hot.get((key, stage))
+            if text is not None:
+                self._hot.move_to_end((key, stage))
+            return text
 
     def path_for(self, key: str, stage: str) -> str:
         if not key or any(c not in "0123456789abcdef" for c in key):
@@ -89,6 +118,10 @@ class ArtifactStore:
     def load(self, key: str, stage: str) -> Optional[dict]:
         """The stored payload for (key, stage), or ``None`` on a miss."""
         path = self.path_for(key, stage)
+        hot = self._recall(key, stage)
+        if hot is not None:
+            self._count("hit", stage)
+            return json.loads(hot)
         try:
             with open(path, "r", encoding="ascii") as handle:
                 envelope = json.load(handle)
@@ -109,6 +142,8 @@ class ArtifactStore:
             self._count("miss", stage)
             return None
         self._count("hit", stage)
+        if self.hot_artifacts:
+            self._remember(key, stage, canonical_json(envelope["payload"]))
         return envelope["payload"]
 
     def _write_atomic(self, path: str, text: str) -> bool:
@@ -160,6 +195,8 @@ class ArtifactStore:
         }
         if self._write_atomic(path, canonical_json(envelope)):
             self._count("store", stage)
+            if self.hot_artifacts:
+                self._remember(key, stage, canonical_json(payload))
 
     # -- quarantine ledger ---------------------------------------------
 

@@ -51,6 +51,7 @@ attempt would not also write.
 from __future__ import annotations
 
 import hashlib
+import itertools
 import json
 import os
 import threading
@@ -66,10 +67,12 @@ from ..obs import MetricsRegistry
 from ..runtime import ChaosPlan, ReproError, TRANSIENT, split_budget
 from ..spec.ast import Specification
 from ..spec.printer import format_specification
+from .fleet import WorkerFleet
 from .job import ExplainJob, group_families
 from .keys import FarmOptions, canonical_json, digest
 from .pool import BatchReport, _merge_metrics
 from .store import ArtifactStore
+from .report import OK_STATUSES
 from .worker import (
     JobResult,
     STATUS_ERROR,
@@ -88,11 +91,19 @@ __all__ = [
     "run_supervised",
 ]
 
-JOURNAL_SCHEMA = "repro-farm-journal/1"
+JOURNAL_SCHEMA = "repro-farm-journal/2"
+
+#: Group-commit window for journal fsync: records are written and
+#: flushed per settled job (process-crash safe either way), but pay an
+#: fsync -- the machine-failure guard -- at most this often.
+_JOURNAL_SYNC_S = 0.5
 
 #: How long the dispatch loop waits on in-flight futures per iteration;
 #: bounds watchdog latency without busy-waiting.
 _TICK_S = 0.05
+
+#: Process-wide source of unique fleet stream names (one per batch).
+_STREAM_SERIAL = itertools.count(1)
 
 
 @dataclass(frozen=True)
@@ -168,7 +179,22 @@ def batch_signature(
 
 
 def _result_payload(result: JobResult) -> Dict[str, object]:
-    """The journaled form of a settled job (metrics excluded)."""
+    """The journaled form of a settled job (metrics excluded).
+
+    Durable answers -- EXACT results the worker just persisted and
+    CACHED results that came from the store -- are journaled as a
+    reference (``"stored": true``, no inline explanation): the
+    artifact store already holds the payload content-addressed by the
+    job key, and re-encoding every explanation into the journal once
+    per settled job dominated journal cost.  Replay loads the payload
+    back from the store; a missing or corrupt artifact simply re-runs
+    the job, exactly like a lost journal window.
+    """
+    stored = (
+        result.explanation is not None
+        and result.key is not None
+        and result.status in OK_STATUSES
+    )
     return {
         "job": result.job.payload(),
         "key": result.key,
@@ -180,16 +206,34 @@ def _result_payload(result: JobResult) -> Dict[str, object]:
         "error_kind": result.error_kind,
         "attempts": result.attempts,
         "quarantined": result.quarantined,
-        "explanation": result.explanation,
+        "stored": stored,
+        "explanation": None if stored else result.explanation,
     }
 
 
-def _result_from_payload(payload: Dict[str, object]) -> JobResult:
+def _result_from_payload(
+    payload: Dict[str, object], store: Optional[ArtifactStore]
+) -> Optional[JobResult]:
+    """Rebuild one journaled result (``None`` when unrecoverable).
+
+    A ``"stored": true`` record carries no inline explanation; the
+    payload is reloaded from the artifact store by job key.  A missing
+    store or evicted artifact yields ``None`` -- the caller treats the
+    job as never settled and re-runs it.
+    """
+    explanation = payload.get("explanation")
+    key = payload.get("key")
+    if payload.get("stored"):
+        if store is None or not isinstance(key, str):
+            return None
+        explanation = store.load(key, "explanation")
+        if explanation is None:
+            return None
     job_fields = dict(payload["job"])  # type: ignore[arg-type]
     job_fields["fields"] = tuple(job_fields.get("fields") or ())
     return JobResult(
         job=ExplainJob(**job_fields),
-        key=payload.get("key"),  # type: ignore[arg-type]
+        key=key,  # type: ignore[arg-type]
         status=str(payload["status"]),
         cached=bool(payload.get("cached")),
         duration_s=float(payload.get("duration_s") or 0.0),
@@ -198,33 +242,40 @@ def _result_from_payload(payload: Dict[str, object]) -> JobResult:
         error_kind=payload.get("error_kind"),  # type: ignore[arg-type]
         attempts=int(payload.get("attempts") or 1),
         quarantined=bool(payload.get("quarantined")),
-        explanation=payload.get("explanation"),  # type: ignore[arg-type]
+        explanation=explanation,  # type: ignore[arg-type]
     )
 
 
 class RunJournal:
-    """An append-only, fsync'd record of settled jobs.
+    """An append-only record of settled jobs.
 
     Layout: ``<cache_dir>/journal/<signature>.jsonl`` -- a header line
     naming the schema and batch signature, then one line per settled
-    job.  Each line is flushed and fsync'd before the supervisor moves
-    on, so after SIGKILL the journal is a valid prefix of the run plus
-    at most one torn line, which replay ignores.
+    job.  Each line is flushed before the supervisor moves on (fsync
+    is group-committed, see :meth:`_write`), so after SIGKILL the
+    journal is a valid prefix of the run plus at most one torn line,
+    which replay ignores.
     """
 
     def __init__(self, cache_dir: str, signature: str) -> None:
         self.signature = signature
         self.path = os.path.join(cache_dir, "journal", f"{signature}.jsonl")
         self._handle = None
+        self._last_sync = 0.0
 
     # -- replay ---------------------------------------------------------
 
-    def replay(self) -> Dict[str, JobResult]:
+    def replay(
+        self, store: Optional[ArtifactStore] = None
+    ) -> Dict[str, JobResult]:
         """job id -> settled result from a prior (possibly killed) run.
 
         An absent journal, a schema/signature mismatch, or a corrupt
         header all replay to "nothing done"; a torn or garbled line
-        ends the replay at the last intact record.
+        ends the replay at the last intact record.  ``store`` resolves
+        ``"stored": true`` records (durable answers journaled by
+        reference); a record whose artifact is gone is skipped, which
+        re-runs that job.
         """
         try:
             with open(self.path, "r", encoding="ascii") as handle:
@@ -249,10 +300,11 @@ class RunJournal:
                 record = json.loads(line)
                 if not isinstance(record, dict) or "done" not in record:
                     break
-                result = _result_from_payload(record["done"])
+                result = _result_from_payload(record["done"], store)
             except (ValueError, KeyError, TypeError):
                 break  # torn tail: the crash landed mid-write
-            results[result.job.job_id] = result
+            if result is not None:
+                results[result.job.job_id] = result
         return results
 
     # -- writing --------------------------------------------------------
@@ -306,17 +358,35 @@ class RunJournal:
         self._write({"done": _result_payload(result)})
 
     def _write(self, record: Dict[str, object]) -> None:
+        """Append one record: write-through, group-committed fsync.
+
+        Every record is written and flushed immediately, so a crash of
+        *this process* loses nothing (the data is in the page cache).
+        ``fsync`` -- which only guards against kernel or power failure
+        -- is group-committed to at most one per
+        :data:`_JOURNAL_SYNC_S`, instead of once per settled job; the
+        worst case is a machine-level failure forgetting the last
+        window of settled jobs, which ``resume`` simply re-runs.
+        """
         if self._handle is None:
             return
         try:
             self._handle.write(canonical_json(record) + "\n")
             self._handle.flush()
-            os.fsync(self._handle.fileno())
+            now = time.monotonic()
+            if now - self._last_sync >= _JOURNAL_SYNC_S:
+                os.fsync(self._handle.fileno())
+                self._last_sync = now
         except (OSError, ValueError):
             self._handle = None
 
     def close(self) -> None:
         if self._handle is not None:
+            try:
+                self._handle.flush()
+                os.fsync(self._handle.fileno())
+            except (OSError, ValueError):
+                pass
             try:
                 self._handle.close()
             except OSError:
@@ -367,6 +437,7 @@ class Supervisor:
         share: bool = True,
         progress: Optional[Callable[[JobResult], None]] = None,
         stop: Optional[threading.Event] = None,
+        fleet: Optional[WorkerFleet] = None,
     ) -> None:
         self.config = config
         self.specification = specification
@@ -386,6 +457,13 @@ class Supervisor:
         #: everything still waiting is left unsettled for ``--resume``.
         self.progress = progress
         self.stop = stop
+        #: A long-lived :class:`WorkerFleet` to borrow workers from
+        #: instead of building a per-batch pool.  All ready units are
+        #: queued fleet-side at once on this batch's stream; ``workers``
+        #: caps the stream's simultaneous worker claims, so one request
+        #: cannot monopolize a fleet shared with other batches.
+        self.fleet = fleet
+        self._stream = f"batch-{next(_STREAM_SERIAL)}"
         #: Identity of the batch's worker-side shared caches; ``None``
         #: disables sharing (explicitly, or because the run is
         #: governed -- see :func:`repro.farm.worker.run_family`).
@@ -396,11 +474,13 @@ class Supervisor:
         )
         if (
             self.workers <= 1
+            and fleet is None
             and self.policy.chaos is not None
             and self.policy.chaos.needs_process_isolation
         ):
             raise ValueError(
-                "chaos kill/hang events need a process pool (workers >= 2)"
+                "chaos kill/hang events need a process pool (workers >= 2) "
+                "or a worker fleet"
             )
         self.metrics = MetricsRegistry()
         #: job id -> per-attempt error chain (for the quarantine ledger).
@@ -423,7 +503,7 @@ class Supervisor:
             )
             journal = RunJournal(self.cache_dir, signature)
             if self.policy.resume:
-                replayed = journal.replay()
+                replayed = journal.replay(store)
                 for index, job in enumerate(self.jobs):
                     done = replayed.get(job.job_id)
                     if done is not None:
@@ -432,7 +512,9 @@ class Supervisor:
             journal.start(fresh=not results)
         pending = self._units(results)
         try:
-            if self.workers <= 1:
+            if self.fleet is not None:
+                self._run_fleet(pending, shares, results, journal, store)
+            elif self.workers <= 1:
                 self._run_serial(pending, shares, results, journal, store)
             else:
                 self._run_pool(pending, shares, results, journal, store)
@@ -746,6 +828,127 @@ class Supervisor:
             else:
                 pool.shutdown(wait=True)
 
+    # -- fleet mode -----------------------------------------------------
+
+    def _dispatch_fleet(self, unit: _Unit, shares) -> Future:
+        started = time.monotonic()
+        for att in unit:
+            att.started = started
+        assert self.fleet is not None
+        return self.fleet.submit(
+            run_family, self.config, self.specification,
+            [att.job for att in unit], self.options, self.cache_dir,
+            self.timeout,
+            [self._share(shares, att.index) for att in unit],
+            [att.attempt for att in unit],
+            self.policy.chaos, self._shared_key,
+            stream=self._stream, stream_cap=max(1, self.workers),
+        )
+
+    def _run_fleet(self, pending, shares, results, journal, store) -> None:
+        """Dispatch onto the shared :class:`WorkerFleet`.
+
+        Same retry/quarantine/watchdog/journal semantics as
+        :meth:`_run_pool`, with three structural differences:
+
+        * A worker crash fails only the unit that worker held -- the
+          fleet replaces the process itself, and other units (this
+          batch's or another's) keep their workers.  No pool rebuild,
+          no innocent re-dispatch.
+        * Dispatch is *deep*: every ready unit is queued fleet-side at
+          once on this batch's stream, so an idle worker claims the
+          next family immediately instead of waiting for this loop to
+          settle and re-dispatch.  The stream's claim cap (the
+          request's ``workers``) keeps the batch from monopolizing the
+          shared fleet.
+        * The hang watchdog terminates just the offending worker
+          (:meth:`WorkerFleet.kill_task`) instead of abandoning a
+          pool.  The hang clock starts when a worker *claims* the
+          unit, so fleet queue wait on a contended fleet never counts
+          against the allowance.
+        """
+        assert self.fleet is not None
+        waiting: Deque[_Unit] = deque(pending)
+        backoff: List[_Attempt] = []
+        inflight: Dict[Future, _Unit] = {}
+        try:
+            while waiting or backoff or inflight:
+                if self._stopping() and (waiting or backoff):
+                    self._count_drained(
+                        sum(len(unit) for unit in waiting) + len(backoff)
+                    )
+                    waiting.clear()
+                    backoff = []
+                    if not inflight:
+                        break
+                now = time.monotonic()
+                due = [att for att in backoff if att.ready_at <= now]
+                if due:
+                    backoff = [a for a in backoff if a.ready_at > now]
+                    waiting.extend(
+                        [att] for att in sorted(due, key=lambda a: a.index)
+                    )
+                while waiting:
+                    unit = waiting.popleft()
+                    inflight[self._dispatch_fleet(unit, shares)] = unit
+                if not inflight:
+                    next_ready = min(att.ready_at for att in backoff)
+                    time.sleep(max(0.0, min(next_ready - now, _TICK_S)))
+                    continue
+                done, _ = wait(
+                    set(inflight), timeout=_TICK_S,
+                    return_when=FIRST_COMPLETED,
+                )
+                now = time.monotonic()
+                for future in done:
+                    unit = inflight.pop(future)
+                    error = future.exception()
+                    if error is None:
+                        for att, result in zip(unit, future.result()):
+                            self._settle(
+                                att, result, now, backoff.append,
+                                results, journal, store,
+                            )
+                    else:
+                        # The fleet worker died under the unit (and has
+                        # already been replaced): transient for every
+                        # member -- a family shares its process.
+                        self.metrics.count("farm.supervise.crash")
+                        for att in unit:
+                            self._fail(
+                                att,
+                                f"{type(error).__name__}: {error}",
+                                now, backoff.append, results, journal,
+                                store,
+                            )
+                if self.policy.hang_timeout is not None:
+                    hung = []
+                    for future, unit in inflight.items():
+                        claimed = self.fleet.started_at(future)
+                        if (
+                            claimed is not None
+                            and now - claimed
+                            > self.policy.hang_timeout * len(unit)
+                        ):
+                            hung.append(future)
+                    for future in hung:
+                        unit = inflight.pop(future)
+                        self.metrics.count("farm.supervise.hang")
+                        self.fleet.kill_task(future)
+                        for att in unit:
+                            self._fail(
+                                att,
+                                f"WorkerHang: no result within "
+                                f"{self.policy.hang_timeout}s (watchdog)",
+                                now, backoff.append, results, journal,
+                                store,
+                            )
+        finally:
+            # Aborted mid-flight (e.g. quarantine limit): the fleet
+            # outlives this batch, so just disown our futures -- late
+            # results resolve into futures nobody reads.
+            inflight.clear()
+
 
 def run_supervised(
     config: NetworkConfig,
@@ -761,10 +964,11 @@ def run_supervised(
     share: bool = True,
     progress: Optional[Callable[[JobResult], None]] = None,
     stop: Optional[threading.Event] = None,
+    fleet: Optional[WorkerFleet] = None,
 ) -> BatchReport:
     """Answer every job under supervision; see :class:`Supervisor`."""
     return Supervisor(
         config, specification, jobs, options, cache_dir, workers,
         timeout, budget, scenario, policy, share=share,
-        progress=progress, stop=stop,
+        progress=progress, stop=stop, fleet=fleet,
     ).run()

@@ -31,6 +31,7 @@ again after persisting artifacts (corrupt) -- see
 from __future__ import annotations
 
 import os
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
@@ -39,6 +40,7 @@ from ..bgp.config import NetworkConfig
 from ..bgp.render import render_network
 from ..explain.engine import Explanation, ExplanationEngine, ExplanationStatus
 from ..explain.family import SharedCaches
+from ..explain.serialize import subspec_from_dict
 from ..obs import Instrumentation, MetricsRegistry
 from ..runtime import (
     CHAOS_CORRUPT,
@@ -73,6 +75,7 @@ __all__ = [
     "run_family",
     "run_job",
     "shared_batch_key",
+    "take_residency_stats",
     "STATUS_ERROR",
     "STATUS_CACHED",
     "STATUS_QUARANTINED",
@@ -207,13 +210,18 @@ def run_job(
         options = FarmOptions()
     started = time.perf_counter()
     obs = Instrumentation()
-    store = ArtifactStore(cache_dir) if cache_dir is not None else None
+    store = _store_for(cache_dir) if cache_dir is not None else None
+    # Resident handles accumulate stats across jobs; report only this
+    # job's delta so the counters match a fresh handle's.
+    stats_before = dict(store.stats) if store is not None else {}
 
     def finish(result: JobResult) -> JobResult:
         result.duration_s = time.perf_counter() - started
         if store is not None:
             for name, value in sorted(store.stats.items()):
-                obs.metrics.count(f"farm.store.{name}", value)
+                delta = value - stats_before.get(name, 0)
+                if delta > 0:
+                    obs.metrics.count(f"farm.store.{name}", delta)
         obs.metrics.count(f"farm.jobs.{result.status}")
         result.metrics = obs.metrics
         return result
@@ -239,12 +247,17 @@ def run_job(
                 universe = _sketch_universe_of(sketch)
                 if readset_valid(readset, config, universe):
                     obs.metrics.count("farm.cache.full_hit")
-                    restored = Explanation.from_dict(answer)
+                    # Only the subspec is needed from the stored answer
+                    # (the payload itself is returned verbatim);
+                    # rebuilding the full Explanation -- seed encode,
+                    # simplified and projected terms -- would dominate
+                    # the cached-hit path for nothing.
+                    restored = subspec_from_dict(answer["subspec"])
                     return finish(
                         JobResult(
                             job=job, key=key, status=STATUS_CACHED,
                             cached=True, duration_s=0.0,
-                            subspec=restored.subspec.render(),
+                            subspec=restored.render(),
                             explanation=answer,
                         )
                     )
@@ -326,24 +339,101 @@ def shared_batch_key(
     )
 
 
-#: One shared-cache slot per worker process.  A single slot suffices:
-#: a process only ever serves one batch at a time, and a key mismatch
-#: (new batch, edited configuration) simply rebuilds.
-_SHARED_KEY: Optional[str] = None
-_SHARED: Optional[SharedCaches] = None
+class _ResidentState(threading.local):
+    """Per-thread resident state: the shared-cache slot and open
+    :class:`ArtifactStore` handles.
+
+    Thread-local rather than module-global because the serving layer
+    now runs several in-process serial batches concurrently (one
+    batch-runner thread each); a shared slot would race.  Fleet worker
+    processes run their loop on one thread, so residency across
+    batches is unchanged there -- and the serve queue keeps its runner
+    threads alive across batches for the same reason.
+    """
+
+    def __init__(self) -> None:
+        self.shared_key: Optional[str] = None
+        self.shared: Optional[SharedCaches] = None
+        self.stores: Dict[str, ArtifactStore] = {}
+
+
+_RESIDENT = _ResidentState()
+
+#: Process-local residency counters, shipped out of band by fleet
+#: workers (never through :class:`JobResult` metrics: report documents
+#: must stay byte-identical whether or not a fleet served them).
+_RESIDENCY_LOCK = threading.Lock()
+_RESIDENCY: Dict[str, int] = {}
+
+
+def _note_residency(name: str, value: int = 1) -> None:
+    with _RESIDENCY_LOCK:
+        _RESIDENCY[name] = _RESIDENCY.get(name, 0) + value
+
+
+def take_residency_stats() -> Dict[str, int]:
+    """Drain this process's residency counters (fleet workers call
+    this after every task and ship the deltas with the result)."""
+    with _RESIDENCY_LOCK:
+        stats = dict(_RESIDENCY)
+        _RESIDENCY.clear()
+    return stats
 
 
 def reset_shared_slot() -> None:
-    """Drop this process's shared-cache slot.
+    """Drop this thread's resident slot (shared caches + store handles).
 
-    Serial batches run in the caller's own process, so the slot --
-    and with it every memoized family SAT session -- survives from
-    one batch to the next.  Cold measurements (the ``perline`` bench)
-    and tests that assert on fresh-session counters call this first.
+    Serial batches run in the caller's own thread, so the slot -- and
+    with it every memoized family SAT session -- survives from one
+    batch to the next.  Cold measurements (the ``perline`` bench) and
+    tests that assert on fresh-session counters call this first.
     """
-    global _SHARED_KEY, _SHARED
-    _SHARED_KEY = None
-    _SHARED = None
+    _RESIDENT.shared_key = None
+    _RESIDENT.shared = None
+    _RESIDENT.stores = {}
+
+
+#: Hot-artifact capacity of resident store handles: how many payloads
+#: a long-lived worker keeps in memory so repeat loads skip the
+#: filesystem.  Payloads are a few KB of canonical JSON each, so the
+#: worst case is a couple of MB per worker.
+_RESIDENT_HOT_ARTIFACTS = 256
+
+#: Effective hot-store capacity for *this* process; 0 everywhere except
+#: fleet worker processes (see :func:`enable_hot_stores`).
+_hot_store_capacity = 0
+
+
+def enable_hot_stores(capacity: int = _RESIDENT_HOT_ARTIFACTS) -> None:
+    """Turn on the hot-artifact cache for this process's store handles.
+
+    Only fleet worker processes call this (at loop start): they are
+    the sole owners of their cache reads, so serving repeat loads from
+    memory is safe.  Everywhere else -- the CLI, the serve process, the
+    test runner -- the cache stays off so that on-disk mutation between
+    calls (a corrupted or pruned artifact) is observed immediately.
+    """
+    global _hot_store_capacity
+    _hot_store_capacity = max(0, capacity)
+
+
+def _store_for(cache_dir: str) -> ArtifactStore:
+    """The resident store handle for ``cache_dir``.
+
+    Handles persist across jobs and batches (with an in-memory
+    hot-artifact cache in fleet workers, see :class:`ArtifactStore`);
+    per-job stats are taken as deltas against a pre-job snapshot (see
+    :func:`run_job`), so the reported counters match what a fresh
+    handle would have shown.
+    """
+    store = _RESIDENT.stores.get(cache_dir)
+    if store is None:
+        store = ArtifactStore(cache_dir, hot_artifacts=_hot_store_capacity)
+        _RESIDENT.stores[cache_dir] = store
+        _note_residency("store_opens")
+    else:
+        _note_residency("store_resident_hits")
+    return store
 
 
 def _shared_for(
@@ -352,17 +442,19 @@ def _shared_for(
     specification: Specification,
     options: FarmOptions,
 ) -> SharedCaches:
-    global _SHARED_KEY, _SHARED
-    if _SHARED is None or key != _SHARED_KEY:
-        _SHARED = SharedCaches(
+    if _RESIDENT.shared is None or key != _RESIDENT.shared_key:
+        _RESIDENT.shared = SharedCaches(
             config,
             specification,
             max_path_length=options.max_path_length,
             projection_limit=options.projection_limit,
             ibgp=options.ibgp,
         )
-        _SHARED_KEY = key
-    return _SHARED
+        _RESIDENT.shared_key = key
+        _note_residency("shared_rebuilds")
+    else:
+        _note_residency("shared_warm_hits")
+    return _RESIDENT.shared
 
 
 def run_family(

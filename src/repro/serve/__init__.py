@@ -6,13 +6,15 @@ exposing the batch-explanation pipeline as a long-running service:
 * :mod:`repro.serve.server` -- the routes (``POST /v1/jobs``, status,
   byte-exact result documents, a chunked progress-event stream,
   ``/v1/healthz``, ``/v1/metrics``) and graceful SIGTERM drain;
-* :mod:`repro.serve.queue` -- the job machine: a FIFO of submitted
-  batches drained by one dispatcher through
-  :func:`repro.api.explain_batch`, with a monotonically numbered
-  per-job event log for streaming;
+* :mod:`repro.serve.queue` -- the job machine: per-tenant queues
+  drained by a pool of runner threads under deficit-weighted
+  round-robin fair scheduling, optionally onto a shared warm
+  :class:`~repro.farm.fleet.WorkerFleet`, with a monotonically
+  numbered per-job event log for streaming and a TTL/max-completed
+  retention policy for finished jobs;
 * :mod:`repro.serve.tenants` -- admission control: per-tenant token
-  buckets (429 + ``Retry-After``) and request shaping onto per-tenant
-  worker/budget/timeout caps.
+  buckets (429 + ``Retry-After``), request shaping onto per-tenant
+  worker/budget/timeout caps, and fair-share scheduler weights.
 
 The wire vocabulary is entirely :mod:`repro.api` (requests, statuses)
 plus :mod:`repro.farm.report` (result documents), so a served batch is
@@ -20,7 +22,7 @@ byte-identical to ``explain-all --json`` on the same cache.  The CLI
 front-end is ``python -m repro.cli serve``; see ``docs/service.md``.
 """
 
-from .queue import JobQueue, ServeJob
+from .queue import JobQueue, RetentionPolicy, ServeJob
 from .server import ExplainHandler, ServeApp, serve_forever
 from .tenants import (
     TENANTS_SCHEMA,
@@ -32,6 +34,7 @@ from .tenants import (
 
 __all__ = [
     "JobQueue",
+    "RetentionPolicy",
     "ServeJob",
     "ServeApp",
     "ExplainHandler",

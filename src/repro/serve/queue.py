@@ -1,14 +1,36 @@
-"""The server's job machine: queue, dispatcher, progress events.
+"""The server's job machine: fair-share queue, runners, progress events.
 
 A :class:`ServeJob` is one submitted batch moving through
 ``QUEUED -> RUNNING -> DONE|FAILED|DRAINED`` (the states are defined
 by :mod:`repro.api`; the HTTP layer serializes them as
 :class:`repro.api.JobStatus` documents).  A :class:`JobQueue` owns the
-jobs, a FIFO of pending work, and one dispatcher thread that drains it
-through :func:`repro.api.explain_batch` -- one batch at a time, on
-purpose: batches already parallelize internally across farm workers
-sharing one artifact store, and running two process pools side by side
-just makes both slower.
+jobs, per-tenant pending queues, and a fixed pool of runner threads
+that drain them through :func:`repro.api.explain_batch`.
+
+**Fair-share scheduling.**  Dispatch order is deficit-weighted round
+robin over tenants: the scheduler rotates over tenants with queued
+work, banking each tenant's :attr:`~repro.serve.tenants.TenantPolicy.weight`
+per visit and dispatching one batch per whole unit of banked credit.
+Within a tenant, batches stay FIFO; across tenants, a 200-batch flood
+from one tenant costs everyone else at most one scheduling round of
+wait, not the whole flood.  Idle tenants bank nothing, so a quiet
+tenant cannot burst past its weight later.  With a single tenant (or
+the default ``concurrency=1``) the schedule degenerates to the old
+global FIFO exactly.
+
+**Concurrency and the fleet.**  ``concurrency`` runner threads execute
+up to that many batches at once.  Runner threads are long-lived on
+purpose: in-process (serial) batches keep their per-thread resident
+caches warm across batches, and fleet-backed batches multiplex onto
+the shared :class:`~repro.farm.fleet.WorkerFleet` passed at
+construction, so concurrent batches borrow from one warm worker pool
+instead of forking a process pool each.
+
+**Retention.**  Completed jobs (and their event logs) are evicted by
+:class:`RetentionPolicy` -- a TTL since finish and/or a cap on retained
+terminal jobs, oldest-finished first.  Running and queued jobs are
+never evicted; for retained jobs the ``/events`` replay-from-seq
+contract is untouched.
 
 Every state change and every settled job appends a monotonically
 numbered event to the job's event log and wakes waiters on the
@@ -17,7 +39,7 @@ seq N, then block for more" -- late subscribers see the full history,
 and there is no per-subscriber state server-side.
 
 Drain (SIGTERM) is cooperative and crash-safe by construction: the
-stop event is threaded into the running batch's supervisor, which
+stop event is threaded into every running batch's supervisor, which
 stops dispatching new job families, lets in-flight families finish and
 journal, and returns a partial report.  Still-queued jobs flip to
 ``DRAINED`` without running.  Because every settled job is journaled,
@@ -31,29 +53,65 @@ import threading
 import time
 import traceback
 from collections import deque
+from dataclasses import dataclass
 from typing import Callable, Deque, Dict, List, Optional
 
 from .. import api
+from ..farm.fleet import WorkerFleet
 from ..obs import MetricsRegistry
+from .tenants import TenantBook
 
-__all__ = ["ServeJob", "JobQueue"]
+__all__ = ["RetentionPolicy", "ServeJob", "JobQueue"]
+
+
+@dataclass(frozen=True)
+class RetentionPolicy:
+    """How long completed jobs (and their event logs) are retained.
+
+    ``None`` fields disable that limit; the default policy retains
+    everything forever (the pre-retention behavior).  Only terminal
+    jobs -- ``DONE`` / ``FAILED`` / ``DRAINED`` -- are ever evicted.
+    """
+
+    #: Seconds after ``finished_at`` before a terminal job may be
+    #: evicted.
+    ttl_s: Optional[float] = None
+    #: Retain at most this many terminal jobs (oldest-finished evicted
+    #: first once exceeded).
+    max_completed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.ttl_s is not None and self.ttl_s < 0:
+            raise ValueError("ttl_s must be >= 0")
+        if self.max_completed is not None and self.max_completed < 0:
+            raise ValueError("max_completed must be >= 0")
+
+    @property
+    def bounded(self) -> bool:
+        return self.ttl_s is not None or self.max_completed is not None
 
 
 class ServeJob:
     """One submitted batch and everything observable about it.
 
-    Mutable on purpose (the dispatcher and progress callbacks write,
-    handler threads read); every mutation happens under the owning
-    queue's lock, and readers snapshot via :meth:`status` /
+    Mutable on purpose (runners and progress callbacks write, handler
+    threads read); every mutation happens under the owning queue's
+    lock, and readers snapshot via :meth:`status` /
     :meth:`events_since` rather than touching fields directly.
     """
 
-    def __init__(self, job_id: str, tenant: str, request: api.ExplainRequest) -> None:
+    def __init__(
+        self,
+        job_id: str,
+        tenant: str,
+        request: api.ExplainRequest,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
         self.id = job_id
         self.tenant = tenant
         self.request = request
         self.state = api.STATE_QUEUED
-        self.submitted_at = time.time()
+        self.submitted_at = clock()
         self.started_at: Optional[float] = None
         self.finished_at: Optional[float] = None
         self.error: Optional[str] = None
@@ -85,6 +143,12 @@ class ServeJob:
         if result.cached:
             self.counts["cached"] += 1
 
+    @property
+    def terminal(self) -> bool:
+        return self.state in (
+            api.STATE_DONE, api.STATE_FAILED, api.STATE_DRAINED
+        )
+
     # -------------------------------------------------------------------
 
     def status(self) -> api.JobStatus:
@@ -110,13 +174,17 @@ class ServeJob:
 
 
 class JobQueue:
-    """FIFO of batches plus the dispatcher thread that runs them.
+    """Fair-share queue of batches plus the runner threads executing them.
 
     ``runner`` defaults to :func:`repro.api.explain_batch` and is
     injectable so queue tests exercise the machine without solving
     anything.  ``cache_dir`` is the server's shared artifact store:
     requests that do not opt out of caching are rewritten onto it, so
-    every batch of the process hits one store.
+    every batch of the process hits one store.  ``tenants`` supplies
+    fair-share weights (absent tenants weigh 1.0); ``fleet`` is the
+    shared worker pool batches execute on (``None`` keeps the
+    per-batch pool/serial paths); ``retention`` bounds how long
+    finished jobs stay queryable.
     """
 
     def __init__(
@@ -124,21 +192,43 @@ class JobQueue:
         cache_dir: Optional[str] = None,
         metrics: Optional[MetricsRegistry] = None,
         runner: Optional[Callable[..., api.BatchReport]] = None,
+        tenants: Optional[TenantBook] = None,
+        concurrency: int = 1,
+        fleet: Optional[WorkerFleet] = None,
+        retention: Optional[RetentionPolicy] = None,
+        clock: Callable[[], float] = time.time,
     ) -> None:
         self.cache_dir = cache_dir
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._runner = runner if runner is not None else api.explain_batch
+        self._tenants = tenants
+        self.concurrency = max(1, concurrency)
+        self.fleet = fleet
+        self.retention = retention if retention is not None else RetentionPolicy()
+        self._clock = clock
         self._lock = threading.Lock()
         self._wake = threading.Condition(self._lock)
         self._jobs: Dict[str, ServeJob] = {}
-        self._pending: Deque[ServeJob] = deque()
+        #: Per-tenant FIFO of queued jobs, keyed by tenant name; the
+        #: rotation order is first-submission order (stable).
+        self._queues: Dict[str, Deque[ServeJob]] = {}
+        self._order: List[str] = []
+        self._deficits: Dict[str, float] = {}
+        self._cursor = 0
+        #: Whether the tenant under the cursor has banked its weight
+        #: for the current stop (reset whenever the rotation moves on).
+        self._banked = False
         self._stop = threading.Event()
-        self._drained = threading.Event()
         self._serial = 0
-        self._dispatcher = threading.Thread(
-            target=self._run, name="repro-serve-dispatcher", daemon=True
-        )
-        self._dispatcher.start()
+        self._runners = [
+            threading.Thread(
+                target=self._run, name=f"repro-serve-runner-{index}",
+                daemon=True,
+            )
+            for index in range(self.concurrency)
+        ]
+        for thread in self._runners:
+            thread.start()
 
     # -- submission ----------------------------------------------------
 
@@ -157,11 +247,17 @@ class JobQueue:
             if self._stop.is_set():
                 raise RuntimeError("server is draining; not accepting work")
             self._serial += 1
-            job = ServeJob(f"job-{self._serial:06d}", tenant, request)
+            job = ServeJob(
+                f"job-{self._serial:06d}", tenant, request, clock=self._clock
+            )
             job._event("queued", tenant=tenant, scenario=request.name)
             self._jobs[job.id] = job
-            self._pending.append(job)
+            if tenant not in self._queues:
+                self._queues[tenant] = deque()
+                self._order.append(tenant)
+            self._queues[tenant].append(job)
             self.metrics.count("serve.jobs.submitted")
+            self._evict_locked()
             self._wake.notify_all()
             return job
 
@@ -189,7 +285,9 @@ class JobQueue:
         """Events of ``job_id`` with ``seq`` and up, blocking for news.
 
         Returns an empty list only when the job is already terminal and
-        has no events past ``seq`` (the stream's end), or on timeout.
+        has no events past ``seq`` (the stream's end), on timeout, or
+        when the job is unknown (never submitted, or evicted by the
+        retention policy).
         """
         deadline = None if timeout is None else time.monotonic() + timeout
         with self._wake:
@@ -208,26 +306,104 @@ class JobQueue:
                         return []
                 self._wake.wait(remaining)
 
-    # -- dispatcher ----------------------------------------------------
+    # -- retention -----------------------------------------------------
+
+    def _evict_locked(self) -> None:
+        """Apply the retention policy (caller holds the lock).
+
+        Only terminal jobs are candidates; eviction order is
+        oldest-finished first.  Runs on submission and completion, so
+        a quiet queue retains slightly past its TTL until the next
+        state change -- acceptable for a bound that exists to cap
+        memory, not to redact results on a clock edge.
+        """
+        if not self.retention.bounded:
+            return
+        terminal = sorted(
+            (job for job in self._jobs.values() if job.terminal),
+            key=lambda job: (job.finished_at or 0.0, job.id),
+        )
+        doomed: List[ServeJob] = []
+        if self.retention.ttl_s is not None:
+            horizon = self._clock() - self.retention.ttl_s
+            while terminal and (terminal[0].finished_at or 0.0) <= horizon:
+                doomed.append(terminal.pop(0))
+        if self.retention.max_completed is not None:
+            while len(terminal) > self.retention.max_completed:
+                doomed.append(terminal.pop(0))
+        for job in doomed:
+            del self._jobs[job.id]
+            self.metrics.count("serve.jobs.evicted")
+
+    # -- the fair-share scheduler --------------------------------------
+
+    def _weight(self, tenant: str) -> float:
+        if self._tenants is None:
+            return 1.0
+        return self._tenants.policy_for(tenant).weight
+
+    def _next_locked(self) -> Optional[ServeJob]:
+        """Pick the next batch by deficit-weighted round robin.
+
+        Arriving at a tenant with queued work banks its weight once;
+        one whole unit of credit buys one dispatch, and the rotation
+        stays on the tenant while its credit lasts -- so a weight-3
+        tenant drains three batches per stop to a weight-1 tenant's
+        one.  Tenants with empty queues forfeit their bank (no credit
+        accrues while idle).  Terminates because every full rotation
+        banks at least ``min(weight)`` into some non-empty tenant.
+        """
+        if not any(self._queues[tenant] for tenant in self._order):
+            return None
+        while True:
+            tenant = self._order[self._cursor % len(self._order)]
+            queue = self._queues[tenant]
+            if not queue:
+                self._deficits[tenant] = 0.0
+                self._cursor += 1
+                self._banked = False
+                continue
+            if not self._banked:
+                self._deficits[tenant] = (
+                    self._deficits.get(tenant, 0.0) + self._weight(tenant)
+                )
+                self._banked = True
+            if self._deficits[tenant] >= 1.0:
+                self._deficits[tenant] -= 1.0
+                self.metrics.count("serve.sched.dispatch")
+                return queue.popleft()
+            self._cursor += 1
+            self._banked = False
+
+    # -- runners -------------------------------------------------------
+
+    def _drain_queued_locked(self) -> None:
+        for queue in self._queues.values():
+            for job in queue:
+                job.state = api.STATE_DRAINED
+                job.finished_at = self._clock()
+                job._event("drained")
+            queue.clear()
+        self._wake.notify_all()
 
     def _run(self) -> None:
         while True:
             with self._wake:
-                while not self._pending and not self._stop.is_set():
-                    self._wake.wait()
-                if self._stop.is_set():
-                    for job in self._pending:
-                        job.state = api.STATE_DRAINED
-                        job.finished_at = time.time()
-                        job._event("drained")
-                    self._pending.clear()
-                    self._wake.notify_all()
-                    self._drained.set()
-                    return
-                job = self._pending.popleft()
+                job = None
+                while job is None:
+                    if self._stop.is_set():
+                        self._drain_queued_locked()
+                        return
+                    job = self._next_locked()
+                    if job is None:
+                        self._wake.wait()
                 job.state = api.STATE_RUNNING
-                job.started_at = time.time()
+                job.started_at = self._clock()
                 job._event("started")
+                self.metrics.observe(
+                    f"serve.queue_wait_s.{job.tenant}",
+                    max(0.0, job.started_at - job.submitted_at),
+                )
                 self._wake.notify_all()
             self._execute(job)
 
@@ -248,16 +424,20 @@ class JobQueue:
 
     def _execute(self, job: ServeJob) -> None:
         try:
+            extra = {} if self.fleet is None else {"fleet": self.fleet}
             report = self._runner(
-                job.request, progress=self._progress(job), stop=self._stop
+                job.request, progress=self._progress(job), stop=self._stop,
+                **extra,
             )
         except Exception as exc:  # noqa: BLE001 - the job absorbs it
             with self._wake:
                 job.state = api.STATE_FAILED
-                job.finished_at = time.time()
+                job.finished_at = self._clock()
                 job.error = f"{type(exc).__name__}: {exc}"
                 job._event("failed", error=job.error)
                 self.metrics.count("serve.jobs.failed")
+                self._observe_latency_locked(job)
+                self._evict_locked()
                 self._wake.notify_all()
             traceback.print_exc()
             return
@@ -268,7 +448,7 @@ class JobQueue:
                 "counters", {}
             ).get("farm.supervise.drained", 0)
             job.state = api.STATE_DRAINED if drained else api.STATE_DONE
-            job.finished_at = time.time()
+            job.finished_at = self._clock()
             job.exit_code = report.exit_code(
                 timeout=job.request.timeout, budget=job.request.budget
             )
@@ -279,25 +459,37 @@ class JobQueue:
                 total=job.total,
             )
             self.metrics.count("serve.jobs.completed")
+            self._observe_latency_locked(job)
             counters = report.document.get("counters")
             if isinstance(counters, dict):
                 for name, value in counters.items():
                     if isinstance(value, int):
                         self.metrics.count(name, value)
+            self._evict_locked()
             self._wake.notify_all()
+
+    def _observe_latency_locked(self, job: ServeJob) -> None:
+        if job.started_at is not None and job.finished_at is not None:
+            self.metrics.observe(
+                f"serve.batch_s.{job.tenant}",
+                max(0.0, job.finished_at - job.started_at),
+            )
 
     # -- shutdown ------------------------------------------------------
 
     def drain(self, timeout: float = 60.0) -> bool:
         """Stop accepting and dispatching; wait for the queue to settle.
 
-        The running batch (if any) sees the stop event through its
-        supervisor and returns after its in-flight families journal;
-        queued batches flip to ``DRAINED``.  Returns whether the
-        dispatcher wound down within ``timeout``.
+        Running batches (there may be up to ``concurrency``) see the
+        stop event through their supervisors and return after their
+        in-flight families journal; queued batches flip to
+        ``DRAINED``.  Returns whether every runner wound down within
+        ``timeout``.
         """
         with self._wake:
             self._stop.set()
             self._wake.notify_all()
-        self._dispatcher.join(timeout)
-        return not self._dispatcher.is_alive()
+        deadline = time.monotonic() + timeout
+        for thread in self._runners:
+            thread.join(max(0.0, deadline - time.monotonic()))
+        return not any(thread.is_alive() for thread in self._runners)

@@ -38,8 +38,9 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 
 from .. import api
+from ..farm.fleet import WorkerFleet
 from ..obs import METRICS_CONTENT_TYPE, MetricsRegistry, render_metrics
-from .queue import JobQueue
+from .queue import JobQueue, RetentionPolicy
 from .tenants import TenantBook
 
 __all__ = ["ServeApp", "ExplainHandler", "serve_forever"]
@@ -47,9 +48,21 @@ __all__ = ["ServeApp", "ExplainHandler", "serve_forever"]
 _MAX_BODY = 8 * 1024 * 1024
 _JSON = "application/json"
 
+#: Default long-poll length for the ``/events`` stream (seconds); each
+#: expiry emits a blank-line keep-alive chunk so client disconnects
+#: surface promptly instead of parking the handler thread.
+DEFAULT_EVENT_POLL_S = 10.0
+
 
 class ServeApp:
-    """Everything the handler threads share: queue, tenants, metrics."""
+    """Everything the handler threads share: queue, tenants, metrics.
+
+    ``fleet_workers`` > 0 spins up a process :class:`WorkerFleet` at
+    boot that every batch executes on (warm across batches);
+    ``concurrency`` sets how many batches run at once under the
+    queue's fair-share scheduler; ``retention`` bounds finished-job
+    memory; ``event_poll_s`` is the ``/events`` long-poll length.
+    """
 
     def __init__(
         self,
@@ -57,17 +70,32 @@ class ServeApp:
         tenants: Optional[TenantBook] = None,
         metrics: Optional[MetricsRegistry] = None,
         runner=None,
+        fleet_workers: int = 0,
+        concurrency: int = 1,
+        retention: Optional[RetentionPolicy] = None,
+        event_poll_s: float = DEFAULT_EVENT_POLL_S,
     ) -> None:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
-        self.queue = JobQueue(
-            cache_dir=cache_dir, metrics=self.metrics, runner=runner
+        self.event_poll_s = max(0.05, float(event_poll_s))
+        self.fleet = (
+            WorkerFleet(fleet_workers, metrics=self.metrics)
+            if fleet_workers > 0
+            else None
         )
         self.tenants = tenants if tenants is not None else TenantBook()
+        self.queue = JobQueue(
+            cache_dir=cache_dir, metrics=self.metrics, runner=runner,
+            tenants=self.tenants, concurrency=concurrency,
+            fleet=self.fleet, retention=retention,
+        )
         self.draining = threading.Event()
 
     def drain(self, timeout: float = 60.0) -> bool:
         self.draining.set()
-        return self.queue.drain(timeout)
+        drained = self.queue.drain(timeout)
+        if self.fleet is not None:
+            self.fleet.close()
+        return drained
 
 
 class ExplainHandler(BaseHTTPRequestHandler):
@@ -238,6 +266,8 @@ class ExplainHandler(BaseHTTPRequestHandler):
         )
 
     def _metrics(self) -> None:
+        if self.app.fleet is not None:
+            self.app.fleet.observe_gauges(self.app.metrics)
         body = render_metrics(self.app.metrics).encode("utf-8")
         self._send(200, body, content_type=METRICS_CONTENT_TYPE)
 
@@ -279,20 +309,32 @@ class ExplainHandler(BaseHTTPRequestHandler):
         seq = 0
         try:
             while True:
-                events = self.app.queue.events_since(job_id, seq, timeout=10.0)
+                events = self.app.queue.events_since(
+                    job_id, seq, timeout=self.app.event_poll_s
+                )
                 if not events:
                     status = self.app.queue.status(job_id)
                     if status is None or status.terminal:
                         break
+                    # Keep-alive on poll expiry: a blank ndjson line
+                    # (clients skip empty lines).  Writing is also how
+                    # a vanished client surfaces -- the send raises and
+                    # frees this thread instead of parking it through
+                    # a drain.
+                    self._chunk(b"\n")
                     continue
                 for event in events:
                     self._chunk(
                         (json.dumps(event, sort_keys=True) + "\n").encode("utf-8")
                     )
                 seq = events[-1]["seq"] + 1  # type: ignore[operator]
-        finally:
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            return  # client went away mid-stream; nothing to finalize
+        try:
             # Terminating zero-length chunk.
             self.wfile.write(b"0\r\n\r\n")
+        except OSError:
+            pass
 
     def _chunk(self, data: bytes) -> None:
         self.wfile.write(f"{len(data):x}\r\n".encode("ascii"))
@@ -321,13 +363,21 @@ def serve_forever(
     ready: Optional[threading.Event] = None,
     install_signals: bool = True,
     drain_timeout: float = 60.0,
+    fleet_workers: int = 0,
+    concurrency: int = 1,
+    retention: Optional[RetentionPolicy] = None,
+    event_poll_s: float = DEFAULT_EVENT_POLL_S,
 ) -> int:
     """Run the service until SIGTERM/SIGINT, then drain gracefully.
 
     Returns the process exit code: 0 after a clean drain, 1 when the
     drain timed out with work still in flight.
     """
-    app = ServeApp(cache_dir=cache_dir, tenants=tenants)
+    app = ServeApp(
+        cache_dir=cache_dir, tenants=tenants,
+        fleet_workers=fleet_workers, concurrency=concurrency,
+        retention=retention, event_poll_s=event_poll_s,
+    )
     handler = type("Handler", (ExplainHandler,), {"verbose": verbose})
     server = _Server((host, port), handler, app)
 

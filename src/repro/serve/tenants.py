@@ -68,6 +68,11 @@ class TenantPolicy:
     max_budget: Optional[int] = None
     #: Cap (and default) for the per-job wall-clock timeout, seconds.
     max_timeout: Optional[float] = None
+    #: Fair-share weight in the queue's deficit-round-robin scheduler:
+    #: a tenant at weight 2.0 is offered dispatch slots twice as often
+    #: as one at 1.0 when both have work queued.  Weights do not gate
+    #: admission (the bucket does) and bank no credit while idle.
+    weight: float = 1.0
 
     def __post_init__(self) -> None:
         if self.rate <= 0:
@@ -80,12 +85,17 @@ class TenantPolicy:
             raise TenantConfigError("max_budget must be >= 0")
         if self.max_timeout is not None and self.max_timeout < 0:
             raise TenantConfigError("max_timeout must be >= 0")
+        if self.weight <= 0:
+            raise TenantConfigError("weight must be > 0")
 
     @classmethod
     def from_payload(cls, payload: object) -> "TenantPolicy":
         if not isinstance(payload, dict):
             raise TenantConfigError("tenant entries must be objects")
-        known = {"rate", "burst", "max_workers", "max_budget", "max_timeout"}
+        known = {
+            "rate", "burst", "max_workers", "max_budget", "max_timeout",
+            "weight",
+        }
         unknown = set(payload) - known
         if unknown:
             raise TenantConfigError(f"unknown tenant keys: {sorted(unknown)}")

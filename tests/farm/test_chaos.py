@@ -215,7 +215,7 @@ def test_journal_records_every_job_exactly_once(s1, jobs, tmp_path):
     _supervise(s1, jobs, str(tmp_path))
     lines = open(_journal_path(s1, jobs, str(tmp_path))).read().splitlines()
     header = json.loads(lines[0])
-    assert header["schema"] == "repro-farm-journal/1"
+    assert header["schema"] == "repro-farm-journal/2"
     done = [json.loads(line)["done"]["job"] for line in lines[1:]]
     assert len(done) == len(jobs)
 

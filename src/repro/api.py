@@ -10,7 +10,7 @@ four frozen dataclasses instead of ad-hoc kwargs and dicts:
 * :class:`ExplainResult` -- one job's outcome (status, subspec, cache
   provenance, attempts, the full explanation payload).
 * :class:`BatchReport` -- the typed batch outcome: per-job results
-  plus the byte-exact ``repro-farm-report/1`` document the CLI writes
+  plus the byte-exact ``repro-farm-report/2`` document the CLI writes
   with ``--json`` (so serving a report over HTTP and writing it to
   disk produce identical bytes).
 * :class:`JobStatus` -- the lifecycle snapshot of a submitted batch
@@ -156,6 +156,11 @@ class ExplainRequest:
     hang_timeout: Optional[float] = None
     max_quarantine: Optional[int] = None
     resume: bool = False
+    #: Adversarially audit every answered subspec (``--audit``); purely
+    #: observational -- answers, keys and cached artifacts are
+    #: byte-identical with or without it.
+    audit: bool = False
+    audit_seed: int = 0
 
     def __post_init__(self) -> None:
         # Tuples may arrive as lists from JSON; freeze them.
@@ -219,7 +224,9 @@ class ExplainRequest:
         return self.scenario if self.scenario is not None else "inline"
 
     def options(self) -> FarmOptions:
-        return FarmOptions(fields=self.fields)
+        return FarmOptions(
+            fields=self.fields, audit=self.audit, audit_seed=self.audit_seed
+        )
 
     def policy(self) -> SupervisePolicy:
         return SupervisePolicy(
@@ -254,6 +261,8 @@ class ExplainRequest:
             "hang_timeout": self.hang_timeout,
             "max_quarantine": self.max_quarantine,
             "resume": self.resume,
+            "audit": self.audit,
+            "audit_seed": self.audit_seed,
         }
 
     def to_json(self) -> str:
@@ -345,6 +354,9 @@ class ExplainResult:
     quarantined: bool = False
     #: The schema-stamped explanation payload (``None`` for errors).
     explanation: Optional[Mapping[str, object]] = None
+    #: The ``repro-audit/1`` verdict payload (``None`` unless the batch
+    #: ran with ``audit=True`` and this job's answer was auditable).
+    audit: Optional[Mapping[str, object]] = None
 
     def __post_init__(self) -> None:
         _expect(
@@ -374,6 +386,7 @@ class ExplainResult:
             attempts=result.attempts,
             quarantined=result.quarantined,
             explanation=result.explanation,
+            audit=result.audit,
         )
 
     def payload(self) -> Dict[str, object]:
@@ -392,6 +405,7 @@ class ExplainResult:
             "explanation": dict(self.explanation)
             if self.explanation is not None
             else None,
+            "audit": dict(self.audit) if self.audit is not None else None,
         }
 
     def to_json(self) -> str:
@@ -421,7 +435,7 @@ class ExplainResult:
 class BatchReport:
     """The typed outcome of one executed batch.
 
-    ``document`` is the byte-exact ``repro-farm-report/1`` JSON the CLI
+    ``document`` is the byte-exact ``repro-farm-report/2`` JSON the CLI
     writes with ``--json`` (and the server returns from
     ``GET /v1/jobs/{id}/result``); ``results`` are the typed per-job
     views including subspecs and full explanation payloads, which the
@@ -455,6 +469,20 @@ class BatchReport:
     @property
     def quarantined(self) -> int:
         return sum(1 for r in self.results if r.quarantined)
+
+    @property
+    def audited(self) -> int:
+        return sum(1 for r in self.results if r.audit is not None)
+
+    @property
+    def audit_refuted(self) -> int:
+        """Refuted-and-unrepaired audits (from the document's already
+        aggregated ``audit`` section, so the exit-code rule matches the
+        live farm report's exactly)."""
+        audit = self.document.get("audit")
+        if isinstance(audit, Mapping):
+            return int(audit.get("refuted", 0))  # type: ignore[arg-type]
+        return 0
 
     def exit_code(
         self,

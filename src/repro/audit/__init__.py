@@ -1,0 +1,77 @@
+"""Adversarial self-verification of explanations (the audit loop).
+
+This package judges the *explanations* the pipeline produces, not the
+configurations themselves -- the division of labor with
+:mod:`repro.verify` is:
+
+* :mod:`repro.verify` -- **config verification**: does a concrete
+  configuration satisfy a global specification?  (Simulation-based
+  whole-network checks, modular composition, failure sweeps.)
+* :mod:`repro.audit` -- **explanation audit**: is a lifted
+  subspecification a *faithful* local explanation of the synthesized
+  configuration?  An :class:`Adjudicator` independent of the lifting
+  pipeline generates a deterministic seeded probe suite
+  (:func:`generate_suite`), replays each probe through concrete
+  simulation against a fresh synthesizer encoding (:class:`Oracle`),
+  classifies the subspec ``confirmed`` / ``too-weak`` / ``too-strong``
+  with a minimized counterexample, and on refutation feeds the
+  counterexample back into the engine as a re-lift constraint.
+
+For convenience the seed config-verification entry points are
+re-exported here (``verify``, ``check_modular``,
+``verify_under_failures``), so callers auditing explanations can reach
+the config checks without a second import -- but they remain
+:mod:`repro.verify`'s API, documented there.
+
+See ``docs/audit.md`` for the loop architecture, the verdict
+vocabulary and the counterexample format.
+"""
+
+from ..verify import (
+    FailureCase,
+    FailureSweep,
+    ModularReport,
+    Report,
+    Violation,
+    check_modular,
+    verify,
+    verify_under_failures,
+)
+from .adjudicator import (
+    AUDIT_SCHEMA,
+    Adjudicator,
+    AuditReport,
+    Counterexample,
+    VERDICT_CONFIRMED,
+    VERDICT_TOO_STRONG,
+    VERDICT_TOO_WEAK,
+    VERDICT_UNRESOLVED,
+)
+from .oracle import Oracle
+from .suite import AuditCase, AuditSuite, generate_suite, renumber_routemaps
+
+__all__ = [
+    # Explanation audit (this package's API).
+    "AUDIT_SCHEMA",
+    "Adjudicator",
+    "AuditCase",
+    "AuditReport",
+    "AuditSuite",
+    "Counterexample",
+    "Oracle",
+    "VERDICT_CONFIRMED",
+    "VERDICT_TOO_STRONG",
+    "VERDICT_TOO_WEAK",
+    "VERDICT_UNRESOLVED",
+    "generate_suite",
+    "renumber_routemaps",
+    # Config verification, re-exported from repro.verify.
+    "FailureCase",
+    "FailureSweep",
+    "ModularReport",
+    "Report",
+    "Violation",
+    "check_modular",
+    "verify",
+    "verify_under_failures",
+]

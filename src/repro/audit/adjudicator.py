@@ -1,0 +1,514 @@
+"""The adversarial check loop judging one subspecification.
+
+The :class:`Adjudicator` pairs a deterministic seeded
+:class:`~repro.audit.suite.AuditSuite` with the independent
+:class:`~repro.audit.oracle.Oracle` and classifies the subspec:
+
+``confirmed``
+    Claim and ground truth agree on every resolvable probe.
+``too-weak``
+    The subspec accepts an assignment under which the network violates
+    the requirement -- the explanation would bless a broken config.
+``too-strong``
+    The subspec rejects an assignment under which the network satisfies
+    the requirement -- the explanation forbids a working config.
+``unresolved``
+    No disagreement was found, but some probes could not be evaluated
+    (an interrupted encode, or selection state a non-converging
+    assignment does not have).
+
+A refutation carries a *minimized counterexample*: a deterministic
+greedy walk moves the disagreeing assignment toward the nearest
+agreeing reference one variable at a time, keeping each move only while
+the disagreement persists, so reports show the smallest witness the
+walk can reach rather than an arbitrary sampled point.
+
+On refutation the adjudicator can feed the counterexample back into
+the engine as a re-lift constraint (``relift=`` callable; see
+:meth:`repro.explain.engine.ExplanationEngine.relift`) and re-audit the
+corrected subspec, bounded by ``max_relifts``; a loop that converges
+reports ``repaired=True``, one that does not keeps its refuted verdict
+as an explicit degradation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..bgp.config import NetworkConfig
+from ..bgp.sketch import Hole
+from ..explain.subspec import Subspecification
+from ..obs import Instrumentation
+from ..runtime import GOVERNED_ERRORS, Governor
+from ..spec.ast import Specification
+from .oracle import Oracle
+from .suite import AssignmentKey, AuditCase, AuditSuite, generate_suite
+
+__all__ = [
+    "AUDIT_SCHEMA",
+    "Adjudicator",
+    "AuditReport",
+    "Counterexample",
+    "VERDICT_CONFIRMED",
+    "VERDICT_TOO_STRONG",
+    "VERDICT_TOO_WEAK",
+    "VERDICT_UNRESOLVED",
+]
+
+#: Bumped whenever the audit artifact payload changes shape.
+AUDIT_SCHEMA = "repro-audit/1"
+
+VERDICT_CONFIRMED = "confirmed"
+VERDICT_TOO_WEAK = "too-weak"
+VERDICT_TOO_STRONG = "too-strong"
+VERDICT_UNRESOLVED = "unresolved"
+
+#: Verdicts that refute the subspecification outright.
+REFUTED_VERDICTS = (VERDICT_TOO_WEAK, VERDICT_TOO_STRONG)
+
+
+@dataclass(frozen=True)
+class Counterexample:
+    """A concrete disagreement between claim and ground truth."""
+
+    values: AssignmentKey
+    truth: bool
+    claim: bool
+    kind: str
+    mutation: Optional[str] = None
+    minimized: bool = False
+
+    def render(self) -> str:
+        body = ", ".join(f"{name}={text}" for name, text in self.values)
+        if self.mutation is not None:
+            body += f" [renumbered {self.mutation}]"
+        if self.claim and not self.truth:
+            account = "subspec accepts it, network violates the requirement"
+        else:
+            account = "subspec rejects it, network satisfies the requirement"
+        return f"{body}: {account}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "assignment": [[name, text] for name, text in self.values],
+            "truth": self.truth,
+            "claim": self.claim,
+            "kind": self.kind,
+            "mutation": self.mutation,
+            "minimized": self.minimized,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "Counterexample":
+        values = tuple(
+            (str(name), str(text))
+            for name, text in payload["assignment"]  # type: ignore[union-attr]
+        )
+        return cls(
+            values=values,
+            truth=bool(payload["truth"]),
+            claim=bool(payload["claim"]),
+            kind=str(payload["kind"]),
+            mutation=(
+                None
+                if payload.get("mutation") is None
+                else str(payload["mutation"])
+            ),
+            minimized=bool(payload.get("minimized", False)),
+        )
+
+
+@dataclass
+class AuditReport:
+    """The adjudicator's verdict on one subspecification."""
+
+    verdict: str
+    seed: int
+    cases: int
+    agreements: int
+    disagreements: int
+    unresolved: int
+    space: int
+    exhaustive: bool
+    kinds: Dict[str, int] = field(default_factory=dict)
+    counterexample: Optional[Counterexample] = None
+    relifts: int = 0
+    repaired: bool = False
+    error: Optional[str] = None
+
+    @property
+    def refuted(self) -> bool:
+        """Whether the final verdict refutes the subspecification."""
+        return self.verdict in REFUTED_VERDICTS and not self.repaired
+
+    @property
+    def confirmed(self) -> bool:
+        return self.verdict == VERDICT_CONFIRMED
+
+    def summary(self) -> str:
+        label = self.verdict.upper()
+        if self.repaired:
+            label += " (repaired by re-lift)"
+        parts = [
+            f"audit: {label}",
+            f"{self.cases} cases"
+            + (" (exhaustive)" if self.exhaustive else ""),
+            f"seed {self.seed}",
+        ]
+        line = f"{parts[0]} ({parts[1]}, {parts[2]})"
+        if self.counterexample is not None:
+            line += f"\n  counterexample: {self.counterexample.render()}"
+        if self.error is not None:
+            line += f"\n  error: {self.error}"
+        return line
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "schema": AUDIT_SCHEMA,
+            "verdict": self.verdict,
+            "seed": self.seed,
+            "cases": self.cases,
+            "agreements": self.agreements,
+            "disagreements": self.disagreements,
+            "unresolved": self.unresolved,
+            "space": self.space,
+            "exhaustive": self.exhaustive,
+            "kinds": dict(sorted(self.kinds.items())),
+            "counterexample": (
+                self.counterexample.to_dict()
+                if self.counterexample is not None
+                else None
+            ),
+            "relifts": self.relifts,
+            "repaired": self.repaired,
+            "error": self.error,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "AuditReport":
+        if payload.get("schema") != AUDIT_SCHEMA:
+            raise ValueError(
+                f"expected {AUDIT_SCHEMA}, got {payload.get('schema')!r}"
+            )
+        counterexample = payload.get("counterexample")
+        return cls(
+            verdict=str(payload["verdict"]),
+            seed=int(payload["seed"]),  # type: ignore[arg-type]
+            cases=int(payload["cases"]),  # type: ignore[arg-type]
+            agreements=int(payload["agreements"]),  # type: ignore[arg-type]
+            disagreements=int(payload["disagreements"]),  # type: ignore[arg-type]
+            unresolved=int(payload["unresolved"]),  # type: ignore[arg-type]
+            space=int(payload["space"]),  # type: ignore[arg-type]
+            exhaustive=bool(payload["exhaustive"]),
+            kinds={
+                str(kind): int(count)
+                for kind, count in dict(payload.get("kinds") or {}).items()
+            },
+            counterexample=(
+                Counterexample.from_dict(counterexample)  # type: ignore[arg-type]
+                if counterexample is not None
+                else None
+            ),
+            relifts=int(payload.get("relifts", 0)),  # type: ignore[arg-type]
+            repaired=bool(payload.get("repaired", False)),
+            error=(
+                None
+                if payload.get("error") is None
+                else str(payload["error"])
+            ),
+        )
+
+
+@dataclass
+class _Round:
+    """One audit pass over the suite for one subspec revision."""
+
+    agreements: int = 0
+    unresolved: int = 0
+    too_weak: List[Counterexample] = field(default_factory=list)
+    too_strong: List[Counterexample] = field(default_factory=list)
+    reference: Optional[AuditCase] = None
+
+    @property
+    def disagreements(self) -> int:
+        return len(self.too_weak) + len(self.too_strong)
+
+
+#: Re-lift callback: (forced_acceptances, forced_rejections) -> the
+#: corrected subspecification (see ``ExplanationEngine.relift``).
+ReliftFn = Callable[
+    [Set[AssignmentKey], Set[AssignmentKey]], Subspecification
+]
+
+
+class Adjudicator:
+    """Runs the adversarial check loop for one explanation question."""
+
+    def __init__(
+        self,
+        sketch: NetworkConfig,
+        specification: Specification,
+        holes: Mapping[str, Hole],
+        device: str,
+        requirement: Optional[str] = None,
+        seed: int = 0,
+        max_path_length: Optional[int] = None,
+        link_cost=None,
+        ibgp: bool = False,
+        max_exhaustive: int = 64,
+        samples: int = 24,
+        environment_routers: Optional[Sequence[str]] = None,
+        governor: Optional[Governor] = None,
+        obs: Optional[Instrumentation] = None,
+    ) -> None:
+        self.device = device
+        self.seed = seed
+        self.holes = dict(holes)
+        self.obs = obs
+        self.max_exhaustive = max_exhaustive
+        self.samples = samples
+        if environment_routers is None:
+            environment_routers = _default_environment_routers(sketch, device)
+        self.environment_routers = tuple(environment_routers)
+        self.oracle = Oracle(
+            sketch,
+            specification,
+            holes,
+            requirement=requirement,
+            max_path_length=max_path_length,
+            link_cost=link_cost,
+            ibgp=ibgp,
+            governor=governor,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        if self.obs is not None:
+            self.obs.metrics.count(name, amount)
+
+    def _suite(self, subspec: Subspecification) -> AuditSuite:
+        def claim_of(assignment: Dict[str, object]) -> Optional[bool]:
+            case = AuditCase(
+                kind="probe",
+                values=tuple(
+                    sorted(
+                        (name, str(value))
+                        for name, value in assignment.items()
+                    )
+                ),
+            )
+            truth, env = self.oracle.truth(case)
+            return self.oracle.claim(subspec, case, env)
+
+        return generate_suite(
+            self.holes,
+            seed=self.seed,
+            max_exhaustive=self.max_exhaustive,
+            samples=self.samples,
+            environment_routers=self.environment_routers,
+            claim=claim_of,
+        )
+
+    def _check_case(
+        self, subspec: Subspecification, case: AuditCase, round_: _Round
+    ) -> None:
+        truth, env = self.oracle.truth(case)
+        claim = self.oracle.claim(subspec, case, env)
+        if claim is None:
+            round_.unresolved += 1
+            return
+        if bool(claim) == bool(truth):
+            round_.agreements += 1
+            if round_.reference is None and case.mutation is None:
+                round_.reference = case
+            return
+        counterexample = Counterexample(
+            values=case.values,
+            truth=bool(truth),
+            claim=bool(claim),
+            kind=case.kind,
+            mutation=case.mutation,
+        )
+        if claim and not truth:
+            round_.too_weak.append(counterexample)
+        else:
+            round_.too_strong.append(counterexample)
+
+    def _run_round(
+        self, subspec: Subspecification, suite: AuditSuite
+    ) -> _Round:
+        round_ = _Round()
+        for case in suite.cases:
+            self._count("audit.cases")
+            try:
+                self._check_case(subspec, case, round_)
+            except GOVERNED_ERRORS:
+                round_.unresolved += 1
+        return round_
+
+    # ------------------------------------------------------------------
+
+    def _minimize(
+        self,
+        subspec: Subspecification,
+        counterexample: Counterexample,
+        reference: Optional[AuditCase],
+    ) -> Counterexample:
+        """Greedy walk toward ``reference``, keeping each per-variable
+        move only while claim and truth still disagree."""
+        if reference is None or counterexample.mutation is not None:
+            return counterexample
+        current = dict(counterexample.values)
+        target = dict(reference.values)
+
+        def disagrees(values: Dict[str, str]) -> Optional[Counterexample]:
+            case = AuditCase(
+                kind=counterexample.kind,
+                values=tuple(sorted(values.items())),
+            )
+            truth, env = self.oracle.truth(case)
+            claim = self.oracle.claim(subspec, case, env)
+            if claim is None or bool(claim) == bool(truth):
+                return None
+            return Counterexample(
+                values=case.values,
+                truth=bool(truth),
+                claim=bool(claim),
+                kind=counterexample.kind,
+                minimized=True,
+            )
+
+        best: Counterexample = Counterexample(
+            values=counterexample.values,
+            truth=counterexample.truth,
+            claim=counterexample.claim,
+            kind=counterexample.kind,
+            minimized=True,
+        )
+        for name in sorted(current):
+            if current[name] == target.get(name, current[name]):
+                continue
+            trial = dict(current)
+            trial[name] = target[name]
+            witness = disagrees(trial)
+            if witness is not None:
+                current = trial
+                best = witness
+        return best
+
+    # ------------------------------------------------------------------
+
+    def check(self, subspec: Subspecification) -> AuditReport:
+        """One audit pass: suite, replay, classify (no re-lift)."""
+        return self.adjudicate(subspec, relift=None, max_relifts=0)
+
+    def adjudicate(
+        self,
+        subspec: Subspecification,
+        relift: Optional[ReliftFn] = None,
+        max_relifts: int = 2,
+    ) -> AuditReport:
+        """The full loop: audit, and on refutation feed counterexamples
+        back through ``relift`` (bounded) before re-auditing."""
+        self._count("audit.suites")
+        suite = self._suite(subspec)
+        forced_acceptances: Set[AssignmentKey] = set()
+        forced_rejections: Set[AssignmentKey] = set()
+        relifts = 0
+        first_refuted: Optional[AuditReport] = None
+        current = subspec
+        while True:
+            round_ = self._run_round(current, suite)
+            report = self._classify(round_, suite, current)
+            if report.refuted and first_refuted is None:
+                first_refuted = report
+            if not report.refuted or relift is None or relifts >= max_relifts:
+                break
+            # Feed every disagreement back as a projection correction:
+            # a too-weak witness must be rejected, a too-strong witness
+            # must be accepted.
+            for counterexample in round_.too_weak:
+                if counterexample.mutation is None:
+                    forced_rejections.add(counterexample.values)
+            for counterexample in round_.too_strong:
+                if counterexample.mutation is None:
+                    forced_acceptances.add(counterexample.values)
+            if not forced_acceptances and not forced_rejections:
+                break
+            relifts += 1
+            self._count("audit.relifts")
+            try:
+                current = relift(forced_acceptances, forced_rejections)
+            except GOVERNED_ERRORS as exc:
+                report.error = f"re-lift interrupted: {exc}"
+                break
+        if first_refuted is not None and report.confirmed:
+            # The re-lift loop converged: keep the refuting verdict and
+            # its witness for the record, but mark the subspec repaired.
+            report.verdict = first_refuted.verdict
+            report.repaired = True
+            report.counterexample = first_refuted.counterexample
+        report.relifts = relifts
+        self._count(f"audit.{report.verdict.replace('-', '_')}")
+        if report.repaired:
+            self._count("audit.repaired")
+        if report.refuted:
+            self._count(
+                "audit.refuted."
+                + report.verdict.replace("too-", "too_").replace("-", "_")
+            )
+        return report
+
+    def _classify(
+        self, round_: _Round, suite: AuditSuite, subspec: Subspecification
+    ) -> AuditReport:
+        counterexample: Optional[Counterexample] = None
+        if round_.too_weak:
+            verdict = VERDICT_TOO_WEAK
+            counterexample = self._minimize(
+                subspec, round_.too_weak[0], round_.reference
+            )
+        elif round_.too_strong:
+            verdict = VERDICT_TOO_STRONG
+            counterexample = self._minimize(
+                subspec, round_.too_strong[0], round_.reference
+            )
+        elif round_.unresolved:
+            verdict = VERDICT_UNRESOLVED
+        else:
+            verdict = VERDICT_CONFIRMED
+        return AuditReport(
+            verdict=verdict,
+            seed=suite.seed,
+            cases=len(suite.cases),
+            agreements=round_.agreements,
+            disagreements=round_.disagreements,
+            unresolved=round_.unresolved,
+            space=suite.space,
+            exhaustive=suite.exhaustive,
+            kinds=suite.kinds(),
+            counterexample=counterexample,
+        )
+
+
+def _default_environment_routers(
+    sketch: NetworkConfig, device: str, cap: int = 2
+) -> Tuple[str, ...]:
+    """Routers other than the device with route-map lines attached --
+    the neighbor state an explanation's read-set may cover."""
+    routers: List[str] = []
+    for name in sorted(sketch.topology.router_names):
+        if name == device:
+            continue
+        router_config = sketch.router_config(name)
+        if any(
+            routemap is not None and routemap.lines
+            for routemap in (
+                router_config.get_map(direction, neighbor)
+                for direction, neighbor in router_config.sessions()
+            )
+        ):
+            routers.append(name)
+    return tuple(routers[:cap])

@@ -1,0 +1,248 @@
+"""Deterministic audit suites probing a subspecification's boundary.
+
+A suite is a set of :class:`AuditCase` probes over the symbolized hole
+space plus read-set-guided *environment* mutations of neighbor state:
+
+* ``exhaustive`` -- every hole assignment, when the space is small
+  enough to enumerate (the case-study scenarios always are);
+* ``sampled`` -- seeded uniform samples of a larger space, stratified
+  toward both sides of the claimed boundary when a claim predicate is
+  supplied;
+* ``boundary`` -- Hamming-1 neighbors of the sampled assignments, the
+  near-boundary probes most likely to expose an off-by-one lift;
+* ``environment`` -- selected assignments replayed against a
+  behavior-preserving mutation of another router's configuration
+  (route-map lines renumbered), checking that the explanation does not
+  silently depend on cosmetic neighbor state.
+
+Generation is a pure function of its arguments: the same holes, seed
+and knobs always produce the same suite, so a refutation in a report
+is reproducible from the recorded seed alone.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..bgp.config import NetworkConfig
+from ..bgp.routemap import RouteMap
+from ..bgp.sketch import Hole
+
+__all__ = [
+    "AuditCase",
+    "AuditSuite",
+    "generate_suite",
+    "renumber_routemaps",
+]
+
+#: Case kinds, in generation order.
+KIND_EXHAUSTIVE = "exhaustive"
+KIND_SAMPLED = "sampled"
+KIND_BOUNDARY = "boundary"
+KIND_ENVIRONMENT = "environment"
+
+AssignmentKey = Tuple[Tuple[str, str], ...]
+
+
+@dataclass(frozen=True)
+class AuditCase:
+    """One probe: a hole assignment, optionally under a mutated peer.
+
+    ``values`` is the canonical (name, str(value)) tuple -- the same
+    key form the projection and lifting stages use -- and ``mutation``
+    names the router whose route-maps are renumbered for
+    ``environment`` cases (``None`` otherwise).
+    """
+
+    kind: str
+    values: AssignmentKey
+    mutation: Optional[str] = None
+
+    @property
+    def key(self) -> AssignmentKey:
+        return self.values
+
+    def assignment(self, holes: Mapping[str, Hole]) -> Dict[str, object]:
+        """The assignment realized over the holes' domain objects."""
+        realized: Dict[str, object] = {}
+        for name, text in self.values:
+            hole = holes[name]
+            for candidate in hole.domain:
+                if str(candidate) == text:
+                    realized[name] = candidate
+                    break
+            else:
+                raise ValueError(
+                    f"value {text!r} outside domain of hole {name}"
+                )
+        return realized
+
+    def render(self) -> str:
+        body = ", ".join(f"{name}={text}" for name, text in self.values)
+        if self.mutation is not None:
+            return f"{body} [renumbered {self.mutation}]"
+        return body
+
+
+@dataclass(frozen=True)
+class AuditSuite:
+    """A deterministic, seeded collection of audit cases."""
+
+    seed: int
+    space: int
+    exhaustive: bool
+    cases: Tuple[AuditCase, ...]
+
+    def kinds(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for case in self.cases:
+            counts[case.kind] = counts.get(case.kind, 0) + 1
+        return counts
+
+
+def _key_of(names: Sequence[str], assignment: Mapping[str, object]) -> AssignmentKey:
+    return tuple((name, str(assignment[name])) for name in names)
+
+
+def _decode(
+    index: int, names: Sequence[str], domains: Mapping[str, Sequence[object]]
+) -> Dict[str, object]:
+    assignment: Dict[str, object] = {}
+    for name in names:
+        domain = domains[name]
+        index, position = divmod(index, len(domain))
+        assignment[name] = domain[position]
+    return assignment
+
+
+def _iter_space(names: Sequence[str], domains: Mapping[str, Sequence[object]]):
+    import itertools
+
+    for combo in itertools.product(*[domains[name] for name in names]):
+        yield dict(zip(names, combo))
+
+
+def generate_suite(
+    holes: Mapping[str, Hole],
+    seed: int = 0,
+    max_exhaustive: int = 64,
+    samples: int = 24,
+    boundary_per_sample: int = 2,
+    environment_routers: Sequence[str] = (),
+    environment_cases: int = 4,
+    claim: Optional[Callable[[Dict[str, object]], Optional[bool]]] = None,
+) -> AuditSuite:
+    """Generate the audit suite for one symbolized hole space.
+
+    When the space has at most ``max_exhaustive`` assignments the suite
+    enumerates all of them; otherwise it draws ``samples`` distinct
+    seeded samples plus ``boundary_per_sample`` Hamming-1 neighbors
+    each.  A ``claim`` predicate (the subspec's own acceptance
+    predicate) stratifies sampling: extra draws are spent until both a
+    claimed-satisfying and a claimed-violating assignment are present,
+    so the suite always probes both sides of the claimed boundary when
+    both sides exist among the draws.
+
+    ``environment_routers`` adds, per router, up to
+    ``environment_cases`` replays of the leading assignments under a
+    renumbered copy of that router's route-maps.
+    """
+    names = sorted(holes)
+    domains: Dict[str, List[object]] = {
+        name: list(holes[name].domain) for name in names
+    }
+    space = 1
+    for name in names:
+        space *= len(domains[name])
+
+    cases: List[AuditCase] = []
+    seen: set = set()
+
+    def add(kind: str, assignment: Mapping[str, object], mutation: Optional[str] = None) -> bool:
+        key = (_key_of(names, assignment), mutation)
+        if key in seen:
+            return False
+        seen.add(key)
+        cases.append(AuditCase(kind=kind, values=key[0], mutation=mutation))
+        return True
+
+    exhaustive = space <= max_exhaustive
+    if exhaustive:
+        for assignment in _iter_space(names, domains):
+            add(KIND_EXHAUSTIVE, assignment)
+    else:
+        rng = random.Random(seed)
+        drawn = 0
+        sides = {True: 0, False: 0}
+        attempts = 0
+        max_attempts = max(4 * samples, 16)
+        while drawn < samples and attempts < max_attempts:
+            attempts += 1
+            assignment = _decode(rng.randrange(space), names, domains)
+            if not add(KIND_SAMPLED, assignment):
+                continue
+            drawn += 1
+            if claim is not None:
+                verdict = claim(dict(assignment))
+                if verdict is not None:
+                    sides[bool(verdict)] += 1
+        if claim is not None and 0 in sides.values():
+            # Stratify: spend bounded extra draws looking for the
+            # missing side of the claimed boundary.
+            missing = True if sides[True] == 0 else False
+            for _ in range(max_attempts):
+                assignment = _decode(rng.randrange(space), names, domains)
+                verdict = claim(dict(assignment))
+                if verdict is not None and bool(verdict) == missing:
+                    add(KIND_SAMPLED, assignment)
+                    break
+        sampled = [case for case in cases if case.kind == KIND_SAMPLED]
+        for case in sampled:
+            base = case.assignment(holes)
+            for _ in range(boundary_per_sample):
+                name = names[rng.randrange(len(names))]
+                domain = domains[name]
+                if len(domain) < 2:
+                    continue
+                alternatives = [
+                    value for value in domain if str(value) != str(base[name])
+                ]
+                neighbor = dict(base)
+                neighbor[name] = alternatives[rng.randrange(len(alternatives))]
+                add(KIND_BOUNDARY, neighbor)
+
+    base_keys = [case for case in cases if case.mutation is None]
+    for router in sorted(environment_routers):
+        for case in base_keys[: max(0, environment_cases)]:
+            add(KIND_ENVIRONMENT, case.assignment(holes), mutation=router)
+
+    return AuditSuite(
+        seed=seed, space=space, exhaustive=exhaustive, cases=tuple(cases)
+    )
+
+
+def renumber_routemaps(config: NetworkConfig, router: str) -> NetworkConfig:
+    """A behavior-preserving mutation of one router's configuration.
+
+    Every route-map line of ``router`` keeps its relative order but gets
+    a new sequence number (``seq * 10``).  First-match semantics only
+    depend on the order, so simulation outcomes -- and therefore every
+    ground-truth verdict -- must be unchanged; an explanation whose
+    verdict flips under this mutation depends on cosmetic neighbor
+    state it never should have read.
+    """
+    mutated = config.copy()
+    router_config = mutated.router_config(router)
+    for direction, neighbor in router_config.sessions():
+        routemap = router_config.get_map(direction, neighbor)
+        if routemap is None or not routemap.lines:
+            continue
+        lines = tuple(
+            replace(line, seq=line.seq * 10) for line in routemap.lines
+        )
+        router_config.set_map(
+            direction, neighbor, RouteMap(routemap.name, lines)
+        )
+    return mutated

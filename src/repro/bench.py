@@ -59,8 +59,9 @@ SCENARIO_BUILDERS: Dict[str, Callable[[], Scenario]] = {
 #: per-line batch under family dispatch against per-job dispatch;
 #: ``serve`` pushes a multi-tenant concurrent workload through the
 #: serving queue on a warm worker fleet against the FIFO +
-#: per-batch-pool path.
-BENCH_FAMILIES = ("pipeline", "perline", "serve")
+#: per-batch-pool path; ``audit`` times the adversarial audit stage on
+#: a cold verdict cache against a warm (content-addressed) one.
+BENCH_FAMILIES = ("pipeline", "perline", "serve", "audit")
 
 QUICK_REPEAT = 2
 FULL_REPEAT = 5
@@ -208,6 +209,100 @@ def _perline_records(
             median_s=percentile(solo, 0.50),
             p95_s=percentile(solo, 0.95),
             total_s=sum(solo),
+            counters={},
+        ),
+    ]
+
+
+def run_audit_once(scenario: Scenario) -> "_AuditSample":
+    """One audited batch on a cold verdict cache, then warm.
+
+    Both passes run the same jobs with ``audit=True`` against one
+    fresh artifact store: the first pays the full adversarial loop
+    (suite generation + concrete replay per subspec), the second must
+    serve every verdict from the content-addressed ``audit`` stage.
+    A verdict that differs between the passes -- or a warm pass that
+    re-ran a suite -- fails the bench rather than timing a lie.
+    """
+    import shutil
+    import tempfile
+
+    from .farm.job import enumerate_jobs
+    from .farm.keys import FarmOptions
+    from .farm.pool import run_batch
+    from .farm.worker import reset_shared_slot
+
+    config, spec = scenario.paper_config, scenario.specification
+    jobs = enumerate_jobs(config, spec)
+    options = FarmOptions(audit=True)
+    tmp = tempfile.mkdtemp(prefix="repro-bench-audit-")
+    try:
+        reset_shared_slot()
+        cold = run_batch(config, spec, jobs, options=options, cache_dir=tmp)
+        reset_shared_slot()
+        warm = run_batch(config, spec, jobs, options=options, cache_dir=tmp)
+        reset_shared_slot()
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+    if [r.audit for r in cold.results] != [r.audit for r in warm.results]:
+        raise RuntimeError("warm audit cache changed a verdict")
+    if warm.metrics.counters.get("audit.suites", 0):
+        raise RuntimeError("warm audit pass re-ran a suite instead of "
+                           "hitting the verdict cache")
+    counters = {
+        name: value
+        for name, value in cold.metrics.counters.items()
+        if name.startswith("audit.")
+    }
+    for name, value in warm.metrics.counters.items():
+        if name.startswith("audit."):
+            counters[name] = counters.get(name, 0) + value
+    return _AuditSample(cold.wall_s, warm.wall_s, counters)
+
+
+class _AuditSample:
+    """Wall times and audit counters of one cold/warm iteration."""
+
+    def __init__(self, cold_s: float, warm_s: float, counters: Dict[str, int]):
+        self.cold_s = cold_s
+        self.warm_s = warm_s
+        self.counters = counters
+
+
+def _audit_records(
+    scenario_name: str,
+    samples: Sequence[_AuditSample],
+) -> List[StageRecord]:
+    """Two records per scenario: the cold audit and the warm replay.
+
+    ``audit`` (the gated stage) is the wall time of the audited batch
+    on an empty verdict cache; ``audit.warm`` replays it against the
+    populated store, so the cache's payoff is the ratio of the two
+    medians.  Counters are totalled over all runs.
+    """
+    cold = [sample.cold_s for sample in samples]
+    warm = [sample.warm_s for sample in samples]
+    counters: Dict[str, int] = {}
+    for sample in samples:
+        for name, value in sample.counters.items():
+            counters[name] = counters.get(name, 0) + value
+    return [
+        StageRecord(
+            scenario=scenario_name,
+            stage="audit",
+            runs=len(samples),
+            median_s=percentile(cold, 0.50),
+            p95_s=percentile(cold, 0.95),
+            total_s=sum(cold),
+            counters=counters,
+        ),
+        StageRecord(
+            scenario=scenario_name,
+            stage="audit.warm",
+            runs=len(samples),
+            median_s=percentile(warm, 0.50),
+            p95_s=percentile(warm, 0.95),
+            total_s=sum(warm),
             counters={},
         ),
     ]
@@ -539,6 +634,9 @@ def run_bench(
             stages.extend(_perline_records(name, samples))
         if "serve" in chosen:
             stages.extend(_serve_bench(name, runs))
+        if "audit" in chosen:
+            audit_samples = [run_audit_once(scenario) for _ in range(runs)]
+            stages.extend(_audit_records(name, audit_samples))
 
     return BenchReport(
         stages=stages,
@@ -565,6 +663,9 @@ _HEADLINE_COUNTERS = (
     "serve.sched.dispatch",
     "farm.fleet.shared_warm_hits",
     "farm.fleet.store_resident_hits",
+    "audit.suites",
+    "audit.cases",
+    "audit.cache.hits",
 )
 
 

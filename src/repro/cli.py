@@ -218,12 +218,46 @@ def build_parser() -> argparse.ArgumentParser:
     dossier_cmd.add_argument("name", choices=sorted(_SCENARIOS))
     dossier_cmd.add_argument("--output", "-o", default=None, metavar="FILE")
     dossier_cmd.add_argument("--failures", type=int, default=0, metavar="K")
+    dossier_cmd.add_argument(
+        "--audit",
+        action="store_true",
+        help="attach adversarial audit verdicts to every subspec",
+    )
+    dossier_cmd.add_argument(
+        "--audit-seed", type=int, default=0, metavar="N",
+        help="suite seed for --audit (default 0)",
+    )
 
     audit_cmd = subparsers.add_parser(
-        "audit", help="independently re-check an explanation certificate"
+        "audit",
+        help="adversarially audit a scenario's explanations (or "
+        "independently re-check an explanation certificate)",
     )
     audit_cmd.add_argument("name", choices=sorted(_SCENARIOS))
-    audit_cmd.add_argument("certificate", metavar="FILE")
+    audit_cmd.add_argument(
+        "certificate",
+        metavar="FILE",
+        nargs="?",
+        default=None,
+        help="an explanation certificate to re-check; without it, every "
+        "explainable subspec in the scenario is audited through the "
+        "adversarial check loop (repro.audit)",
+    )
+    audit_cmd.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        metavar="N",
+        help="suite seed for the adversarial audit / sampling seed for "
+        "certificate re-checks (default 0; certificate mode keeps its "
+        "legacy sampling when omitted)",
+    )
+    audit_cmd.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="write the per-job audit verdicts as JSON",
+    )
 
     bench_cmd = subparsers.add_parser(
         "bench", help="run the reproducible benchmark suite"
@@ -271,13 +305,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--family",
         action="append",
         default=None,
-        choices=["pipeline", "perline", "serve"],
+        choices=["pipeline", "perline", "serve", "audit"],
         help="restrict the bench families (repeatable; default: all). "
         "'pipeline' is the end-to-end pass; 'perline' times the cold "
         "per-line batch under family dispatch vs per-job dispatch; "
         "'serve' times a multi-tenant concurrent workload through the "
         "fair-share queue on a warm worker fleet vs the FIFO + "
-        "per-batch-pool path",
+        "per-batch-pool path; 'audit' times the adversarial audit "
+        "stage cold vs warm (content-addressed verdict cache)",
     )
 
     explain_all = subparsers.add_parser(
@@ -371,6 +406,21 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="replay the crash-safe run journal and re-run only the "
         "jobs a killed batch left unfinished (needs the cache)",
+    )
+    explain_all.add_argument(
+        "--audit",
+        action="store_true",
+        help="adversarially audit every answered subspec (seeded probe "
+        "suite + concrete replay; refuted answers are re-lifted and, "
+        "failing that, fail the batch). Observational: answers, cache "
+        "keys and stored artifacts are byte-identical without it",
+    )
+    explain_all.add_argument(
+        "--audit-seed",
+        type=int,
+        default=0,
+        metavar="N",
+        help="suite seed for --audit (default 0; changing it re-audits)",
     )
     explain_all.add_argument(
         "--chaos",
@@ -734,6 +784,8 @@ def _cmd_dossier(args: argparse.Namespace, out) -> int:
         scenario.specification,
         title=f"explanation dossier: {scenario.name}",
         failure_sweep_k=args.failures,
+        audit=args.audit,
+        audit_seed=args.audit_seed,
     )
     if args.output:
         with open(args.output, "w") as handle:
@@ -745,17 +797,67 @@ def _cmd_dossier(args: argparse.Namespace, out) -> int:
 
 
 def _cmd_audit(args: argparse.Namespace, out) -> int:
-    from .explain import Certificate, FieldRef, audit
-
     scenario = _load_scenario(args.name)
-    with open(args.certificate) as handle:
-        certificate = Certificate.from_json(handle.read())
-    targets = [FieldRef.from_hole_name(name) for name in certificate.variables]
-    result = audit(
-        certificate, scenario.paper_config, scenario.specification, targets
-    )
-    print(result.summary(), file=out)
-    return 0 if result.valid else 1
+    if args.certificate is not None:
+        from .explain import Certificate, FieldRef, audit
+
+        with open(args.certificate) as handle:
+            certificate = Certificate.from_json(handle.read())
+        targets = [
+            FieldRef.from_hole_name(name) for name in certificate.variables
+        ]
+        result = audit(
+            certificate, scenario.paper_config, scenario.specification,
+            targets, seed=args.seed,
+        )
+        print(result.summary(), file=out)
+        return 0 if result.valid else 1
+
+    import json as json_mod
+
+    from .audit import Adjudicator
+    from .farm.job import enumerate_jobs
+
+    config = scenario.paper_config
+    specification = scenario.specification
+    seed = args.seed if args.seed is not None else 0
+    jobs = enumerate_jobs(config, specification)
+    if not jobs:
+        print("no explainable jobs in this scenario", file=out)
+        return 0
+    refuted = 0
+    documents = []
+    for job in jobs:
+        sketch, holes = job.symbolize(config)
+        engine = ExplanationEngine(config, specification)
+        explanation = job.run(engine)
+        if explanation.status.degraded:
+            print(f"{job.job_id}: audit skipped ({explanation.status.value})",
+                  file=out)
+            continue
+        adjudicator = Adjudicator(
+            sketch, specification, holes, job.device,
+            requirement=job.requirement, seed=seed,
+        )
+
+        def relift(forced_acceptances, forced_rejections):
+            fresh = ExplanationEngine(config, specification)
+            return fresh.relift(
+                job.device, sketch, holes, job.requirement,
+                forced_acceptances=forced_acceptances,
+                forced_rejections=forced_rejections,
+            ).subspec
+
+        report = adjudicator.adjudicate(explanation.subspec, relift=relift)
+        print(f"{job.job_id}: {report.summary()}", file=out)
+        documents.append({"job": job.job_id, "audit": report.to_dict()})
+        if report.refuted:
+            refuted += 1
+    if args.json:
+        with open(args.json, "w") as handle:
+            handle.write(json_mod.dumps(documents, indent=2) + "\n")
+        print(f"verdicts written to {args.json}", file=out)
+    return 1 if refuted else 0
 
 
 def _cmd_analyze(args: argparse.Namespace, out) -> int:
@@ -839,6 +941,8 @@ def _cmd_explain_all(args: argparse.Namespace, out) -> int:
         hang_timeout=args.hang_timeout,
         max_quarantine=args.max_quarantine,
         resume=args.resume,
+        audit=args.audit,
+        audit_seed=args.audit_seed,
     )
     try:
         report = api.explain_batch(request, chaos=chaos)

@@ -5,7 +5,8 @@ network and specification, the dossier collects
 
 * the verification verdict (plus an optional robustness sweep),
 * for every requirement x managed router: the subspecification, the
-  Figure 1d dialogue line, and the acceptable-region size,
+  Figure 1d dialogue line, and the acceptable-region size (optionally
+  with its adversarial audit verdict, ``audit=True``),
 * the provenance trace of each reachability requirement's route,
 * the mined global intents for cross-checking.
 
@@ -36,9 +37,17 @@ def generate_dossier(
     title: str = "network explanation dossier",
     max_path_length: Optional[int] = None,
     failure_sweep_k: int = 0,
+    audit: bool = False,
+    audit_seed: int = 0,
 ) -> str:
-    """Render the full Markdown dossier."""
+    """Render the full Markdown dossier.
+
+    ``audit`` runs each subspecification through the adversarial check
+    loop (:mod:`repro.audit`) and attaches the verdict inline plus an
+    ``## Audit`` section; the rest of the dossier is unchanged by it.
+    """
     lines: List[str] = [f"# {title}", ""]
+    verdicts: List[tuple] = []
 
     # -- intent ---------------------------------------------------------
     lines += ["## Specification", "", "```"]
@@ -83,6 +92,40 @@ def generate_dossier(
             lines += ["  ```", ""]
             dialogue = question_and_answer(explanation).splitlines()[-1]
             lines += [f"  > {dialogue}", ""]
+            if audit and not explanation.status.degraded:
+                from ..audit import Adjudicator
+                from .symbolize import symbolize_router
+
+                sketch, holes = symbolize_router(config, router, (ACTION,))
+                verdict = Adjudicator(
+                    sketch, specification, holes, router,
+                    requirement=block.name, seed=audit_seed,
+                    max_path_length=max_path_length,
+                ).check(explanation.subspec)
+                verdicts.append((router, block.name, verdict))
+                lines += [
+                    f"  {line}" for line in verdict.summary().splitlines()
+                ]
+                lines += [""]
+
+    if audit:
+        confirmed = sum(1 for _, _, v in verdicts if v.confirmed)
+        refuted = sum(1 for _, _, v in verdicts if v.refuted)
+        lines += [
+            "## Audit",
+            "",
+            f"{len(verdicts)} subspecifications audited "
+            f"(seed {audit_seed}): {confirmed} confirmed, "
+            f"{refuted} refuted.",
+            "",
+        ]
+        for router, block_name, verdict in verdicts:
+            if not verdict.confirmed:
+                lines += [f"- **{router}** / `{block_name}`:", "", "  ```"]
+                lines += [
+                    f"  {line}" for line in verdict.summary().splitlines()
+                ]
+                lines += ["  ```", ""]
 
     # -- provenance of required routes ------------------------------------
     outcome = simulate(config)

@@ -273,6 +273,83 @@ class ExplanationEngine:
         sketch, holes = symbolize_router(self.config, device, fields)
         return self._run(device, sketch, holes, requirement)
 
+    def relift(
+        self,
+        device: str,
+        sketch: NetworkConfig,
+        holes: Dict[str, Hole],
+        requirement: Optional[str] = None,
+        forced_acceptances=frozenset(),
+        forced_rejections=frozenset(),
+    ) -> Explanation:
+        """Re-run projection + lifting under counterexample constraints.
+
+        This is the audit loop's feedback seam: ``forced_acceptances``
+        and ``forced_rejections`` are assignment keys (sorted
+        ``(name, str(value))`` tuples) that an adversarial audit proved
+        belong on the other side of the acceptable region, and the lift
+        search re-runs against the corrected region.
+
+        The run is deliberately isolated from the normal pipeline's
+        memoization: it never reads or writes the stage store and never
+        lands in the engine's answer cache, so corrected artifacts can
+        never shadow (or be shadowed by) the canonical ones.
+        """
+        from .project import reclassify
+
+        spec = (
+            self.specification.restricted_to(requirement)
+            if requirement is not None
+            else self.specification
+        )
+        requirement_name = requirement if requirement is not None else "<all>"
+        obs = self.obs if self.obs is not None else Instrumentation()
+        timings: Dict[str, float] = {}
+        with obs.span("seed") as span:
+            seed = extract_seed(
+                sketch, spec, holes, self.max_path_length, self.link_cost,
+                self.ibgp, governor=self.governor, obs=self.obs,
+                recorder=self.recorder,
+            )
+        timings["seed"] = span.duration
+        with obs.span("project") as span:
+            projected = project(
+                seed, sketch, limit=self.projection_limit,
+                governor=self.governor, obs=self.obs, recorder=self.recorder,
+            )
+            corrected = reclassify(
+                seed, projected,
+                forced_acceptances=forced_acceptances,
+                forced_rejections=forced_rejections,
+            )
+        timings["project"] = span.duration
+        with obs.span("lift") as span:
+            lift_result = lift(
+                device, sketch, spec, seed, corrected, corrected.envs,
+                governor=self.governor, obs=self.obs, recorder=self.recorder,
+            )
+        timings["lift"] = span.duration
+        lifted = lift_result.lifted
+        subspec = Subspecification(
+            device=device,
+            requirement=requirement_name,
+            statements=lift_result.statements if lifted else (),
+            lifted=lifted,
+            low_level=corrected.term,
+            variables=tuple(sorted(holes)),
+        )
+        return Explanation(
+            device=device,
+            requirement=requirement_name,
+            seed=seed,
+            simplified=None,
+            projected=corrected,
+            lift_result=lift_result,
+            subspec=subspec,
+            timings=timings,
+            status=ExplanationStatus.EXACT,
+        )
+
     # ------------------------------------------------------------------
 
     def _cache_key(self, holes: Dict[str, Hole], requirement_name: str) -> tuple:

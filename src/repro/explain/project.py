@@ -26,7 +26,7 @@ from ..runtime import Governor, ReproError
 from ..smt import And, Eq, FALSE, Or, Term, simplify
 from .seed import SeedSpecification
 
-__all__ = ["ProjectionError", "ProjectedSpec", "project"]
+__all__ = ["ProjectionError", "ProjectedSpec", "project", "reclassify"]
 
 
 class ProjectionError(ReproError, RuntimeError):
@@ -140,6 +140,56 @@ def project(
         rejected=tuple(rejected),
         term=term,
         envs=envs,
+    )
+
+
+def reclassify(
+    seed: SeedSpecification,
+    projected: ProjectedSpec,
+    forced_acceptances=frozenset(),
+    forced_rejections=frozenset(),
+) -> ProjectedSpec:
+    """``projected`` with selected assignments moved across the boundary.
+
+    ``forced_acceptances`` / ``forced_rejections`` are assignment keys
+    (the sorted ``(name, str(value))`` tuples used throughout lifting);
+    every listed assignment lands on the forced side regardless of its
+    original classification, and the DNF term is rebuilt to match.
+    This is the audit loop's re-lift seam: counterexamples refuting a
+    subspecification become corrections to the acceptable region the
+    next lift runs against.
+    """
+    sides: Dict[Tuple[Tuple[str, str], ...], bool] = {}
+    originals: Dict[Tuple[Tuple[str, str], ...], Dict[str, object]] = {}
+    for ok, group in ((True, projected.acceptable), (False, projected.rejected)):
+        for assignment in group:
+            key = tuple(
+                sorted((name, str(value)) for name, value in assignment.items())
+            )
+            sides[key] = ok
+            originals[key] = assignment
+    for key in forced_acceptances:
+        if key in sides:
+            sides[key] = True
+    for key in forced_rejections:
+        if key in sides:
+            sides[key] = False
+    acceptable: List[Dict[str, object]] = []
+    rejected: List[Dict[str, object]] = []
+    for assignment in _iter_assignments(projected.holes):
+        key = tuple(
+            sorted((name, str(value)) for name, value in assignment.items())
+        )
+        if key not in sides:
+            continue
+        (acceptable if sides[key] else rejected).append(originals[key])
+    term = _as_dnf(seed, acceptable, rejected)
+    return ProjectedSpec(
+        holes=dict(projected.holes),
+        acceptable=tuple(acceptable),
+        rejected=tuple(rejected),
+        term=term,
+        envs=dict(projected.envs),
     )
 
 

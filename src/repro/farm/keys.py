@@ -52,12 +52,23 @@ class FarmOptions:
     engine's knobs: ``link_cost`` callables and custom rewrite-rule
     sets cannot cross a process boundary, so batch runs always use the
     default rule set and no hot-potato costs.
+
+    ``audit``/``audit_seed`` switch on the adversarial audit stage
+    (:mod:`repro.audit`).  They are deliberately *excluded* from
+    :meth:`payload` -- and therefore from job keys, shared-cache keys
+    and journal signatures of non-audit runs -- because auditing is
+    observational: it never changes an answer, so flipping it on must
+    neither evict cached explanations nor re-key a batch.  The audit
+    artifact itself is content-addressed separately (see
+    :meth:`audit_payload` and ``repro.farm.worker.audit_artifact_key``).
     """
 
     fields: Tuple[str, ...] = ("action",)
     projection_limit: int = 4096
     max_path_length: Optional[int] = None
     ibgp: bool = False
+    audit: bool = False
+    audit_seed: int = 0
 
     def payload(self) -> Dict[str, object]:
         return {
@@ -66,6 +77,10 @@ class FarmOptions:
             "max_path_length": self.max_path_length,
             "ibgp": self.ibgp,
         }
+
+    def audit_payload(self) -> Dict[str, object]:
+        """The audit knobs, for signatures of audit-enabled runs."""
+        return {"audit": self.audit, "audit_seed": self.audit_seed}
 
 
 def topology_payload(topology: Topology) -> Dict[str, object]:

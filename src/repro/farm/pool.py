@@ -34,6 +34,7 @@ from typing import Dict, List, Optional
 
 from ..obs import (
     BenchReport,
+    Instrumentation,
     MetricsRegistry,
     SPAN_PREFIX,
     StageRecord,
@@ -51,6 +52,7 @@ from .worker import (
     JobResult,
     STATUS_CACHED,
     STATUS_ERROR,
+    run_audit,
     run_family,
     run_job,
     shared_batch_key,
@@ -95,6 +97,32 @@ class BatchReport:
     @property
     def cached(self) -> int:
         return sum(1 for r in self.results if r.cached)
+
+    @property
+    def audited(self) -> int:
+        """Jobs whose answer went through the adversarial audit."""
+        return sum(1 for r in self.results if r.audit is not None)
+
+    @property
+    def audit_refuted(self) -> int:
+        """Audited jobs whose final verdict refutes the subspec (a
+        repaired re-lift does not count: the record keeps the refuting
+        label, but the served answer was proven good)."""
+        return sum(
+            1
+            for r in self.results
+            if r.audit is not None
+            and r.audit.get("verdict") in ("too-weak", "too-strong")
+            and not r.audit.get("repaired")
+        )
+
+    @property
+    def audit_repaired(self) -> int:
+        return sum(
+            1
+            for r in self.results
+            if r.audit is not None and r.audit.get("repaired")
+        )
 
     @property
     def cpu_s(self) -> float:
@@ -358,13 +386,24 @@ def run_incremental(
         payload = store.load(key, "explanation")
         assert payload is not None  # compute_dirty checked it exists
         restored = Explanation.from_dict(payload)
-        metrics = MetricsRegistry()
-        metrics.count("farm.cache.full_hit")
-        metrics.count(f"farm.jobs.{STATUS_CACHED}")
+        obs = Instrumentation()
+        obs.metrics.count("farm.cache.full_hit")
+        obs.metrics.count(f"farm.jobs.{STATUS_CACHED}")
+        # Clean jobs still answer for their subspec: the audit stage is
+        # store-cached by (key, subspec, seed), so warm replays are
+        # free, but a first audited run probes even untouched answers.
+        audit = (
+            run_audit(
+                new_config, specification, job, options, store, key,
+                payload, obs,
+            )
+            if options.audit
+            else None
+        )
         served[job] = JobResult(
             job=job, key=key, status=STATUS_CACHED, cached=True,
             duration_s=0.0, subspec=restored.subspec.render(),
-            explanation=payload, metrics=metrics,
+            explanation=payload, metrics=obs.metrics, audit=audit,
         )
     report = BatchReport(
         scenario=scenario,

@@ -7,7 +7,7 @@ typed :mod:`repro.api` facade.  Before this module each of them
 hand-rolled its own status strings and dict plumbing; now everything
 -- the status taxonomy (``EXACT`` / ``DEGRADED_*`` / ``FAILED`` /
 ``ERROR`` / ``CACHED`` / ``QUARANTINED``), the process exit codes
-(3/4/5/6/7/70), the ``repro-farm-report/1`` JSON document and the
+(3/4/5/6/7/70), the ``repro-farm-report/2`` JSON document and the
 human summary table -- is defined here once and imported everywhere
 else.
 
@@ -46,6 +46,7 @@ __all__ = [
     "EXIT_UNSAT",
     "EXIT_PARTIAL",
     "EXIT_INTERNAL",
+    "audit_totals",
     "job_row",
     "report_document",
     "report_totals",
@@ -56,8 +57,10 @@ __all__ = [
     "dump_document",
 ]
 
-#: Bumped whenever the ``--json`` document shape changes.
-REPORT_SCHEMA = "repro-farm-report/1"
+#: Bumped whenever the ``--json`` document shape changes.  ``/2``
+#: added the per-job ``audit`` field, the top-level ``audit`` section
+#: and the ``audited``/``audit_refuted`` totals.
+REPORT_SCHEMA = "repro-farm-report/2"
 
 # ---------------------------------------------------------------------------
 # The status taxonomy.
@@ -131,6 +134,7 @@ def job_row(result: Any) -> Dict[str, object]:
         "error_kind": result.error_kind,
         "attempts": result.attempts,
         "quarantined": result.quarantined,
+        "audit": getattr(result, "audit", None),
     }
 
 
@@ -147,6 +151,36 @@ def report_totals(report: Any) -> Dict[str, int]:
     }
 
 
+def audit_totals(rows: List[Dict[str, object]]) -> Optional[Dict[str, object]]:
+    """The top-level ``audit`` section, aggregated over job rows.
+
+    ``None`` when no job carried an audit payload (the batch ran with
+    auditing off), so non-audit documents stay recognisably audit-free
+    rather than growing a section of zeroes.
+    """
+    audits = [row.get("audit") for row in rows]
+    payloads = [audit for audit in audits if isinstance(audit, dict)]
+    if not payloads:
+        return None
+    verdicts: Dict[str, int] = {}
+    refuted = repaired = relifts = 0
+    for payload in payloads:
+        verdict = str(payload.get("verdict"))
+        verdicts[verdict] = verdicts.get(verdict, 0) + 1
+        relifts += int(payload.get("relifts", 0))  # type: ignore[arg-type]
+        if payload.get("repaired"):
+            repaired += 1
+        elif verdict in ("too-weak", "too-strong"):
+            refuted += 1
+    return {
+        "audited": len(payloads),
+        "verdicts": dict(sorted(verdicts.items())),
+        "refuted": refuted,
+        "repaired": repaired,
+        "relifts": relifts,
+    }
+
+
 def report_document(report: Any) -> Dict[str, object]:
     """The schema-versioned ``--json`` report document.
 
@@ -156,16 +190,18 @@ def report_document(report: Any) -> Dict[str, object]:
     farm_counters = {
         name: value
         for name, value in sorted(report.metrics.counters.items())
-        if name.startswith(("farm.", "smt.", "engine."))
+        if name.startswith(("farm.", "smt.", "engine.", "audit."))
     }
+    rows = [job_row(result) for result in report.results]
     return {
         "schema": REPORT_SCHEMA,
         "scenario": report.scenario,
         "workers": report.workers,
         "wall_s": round(report.wall_s, 4),
         "cpu_s": round(report.cpu_s, 4),
-        "jobs": [job_row(result) for result in report.results],
+        "jobs": rows,
         "totals": report_totals(report),
+        "audit": audit_totals(rows),
         "stage_cache_rate": report.stage_cache_rate(),
         "counters": farm_counters,
         "bench": report.to_bench_report().to_dict(),
@@ -184,6 +220,7 @@ def _render_table(
     cpu_s: float,
     workers: int,
     rate: Optional[float],
+    audit: Optional[Dict[str, object]] = None,
 ) -> str:
     rows = [("job", "status", "cached", "tries", "time")] + rows
     widths = [max(len(row[i]) for row in rows) for i in range(5)]
@@ -198,6 +235,13 @@ def _render_table(
         f"({totals['cached']} from cache), {totals['degraded']} degraded, "
         f"{totals['failed']} failed, {totals['quarantined']} quarantined"
     )
+    if audit is not None:
+        verdicts = audit.get("verdicts") or {}
+        confirmed = verdicts.get("confirmed", 0)  # type: ignore[union-attr]
+        lines.append(
+            f"audit: {audit['audited']} audited, {confirmed} confirmed, "
+            f"{audit['refuted']} refuted, {audit['repaired']} repaired"
+        )
     lines.append(f"wall {wall_s:.2f}s, cpu {cpu_s:.2f}s, workers {workers}")
     if rate is not None:
         lines.append(f"stage cache hit rate: {rate:.0%}")
@@ -223,6 +267,7 @@ def summary_table(report: Any) -> str:
         report.cpu_s,
         report.workers,
         report.stage_cache_rate(),
+        audit_totals([job_row(result) for result in report.results]),
     )
 
 
@@ -249,6 +294,7 @@ def summary_from_document(document: Dict[str, object]) -> str:
             "jobs": 0, "completed": 0, "cached": 0,
             "degraded": 0, "failed": 0, "quarantined": 0,
         }
+    audit = document.get("audit")
     return _render_table(
         rows,
         totals,
@@ -256,6 +302,7 @@ def summary_from_document(document: Dict[str, object]) -> str:
         float(document.get("cpu_s", 0.0)),  # type: ignore[arg-type]
         int(document.get("workers", 1)),  # type: ignore[arg-type]
         document.get("stage_cache_rate"),  # type: ignore[arg-type]
+        audit if isinstance(audit, dict) else None,
     )
 
 
@@ -270,9 +317,13 @@ def exit_code(
     quarantine dominates degradation; a degraded batch blames the
     timeout when only a timeout was set (per-job governors live in the
     workers, so the batch cannot ask which limit actually fired and
-    maps from the flags instead).
+    maps from the flags instead).  A refuted audit -- the explanation
+    itself was proven wrong -- counts as failure even when every job
+    nominally succeeded.
     """
     if report.failed:
+        return EXIT_FAILURE
+    if getattr(report, "audit_refuted", 0):
         return EXIT_FAILURE
     if report.quarantined:
         return EXIT_PARTIAL

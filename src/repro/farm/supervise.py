@@ -159,7 +159,10 @@ def batch_signature(
     Everything that pins the batch's *answers* participates -- config,
     specification, job list, engine options and the governed limits --
     so a resumed run can only ever be completed with results the
-    crashed run would itself have produced.
+    crashed run would itself have produced.  The audit knobs join only
+    when auditing is on: an audited batch must not resume from (or be
+    resumed by) an unaudited journal, while non-audit signatures stay
+    byte-identical to what they were before the audit stage existed.
     """
     payload = {
         "schema": JOURNAL_SCHEMA,
@@ -171,6 +174,8 @@ def batch_signature(
         "timeout": timeout,
         "budget": budget,
     }
+    if options.audit:
+        payload["audit"] = options.audit_payload()
     return digest(payload)
 
 
@@ -195,7 +200,7 @@ def _result_payload(result: JobResult) -> Dict[str, object]:
         and result.key is not None
         and result.status in OK_STATUSES
     )
-    return {
+    payload = {
         "job": result.job.payload(),
         "key": result.key,
         "status": result.status,
@@ -209,6 +214,12 @@ def _result_payload(result: JobResult) -> Dict[str, object]:
         "stored": stored,
         "explanation": None if stored else result.explanation,
     }
+    # Audit verdicts are small and journaled inline (only when present,
+    # so non-audit journal bytes are untouched); replay restores them
+    # without re-running the suite.
+    if result.audit is not None:
+        payload["audit"] = result.audit
+    return payload
 
 
 def _result_from_payload(
@@ -243,6 +254,7 @@ def _result_from_payload(
         attempts=int(payload.get("attempts") or 1),
         quarantined=bool(payload.get("quarantined")),
         explanation=explanation,  # type: ignore[arg-type]
+        audit=payload.get("audit"),  # type: ignore[arg-type]
     )
 
 

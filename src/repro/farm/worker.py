@@ -71,7 +71,9 @@ from .store import ArtifactStore, JobStore
 
 __all__ = [
     "JobResult",
+    "audit_artifact_key",
     "reset_shared_slot",
+    "run_audit",
     "run_family",
     "run_job",
     "shared_batch_key",
@@ -80,6 +82,9 @@ __all__ = [
     "STATUS_CACHED",
     "STATUS_QUARANTINED",
 ]
+
+#: Store stage name under which audit verdicts are persisted.
+AUDIT_STAGE = "audit"
 
 #: Bumped whenever the shared-cache identity payload changes.
 SHARED_KEY_SCHEMA = "repro-farm-shared/1"
@@ -116,6 +121,9 @@ class JobResult:
     #: ``--json`` reports and byte-level result comparisons.  ``None``
     #: for errored jobs.
     explanation: Optional[dict] = None
+    #: The adversarial audit verdict payload (``repro-audit/1``), or
+    #: ``None`` when the audit stage did not run for this job.
+    audit: Optional[dict] = None
     metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
 
     @property
@@ -182,6 +190,109 @@ def _apply_corrupt_chaos(
                 handle.truncate(max(1, size // 2))
         except OSError:
             pass
+
+
+def audit_artifact_key(key: str, subspec_payload: dict, seed: int) -> str:
+    """The content address of one audit verdict.
+
+    Covers the job key, the *subspecification under audit* and the
+    suite seed -- so a tampered or re-lifted subspec can never be
+    served a stale verdict, and changing the seed re-audits.
+    """
+    from ..audit import AUDIT_SCHEMA
+
+    return digest(
+        {
+            "schema": AUDIT_SCHEMA,
+            "job": key,
+            "subspec": subspec_payload,
+            "seed": seed,
+        }
+    )
+
+
+def run_audit(
+    config: NetworkConfig,
+    specification: Specification,
+    job: ExplainJob,
+    options: FarmOptions,
+    store: Optional[ArtifactStore],
+    key: str,
+    answer: dict,
+    obs: Instrumentation,
+    sketch: Optional[NetworkConfig] = None,
+    holes=None,
+) -> dict:
+    """Run (or serve from cache) the audit stage for one answered job.
+
+    The verdict is content-addressed by (job key, subspec payload,
+    suite seed) under the ``audit`` store stage, so warm batches replay
+    it for free and a changed answer is always re-audited.  Audit
+    failures degrade to an ``unresolved`` verdict carrying the error --
+    the audit stage may refute an answer, never destroy one.
+    """
+    from ..audit import Adjudicator, AuditReport, VERDICT_UNRESOLVED
+
+    subspec_payload = answer["subspec"]
+    audit_key = audit_artifact_key(key, subspec_payload, options.audit_seed)
+    if store is not None:
+        stored = store.load(audit_key, AUDIT_STAGE)
+        if stored is not None:
+            try:
+                AuditReport.from_dict(stored)
+            except (KeyError, TypeError, ValueError):
+                pass
+            else:
+                obs.metrics.count("audit.cache.hits")
+                return stored
+    try:
+        with obs.span(AUDIT_STAGE):
+            if sketch is None or holes is None:
+                sketch, holes = job.symbolize(config)
+            subspec = subspec_from_dict(subspec_payload)
+            adjudicator = Adjudicator(
+                sketch,
+                specification,
+                holes,
+                job.device,
+                requirement=job.requirement,
+                seed=options.audit_seed,
+                max_path_length=options.max_path_length,
+                ibgp=options.ibgp,
+                obs=obs,
+            )
+
+            def relift(forced_acceptances, forced_rejections):
+                engine = ExplanationEngine(
+                    config,
+                    specification,
+                    max_path_length=options.max_path_length,
+                    projection_limit=options.projection_limit,
+                    ibgp=options.ibgp,
+                )
+                return engine.relift(
+                    job.device, sketch, holes, job.requirement,
+                    forced_acceptances=forced_acceptances,
+                    forced_rejections=forced_rejections,
+                ).subspec
+
+            payload = adjudicator.adjudicate(subspec, relift=relift).to_dict()
+    except Exception as exc:
+        obs.metrics.count("audit.errors")
+        return AuditReport(
+            verdict=VERDICT_UNRESOLVED,
+            seed=options.audit_seed,
+            cases=0,
+            agreements=0,
+            disagreements=0,
+            unresolved=0,
+            space=0,
+            exhaustive=False,
+            error=f"{type(exc).__name__}: {exc}",
+        ).to_dict()
+    if store is not None:
+        store.save(audit_key, AUDIT_STAGE, payload)
+    return payload
 
 
 def run_job(
@@ -253,12 +364,21 @@ def run_job(
                     # simplified and projected terms -- would dominate
                     # the cached-hit path for nothing.
                     restored = subspec_from_dict(answer["subspec"])
+                    audit = (
+                        run_audit(
+                            config, specification, job, options, store,
+                            key, answer, obs, sketch=sketch, holes=holes,
+                        )
+                        if options.audit
+                        else None
+                    )
                     return finish(
                         JobResult(
                             job=job, key=key, status=STATUS_CACHED,
                             cached=True, duration_s=0.0,
                             subspec=restored.render(),
                             explanation=answer,
+                            audit=audit,
                         )
                     )
                 obs.metrics.count("farm.cache.invalidated")
@@ -293,6 +413,15 @@ def run_job(
             universe = _sketch_universe_of(sketch)
             store.save(key, "readset", recorder.payload(config, universe))
             _apply_corrupt_chaos(chaos, store, job.job_id, key, ordinal, attempt)
+        audit = (
+            run_audit(
+                config, specification, job, options, store, key, payload,
+                obs, sketch=sketch, holes=holes,
+            )
+            if options.audit
+            and explanation.status is ExplanationStatus.EXACT
+            else None
+        )
         return finish(
             JobResult(
                 job=job, key=key, status=explanation.status.value,
@@ -300,6 +429,7 @@ def run_job(
                 subspec=explanation.subspec.render(),
                 error=explanation.degradation,
                 explanation=payload,
+                audit=audit,
             )
         )
     except Exception as exc:

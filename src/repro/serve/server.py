@@ -5,7 +5,7 @@ Explanation-as-a-service, with the same contract as the CLI::
     POST /v1/jobs               submit a batch (repro-api-request/1 body)
     GET  /v1/jobs               list job statuses
     GET  /v1/jobs/{id}          one job's status (repro-api-status/1)
-    GET  /v1/jobs/{id}/result   the repro-farm-report/1 document
+    GET  /v1/jobs/{id}/result   the repro-farm-report/2 document
     GET  /v1/jobs/{id}/events   chunked stream of progress events
     GET  /v1/healthz            liveness + queue depth
     GET  /v1/metrics            Prometheus text exposition

@@ -1,5 +1,15 @@
-"""Verification: concrete configs against global specs, and modular
-composition of subspecifications."""
+"""Config verification: concrete configs against global specs, and
+modular composition of subspecifications.
+
+Scope note -- this package answers *"does the deployed configuration
+satisfy the specification?"* (simulate, then check the spec; plus
+k-failure sweeps and modular composition).  It does **not** judge
+explanations: checking that a lifted *subspecification* is neither too
+weak nor too strong is explanation auditing, which lives in
+:mod:`repro.audit` (the adversarial check loop).  ``repro.audit``
+re-exports this package's API, so callers holding an explanation and
+its network can reach both kinds of checking through one import.
+"""
 
 from .failures import FailureCase, FailureSweep, verify_under_failures
 from .modular import ModularReport, check_modular

@@ -1,0 +1,26 @@
+import pytest
+
+from repro.explain import ExplanationEngine
+from repro.farm.job import enumerate_jobs
+from repro.scenarios import scenario1
+
+
+@pytest.fixture(scope="package")
+def s1():
+    return scenario1()
+
+
+@pytest.fixture(scope="package")
+def explained(s1):
+    """The first scenario1 job, symbolized and explained once.
+
+    Shared across the audit tests because the pipeline run is the
+    expensive part; every test treats the artifacts as read-only.
+    """
+    jobs = enumerate_jobs(s1.paper_config, s1.specification)
+    job = jobs[0]
+    sketch, holes = job.symbolize(s1.paper_config)
+    engine = ExplanationEngine(s1.paper_config, s1.specification)
+    explanation = job.run(engine)
+    assert not explanation.status.degraded
+    return job, sketch, holes, explanation

@@ -1,0 +1,119 @@
+"""The adversarial check loop: confirm the truth, refute injected bugs."""
+
+from dataclasses import replace
+
+from repro.audit import (
+    Adjudicator,
+    AuditReport,
+    VERDICT_CONFIRMED,
+    VERDICT_TOO_STRONG,
+    VERDICT_TOO_WEAK,
+)
+from repro.obs import Instrumentation
+from repro.smt import FALSE, TRUE
+
+
+def _adjudicator(s1, explained, seed=0, obs=None):
+    job, sketch, holes, _ = explained
+    return Adjudicator(
+        sketch,
+        s1.specification,
+        holes,
+        job.device,
+        requirement=job.requirement,
+        seed=seed,
+        obs=obs,
+    )
+
+
+class TestConfirmed:
+    def test_genuine_subspec_is_confirmed(self, s1, explained):
+        _, _, _, explanation = explained
+        report = _adjudicator(s1, explained).check(explanation.subspec)
+        assert report.verdict == VERDICT_CONFIRMED
+        assert report.confirmed and not report.refuted
+        assert report.counterexample is None
+        assert report.disagreements == 0 and report.unresolved == 0
+        assert report.agreements == report.cases
+
+    def test_counters_reach_the_instrumentation(self, s1, explained):
+        _, _, _, explanation = explained
+        obs = Instrumentation()
+        _adjudicator(s1, explained, obs=obs).check(explanation.subspec)
+        counters = obs.metrics.counters
+        assert counters["audit.suites"] == 1
+        assert counters["audit.cases"] >= 1
+        assert counters["audit.confirmed"] == 1
+
+
+class TestInjectedBugs:
+    def test_over_widened_subspec_is_too_weak(self, s1, explained):
+        _, _, _, explanation = explained
+        # The empty subspecification claims the device may do anything:
+        # the widest possible over-approximation of the real claim.
+        widened = replace(
+            explanation.subspec, statements=(), lifted=True, low_level=TRUE
+        )
+        report = _adjudicator(s1, explained).check(widened)
+        assert report.verdict == VERDICT_TOO_WEAK
+        assert report.refuted
+        witness = report.counterexample
+        assert witness is not None
+        assert witness.claim is True and witness.truth is False
+        assert witness.values  # concrete assignment, not a placeholder
+        assert "violates the requirement" in witness.render()
+
+    def test_over_narrowed_subspec_is_too_strong(self, s1, explained):
+        _, _, _, explanation = explained
+        # A subspec that rejects every assignment: maximally too strong.
+        narrowed = replace(
+            explanation.subspec, statements=(), lifted=False, low_level=FALSE
+        )
+        report = _adjudicator(s1, explained).check(narrowed)
+        assert report.verdict == VERDICT_TOO_STRONG
+        assert report.refuted
+        witness = report.counterexample
+        assert witness is not None
+        assert witness.claim is False and witness.truth is True
+        assert "satisfies the requirement" in witness.render()
+
+    def test_counterexample_is_minimized(self, s1, explained):
+        _, _, _, explanation = explained
+        widened = replace(
+            explanation.subspec, statements=(), lifted=True, low_level=TRUE
+        )
+        report = _adjudicator(s1, explained).check(widened)
+        assert report.counterexample.minimized
+
+
+class TestDeterminism:
+    def test_same_seed_same_report(self, s1, explained):
+        _, _, _, explanation = explained
+        widened = replace(
+            explanation.subspec, statements=(), lifted=True, low_level=TRUE
+        )
+        one = _adjudicator(s1, explained, seed=3).check(widened)
+        two = _adjudicator(s1, explained, seed=3).check(widened)
+        assert one.to_dict() == two.to_dict()
+        assert one.seed == 3
+
+
+class TestReportWire:
+    def test_round_trip(self, s1, explained):
+        _, _, _, explanation = explained
+        widened = replace(
+            explanation.subspec, statements=(), lifted=True, low_level=TRUE
+        )
+        report = _adjudicator(s1, explained).check(widened)
+        assert AuditReport.from_dict(report.to_dict()) == report
+
+    def test_summary_names_verdict_seed_and_witness(self, s1, explained):
+        _, _, _, explanation = explained
+        widened = replace(
+            explanation.subspec, statements=(), lifted=True, low_level=TRUE
+        )
+        report = _adjudicator(s1, explained, seed=9).check(widened)
+        text = report.summary()
+        assert "TOO-WEAK" in text
+        assert "seed 9" in text
+        assert "counterexample:" in text

@@ -1,0 +1,88 @@
+"""The feedback seam: refutations flow back into the engine as
+re-lift constraints, bounded and explicitly degrading."""
+
+from dataclasses import replace
+
+from repro.audit import Adjudicator, VERDICT_TOO_WEAK
+from repro.explain import ExplanationEngine
+from repro.smt import TRUE
+
+
+def _adjudicator(s1, explained, seed=0):
+    job, sketch, holes, _ = explained
+    return Adjudicator(
+        sketch,
+        s1.specification,
+        holes,
+        job.device,
+        requirement=job.requirement,
+        seed=seed,
+    )
+
+
+def _real_relift(s1, explained):
+    job, sketch, holes, _ = explained
+
+    def relift(forced_acceptances, forced_rejections):
+        engine = ExplanationEngine(s1.paper_config, s1.specification)
+        return engine.relift(
+            job.device,
+            sketch,
+            holes,
+            job.requirement,
+            forced_acceptances=forced_acceptances,
+            forced_rejections=forced_rejections,
+        ).subspec
+
+    return relift
+
+
+class TestRepair:
+    def test_relift_repairs_an_over_widened_subspec(self, s1, explained):
+        _, _, _, explanation = explained
+        widened = replace(
+            explanation.subspec, statements=(), lifted=True, low_level=TRUE
+        )
+        report = _adjudicator(s1, explained).adjudicate(
+            widened, relift=_real_relift(s1, explained)
+        )
+        assert report.repaired
+        assert not report.refuted
+        # The record keeps the original refutation and its witness.
+        assert report.verdict == VERDICT_TOO_WEAK
+        assert report.counterexample is not None
+        assert report.relifts >= 1
+        assert "repaired by re-lift" in report.summary()
+
+    def test_without_a_relift_hook_the_verdict_stands(self, s1, explained):
+        _, _, _, explanation = explained
+        widened = replace(
+            explanation.subspec, statements=(), lifted=True, low_level=TRUE
+        )
+        report = _adjudicator(s1, explained).adjudicate(widened, relift=None)
+        assert report.refuted and not report.repaired
+        assert report.relifts == 0
+
+
+class TestNonConvergence:
+    def test_stubborn_relift_stays_refuted_within_bounds(self, s1, explained):
+        _, _, _, explanation = explained
+        widened = replace(
+            explanation.subspec, statements=(), lifted=True, low_level=TRUE
+        )
+        calls = []
+
+        def stubborn(forced_acceptances, forced_rejections):
+            calls.append((set(forced_acceptances), set(forced_rejections)))
+            return widened  # never fixes anything
+
+        report = _adjudicator(s1, explained).adjudicate(
+            widened, relift=stubborn, max_relifts=2
+        )
+        assert report.refuted and not report.repaired
+        assert report.verdict == VERDICT_TOO_WEAK
+        assert report.relifts == 2
+        assert len(calls) == 2
+        # Every round feeds the accumulated witnesses back in.
+        assert calls[0][1] <= calls[1][1]
+        assert report.counterexample is not None

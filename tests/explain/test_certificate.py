@@ -85,6 +85,32 @@ class TestAudit:
         assert not result.valid
         assert any("do not match" in p for p in result.problems)
 
+    def test_seeded_sampling_is_deterministic(self, sc3, certificate):
+        one = audit(
+            certificate, sc3.paper_config, sc3.specification, R2_TARGETS,
+            seed=11, sample=2,
+        )
+        two = audit(
+            certificate, sc3.paper_config, sc3.specification, R2_TARGETS,
+            seed=11, sample=2,
+        )
+        assert one.valid == two.valid
+        assert one.problems == two.problems
+        assert one.seed == two.seed == 11
+
+    def test_seed_surfaces_in_the_summary(self, sc3, certificate):
+        seeded = audit(
+            certificate, sc3.paper_config, sc3.specification, R2_TARGETS,
+            seed=11,
+        )
+        assert "(seed 11)" in seeded.summary()
+        # The legacy exhaustive mode stays byte-identical: no seed note.
+        exhaustive = audit(
+            certificate, sc3.paper_config, sc3.specification, R2_TARGETS
+        )
+        assert exhaustive.seed is None
+        assert "seed" not in exhaustive.summary()
+
     def test_audit_detects_config_drift(self, sc3, certificate):
         """Re-auditing against a *changed* configuration must fail:
         the certificate no longer describes the deployed network."""

@@ -56,3 +56,24 @@ class TestDossier:
         assert "!(T1 -> A1 -> CORE -> A2 -> T2)" in text
         # Routers without config lines are reported, not crashed on.
         assert "no configuration lines to inspect" in text
+
+
+class TestAuditedDossier:
+    def test_audit_section_and_inline_verdicts(self):
+        from repro.scenarios import scenario1
+
+        scenario = scenario1()
+        text = generate_dossier(
+            scenario.paper_config,
+            scenario.specification,
+            audit=True,
+            audit_seed=2,
+        )
+        assert "## Audit" in text
+        assert "(seed 2)" in text
+        assert "audit: CONFIRMED" in text
+        # Off by default: nothing audit-related leaks into the dossier.
+        plain = generate_dossier(
+            scenario.paper_config, scenario.specification
+        )
+        assert "## Audit" not in plain and "audit:" not in plain

@@ -47,7 +47,7 @@ def test_json_report(tmp_path):
     assert code == 0
     with open(report_path) as handle:
         report = json.load(handle)
-    assert report["schema"] == "repro-farm-report/1"
+    assert report["schema"] == "repro-farm-report/2"
     assert report["totals"]["failed"] == 0
     assert report["bench"]["schema"].startswith("repro-bench/")
     assert {row["job"] for row in report["jobs"]} == {

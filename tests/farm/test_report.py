@@ -1,13 +1,13 @@
 """Regression tests for repro.farm.report: the shape must not move.
 
-The goldens under ``tests/farm/golden/`` were captured from the
+The goldens under ``tests/farm/golden/`` pin the wire shape: a
+synthetic, fully deterministic ``BatchReport`` covering every job
+status, serialized byte for byte.  Originally captured from the
 pre-extraction code (when the document and summary table were inlined
-in ``pool.py``/``worker.py``): a synthetic, fully deterministic
-``BatchReport`` covering every job status.  Rebuilding the identical
-report and serializing it through the extracted module must reproduce
-the goldens byte for byte -- the report module is a *move*, not a
-rewrite, and every wire consumer (CLI ``--json`` files, the serving
-layer's result endpoint) depends on that.
+in ``pool.py``/``worker.py``); re-captured once for the
+``repro-farm-report/2`` schema bump (per-job ``audit`` field plus the
+top-level ``audit`` section).  Every wire consumer (CLI ``--json``
+files, the serving layer's result endpoint) depends on these bytes.
 """
 
 import json

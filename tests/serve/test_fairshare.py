@@ -20,7 +20,7 @@ def _report(scenario="fake"):
     return api.BatchReport(
         scenario=scenario, workers=1, wall_s=0.0,
         results=(api.ExplainResult(job_id="J0", status="EXACT"),),
-        document={"schema": "repro-farm-report/1", "scenario": scenario},
+        document={"schema": "repro-farm-report/2", "scenario": scenario},
     )
 
 

@@ -88,7 +88,7 @@ def _fake_report(scenario):
     return api.BatchReport(
         scenario=scenario, workers=1, wall_s=0.0,
         results=(api.ExplainResult(job_id="J0", status="EXACT"),),
-        document={"schema": "repro-farm-report/1", "scenario": scenario,
+        document={"schema": "repro-farm-report/2", "scenario": scenario,
                   "counters": {}},
     )
 
@@ -280,7 +280,7 @@ class TestDrainOverHttp:
             return api.BatchReport(
                 scenario=request.name, workers=1, wall_s=0.0,
                 results=(), document={
-                    "schema": "repro-farm-report/1",
+                    "schema": "repro-farm-report/2",
                     "counters": {"farm.supervise.drained": 1},
                 },
             )

@@ -26,7 +26,7 @@ def _report(scenario="fake", statuses=("EXACT", "EXACT"), counters=None):
         for i, status in enumerate(statuses)
     )
     document = {
-        "schema": "repro-farm-report/1",
+        "schema": "repro-farm-report/2",
         "scenario": scenario,
         "counters": dict(counters or {}),
     }
